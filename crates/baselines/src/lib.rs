@@ -1,0 +1,278 @@
+//! Sharded BFT baselines the paper evaluates RingBFT against (§2, §8):
+//! **AHL** (reference committee + 2PC) and **SharPer** (initiator-primary
+//! global consensus). Both reuse the intra-shard PBFT engine, exactly as
+//! in the paper ("all three protocols have identical implementations for
+//! replicating single-shard transactions").
+
+pub mod ahl;
+pub mod messages;
+pub mod sharper;
+
+pub use ahl::{AhlReplica, AhlRole};
+pub use messages::ShardedMsg;
+pub use sharper::{sharper_initiator, SharperReplica};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringbft_store::rmw_ops;
+    use ringbft_types::txn::Transaction;
+    use ringbft_types::{
+        Action, ClientId, Instant, NodeId, Outbox, ProtocolKind, ReplicaId, ShardId, SystemConfig,
+        TimerKind, TxnId,
+    };
+    use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+    use std::sync::Arc;
+
+    enum Node {
+        Ahl(AhlReplica),
+        Sharper(SharperReplica),
+    }
+
+    impl Node {
+        fn on_message(
+            &mut self,
+            now: Instant,
+            from: NodeId,
+            msg: ShardedMsg,
+            out: &mut Outbox<ShardedMsg>,
+        ) {
+            match self {
+                Node::Ahl(r) => r.on_message(now, from, msg, out),
+                Node::Sharper(r) => r.on_message(now, from, msg, out),
+            }
+        }
+        fn on_timer(
+            &mut self,
+            now: Instant,
+            kind: TimerKind,
+            token: u64,
+            out: &mut Outbox<ShardedMsg>,
+        ) {
+            match self {
+                Node::Ahl(r) => r.on_timer(now, kind, token, out),
+                Node::Sharper(r) => r.on_timer(now, kind, token, out),
+            }
+        }
+    }
+
+    struct Net {
+        nodes: BTreeMap<ReplicaId, Node>,
+        queue: VecDeque<(NodeId, NodeId, ShardedMsg)>,
+        timers: HashSet<(ReplicaId, TimerKind, u64)>,
+        replies: HashMap<ClientId, HashMap<[u8; 32], HashSet<ReplicaId>>>,
+    }
+
+    impl Net {
+        fn ahl(cfg: &SystemConfig) -> Self {
+            let mut nodes = BTreeMap::new();
+            for shard in &cfg.shards {
+                for r in shard.replicas() {
+                    nodes.insert(r, Node::Ahl(AhlReplica::new(cfg.clone(), r, AhlRole::Shard)));
+                }
+            }
+            let cshard = AhlReplica::committee_shard_of(cfg);
+            for i in 0..AhlReplica::committee_size(cfg) as u32 {
+                let r = ReplicaId::new(cshard, i);
+                nodes.insert(
+                    r,
+                    Node::Ahl(AhlReplica::new(cfg.clone(), r, AhlRole::Committee)),
+                );
+            }
+            Net::new(nodes)
+        }
+
+        fn sharper(cfg: &SystemConfig) -> Self {
+            let mut nodes = BTreeMap::new();
+            for shard in &cfg.shards {
+                for r in shard.replicas() {
+                    nodes.insert(r, Node::Sharper(SharperReplica::new(cfg.clone(), r)));
+                }
+            }
+            Net::new(nodes)
+        }
+
+        fn new(nodes: BTreeMap<ReplicaId, Node>) -> Self {
+            Net {
+                nodes,
+                queue: VecDeque::new(),
+                timers: HashSet::new(),
+                replies: HashMap::new(),
+            }
+        }
+
+        fn client_send(&mut self, client: u64, target: ReplicaId, txn: Transaction) {
+            self.queue.push_back((
+                NodeId::Client(ClientId(client)),
+                NodeId::Replica(target),
+                ShardedMsg::Request {
+                    txn: Arc::new(txn),
+                    relayed: false,
+                },
+            ));
+        }
+
+        fn absorb(&mut self, from: ReplicaId, actions: Vec<Action<ShardedMsg>>) {
+            for a in actions {
+                match a {
+                    Action::Send { to, msg } => {
+                        self.queue.push_back((NodeId::Replica(from), to, msg))
+                    }
+                    Action::SetTimer { kind, token, .. } => {
+                        self.timers.insert((from, kind, token));
+                    }
+                    Action::CancelTimer { kind, token } => {
+                        self.timers.remove(&(from, kind, token));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        fn settle(&mut self) {
+            loop {
+                while let Some((from, to, msg)) = self.queue.pop_front() {
+                    match to {
+                        NodeId::Replica(r) => {
+                            let Some(node) = self.nodes.get_mut(&r) else {
+                                continue;
+                            };
+                            let mut out = Outbox::new();
+                            node.on_message(Instant::ZERO, from, msg, &mut out);
+                            self.absorb(r, out.take());
+                        }
+                        NodeId::Client(c) => {
+                            if let ShardedMsg::Reply { digest, .. } = msg {
+                                let NodeId::Replica(sender) = from else { continue };
+                                self.replies
+                                    .entry(c)
+                                    .or_default()
+                                    .entry(digest)
+                                    .or_default()
+                                    .insert(sender);
+                            }
+                        }
+                    }
+                }
+                let armed: Vec<(ReplicaId, TimerKind, u64)> = self
+                    .timers
+                    .iter()
+                    .filter(|(_, k, _)| *k == TimerKind::Client)
+                    .copied()
+                    .collect();
+                if armed.is_empty() {
+                    break;
+                }
+                for (r, k, t) in armed {
+                    self.timers.remove(&(r, k, t));
+                    let mut out = Outbox::new();
+                    self.nodes
+                        .get_mut(&r)
+                        .expect("node")
+                        .on_timer(Instant::ZERO, k, t, &mut out);
+                    self.absorb(r, out.take());
+                }
+            }
+        }
+
+        fn confirmed(&self, c: u64, quorum: usize) -> bool {
+            self.replies
+                .get(&ClientId(c))
+                .map(|d| d.values().any(|s| s.len() >= quorum))
+                .unwrap_or(false)
+        }
+    }
+
+    fn cfg() -> SystemConfig {
+        let mut c = SystemConfig::uniform(ProtocolKind::Ahl, 3, 4);
+        c.num_keys = 300;
+        c.batch_size = 2;
+        c
+    }
+
+    fn single(c: &SystemConfig, id: u64, shard: u32) -> Transaction {
+        Transaction::new(
+            TxnId(id),
+            ClientId(id),
+            rmw_ops(&[(ShardId(shard), c.key_range(ShardId(shard)).start + id)]),
+        )
+    }
+
+    fn cst(c: &SystemConfig, id: u64, shards: &[u32]) -> Transaction {
+        let ops: Vec<(ShardId, u64)> = shards
+            .iter()
+            .map(|&s| (ShardId(s), c.key_range(ShardId(s)).start + id))
+            .collect();
+        Transaction::new(TxnId(id), ClientId(id), rmw_ops(&ops))
+    }
+
+    #[test]
+    fn ahl_single_shard_bypasses_committee() {
+        let c = cfg();
+        let mut net = Net::ahl(&c);
+        net.client_send(1, ReplicaId::new(ShardId(0), 0), single(&c, 1, 0));
+        net.client_send(2, ReplicaId::new(ShardId(0), 0), single(&c, 2, 0));
+        net.settle();
+        assert!(net.confirmed(1, 2));
+        assert!(net.confirmed(2, 2));
+    }
+
+    #[test]
+    fn ahl_cross_shard_via_committee_2pc() {
+        let c = cfg();
+        let committee = AhlReplica::committee_shard_of(&c);
+        let mut net = Net::ahl(&c);
+        net.client_send(1, ReplicaId::new(committee, 0), cst(&c, 1, &[0, 1, 2]));
+        net.client_send(2, ReplicaId::new(committee, 0), cst(&c, 2, &[0, 1, 2]));
+        net.settle();
+        assert!(net.confirmed(1, 2), "client 1 unconfirmed");
+        assert!(net.confirmed(2, 2), "client 2 unconfirmed");
+    }
+
+    #[test]
+    fn ahl_misrouted_cst_is_relayed_to_committee() {
+        let c = cfg();
+        let mut net = Net::ahl(&c);
+        net.client_send(1, ReplicaId::new(ShardId(1), 0), cst(&c, 1, &[0, 1]));
+        net.client_send(2, ReplicaId::new(ShardId(1), 0), cst(&c, 2, &[0, 1]));
+        net.settle();
+        assert!(net.confirmed(1, 2));
+    }
+
+    #[test]
+    fn sharper_single_shard_local_pbft() {
+        let c = cfg();
+        let mut net = Net::sharper(&c);
+        net.client_send(1, ReplicaId::new(ShardId(2), 0), single(&c, 1, 2));
+        net.client_send(2, ReplicaId::new(ShardId(2), 0), single(&c, 2, 2));
+        net.settle();
+        assert!(net.confirmed(1, 2));
+    }
+
+    #[test]
+    fn sharper_cross_shard_global_consensus() {
+        let c = cfg();
+        let mut net = Net::sharper(&c);
+        net.client_send(1, ReplicaId::new(ShardId(0), 0), cst(&c, 1, &[0, 1, 2]));
+        net.client_send(2, ReplicaId::new(ShardId(0), 0), cst(&c, 2, &[0, 1, 2]));
+        net.settle();
+        assert!(net.confirmed(1, 2), "client 1 unconfirmed");
+        assert!(net.confirmed(2, 2), "client 2 unconfirmed");
+    }
+
+    #[test]
+    fn sharper_misrouted_cst_relayed_to_initiator() {
+        let c = cfg();
+        let mut net = Net::sharper(&c);
+        // Initiator is shard 1 (lowest involved); client sends to shard 2.
+        net.client_send(1, ReplicaId::new(ShardId(2), 0), cst(&c, 1, &[1, 2]));
+        net.client_send(2, ReplicaId::new(ShardId(2), 0), cst(&c, 2, &[1, 2]));
+        net.settle();
+        assert!(net.confirmed(1, 2));
+        // Replies come from the initiator shard.
+        let replies = &net.replies[&ClientId(1)];
+        for senders in replies.values() {
+            assert!(senders.iter().all(|r| r.shard == ShardId(1)));
+        }
+    }
+}

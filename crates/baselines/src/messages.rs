@@ -1,0 +1,104 @@
+//! Message vocabulary shared by the sharded baselines AHL and SharPer.
+
+use ringbft_crypto::Digest;
+use ringbft_pbft::PbftMsg;
+use ringbft_types::txn::{Batch, Transaction};
+use ringbft_types::{ClientId, ShardId, TxnId};
+use std::sync::Arc;
+
+/// Messages of the sharded baseline protocols. AHL uses the
+/// `PrepareReq`/`Vote2pc`/`Decision` 2PC triple driven by its reference
+/// committee (§2 "Designated Committee"); SharPer uses the global
+/// `XPreprepare`/`XPrepare`/`XCommit` phases driven by the initiator
+/// shard's primary (§2 "Initiator Shard").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardedMsg {
+    /// Client request or relay.
+    Request {
+        /// The transaction.
+        txn: Arc<Transaction>,
+        /// Relayed by a replica.
+        relayed: bool,
+    },
+    /// Intra-cluster PBFT (inside a shard or inside AHL's committee).
+    Pbft(PbftMsg),
+    /// AHL: committee replica asks the involved shards to prepare/lock.
+    /// Sent all-to-all: every committee replica to every involved
+    /// replica (the 2PC fan-out the paper charges AHL for).
+    PrepareReq {
+        /// Ordered batch digest.
+        digest: Digest,
+        /// The cross-shard batch.
+        batch: Arc<Batch>,
+    },
+    /// AHL: a shard replica's 2PC vote back to the committee (all-to-all).
+    Vote2pc {
+        /// Batch digest.
+        digest: Digest,
+        /// Voting shard.
+        shard: ShardId,
+        /// Commit (true) or abort.
+        commit: bool,
+    },
+    /// AHL: the committee's decision fan-out to involved replicas.
+    Decision {
+        /// Batch digest.
+        digest: Digest,
+        /// Commit (true) or abort.
+        commit: bool,
+    },
+    /// SharPer: the initiator primary's global proposal to every replica
+    /// of every involved shard.
+    XPreprepare {
+        /// Global sequence assigned by the initiator primary.
+        gseq: u64,
+        /// Batch digest.
+        digest: Digest,
+        /// The batch.
+        batch: Arc<Batch>,
+    },
+    /// SharPer: global prepare vote, broadcast to all involved replicas.
+    XPrepare {
+        /// Global sequence.
+        gseq: u64,
+        /// Batch digest.
+        digest: Digest,
+        /// Voting replica's shard (per-shard quorums).
+        shard: ShardId,
+    },
+    /// SharPer: global commit vote, broadcast to all involved replicas.
+    XCommit {
+        /// Global sequence.
+        gseq: u64,
+        /// Batch digest.
+        digest: Digest,
+        /// Voting replica's shard.
+        shard: ShardId,
+    },
+    /// Reply to a client.
+    Reply {
+        /// The client.
+        client: ClientId,
+        /// Executed batch digest.
+        digest: Digest,
+        /// Executed transactions.
+        txn_ids: Vec<TxnId>,
+    },
+}
+
+impl ShardedMsg {
+    /// Short tag for metrics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ShardedMsg::Request { .. } => "request",
+            ShardedMsg::Pbft(m) => m.tag(),
+            ShardedMsg::PrepareReq { .. } => "prepare-req",
+            ShardedMsg::Vote2pc { .. } => "vote-2pc",
+            ShardedMsg::Decision { .. } => "decision",
+            ShardedMsg::XPreprepare { .. } => "x-preprepare",
+            ShardedMsg::XPrepare { .. } => "x-prepare",
+            ShardedMsg::XCommit { .. } => "x-commit",
+            ShardedMsg::Reply { .. } => "reply",
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Criterion micro-benchmarks of the hot kernels behind every figure:
+//!
+//! * `crypto/*` — SHA-256, HMAC, signatures, Merkle roots (§3's
+//!   authenticated communication costs; the paper's MAC-vs-DS trade-off);
+//! * `lockmgr/*` — sequence-ordered lock admission (§4.3.5's π list);
+//! * `pbft/*` — a full intra-shard consensus round as a state-machine
+//!   cost (the engine every protocol embeds);
+//! * `wire/*` — batch digests and message-size computation;
+//! * `workload/*` — YCSB transaction generation;
+//! * `simnet/*` — event-queue throughput (the simulator's own engine).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ringbft_crypto::{sha256, KeyStore, MerkleTree};
+use ringbft_pbft::testing::{test_batch, TestCluster};
+use ringbft_pbft::batch_digest;
+use ringbft_simnet::EventQueue;
+use ringbft_store::LockManager;
+use ringbft_types::{
+    ClientId, Duration, Instant, NodeId, ProtocolKind, ReplicaId, ShardId, SystemConfig,
+};
+use ringbft_workload::WorkloadGen;
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let payload = vec![0xabu8; 5408]; // a Preprepare-sized message
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("sha256_preprepare", |b| {
+        b.iter(|| sha256(black_box(&payload)))
+    });
+
+    let ks = KeyStore::from_seed(7);
+    let me = NodeId::Replica(ReplicaId::new(ShardId(0), 0));
+    let peer = NodeId::Replica(ReplicaId::new(ShardId(1), 0));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("mac_sign_verify", |b| {
+        b.iter(|| {
+            let tag = ks.mac(me, peer, black_box(&payload));
+            assert!(ks.verify_mac(me, peer, &payload, &tag));
+        })
+    });
+    g.bench_function("ds_sign_verify", |b| {
+        let signer = ks.signer(me);
+        b.iter(|| {
+            let sig = signer.sign(black_box(&payload));
+            assert!(ks.verify(&payload, &sig));
+        })
+    });
+
+    // Merkle root of a 100-transaction batch (§7's block root Δ).
+    let leaves: Vec<Vec<u8>> = (0..100u64).map(|i| i.to_le_bytes().to_vec()).collect();
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("merkle_root_100", |b| {
+        b.iter(|| MerkleTree::from_payloads(leaves.iter().map(|l| l.as_slice())).root())
+    });
+    g.finish();
+}
+
+fn bench_lockmgr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lockmgr");
+    // In-order commit/release cycle: the common case.
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("in_order_1000", |b| {
+        b.iter_batched(
+            LockManager::new,
+            |mut lm| {
+                for seq in 1..=1000u64 {
+                    lm.commit(seq, vec![seq % 97]);
+                    lm.release(seq);
+                }
+                black_box(lm.k_max())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Fully out-of-order commits: everything parks in π, one drain.
+    g.bench_function("out_of_order_1000", |b| {
+        b.iter_batched(
+            LockManager::new,
+            |mut lm| {
+                for seq in (2..=1000u64).rev() {
+                    lm.commit(seq, vec![seq % 97]);
+                }
+                let a = lm.commit(1, vec![1]);
+                black_box(a.acquired.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_pbft_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pbft");
+    for n in [4usize, 16, 32] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("round_n{n}"), |b| {
+            b.iter_batched(
+                || TestCluster::new(ShardId(0), n),
+                |mut cluster| {
+                    cluster.propose(0, test_batch(ShardId(0), 1, 100));
+                    cluster.deliver_all();
+                    black_box(cluster.delivered)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let batch = test_batch(ShardId(0), 1, 100);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("batch_digest_100", |b| b.iter(|| batch_digest(black_box(&batch))));
+    g.bench_function("message_sizes", |b| {
+        b.iter(|| {
+            let a = ringbft_types::wire::preprepare_bytes(black_box(100));
+            let f = ringbft_types::wire::forward_bytes(black_box(100), 19);
+            let e = ringbft_types::wire::execute_bytes(black_box(100), 1);
+            black_box(a + f + e)
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    let cfg = {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 15, 4);
+        cfg.cross_shard_rate = 0.3;
+        cfg
+    };
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("generate_1000_txns", |b| {
+        b.iter_batched(
+            || WorkloadGen::new(cfg.clone(), 1),
+            |mut gen| {
+                for i in 0..1000 {
+                    black_box(gen.next_txn(ClientId(i)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("event_queue_100k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..100_000u64 {
+                // Pseudo-random times to exercise heap reordering.
+                let t = Instant::ZERO + Duration::from_nanos((i * 2_654_435_761) % 1_000_000);
+                q.push(t, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_lockmgr,
+    bench_pbft_round,
+    bench_wire,
+    bench_workload,
+    bench_simnet
+);
+criterion_main!(benches);

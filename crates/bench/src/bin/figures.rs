@@ -1,0 +1,107 @@
+//! Regenerates the paper's figures on the simulated WAN.
+//!
+//! ```text
+//! cargo run --release -p ringbft-bench --bin figures -- all
+//! cargo run --release -p ringbft-bench --bin figures -- fig8_shards fig10
+//! cargo run --release -p ringbft-bench --bin figures -- --paper-scale fig1
+//! cargo run --release -p ringbft-bench --bin figures -- --seed 9 --json results/ all
+//! ```
+//!
+//! Prints each figure as throughput/latency rows and (with `--json DIR`)
+//! writes machine-readable series for EXPERIMENTS.md.
+
+use ringbft_bench::{all_figures, render, to_json, Scale};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut seed = 42u64;
+    let mut json_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper-scale" => scale = Scale::Paper,
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if wanted.is_empty() {
+        print_help();
+        std::process::exit(2);
+    }
+
+    let generators = all_figures();
+    let ids: Vec<&str> = generators.iter().map(|(id, _)| *id).collect();
+    let selected: Vec<&(&str, ringbft_bench::FigureGen)> =
+        if wanted.iter().any(|w| w == "all") {
+            generators.iter().collect()
+        } else {
+            let mut sel = Vec::new();
+            for w in &wanted {
+                match generators.iter().find(|(id, _)| id == w) {
+                    Some(g) => sel.push(g),
+                    None => {
+                        eprintln!("unknown figure '{w}'; available: {ids:?} or 'all'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            sel
+        };
+
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json output dir");
+    }
+
+    for (id, gen) in selected {
+        eprintln!(
+            "running {id} at {} scale (seed {seed}) ...",
+            match scale {
+                Scale::Quick => "quick",
+                Scale::Paper => "paper",
+            }
+        );
+        let t0 = std::time::Instant::now();
+        let fig = gen(scale, seed);
+        eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+        print!("{}", render(&fig));
+        println!();
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{id}.json");
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            let v = to_json(&fig);
+            writeln!(f, "{}", serde_json::to_string_pretty(&v).expect("serialize"))
+                .expect("write json");
+            eprintln!("  wrote {path}");
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "figures — regenerate the RingBFT paper's evaluation figures\n\
+         usage: figures [--paper-scale] [--seed N] [--json DIR] <ids...|all>\n\
+         ids: fig1 fig8_shards fig8_reps fig8_xrate fig8_batch\n\
+              fig8_involved fig8_clients fig9 fig10 ablation_linear"
+    );
+}

@@ -1,0 +1,496 @@
+//! RingBFT — the paper's primary contribution.
+//!
+//! A meta-BFT protocol for sharded-replicated permissioned blockchains:
+//! shards are arranged in a logical ring; every cross-shard transaction
+//! visits its involved shards in ring order under the principle of
+//! *process, forward, and re-transmit*, with strictly linear
+//! shard-to-shard communication. See [`node::RingReplica`] for the replica
+//! state machine and `crates/sim` for the WAN harness that drives it.
+
+pub mod messages;
+pub mod node;
+pub mod testing;
+
+pub use messages::{ExecuteMsg, ForwardMsg, RingMsg};
+pub use node::{RingReplica, RingStats};
+
+#[cfg(test)]
+mod tests {
+    use crate::messages::RingMsg;
+    use crate::testing::RingNet;
+    use ringbft_store::rmw_ops;
+    use ringbft_types::txn::{RemoteRead, Transaction};
+    use ringbft_types::{
+        ClientId, NodeId, ProtocolKind, ReplicaId, ShardId, SystemConfig, TimerKind, TxnId,
+    };
+
+    /// Small, fast config: 3 shards × 4 replicas, 300 keys, batch 2.
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+        cfg.num_keys = 300;
+        cfg.batch_size = 2;
+        cfg
+    }
+
+    fn key_in(cfg: &SystemConfig, shard: u32, offset: u64) -> u64 {
+        cfg.key_range(ShardId(shard)).start + offset
+    }
+
+    /// A single-shard RMW transaction on `shard`.
+    fn single(cfg: &SystemConfig, id: u64, shard: u32, offset: u64) -> Transaction {
+        Transaction::new(
+            TxnId(id),
+            ClientId(id),
+            rmw_ops(&[(ShardId(shard), key_in(cfg, shard, offset))]),
+        )
+    }
+
+    /// A cross-shard RMW transaction touching one key in each shard.
+    fn cst(cfg: &SystemConfig, id: u64, shards: &[u32], offset: u64) -> Transaction {
+        let ops: Vec<(ShardId, u64)> = shards
+            .iter()
+            .map(|&s| (ShardId(s), key_in(cfg, s, offset)))
+            .collect();
+        Transaction::new(TxnId(id), ClientId(id), rmw_ops(&ops))
+    }
+
+    #[test]
+    fn single_shard_commits_and_replies() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.client_send(ClientId(1), single(&cfg, 1, 0, 1));
+        net.client_send(ClientId(2), single(&cfg, 2, 0, 2));
+        net.settle();
+        // Both clients confirmed by ≥ f+1 = 2 replicas.
+        let done1 = net.completed_digests(ClientId(1), 2);
+        let done2 = net.completed_digests(ClientId(2), 2);
+        assert_eq!(done1.len(), 1);
+        assert_eq!(done1, done2, "batched together");
+        // Only shard 0 executed anything.
+        assert!(net.exec_log.iter().all(|(r, _, _)| r.shard == ShardId(0)));
+        // Ledgers of shard 0 replicas grew and agree.
+        let heads: Vec<_> = net
+            .replicas
+            .values()
+            .filter(|r| r.id().shard == ShardId(0))
+            .map(|r| r.ledger().head().hash())
+            .collect();
+        assert!(heads.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(net.replicas[&ReplicaId::new(ShardId(0), 0)].ledger().height(), 2);
+    }
+
+    #[test]
+    fn cross_shard_two_rotations_complete() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.client_send(ClientId(1), cst(&cfg, 1, &[0, 1, 2], 5));
+        net.client_send(ClientId(2), cst(&cfg, 2, &[0, 1, 2], 6));
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+        // Every involved shard executed the batch.
+        for s in 0..3u32 {
+            assert!(
+                net.exec_log.iter().any(|(r, _, _)| r.shard == ShardId(s)),
+                "shard {s} executed"
+            );
+        }
+        // All locks released everywhere.
+        for r in net.replicas.values() {
+            assert_eq!(r.lock_manager().held_len(), 0, "{} locks leak", r.id());
+        }
+        // State is identical inside each shard.
+        for s in 0..3u32 {
+            let prints: Vec<u64> = net
+                .replicas
+                .values()
+                .filter(|r| r.id().shard == ShardId(s))
+                .map(|r| r.store().state_fingerprint())
+                .collect();
+            assert!(prints.windows(2).all(|w| w[0] == w[1]), "shard {s} diverged");
+        }
+    }
+
+    #[test]
+    fn cross_shard_subset_of_shards() {
+        // cst over shards {1, 2} — initiator is shard 1, not 0.
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.client_send(ClientId(7), cst(&cfg, 7, &[1, 2], 3));
+        net.client_send(ClientId(8), cst(&cfg, 8, &[1, 2], 4));
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(7), 2).len(), 1);
+        // Shard 0 executed nothing.
+        assert!(net.exec_log.iter().all(|(r, _, _)| r.shard != ShardId(0)));
+        // Replies come from shard 1 (the initiator).
+        assert!(net.replies.iter().all(|r| r.from.shard == ShardId(1)));
+    }
+
+    #[test]
+    fn conflicting_csts_serialize_identically() {
+        // Two csts writing the same keys in shards 0 and 1, plus
+        // interleaved single-shard traffic. All replicas of each shard
+        // must converge to identical state (Consistence, Def 4.1).
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        for i in 0..4u64 {
+            net.client_send(ClientId(10 + i), cst(&cfg, 10 + i, &[0, 1], 9));
+        }
+        for i in 0..4u64 {
+            net.client_send(ClientId(20 + i), single(&cfg, 20 + i, 0, 9));
+        }
+        net.settle();
+        for s in 0..2u32 {
+            let prints: Vec<u64> = net
+                .replicas
+                .values()
+                .filter(|r| r.id().shard == ShardId(s))
+                .map(|r| r.store().state_fingerprint())
+                .collect();
+            assert!(prints.windows(2).all(|w| w[0] == w[1]), "shard {s} diverged");
+        }
+        for r in net.replicas.values() {
+            assert_eq!(r.lock_manager().held_len(), 0, "{} deadlocked", r.id());
+            assert_eq!(r.lock_manager().pending_len(), 0, "{} stuck in π", r.id());
+        }
+        // All four cst clients confirmed.
+        for i in 0..4u64 {
+            assert_eq!(
+                net.completed_digests(ClientId(10 + i), 2).len(),
+                1,
+                "cst client {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn complex_cst_resolves_remote_reads() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        // Shard 0's fragment depends on a key owned by shard 2.
+        let dep_key = key_in(&cfg, 2, 42);
+        let mk = |id: u64| {
+            let mut t = cst(&cfg, id, &[0, 1, 2], 11);
+            t.remote_reads.push(RemoteRead {
+                reader: ShardId(0),
+                owner: ShardId(2),
+                key: dep_key,
+            });
+            t
+        };
+        net.client_send(ClientId(1), mk(1));
+        net.client_send(ClientId(2), mk(2));
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+        // The written values at shard 0 depend on shard 2's key — state
+        // still converges across replicas of shard 0.
+        let prints: Vec<u64> = net
+            .replicas
+            .values()
+            .filter(|r| r.id().shard == ShardId(0))
+            .map(|r| r.store().state_fingerprint())
+            .collect();
+        assert!(prints.windows(2).all(|w| w[0] == w[1]));
+        for r in net.replicas.values() {
+            assert_eq!(r.lock_manager().held_len(), 0);
+        }
+    }
+
+    #[test]
+    fn request_to_wrong_shard_is_rerouted() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        // cst over {0,1,2} sent to shard 2's primary: must be relayed to
+        // shard 0 (Fig 5 line 9).
+        net.client_send_to(ClientId(1), ReplicaId::new(ShardId(2), 0), cst(&cfg, 1, &[0, 1, 2], 8));
+        net.client_send_to(ClientId(2), ReplicaId::new(ShardId(2), 0), cst(&cfg, 2, &[0, 1, 2], 7));
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+    }
+
+    #[test]
+    fn request_to_non_primary_is_relayed() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        // A1: send to a backup; it relays to the primary and watches it.
+        net.client_send_to(ClientId(1), ReplicaId::new(ShardId(0), 2), single(&cfg, 1, 0, 1));
+        net.client_send_to(ClientId(2), ReplicaId::new(ShardId(0), 2), single(&cfg, 2, 0, 2));
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+    }
+
+    #[test]
+    fn no_communication_recovered_by_retransmission() {
+        // C1: all Forwards from shard 0 to shard 1 vanish initially; the
+        // transmit timer re-sends them and the cst completes.
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.drop_filter = Some(Box::new(|from, _, m| {
+            matches!(m, RingMsg::Forward(_))
+                && matches!(from, NodeId::Replica(r) if r.shard == ShardId(0))
+        }));
+        net.client_send(ClientId(1), cst(&cfg, 1, &[0, 1], 2));
+        net.client_send(ClientId(2), cst(&cfg, 2, &[0, 1], 3));
+        net.settle();
+        assert!(net.completed_digests(ClientId(1), 2).is_empty());
+        // Heal the network; fire the transmit timers.
+        net.drop_filter = None;
+        assert!(net.fire_all_timers(TimerKind::Transmit) > 0);
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+    }
+
+    #[test]
+    fn partial_communication_recovered_by_complaint_retransmission() {
+        // C2 with an unreliable network: shard 0 *did* replicate, but only
+        // one replica's Forward survives (f = 1 needs f+1 = 2 matching).
+        // Shard 1's remote timers expire → RemoteView complaints → shard 0
+        // recognises it holds the commit and re-transmits (§5.1.1); no
+        // view change is needed.
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.drop_filter = Some(Box::new(|from, _, m| {
+            matches!(m, RingMsg::Forward(_))
+                && matches!(from, NodeId::Replica(r) if r.shard == ShardId(0) && r.index != 3)
+        }));
+        net.client_send(ClientId(1), cst(&cfg, 1, &[0, 1], 2));
+        net.client_send(ClientId(2), cst(&cfg, 2, &[0, 1], 3));
+        net.settle();
+        assert!(net.completed_digests(ClientId(1), 2).is_empty());
+        // Remote timers at shard 1 fire → complaints to shard 0 → heal
+        // the network → retransmissions complete the cst without any view
+        // change.
+        net.drop_filter = None;
+        let fired = net.fire_all_timers(TimerKind::Remote);
+        assert!(fired > 0, "remote timers armed at shard 1");
+        net.settle();
+        assert!(
+            net.view_log.iter().all(|(r, _)| r.shard != ShardId(0)),
+            "needless view change at shard 0: {:?}",
+            net.view_log
+        );
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+    }
+
+    #[test]
+    fn suppressed_replication_triggers_remote_view_change() {
+        // C2 with a suppressing primary: at most f non-faulty replicas of
+        // shard 0 commit (Commit messages reach only replica 3). The next
+        // shard starves, complains, and — because shard 0's other replicas
+        // do NOT hold the commit — shard 0 view-changes (Fig 6).
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.drop_filter = Some(Box::new(|_, to, m| {
+            matches!(m, RingMsg::Pbft(ringbft_pbft::PbftMsg::Commit { .. }))
+                && matches!(to, NodeId::Replica(r) if r.shard == ShardId(0) && r.index != 3)
+        }));
+        net.client_send(ClientId(1), cst(&cfg, 1, &[0, 1], 2));
+        net.client_send(ClientId(2), cst(&cfg, 2, &[0, 1], 3));
+        net.settle();
+        assert!(net.completed_digests(ClientId(1), 2).is_empty());
+        net.drop_filter = None;
+        // Shard 1 received at most one Forward (< f+1): complaints flow.
+        let fired = net.fire_all_timers(TimerKind::Remote);
+        assert!(fired > 0, "remote timers armed at shard 1");
+        net.settle();
+        assert!(
+            net.view_log.iter().any(|(r, v)| r.shard == ShardId(0) && *v >= 1),
+            "no view change at shard 0: {:?}",
+            net.view_log
+        );
+        // Post view change the re-proposed cst commits and completes
+        // (local timers of the uncommitted replicas may need to fire).
+        net.fire_all_timers(TimerKind::Transmit);
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+    }
+
+
+    #[test]
+    fn ledgers_contain_cross_shard_block_everywhere() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.client_send(ClientId(1), cst(&cfg, 1, &[0, 1, 2], 5));
+        net.client_send(ClientId(2), cst(&cfg, 2, &[0, 1, 2], 6));
+        net.settle();
+        let digest = net.completed_digests(ClientId(1), 2)[0];
+        for r in net.replicas.values() {
+            assert_eq!(
+                r.ledger().find_by_root(&digest).len(),
+                1,
+                "{} missing the cst block",
+                r.id()
+            );
+            r.ledger().verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn mixed_workload_many_batches() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        let mut id = 1u64;
+        for round in 0..5u64 {
+            for s in 0..3u32 {
+                net.client_send(ClientId(id), single(&cfg, id, s, 20 + round));
+                id += 1;
+            }
+            net.client_send(ClientId(id), cst(&cfg, id, &[0, 1, 2], 30 + round));
+            id += 1;
+        }
+        net.settle();
+        // Every client eventually confirmed.
+        for c in 1..id {
+            assert_eq!(
+                net.completed_digests(ClientId(c), 2).len(),
+                1,
+                "client {c} unconfirmed"
+            );
+        }
+        for r in net.replicas.values() {
+            assert_eq!(r.lock_manager().held_len(), 0);
+            assert_eq!(r.lock_manager().pending_len(), 0);
+        }
+    }
+    #[test]
+    fn ablation_quadratic_forward_still_correct() {
+        // The ablation changes the communication pattern, not semantics:
+        // csts still complete and state still converges.
+        let mut cfg = small_cfg();
+        cfg.ablation_quadratic_forward = true;
+        let mut net = RingNet::new(cfg.clone());
+        net.client_send(ClientId(1), cst(&cfg, 1, &[0, 1, 2], 5));
+        net.client_send(ClientId(2), cst(&cfg, 2, &[0, 1, 2], 6));
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+        for s in 0..3u32 {
+            let prints: Vec<u64> = net
+                .replicas
+                .values()
+                .filter(|r| r.id().shard == ShardId(s))
+                .map(|r| r.store().state_fingerprint())
+                .collect();
+            assert!(prints.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn complex_cst_execute_loss_recovered_by_retransmission() {
+        // Drop all Execute messages between shards initially (rotation
+        // two stalls), then heal and fire transmit timers: the complex
+        // cst completes.
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.drop_filter = Some(Box::new(|_, _, m| matches!(m, RingMsg::Execute(_))));
+        let dep_key = cfg.key_range(ShardId(2)).start + 42;
+        for id in 1..=2u64 {
+            let mut t = cst(&cfg, id, &[0, 1, 2], 11);
+            t.remote_reads.push(RemoteRead {
+                reader: ShardId(0),
+                owner: ShardId(2),
+                key: dep_key,
+            });
+            net.client_send(ClientId(id), t);
+        }
+        net.settle();
+        assert!(net.completed_digests(ClientId(1), 2).is_empty());
+        net.drop_filter = None;
+        assert!(net.fire_all_timers(TimerKind::Transmit) > 0);
+        net.settle();
+        // One more retransmission round may be needed for the wrap-around.
+        net.fire_all_timers(TimerKind::Transmit);
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+        for r in net.replicas.values() {
+            assert_eq!(r.lock_manager().held_len(), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_late_forwards_are_ignored() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        net.client_send(ClientId(1), cst(&cfg, 1, &[0, 1], 2));
+        net.client_send(ClientId(2), cst(&cfg, 2, &[0, 1], 3));
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+        let before = net.replies.len();
+        // Fire any lingering transmit timers: retransmitted Forwards for
+        // finished csts must not re-execute or re-reply.
+        net.fire_all_timers(TimerKind::Transmit);
+        net.settle();
+        let exec_before = net.exec_log.len();
+        net.fire_all_timers(TimerKind::Transmit);
+        net.settle();
+        assert_eq!(net.exec_log.len(), exec_before, "late forward re-executed");
+        // Replies may be re-sent to clients (idempotent) but completions
+        // per digest stay one.
+        assert!(net.replies.len() >= before);
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+    }
+
+    #[test]
+    fn single_shard_only_workload_never_forwards() {
+        let cfg = small_cfg();
+        let mut net = RingNet::new(cfg.clone());
+        for id in 1..=6u64 {
+            net.client_send(ClientId(id), single(&cfg, id, (id % 3) as u32, id));
+        }
+        net.settle();
+        for r in net.replicas.values() {
+            assert_eq!(r.stats.forwards_sent, 0, "{} forwarded", r.id());
+            assert_eq!(r.stats.executes_sent, 0);
+        }
+        for id in 1..=6u64 {
+            assert_eq!(net.completed_digests(ClientId(id), 2).len(), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod ring_rotation_tests {
+    use crate::testing::RingNet;
+    use ringbft_store::rmw_ops;
+    use ringbft_types::txn::Transaction;
+    use ringbft_types::{ClientId, ProtocolKind, ShardId, SystemConfig, TxnId};
+
+    #[test]
+    fn rotated_ring_changes_initiator_and_still_completes() {
+        // With ring_offset = 2, the ring order is 2,3,0,1 — the initiator
+        // of a {0,2} cst becomes shard 2 instead of shard 0. §3: any
+        // permutation of the ring preserves correctness.
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 4, 4);
+        cfg.num_keys = 400;
+        cfg.batch_size = 2;
+        cfg.ring_offset = 2;
+        cfg.validate().unwrap();
+        let ring = cfg.ring_order();
+        assert_eq!(ring.first(&[ShardId(0), ShardId(2)]), ShardId(2));
+
+        let mut net = RingNet::new(cfg.clone());
+        for id in 1..=2u64 {
+            let t = Transaction::new(
+                TxnId(id),
+                ClientId(id),
+                rmw_ops(&[
+                    (ShardId(0), cfg.key_range(ShardId(0)).start + id),
+                    (ShardId(2), cfg.key_range(ShardId(2)).start + id),
+                ]),
+            );
+            net.client_send(ClientId(id), t);
+        }
+        net.settle();
+        assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
+        // Replies come from the rotated initiator: shard 2.
+        assert!(net.replies.iter().all(|r| r.from.shard == ShardId(2)));
+        for r in net.replicas.values() {
+            assert_eq!(r.lock_manager().held_len(), 0);
+        }
+    }
+
+    #[test]
+    fn invalid_ring_offset_rejected() {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+        cfg.ring_offset = 3;
+        assert!(cfg.validate().is_err());
+    }
+}

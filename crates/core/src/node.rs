@@ -1,0 +1,1279 @@
+//! The RingBFT replica: *process, forward, re-transmit* (§4.2–§5).
+//!
+//! Each replica composes four substrates:
+//!
+//! * a [`PbftCore`] for intra-shard consensus (RingBFT is a meta-protocol;
+//!   PBFT is the paper's default engine),
+//! * the sequence-ordered [`LockManager`] (`k_max` + π, §4.3.5),
+//! * a [`KvStore`] partition for deterministic fragment execution,
+//! * a [`Ledger`] (partial blockchain, §7).
+//!
+//! ### Transaction flows
+//!
+//! **Single-shard** (§4.1): client → primary → PBFT → lock in sequence
+//! order → execute → release → reply.
+//!
+//! **Cross-shard** (Fig 5): the client sends to the primary of the *first
+//! involved shard in ring order*. Rotation one: each involved shard runs
+//! PBFT, locks the fragment in sequence order, and Forwards the batch
+//! (with the commit certificate and accumulated dependency reads) to its
+//! same-index counterpart in the next involved shard — the linear
+//! communication primitive (§4.3.6).
+//!
+//! *Simple* csts (no cross-shard read dependencies) complete in **one
+//! rotation** (§4.2.1): each shard executes its fragment and releases its
+//! locks immediately after local consensus; the wrap-around Forward tells
+//! the initiator every shard knows the transaction's fate, and it replies
+//! to the client. *Complex* csts hold their locks through rotation one;
+//! when the Forward wraps back to the initiator, rotation two propagates
+//! Execute messages carrying `Σ`, each shard executing its fragment with
+//! the resolved dependencies, releasing locks, and the initiator finally
+//! replying to the client.
+//!
+//! ### Recovery (§5)
+//!
+//! * per-request **local timers** inside PBFT trigger view changes;
+//! * the **transmit timer** re-sends Forward/Execute to the next shard;
+//! * the **remote timer** detects starvation of a forwarded cst and sends
+//!   `RemoteView` complaints that force a view change in the previous
+//!   shard (Fig 6);
+//! * clients that time out broadcast their request to the whole shard
+//!   (A1); non-primary replicas relay to the primary and watchdog it.
+
+use crate::messages::{ExecuteMsg, ForwardMsg, RingMsg};
+use ringbft_crypto::Digest;
+use ringbft_ledger::{BlockBody, Ledger};
+use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
+use ringbft_store::{KvStore, LockManager};
+use ringbft_types::txn::{Batch, Key, Transaction, Value};
+use ringbft_types::{
+    Action, BatchId, Instant, NodeId, Outbox, ReplicaId, RingOrder, SeqNum, ShardId, SystemConfig,
+    TimerKind, TxnId,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// First token value used for RingBFT-level watchdogs, disjoint from PBFT
+/// sequence-number tokens.
+const TOKEN_BASE: u64 = 1 << 62;
+/// Token of the batch-pool flush timer.
+const POOL_FLUSH_TOKEN: u64 = TOKEN_BASE - 1;
+/// Maximum Forward/Execute retransmissions (the paper retransmits until
+/// fate is known; we cap to bound simulated traffic — see DESIGN.md).
+const MAX_RETRANSMITS: u32 = 3;
+
+/// Per-cst replica-local state.
+#[derive(Debug)]
+struct CstState {
+    batch: Arc<Batch>,
+    involved: Vec<ShardId>,
+    /// Sequence this shard's PBFT assigned the batch.
+    local_seq: Option<u64>,
+    committed_local: bool,
+    /// Locks held (rotation one passed through this shard).
+    locked: bool,
+    executed: bool,
+    replied: bool,
+    /// Distinct previous-shard replica indices whose Forward we saw.
+    forward_origins: HashSet<u32>,
+    forward_processed: bool,
+    /// First Forward payload (kept for sharing and proposal).
+    forward_payload: Option<ForwardMsg>,
+    /// Distinct previous-shard replica indices whose Execute we saw.
+    execute_origins: HashSet<u32>,
+    execute_processed: bool,
+    /// Accumulated dependency reads (rotation one).
+    deps: Vec<(Key, Value)>,
+    /// Accumulated `Σ` (rotation two).
+    sigma: Vec<(Key, Value)>,
+    /// RingBFT-level watchdog token for this cst.
+    token: u64,
+    retransmits: u32,
+    proposed_here: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Work {
+    /// A single-shard batch awaiting execution once admitted.
+    Single(Arc<Batch>),
+    /// A cross-shard batch (state lives in `csts`).
+    Cst(Digest),
+    /// A duplicate commit of a batch that already committed at an earlier
+    /// sequence number (possible when a view change re-proposes a cst the
+    /// old primary had already sequenced): its locks are released on
+    /// admission so π never wedges behind it.
+    Duplicate,
+}
+
+/// Counters exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingStats {
+    /// Transactions executed by this replica (all fragments).
+    pub executed_txns: u64,
+    /// Batches fully executed.
+    pub executed_batches: u64,
+    /// Forward messages sent (including retransmissions).
+    pub forwards_sent: u64,
+    /// Execute messages sent.
+    pub executes_sent: u64,
+    /// Remote view-change complaints sent.
+    pub remote_views_sent: u64,
+    /// Client replies sent.
+    pub replies_sent: u64,
+}
+
+/// A RingBFT replica.
+pub struct RingReplica {
+    cfg: SystemConfig,
+    me: ReplicaId,
+    ring: RingOrder,
+    pbft: PbftCore,
+    locks: LockManager,
+    kv: KvStore,
+    ledger: Ledger,
+    /// Batching pools keyed by involved-shard set.
+    pools: BTreeMap<Vec<ShardId>, Vec<Transaction>>,
+    /// Ids currently pooled (dedups re-relays after view changes).
+    pooled: HashSet<TxnId>,
+    pool_timer_armed: bool,
+    next_batch_id: u64,
+    /// Locally committed work by sequence number.
+    work: HashMap<u64, Work>,
+    /// Cross-shard transaction state by digest.
+    csts: HashMap<Digest, CstState>,
+    /// Completed digests (late-message dedup).
+    done: HashSet<Digest>,
+    /// Watchdog token → digest.
+    token_digest: HashMap<u64, Digest>,
+    next_token: u64,
+    /// Client-relay watchdogs: txn → token (A1).
+    txn_watchdogs: HashMap<TxnId, u64>,
+    token_txn: HashMap<u64, TxnId>,
+    /// Payloads of watched transactions, re-relayed to the new primary
+    /// after a view change (the dead primary's pool is gone with it).
+    watched_txns: HashMap<TxnId, Arc<Transaction>>,
+    /// Txns already covered by a local commit (cancels watchdogs).
+    committed_txns: HashSet<TxnId>,
+    /// When this replica last installed a view (suppresses watchdog-driven
+    /// view-change churn: give each new primary a grace period).
+    last_view_entry: Instant,
+    /// RemoteView complaints per digest (tracked outside `CstState`: a
+    /// suppressing primary means most replicas never built the state).
+    remote_complaints: HashMap<Digest, HashSet<u32>>,
+    /// Digests whose complaints already forced a view change.
+    remote_vc_done: HashSet<Digest>,
+    /// Statistics.
+    pub stats: RingStats,
+}
+
+impl RingReplica {
+    /// Creates the replica `me` under system configuration `cfg`.
+    /// `init_store` controls whether the key partition is materialized
+    /// (large!) or left empty (tests that never execute reads).
+    pub fn new(cfg: SystemConfig, me: ReplicaId, init_store: bool) -> Self {
+        let shard_cfg = cfg.shard(me.shard);
+        let pbft = PbftCore::new(
+            me,
+            PbftConfig {
+                n: shard_cfg.n,
+                checkpoint_interval: 128,
+                local_timeout: cfg.timers.local,
+            },
+        );
+        let kv = if init_store {
+            KvStore::init_partition(cfg.key_range(me.shard))
+        } else {
+            KvStore::new()
+        };
+        let ring = cfg.ring_order();
+        RingReplica {
+            ring,
+            pbft,
+            locks: LockManager::new(),
+            kv,
+            ledger: Ledger::new(me.shard),
+            pools: BTreeMap::new(),
+            pooled: HashSet::new(),
+            pool_timer_armed: false,
+            next_batch_id: (me.shard.0 as u64) << 40,
+            work: HashMap::new(),
+            csts: HashMap::new(),
+            done: HashSet::new(),
+            token_digest: HashMap::new(),
+            next_token: TOKEN_BASE,
+            txn_watchdogs: HashMap::new(),
+            token_txn: HashMap::new(),
+            watched_txns: HashMap::new(),
+            committed_txns: HashSet::new(),
+            last_view_entry: Instant::ZERO,
+            remote_complaints: HashMap::new(),
+            remote_vc_done: HashSet::new(),
+            stats: RingStats::default(),
+            cfg,
+            me,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// The shard's current PBFT view.
+    pub fn view(&self) -> ringbft_types::ViewNum {
+        self.pbft.view()
+    }
+
+    /// Is this replica its shard's current primary?
+    pub fn is_primary(&self) -> bool {
+        self.pbft.is_primary()
+    }
+
+    /// Is the embedded PBFT engine mid view change? (diagnostics)
+    pub fn in_view_change(&self) -> bool {
+        self.pbft.in_view_change()
+    }
+
+    /// Live cross-shard transaction states held (diagnostics).
+    pub fn cst_count(&self) -> usize {
+        self.csts.len()
+    }
+
+    /// Csts seen via Forward but not yet locally committed (diagnostics).
+    pub fn stuck_cst_count(&self) -> usize {
+        self.csts
+            .values()
+            .filter(|c| c.forward_processed && !c.committed_local)
+            .count()
+    }
+
+    /// The ledger (post-run inspection).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The key-value store (post-run inspection).
+    pub fn store(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// The lock manager (post-run inspection).
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.locks
+    }
+
+    fn f(&self) -> usize {
+        self.cfg.shard(self.me.shard).f()
+    }
+
+    fn shard_replicas(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.me;
+        let n = self.cfg.shard(me.shard).n as u32;
+        (0..n)
+            .filter(move |i| *i != me.index)
+            .map(move |i| NodeId::Replica(ReplicaId::new(me.shard, i)))
+    }
+
+    fn primary_of(&self, shard: ShardId) -> NodeId {
+        // Cross-shard senders do not track remote views; they address the
+        // view-0 primary and rely on relays (a well-known simplification:
+        // any replica relays client requests to its current primary).
+        NodeId::Replica(ReplicaId::new(shard, 0))
+    }
+
+    /// Counterpart of this replica in `shard` under the linear
+    /// communication primitive: the replica with the same index, folded
+    /// modulo the target shard's size when shards are unequal (§4.3.6).
+    fn counterpart(&self, shard: ShardId) -> NodeId {
+        let n = self.cfg.shard(shard).n as u32;
+        NodeId::Replica(ReplicaId::new(shard, self.me.index % n))
+    }
+
+    fn alloc_token(&mut self, digest: Digest) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.token_digest.insert(t, digest);
+        t
+    }
+
+    /// Lock sets this shard needs for `batch`: `(reads, writes)`.
+    /// Declared write accesses take exclusive locks; owned remote-read
+    /// keys take shared locks (their values must stay stable while the
+    /// cst is in flight, but concurrent readers do not conflict).
+    fn lock_keys(&self, batch: &Batch) -> (Vec<Key>, Vec<Key>) {
+        let mut writes = Vec::new();
+        let mut reads = Vec::new();
+        for t in &batch.txns {
+            for op in t.ops.iter().filter(|o| o.shard == self.me.shard) {
+                if op.kind.writes() {
+                    writes.push(op.key);
+                } else {
+                    reads.push(op.key);
+                }
+            }
+            for rr in &t.remote_reads {
+                if rr.owner == self.me.shard {
+                    reads.push(rr.key);
+                }
+            }
+        }
+        writes.sort_unstable();
+        writes.dedup();
+        reads.sort_unstable();
+        reads.dedup();
+        (reads, writes)
+    }
+
+    // ------------------------------------------------------------------
+    // Entry points (called by the simulator adapter)
+    // ------------------------------------------------------------------
+
+    /// Handles a delivered message.
+    pub fn on_message(
+        &mut self,
+        now: Instant,
+        from: NodeId,
+        msg: RingMsg,
+        out: &mut Outbox<RingMsg>,
+    ) {
+        match msg {
+            RingMsg::Request { txn, relayed } => self.on_request(txn, relayed, out),
+            RingMsg::Pbft(m) => {
+                let NodeId::Replica(r) = from else { return };
+                if r.shard != self.me.shard {
+                    return; // PBFT is intra-shard only
+                }
+                self.drive_pbft(now, |pbft, pout, events| {
+                    pbft.on_message(now, r, m, pout, events);
+                }, out);
+            }
+            RingMsg::Forward(fwd) => {
+                let NodeId::Replica(r) = from else { return };
+                self.on_forward(r, fwd, true, out);
+            }
+            RingMsg::ForwardShare(fwd) => {
+                let NodeId::Replica(r) = from else { return };
+                if r.shard != self.me.shard {
+                    return;
+                }
+                self.on_forward(r, fwd, false, out);
+            }
+            RingMsg::Execute(ex) => {
+                let NodeId::Replica(r) = from else { return };
+                self.on_execute(r, ex, true, out);
+            }
+            RingMsg::ExecuteShare(ex) => {
+                let NodeId::Replica(r) = from else { return };
+                if r.shard != self.me.shard {
+                    return;
+                }
+                self.on_execute(r, ex, false, out);
+            }
+            RingMsg::RemoteView { digest, from_shard } => {
+                let NodeId::Replica(r) = from else { return };
+                // Locally share the complaint (Fig 6 lines 3–4).
+                let share = RingMsg::RemoteViewShare {
+                    digest,
+                    from_shard,
+                    origin: r.index,
+                };
+                out.multicast(self.shard_replicas(), &share);
+                self.on_remote_view(now, digest, r.index, out);
+            }
+            RingMsg::RemoteViewShare { digest, origin, .. } => {
+                self.on_remote_view(now, digest, origin, out);
+            }
+            RingMsg::Reply { .. } => {} // replicas ignore client replies
+        }
+    }
+
+    /// Handles a timer expiry.
+    pub fn on_timer(&mut self, now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<RingMsg>) {
+        match kind {
+            TimerKind::Local => {
+                // Grace period: a freshly installed view gets one full
+                // timeout to make progress before watchdogs escalate —
+                // otherwise bursts of stuck-request watchdogs force
+                // view-change churn faster than any primary can recover.
+                let grace = self.last_view_entry > Instant::ZERO
+                    && now.since(self.last_view_entry) < self.pbft.request_timeout();
+                if let Some(txn) = self.token_txn.get(&token).copied() {
+                    // A1: the primary never ordered a relayed request.
+                    if self.committed_txns.contains(&txn) {
+                        self.token_txn.remove(&token);
+                        self.txn_watchdogs.remove(&txn);
+                    } else if grace || self.pbft.in_view_change() {
+                        out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
+                    } else {
+                        // Keep watching: the re-relay on view entry (below)
+                        // hands the request to the next primary.
+                        out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
+                        self.drive_pbft(now, |pbft, pout, events| {
+                            pbft.force_view_change(pout, events);
+                        }, out);
+                    }
+                    return;
+                }
+                if let Some(digest) = self.token_digest.get(&token).copied() {
+                    // A forwarded cst the primary failed to propose.
+                    let stalled = self
+                        .csts
+                        .get(&digest)
+                        .map(|c| !c.committed_local)
+                        .unwrap_or(false);
+                    if stalled && (grace || self.pbft.in_view_change()) {
+                        out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
+                    } else if stalled {
+                        self.drive_pbft(now, |pbft, pout, events| {
+                            pbft.force_view_change(pout, events);
+                        }, out);
+                    }
+                    return;
+                }
+                // PBFT-owned token (per-seq watchdog or view-change timer).
+                self.drive_pbft(now, |pbft, pout, events| {
+                    pbft.on_timer(kind, token, pout, events);
+                }, out);
+            }
+            TimerKind::Transmit => self.on_transmit_timer(token, out),
+            TimerKind::Remote => self.on_remote_timer(token, out),
+            TimerKind::Client => {
+                if token == POOL_FLUSH_TOKEN {
+                    self.pool_timer_armed = false;
+                    self.flush_pools(true, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client requests and batching
+    // ------------------------------------------------------------------
+
+    fn on_request(&mut self, txn: Arc<Transaction>, relayed: bool, out: &mut Outbox<RingMsg>) {
+        if self.committed_txns.contains(&txn.id) || self.done_txn(&txn) {
+            return; // duplicate of an ordered request
+        }
+        let involved = txn.involved_shards();
+        let first = self.ring.first(&involved);
+        if first != self.me.shard {
+            // Fig 5 line 9: route to the first shard in ring order.
+            if !relayed {
+                out.send(
+                    self.primary_of(first),
+                    RingMsg::Request { txn, relayed: true },
+                );
+            }
+            return;
+        }
+        if self.pbft.is_primary() {
+            if !self.pooled.insert(txn.id) {
+                return; // already pooled (duplicate relay)
+            }
+            self.pools
+                .entry(involved)
+                .or_default()
+                .push((*txn).clone());
+            self.flush_pools(false, out);
+            if !self.pool_timer_armed && self.pools.values().any(|p| !p.is_empty()) {
+                self.pool_timer_armed = true;
+                out.set_timer(
+                    TimerKind::Client,
+                    POOL_FLUSH_TOKEN,
+                    self.cfg.timers.local / 4,
+                );
+            }
+        } else {
+            // A1: relay to the primary and watch it.
+            let primary = ReplicaId::new(self.me.shard, self.pbft.primary_index());
+            out.send(
+                NodeId::Replica(primary),
+                RingMsg::Request {
+                    txn: Arc::clone(&txn),
+                    relayed: true,
+                },
+            );
+            if !self.txn_watchdogs.contains_key(&txn.id) {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.txn_watchdogs.insert(txn.id, token);
+                self.token_txn.insert(token, txn.id);
+                self.watched_txns.insert(txn.id, txn);
+                out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
+            }
+        }
+    }
+
+    fn done_txn(&self, txn: &Transaction) -> bool {
+        // Cheap duplicate filter; full replay protection would store
+        // per-client reply caches (Castro & Liskov §4.1).
+        let _ = txn;
+        false
+    }
+
+    /// Builds batches from pools. `force` flushes partial pools (timer).
+    fn flush_pools(&mut self, force: bool, out: &mut Outbox<RingMsg>) {
+        if !self.pbft.is_primary() {
+            return;
+        }
+        let batch_size = self.cfg.batch_size;
+        let keys: Vec<Vec<ShardId>> = self
+            .pools
+            .iter()
+            .filter(|(_, p)| p.len() >= batch_size || (force && !p.is_empty()))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in keys {
+            loop {
+                let pool = self.pools.get_mut(&key).expect("pool exists");
+                if pool.is_empty() || (pool.len() < batch_size && !force) {
+                    break;
+                }
+                let take = pool.len().min(batch_size);
+                let txns: Vec<Transaction> = pool.drain(..take).collect();
+                let id = BatchId(self.next_batch_id);
+                self.next_batch_id += 1;
+                let batch = Arc::new(Batch::new(id, txns));
+                self.propose_batch(batch, out);
+                if force {
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn propose_batch(&mut self, batch: Arc<Batch>, out: &mut Outbox<RingMsg>) {
+        let digest = ringbft_pbft::batch_digest(&batch);
+        let involved = batch.involved_shards();
+        if involved.len() > 1 {
+            let token = self.alloc_token(digest);
+            self.csts.entry(digest).or_insert_with(|| CstState {
+                batch: Arc::clone(&batch),
+                involved,
+                local_seq: None,
+                committed_local: false,
+                locked: false,
+                executed: false,
+                replied: false,
+                forward_origins: HashSet::new(),
+                forward_processed: false,
+                forward_payload: None,
+                execute_origins: HashSet::new(),
+                execute_processed: false,
+                deps: Vec::new(),
+                sigma: Vec::new(),
+                token,
+                retransmits: 0,
+                proposed_here: true,
+            });
+        }
+        let now = Instant::ZERO; // PBFT core does not use wall time
+        self.drive_pbft(now, |pbft, pout, events| {
+            pbft.propose(batch, pout, events);
+        }, out);
+    }
+
+    // ------------------------------------------------------------------
+    // PBFT plumbing
+    // ------------------------------------------------------------------
+
+    /// Runs a closure against the PBFT core, translating its actions into
+    /// `RingMsg`s and processing its events.
+    fn drive_pbft<F>(&mut self, now: Instant, f: F, out: &mut Outbox<RingMsg>)
+    where
+        F: FnOnce(&mut PbftCore, &mut Outbox<PbftMsg>, &mut Vec<PbftEvent>),
+    {
+        let mut pout = Outbox::new();
+        let mut events = Vec::new();
+        f(&mut self.pbft, &mut pout, &mut events);
+        for action in pout.take() {
+            out_push(out, action);
+        }
+        for event in events {
+            self.on_pbft_event(now, event, out);
+        }
+    }
+
+    fn on_pbft_event(&mut self, now: Instant, event: PbftEvent, out: &mut Outbox<RingMsg>) {
+        match event {
+            PbftEvent::Committed {
+                seq,
+                digest,
+                batch,
+                committers,
+                ..
+            } => self.on_local_commit(seq, digest, batch, committers, out),
+            PbftEvent::EnteredView { view } => {
+                self.last_view_entry = now;
+                out.view_changed(view.0);
+                self.on_entered_view(out);
+            }
+            PbftEvent::StableCheckpoint { .. } => {}
+        }
+    }
+
+    fn on_local_commit(
+        &mut self,
+        seq: SeqNum,
+        digest: Digest,
+        batch: Arc<Batch>,
+        committers: Vec<u32>,
+        out: &mut Outbox<RingMsg>,
+    ) {
+        // Cancel A1 watchdogs for the ordered transactions.
+        for t in &batch.txns {
+            self.committed_txns.insert(t.id);
+            self.pooled.remove(&t.id);
+            self.watched_txns.remove(&t.id);
+            if let Some(token) = self.txn_watchdogs.remove(&t.id) {
+                self.token_txn.remove(&token);
+                out.cancel_timer(TimerKind::Local, token);
+            }
+        }
+        let involved = batch.involved_shards();
+        if involved.len() <= 1 {
+            self.work.insert(seq.0, Work::Single(Arc::clone(&batch)));
+        } else if self.done.contains(&digest)
+            || self.csts.get(&digest).is_some_and(|c| c.committed_local)
+        {
+            // Already committed at another sequence number (view-change
+            // double proposal): this slot only advances the lock order.
+            self.work.insert(seq.0, Work::Duplicate);
+        } else {
+            let token = match self.csts.get(&digest) {
+                Some(c) => c.token,
+                None => self.alloc_token(digest),
+            };
+            let state = self.csts.entry(digest).or_insert_with(|| CstState {
+                batch: Arc::clone(&batch),
+                involved: involved.clone(),
+                local_seq: None,
+                committed_local: false,
+                locked: false,
+                executed: false,
+                replied: false,
+                forward_origins: HashSet::new(),
+                forward_processed: false,
+                forward_payload: None,
+                execute_origins: HashSet::new(),
+                execute_processed: false,
+                deps: Vec::new(),
+                sigma: Vec::new(),
+                token,
+                retransmits: 0,
+                proposed_here: true,
+            });
+            state.local_seq = Some(seq.0);
+            state.committed_local = true;
+            let _ = committers; // certificate modeled by index set size
+            // Cancel the forwarded-request watchdog (primary proposed it).
+            out.cancel_timer(TimerKind::Local, state.token);
+            self.work.insert(seq.0, Work::Cst(digest));
+        }
+        let (reads, writes) = self.lock_keys(&batch);
+        let admitted = self.locks.commit_rw(seq.0, reads, writes);
+        for s in admitted.acquired {
+            self.on_admitted(s, out);
+        }
+    }
+
+    /// A sequence number acquired its locks: act on the work it carries.
+    fn on_admitted(&mut self, seq: u64, out: &mut Outbox<RingMsg>) {
+        let Some(work) = self.work.get(&seq).cloned() else {
+            return;
+        };
+        match work {
+            Work::Single(batch) => {
+                let digest = ringbft_pbft::batch_digest(&batch);
+                self.execute_single_shard(seq, digest, &batch, out);
+            }
+            Work::Duplicate => {
+                self.work.remove(&seq);
+                let admitted = self.locks.release(seq);
+                for s in admitted.acquired {
+                    self.on_admitted(s, out);
+                }
+            }
+            Work::Cst(digest) => {
+                // Defensive: a cst whose fragment already executed (late
+                // duplicate) must not hold fresh locks.
+                if self.csts.get(&digest).is_none_or(|s| s.executed) {
+                    self.work.remove(&seq);
+                    let admitted = self.locks.release(seq);
+                    for s in admitted.acquired {
+                        self.on_admitted(s, out);
+                    }
+                    return;
+                }
+                let simple = self
+                    .csts
+                    .get_mut(&digest)
+                    .map(|state| {
+                        state.locked = true;
+                        state.batch.remote_read_count() == 0
+                    })
+                    .unwrap_or(false);
+                if simple {
+                    // §4.2.1 / §4.3.7: a *simple* cst needs a single
+                    // rotation — every shard can execute its fragment
+                    // independently right after locking, releasing its
+                    // locks immediately. Only the fate notification
+                    // (the Forward) keeps travelling the ring.
+                    self.execute_simple_fragment(digest, out);
+                }
+                self.send_forward(digest, out);
+            }
+        }
+    }
+
+    /// Executes a simple cst's local fragment immediately after locking
+    /// (one-rotation path): no dependencies exist, so the fragment result
+    /// cannot be affected by other shards, and holding locks through the
+    /// ring rotation would only cause needless π-list stalls.
+    fn execute_simple_fragment(&mut self, digest: Digest, out: &mut Outbox<RingMsg>) {
+        let me_shard = self.me.shard;
+        let Some(state) = self.csts.get_mut(&digest) else {
+            return;
+        };
+        if state.executed || !state.locked {
+            return;
+        }
+        state.executed = true;
+        state.locked = false;
+        let batch = Arc::clone(&state.batch);
+        let involved = state.involved.clone();
+        let seq = state.local_seq.expect("locked implies committed locally");
+        for txn in &batch.txns {
+            self.kv.execute_fragment(txn, me_shard, &[]);
+            self.stats.executed_txns += 1;
+        }
+        self.stats.executed_batches += 1;
+        self.ledger.append(BlockBody {
+            seq: SeqNum(seq),
+            merkle_root: digest,
+            proposer: ReplicaId::new(me_shard, self.pbft.primary_index()),
+            txn_count: batch.len() as u32,
+            involved,
+        });
+        out.executed(seq, batch.len() as u32);
+        self.work.remove(&seq);
+        let admitted = self.locks.release(seq);
+        for s in admitted.acquired {
+            self.on_admitted(s, out);
+        }
+    }
+
+    fn execute_single_shard(
+        &mut self,
+        seq: u64,
+        digest: Digest,
+        batch: &Arc<Batch>,
+        out: &mut Outbox<RingMsg>,
+    ) {
+        for txn in &batch.txns {
+            self.kv.execute_fragment(txn, self.me.shard, &[]);
+            self.stats.executed_txns += 1;
+        }
+        self.stats.executed_batches += 1;
+        self.ledger.append(BlockBody {
+            seq: SeqNum(seq),
+            merkle_root: digest,
+            proposer: ReplicaId::new(self.me.shard, self.pbft.primary_index()),
+            txn_count: batch.len() as u32,
+            involved: vec![self.me.shard],
+        });
+        out.executed(seq, batch.len() as u32);
+        self.reply_clients(digest, batch, out);
+        self.work.remove(&seq);
+        let admitted = self.locks.release(seq);
+        for s in admitted.acquired {
+            self.on_admitted(s, out);
+        }
+    }
+
+    fn reply_clients(&mut self, digest: Digest, batch: &Batch, out: &mut Outbox<RingMsg>) {
+        let mut by_client: BTreeMap<ringbft_types::ClientId, Vec<TxnId>> = BTreeMap::new();
+        for t in &batch.txns {
+            by_client.entry(t.client).or_default().push(t.id);
+        }
+        for (client, txn_ids) in by_client {
+            out.send(
+                NodeId::Client(client),
+                RingMsg::Reply {
+                    client,
+                    digest,
+                    txn_ids,
+                },
+            );
+            self.stats.replies_sent += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rotation one: Forward
+    // ------------------------------------------------------------------
+
+    /// Sends (or re-sends) the Forward for `digest` to the next involved
+    /// shard's counterpart replica.
+    fn send_forward(&mut self, digest: Digest, out: &mut Outbox<RingMsg>) {
+        let me_shard = self.me.shard;
+        let Some(state) = self.csts.get(&digest) else {
+            return;
+        };
+        // Forward once this shard's part of rotation one is done: locks
+        // held (complex cst) or fragment already executed (simple cst).
+        if !state.locked && !state.executed {
+            return;
+        }
+        let next = self.ring.next(&state.involved, me_shard);
+        // Accumulate this shard's remote-read contributions (§8.8).
+        let mut deps = state.deps.clone();
+        for t in &state.batch.txns {
+            for rr in &t.remote_reads {
+                if rr.owner == me_shard {
+                    let v = self.kv.get(rr.key).map(|r| r.value).unwrap_or_default();
+                    deps.push((rr.key, v));
+                }
+            }
+        }
+        let nf = self.cfg.shard(me_shard).nf();
+        let fwd = ForwardMsg {
+            batch: Arc::clone(&state.batch),
+            digest,
+            from_shard: me_shard,
+            cert_signers: (0..nf as u32).collect(),
+            deps,
+        };
+        let token = state.token;
+        if self.cfg.ablation_quadratic_forward {
+            // Ablation: all-to-all cross-shard fan-out (what SharPer-style
+            // protocols pay and RingBFT's primitive avoids).
+            let msg = RingMsg::Forward(fwd);
+            let dsts: Vec<NodeId> = self.cfg.shard(next).replicas().map(NodeId::Replica).collect();
+            out.multicast(dsts, &msg);
+            self.stats.forwards_sent += self.cfg.shard(next).n as u64;
+        } else {
+            out.send(self.counterpart(next), RingMsg::Forward(fwd));
+            self.stats.forwards_sent += 1;
+        }
+        out.set_timer(TimerKind::Transmit, token, self.cfg.timers.transmit);
+    }
+
+    fn on_forward(
+        &mut self,
+        from: ReplicaId,
+        fwd: ForwardMsg,
+        direct: bool,
+        out: &mut Outbox<RingMsg>,
+    ) {
+        let digest = fwd.digest;
+        if self.done.contains(&digest) {
+            return;
+        }
+        let involved = fwd.batch.involved_shards();
+        if !involved.contains(&self.me.shard) {
+            return; // Involvement (Def 4.1): only involved shards act
+        }
+        // Validate the modeled commit certificate: nf signers required.
+        let prev = self.ring.prev(&involved, self.me.shard);
+        if fwd.from_shard != prev || fwd.cert_signers.len() < self.cfg.shard(prev).nf() {
+            return;
+        }
+        if direct {
+            // Linear primitive: sender must be our counterpart.
+            if from.shard != prev {
+                return;
+            }
+            // Local sharing (Fig 5 lines 29–30).
+            out.multicast(self.shard_replicas(), &RingMsg::ForwardShare(fwd.clone()));
+        }
+        let token = match self.csts.get(&digest) {
+            Some(c) => c.token,
+            None => self.alloc_token(digest),
+        };
+        let state = self.csts.entry(digest).or_insert_with(|| CstState {
+            batch: Arc::clone(&fwd.batch),
+            involved,
+            local_seq: None,
+            committed_local: false,
+            locked: false,
+            executed: false,
+            replied: false,
+            forward_origins: HashSet::new(),
+            forward_processed: false,
+            forward_payload: None,
+            execute_origins: HashSet::new(),
+            execute_processed: false,
+            deps: Vec::new(),
+            sigma: Vec::new(),
+            token,
+            retransmits: 0,
+            proposed_here: false,
+        });
+        state.forward_origins.insert(from.index);
+        if state.forward_payload.is_none() {
+            state.forward_payload = Some(fwd.clone());
+        }
+        if state.forward_processed {
+            return;
+        }
+        // Arm the remote timer on first evidence (§5.1.2).
+        if state.forward_origins.len() == 1 {
+            out.set_timer(TimerKind::Remote, state.token, self.cfg.timers.remote);
+        }
+        let threshold = self.cfg.shard(fwd.from_shard).f() + 1;
+        if state.forward_origins.len() < threshold {
+            return;
+        }
+        state.forward_processed = true;
+        // Merge the freshest dependency reads.
+        if fwd.deps.len() > state.deps.len() {
+            state.deps = fwd.deps.clone();
+        }
+        let (locked, executed, replied, proposed_here, tok, batch) = (
+            state.locked,
+            state.executed,
+            state.replied,
+            state.proposed_here,
+            state.token,
+            Arc::clone(&state.batch),
+        );
+        out.cancel_timer(TimerKind::Remote, tok);
+        if locked {
+            // Second rotation begins at the initiator (Fig 5 line 32) —
+            // only complex csts still hold locks here.
+            self.execute_cst(digest, out);
+        } else if executed {
+            // Simple cst: the wrap-around Forward tells the initiator
+            // that every involved shard ordered (and hence executed) the
+            // transaction — one rotation completes it (§4.2.1).
+            let involved = fwd.batch.involved_shards();
+            if self.ring.first(&involved) == self.me.shard && !replied {
+                if let Some(s) = self.csts.get_mut(&digest) {
+                    s.replied = true;
+                }
+                self.finish_cst(digest, tok);
+                self.reply_clients(digest, &batch, out);
+                out.cancel_timer(TimerKind::Transmit, tok);
+            }
+        } else if !proposed_here {
+            if self.pbft.is_primary() {
+                // Fig 5 lines 38–39: primary initiates local consensus.
+                if let Some(s) = self.csts.get_mut(&digest) {
+                    s.proposed_here = true;
+                }
+                let now = Instant::ZERO;
+                self.drive_pbft(now, |pbft, pout, events| {
+                    pbft.propose(batch, pout, events);
+                }, out);
+            } else {
+                // Watch the primary: it must propose this cst.
+                out.set_timer(TimerKind::Local, tok, self.pbft.request_timeout());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rotation two: Execute
+    // ------------------------------------------------------------------
+
+    /// Executes this shard's fragment of `digest` and passes the Execute
+    /// message down the ring (Fig 5 lines 33–37).
+    fn execute_cst(&mut self, digest: Digest, out: &mut Outbox<RingMsg>) {
+        let me_shard = self.me.shard;
+        let Some(state) = self.csts.get_mut(&digest) else {
+            return;
+        };
+        if state.executed || !state.locked {
+            return;
+        }
+        state.executed = true;
+        let batch = Arc::clone(&state.batch);
+        let seq = state.local_seq.expect("locked implies committed locally");
+        // Resolve remote reads from deps ∪ sigma.
+        let mut resolved: HashMap<Key, Value> = HashMap::new();
+        for (k, v) in state.deps.iter().chain(state.sigma.iter()) {
+            resolved.insert(*k, *v);
+        }
+        let mut sigma = state.sigma.clone();
+        if sigma.is_empty() {
+            sigma = state.deps.clone();
+        }
+        for txn in &batch.txns {
+            let remote: Vec<(Key, Value)> = txn
+                .remote_reads
+                .iter()
+                .filter(|rr| rr.reader == me_shard)
+                .map(|rr| (rr.key, resolved.get(&rr.key).copied().unwrap_or_default()))
+                .collect();
+            let result = self.kv.execute_fragment(txn, me_shard, &remote);
+            sigma.extend(result.writes);
+            self.stats.executed_txns += 1;
+        }
+        self.stats.executed_batches += 1;
+        let state = self.csts.get_mut(&digest).expect("state exists");
+        state.sigma = sigma.clone();
+        let involved = state.involved.clone();
+        let token = state.token;
+        self.ledger.append(BlockBody {
+            seq: SeqNum(seq),
+            merkle_root: digest,
+            proposer: ReplicaId::new(me_shard, self.pbft.primary_index()),
+            txn_count: batch.len() as u32,
+            involved: involved.clone(),
+        });
+        out.executed(seq, batch.len() as u32);
+        // Release locks (Fig 5 line 35) and admit successors.
+        self.work.remove(&seq);
+        let admitted = self.locks.release(seq);
+        for s in admitted.acquired {
+            self.on_admitted(s, out);
+        }
+        // Forward the Execute to the next shard (line 36–37).
+        let next = self.ring.next(&involved, me_shard);
+        let ex = ExecuteMsg {
+            digest,
+            from_shard: me_shard,
+            sigma,
+        };
+        if self.cfg.ablation_quadratic_forward {
+            let msg = RingMsg::Execute(ex);
+            let dsts: Vec<NodeId> = self.cfg.shard(next).replicas().map(NodeId::Replica).collect();
+            out.multicast(dsts, &msg);
+            self.stats.executes_sent += self.cfg.shard(next).n as u64;
+        } else {
+            out.send(self.counterpart(next), RingMsg::Execute(ex));
+            self.stats.executes_sent += 1;
+        }
+        out.cancel_timer(TimerKind::Transmit, token);
+        out.set_timer(TimerKind::Transmit, token, self.cfg.timers.transmit);
+    }
+
+    fn on_execute(
+        &mut self,
+        from: ReplicaId,
+        ex: ExecuteMsg,
+        direct: bool,
+        out: &mut Outbox<RingMsg>,
+    ) {
+        let digest = ex.digest;
+        if self.done.contains(&digest) {
+            return;
+        }
+        let Some(prev) = self
+            .csts
+            .get(&digest)
+            .map(|s| self.ring.prev(&s.involved, self.me.shard))
+        else {
+            return; // never saw rotation one — cannot act yet
+        };
+        if ex.from_shard != prev {
+            return;
+        }
+        if direct {
+            if from.shard != prev {
+                return;
+            }
+            out.multicast(self.shard_replicas(), &RingMsg::ExecuteShare(ex.clone()));
+        }
+        let threshold = self.cfg.shard(prev).f() + 1;
+        let state = self.csts.get_mut(&digest).expect("checked above");
+        state.execute_origins.insert(from.index);
+        if state.execute_processed || state.execute_origins.len() < threshold {
+            return;
+        }
+        state.execute_processed = true;
+        if ex.sigma.len() > state.sigma.len() {
+            state.sigma = ex.sigma.clone();
+        }
+        let (executed, replied, token, batch, involved_first) = (
+            state.executed,
+            state.replied,
+            state.token,
+            Arc::clone(&state.batch),
+            self.ring.first(&state.involved),
+        );
+        if executed {
+            // Fig 5 lines 41–42: the Execute wrapped around the ring —
+            // every shard executed; the initiator answers the client.
+            if involved_first == self.me.shard && !replied {
+                if let Some(s) = self.csts.get_mut(&digest) {
+                    s.replied = true;
+                }
+                self.finish_cst(digest, token);
+                self.reply_clients(digest, &batch, out);
+                out.cancel_timer(TimerKind::Transmit, token);
+            }
+        } else {
+            // Fig 5 lines 43–44: execute our fragment and keep rotating.
+            self.execute_cst(digest, out);
+        }
+    }
+
+    fn finish_cst(&mut self, digest: Digest, token: u64) {
+        self.done.insert(digest);
+        self.token_digest.remove(&token);
+        if let Some(state) = self.csts.remove(&digest) {
+            // Retain nothing; late messages hit the `done` filter.
+            drop(state);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery: retransmission, remote view change, view entry
+    // ------------------------------------------------------------------
+
+    fn on_transmit_timer(&mut self, token: u64, out: &mut Outbox<RingMsg>) {
+        let Some(digest) = self.token_digest.get(&token).copied() else {
+            return;
+        };
+        let Some(state) = self.csts.get_mut(&digest) else {
+            return;
+        };
+        if state.retransmits >= MAX_RETRANSMITS {
+            return;
+        }
+        state.retransmits += 1;
+        let simple = state.batch.remote_read_count() == 0;
+        if state.executed && !simple {
+            // Re-send the Execute (rotation two stalled downstream).
+            let next = self.ring.next(&state.involved, self.me.shard);
+            let ex = ExecuteMsg {
+                digest,
+                from_shard: self.me.shard,
+                sigma: state.sigma.clone(),
+            };
+            out.send(self.counterpart(next), RingMsg::Execute(ex));
+            self.stats.executes_sent += 1;
+            out.set_timer(TimerKind::Transmit, token, self.cfg.timers.transmit);
+        } else if state.locked || state.executed {
+            // §5.1.1: re-transmit the Forward (simple csts keep forwarding
+            // their fate notification).
+            self.send_forward(digest, out);
+        }
+    }
+
+    fn on_remote_timer(&mut self, token: u64, out: &mut Outbox<RingMsg>) {
+        let Some(digest) = self.token_digest.get(&token).copied() else {
+            return;
+        };
+        let Some(state) = self.csts.get(&digest) else {
+            return;
+        };
+        if state.forward_processed {
+            return; // enough Forwards arrived after all
+        }
+        // Fig 6 lines 1–2: complain to our counterpart in the previous
+        // shard.
+        let prev = self.ring.prev(&state.involved, self.me.shard);
+        out.send(
+            self.counterpart(prev),
+            RingMsg::RemoteView {
+                digest,
+                from_shard: self.me.shard,
+            },
+        );
+        self.stats.remote_views_sent += 1;
+    }
+
+    fn on_remote_view(&mut self, now: Instant, digest: Digest, origin: u32, out: &mut Outbox<RingMsg>) {
+        let f = self.f();
+        let votes = self.remote_complaints.entry(digest).or_default();
+        votes.insert(origin);
+        if votes.len() <= f {
+            return;
+        }
+        self.remote_complaints.remove(&digest);
+        let committed = self
+            .csts
+            .get(&digest)
+            .map(|c| c.committed_local && (c.locked || c.executed))
+            .unwrap_or(false)
+            || self.done.contains(&digest);
+        if committed {
+            // We replicated the cst — the next shard's starvation was a
+            // network loss, not a suppressing primary. Re-transmit
+            // (§5.1.1) instead of tearing the primary down.
+            if let Some(state) = self.csts.get_mut(&digest) {
+                state.retransmits = state.retransmits.saturating_sub(1);
+            }
+            self.send_forward(digest, out);
+            return;
+        }
+        // Grace: a freshly installed view re-proposes every starving cst
+        // itself (`on_entered_view`); complaints arriving during that
+        // window must not tear it straight down again.
+        let grace = (self.last_view_entry > Instant::ZERO
+            && now.since(self.last_view_entry) < self.pbft.request_timeout())
+            || self.pbft.in_view_change();
+        if !grace && self.remote_vc_done.insert(digest) {
+            // Fig 6 lines 5–6: f+1 complaints about a transaction this
+            // shard failed to replicate force a local view change.
+            self.drive_pbft(now, |pbft, pout, events| {
+                pbft.force_view_change(pout, events);
+            }, out);
+        }
+    }
+
+
+    fn on_entered_view(&mut self, out: &mut Outbox<RingMsg>) {
+        if !self.pbft.is_primary() {
+            // Hand every watched (stuck) request to the new primary — the
+            // old primary's pool died with it (PBFT view changes carry
+            // pending requests forward; here the backups re-relay).
+            let primary = NodeId::Replica(ReplicaId::new(
+                self.me.shard,
+                self.pbft.primary_index(),
+            ));
+            for txn in self.watched_txns.values() {
+                out.send(
+                    primary,
+                    RingMsg::Request {
+                        txn: Arc::clone(txn),
+                        relayed: true,
+                    },
+                );
+            }
+            return;
+        }
+        // The new primary re-proposes forwarded csts that never reached
+        // local consensus, and re-sends Forwards for stalled locked csts
+        // (recovers from a Byzantine predecessor primary that kept the
+        // shard in the dark, §5.1.2 discussion).
+        let stalled_proposals: Vec<Arc<Batch>> = self
+            .csts
+            .values_mut()
+            .filter(|c| c.forward_processed && !c.committed_local && !c.proposed_here)
+            .map(|c| {
+                c.proposed_here = true;
+                Arc::clone(&c.batch)
+            })
+            .collect();
+        for batch in stalled_proposals {
+            let now = Instant::ZERO;
+            self.drive_pbft(now, |pbft, pout, events| {
+                pbft.propose(batch, pout, events);
+            }, out);
+        }
+        let resend: Vec<Digest> = self
+            .csts
+            .iter()
+            .filter(|(_, c)| c.locked || c.executed)
+            .map(|(d, _)| *d)
+            .collect();
+        for d in resend {
+            self.send_forward(d, out);
+        }
+    }
+}
+
+/// Maps a PBFT action into the RingBFT message space.
+fn out_push(out: &mut Outbox<RingMsg>, action: Action<PbftMsg>) {
+    match action.map_msg(RingMsg::Pbft) {
+        Action::Send { to, msg } => out.send(to, msg),
+        Action::SetTimer { kind, token, after } => out.set_timer(kind, token, after),
+        Action::CancelTimer { kind, token } => out.cancel_timer(kind, token),
+        Action::Executed { seq, txns } => out.executed(seq, txns),
+        Action::ViewChanged { view } => out.view_changed(view),
+    }
+}

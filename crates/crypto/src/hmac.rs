@@ -1,0 +1,127 @@
+//! HMAC-SHA256 (RFC 2104), built on our own SHA-256.
+//!
+//! HMACs back both authentication schemes in this reproduction: the
+//! pairwise MACs used for intra-shard messages and the deterministic
+//! signature scheme used for cross-shard messages (see [`crate::auth`]).
+
+use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, msg)`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    hmac_sha256_parts(key, &[msg])
+}
+
+/// Computes `HMAC-SHA256(key, msg₀ ‖ msg₁ ‖ …)` without concatenating.
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> Digest {
+    // Keys longer than the block size are hashed first.
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let kh = {
+            let mut h = Sha256::new();
+            h.update(key);
+            h.finalize()
+        };
+        k[..DIGEST_LEN].copy_from_slice(&kh);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time equality for digests. The simulator is not subject to real
+/// timing attacks, but verification code should still model the correct
+/// comparison discipline.
+pub fn digest_eq(a: &Digest, b: &Digest) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &data);
+        assert_eq!(
+            to_hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6: key larger than block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn parts_equal_concat() {
+        let key = b"secret";
+        let whole = hmac_sha256(key, b"hello world");
+        let split = hmac_sha256_parts(key, &[b"hello", b" ", b"world"]);
+        assert!(digest_eq(&whole, &split));
+    }
+
+    #[test]
+    fn digest_eq_detects_difference() {
+        let a = hmac_sha256(b"k", b"m");
+        let mut b = a;
+        assert!(digest_eq(&a, &b));
+        b[31] ^= 1;
+        assert!(!digest_eq(&a, &b));
+    }
+}

@@ -1,0 +1,127 @@
+//! Block structure: `𝔅ₖ = {k, Δ, p, H(𝔅ₖ₋₁)}` (§7, eq. 3).
+
+use ringbft_crypto::{sha256_concat, Digest};
+use ringbft_types::{ReplicaId, SeqNum, ShardId};
+
+/// The consensus-determined content of a block (everything except the
+/// chain linkage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockBody {
+    /// Shard-local sequence number `k` the batch committed at.
+    pub seq: SeqNum,
+    /// Merkle root `Δ` of the batch's transactions.
+    pub merkle_root: Digest,
+    /// The primary that proposed the batch.
+    pub proposer: ReplicaId,
+    /// Number of transactions in the batch.
+    pub txn_count: u32,
+    /// Involved shards; a cross-shard block is appended to every involved
+    /// shard's ledger (§7).
+    pub involved: Vec<ShardId>,
+}
+
+/// A chained block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Content.
+    pub body: BlockBody,
+    /// Hash of the previous block, `H(𝔅ₖ₋₁)`.
+    pub prev_hash: Digest,
+}
+
+impl Block {
+    /// Chains `body` onto a predecessor with hash `prev_hash`.
+    pub fn new(body: BlockBody, prev_hash: Digest) -> Self {
+        Block { body, prev_hash }
+    }
+
+    /// The genesis block of a shard: an agreed-upon dummy block (§7).
+    pub fn genesis(shard: ShardId) -> Self {
+        Block {
+            body: BlockBody {
+                seq: SeqNum(0),
+                merkle_root: sha256_concat(&[b"ringbft-genesis", &shard.0.to_le_bytes()]),
+                proposer: ReplicaId::new(shard, 0),
+                txn_count: 0,
+                involved: vec![shard],
+            },
+            prev_hash: [0u8; 32],
+        }
+    }
+
+    /// Hash of this block, committing to body and linkage.
+    pub fn hash(&self) -> Digest {
+        let mut involved_bytes = Vec::with_capacity(self.body.involved.len() * 4);
+        for s in &self.body.involved {
+            involved_bytes.extend_from_slice(&s.0.to_le_bytes());
+        }
+        sha256_concat(&[
+            b"ringbft-block",
+            &self.body.seq.0.to_le_bytes(),
+            &self.body.merkle_root,
+            &self.body.proposer.shard.0.to_le_bytes(),
+            &self.body.proposer.index.to_le_bytes(),
+            &self.body.txn_count.to_le_bytes(),
+            &involved_bytes,
+            &self.prev_hash,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_body() -> BlockBody {
+        BlockBody {
+            seq: SeqNum(5),
+            merkle_root: [3u8; 32],
+            proposer: ReplicaId::new(ShardId(1), 2),
+            txn_count: 100,
+            involved: vec![ShardId(0), ShardId(1)],
+        }
+    }
+
+    #[test]
+    fn hash_commits_to_every_field() {
+        let base = Block::new(sample_body(), [9u8; 32]);
+        let h = base.hash();
+
+        let mut b = base.clone();
+        b.body.seq = SeqNum(6);
+        assert_ne!(b.hash(), h);
+
+        let mut b = base.clone();
+        b.body.merkle_root = [4u8; 32];
+        assert_ne!(b.hash(), h);
+
+        let mut b = base.clone();
+        b.body.proposer = ReplicaId::new(ShardId(1), 3);
+        assert_ne!(b.hash(), h);
+
+        let mut b = base.clone();
+        b.body.txn_count = 99;
+        assert_ne!(b.hash(), h);
+
+        let mut b = base.clone();
+        b.body.involved.push(ShardId(2));
+        assert_ne!(b.hash(), h);
+
+        let mut b = base.clone();
+        b.prev_hash = [8u8; 32];
+        assert_ne!(b.hash(), h);
+    }
+
+    #[test]
+    fn genesis_is_deterministic_per_shard() {
+        assert_eq!(
+            Block::genesis(ShardId(0)).hash(),
+            Block::genesis(ShardId(0)).hash()
+        );
+        assert_ne!(
+            Block::genesis(ShardId(0)).hash(),
+            Block::genesis(ShardId(1)).hash()
+        );
+        assert_eq!(Block::genesis(ShardId(0)).body.txn_count, 0);
+    }
+}

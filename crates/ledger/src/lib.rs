@@ -1,0 +1,262 @@
+//! The immutable append-only ledger of §7.
+//!
+//! Fully-replicated protocols keep one blockchain; sharded protocols keep
+//! a **partial blockchain** `𝔏ₛ` per shard, and the complete system state
+//! is the union `𝔏S₁ ∪ … ∪ 𝔏S_z`. Each block is
+//! `𝔅ₖ = {k, Δ, p_Sᵢ, H(𝔅ₖ₋₁)}` (eq. 3): the sequence number, the Merkle
+//! root of the batch, the proposing primary, and the hash of the previous
+//! block. Chains start from an agreed-upon genesis block.
+//!
+//! A block containing cross-shard transactions is appended to the ledger
+//! of *every* involved shard; the relative order of two such blocks may
+//! differ across ledgers **unless** the blocks conflict, in which case all
+//! involved shards must order them identically — checked by
+//! [`consistent_conflict_order`].
+
+use ringbft_crypto::{sha256_concat, Digest, MerkleTree};
+use ringbft_types::ShardId;
+
+pub mod block;
+
+pub use block::{Block, BlockBody};
+
+/// The partial blockchain maintained by the replicas of one shard.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    shard: ShardId,
+    blocks: Vec<Block>,
+}
+
+/// Errors raised when appending or validating blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The block's `prev_hash` does not match the current head.
+    BrokenChain {
+        /// Height at which the mismatch occurred.
+        height: usize,
+    },
+    /// A block's stored hash does not match its recomputed hash.
+    CorruptBlock {
+        /// Height of the corrupt block.
+        height: usize,
+    },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::BrokenChain { height } => {
+                write!(f, "prev-hash mismatch at height {height}")
+            }
+            LedgerError::CorruptBlock { height } => {
+                write!(f, "block hash mismatch at height {height}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl Ledger {
+    /// Creates the ledger of `shard`, containing only the genesis block
+    /// (the "agreed upon dummy block" of §7, identical across replicas).
+    pub fn new(shard: ShardId) -> Self {
+        Ledger {
+            shard,
+            blocks: vec![Block::genesis(shard)],
+        }
+    }
+
+    /// The shard this ledger belongs to.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Number of blocks including genesis.
+    pub fn height(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The ledger never has fewer blocks than genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The newest block.
+    pub fn head(&self) -> &Block {
+        self.blocks.last().expect("genesis always present")
+    }
+
+    /// Block at `height` (0 = genesis).
+    pub fn block(&self, height: usize) -> Option<&Block> {
+        self.blocks.get(height)
+    }
+
+    /// All blocks, genesis first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Appends a block built from `body`, chaining it to the current head.
+    /// Returns the appended block's hash.
+    pub fn append(&mut self, body: BlockBody) -> Digest {
+        let prev_hash = self.head().hash();
+        let block = Block::new(body, prev_hash);
+        let h = block.hash();
+        self.blocks.push(block);
+        h
+    }
+
+    /// Verifies the whole chain: every block's `prev_hash` equals the hash
+    /// of its predecessor.
+    pub fn verify(&self) -> Result<(), LedgerError> {
+        for i in 1..self.blocks.len() {
+            if self.blocks[i].prev_hash != self.blocks[i - 1].hash() {
+                return Err(LedgerError::BrokenChain { height: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Positions (heights) of the blocks whose Merkle root is `delta`.
+    pub fn find_by_root(&self, delta: &Digest) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| &b.body.merkle_root == delta)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Test-only hook: mutable block access for tamper-evidence tests.
+    #[doc(hidden)]
+    pub fn block_mut(&mut self, height: usize) -> Option<&mut Block> {
+        self.blocks.get_mut(height)
+    }
+}
+
+/// §7's cross-ledger consistency rule: "if two blocks 𝔅ₓ and 𝔅ᵧ include
+/// conflicting transactions that access intersecting sets of shards, and
+/// consensus on 𝔅ₓ happens before 𝔅ᵧ, then in each ledger 𝔅ₓ is appended
+/// before 𝔅ᵧ." Given two ledgers and two block roots, checks that both
+/// ledgers order them the same way (when both contain both).
+pub fn consistent_conflict_order(a: &Ledger, b: &Ledger, x: &Digest, y: &Digest) -> bool {
+    let order_in = |l: &Ledger| -> Option<std::cmp::Ordering> {
+        let px = *l.find_by_root(x).first()?;
+        let py = *l.find_by_root(y).first()?;
+        Some(px.cmp(&py))
+    };
+    match (order_in(a), order_in(b)) {
+        (Some(oa), Some(ob)) => oa == ob,
+        // If either ledger lacks one of the blocks, no violation is proven.
+        _ => true,
+    }
+}
+
+/// Builds the Merkle root `Δ` of a batch from its transaction payload
+/// encodings (§7: "a Merkle Root helps to optimize the size of each
+/// block").
+pub fn batch_merkle_root<'a, I: IntoIterator<Item = &'a [u8]>>(payloads: I) -> Digest {
+    MerkleTree::from_payloads(payloads).root()
+}
+
+/// Digest of arbitrary chain metadata (used by tests and the harness).
+pub fn chain_digest(parts: &[&[u8]]) -> Digest {
+    sha256_concat(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringbft_types::{ReplicaId, SeqNum};
+
+    fn body(shard: u32, seq: u64, root_seed: u8) -> BlockBody {
+        BlockBody {
+            seq: SeqNum(seq),
+            merkle_root: [root_seed; 32],
+            proposer: ReplicaId::new(ShardId(shard), 0),
+            txn_count: 100,
+            involved: vec![ShardId(shard)],
+        }
+    }
+
+    #[test]
+    fn genesis_identical_across_replicas() {
+        let a = Ledger::new(ShardId(3));
+        let b = Ledger::new(ShardId(3));
+        assert_eq!(a.head().hash(), b.head().hash());
+        // Different shards have different genesis blocks.
+        let c = Ledger::new(ShardId(4));
+        assert_ne!(a.head().hash(), c.head().hash());
+    }
+
+    #[test]
+    fn append_chains_blocks() {
+        let mut l = Ledger::new(ShardId(0));
+        let h1 = l.append(body(0, 1, 1));
+        let h2 = l.append(body(0, 2, 2));
+        assert_ne!(h1, h2);
+        assert_eq!(l.height(), 3);
+        assert_eq!(l.block(2).unwrap().prev_hash, h1);
+        l.verify().unwrap();
+    }
+
+    #[test]
+    fn tampering_breaks_verification() {
+        let mut l = Ledger::new(ShardId(0));
+        l.append(body(0, 1, 1));
+        l.append(body(0, 2, 2));
+        // Tamper with the middle block's root.
+        l.block_mut(1).unwrap().body.merkle_root = [0xff; 32];
+        assert_eq!(l.verify(), Err(LedgerError::BrokenChain { height: 2 }));
+    }
+
+    #[test]
+    fn find_by_root() {
+        let mut l = Ledger::new(ShardId(0));
+        l.append(body(0, 1, 7));
+        l.append(body(0, 2, 8));
+        l.append(body(0, 3, 7));
+        assert_eq!(l.find_by_root(&[7u8; 32]), vec![1, 3]);
+        assert_eq!(l.find_by_root(&[9u8; 32]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn conflict_order_detection() {
+        let x = [1u8; 32];
+        let y = [2u8; 32];
+        let mk = |first: &Digest, second: &Digest, shard: u32| {
+            let mut l = Ledger::new(ShardId(shard));
+            l.append(BlockBody {
+                seq: SeqNum(1),
+                merkle_root: *first,
+                proposer: ReplicaId::new(ShardId(shard), 0),
+                txn_count: 1,
+                involved: vec![ShardId(0), ShardId(1)],
+            });
+            l.append(BlockBody {
+                seq: SeqNum(2),
+                merkle_root: *second,
+                proposer: ReplicaId::new(ShardId(shard), 0),
+                txn_count: 1,
+                involved: vec![ShardId(0), ShardId(1)],
+            });
+            l
+        };
+        let a = mk(&x, &y, 0);
+        let b = mk(&x, &y, 1);
+        assert!(consistent_conflict_order(&a, &b, &x, &y));
+        let c = mk(&y, &x, 1);
+        assert!(!consistent_conflict_order(&a, &c, &x, &y));
+        // Missing blocks prove nothing.
+        let empty = Ledger::new(ShardId(2));
+        assert!(consistent_conflict_order(&a, &empty, &x, &y));
+    }
+
+    #[test]
+    fn batch_root_is_order_sensitive() {
+        let r1 = batch_merkle_root([b"t1".as_slice(), b"t2".as_slice()]);
+        let r2 = batch_merkle_root([b"t2".as_slice(), b"t1".as_slice()]);
+        assert_ne!(r1, r2);
+    }
+}

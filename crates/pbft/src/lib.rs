@@ -1,0 +1,322 @@
+//! The intra-shard PBFT engine (§4.1, Fig 5 lines 10–14, §5 recovery).
+//!
+//! RingBFT is a *meta* protocol: it "can employ any single-primary
+//! protocol within each shard". This crate provides the default engine —
+//! PBFT with the paper's `nf`-quorum phrasing — as a sans-io state
+//! machine ([`PbftCore`]) that outer protocols (RingBFT, AHL, SharPer)
+//! embed and drive. Batches commit possibly out of order; sequence-order
+//! effects are restored by the lock manager in `ringbft-store`.
+
+pub mod messages;
+pub mod replica;
+pub mod testing;
+
+pub use messages::{batch_digest, PbftMsg, PreparedProof};
+pub use replica::{PbftConfig, PbftCore, PbftEvent, VIEW_CHANGE_TOKEN};
+
+#[cfg(test)]
+mod tests {
+    use crate::messages::{batch_digest, PbftMsg};
+    use crate::replica::{PbftEvent, VIEW_CHANGE_TOKEN};
+    use crate::testing::{test_batch, TestCluster};
+    use ringbft_types::{Instant, Outbox, ReplicaId, SeqNum, ShardId, TimerKind, ViewNum};
+
+    const S: ShardId = ShardId(0);
+
+    #[test]
+    fn four_replicas_commit_a_batch() {
+        let mut c = TestCluster::new(S, 4);
+        let b = test_batch(S, 1, 10);
+        c.propose(0, b.clone());
+        c.deliver_all();
+        for i in 0..4 {
+            assert_eq!(c.committed_seqs(i), vec![1], "replica {i}");
+        }
+        // Commit events carry the digest and the certificate.
+        let (_, e) = c
+            .events
+            .iter()
+            .find(|(i, e)| *i == 1 && matches!(e, PbftEvent::Committed { .. }))
+            .unwrap();
+        if let PbftEvent::Committed {
+            digest,
+            committers,
+            batch,
+            ..
+        } = e
+        {
+            assert_eq!(*digest, batch_digest(&b));
+            assert!(committers.len() >= 3, "nf = 3 for n = 4");
+            assert_eq!(batch.len(), 10);
+        }
+    }
+
+    #[test]
+    fn sequential_proposals_commit_in_order_per_replica() {
+        let mut c = TestCluster::new(S, 4);
+        for k in 1..=5 {
+            c.propose(0, test_batch(S, k, 2));
+        }
+        c.deliver_all();
+        for i in 0..4 {
+            assert_eq!(c.committed_seqs(i), vec![1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn non_primary_cannot_propose() {
+        let mut c = TestCluster::new(S, 4);
+        c.propose(2, test_batch(S, 1, 1));
+        c.deliver_all();
+        for i in 0..4 {
+            assert!(c.committed_seqs(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn larger_shard_commits() {
+        let mut c = TestCluster::new(S, 10); // f = 3, nf = 7
+        c.propose(0, test_batch(S, 1, 1));
+        c.deliver_all();
+        for i in 0..10 {
+            assert_eq!(c.committed_seqs(i), vec![1]);
+        }
+    }
+
+    #[test]
+    fn commit_survives_f_silent_replicas() {
+        let mut c = TestCluster::new(S, 4);
+        // Replica 3 is Byzantine-silent: drop everything addressed to it.
+        c.drop_filter = Some(Box::new(|_, to, _| to.index == 3));
+        c.propose(0, test_batch(S, 1, 1));
+        c.deliver_all();
+        for i in 0..3 {
+            assert_eq!(c.committed_seqs(i), vec![1], "replica {i}");
+        }
+        assert!(c.committed_seqs(3).is_empty());
+    }
+
+    #[test]
+    fn no_commit_without_quorum() {
+        let mut c = TestCluster::new(S, 4);
+        // Two silent replicas exceed f = 1: no quorum possible.
+        c.drop_filter = Some(Box::new(|_, to, _| to.index >= 2));
+        c.propose(0, test_batch(S, 1, 1));
+        c.deliver_all();
+        for i in 0..4 {
+            assert!(c.committed_seqs(i).is_empty(), "replica {i}");
+        }
+    }
+
+    #[test]
+    fn view_change_replaces_failed_primary() {
+        let mut c = TestCluster::new(S, 4);
+        // Everyone sees the proposal, but every Commit vanishes — the
+        // request can prepare yet never commit (A2: faulty primary and/or
+        // unreliable network).
+        c.drop_filter = Some(Box::new(|_, _, m| matches!(m, PbftMsg::Commit { .. })));
+        c.propose(0, test_batch(S, 3, 1));
+        c.deliver_all();
+        for i in 0..4 {
+            assert!(c.committed_seqs(i).is_empty());
+        }
+        c.drop_filter = None;
+        // Every replica's per-request local timer expires.
+        let armed: Vec<(u32, u64)> = c
+            .timers
+            .iter()
+            .filter(|(_, k, t)| *k == TimerKind::Local && *t != VIEW_CHANGE_TOKEN)
+            .map(|(i, _, t)| (*i, *t))
+            .collect();
+        assert!(!armed.is_empty());
+        for (i, t) in armed {
+            c.fire_timer(i, TimerKind::Local, t);
+        }
+        c.deliver_all();
+        // All replicas entered view 1; new primary is replica 1; the
+        // prepared request survived the view change and committed.
+        for i in 0..4 {
+            assert_eq!(c.views_entered(i), vec![1], "replica {i}");
+            assert_eq!(c.cores[i as usize].view().0, 1);
+            assert_eq!(c.cores[i as usize].primary_index(), 1);
+            assert_eq!(c.committed_seqs(i).len(), 1, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn new_primary_continues_sequencing() {
+        let mut c = TestCluster::new(S, 4);
+        c.propose(0, test_batch(S, 1, 1));
+        c.deliver_all();
+        // Force a view change with no pending work: fire a timer on a
+        // fake uncommitted sequence.
+        for i in 0..4 {
+            c.timers.insert((i, TimerKind::Local, 99));
+            c.fire_timer(i, TimerKind::Local, 99);
+        }
+        c.deliver_all();
+        for i in 0..4 {
+            assert_eq!(c.cores[i as usize].view().0, 1);
+        }
+        // New primary (replica 1) proposes; its sequence must not collide
+        // with the committed seq 1.
+        c.propose(1, test_batch(S, 2, 1));
+        c.deliver_all();
+        for i in 0..4 {
+            let seqs = c.committed_seqs(i);
+            assert_eq!(seqs.len(), 2, "replica {i}");
+            assert!(seqs[1] > 1, "new primary reused sequence {}", seqs[1]);
+        }
+    }
+
+    #[test]
+    fn equivocating_primary_cannot_split_commits() {
+        // Prop 6.1: no two replicas commit different digests at one seq.
+        let mut c = TestCluster::new(S, 4);
+        let b1 = test_batch(S, 1, 1);
+        let b2 = test_batch(S, 2, 1);
+        let d1 = batch_digest(&b1);
+        let d2 = batch_digest(&b2);
+        // Byzantine primary: replica 3 receives a conflicting proposal at
+        // (v0, k1) *before* the honest one.
+        let mut out = Outbox::new();
+        let mut ev = Vec::new();
+        c.cores[3].on_message(
+            Instant::ZERO,
+            ReplicaId::new(S, 0),
+            PbftMsg::Preprepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d2,
+                batch: b2,
+            },
+            &mut out,
+            &mut ev,
+        );
+        // Honest proposal flows to everyone (replica 3 must reject it,
+        // having accepted a different k=1 proposal).
+        c.propose(0, b1);
+        c.deliver_all();
+        let mut digests = std::collections::HashSet::new();
+        for (_, e) in &c.events {
+            if let PbftEvent::Committed { seq, digest, .. } = e {
+                if seq.0 == 1 {
+                    digests.insert(*digest);
+                }
+            }
+        }
+        assert!(digests.len() <= 1, "equivocation split commits");
+        if let Some(d) = digests.iter().next() {
+            assert_eq!(*d, d1, "honest quorum digest wins");
+        }
+    }
+
+    #[test]
+    fn checkpoint_garbage_collects() {
+        let mut c = TestCluster::new(S, 4); // checkpoint_interval = 10
+        for k in 1..=10 {
+            c.propose(0, test_batch(S, k, 1));
+        }
+        c.deliver_all();
+        for i in 0..4 {
+            assert_eq!(c.cores[i as usize].last_stable().0, 10, "replica {i}");
+            assert!(c.events.iter().any(|(j, e)| *j == i
+                && matches!(e, PbftEvent::StableCheckpoint { seq } if seq.0 == 10)));
+        }
+        // Committed digests below the checkpoint are GC'd.
+        assert!(c.cores[0].committed_digest(SeqNum(5)).is_none());
+    }
+
+    #[test]
+    fn committed_digest_accessor() {
+        let mut c = TestCluster::new(S, 4);
+        let b = test_batch(S, 1, 1);
+        let d = batch_digest(&b);
+        c.propose(0, b);
+        c.deliver_all();
+        assert_eq!(c.cores[2].committed_digest(SeqNum(1)), Some(d));
+        assert_eq!(c.cores[2].committed_digest(SeqNum(2)), None);
+    }
+
+    #[test]
+    fn single_replica_shard_commits_immediately() {
+        let mut c = TestCluster::new(S, 1);
+        assert!(c.cores[0].single_replica());
+        c.propose(0, test_batch(S, 1, 3));
+        c.deliver_all();
+        assert_eq!(c.committed_seqs(0), vec![1]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use crate::replica::PbftEvent;
+    use crate::testing::{test_batch, TestCluster};
+    use proptest::prelude::*;
+    use ringbft_types::ShardId;
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Safety under adversarial delivery order: whatever order the
+        /// network delivers messages, no two replicas commit different
+        /// digests at the same sequence number (Prop 6.1), and whatever
+        /// commits is a proposed batch.
+        #[test]
+        fn safety_under_random_delivery(
+            seed in 1u64..u64::MAX,
+            n in prop_oneof![Just(4usize), Just(7), Just(10)],
+            batches in 1usize..6,
+        ) {
+            let mut c = TestCluster::new(ShardId(0), n);
+            for k in 1..=batches as u64 {
+                c.propose(0, test_batch(ShardId(0), k, 2));
+            }
+            c.deliver_all_shuffled(seed);
+            let mut per_seq: HashMap<u64, [u8; 32]> = HashMap::new();
+            for (_, e) in &c.events {
+                if let PbftEvent::Committed { seq, digest, .. } = e {
+                    if let Some(prev) = per_seq.insert(seq.0, *digest) {
+                        prop_assert_eq!(prev, *digest, "divergence at {}", seq);
+                    }
+                }
+            }
+            // Liveness with a fully reliable (if reordered) network: all
+            // batches commit on every replica.
+            for i in 0..n as u32 {
+                let mut seqs = c.committed_seqs(i);
+                seqs.sort_unstable();
+                prop_assert_eq!(seqs.len(), batches, "replica {} incomplete", i);
+            }
+        }
+
+        /// Safety with f crashed replicas *and* adversarial ordering.
+        #[test]
+        fn safety_with_f_silent_replicas(
+            seed in 1u64..u64::MAX,
+            batches in 1usize..5,
+        ) {
+            let n = 7usize; // f = 2
+            let mut c = TestCluster::new(ShardId(0), n);
+            // The two highest-index replicas are silent (crash-like).
+            c.drop_filter = Some(Box::new(move |_, to, _| to.index as usize >= n - 2));
+            for k in 1..=batches as u64 {
+                c.propose(0, test_batch(ShardId(0), k, 1));
+            }
+            c.deliver_all_shuffled(seed);
+            let mut per_seq: HashMap<u64, [u8; 32]> = HashMap::new();
+            for (_, e) in &c.events {
+                if let PbftEvent::Committed { seq, digest, .. } = e {
+                    if let Some(prev) = per_seq.insert(seq.0, *digest) {
+                        prop_assert_eq!(prev, *digest);
+                    }
+                }
+            }
+            // Non-silent replicas all commit everything.
+            for i in 0..(n - 2) as u32 {
+                prop_assert_eq!(c.committed_seqs(i).len(), batches);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! PBFT message types (§4.3.3–§4.3.5 of the paper, following Castro &
+//! Liskov's protocol with the paper's `nf`-quorum formulation).
+
+use ringbft_crypto::{sha256_concat, Digest};
+use ringbft_types::txn::Batch;
+use ringbft_types::{SeqNum, ViewNum};
+use std::sync::Arc;
+
+/// A prepared-certificate entry carried inside a ViewChange message: proof
+/// that a request prepared at `(view, seq)` with digest `digest`.
+///
+/// We carry the batch payload alongside (when the sender has it) so the
+/// new primary can re-propose without a separate fetch round; the wire
+/// model charges for this in `view_change_bytes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedProof {
+    /// View in which the request prepared.
+    pub view: ViewNum,
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// Batch digest.
+    pub digest: Digest,
+    /// Payload, if known to the sender.
+    pub batch: Option<Arc<Batch>>,
+}
+
+/// Intra-shard PBFT messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbftMsg {
+    /// Primary's proposal ordering `batch` at `seq` in `view`.
+    Preprepare {
+        /// Proposal view.
+        view: ViewNum,
+        /// Assigned sequence number.
+        seq: SeqNum,
+        /// Digest `Δ` of the batch.
+        digest: Digest,
+        /// The proposed batch.
+        batch: Arc<Batch>,
+    },
+    /// Backup's agreement to support the proposal (phase 2).
+    Prepare {
+        /// View.
+        view: ViewNum,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Batch digest.
+        digest: Digest,
+    },
+    /// Commit vote (phase 3); digitally signed in RingBFT so commit
+    /// certificates can be forwarded across shards (§4.3.6).
+    Commit {
+        /// View.
+        view: ViewNum,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Batch digest.
+        digest: Digest,
+    },
+    /// Periodic checkpoint for garbage collection and bringing in-dark
+    /// replicas up to date (§5, A3).
+    Checkpoint {
+        /// Sequence number the checkpoint covers (all ≤ seq committed).
+        seq: SeqNum,
+        /// Digest of the state at `seq`.
+        state_digest: Digest,
+    },
+    /// Request to replace the primary (§5, A2).
+    ViewChange {
+        /// The view the sender wants to move to.
+        new_view: ViewNum,
+        /// The sender's last stable checkpoint.
+        last_stable: SeqNum,
+        /// Requests prepared above the stable checkpoint.
+        prepared: Vec<PreparedProof>,
+    },
+    /// New primary's installation message, embedding the re-proposals.
+    NewView {
+        /// The view being installed.
+        view: ViewNum,
+        /// Re-proposed prepared requests `(seq, digest, payload)`.
+        preprepares: Vec<PreparedProof>,
+    },
+}
+
+impl PbftMsg {
+    /// Short tag for logging/metrics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PbftMsg::Preprepare { .. } => "preprepare",
+            PbftMsg::Prepare { .. } => "prepare",
+            PbftMsg::Commit { .. } => "commit",
+            PbftMsg::Checkpoint { .. } => "checkpoint",
+            PbftMsg::ViewChange { .. } => "view-change",
+            PbftMsg::NewView { .. } => "new-view",
+        }
+    }
+}
+
+/// Canonical digest `Δ := H(⟨T⟩c)` of a batch (Fig 5 line 6): a hash over
+/// every transaction's identity and declared accesses.
+pub fn batch_digest(batch: &Batch) -> Digest {
+    let mut buf = Vec::with_capacity(16 + batch.txns.len() * 24);
+    buf.extend_from_slice(&batch.id.0.to_le_bytes());
+    for t in &batch.txns {
+        buf.extend_from_slice(&t.id.0.to_le_bytes());
+        buf.extend_from_slice(&t.client.0.to_le_bytes());
+        for op in &t.ops {
+            buf.extend_from_slice(&op.shard.0.to_le_bytes());
+            buf.extend_from_slice(&op.key.to_le_bytes());
+            buf.push(match op.kind {
+                ringbft_types::OperationKind::Read => 0,
+                ringbft_types::OperationKind::Write => 1,
+                ringbft_types::OperationKind::ReadModifyWrite => 2,
+            });
+        }
+        for rr in &t.remote_reads {
+            buf.extend_from_slice(&rr.reader.0.to_le_bytes());
+            buf.extend_from_slice(&rr.owner.0.to_le_bytes());
+            buf.extend_from_slice(&rr.key.to_le_bytes());
+        }
+    }
+    sha256_concat(&[b"ringbft-batch", &buf])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringbft_types::txn::{Operation, OperationKind, Transaction};
+    use ringbft_types::{BatchId, ClientId, ShardId, TxnId};
+
+    fn batch(id: u64, key: u64) -> Batch {
+        Batch::new(
+            BatchId(id),
+            vec![Transaction::new(
+                TxnId(id * 10),
+                ClientId(1),
+                vec![Operation {
+                    shard: ShardId(0),
+                    key,
+                    kind: OperationKind::ReadModifyWrite,
+                }],
+            )],
+        )
+    }
+
+    #[test]
+    fn digest_distinguishes_batches() {
+        let d1 = batch_digest(&batch(1, 5));
+        let d2 = batch_digest(&batch(1, 6));
+        let d3 = batch_digest(&batch(2, 5));
+        assert_ne!(d1, d2);
+        assert_ne!(d1, d3);
+        assert_eq!(d1, batch_digest(&batch(1, 5)));
+    }
+
+    #[test]
+    fn tags_cover_all_variants() {
+        let b = Arc::new(batch(1, 1));
+        let d = batch_digest(&b);
+        let msgs = [
+            PbftMsg::Preprepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d,
+                batch: b,
+            },
+            PbftMsg::Prepare {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d,
+            },
+            PbftMsg::Commit {
+                view: ViewNum(0),
+                seq: SeqNum(1),
+                digest: d,
+            },
+            PbftMsg::Checkpoint {
+                seq: SeqNum(10),
+                state_digest: d,
+            },
+            PbftMsg::ViewChange {
+                new_view: ViewNum(1),
+                last_stable: SeqNum(0),
+                prepared: vec![],
+            },
+            PbftMsg::NewView {
+                view: ViewNum(1),
+                preprepares: vec![],
+            },
+        ];
+        let tags: Vec<_> = msgs.iter().map(|m| m.tag()).collect();
+        assert_eq!(
+            tags,
+            [
+                "preprepare",
+                "prepare",
+                "commit",
+                "checkpoint",
+                "view-change",
+                "new-view"
+            ]
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Shared plumbing for the single-shard baseline protocols: the unified
+//! message enum, the primary's batching pool, and client-reply helpers.
+
+use ringbft_pbft::PbftMsg;
+use ringbft_crypto::Digest;
+use ringbft_types::txn::{Batch, Transaction};
+use ringbft_types::{BatchId, ClientId, NodeId, Outbox, SeqNum, TxnId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Unified message space for all Figure 1 single-shard protocols. Each
+/// protocol uses the subset of variants that matches its communication
+/// pattern; keeping one enum lets the simulator treat all of them
+/// uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsMsg {
+    /// Client request (or a replica's relay of one).
+    Request {
+        /// The transaction.
+        txn: Arc<Transaction>,
+        /// Relayed by a replica.
+        relayed: bool,
+    },
+    /// PBFT traffic (PBFT baseline).
+    Pbft(PbftMsg),
+    /// PBFT traffic of RCC instance stream `stream` (one stream per
+    /// replica in RCC's wait-free parallel design).
+    Rcc {
+        /// Stream index = index of the replica acting as that stream's
+        /// primary.
+        stream: u32,
+        /// The embedded PBFT message.
+        msg: PbftMsg,
+    },
+    /// Zyzzyva order request: primary → replicas, single phase.
+    OrderReq {
+        /// Speculative sequence number.
+        seq: SeqNum,
+        /// Batch digest.
+        digest: Digest,
+        /// The batch.
+        batch: Arc<Batch>,
+    },
+    /// SBFT/PoE/HotStuff proposal (leader → replicas).
+    Propose {
+        /// Sequence number.
+        seq: SeqNum,
+        /// Protocol phase (HotStuff chains three; others use 0).
+        phase: u8,
+        /// Batch digest.
+        digest: Digest,
+        /// Payload (present in phase 0 only).
+        batch: Option<Arc<Batch>>,
+    },
+    /// Vote back to the leader/collector (SBFT sign-share, HotStuff vote).
+    Vote {
+        /// Sequence number.
+        seq: SeqNum,
+        /// Phase being voted.
+        phase: u8,
+        /// Batch digest.
+        digest: Digest,
+    },
+    /// Collector's combined certificate broadcast (SBFT), or HotStuff's
+    /// phase-advancing QC.
+    Cert {
+        /// Sequence number.
+        seq: SeqNum,
+        /// Certified phase.
+        phase: u8,
+        /// Batch digest.
+        digest: Digest,
+    },
+    /// PoE support vote (all-to-all single phase).
+    Support {
+        /// Sequence number.
+        seq: SeqNum,
+        /// Batch digest.
+        digest: Digest,
+    },
+    /// Reply to the client. For Zyzzyva this is the speculative response
+    /// (the client needs all `n`); for SBFT the single collector reply.
+    Reply {
+        /// The client.
+        client: ClientId,
+        /// Executed batch digest.
+        digest: Digest,
+        /// Executed transactions.
+        txn_ids: Vec<TxnId>,
+    },
+}
+
+impl SsMsg {
+    /// Short tag for metrics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SsMsg::Request { .. } => "request",
+            SsMsg::Pbft(m) => m.tag(),
+            SsMsg::Rcc { msg, .. } => msg.tag(),
+            SsMsg::OrderReq { .. } => "order-req",
+            SsMsg::Propose { .. } => "propose",
+            SsMsg::Vote { .. } => "vote",
+            SsMsg::Cert { .. } => "cert",
+            SsMsg::Support { .. } => "support",
+            SsMsg::Reply { .. } => "reply",
+        }
+    }
+}
+
+/// The primary's request pool: collects client transactions and cuts
+/// fixed-size batches (§7: primaries aggregate transactions and run
+/// consensus per batch).
+#[derive(Debug)]
+pub struct Pooler {
+    pending: Vec<Transaction>,
+    batch_size: usize,
+    next_batch: u64,
+}
+
+impl Pooler {
+    /// Pool cutting batches of `batch_size`, allocating batch ids from a
+    /// namespace (so ids never collide across proposers).
+    pub fn new(batch_size: usize, namespace: u64) -> Self {
+        Pooler {
+            pending: Vec::new(),
+            batch_size,
+            next_batch: namespace << 40,
+        }
+    }
+
+    /// Adds a transaction; returns a batch when one is full.
+    pub fn push(&mut self, txn: Transaction) -> Option<Arc<Batch>> {
+        self.pending.push(txn);
+        if self.pending.len() >= self.batch_size {
+            self.cut()
+        } else {
+            None
+        }
+    }
+
+    /// Cuts a (possibly partial) batch; `None` when empty.
+    pub fn cut(&mut self) -> Option<Arc<Batch>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let take = self.pending.len().min(self.batch_size);
+        let txns: Vec<Transaction> = self.pending.drain(..take).collect();
+        let id = BatchId(self.next_batch);
+        self.next_batch += 1;
+        Some(Arc::new(Batch::new_unchecked(id, txns)))
+    }
+
+    /// Pending transactions not yet batched.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no transactions wait.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Sends one `Reply` per distinct client of `batch`.
+pub fn reply_clients(out: &mut Outbox<SsMsg>, digest: Digest, batch: &Batch) {
+    let mut by_client: BTreeMap<ClientId, Vec<TxnId>> = BTreeMap::new();
+    for t in &batch.txns {
+        by_client.entry(t.client).or_default().push(t.id);
+    }
+    for (client, txn_ids) in by_client {
+        out.send(
+            NodeId::Client(client),
+            SsMsg::Reply {
+                client,
+                digest,
+                txn_ids,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringbft_types::txn::{Operation, OperationKind};
+    use ringbft_types::ShardId;
+
+    fn txn(id: u64) -> Transaction {
+        Transaction::new(
+            ringbft_types::TxnId(id),
+            ClientId(id),
+            vec![Operation {
+                shard: ShardId(0),
+                key: id,
+                kind: OperationKind::ReadModifyWrite,
+            }],
+        )
+    }
+
+    #[test]
+    fn pooler_cuts_full_batches() {
+        let mut p = Pooler::new(3, 7);
+        assert!(p.push(txn(1)).is_none());
+        assert!(p.push(txn(2)).is_none());
+        let b = p.push(txn(3)).expect("full batch");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.id.0 >> 40, 7, "namespace preserved");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn pooler_cut_flushes_partial() {
+        let mut p = Pooler::new(10, 0);
+        p.push(txn(1));
+        p.push(txn(2));
+        assert_eq!(p.len(), 2);
+        let b = p.cut().expect("partial batch");
+        assert_eq!(b.len(), 2);
+        assert!(p.cut().is_none());
+    }
+
+    #[test]
+    fn batch_ids_monotonic() {
+        let mut p = Pooler::new(1, 0);
+        let b1 = p.push(txn(1)).unwrap();
+        let b2 = p.push(txn(2)).unwrap();
+        assert!(b2.id.0 > b1.id.0);
+    }
+
+    #[test]
+    fn reply_clients_dedups_by_client() {
+        let mut out: Outbox<SsMsg> = Outbox::new();
+        let mut t1 = txn(1);
+        t1.client = ClientId(9);
+        let mut t2 = txn(2);
+        t2.client = ClientId(9);
+        let b = Batch::new_unchecked(BatchId(0), vec![t1, t2]);
+        reply_clients(&mut out, [0u8; 32], &b);
+        let actions = out.take();
+        assert_eq!(actions.len(), 1, "one reply per client");
+    }
+}

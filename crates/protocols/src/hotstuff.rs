@@ -1,0 +1,217 @@
+//! HotStuff (basic, non-chained) as a Figure 1 baseline.
+//!
+//! Linear communication: the leader proposes; replicas vote back to the
+//! leader through three chained phases (prepare → pre-commit → commit);
+//! each quorum certificate is broadcast as the next phase's proposal.
+//! Total per decision: four leader-broadcasts and three vote-collections
+//! — all linear in `n`, which is why HotStuff scales better than PBFT in
+//! Figure 1 at larger `n` while paying more phases (latency).
+
+use crate::common::{reply_clients, Pooler, SsMsg};
+use ringbft_crypto::Digest;
+use ringbft_pbft::batch_digest;
+use ringbft_types::txn::{Batch, Transaction};
+use ringbft_types::{Duration, Instant, NodeId, Outbox, ReplicaId, SeqNum, TimerKind};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+const FLUSH_TOKEN: u64 = (1 << 62) - 1;
+/// Phases: 0 = prepare, 1 = pre-commit, 2 = commit; Cert(2) = decide.
+const LAST_PHASE: u8 = 2;
+
+#[derive(Default)]
+struct Slot {
+    digest: Option<Digest>,
+    batch: Option<Arc<Batch>>,
+    votes: [BTreeSet<u32>; 3],
+    certified: [bool; 3],
+    executed: bool,
+}
+
+/// A HotStuff replica (fixed leader — the Figure 1 run is failure-free).
+pub struct HotStuffReplica {
+    me: ReplicaId,
+    n: usize,
+    pool: Pooler,
+    flush_armed: bool,
+    next_seq: u64,
+    slots: HashMap<u64, Slot>,
+    /// Batches decided (diagnostics).
+    pub decided: u64,
+}
+
+impl HotStuffReplica {
+    /// Creates replica `me` of an `n`-replica group.
+    pub fn new(me: ReplicaId, n: usize, batch_size: usize) -> Self {
+        HotStuffReplica {
+            me,
+            n,
+            pool: Pooler::new(batch_size, me.index as u64 + 1),
+            flush_armed: false,
+            next_seq: 1,
+            slots: HashMap::new(),
+            decided: 0,
+        }
+    }
+
+    fn nf(&self) -> usize {
+        self.n - (self.n - 1) / 3
+    }
+
+    fn is_leader(&self) -> bool {
+        self.me.index == 0
+    }
+
+    fn leader(&self) -> NodeId {
+        NodeId::Replica(ReplicaId::new(self.me.shard, 0))
+    }
+
+    fn others(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.me;
+        (0..self.n as u32)
+            .filter(move |i| *i != me.index)
+            .map(move |i| NodeId::Replica(ReplicaId::new(me.shard, i)))
+    }
+
+    /// Handles a message.
+    pub fn on_message(&mut self, _now: Instant, from: NodeId, msg: SsMsg, out: &mut Outbox<SsMsg>) {
+        match msg {
+            SsMsg::Request { txn, .. } => self.on_request(txn, out),
+            SsMsg::Propose {
+                seq,
+                phase,
+                digest,
+                batch,
+            } => self.on_propose(seq, phase, digest, batch, out),
+            SsMsg::Vote { seq, phase, digest } => {
+                let NodeId::Replica(r) = from else { return };
+                self.on_vote(seq, phase, digest, r.index, out);
+            }
+            SsMsg::Cert { seq, phase, digest } => self.on_decide(seq, phase, digest, out),
+            _ => {}
+        }
+    }
+
+    /// Handles the pool-flush timer.
+    pub fn on_timer(&mut self, _now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<SsMsg>) {
+        if kind == TimerKind::Client && token == FLUSH_TOKEN {
+            self.flush_armed = false;
+            if let Some(batch) = self.pool.cut() {
+                self.propose(batch, out);
+            }
+        }
+    }
+
+    fn on_request(&mut self, txn: Arc<Transaction>, out: &mut Outbox<SsMsg>) {
+        if !self.is_leader() {
+            out.send(self.leader(), SsMsg::Request { txn, relayed: true });
+            return;
+        }
+        if let Some(batch) = self.pool.push((*txn).clone()) {
+            self.propose(batch, out);
+        }
+        if !self.pool.is_empty() && !self.flush_armed {
+            self.flush_armed = true;
+            out.set_timer(TimerKind::Client, FLUSH_TOKEN, Duration::from_millis(100));
+        }
+    }
+
+    fn propose(&mut self, batch: Arc<Batch>, out: &mut Outbox<SsMsg>) {
+        let seq = SeqNum(self.next_seq);
+        self.next_seq += 1;
+        let digest = batch_digest(&batch);
+        let slot = self.slots.entry(seq.0).or_default();
+        slot.digest = Some(digest);
+        slot.batch = Some(Arc::clone(&batch));
+        slot.votes[0].insert(self.me.index);
+        let msg = SsMsg::Propose {
+            seq,
+            phase: 0,
+            digest,
+            batch: Some(batch),
+        };
+        out.multicast(self.others(), &msg);
+    }
+
+    fn on_propose(
+        &mut self,
+        seq: SeqNum,
+        phase: u8,
+        digest: Digest,
+        batch: Option<Arc<Batch>>,
+        out: &mut Outbox<SsMsg>,
+    ) {
+        if self.is_leader() || phase > LAST_PHASE {
+            return;
+        }
+        let slot = self.slots.entry(seq.0).or_default();
+        if phase == 0 {
+            if slot.digest.is_some() {
+                return;
+            }
+            slot.digest = Some(digest);
+            slot.batch = batch;
+        } else if slot.digest != Some(digest) {
+            return;
+        }
+        // Vote the phase back to the leader.
+        out.send(self.leader(), SsMsg::Vote { seq, phase, digest });
+    }
+
+    fn on_vote(&mut self, seq: SeqNum, phase: u8, digest: Digest, from: u32, out: &mut Outbox<SsMsg>) {
+        if !self.is_leader() || phase > LAST_PHASE {
+            return;
+        }
+        let nf = self.nf();
+        let others: Vec<NodeId> = self.others().collect();
+        let me_index = self.me.index;
+        let slot = self.slots.entry(seq.0).or_default();
+        if slot.digest != Some(digest) {
+            return;
+        }
+        let p = phase as usize;
+        slot.votes[p].insert(from);
+        if slot.votes[p].len() < nf || slot.certified[p] {
+            return;
+        }
+        slot.certified[p] = true;
+        if phase < LAST_PHASE {
+            // QC formed: broadcast as the next phase's proposal.
+            let next = SsMsg::Propose {
+                seq,
+                phase: phase + 1,
+                digest,
+                batch: None,
+            };
+            out.multicast(others.iter().copied(), &next);
+            slot.votes[p + 1].insert(me_index);
+            // Leader votes for itself in the next phase implicitly.
+        } else {
+            // Commit QC: decide.
+            let decide = SsMsg::Cert {
+                seq,
+                phase: LAST_PHASE,
+                digest,
+            };
+            out.multicast(self.others(), &decide);
+            self.on_decide(seq, LAST_PHASE, digest, out);
+        }
+    }
+
+    fn on_decide(&mut self, seq: SeqNum, phase: u8, digest: Digest, out: &mut Outbox<SsMsg>) {
+        if phase != LAST_PHASE {
+            return;
+        }
+        let slot = self.slots.entry(seq.0).or_default();
+        if slot.executed || slot.digest != Some(digest) {
+            return;
+        }
+        slot.executed = true;
+        self.decided += 1;
+        let Some(batch) = slot.batch.clone() else {
+            return;
+        };
+        out.executed(seq.0, batch.len() as u32);
+        reply_clients(out, digest, &batch);
+    }
+}

@@ -1,0 +1,325 @@
+//! Single-shard BFT baselines for the Figure 1 scalability comparison:
+//! PBFT, Zyzzyva, SBFT, PoE, HotStuff, and RCC.
+//!
+//! Each protocol is a sans-io state machine emitting the exact message
+//! pattern that drives its performance in the paper's Figure 1 — phase
+//! counts, linear vs quadratic exchanges, client-reply quorums. PBFT
+//! carries the full recovery machinery (it underlies RingBFT); the other
+//! baselines are failure-free (Figure 1 is a failure-free experiment).
+
+pub mod common;
+pub mod hotstuff;
+pub mod pbft_baseline;
+pub mod rcc;
+pub mod speculative;
+
+pub use common::{Pooler, SsMsg};
+pub use hotstuff::HotStuffReplica;
+pub use pbft_baseline::PbftBaseline;
+pub use rcc::RccReplica;
+pub use speculative::{SpecKind, SpecReplica};
+
+use ringbft_types::{Duration, Instant, NodeId, Outbox, ProtocolKind, ReplicaId, TimerKind};
+
+/// A uniform wrapper over every Figure 1 baseline replica.
+pub enum SsReplica {
+    /// PBFT.
+    Pbft(PbftBaseline),
+    /// Zyzzyva / SBFT / PoE.
+    Spec(SpecReplica),
+    /// HotStuff.
+    HotStuff(HotStuffReplica),
+    /// RCC.
+    Rcc(RccReplica),
+}
+
+impl SsReplica {
+    /// Instantiates the replica for `kind`. Panics for sharded protocols.
+    pub fn new(
+        kind: ProtocolKind,
+        me: ReplicaId,
+        n: usize,
+        batch_size: usize,
+        local_timeout: Duration,
+    ) -> Self {
+        match kind {
+            ProtocolKind::Pbft => {
+                SsReplica::Pbft(PbftBaseline::new(me, n, batch_size, local_timeout))
+            }
+            ProtocolKind::Zyzzyva => {
+                SsReplica::Spec(SpecReplica::new(SpecKind::Zyzzyva, me, n, batch_size))
+            }
+            ProtocolKind::Sbft => {
+                SsReplica::Spec(SpecReplica::new(SpecKind::Sbft, me, n, batch_size))
+            }
+            ProtocolKind::Poe => SsReplica::Spec(SpecReplica::new(SpecKind::Poe, me, n, batch_size)),
+            ProtocolKind::HotStuff => SsReplica::HotStuff(HotStuffReplica::new(me, n, batch_size)),
+            ProtocolKind::Rcc => SsReplica::Rcc(RccReplica::new(me, n, batch_size, local_timeout)),
+            other => panic!("{other:?} is not a single-shard baseline"),
+        }
+    }
+
+    /// Client reply quorum for `kind` in an `n`-replica group.
+    pub fn reply_quorum(kind: ProtocolKind, n: usize) -> usize {
+        let f = (n - 1) / 3;
+        match kind {
+            ProtocolKind::Zyzzyva => SpecKind::Zyzzyva.reply_quorum(n, f),
+            ProtocolKind::Sbft => SpecKind::Sbft.reply_quorum(n, f),
+            ProtocolKind::Poe => SpecKind::Poe.reply_quorum(n, f),
+            _ => f + 1,
+        }
+    }
+
+    /// Which replica a client should address its `i`-th request to:
+    /// the primary for single-primary protocols, round-robin for RCC.
+    pub fn request_target(kind: ProtocolKind, n: usize, i: u64) -> u32 {
+        match kind {
+            ProtocolKind::Rcc => (i % n as u64) as u32,
+            _ => 0,
+        }
+    }
+
+    /// Handles a message.
+    pub fn on_message(&mut self, now: Instant, from: NodeId, msg: SsMsg, out: &mut Outbox<SsMsg>) {
+        match self {
+            SsReplica::Pbft(r) => r.on_message(now, from, msg, out),
+            SsReplica::Spec(r) => r.on_message(now, from, msg, out),
+            SsReplica::HotStuff(r) => r.on_message(now, from, msg, out),
+            SsReplica::Rcc(r) => r.on_message(now, from, msg, out),
+        }
+    }
+
+    /// Handles a timer.
+    pub fn on_timer(&mut self, now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<SsMsg>) {
+        match self {
+            SsReplica::Pbft(r) => r.on_timer(now, kind, token, out),
+            SsReplica::Spec(r) => r.on_timer(now, kind, token, out),
+            SsReplica::HotStuff(r) => r.on_timer(now, kind, token, out),
+            SsReplica::Rcc(r) => r.on_timer(now, kind, token, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringbft_types::txn::{Operation, OperationKind, Transaction};
+    use ringbft_types::{Action, ClientId, ShardId, TxnId};
+    use std::collections::{HashMap, HashSet, VecDeque};
+    use std::sync::Arc;
+
+    const S: ShardId = ShardId(0);
+
+    /// Tiny synchronous net over `SsReplica`s.
+    struct Net {
+        kind: ProtocolKind,
+        nodes: Vec<SsReplica>,
+        queue: VecDeque<(NodeId, NodeId, SsMsg)>,
+        timers: HashSet<(u32, TimerKind, u64)>,
+        replies: HashMap<ClientId, HashMap<[u8; 32], HashSet<u32>>>,
+        /// Replica→replica messages delivered.
+        pub inter_replica: usize,
+    }
+
+    impl Net {
+        fn new(kind: ProtocolKind, n: usize, batch: usize) -> Self {
+            let nodes = (0..n as u32)
+                .map(|i| {
+                    SsReplica::new(
+                        kind,
+                        ReplicaId::new(S, i),
+                        n,
+                        batch,
+                        Duration::from_millis(500),
+                    )
+                })
+                .collect();
+            Net {
+                kind,
+                nodes,
+                queue: VecDeque::new(),
+                timers: HashSet::new(),
+                replies: HashMap::new(),
+                inter_replica: 0,
+            }
+        }
+
+        fn send_request(&mut self, i: u64) {
+            let txn = Transaction::new(
+                TxnId(i),
+                ClientId(i),
+                vec![Operation {
+                    shard: S,
+                    key: i,
+                    kind: OperationKind::ReadModifyWrite,
+                }],
+            );
+            let target = SsReplica::request_target(self.kind, self.nodes.len(), i);
+            self.queue.push_back((
+                NodeId::Client(ClientId(i)),
+                NodeId::Replica(ReplicaId::new(S, target)),
+                SsMsg::Request {
+                    txn: Arc::new(txn),
+                    relayed: false,
+                },
+            ));
+        }
+
+        fn absorb(&mut self, from: u32, actions: Vec<Action<SsMsg>>) {
+            for a in actions {
+                match a {
+                    Action::Send { to, msg } => self
+                        .queue
+                        .push_back((NodeId::Replica(ReplicaId::new(S, from)), to, msg)),
+                    Action::SetTimer { kind, token, .. } => {
+                        self.timers.insert((from, kind, token));
+                    }
+                    Action::CancelTimer { kind, token } => {
+                        self.timers.remove(&(from, kind, token));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        fn deliver_all(&mut self) {
+            while let Some((from, to, msg)) = self.queue.pop_front() {
+                match to {
+                    NodeId::Replica(r) => {
+                        if matches!(from, NodeId::Replica(_)) {
+                            self.inter_replica += 1;
+                        }
+                        let mut out = Outbox::new();
+                        self.nodes[r.index as usize].on_message(Instant::ZERO, from, msg, &mut out);
+                        self.absorb(r.index, out.take());
+                    }
+                    NodeId::Client(c) => {
+                        if let SsMsg::Reply { digest, .. } = msg {
+                            let NodeId::Replica(sender) = from else { continue };
+                            self.replies
+                                .entry(c)
+                                .or_default()
+                                .entry(digest)
+                                .or_default()
+                                .insert(sender.index);
+                        }
+                    }
+                }
+            }
+        }
+
+        fn settle(&mut self) {
+            loop {
+                self.deliver_all();
+                let armed: Vec<(u32, TimerKind, u64)> = self
+                    .timers
+                    .iter()
+                    .filter(|(_, k, _)| *k == TimerKind::Client)
+                    .copied()
+                    .collect();
+                if armed.is_empty() {
+                    break;
+                }
+                for (i, k, t) in armed {
+                    self.timers.remove(&(i, k, t));
+                    let mut out = Outbox::new();
+                    self.nodes[i as usize].on_timer(Instant::ZERO, k, t, &mut out);
+                    self.absorb(i, out.take());
+                }
+            }
+        }
+
+        fn confirmed(&self, c: ClientId, quorum: usize) -> bool {
+            self.replies
+                .get(&c)
+                .map(|d| d.values().any(|s| s.len() >= quorum))
+                .unwrap_or(false)
+        }
+    }
+
+    fn run_protocol(kind: ProtocolKind, n: usize) {
+        let mut net = Net::new(kind, n, 2);
+        for i in 1..=6 {
+            net.send_request(i);
+        }
+        net.settle();
+        let quorum = SsReplica::reply_quorum(kind, n);
+        for i in 1..=6 {
+            assert!(
+                net.confirmed(ClientId(i), quorum),
+                "{kind:?}: client {i} not confirmed (quorum {quorum})"
+            );
+        }
+    }
+
+    #[test]
+    fn pbft_baseline_commits() {
+        run_protocol(ProtocolKind::Pbft, 4);
+        run_protocol(ProtocolKind::Pbft, 7);
+    }
+
+    #[test]
+    fn zyzzyva_fast_path_commits() {
+        run_protocol(ProtocolKind::Zyzzyva, 4);
+        run_protocol(ProtocolKind::Zyzzyva, 10);
+    }
+
+    #[test]
+    fn sbft_collector_commits() {
+        run_protocol(ProtocolKind::Sbft, 4);
+        run_protocol(ProtocolKind::Sbft, 7);
+    }
+
+    #[test]
+    fn poe_speculative_commits() {
+        run_protocol(ProtocolKind::Poe, 4);
+        run_protocol(ProtocolKind::Poe, 10);
+    }
+
+    #[test]
+    fn hotstuff_three_chain_commits() {
+        run_protocol(ProtocolKind::HotStuff, 4);
+        run_protocol(ProtocolKind::HotStuff, 7);
+    }
+
+    #[test]
+    fn rcc_multi_primary_commits() {
+        run_protocol(ProtocolKind::Rcc, 4);
+    }
+
+    #[test]
+    fn message_complexity_shapes() {
+        // Count inter-replica messages for one decision: HotStuff must be
+        // linear, PBFT quadratic, Zyzzyva a single broadcast.
+        let count = |kind: ProtocolKind, n: usize| -> usize {
+            let mut net = Net::new(kind, n, 1);
+            net.send_request(1);
+            net.settle();
+            net.inter_replica
+        };
+        let n = 16;
+        let zyz = count(ProtocolKind::Zyzzyva, n);
+        let hs = count(ProtocolKind::HotStuff, n);
+        let pbft = count(ProtocolKind::Pbft, n);
+        // Zyzzyva: one broadcast ≈ n−1 messages.
+        assert!(zyz <= n, "zyzzyva {zyz}");
+        // HotStuff: ~7 linear exchanges.
+        assert!(hs < 10 * n, "hotstuff {hs}");
+        // PBFT: two quadratic phases dominate.
+        assert!(pbft > n * n, "pbft {pbft}");
+        assert!(pbft > hs, "pbft {pbft} ≤ hotstuff {hs}");
+        assert!(hs > zyz, "hotstuff {hs} ≤ zyzzyva {zyz}");
+    }
+
+    #[test]
+    fn rcc_streams_do_not_interfere() {
+        // Two clients hitting different RCC primaries both complete.
+        let mut net = Net::new(ProtocolKind::Rcc, 4, 1);
+        net.send_request(1); // → replica 1
+        net.send_request(2); // → replica 2
+        net.settle();
+        let q = SsReplica::reply_quorum(ProtocolKind::Rcc, 4);
+        assert!(net.confirmed(ClientId(1), q));
+        assert!(net.confirmed(ClientId(2), q));
+    }
+}

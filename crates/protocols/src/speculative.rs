@@ -1,0 +1,356 @@
+//! The speculative and collector-based Figure 1 baselines: Zyzzyva, SBFT
+//! and PoE. All three are failure-free message-pattern machines — the
+//! Figure 1 experiment runs without faults, so view-change machinery is
+//! not modeled for these (PBFT and RingBFT carry the full recovery paths).
+//!
+//! * **Zyzzyva** (Kotla et al.): the primary assigns an order and
+//!   broadcasts; replicas execute *speculatively* and respond directly to
+//!   the client, which needs all `3f + 1` matching responses on the fast
+//!   path. One phase, linear, but client-quorum `n`.
+//! * **SBFT** (Golan-Gueta et al.): collector-based linearization — two
+//!   rounds of replica → collector sign-shares and collector → replica
+//!   certificates; the client receives a *single* reply carrying a
+//!   threshold certificate.
+//! * **PoE** (Gupta et al., EDBT'21): the primary proposes; replicas
+//!   broadcast support votes (one all-to-all phase) and speculatively
+//!   execute on a `nf` quorum — three phases of PBFT collapse into two,
+//!   one of them quadratic.
+
+use crate::common::{reply_clients, Pooler, SsMsg};
+use ringbft_crypto::Digest;
+use ringbft_pbft::batch_digest;
+use ringbft_types::txn::{Batch, Transaction};
+use ringbft_types::{Duration, Instant, NodeId, Outbox, ReplicaId, SeqNum, TimerKind};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+const FLUSH_TOKEN: u64 = (1 << 62) - 1;
+
+/// Which speculative protocol a [`SpecReplica`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKind {
+    /// Zyzzyva: one speculative phase, client collects `n` replies.
+    Zyzzyva,
+    /// SBFT: collector-based two-round linear pattern, one client reply.
+    Sbft,
+    /// PoE: proposal + quadratic support phase, client collects `nf`.
+    Poe,
+}
+
+impl SpecKind {
+    /// How many matching replies the client must collect.
+    pub fn reply_quorum(self, n: usize, f: usize) -> usize {
+        match self {
+            SpecKind::Zyzzyva => n,     // fast path needs all 3f+1
+            SpecKind::Sbft => 1,        // single certified reply
+            SpecKind::Poe => n - f,     // nf speculative responses
+        }
+    }
+}
+
+#[derive(Default)]
+struct Slot {
+    digest: Option<Digest>,
+    batch: Option<Arc<Batch>>,
+    /// Phase-0 votes (SBFT sign-shares / PoE supports).
+    votes0: BTreeSet<u32>,
+    /// Phase-1 votes (SBFT execution shares).
+    votes1: BTreeSet<u32>,
+    phase0_done: bool,
+    executed: bool,
+}
+
+/// A replica running one of the three speculative baselines.
+pub struct SpecReplica {
+    kind: SpecKind,
+    me: ReplicaId,
+    n: usize,
+    pool: Pooler,
+    flush_after: Duration,
+    flush_armed: bool,
+    next_seq: u64,
+    slots: HashMap<u64, Slot>,
+    /// Batches executed (diagnostics).
+    pub executed: u64,
+}
+
+impl SpecReplica {
+    /// Creates replica `me` of an `n`-replica group.
+    pub fn new(kind: SpecKind, me: ReplicaId, n: usize, batch_size: usize) -> Self {
+        SpecReplica {
+            kind,
+            me,
+            n,
+            pool: Pooler::new(batch_size, me.index as u64 + 1),
+            flush_after: Duration::from_millis(100),
+            flush_armed: false,
+            next_seq: 1,
+            slots: HashMap::new(),
+            executed: 0,
+        }
+    }
+
+    fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    fn nf(&self) -> usize {
+        self.n - self.f()
+    }
+
+    /// The fixed leader/collector (failure-free baseline).
+    fn is_leader(&self) -> bool {
+        self.me.index == 0
+    }
+
+    fn others(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.me;
+        (0..self.n as u32)
+            .filter(move |i| *i != me.index)
+            .map(move |i| NodeId::Replica(ReplicaId::new(me.shard, i)))
+    }
+
+    fn leader(&self) -> NodeId {
+        NodeId::Replica(ReplicaId::new(self.me.shard, 0))
+    }
+
+    /// Handles a message.
+    pub fn on_message(&mut self, _now: Instant, from: NodeId, msg: SsMsg, out: &mut Outbox<SsMsg>) {
+        match msg {
+            SsMsg::Request { txn, .. } => self.on_request(txn, out),
+            SsMsg::OrderReq { seq, digest, batch } => self.on_order_req(seq, digest, batch, out),
+            SsMsg::Propose {
+                seq,
+                phase: 0,
+                digest,
+                batch: Some(batch),
+            } => self.on_propose(seq, digest, batch, out),
+            SsMsg::Vote {
+                seq,
+                phase,
+                digest,
+            } => {
+                let NodeId::Replica(r) = from else { return };
+                self.on_vote(seq, phase, digest, r.index, out);
+            }
+            SsMsg::Cert { seq, phase, digest } => self.on_cert(seq, phase, digest, out),
+            SsMsg::Support { seq, digest } => {
+                let NodeId::Replica(r) = from else { return };
+                self.on_support(seq, digest, r.index, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_request(&mut self, txn: Arc<Transaction>, out: &mut Outbox<SsMsg>) {
+        if !self.is_leader() {
+            out.send(self.leader(), SsMsg::Request { txn, relayed: true });
+            return;
+        }
+        if let Some(batch) = self.pool.push((*txn).clone()) {
+            self.propose(batch, out);
+        }
+        if !self.pool.is_empty() && !self.flush_armed {
+            self.flush_armed = true;
+            out.set_timer(TimerKind::Client, FLUSH_TOKEN, self.flush_after);
+        }
+    }
+
+    /// Handles a timer (pool flush only — failure-free baselines).
+    pub fn on_timer(&mut self, _now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<SsMsg>) {
+        if kind == TimerKind::Client && token == FLUSH_TOKEN {
+            self.flush_armed = false;
+            if let Some(batch) = self.pool.cut() {
+                self.propose(batch, out);
+            }
+        }
+    }
+
+    fn propose(&mut self, batch: Arc<Batch>, out: &mut Outbox<SsMsg>) {
+        let seq = SeqNum(self.next_seq);
+        self.next_seq += 1;
+        let digest = batch_digest(&batch);
+        match self.kind {
+            SpecKind::Zyzzyva => {
+                let msg = SsMsg::OrderReq {
+                    seq,
+                    digest,
+                    batch: Arc::clone(&batch),
+                };
+                out.multicast(self.others(), &msg);
+                // The primary executes speculatively too.
+                self.execute(seq.0, digest, &batch, out);
+            }
+            SpecKind::Sbft | SpecKind::Poe => {
+                let msg = SsMsg::Propose {
+                    seq,
+                    phase: 0,
+                    digest,
+                    batch: Some(Arc::clone(&batch)),
+                };
+                out.multicast(self.others(), &msg);
+                let slot = self.slots.entry(seq.0).or_default();
+                slot.digest = Some(digest);
+                slot.batch = Some(batch);
+                if self.kind == SpecKind::Sbft {
+                    // Collector's own sign-share.
+                    self.on_vote(seq, 0, digest, self.me.index, out);
+                } else {
+                    // PoE: the primary supports its own proposal.
+                    let sup = SsMsg::Support { seq, digest };
+                    out.multicast(self.others(), &sup);
+                    self.on_support(seq, digest, self.me.index, out);
+                }
+            }
+        }
+    }
+
+    fn on_order_req(
+        &mut self,
+        seq: SeqNum,
+        digest: Digest,
+        batch: Arc<Batch>,
+        out: &mut Outbox<SsMsg>,
+    ) {
+        // Zyzzyva backup: speculatively execute and answer the client.
+        self.execute(seq.0, digest, &batch, out);
+    }
+
+    fn on_propose(
+        &mut self,
+        seq: SeqNum,
+        digest: Digest,
+        batch: Arc<Batch>,
+        out: &mut Outbox<SsMsg>,
+    ) {
+        let slot = self.slots.entry(seq.0).or_default();
+        if slot.digest.is_some() {
+            return;
+        }
+        slot.digest = Some(digest);
+        slot.batch = Some(batch);
+        match self.kind {
+            SpecKind::Sbft => {
+                // Send our sign-share to the collector.
+                out.send(
+                    self.leader(),
+                    SsMsg::Vote {
+                        seq,
+                        phase: 0,
+                        digest,
+                    },
+                );
+            }
+            SpecKind::Poe => {
+                // Broadcast support (quadratic phase).
+                let sup = SsMsg::Support { seq, digest };
+                out.multicast(self.others(), &sup);
+                self.on_support(seq, digest, self.me.index, out);
+            }
+            SpecKind::Zyzzyva => {}
+        }
+    }
+
+    fn on_vote(&mut self, seq: SeqNum, phase: u8, digest: Digest, from: u32, out: &mut Outbox<SsMsg>) {
+        if self.kind != SpecKind::Sbft || !self.is_leader() {
+            return;
+        }
+        let nf = self.nf();
+        let slot = self.slots.entry(seq.0).or_default();
+        if slot.digest != Some(digest) {
+            return;
+        }
+        let votes = if phase == 0 {
+            &mut slot.votes0
+        } else {
+            &mut slot.votes1
+        };
+        votes.insert(from);
+        let count = votes.len();
+        if phase == 0 && count >= nf && !slot.phase0_done {
+            slot.phase0_done = true;
+            // Broadcast the combined commit certificate.
+            let cert = SsMsg::Cert {
+                seq,
+                phase: 0,
+                digest,
+            };
+            out.multicast(self.others(), &cert);
+            // Collector's own execution share.
+            self.on_vote(seq, 1, digest, self.me.index, out);
+        } else if phase == 1 && count >= nf {
+            let batch = {
+                let slot = self.slots.get(&seq.0).expect("slot exists");
+                if slot.executed {
+                    return;
+                }
+                slot.batch.clone()
+            };
+            if let Some(batch) = batch {
+                // Single certified reply from the collector (SBFT's
+                // "single message" client path).
+                self.execute(seq.0, digest, &batch, out);
+            }
+        }
+    }
+
+    fn on_cert(&mut self, seq: SeqNum, phase: u8, digest: Digest, out: &mut Outbox<SsMsg>) {
+        if self.kind != SpecKind::Sbft || self.is_leader() {
+            return;
+        }
+        if phase == 0 {
+            // Commit certificate received: send execution share.
+            out.send(
+                self.leader(),
+                SsMsg::Vote {
+                    seq,
+                    phase: 1,
+                    digest,
+                },
+            );
+            // Replicas execute locally but only the collector answers the
+            // client.
+            let batch = self
+                .slots
+                .get(&seq.0)
+                .and_then(|s| s.batch.clone());
+            if let Some(batch) = batch {
+                self.execute_silent(seq.0, &batch, out);
+            }
+        }
+    }
+
+    fn on_support(&mut self, seq: SeqNum, digest: Digest, from: u32, out: &mut Outbox<SsMsg>) {
+        if self.kind != SpecKind::Poe {
+            return;
+        }
+        let nf = self.nf();
+        let slot = self.slots.entry(seq.0).or_default();
+        slot.votes0.insert(from);
+        if slot.digest == Some(digest) && slot.votes0.len() >= nf && !slot.executed {
+            let batch = slot.batch.clone().expect("digest implies batch");
+            self.execute(seq.0, digest, &batch, out);
+        }
+    }
+
+    fn execute(&mut self, seq: u64, digest: Digest, batch: &Arc<Batch>, out: &mut Outbox<SsMsg>) {
+        let slot = self.slots.entry(seq).or_default();
+        if slot.executed {
+            return;
+        }
+        slot.executed = true;
+        self.executed += 1;
+        out.executed(seq, batch.len() as u32);
+        reply_clients(out, digest, batch);
+    }
+
+    fn execute_silent(&mut self, seq: u64, batch: &Arc<Batch>, out: &mut Outbox<SsMsg>) {
+        let slot = self.slots.entry(seq).or_default();
+        if slot.executed {
+            return;
+        }
+        slot.executed = true;
+        self.executed += 1;
+        out.executed(seq, batch.len() as u32);
+    }
+}

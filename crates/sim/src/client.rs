@@ -1,0 +1,283 @@
+//! Simulated clients: closed-loop request issue, reply-quorum collection,
+//! latency recording, and the A1 timeout-broadcast fallback (§5).
+//!
+//! One [`SimClient`] node hosts many *logical* clients (the paper runs up
+//! to 50 k): each logical client keeps one transaction in flight; when a
+//! transaction completes (f+1 matching replies — protocol-dependent
+//! quorum), the hosting node immediately issues that client's next
+//! transaction. Total in-flight load therefore equals
+//! `SystemConfig::clients`, the knob of Fig 8 XI–XII.
+
+use crate::msg::AnyMsg;
+use ringbft_baselines::{sharper_initiator, AhlReplica, ShardedMsg};
+use ringbft_core::RingMsg;
+use ringbft_crypto::Digest;
+use ringbft_protocols::{SsMsg, SsReplica};
+use ringbft_types::txn::Transaction;
+use ringbft_types::{
+    ClientId, Instant, NodeId, Outbox, ProtocolKind, ReplicaId, RingOrder, ShardId, SystemConfig,
+    TimerKind, TxnId,
+};
+use ringbft_workload::WorkloadGen;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A completed transaction's timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// When the request was first sent.
+    pub sent: Instant,
+    /// When the reply quorum completed.
+    pub done: Instant,
+}
+
+struct InFlight {
+    sent: Instant,
+    client: ClientId,
+    target_shard: ShardId,
+    /// Kept for the A1 re-broadcast.
+    txn: Arc<Transaction>,
+}
+
+/// A client host node.
+pub struct SimClient {
+    cfg: SystemConfig,
+    gen: WorkloadGen,
+    ring: RingOrder,
+    /// Logical clients hosted here.
+    logical: Vec<ClientId>,
+    quorum: usize,
+    in_flight: HashMap<TxnId, InFlight>,
+    reply_votes: HashMap<Digest, HashSet<ReplicaId>>,
+    reply_txns: HashMap<Digest, Vec<TxnId>>,
+    // (extended as replies arrive)
+    confirmed: HashSet<Digest>,
+    /// Preferred replica index per shard: rotated when requests to that
+    /// shard time out, so clients stop addressing a crashed primary
+    /// (replicas relay to whoever the current primary is, §5 A1).
+    preferred: HashMap<ShardId, u32>,
+    /// Completed transactions with timings.
+    pub completions: Vec<Completion>,
+    /// Enable the A1 timeout broadcast.
+    pub retry_enabled: bool,
+    req_counter: u64,
+}
+
+impl SimClient {
+    /// Creates a host for logical clients `first_id..first_id+count`.
+    pub fn new(cfg: SystemConfig, seed: u64, first_id: u64, count: u64) -> Self {
+        let quorum = reply_quorum(&cfg);
+        let ring = cfg.ring_order();
+        let mut gen = WorkloadGen::new(cfg.clone(), seed);
+        gen.set_txn_namespace(first_id);
+        SimClient {
+            gen,
+            ring,
+            logical: (first_id..first_id + count).map(ClientId).collect(),
+            quorum,
+            in_flight: HashMap::new(),
+            reply_votes: HashMap::new(),
+            reply_txns: HashMap::new(),
+            confirmed: HashSet::new(),
+            preferred: HashMap::new(),
+            completions: Vec::new(),
+            retry_enabled: true,
+            req_counter: 0,
+            cfg,
+        }
+    }
+
+    /// Node ids of every replica of `shard` (for the A1 broadcast).
+    /// Handles AHL's committee pseudo-shard (id = z).
+    fn shard_replicas(&self, shard: ShardId) -> Vec<NodeId> {
+        if shard.index() >= self.cfg.z() {
+            let n = AhlReplica::committee_size(&self.cfg) as u32;
+            return (0..n)
+                .map(|i| NodeId::Replica(ReplicaId::new(shard, i)))
+                .collect();
+        }
+        self.cfg
+            .shard(shard)
+            .replicas()
+            .map(NodeId::Replica)
+            .collect()
+    }
+
+    fn wrap(&self, txn: Arc<Transaction>, relayed: bool) -> AnyMsg {
+        match self.cfg.protocol {
+            ProtocolKind::RingBft => AnyMsg::Ring(RingMsg::Request { txn, relayed }),
+            ProtocolKind::Ahl | ProtocolKind::Sharper => {
+                AnyMsg::Sharded(ShardedMsg::Request { txn, relayed })
+            }
+            _ => AnyMsg::Ss(SsMsg::Request { txn, relayed }),
+        }
+    }
+
+    fn preferred_index(&self, shard: ShardId) -> u32 {
+        self.preferred.get(&shard).copied().unwrap_or(0)
+    }
+
+    /// Where a fresh transaction must be sent (§4.3.1 and the baselines'
+    /// §2 routing rules). Clients remember a preferred replica per shard
+    /// and rotate it when requests time out.
+    fn target_for(&mut self, txn: &Transaction) -> ReplicaId {
+        let involved = txn.involved_shards();
+        match self.cfg.protocol {
+            ProtocolKind::RingBft => {
+                let shard = self.ring.first(&involved);
+                ReplicaId::new(shard, self.preferred_index(shard))
+            }
+            ProtocolKind::Sharper => {
+                let shard = sharper_initiator(txn);
+                ReplicaId::new(shard, self.preferred_index(shard))
+            }
+            ProtocolKind::Ahl => {
+                if involved.len() > 1 {
+                    let shard = AhlReplica::committee_shard_of(&self.cfg);
+                    ReplicaId::new(shard, self.preferred_index(shard))
+                } else {
+                    ReplicaId::new(involved[0], self.preferred_index(involved[0]))
+                }
+            }
+            kind => {
+                self.req_counter += 1;
+                let n = self.cfg.shards[0].n;
+                ReplicaId::new(
+                    ShardId(0),
+                    SsReplica::request_target(kind, n, self.req_counter),
+                )
+            }
+        }
+    }
+
+    fn issue(&mut self, now: Instant, client: ClientId, out: &mut Outbox<AnyMsg>) {
+        let txn = self.gen.next_txn(client);
+        let id = txn.id;
+        let target = self.target_for(&txn);
+        let txn = Arc::new(txn);
+        self.in_flight.insert(
+            id,
+            InFlight {
+                sent: now,
+                client,
+                target_shard: target.shard,
+                txn: Arc::clone(&txn),
+            },
+        );
+        out.send(NodeId::Replica(target), self.wrap(Arc::clone(&txn), false));
+        if self.retry_enabled {
+            out.set_timer(TimerKind::Client, id.0, self.cfg.timers.client);
+        }
+    }
+
+    /// Issues the initial window: one transaction per logical client.
+    pub fn on_start(&mut self, now: Instant, out: &mut Outbox<AnyMsg>) {
+        let clients: Vec<ClientId> = self.logical.clone();
+        for c in clients {
+            self.issue(now, c, out);
+        }
+    }
+
+    /// Handles a reply.
+    pub fn on_message(&mut self, now: Instant, from: NodeId, msg: AnyMsg, out: &mut Outbox<AnyMsg>) {
+        let (digest, txn_ids) = match msg {
+            AnyMsg::Ring(RingMsg::Reply {
+                digest, txn_ids, ..
+            })
+            | AnyMsg::Sharded(ShardedMsg::Reply {
+                digest, txn_ids, ..
+            })
+            | AnyMsg::Ss(SsMsg::Reply {
+                digest, txn_ids, ..
+            }) => (digest, txn_ids),
+            _ => return,
+        };
+        let NodeId::Replica(sender) = from else { return };
+        // Remember a live replica of this shard: replies prove liveness,
+        // so later requests stop addressing a crashed ex-primary.
+        self.preferred.insert(sender.shard, sender.index);
+        // A host serves many logical clients; replicas reply per client,
+        // so several distinct replies share one batch digest. Once the
+        // digest reaches its quorum, every transaction it covers —
+        // including ones named only by later replies — is complete.
+        if self.confirmed.contains(&digest) {
+            self.complete(now, txn_ids, out);
+            return;
+        }
+        let votes = self.reply_votes.entry(digest).or_default();
+        votes.insert(sender);
+        let votes_len = votes.len();
+        self.reply_txns.entry(digest).or_default().extend(txn_ids);
+        if votes_len < self.quorum {
+            return;
+        }
+        self.confirmed.insert(digest);
+        self.reply_votes.remove(&digest);
+        let ids = self.reply_txns.remove(&digest).unwrap_or_default();
+        self.complete(now, ids, out);
+    }
+
+    fn complete(&mut self, now: Instant, ids: Vec<TxnId>, out: &mut Outbox<AnyMsg>) {
+        for id in ids {
+            let Some(fl) = self.in_flight.remove(&id) else {
+                continue; // already completed via an earlier reply
+            };
+            out.cancel_timer(TimerKind::Client, id.0);
+            self.completions.push(Completion {
+                sent: fl.sent,
+                done: now,
+            });
+            // Closed loop: the logical client immediately issues its next
+            // transaction.
+            self.issue(now, fl.client, out);
+        }
+    }
+
+    /// Handles the per-transaction response timer (A1): on expiry the
+    /// client "broadcasts Tℑ to all the replicas" of the target shard.
+    pub fn on_timer(&mut self, now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<AnyMsg>) {
+        if kind != TimerKind::Client {
+            return;
+        }
+        let id = TxnId(token);
+        let Some(fl) = self.in_flight.get(&id) else {
+            return; // completed meanwhile
+        };
+        let shard = fl.target_shard;
+        let txn = Arc::clone(&fl.txn);
+        // A1: broadcast the original transaction to every replica of the
+        // target shard; non-primary replicas relay it to their current
+        // primary and watch it (§5).
+        for node in self.shard_replicas(shard) {
+            out.send(node, self.wrap(Arc::clone(&txn), false));
+        }
+        // Rotate the preferred replica for this shard: the old target may
+        // be crashed; any live replica relays to the real primary.
+        let n = if shard.index() >= self.cfg.z() {
+            AhlReplica::committee_size(&self.cfg) as u32
+        } else {
+            self.cfg.shard(shard).n as u32
+        };
+        let e = self.preferred.entry(shard).or_insert(0);
+        *e = (*e + 1) % n;
+        let _ = now;
+        out.set_timer(TimerKind::Client, token, self.cfg.timers.client);
+    }
+
+    /// Number of transactions still in flight.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+/// Reply quorum per protocol (§4: `f + 1` identical responses; Zyzzyva's
+/// fast path needs all `n`; SBFT's collector sends one certified reply).
+pub fn reply_quorum(cfg: &SystemConfig) -> usize {
+    let n = cfg.shards[0].n;
+    match cfg.protocol {
+        ProtocolKind::RingBft | ProtocolKind::Ahl | ProtocolKind::Sharper => {
+            cfg.shards[0].f() + 1
+        }
+        kind => SsReplica::reply_quorum(kind, n),
+    }
+}

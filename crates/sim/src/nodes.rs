@@ -1,0 +1,102 @@
+//! Adapters wiring every protocol node plus the clients into the
+//! discrete-event simulator's [`SimNode`] interface.
+
+use crate::client::SimClient;
+use crate::msg::AnyMsg;
+use ringbft_baselines::{AhlReplica, SharperReplica};
+use ringbft_core::RingReplica;
+use ringbft_protocols::SsReplica;
+use ringbft_simnet::SimNode;
+use ringbft_types::{Action, Instant, NodeId, Outbox, TimerKind};
+
+/// Any node participating in a simulation.
+pub enum AnyNode {
+    /// A RingBFT replica.
+    Ring(Box<RingReplica>),
+    /// An AHL node (shard replica or committee member).
+    Ahl(Box<AhlReplica>),
+    /// A SharPer replica.
+    Sharper(Box<SharperReplica>),
+    /// A Figure 1 single-shard baseline replica.
+    Ss(Box<SsReplica>),
+    /// A client host.
+    Client(Box<SimClient>),
+}
+
+fn lift<M>(actions: Vec<Action<M>>, wrap: impl Fn(M) -> AnyMsg) -> Vec<Action<AnyMsg>> {
+    actions.into_iter().map(|a| a.map_msg(&wrap)).collect()
+}
+
+impl SimNode<AnyMsg> for AnyNode {
+    fn on_start(&mut self, now: Instant) -> Vec<Action<AnyMsg>> {
+        match self {
+            AnyNode::Client(c) => {
+                let mut out = Outbox::new();
+                c.on_start(now, &mut out);
+                out.take()
+            }
+            _ => vec![],
+        }
+    }
+
+    fn on_message(&mut self, now: Instant, from: NodeId, msg: AnyMsg) -> Vec<Action<AnyMsg>> {
+        match (self, msg) {
+            (AnyNode::Ring(r), AnyMsg::Ring(m)) => {
+                let mut out = Outbox::new();
+                r.on_message(now, from, m, &mut out);
+                lift(out.take(), AnyMsg::Ring)
+            }
+            (AnyNode::Ahl(r), AnyMsg::Sharded(m)) => {
+                let mut out = Outbox::new();
+                r.on_message(now, from, m, &mut out);
+                lift(out.take(), AnyMsg::Sharded)
+            }
+            (AnyNode::Sharper(r), AnyMsg::Sharded(m)) => {
+                let mut out = Outbox::new();
+                r.on_message(now, from, m, &mut out);
+                lift(out.take(), AnyMsg::Sharded)
+            }
+            (AnyNode::Ss(r), AnyMsg::Ss(m)) => {
+                let mut out = Outbox::new();
+                r.on_message(now, from, m, &mut out);
+                lift(out.take(), AnyMsg::Ss)
+            }
+            (AnyNode::Client(c), m) => {
+                let mut out = Outbox::new();
+                c.on_message(now, from, m, &mut out);
+                out.take()
+            }
+            _ => vec![], // mismatched protocol traffic is dropped
+        }
+    }
+
+    fn on_timer(&mut self, now: Instant, kind: TimerKind, token: u64) -> Vec<Action<AnyMsg>> {
+        match self {
+            AnyNode::Ring(r) => {
+                let mut out = Outbox::new();
+                r.on_timer(now, kind, token, &mut out);
+                lift(out.take(), AnyMsg::Ring)
+            }
+            AnyNode::Ahl(r) => {
+                let mut out = Outbox::new();
+                r.on_timer(now, kind, token, &mut out);
+                lift(out.take(), AnyMsg::Sharded)
+            }
+            AnyNode::Sharper(r) => {
+                let mut out = Outbox::new();
+                r.on_timer(now, kind, token, &mut out);
+                lift(out.take(), AnyMsg::Sharded)
+            }
+            AnyNode::Ss(r) => {
+                let mut out = Outbox::new();
+                r.on_timer(now, kind, token, &mut out);
+                lift(out.take(), AnyMsg::Ss)
+            }
+            AnyNode::Client(c) => {
+                let mut out = Outbox::new();
+                c.on_timer(now, kind, token, &mut out);
+                out.take()
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The scenario runner: builds a full deployment (replicas, AHL's
+//! committee, client hosts), runs it on the simulated WAN, and reports
+//! the metrics the paper's figures plot — throughput, average latency,
+//! a per-second throughput timeline (Fig 9), and view-change counts.
+
+use crate::client::{reply_quorum, SimClient};
+use crate::msg::AnyMsg;
+use crate::nodes::AnyNode;
+use ringbft_baselines::{AhlReplica, AhlRole, SharperReplica};
+use ringbft_core::RingReplica;
+use ringbft_protocols::SsReplica;
+use ringbft_simnet::{FaultPlan, Topology, World};
+use ringbft_types::{
+    ClientId, Duration, Instant, NodeId, ProtocolKind, Region, ReplicaId, ShardId, SystemConfig,
+};
+
+/// Metrics of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Completed transactions inside the measurement window.
+    pub completed_txns: u64,
+    /// Client-observed throughput, transactions per second.
+    pub throughput_tps: f64,
+    /// Average client latency in seconds.
+    pub avg_latency_s: f64,
+    /// Median client latency in seconds.
+    pub p50_latency_s: f64,
+    /// 95th-percentile client latency in seconds.
+    pub p95_latency_s: f64,
+    /// Per-second throughput timeline over the whole run (Fig 9).
+    pub timeline: Vec<(f64, f64)>,
+    /// Distinct view-change events observed.
+    pub view_changes: usize,
+    /// Messages sent on the simulated network.
+    pub messages_sent: u64,
+    /// Bytes sent on the simulated network.
+    pub bytes_sent: u64,
+}
+
+/// A configurable experiment.
+pub struct Scenario {
+    cfg: SystemConfig,
+    seed: u64,
+    warmup: Duration,
+    measure: Duration,
+    faults: FaultPlan,
+    local_topology: bool,
+    clients_per_host: u64,
+    bandwidth_divisor: u64,
+}
+
+impl Scenario {
+    /// New scenario over `cfg` with a deterministic seed.
+    pub fn new(cfg: SystemConfig, seed: u64) -> Self {
+        Scenario {
+            cfg,
+            seed,
+            warmup: Duration::from_secs(1),
+            measure: Duration::from_secs(3),
+            faults: FaultPlan::none(),
+            local_topology: false,
+            clients_per_host: 200,
+            bandwidth_divisor: 1,
+        }
+    }
+
+    /// Warmup phase length (completions here are discarded).
+    pub fn warmup_secs(mut self, s: f64) -> Self {
+        self.warmup = Duration::from_secs_f64(s);
+        self
+    }
+
+    /// Measurement window length.
+    pub fn measure_secs(mut self, s: f64) -> Self {
+        self.measure = Duration::from_secs_f64(s);
+        self
+    }
+
+    /// Inject faults (crashes, drops).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Use a single-datacenter topology instead of the 15-region WAN.
+    pub fn local_topology(mut self, yes: bool) -> Self {
+        self.local_topology = yes;
+        self
+    }
+
+    /// Logical clients per client-host node.
+    pub fn clients_per_host(mut self, k: u64) -> Self {
+        self.clients_per_host = k.max(1);
+        self
+    }
+
+    /// Divides every link's bandwidth by `d`. Used by quick-scale figure
+    /// regeneration: with shard counts and replication scaled down ~7×,
+    /// scaling bandwidth down keeps the saturation points — where the
+    /// paper's quadratic baselines collapse — inside the scaled-down
+    /// operating range (see DESIGN.md).
+    pub fn bandwidth_divisor(mut self, d: u64) -> Self {
+        self.bandwidth_divisor = d.max(1);
+        self
+    }
+
+    /// The configuration under test.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs the scenario to completion and reports metrics.
+    pub fn run(self) -> ScenarioReport {
+        let cfg = self.cfg.clone();
+        cfg.validate().expect("valid scenario config");
+        let mut topology = if self.local_topology {
+            Topology::local()
+        } else {
+            Topology::gcp()
+        };
+        topology.intra_region_bps /= self.bandwidth_divisor;
+        topology.wan_bps /= self.bandwidth_divisor;
+        let mut world: World<AnyMsg, AnyNode> = World::new(topology, self.faults.clone(), self.seed);
+
+        // --- replicas ---
+        match cfg.protocol {
+            ProtocolKind::RingBft => {
+                for shard in &cfg.shards {
+                    for r in shard.replicas() {
+                        world.add_node(
+                            NodeId::Replica(r),
+                            shard.region,
+                            AnyNode::Ring(Box::new(RingReplica::new(cfg.clone(), r, false))),
+                        );
+                    }
+                }
+            }
+            ProtocolKind::Sharper => {
+                for shard in &cfg.shards {
+                    for r in shard.replicas() {
+                        world.add_node(
+                            NodeId::Replica(r),
+                            shard.region,
+                            AnyNode::Sharper(Box::new(SharperReplica::new(cfg.clone(), r))),
+                        );
+                    }
+                }
+            }
+            ProtocolKind::Ahl => {
+                for shard in &cfg.shards {
+                    for r in shard.replicas() {
+                        world.add_node(
+                            NodeId::Replica(r),
+                            shard.region,
+                            AnyNode::Ahl(Box::new(AhlReplica::new(
+                                cfg.clone(),
+                                r,
+                                AhlRole::Shard,
+                            ))),
+                        );
+                    }
+                }
+                // The reference committee lives in the first region.
+                let cshard = AhlReplica::committee_shard_of(&cfg);
+                for i in 0..AhlReplica::committee_size(&cfg) as u32 {
+                    let r = ReplicaId::new(cshard, i);
+                    world.add_node(
+                        NodeId::Replica(r),
+                        cfg.shards[0].region,
+                        AnyNode::Ahl(Box::new(AhlReplica::new(
+                            cfg.clone(),
+                            r,
+                            AhlRole::Committee,
+                        ))),
+                    );
+                }
+            }
+            // Fully-replicated baselines: one group spread over regions.
+            kind => {
+                let n = cfg.shards[0].n;
+                for i in 0..n as u32 {
+                    let r = ReplicaId::new(ShardId(0), i);
+                    world.add_node(
+                        NodeId::Replica(r),
+                        Region::ALL[i as usize % Region::ALL.len()],
+                        AnyNode::Ss(Box::new(SsReplica::new(
+                            kind,
+                            r,
+                            n,
+                            cfg.batch_size,
+                            cfg.timers.local,
+                        ))),
+                    );
+                }
+            }
+        }
+
+        // --- clients, spread equally over the regions in use (§8) ---
+        let regions: Vec<Region> = if cfg.protocol.is_sharded() {
+            cfg.shards.iter().map(|s| s.region).collect()
+        } else {
+            Region::ALL
+                .iter()
+                .copied()
+                .take(cfg.shards[0].n.min(Region::ALL.len()))
+                .collect()
+        };
+        let total_clients = cfg.clients as u64;
+        let host_count = total_clients.div_ceil(self.clients_per_host).max(1);
+        let mut assigned = 0u64;
+        for h in 0..host_count {
+            let count = self
+                .clients_per_host
+                .min(total_clients - assigned);
+            if count == 0 {
+                break;
+            }
+            let first_id = 1_000_000 + assigned;
+            let client = SimClient::new(cfg.clone(), self.seed ^ (h + 1), first_id, count);
+            let host = NodeId::Client(ClientId(first_id));
+            world.add_node(
+                host,
+                regions[(h as usize) % regions.len()],
+                AnyNode::Client(Box::new(client)),
+            );
+            // Replies address logical client ids; route them to the host.
+            for c in first_id + 1..first_id + count {
+                world.add_alias(NodeId::Client(ClientId(c)), host);
+            }
+            assigned += count;
+        }
+
+        // --- run ---
+        let end = Instant::ZERO + self.warmup + self.measure;
+        world.start();
+        world.run_until(end);
+
+        // --- collect ---
+        let mut completions = Vec::new();
+        for (_, node) in world.nodes() {
+            if let AnyNode::Client(c) = node {
+                completions.extend(c.completions.iter().copied());
+            }
+        }
+        let w_start = Instant::ZERO + self.warmup;
+        let mut latencies: Vec<f64> = completions
+            .iter()
+            .filter(|c| c.done >= w_start && c.done <= end)
+            .map(|c| c.done.since(c.sent).as_secs_f64())
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let completed = latencies.len() as u64;
+        let measure_s = self.measure.as_secs_f64();
+        let throughput = completed as f64 / measure_s;
+        let avg = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let pct = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                latencies[((latencies.len() - 1) as f64 * p) as usize]
+            }
+        };
+
+        // Timeline: one-second buckets over the full run.
+        let total_s = end.as_secs_f64().ceil() as usize;
+        let mut buckets = vec![0u64; total_s.max(1)];
+        for c in &completions {
+            let b = (c.done.as_secs_f64() as usize).min(buckets.len() - 1);
+            buckets[b] += 1;
+        }
+        let timeline: Vec<(f64, f64)> = buckets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as f64, *n as f64))
+            .collect();
+
+        ScenarioReport {
+            completed_txns: completed,
+            throughput_tps: throughput,
+            avg_latency_s: avg,
+            p50_latency_s: pct(0.50),
+            p95_latency_s: pct(0.95),
+            timeline,
+            view_changes: world.view_log.len(),
+            messages_sent: world.stats.messages_sent,
+            bytes_sent: world.stats.bytes_sent,
+        }
+    }
+}
+
+/// Convenience: the reply quorum the scenario's clients use.
+pub fn scenario_quorum(cfg: &SystemConfig) -> usize {
+    reply_quorum(cfg)
+}

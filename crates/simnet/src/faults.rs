@@ -1,0 +1,189 @@
+//! Fault injection: crashes, message loss, and directed link-drop windows.
+//!
+//! These model the paper's "uncivil executions" (§5): unreliable networks
+//! that lose or delay messages, crashed (fail-stop) primaries, and the
+//! cross-shard attacks C1 (no communication) and C2 (partial
+//! communication) of §5.1.
+
+use ringbft_types::{Instant, NodeId, ShardId};
+
+/// A rule dropping messages on matching links during a time window.
+#[derive(Debug, Clone)]
+pub struct DropRule {
+    /// Match messages from this specific node (None = any).
+    pub from_node: Option<NodeId>,
+    /// Match messages from replicas of this shard (None = any).
+    pub from_shard: Option<ShardId>,
+    /// Match messages to this specific node (None = any).
+    pub to_node: Option<NodeId>,
+    /// Match messages to replicas of this shard (None = any).
+    pub to_shard: Option<ShardId>,
+    /// Window start (inclusive).
+    pub start: Instant,
+    /// Window end (exclusive); `Instant(u64::MAX)` = forever.
+    pub end: Instant,
+    /// Drop probability in `[0, 1]`; 1.0 = total blackout.
+    pub probability: f64,
+}
+
+impl DropRule {
+    /// A total blackout of all traffic from shard `from` to shard `to`
+    /// starting at `start` — the paper's C1 "no communication" attack.
+    pub fn shard_blackout(from: ShardId, to: ShardId, start: Instant, end: Instant) -> Self {
+        DropRule {
+            from_node: None,
+            from_shard: Some(from),
+            to_node: None,
+            to_shard: Some(to),
+            start,
+            end,
+            probability: 1.0,
+        }
+    }
+
+    fn matches_endpoint(
+        node: NodeId,
+        want_node: Option<NodeId>,
+        want_shard: Option<ShardId>,
+    ) -> bool {
+        if let Some(w) = want_node {
+            if w != node {
+                return false;
+            }
+        }
+        if let Some(ws) = want_shard {
+            match node {
+                NodeId::Replica(r) => {
+                    if r.shard != ws {
+                        return false;
+                    }
+                }
+                NodeId::Client(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Does this rule apply to a message `from → to` sent at `now`?
+    pub fn matches(&self, now: Instant, from: NodeId, to: NodeId) -> bool {
+        now >= self.start
+            && now < self.end
+            && Self::matches_endpoint(from, self.from_node, self.from_shard)
+            && Self::matches_endpoint(to, self.to_node, self.to_shard)
+    }
+}
+
+/// The complete fault schedule of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fail-stop crashes: `(time, node)`. After its crash time a node
+    /// neither receives deliveries nor has its timers fired.
+    pub crashes: Vec<(Instant, NodeId)>,
+    /// Directed drop rules.
+    pub drops: Vec<DropRule>,
+    /// Uniform background message-loss probability (unreliable network).
+    pub loss_probability: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all — the civil executions of §4.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fail-stop crash.
+    pub fn crash(mut self, node: NodeId, at: Instant) -> Self {
+        self.crashes.push((at, node));
+        self
+    }
+
+    /// Adds a drop rule.
+    pub fn with_drop(mut self, rule: DropRule) -> Self {
+        self.drops.push(rule);
+        self
+    }
+
+    /// Sets the uniform loss probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.loss_probability = p;
+        self
+    }
+
+    /// Probability that a message `from → to` at `now` is dropped,
+    /// combining the background loss and the strongest matching rule.
+    pub fn drop_probability(&self, now: Instant, from: NodeId, to: NodeId) -> f64 {
+        let rule_p = self
+            .drops
+            .iter()
+            .filter(|r| r.matches(now, from, to))
+            .map(|r| r.probability)
+            .fold(0.0_f64, f64::max);
+        rule_p.max(self.loss_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringbft_types::{ClientId, Duration, ReplicaId};
+
+    fn rep(s: u32, i: u32) -> NodeId {
+        NodeId::Replica(ReplicaId::new(ShardId(s), i))
+    }
+
+    fn t(ms: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn blackout_matches_only_window_and_shards() {
+        let rule = DropRule::shard_blackout(ShardId(0), ShardId(1), t(10), t(20));
+        assert!(rule.matches(t(10), rep(0, 3), rep(1, 3)));
+        assert!(rule.matches(t(19), rep(0, 0), rep(1, 2)));
+        // Outside window.
+        assert!(!rule.matches(t(9), rep(0, 3), rep(1, 3)));
+        assert!(!rule.matches(t(20), rep(0, 3), rep(1, 3)));
+        // Wrong shards.
+        assert!(!rule.matches(t(15), rep(2, 0), rep(1, 0)));
+        assert!(!rule.matches(t(15), rep(0, 0), rep(2, 0)));
+        // Clients never match shard-scoped rules.
+        assert!(!rule.matches(t(15), NodeId::Client(ClientId(1)), rep(1, 0)));
+    }
+
+    #[test]
+    fn plan_combines_rules_and_background_loss() {
+        let plan = FaultPlan::none()
+            .with_loss(0.1)
+            .with_drop(DropRule::shard_blackout(
+                ShardId(0),
+                ShardId(1),
+                t(0),
+                Instant(u64::MAX),
+            ));
+        assert_eq!(plan.drop_probability(t(5), rep(0, 0), rep(1, 0)), 1.0);
+        assert_eq!(plan.drop_probability(t(5), rep(1, 0), rep(0, 0)), 0.1);
+    }
+
+    #[test]
+    fn node_scoped_rule() {
+        let rule = DropRule {
+            from_node: Some(rep(0, 0)),
+            from_shard: None,
+            to_node: None,
+            to_shard: None,
+            start: Instant::ZERO,
+            end: Instant(u64::MAX),
+            probability: 1.0,
+        };
+        assert!(rule.matches(t(1), rep(0, 0), rep(4, 9)));
+        assert!(!rule.matches(t(1), rep(0, 1), rep(4, 9)));
+    }
+
+    #[test]
+    fn crash_builder_records() {
+        let plan = FaultPlan::none().crash(rep(2, 2), t(100));
+        assert_eq!(plan.crashes.len(), 1);
+        assert_eq!(plan.crashes[0], (t(100), rep(2, 2)));
+    }
+}

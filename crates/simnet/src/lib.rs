@@ -1,0 +1,23 @@
+//! A deterministic discrete-event simulator of the paper's testbed: 420+
+//! replicas spread over fifteen GCP regions connected by a WAN.
+//!
+//! * [`topology`] — pairwise region latencies (derived from great-circle
+//!   distances) and the intra-region vs WAN bandwidth classes.
+//! * [`queue`] — the `(time, sequence)`-ordered event queue.
+//! * [`faults`] — crash and message-loss injection for the paper's
+//!   "uncivil executions" (§5).
+//! * [`world`] — the driver: per-node egress serialization, per-node CPU
+//!   occupancy, timers, and logs of executed batches and view changes.
+//!
+//! Everything is a pure function of the seed: two runs with identical
+//! inputs produce identical logs, which the test-suite asserts.
+
+pub mod faults;
+pub mod queue;
+pub mod topology;
+pub mod world;
+
+pub use faults::{DropRule, FaultPlan};
+pub use queue::EventQueue;
+pub use topology::Topology;
+pub use world::{ExecRecord, NetStats, SimMessage, SimNode, ViewRecord, World};

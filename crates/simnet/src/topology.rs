@@ -1,0 +1,207 @@
+//! WAN topology: propagation latency and bandwidth between the fifteen GCP
+//! regions of the paper's testbed (§8).
+//!
+//! Latencies are derived from great-circle distances between the regions'
+//! datacenter locations: one-way latency ≈ distance / (0.66·c) · routing
+//! factor, which reproduces published GCP inter-region RTTs to within
+//! ~15% — e.g. Oregon↔Iowa ≈ 36 ms RTT, Oregon↔Sydney ≈ 160 ms RTT,
+//! London↔Belgium ≈ 8 ms RTT. The paper's argument only needs the *shape*:
+//! cross-continent links are slow and narrow, intra-region links fast and
+//! wide.
+
+use ringbft_types::{Duration, Region};
+
+/// Approximate datacenter coordinates (latitude, longitude) per region.
+fn coordinates(r: Region) -> (f64, f64) {
+    match r {
+        Region::Oregon => (45.60, -121.18),        // The Dalles
+        Region::Iowa => (41.26, -95.86),           // Council Bluffs
+        Region::Montreal => (45.50, -73.57),
+        Region::Netherlands => (53.44, 6.84),      // Eemshaven
+        Region::Taiwan => (24.08, 120.54),         // Changhua
+        Region::Sydney => (-33.87, 151.21),
+        Region::Singapore => (1.35, 103.82),
+        Region::SouthCarolina => (33.20, -80.01),  // Moncks Corner
+        Region::NorthVirginia => (39.04, -77.49),  // Ashburn
+        Region::LosAngeles => (34.05, -118.24),
+        Region::LasVegas => (36.17, -115.14),
+        Region::London => (51.51, -0.13),
+        Region::Belgium => (50.47, 3.87),          // St. Ghislain
+        Region::Tokyo => (35.69, 139.69),
+        Region::HongKong => (22.32, 114.17),
+    }
+}
+
+/// Great-circle distance in kilometres (haversine).
+fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    const R_EARTH_KM: f64 = 6371.0;
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * R_EARTH_KM * h.sqrt().min(1.0).asin()
+}
+
+/// The network topology: pairwise one-way latencies plus bandwidth classes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// One-way latency in nanoseconds, indexed `[from][to]`.
+    latency_ns: [[u64; 15]; 15],
+    /// Per-node egress bandwidth towards nodes in the same region, bits/s.
+    pub intra_region_bps: u64,
+    /// Per-node egress bandwidth towards other regions, bits/s.
+    pub wan_bps: u64,
+    /// Floor latency between distinct nodes in the same region.
+    pub intra_region_latency: Duration,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::gcp()
+    }
+}
+
+impl Topology {
+    /// The paper's testbed: 15 GCP regions, 16-core N1 machines. GCP N1
+    /// instances get ~10 Gbps intra-region; sustained WAN egress per flow
+    /// is far lower — we model 400 Mbps per node, matching the paper's
+    /// observation that low WAN bandwidth throttles protocols that
+    /// concentrate traffic on few nodes.
+    pub fn gcp() -> Self {
+        // speed of light in fibre ≈ 0.66 c ≈ 198 km/ms; routing factor 1.6.
+        const KM_PER_MS: f64 = 198.0;
+        const ROUTING_FACTOR: f64 = 1.6;
+        let mut latency_ns = [[0u64; 15]; 15];
+        for (i, &ra) in Region::ALL.iter().enumerate() {
+            for (j, &rb) in Region::ALL.iter().enumerate() {
+                if i == j {
+                    latency_ns[i][j] = 300_000; // 0.3 ms within a region
+                    continue;
+                }
+                let km = haversine_km(coordinates(ra), coordinates(rb));
+                let ms = (km * ROUTING_FACTOR / KM_PER_MS).max(1.0);
+                latency_ns[i][j] = (ms * 1e6) as u64;
+            }
+        }
+        Topology {
+            latency_ns,
+            intra_region_bps: 10_000_000_000,
+            wan_bps: 400_000_000,
+            intra_region_latency: Duration::from_micros(300),
+        }
+    }
+
+    /// A single-datacenter topology (every node in one region) — useful for
+    /// unit tests and for isolating protocol costs from WAN effects.
+    pub fn local() -> Self {
+        let mut t = Self::gcp();
+        for row in t.latency_ns.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = 300_000;
+            }
+        }
+        t
+    }
+
+    /// One-way propagation latency between two regions.
+    #[inline]
+    pub fn latency(&self, from: Region, to: Region) -> Duration {
+        Duration::from_nanos(self.latency_ns[from.index()][to.index()])
+    }
+
+    /// Egress bandwidth (bits/s) for a transfer from `from` to `to`.
+    #[inline]
+    pub fn bandwidth_bps(&self, from: Region, to: Region) -> u64 {
+        if from == to {
+            self.intra_region_bps
+        } else {
+            self.wan_bps
+        }
+    }
+
+    /// Serialisation (transmission) delay of `bytes` on the `from→to` link.
+    #[inline]
+    pub fn transmission_delay(&self, from: Region, to: Region, bytes: u64) -> Duration {
+        let bps = self.bandwidth_bps(from, to);
+        Duration::from_nanos(bytes.saturating_mul(8).saturating_mul(1_000_000_000) / bps)
+    }
+
+    /// Round-trip time between two regions.
+    #[inline]
+    pub fn rtt(&self, a: Region, b: Region) -> Duration {
+        self.latency(a, b) + self.latency(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_symmetric_and_positive() {
+        let t = Topology::gcp();
+        for &a in &Region::ALL {
+            for &b in &Region::ALL {
+                assert_eq!(t.latency(a, b), t.latency(b, a));
+                assert!(t.latency(a, b).as_nanos() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rtts_match_published_gcp_shape() {
+        let t = Topology::gcp();
+        // Close pairs.
+        let london_belgium = t.rtt(Region::London, Region::Belgium).as_millis_f64();
+        assert!(
+            (4.0..20.0).contains(&london_belgium),
+            "London-Belgium RTT {london_belgium} ms"
+        );
+        // Mid continental pair.
+        let oregon_iowa = t.rtt(Region::Oregon, Region::Iowa).as_millis_f64();
+        assert!(
+            (20.0..55.0).contains(&oregon_iowa),
+            "Oregon-Iowa RTT {oregon_iowa} ms"
+        );
+        // Trans-pacific pair.
+        let oregon_sydney = t.rtt(Region::Oregon, Region::Sydney).as_millis_f64();
+        assert!(
+            (120.0..220.0).contains(&oregon_sydney),
+            "Oregon-Sydney RTT {oregon_sydney} ms"
+        );
+        // Ordering: nearby < continental < intercontinental.
+        assert!(london_belgium < oregon_iowa);
+        assert!(oregon_iowa < oregon_sydney);
+    }
+
+    #[test]
+    fn intra_region_is_fast_and_wide() {
+        let t = Topology::gcp();
+        assert_eq!(
+            t.latency(Region::Tokyo, Region::Tokyo),
+            Duration::from_micros(300)
+        );
+        assert!(t.bandwidth_bps(Region::Tokyo, Region::Tokyo) > t.wan_bps);
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_bytes() {
+        let t = Topology::gcp();
+        let d1 = t.transmission_delay(Region::Oregon, Region::Tokyo, 6147);
+        let d2 = t.transmission_delay(Region::Oregon, Region::Tokyo, 2 * 6147);
+        assert_eq!(d2.as_nanos(), 2 * d1.as_nanos());
+        // 6147 bytes at 400 Mbps ≈ 123 µs.
+        let expect_ns = 6147u64 * 8 * 1_000_000_000 / 400_000_000;
+        assert_eq!(d1.as_nanos(), expect_ns);
+    }
+
+    #[test]
+    fn local_topology_flattens_latency() {
+        let t = Topology::local();
+        assert_eq!(
+            t.latency(Region::Oregon, Region::Sydney),
+            Duration::from_micros(300)
+        );
+    }
+}

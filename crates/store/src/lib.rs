@@ -1,0 +1,13 @@
+//! Per-shard storage substrate: the YCSB-style key-value partition and the
+//! sequence-ordered lock manager with the paper's pending list `π`.
+//!
+//! * [`kv`] — deterministic, versioned key-value records; fragment
+//!   execution with `Σ`-supplied remote values for complex csts.
+//! * [`locks`] — `k_max`-ordered lock admission (§4.3.5, Example 4.4),
+//!   the shard-local half of RingBFT's deadlock-freedom argument.
+
+pub mod kv;
+pub mod locks;
+
+pub use kv::{rmw_ops, FragmentResult, KvStore, Record};
+pub use locks::{Admission, LockManager};

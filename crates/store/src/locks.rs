@@ -1,0 +1,337 @@
+//! The sequence-ordered lock manager of §4.3.5 and Example 4.4.
+//!
+//! RingBFT lets replicas process Prepare/Commit messages out of order, but
+//! requires locks to be acquired in *transactional sequence order*. Each
+//! replica tracks `k_max`, the sequence number of the last transaction to
+//! lock data. A transaction committing at sequence `k > k_max + 1` is
+//! stored in the pending list `π` until its turn. When the `k_max + 1`-th
+//! transaction acquires its locks, the replica "gradually releases
+//! transactions in π until there is a transaction that wishes to lock
+//! already locked data-fragments" — i.e. admission proceeds strictly in
+//! sequence order and stalls on the first lock conflict (Example 4.4: even
+//! a conflict-free T4 waits behind a conflicting T3).
+//!
+//! This strict ordering is the shard-local half of the deadlock-freedom
+//! argument (Theorem 6.2); the cross-shard half is the ring order itself.
+
+use ringbft_types::txn::Key;
+use std::collections::{BTreeMap, HashMap};
+
+/// Outcome of offering a committed transaction to the lock manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admission {
+    /// Sequence numbers that acquired their locks as a result of this
+    /// call, in acquisition order. May be empty (queued or stalled), and
+    /// may include later sequence numbers released from `π`.
+    pub acquired: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Waiting {
+    /// Keys locked in shared mode (reads, including remote-read keys a
+    /// shard serves to other shards — their values must stay stable, but
+    /// concurrent readers do not conflict).
+    reads: Vec<Key>,
+    /// Keys locked exclusively (writes).
+    writes: Vec<Key>,
+}
+
+#[derive(Debug, Clone)]
+enum LockState {
+    /// Held exclusively by one sequence number.
+    Exclusive(u64),
+    /// Held shared by a set of sequence numbers (reader count per seq).
+    Shared(HashMap<u64, u32>),
+}
+
+/// Sequence-ordered lock manager for one shard replica, with shared read
+/// locks and exclusive write locks.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    /// Sequence number of the last transaction to acquire locks.
+    k_max: u64,
+    /// Locks currently held.
+    locked: HashMap<Key, LockState>,
+    /// The pending list `π`: committed transactions waiting their turn,
+    /// keyed by sequence number.
+    pi: BTreeMap<u64, Waiting>,
+    /// Lock sets of transactions currently holding locks (for release).
+    held: HashMap<u64, Waiting>,
+}
+
+impl LockManager {
+    /// Fresh manager; sequence numbers start at 1 (`k_max = 0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sequence number of the last admitted transaction.
+    pub fn k_max(&self) -> u64 {
+        self.k_max
+    }
+
+    /// Is `key` currently locked (in any mode)?
+    pub fn is_locked(&self, key: Key) -> bool {
+        self.locked.contains_key(&key)
+    }
+
+    /// Which sequence number holds the exclusive lock on `key`?
+    pub fn holder(&self, key: Key) -> Option<u64> {
+        match self.locked.get(&key) {
+            Some(LockState::Exclusive(s)) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Number of shared holders of `key`.
+    pub fn shared_holders(&self, key: Key) -> usize {
+        match self.locked.get(&key) {
+            Some(LockState::Shared(s)) => s.len(),
+            _ => 0,
+        }
+    }
+
+    /// Number of transactions waiting in `π`.
+    pub fn pending_len(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Number of transactions currently holding locks.
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// A transaction at `seq` finished its local commit phase (received
+    /// `nf` Commit messages), locking `keys` exclusively. Shorthand for
+    /// [`LockManager::commit_rw`] with an empty read set.
+    pub fn commit(&mut self, seq: u64, keys: Vec<Key>) -> Admission {
+        self.commit_rw(seq, Vec::new(), keys)
+    }
+
+    /// Full form: `reads` take shared locks, `writes` exclusive locks.
+    /// Attempts admission in sequence order; returns every sequence
+    /// number that acquired locks as a result (the offered one and/or
+    /// successors drained from `π`).
+    ///
+    /// Duplicate offers for an already-admitted or already-pending
+    /// sequence number are ignored (idempotent).
+    pub fn commit_rw(&mut self, seq: u64, mut reads: Vec<Key>, writes: Vec<Key>) -> Admission {
+        if seq <= self.k_max || self.held.contains_key(&seq) {
+            return Admission { acquired: vec![] };
+        }
+        // A key both read and written needs only the exclusive lock.
+        reads.retain(|k| !writes.contains(k));
+        self.pi.entry(seq).or_insert(Waiting { reads, writes });
+        self.drain()
+    }
+
+    /// Releases the locks held by `seq` (its fragment executed and, for
+    /// csts, rotation two passed through). Returns newly admitted
+    /// successors from `π`.
+    pub fn release(&mut self, seq: u64) -> Admission {
+        if let Some(Waiting { reads, writes }) = self.held.remove(&seq) {
+            for k in writes {
+                if matches!(self.locked.get(&k), Some(LockState::Exclusive(s)) if *s == seq) {
+                    self.locked.remove(&k);
+                }
+            }
+            for k in reads {
+                if let Some(LockState::Shared(holders)) = self.locked.get_mut(&k) {
+                    holders.remove(&seq);
+                    if holders.is_empty() {
+                        self.locked.remove(&k);
+                    }
+                }
+            }
+        }
+        self.drain()
+    }
+
+    fn conflicts(&self, w: &Waiting) -> bool {
+        // Writes conflict with any existing lock; reads only with
+        // exclusive locks.
+        w.writes.iter().any(|k| self.locked.contains_key(k))
+            || w.reads
+                .iter()
+                .any(|k| matches!(self.locked.get(k), Some(LockState::Exclusive(_))))
+    }
+
+    /// Admits transactions from `π` strictly in sequence order, stopping
+    /// at the first gap or lock conflict.
+    fn drain(&mut self) -> Admission {
+        let mut acquired = Vec::new();
+        loop {
+            let next_seq = self.k_max + 1;
+            let Some(waiting) = self.pi.get(&next_seq) else {
+                break; // gap: next-in-order transaction has not committed
+            };
+            if self.conflicts(waiting) {
+                break; // Example 4.4: stall on first conflict
+            }
+            let waiting = self.pi.remove(&next_seq).expect("checked above");
+            for &k in &waiting.writes {
+                self.locked.insert(k, LockState::Exclusive(next_seq));
+            }
+            for &k in &waiting.reads {
+                match self.locked.entry(k).or_insert_with(|| LockState::Shared(HashMap::new())) {
+                    LockState::Shared(holders) => {
+                        *holders.entry(next_seq).or_default() += 1;
+                    }
+                    LockState::Exclusive(_) => unreachable!("conflict checked above"),
+                }
+            }
+            self.held.insert(next_seq, waiting);
+            self.k_max = next_seq;
+            acquired.push(next_seq);
+        }
+        Admission { acquired }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_admission() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.commit(1, vec![10]).acquired, vec![1]);
+        assert_eq!(lm.commit(2, vec![20]).acquired, vec![2]);
+        assert_eq!(lm.k_max(), 2);
+        assert!(lm.is_locked(10));
+        assert_eq!(lm.holder(20), Some(2));
+    }
+
+    /// The paper's Example 4.4: T1 locks a, T2 locks b, T3 wants a
+    /// (conflict → stall), T4 wants c but must wait behind T3.
+    #[test]
+    fn example_4_4() {
+        let (a, b, c) = (100, 200, 300);
+        let mut lm = LockManager::new();
+        // Out-of-order commits: T2, T3, T4 arrive before T1.
+        assert!(lm.commit(2, vec![b]).acquired.is_empty());
+        assert!(lm.commit(3, vec![a]).acquired.is_empty());
+        assert!(lm.commit(4, vec![c]).acquired.is_empty());
+        assert_eq!(lm.pending_len(), 3);
+        // T1 commits: T1 and T2 admitted, T3 stalls on a, T4 behind T3.
+        assert_eq!(lm.commit(1, vec![a]).acquired, vec![1, 2]);
+        assert_eq!(lm.k_max(), 2);
+        assert_eq!(lm.pending_len(), 2);
+        assert_eq!(lm.holder(a), Some(1));
+        // Releasing T1 unblocks T3, then T4.
+        assert_eq!(lm.release(1).acquired, vec![3, 4]);
+        assert_eq!(lm.holder(a), Some(3));
+        assert!(lm.is_locked(c));
+        assert_eq!(lm.k_max(), 4);
+    }
+
+    #[test]
+    fn gap_blocks_admission() {
+        let mut lm = LockManager::new();
+        assert!(lm.commit(2, vec![1]).acquired.is_empty());
+        assert!(lm.commit(3, vec![2]).acquired.is_empty());
+        // Nothing admitted until seq 1 arrives.
+        assert_eq!(lm.k_max(), 0);
+        assert_eq!(lm.commit(1, vec![3]).acquired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_key_all_or_nothing() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.commit(1, vec![1, 2]).acquired, vec![1]);
+        // T2 needs {2,3}: 2 is held → stall.
+        assert!(lm.commit(2, vec![2, 3]).acquired.is_empty());
+        assert!(!lm.is_locked(3), "partial acquisition is forbidden");
+        assert_eq!(lm.release(1).acquired, vec![2]);
+        assert!(lm.is_locked(3));
+    }
+
+    #[test]
+    fn duplicate_commits_are_idempotent() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.commit(1, vec![5]).acquired, vec![1]);
+        assert!(lm.commit(1, vec![5]).acquired.is_empty());
+        assert_eq!(lm.held_len(), 1);
+        // Re-offer while pending.
+        assert!(lm.commit(3, vec![6]).acquired.is_empty());
+        assert!(lm.commit(3, vec![6]).acquired.is_empty());
+        assert_eq!(lm.pending_len(), 1);
+    }
+
+    #[test]
+    fn release_unknown_seq_is_noop() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.commit(1, vec![5]).acquired, vec![1]);
+        assert!(lm.release(99).acquired.is_empty());
+        assert!(lm.is_locked(5));
+    }
+
+    #[test]
+    fn same_key_sequential_transactions() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.commit(1, vec![7]).acquired, vec![1]);
+        assert!(lm.commit(2, vec![7]).acquired.is_empty());
+        assert!(lm.commit(3, vec![7]).acquired.is_empty());
+        assert_eq!(lm.release(1).acquired, vec![2]);
+        assert_eq!(lm.release(2).acquired, vec![3]);
+        assert_eq!(lm.release(3).acquired, Vec::<u64>::new());
+        assert!(!lm.is_locked(7));
+        assert_eq!(lm.k_max(), 3);
+    }
+
+    #[test]
+    fn empty_lock_set_admits_trivially() {
+        // Read-only or remote-only fragments lock nothing locally.
+        let mut lm = LockManager::new();
+        assert_eq!(lm.commit(1, vec![]).acquired, vec![1]);
+        assert_eq!(lm.release(1).acquired, Vec::<u64>::new());
+        assert_eq!(lm.k_max(), 1);
+    }
+
+    #[test]
+    fn shared_reads_do_not_conflict() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.commit_rw(1, vec![7], vec![]).acquired, vec![1]);
+        assert_eq!(lm.commit_rw(2, vec![7], vec![]).acquired, vec![2]);
+        assert_eq!(lm.shared_holders(7), 2);
+        // A writer of the shared key must wait.
+        assert!(lm.commit_rw(3, vec![], vec![7]).acquired.is_empty());
+        assert!(lm.release(1).acquired.is_empty());
+        assert_eq!(lm.release(2).acquired, vec![3]);
+        assert_eq!(lm.holder(7), Some(3));
+    }
+
+    #[test]
+    fn reader_waits_for_writer() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.commit_rw(1, vec![], vec![9]).acquired, vec![1]);
+        assert!(lm.commit_rw(2, vec![9], vec![]).acquired.is_empty());
+        assert_eq!(lm.release(1).acquired, vec![2]);
+        assert_eq!(lm.shared_holders(9), 1);
+        assert_eq!(lm.holder(9), None);
+    }
+
+    #[test]
+    fn read_write_same_key_upgrades_to_exclusive() {
+        let mut lm = LockManager::new();
+        // Key 5 appears in both sets: only the exclusive lock is taken.
+        assert_eq!(lm.commit_rw(1, vec![5], vec![5]).acquired, vec![1]);
+        assert_eq!(lm.holder(5), Some(1));
+        assert_eq!(lm.shared_holders(5), 0);
+        assert!(lm.release(1).acquired.is_empty());
+        assert!(!lm.is_locked(5));
+    }
+
+    #[test]
+    fn mixed_shared_exclusive_pipeline() {
+        let mut lm = LockManager::new();
+        // Readers of a, writer of b; then writer of a stalls behind readers.
+        assert_eq!(lm.commit_rw(1, vec![100], vec![200]).acquired, vec![1]);
+        assert_eq!(lm.commit_rw(2, vec![100], vec![201]).acquired, vec![2]);
+        assert!(lm.commit_rw(3, vec![], vec![100]).acquired.is_empty());
+        // Head-of-line: 4 waits behind 3 even though conflict-free.
+        assert!(lm.commit_rw(4, vec![], vec![300]).acquired.is_empty());
+        lm.release(1);
+        assert_eq!(lm.release(2).acquired, vec![3, 4]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Identifiers for shards, replicas, clients, sequence numbers and views.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a shard. The paper assigns each shard `S` a position in the
+/// ring, `1 ≤ id(S) ≤ |𝔖|` (§3, "Ring Order"). We store the position
+/// zero-based internally and expose ring arithmetic in [`crate::ring`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// Zero-based ring position of this shard.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of a replica: the shard it belongs to plus its index inside
+/// the shard. The linear communication primitive (§4.3.6) matches replicas
+/// of equal `index` across neighbouring shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId {
+    /// The shard this replica belongs to.
+    pub shard: ShardId,
+    /// Index of the replica within its shard, `0..n`.
+    pub index: u32,
+}
+
+impl ReplicaId {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(shard: ShardId, index: u32) -> Self {
+        Self { shard, index }
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}r{}", self.shard, self.index)
+    }
+}
+
+/// Identifier of a client. Clients sign their transactions with digital
+/// signatures to prevent repudiation attacks (§4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A consensus sequence number assigned by a primary. Sequence numbers are
+/// linearly increasing per shard (§4.3.2) and drive the sequence-ordered
+/// data locking of §4.3.5 (`k_max` and the π list).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The next sequence number.
+    #[inline]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A view number. Each view designates one replica of the shard as primary;
+/// view changes replace a faulty primary (§5, A2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ViewNum(pub u64);
+
+impl ViewNum {
+    /// The next view.
+    #[inline]
+    pub fn next(self) -> ViewNum {
+        ViewNum(self.0 + 1)
+    }
+
+    /// Index of the primary for this view in a shard of `n` replicas.
+    /// Primaries rotate round-robin as in PBFT.
+    #[inline]
+    pub fn primary_index(self, n: usize) -> u32 {
+        (self.0 % n as u64) as u32
+    }
+}
+
+impl fmt::Display for ViewNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Either a replica or a client: the two endpoint kinds in the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A replica endpoint.
+    Replica(ReplicaId),
+    /// A client endpoint.
+    Client(ClientId),
+}
+
+impl NodeId {
+    /// Returns the replica id if this node is a replica.
+    #[inline]
+    pub fn as_replica(self) -> Option<ReplicaId> {
+        match self {
+            NodeId::Replica(r) => Some(r),
+            NodeId::Client(_) => None,
+        }
+    }
+
+    /// Returns the client id if this node is a client.
+    #[inline]
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            NodeId::Client(c) => Some(c),
+            NodeId::Replica(_) => None,
+        }
+    }
+}
+
+impl From<ReplicaId> for NodeId {
+    fn from(r: ReplicaId) -> Self {
+        NodeId::Replica(r)
+    }
+}
+
+impl From<ClientId> for NodeId {
+    fn from(c: ClientId) -> Self {
+        NodeId::Client(c)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Replica(r) => write!(f, "{r}"),
+            NodeId::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_num_next_increments() {
+        assert_eq!(SeqNum(0).next(), SeqNum(1));
+        assert_eq!(SeqNum(41).next(), SeqNum(42));
+    }
+
+    #[test]
+    fn view_primary_rotates_round_robin() {
+        assert_eq!(ViewNum(0).primary_index(4), 0);
+        assert_eq!(ViewNum(1).primary_index(4), 1);
+        assert_eq!(ViewNum(4).primary_index(4), 0);
+        assert_eq!(ViewNum(7).primary_index(4), 3);
+    }
+
+    #[test]
+    fn node_id_conversions() {
+        let r = ReplicaId::new(ShardId(2), 5);
+        let n: NodeId = r.into();
+        assert_eq!(n.as_replica(), Some(r));
+        assert_eq!(n.as_client(), None);
+
+        let c = ClientId(9);
+        let n: NodeId = c.into();
+        assert_eq!(n.as_client(), Some(c));
+        assert_eq!(n.as_replica(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ReplicaId::new(ShardId(1), 3).to_string(), "S1r3");
+        assert_eq!(ClientId(7).to_string(), "c7");
+        assert_eq!(SeqNum(12).to_string(), "k12");
+        assert_eq!(ViewNum(2).to_string(), "v2");
+    }
+
+    #[test]
+    fn replica_ordering_is_shard_major() {
+        let a = ReplicaId::new(ShardId(0), 9);
+        let b = ReplicaId::new(ShardId(1), 0);
+        assert!(a < b);
+    }
+}

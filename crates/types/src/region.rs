@@ -1,0 +1,172 @@
+//! The fifteen Google Cloud regions used by the paper's evaluation (§8).
+//!
+//! The paper deploys ResilientDB "in fifteen regions across five
+//! continents". Experiments with fewer than 15 shards pick regions in the
+//! listed order. We reproduce that list and the deployment rule here; the
+//! pairwise latency/bandwidth model lives in `ringbft-simnet`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the fifteen GCP regions of the paper's testbed, in the paper's
+/// stated order (which also determines shard placement for < 15 shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Region {
+    /// us-west1 (Oregon)
+    Oregon = 0,
+    /// us-central1 (Iowa)
+    Iowa = 1,
+    /// northamerica-northeast1 (Montreal)
+    Montreal = 2,
+    /// europe-west4 (Netherlands)
+    Netherlands = 3,
+    /// asia-east1 (Taiwan)
+    Taiwan = 4,
+    /// australia-southeast1 (Sydney)
+    Sydney = 5,
+    /// asia-southeast1 (Singapore)
+    Singapore = 6,
+    /// us-east1 (South Carolina)
+    SouthCarolina = 7,
+    /// us-east4 (North Virginia)
+    NorthVirginia = 8,
+    /// us-west2 (Los Angeles)
+    LosAngeles = 9,
+    /// us-west4 (Las Vegas)
+    LasVegas = 10,
+    /// europe-west2 (London)
+    London = 11,
+    /// europe-west1 (Belgium)
+    Belgium = 12,
+    /// asia-northeast1 (Tokyo)
+    Tokyo = 13,
+    /// asia-east2 (Hong Kong)
+    HongKong = 14,
+}
+
+impl Region {
+    /// All fifteen regions in the paper's deployment order.
+    pub const ALL: [Region; 15] = [
+        Region::Oregon,
+        Region::Iowa,
+        Region::Montreal,
+        Region::Netherlands,
+        Region::Taiwan,
+        Region::Sydney,
+        Region::Singapore,
+        Region::SouthCarolina,
+        Region::NorthVirginia,
+        Region::LosAngeles,
+        Region::LasVegas,
+        Region::London,
+        Region::Belgium,
+        Region::Tokyo,
+        Region::HongKong,
+    ];
+
+    /// Region used for the `i`-th shard: "In any experiment involving less
+    /// than 15 shards, the choice of the shards is in the order we have
+    /// mentioned above" (§8). Wraps around for more than fifteen shards.
+    #[inline]
+    pub fn for_shard(i: usize) -> Region {
+        Region::ALL[i % Region::ALL.len()]
+    }
+
+    /// Zero-based index of this region in [`Region::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable region name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Oregon => "Oregon",
+            Region::Iowa => "Iowa",
+            Region::Montreal => "Montreal",
+            Region::Netherlands => "Netherlands",
+            Region::Taiwan => "Taiwan",
+            Region::Sydney => "Sydney",
+            Region::Singapore => "Singapore",
+            Region::SouthCarolina => "South Carolina",
+            Region::NorthVirginia => "North Virginia",
+            Region::LosAngeles => "Los Angeles",
+            Region::LasVegas => "Las Vegas",
+            Region::London => "London",
+            Region::Belgium => "Belgium",
+            Region::Tokyo => "Tokyo",
+            Region::HongKong => "Hong Kong",
+        }
+    }
+
+    /// Rough continent bucket, used by the latency model.
+    pub fn continent(self) -> Continent {
+        match self {
+            Region::Oregon
+            | Region::Iowa
+            | Region::Montreal
+            | Region::SouthCarolina
+            | Region::NorthVirginia
+            | Region::LosAngeles
+            | Region::LasVegas => Continent::NorthAmerica,
+            Region::Netherlands | Region::London | Region::Belgium => Continent::Europe,
+            Region::Taiwan | Region::Singapore | Region::Tokyo | Region::HongKong => {
+                Continent::Asia
+            }
+            Region::Sydney => Continent::Oceania,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Continent bucket for coarse latency modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Continent {
+    /// The Americas regions.
+    NorthAmerica,
+    /// European regions.
+    Europe,
+    /// Asian regions.
+    Asia,
+    /// Australia.
+    Oceania,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_regions_in_paper_order() {
+        assert_eq!(Region::ALL.len(), 15);
+        assert_eq!(Region::ALL[0], Region::Oregon);
+        assert_eq!(Region::ALL[14], Region::HongKong);
+        // Index round-trips.
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn shard_placement_follows_paper_order_and_wraps() {
+        assert_eq!(Region::for_shard(0), Region::Oregon);
+        assert_eq!(Region::for_shard(3), Region::Netherlands);
+        assert_eq!(Region::for_shard(15), Region::Oregon);
+        assert_eq!(Region::for_shard(16), Region::Iowa);
+    }
+
+    #[test]
+    fn continents_cover_five_buckets() {
+        use std::collections::HashSet;
+        let continents: HashSet<_> = Region::ALL.iter().map(|r| r.continent()).collect();
+        assert_eq!(continents.len(), 4); // five continents in paper; NA counted once here
+        assert_eq!(Region::Sydney.continent(), Continent::Oceania);
+        assert_eq!(Region::London.continent(), Continent::Europe);
+    }
+}

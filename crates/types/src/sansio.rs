@@ -1,0 +1,252 @@
+//! The sans-io contract between protocol state machines and their driver.
+//!
+//! Every protocol in this repository (PBFT, RingBFT, AHL, Sharper, the
+//! Figure-1 baselines) is a pure state machine: it receives a message or a
+//! timer expiry together with the current simulated time, and returns a
+//! list of [`Action`]s. The driver — the discrete-event simulator in
+//! `ringbft-sim`, or a unit test — interprets the actions. This makes the
+//! protocol logic deterministic, directly unit-testable, and independent of
+//! any transport.
+
+use crate::ids::NodeId;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// The timers RingBFT replicas maintain (§5):
+///
+/// * **Local** — tracks successful replication of a transaction in the
+///   replica's own shard; expiry triggers a view change. Shortest duration.
+/// * **Remote** — tracks replication of a cross-shard transaction in the
+///   *previous* shard in ring order; expiry triggers a remote view change
+///   (§5.1.2). Longer than Local.
+/// * **Transmit** — re-transmits a successfully replicated cst to the next
+///   shard (§5.1.1). Longest duration.
+/// * **Client** — the client-side response timer (§5, A1): on expiry the
+///   client broadcasts its transaction to the whole shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimerKind {
+    /// Local replication watchdog (view-change trigger).
+    Local,
+    /// Retransmission of Forward messages to the next shard.
+    Transmit,
+    /// Watchdog on the previous shard's replication (remote view change).
+    Remote,
+    /// Client request/response watchdog.
+    Client,
+}
+
+/// An effect a protocol state machine requests from its driver.
+///
+/// `M` is the protocol's message type. The driver must deliver sent
+/// messages (subject to its network model), fire timers unless cancelled,
+/// and record `Committed`/`Executed` outputs for metrics and ledger upkeep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Send `msg` to `to`. Unicast; broadcast is expressed as many sends so
+    /// the simulator can charge per-link bandwidth faithfully.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The protocol message.
+        msg: M,
+    },
+    /// Arm a timer. When it expires (and was not cancelled), the driver
+    /// calls the node's `on_timer(kind, token)`.
+    SetTimer {
+        /// Which watchdog class.
+        kind: TimerKind,
+        /// Opaque token the protocol uses to identify the armed instance
+        /// (e.g. a sequence number).
+        token: u64,
+        /// Expiry delay from now.
+        after: Duration,
+    },
+    /// Disarm a previously set timer identified by `(kind, token)`.
+    /// Cancelling an unarmed timer is a no-op.
+    CancelTimer {
+        /// Which watchdog class.
+        kind: TimerKind,
+        /// Token passed at arming time.
+        token: u64,
+    },
+    /// A batch became locally committed/executed; carries enough for the
+    /// driver to count throughput and close latency measurements. The
+    /// protocol still sends explicit client-reply messages via `Send`.
+    Executed {
+        /// Consensus sequence number within the shard.
+        seq: u64,
+        /// Number of transactions in the executed batch.
+        txns: u32,
+    },
+    /// The replica changed view (used by the harness to trace Figure 9).
+    ViewChanged {
+        /// The new view number.
+        view: u64,
+    },
+}
+
+impl<M> Action<M> {
+    /// Maps the message type, preserving all non-message variants.
+    pub fn map_msg<N>(self, f: impl FnOnce(M) -> N) -> Action<N> {
+        match self {
+            Action::Send { to, msg } => Action::Send { to, msg: f(msg) },
+            Action::SetTimer { kind, token, after } => Action::SetTimer { kind, token, after },
+            Action::CancelTimer { kind, token } => Action::CancelTimer { kind, token },
+            Action::Executed { seq, txns } => Action::Executed { seq, txns },
+            Action::ViewChanged { view } => Action::ViewChanged { view },
+        }
+    }
+
+    /// Returns the destination if this is a `Send`.
+    pub fn send_to(&self) -> Option<NodeId> {
+        match self {
+            Action::Send { to, .. } => Some(*to),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience collector for protocol implementations: push actions as the
+/// state machine progresses, take the batch at the end of the event.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    actions: Vec<Action<M>>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox {
+            actions: Vec::new(),
+        }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// Empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a unicast send.
+    pub fn send(&mut self, to: impl Into<NodeId>, msg: M) {
+        self.actions.push(Action::Send {
+            to: to.into(),
+            msg,
+        });
+    }
+
+    /// Queue sends of clones of `msg` to many destinations.
+    pub fn multicast<I>(&mut self, to: I, msg: &M)
+    where
+        M: Clone,
+        I: IntoIterator<Item = NodeId>,
+    {
+        for dst in to {
+            self.actions.push(Action::Send {
+                to: dst,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Queue a timer arm.
+    pub fn set_timer(&mut self, kind: TimerKind, token: u64, after: Duration) {
+        self.actions.push(Action::SetTimer { kind, token, after });
+    }
+
+    /// Queue a timer cancel.
+    pub fn cancel_timer(&mut self, kind: TimerKind, token: u64) {
+        self.actions.push(Action::CancelTimer { kind, token });
+    }
+
+    /// Record an executed batch.
+    pub fn executed(&mut self, seq: u64, txns: u32) {
+        self.actions.push(Action::Executed { seq, txns });
+    }
+
+    /// Record a view change.
+    pub fn view_changed(&mut self, view: u64) {
+        self.actions.push(Action::ViewChanged { view });
+    }
+
+    /// Drain the accumulated actions.
+    pub fn take(&mut self) -> Vec<Action<M>> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Number of queued actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, NodeId, ReplicaId, ShardId};
+
+    #[test]
+    fn outbox_collects_in_order() {
+        let mut out: Outbox<&'static str> = Outbox::new();
+        let r = ReplicaId::new(ShardId(0), 1);
+        out.send(r, "hello");
+        out.set_timer(TimerKind::Local, 7, Duration::from_millis(5));
+        out.executed(3, 100);
+        let actions = out.take();
+        assert_eq!(actions.len(), 3);
+        assert_eq!(actions[0].send_to(), Some(NodeId::Replica(r)));
+        assert!(matches!(
+            actions[1],
+            Action::SetTimer {
+                kind: TimerKind::Local,
+                token: 7,
+                ..
+            }
+        ));
+        assert!(matches!(actions[2], Action::Executed { seq: 3, txns: 100 }));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multicast_clones_to_each_destination() {
+        let mut out: Outbox<u32> = Outbox::new();
+        let dsts: Vec<NodeId> = (0..4)
+            .map(|i| NodeId::Replica(ReplicaId::new(ShardId(1), i)))
+            .collect();
+        out.multicast(dsts.clone(), &42);
+        let actions = out.take();
+        assert_eq!(actions.len(), 4);
+        for (a, d) in actions.iter().zip(dsts) {
+            assert_eq!(a.send_to(), Some(d));
+        }
+    }
+
+    #[test]
+    fn map_msg_preserves_structure() {
+        let a: Action<u32> = Action::Send {
+            to: NodeId::Client(ClientId(1)),
+            msg: 7,
+        };
+        match a.map_msg(|m| m.to_string()) {
+            Action::Send { msg, .. } => assert_eq!(msg, "7"),
+            _ => panic!("send expected"),
+        }
+        let t: Action<u32> = Action::SetTimer {
+            kind: TimerKind::Remote,
+            token: 1,
+            after: Duration::from_secs(1),
+        };
+        assert!(matches!(
+            t.map_msg(|m| m.to_string()),
+            Action::SetTimer {
+                kind: TimerKind::Remote,
+                ..
+            }
+        ));
+    }
+}

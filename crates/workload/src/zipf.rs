@@ -1,0 +1,123 @@
+//! Zipfian sampler, following the rejection-inversion-free approach used
+//! by YCSB (Gray et al.'s "quickly generating billion-record synthetic
+//! databases" algorithm): O(1) sampling after an O(1) setup using the
+//! standard zeta-approximation constants.
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over `{0, 1, …, n−1}` where rank 0 is hottest.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `theta` (YCSB's
+    /// default is 0.99; θ = 0 degenerates to uniform).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!((0.0..1.0).contains(&theta) || theta >= 0.0, "theta must be ≥ 0");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; Euler–Maclaurin style approximation for big n
+        // keeps setup O(1) on 600 k-key tables.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫_{10000}^{n} x^{-θ} dx
+            let a = 10_000f64;
+            let b = n as f64;
+            head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+        }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn ranks_in_range() {
+        let mut z = Zipf::new(1000, 0.99);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn hottest_rank_dominates() {
+        let mut z = Zipf::new(10_000, 0.99);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut zero = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        // Rank 0 probability under Zipf(0.99, 10k) ≈ 1/ζ ≈ 9-11%.
+        let p = zero as f64 / n as f64;
+        assert!((0.05..0.20).contains(&p), "p(rank 0) = {p}");
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let mut z = Zipf::new(1, 0.99);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn big_n_setup_is_fast_and_sane() {
+        let mut z = Zipf::new(600_000, 0.99);
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let mut max_seen = 0;
+        for _ in 0..10_000 {
+            max_seen = max_seen.max(z.sample(&mut rng));
+        }
+        assert!(max_seen < 600_000);
+        assert!(max_seen > 1_000, "tail never sampled: {max_seen}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run RingBFT on a small simulated deployment and print the
+//! headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a three-shard system (four replicas each, placed in Oregon,
+//! Iowa and Montreal), drives it with a 30%-cross-shard YCSB-style
+//! workload from 200 closed-loop clients, and reports client-observed
+//! throughput and latency.
+
+use ringbft::sim::Scenario;
+use ringbft::types::{ProtocolKind, SystemConfig};
+
+fn main() {
+    // Three shards of four replicas: f = 1 per shard (n ≥ 3f + 1).
+    let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+    cfg.clients = 200;
+    cfg.batch_size = 20;
+    cfg.cross_shard_rate = 0.30;
+    cfg.involved_shards = 3;
+
+    println!(
+        "RingBFT quickstart: {} shards × {} replicas, {} clients, {:.0}% cross-shard",
+        cfg.z(),
+        cfg.shards[0].n,
+        cfg.clients,
+        cfg.cross_shard_rate * 100.0
+    );
+
+    let report = Scenario::new(cfg, 42)
+        .warmup_secs(1.0)
+        .measure_secs(5.0)
+        .run();
+
+    println!("completed transactions : {}", report.completed_txns);
+    println!("throughput             : {:.0} txn/s", report.throughput_tps);
+    println!("average latency        : {:.1} ms", report.avg_latency_s * 1e3);
+    println!("p50 / p95 latency      : {:.1} / {:.1} ms",
+        report.p50_latency_s * 1e3,
+        report.p95_latency_s * 1e3);
+    println!("network messages       : {}", report.messages_sent);
+    println!("network bytes          : {:.1} MB", report.bytes_sent as f64 / 1e6);
+
+    assert!(report.completed_txns > 0, "the system should make progress");
+}

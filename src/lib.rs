@@ -1,0 +1,53 @@
+//! # RingBFT — Resilient Consensus over Sharded Ring Topology
+//!
+//! A from-scratch Rust reproduction of *RingBFT: Resilient Consensus over
+//! Sharded Ring Topology* (Rahnama, Gupta, Sogani, Krishnan, Sadoghi —
+//! EDBT 2022).
+//!
+//! This facade crate re-exports the public API of every workspace crate:
+//!
+//! * [`types`] — identifiers, transactions, ring-order math, configuration.
+//! * [`crypto`] — SHA-256, HMAC MACs, simulated digital signatures, Merkle
+//!   trees.
+//! * [`simnet`] — deterministic discrete-event WAN simulator (15 GCP
+//!   regions).
+//! * [`store`] — YCSB-style key-value store and the sequence-ordered lock
+//!   manager with the paper's pending list `π`.
+//! * [`ledger`] — hash-chained partial blockchains, one per shard.
+//! * [`pbft`] — the intra-shard PBFT engine (pre-prepare / prepare /
+//!   commit, checkpoints, view changes).
+//! * [`protocols`] — single-shard baselines for Figure 1 (Zyzzyva, SBFT,
+//!   PoE, HotStuff, RCC).
+//! * [`core`] — the RingBFT meta-protocol: process, forward, re-transmit.
+//! * [`baselines`] — sharded baselines AHL and SharPer.
+//! * [`workload`] — YCSB-style workload generation.
+//! * [`sim`] — the scenario harness that wires protocol nodes into the
+//!   simulator and measures throughput/latency.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ringbft::sim::{Scenario, ScenarioReport};
+//! use ringbft::types::{ProtocolKind, SystemConfig};
+//!
+//! // Three shards of four replicas each, 30% cross-shard transactions.
+//! let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+//! cfg.clients = 40;
+//! let report: ScenarioReport = Scenario::new(cfg, 1)
+//!     .warmup_secs(1.0)
+//!     .measure_secs(2.0)
+//!     .run();
+//! assert!(report.throughput_tps > 0.0);
+//! ```
+
+pub use ringbft_baselines as baselines;
+pub use ringbft_core as core;
+pub use ringbft_crypto as crypto;
+pub use ringbft_ledger as ledger;
+pub use ringbft_pbft as pbft;
+pub use ringbft_protocols as protocols;
+pub use ringbft_sim as sim;
+pub use ringbft_simnet as simnet;
+pub use ringbft_store as store;
+pub use ringbft_types as types;
+pub use ringbft_workload as workload;

@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) on cross-crate invariants: safety of
+//! the lock manager under arbitrary schedules, Merkle/ledger integrity,
+//! ring-order totality, and convergence of the full RingBFT network under
+//! randomized workloads.
+
+use proptest::prelude::*;
+use ringbft::core::testing::RingNet;
+use ringbft::crypto::{verify_proof, MerkleTree};
+use ringbft::ledger::{BlockBody, Ledger};
+use ringbft::store::rmw_ops;
+use ringbft::store::LockManager;
+use ringbft::types::txn::Transaction;
+use ringbft::types::{
+    ClientId, ProtocolKind, ReplicaId, RingOrder, SeqNum, ShardId, SystemConfig, TxnId,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lock manager admits every committed transaction exactly once,
+    /// in sequence order, regardless of commit/release interleaving.
+    #[test]
+    fn lock_manager_admits_in_order(
+        // seqs 1..=n committed in a random order; keys from a small pool.
+        order in proptest::sample::subsequence((1u64..=12).collect::<Vec<_>>(), 12),
+        keys in proptest::collection::vec(0u64..6, 12),
+    ) {
+        let mut lm = LockManager::new();
+        let mut admitted: Vec<u64> = Vec::new();
+        for (i, &seq) in order.iter().enumerate() {
+            let a = lm.commit(seq, vec![keys[i % keys.len()]]);
+            admitted.extend(a.acquired);
+        }
+        // Release in admission order; collect the rest.
+        let mut i = 0;
+        while i < admitted.len() {
+            let more = lm.release(admitted[i]);
+            admitted.extend(more.acquired);
+            i += 1;
+        }
+        // Admission order must be strictly increasing (sequence order).
+        prop_assert!(admitted.windows(2).all(|w| w[0] < w[1]),
+            "admission out of order: {admitted:?}");
+        // No sequence admitted twice.
+        let mut dedup = admitted.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), admitted.len());
+    }
+
+    /// Merkle proofs verify for every leaf and fail for every other leaf.
+    #[test]
+    fn merkle_proofs_sound_and_complete(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..32), 1..24),
+    ) {
+        let tree = MerkleTree::from_payloads(payloads.iter().map(|p| p.as_slice()));
+        let root = tree.root();
+        for i in 0..payloads.len() {
+            let proof = tree.prove(i).unwrap();
+            let leaf = ringbft::crypto::merkle::leaf_hash(&payloads[i]);
+            prop_assert!(verify_proof(&root, &leaf, &proof));
+            // The same proof must not verify a different (distinct) leaf.
+            for j in 0..payloads.len() {
+                if payloads[j] != payloads[i] {
+                    let other = ringbft::crypto::merkle::leaf_hash(&payloads[j]);
+                    prop_assert!(!verify_proof(&root, &other, &proof));
+                }
+            }
+        }
+    }
+
+    /// A ledger built from arbitrary block bodies always verifies, and
+    /// corrupting any non-genesis block breaks verification.
+    #[test]
+    fn ledger_tamper_evident(
+        roots in proptest::collection::vec(any::<[u8; 32]>(), 1..12),
+        corrupt_at in 0usize..12,
+    ) {
+        let mut ledger = Ledger::new(ShardId(0));
+        for (i, root) in roots.iter().enumerate() {
+            ledger.append(BlockBody {
+                seq: SeqNum(i as u64 + 1),
+                merkle_root: *root,
+                proposer: ReplicaId::new(ShardId(0), 0),
+                txn_count: 1,
+                involved: vec![ShardId(0)],
+            });
+        }
+        prop_assert!(ledger.verify().is_ok());
+        let h = 1 + corrupt_at % roots.len();
+        let original = ledger.block(h).unwrap().body.merkle_root;
+        let tampered = [original[0] ^ 0xff; 32];
+        ledger.block_mut(h).unwrap().body.merkle_root = tampered;
+        if h < ledger.height() - 1 {
+            prop_assert!(ledger.verify().is_err());
+        }
+    }
+
+    /// Ring order is a total cyclic order: next/prev are inverse, first
+    /// is minimal, and a full traversal visits every involved shard once.
+    #[test]
+    fn ring_order_total_and_cyclic(
+        z in 1u32..20,
+        raw in proptest::collection::btree_set(0u32..20, 1..10),
+        offset in 0u32..20,
+    ) {
+        let involved: Vec<ShardId> =
+            raw.iter().filter(|s| **s < z).map(|s| ShardId(*s)).collect();
+        prop_assume!(!involved.is_empty());
+        let ring = RingOrder::rotated(z, offset % z);
+        let first = ring.first(&involved);
+        let t = ring.traversal(&involved);
+        prop_assert_eq!(t.len(), involved.len());
+        prop_assert_eq!(t[0], first);
+        for &s in &involved {
+            prop_assert_eq!(ring.prev(&involved, ring.next(&involved, s)), s);
+            prop_assert_eq!(ring.next(&involved, ring.prev(&involved, s)), s);
+            prop_assert!(ring.position(first) <= ring.position(s));
+        }
+    }
+}
+
+proptest! {
+    // Full-network convergence is expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under a random mix of conflicting single- and cross-shard
+    /// transactions, the network confirms every client, converges within
+    /// each shard, and leaks no locks (Def 4.1 + Theorem 6.2).
+    #[test]
+    fn randomized_workload_converges(
+        picks in proptest::collection::vec((0u8..4, 0u64..5), 4..16),
+    ) {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+        cfg.num_keys = 60; // tiny → heavy conflicts
+        cfg.batch_size = 2;
+        let mut net = RingNet::new(cfg.clone());
+        let mut id = 1u64;
+        for (kind, key_off) in picks {
+            let shards: Vec<u32> = match kind {
+                0 => vec![0],
+                1 => vec![1],
+                2 => vec![0, 1],
+                _ => vec![0, 1, 2],
+            };
+            let ops: Vec<(ShardId, u64)> = shards
+                .iter()
+                .map(|&s| (ShardId(s), cfg.key_range(ShardId(s)).start + key_off))
+                .collect();
+            let t = Transaction::new(TxnId(id), ClientId(id), rmw_ops(&ops));
+            net.client_send(ClientId(id), t);
+            id += 1;
+        }
+        net.settle();
+        for c in 1..id {
+            prop_assert_eq!(
+                net.completed_digests(ClientId(c), 2).len(), 1,
+                "client {} unconfirmed", c);
+        }
+        for s in 0..3u32 {
+            let prints: Vec<u64> = net
+                .replicas
+                .values()
+                .filter(|r| r.id().shard == ShardId(s))
+                .map(|r| r.store().state_fingerprint())
+                .collect();
+            prop_assert!(prints.windows(2).all(|w| w[0] == w[1]),
+                "shard {} diverged", s);
+        }
+        for r in net.replicas.values() {
+            prop_assert_eq!(r.lock_manager().held_len(), 0);
+            prop_assert_eq!(r.lock_manager().pending_len(), 0);
+        }
+    }
+}
