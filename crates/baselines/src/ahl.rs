@@ -26,8 +26,8 @@ use ringbft_crypto::Digest;
 use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
 use ringbft_types::txn::{Batch, Transaction};
 use ringbft_types::{
-    Action, BatchId, ClientId, Instant, NodeId, Outbox, ReplicaId, SeqNum, ShardId,
-    SystemConfig, TimerKind, TxnId,
+    Action, BatchId, ClientId, Instant, NodeId, Outbox, ReplicaId, SeqNum, ShardId, SystemConfig,
+    TimerKind, TxnId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -229,9 +229,13 @@ impl AhlReplica {
             return;
         }
         if kind == TimerKind::Local {
-            self.drive(now, |p, po, ev| {
-                p.on_timer(kind, token, po, ev);
-            }, out);
+            self.drive(
+                now,
+                |p, po, ev| {
+                    p.on_timer(kind, token, po, ev);
+                },
+                out,
+            );
         }
     }
 
@@ -302,9 +306,13 @@ impl AhlReplica {
             let id = BatchId(self.next_batch);
             self.next_batch += 1;
             let batch = Arc::new(Batch::new(id, group));
-            self.drive(now, |p, po, ev| {
-                p.propose(batch, po, ev);
-            }, out);
+            self.drive(
+                now,
+                |p, po, ev| {
+                    p.propose(batch, po, ev);
+                },
+                out,
+            );
             if !force {
                 break;
             }
@@ -392,9 +400,13 @@ impl AhlReplica {
         }
         entry.proposed = true;
         if self.pbft.is_primary() {
-            self.drive(now, |p, po, ev| {
-                p.propose(batch, po, ev);
-            }, out);
+            self.drive(
+                now,
+                |p, po, ev| {
+                    p.propose(batch, po, ev);
+                },
+                out,
+            );
         }
     }
 
@@ -427,10 +439,8 @@ impl AhlReplica {
             )
         };
         // A shard's vote counts once f+1 of its replicas agree.
-        let all_voted = !involved.is_empty()
-            && vote_counts
-                .iter()
-                .all(|(s, c)| *c > self.cfg.shard(*s).f());
+        let all_voted =
+            !involved.is_empty() && vote_counts.iter().all(|(s, c)| *c > self.cfg.shard(*s).f());
         if !all_voted || decision_proposed || rounds < 1 {
             return;
         }
@@ -441,9 +451,13 @@ impl AhlReplica {
         // Second committee PBFT round on the decision.
         if self.pbft.is_primary() {
             if let Some(batch) = batch {
-                self.drive(now, |p, po, ev| {
-                    p.propose(batch, po, ev);
-                }, out);
+                self.drive(
+                    now,
+                    |p, po, ev| {
+                        p.propose(batch, po, ev);
+                    },
+                    out,
+                );
             }
         }
     }

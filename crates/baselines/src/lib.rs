@@ -68,7 +68,10 @@ mod tests {
             let mut nodes = BTreeMap::new();
             for shard in &cfg.shards {
                 for r in shard.replicas() {
-                    nodes.insert(r, Node::Ahl(AhlReplica::new(cfg.clone(), r, AhlRole::Shard)));
+                    nodes.insert(
+                        r,
+                        Node::Ahl(AhlReplica::new(cfg.clone(), r, AhlRole::Shard)),
+                    );
                 }
             }
             let cshard = AhlReplica::committee_shard_of(cfg);
@@ -143,7 +146,9 @@ mod tests {
                         }
                         NodeId::Client(c) => {
                             if let ShardedMsg::Reply { digest, .. } = msg {
-                                let NodeId::Replica(sender) = from else { continue };
+                                let NodeId::Replica(sender) = from else {
+                                    continue;
+                                };
                                 self.replies
                                     .entry(c)
                                     .or_default()

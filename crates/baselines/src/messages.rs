@@ -4,6 +4,7 @@ use ringbft_crypto::Digest;
 use ringbft_pbft::PbftMsg;
 use ringbft_types::txn::{Batch, Transaction};
 use ringbft_types::{ClientId, ShardId, TxnId};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Messages of the sharded baseline protocols. AHL uses the
@@ -11,7 +12,7 @@ use std::sync::Arc;
 /// committee (§2 "Designated Committee"); SharPer uses the global
 /// `XPreprepare`/`XPrepare`/`XCommit` phases driven by the initiator
 /// shard's primary (§2 "Initiator Shard").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShardedMsg {
     /// Client request or relay.
     Request {

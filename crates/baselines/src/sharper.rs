@@ -81,7 +81,7 @@ impl SharperReplica {
             xtxns: HashMap::new(),
             cfg,
             me,
-        executed: 0,
+            executed: 0,
         }
     }
 
@@ -144,7 +144,9 @@ impl SharperReplica {
                 }
                 self.drive(now, |p, po, ev| p.on_message(now, r, m, po, ev), out);
             }
-            ShardedMsg::XPreprepare { digest, batch, .. } => self.on_xpreprepare(digest, batch, out),
+            ShardedMsg::XPreprepare { digest, batch, .. } => {
+                self.on_xpreprepare(digest, batch, out)
+            }
             ShardedMsg::XPrepare { digest, shard, .. } => {
                 let NodeId::Replica(r) = from else { return };
                 if r.shard != shard {
@@ -177,9 +179,13 @@ impl SharperReplica {
             return;
         }
         if kind == TimerKind::Local {
-            self.drive(now, |p, po, ev| {
-                p.on_timer(kind, token, po, ev);
-            }, out);
+            self.drive(
+                now,
+                |p, po, ev| {
+                    p.on_timer(kind, token, po, ev);
+                },
+                out,
+            );
         }
     }
 
@@ -235,9 +241,13 @@ impl SharperReplica {
             let id = BatchId(self.next_batch);
             self.next_batch += 1;
             let batch = Arc::new(Batch::new(id, txns));
-            self.drive(now, |p, po, ev| {
-                p.propose(batch, po, ev);
-            }, out);
+            self.drive(
+                now,
+                |p, po, ev| {
+                    p.propose(batch, po, ev);
+                },
+                out,
+            );
         }
         // Cross-shard batches → global consensus.
         let keys: Vec<Vec<ShardId>> = self
@@ -301,22 +311,27 @@ impl SharperReplica {
         self.on_xprepare(digest, me.0, me.1, out);
     }
 
-    fn quorums_met(
-        &self,
-        votes: &HashMap<ShardId, HashSet<u32>>,
-        involved: &[ShardId],
-    ) -> bool {
+    fn quorums_met(&self, votes: &HashMap<ShardId, HashSet<u32>>, involved: &[ShardId]) -> bool {
         !involved.is_empty()
             && involved
                 .iter()
                 .all(|s| votes.get(s).map_or(0, |v| v.len()) >= self.cfg.shard(*s).nf())
     }
 
-    fn on_xprepare(&mut self, digest: Digest, shard: ShardId, from: u32, out: &mut Outbox<ShardedMsg>) {
+    fn on_xprepare(
+        &mut self,
+        digest: Digest,
+        shard: ShardId,
+        from: u32,
+        out: &mut Outbox<ShardedMsg>,
+    ) {
         let (ready, involved) = {
             let state = self.xtxns.entry(digest).or_default();
             state.prepares.entry(shard).or_default().insert(from);
-            (state.batch.is_some() && !state.prepared, state.involved.clone())
+            (
+                state.batch.is_some() && !state.prepared,
+                state.involved.clone(),
+            )
         };
         if !ready {
             return;
@@ -339,11 +354,20 @@ impl SharperReplica {
         self.on_xcommit(digest, me.0, me.1, out);
     }
 
-    fn on_xcommit(&mut self, digest: Digest, shard: ShardId, from: u32, out: &mut Outbox<ShardedMsg>) {
+    fn on_xcommit(
+        &mut self,
+        digest: Digest,
+        shard: ShardId,
+        from: u32,
+        out: &mut Outbox<ShardedMsg>,
+    ) {
         let (ready, involved) = {
             let state = self.xtxns.entry(digest).or_default();
             state.commits.entry(shard).or_default().insert(from);
-            (state.batch.is_some() && !state.executed, state.involved.clone())
+            (
+                state.batch.is_some() && !state.executed,
+                state.involved.clone(),
+            )
         };
         if !ready {
             return;

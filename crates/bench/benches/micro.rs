@@ -11,8 +11,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use ringbft_crypto::{sha256, KeyStore, MerkleTree};
-use ringbft_pbft::testing::{test_batch, TestCluster};
 use ringbft_pbft::batch_digest;
+use ringbft_pbft::testing::{test_batch, TestCluster};
 use ringbft_simnet::EventQueue;
 use ringbft_store::LockManager;
 use ringbft_types::{
@@ -113,7 +113,9 @@ fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     let batch = test_batch(ShardId(0), 1, 100);
     g.throughput(Throughput::Elements(1));
-    g.bench_function("batch_digest_100", |b| b.iter(|| batch_digest(black_box(&batch))));
+    g.bench_function("batch_digest_100", |b| {
+        b.iter(|| batch_digest(black_box(&batch)))
+    });
     g.bench_function("message_sizes", |b| {
         b.iter(|| {
             let a = ringbft_types::wire::preprepare_bytes(black_box(100));

@@ -1,0 +1,117 @@
+//! Emits `BENCH_ringbft.json`: a machine-readable performance snapshot
+//! for regression tracking across PRs.
+//!
+//! ```text
+//! cargo run --release -p ringbft-bench --bin bench_json            # writes ./BENCH_ringbft.json
+//! cargo run --release -p ringbft-bench --bin bench_json -- out.json --seed 9
+//! ```
+//!
+//! Runs a fixed quick-scale workload per protocol (deterministic in the
+//! seed) on the simulated WAN and records throughput and latency
+//! percentiles. Subsequent PRs diff this file to catch perf
+//! regressions; the workload must therefore stay byte-for-byte stable —
+//! change it only together with a new `schema_version`.
+
+use ringbft_sim::Scenario;
+use ringbft_types::{ProtocolKind, SystemConfig};
+use std::io::Write as _;
+
+/// Bump when the benchmark workload or JSON layout changes, so trend
+/// tooling never compares across incompatible definitions.
+const SCHEMA_VERSION: u64 = 1;
+
+fn quick_cfg(kind: ProtocolKind) -> SystemConfig {
+    let (z, n) = if kind.is_sharded() { (3, 4) } else { (1, 4) };
+    let mut cfg = SystemConfig::uniform(kind, z, n);
+    cfg.num_keys = 60_000;
+    cfg.clients = 2_000;
+    cfg.batch_size = 50;
+    cfg.cross_shard_rate = if kind.is_sharded() { 0.30 } else { 0.0 };
+    cfg.involved_shards = z;
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_ringbft.json".to_string();
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("bench_json [OUT_PATH] [--seed N] — write BENCH_ringbft.json");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_string(),
+        }
+        i += 1;
+    }
+
+    let protocols = [
+        ProtocolKind::RingBft,
+        ProtocolKind::Sharper,
+        ProtocolKind::Ahl,
+        ProtocolKind::Pbft,
+        ProtocolKind::HotStuff,
+    ];
+
+    let mut entries: Vec<(String, serde_json::Value)> = Vec::new();
+    for kind in protocols {
+        eprintln!("bench {} ...", kind.name());
+        let t0 = std::time::Instant::now();
+        let report = Scenario::new(quick_cfg(kind), seed)
+            .warmup_secs(1.0)
+            .measure_secs(4.0)
+            .bandwidth_divisor(20)
+            .run();
+        eprintln!(
+            "  {:>10.0} txn/s, {:.3}s avg latency ({:.1}s wall)",
+            report.throughput_tps,
+            report.avg_latency_s,
+            t0.elapsed().as_secs_f64()
+        );
+        entries.push((
+            kind.name().to_string(),
+            serde_json::json!({
+                "throughput_tps": report.throughput_tps,
+                "avg_latency_s": report.avg_latency_s,
+                "p50_latency_s": report.p50_latency_s,
+                "p95_latency_s": report.p95_latency_s,
+                "completed_txns": report.completed_txns,
+                "messages_sent": report.messages_sent,
+                "bytes_sent": report.bytes_sent,
+            }),
+        ));
+    }
+
+    let doc = serde_json::json!({
+        "schema_version": SCHEMA_VERSION,
+        "seed": seed,
+        "scale": "quick",
+        "workload": serde_json::json!({
+            "sharded": "3 shards x 4 replicas, 30% cst, batch 50, 2000 clients",
+            "single_shard": "1 shard x 4 replicas, batch 50, 2000 clients",
+            "warmup_s": 1.0, "measure_s": 4.0, "bandwidth_divisor": 20,
+        }),
+        "protocols": serde_json::Value::Object(entries),
+    });
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    writeln!(
+        f,
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serialize")
+    )
+    .expect("write json");
+    eprintln!("wrote {out_path}");
+}

@@ -52,22 +52,21 @@ fn main() {
 
     let generators = all_figures();
     let ids: Vec<&str> = generators.iter().map(|(id, _)| *id).collect();
-    let selected: Vec<&(&str, ringbft_bench::FigureGen)> =
-        if wanted.iter().any(|w| w == "all") {
-            generators.iter().collect()
-        } else {
-            let mut sel = Vec::new();
-            for w in &wanted {
-                match generators.iter().find(|(id, _)| id == w) {
-                    Some(g) => sel.push(g),
-                    None => {
-                        eprintln!("unknown figure '{w}'; available: {ids:?} or 'all'");
-                        std::process::exit(2);
-                    }
+    let selected: Vec<&(&str, ringbft_bench::FigureGen)> = if wanted.iter().any(|w| w == "all") {
+        generators.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for w in &wanted {
+            match generators.iter().find(|(id, _)| id == w) {
+                Some(g) => sel.push(g),
+                None => {
+                    eprintln!("unknown figure '{w}'; available: {ids:?} or 'all'");
+                    std::process::exit(2);
                 }
             }
-            sel
-        };
+        }
+        sel
+    };
 
     if let Some(dir) = &json_dir {
         std::fs::create_dir_all(dir).expect("create json output dir");
@@ -90,8 +89,12 @@ fn main() {
             let path = format!("{dir}/{id}.json");
             let mut f = std::fs::File::create(&path).expect("create json file");
             let v = to_json(&fig);
-            writeln!(f, "{}", serde_json::to_string_pretty(&v).expect("serialize"))
-                .expect("write json");
+            writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&v).expect("serialize")
+            )
+            .expect("write json");
             eprintln!("  wrote {path}");
         }
     }

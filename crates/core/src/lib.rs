@@ -76,7 +76,12 @@ mod tests {
             .map(|r| r.ledger().head().hash())
             .collect();
         assert!(heads.windows(2).all(|w| w[0] == w[1]));
-        assert_eq!(net.replicas[&ReplicaId::new(ShardId(0), 0)].ledger().height(), 2);
+        assert_eq!(
+            net.replicas[&ReplicaId::new(ShardId(0), 0)]
+                .ledger()
+                .height(),
+            2
+        );
     }
 
     #[test]
@@ -106,7 +111,10 @@ mod tests {
                 .filter(|r| r.id().shard == ShardId(s))
                 .map(|r| r.store().state_fingerprint())
                 .collect();
-            assert!(prints.windows(2).all(|w| w[0] == w[1]), "shard {s} diverged");
+            assert!(
+                prints.windows(2).all(|w| w[0] == w[1]),
+                "shard {s} diverged"
+            );
         }
     }
 
@@ -146,7 +154,10 @@ mod tests {
                 .filter(|r| r.id().shard == ShardId(s))
                 .map(|r| r.store().state_fingerprint())
                 .collect();
-            assert!(prints.windows(2).all(|w| w[0] == w[1]), "shard {s} diverged");
+            assert!(
+                prints.windows(2).all(|w| w[0] == w[1]),
+                "shard {s} diverged"
+            );
         }
         for r in net.replicas.values() {
             assert_eq!(r.lock_manager().held_len(), 0, "{} deadlocked", r.id());
@@ -201,8 +212,16 @@ mod tests {
         let mut net = RingNet::new(cfg.clone());
         // cst over {0,1,2} sent to shard 2's primary: must be relayed to
         // shard 0 (Fig 5 line 9).
-        net.client_send_to(ClientId(1), ReplicaId::new(ShardId(2), 0), cst(&cfg, 1, &[0, 1, 2], 8));
-        net.client_send_to(ClientId(2), ReplicaId::new(ShardId(2), 0), cst(&cfg, 2, &[0, 1, 2], 7));
+        net.client_send_to(
+            ClientId(1),
+            ReplicaId::new(ShardId(2), 0),
+            cst(&cfg, 1, &[0, 1, 2], 8),
+        );
+        net.client_send_to(
+            ClientId(2),
+            ReplicaId::new(ShardId(2), 0),
+            cst(&cfg, 2, &[0, 1, 2], 7),
+        );
         net.settle();
         assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
     }
@@ -212,8 +231,16 @@ mod tests {
         let cfg = small_cfg();
         let mut net = RingNet::new(cfg.clone());
         // A1: send to a backup; it relays to the primary and watches it.
-        net.client_send_to(ClientId(1), ReplicaId::new(ShardId(0), 2), single(&cfg, 1, 0, 1));
-        net.client_send_to(ClientId(2), ReplicaId::new(ShardId(0), 2), single(&cfg, 2, 0, 2));
+        net.client_send_to(
+            ClientId(1),
+            ReplicaId::new(ShardId(0), 2),
+            single(&cfg, 1, 0, 1),
+        );
+        net.client_send_to(
+            ClientId(2),
+            ReplicaId::new(ShardId(0), 2),
+            single(&cfg, 2, 0, 2),
+        );
         net.settle();
         assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
     }
@@ -293,7 +320,9 @@ mod tests {
         assert!(fired > 0, "remote timers armed at shard 1");
         net.settle();
         assert!(
-            net.view_log.iter().any(|(r, v)| r.shard == ShardId(0) && *v >= 1),
+            net.view_log
+                .iter()
+                .any(|(r, v)| r.shard == ShardId(0) && *v >= 1),
             "no view change at shard 0: {:?}",
             net.view_log
         );
@@ -303,7 +332,6 @@ mod tests {
         net.settle();
         assert_eq!(net.completed_digests(ClientId(1), 2).len(), 1);
     }
-
 
     #[test]
     fn ledgers_contain_cross_shard_block_everywhere() {

@@ -11,6 +11,7 @@ use ringbft_crypto::Digest;
 use ringbft_pbft::PbftMsg;
 use ringbft_types::txn::{Batch, Key, Transaction, Value};
 use ringbft_types::{ClientId, ShardId, TxnId};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The Forward message of Fig 5 line 19: carries the client batch, its
@@ -18,7 +19,7 @@ use std::sync::Arc;
 /// of the `nf` Commit signatures), and — for complex csts — the read
 /// values accumulated along the ring (§8.8: "each shard sends its
 /// read-write sets along with the Forward message").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ForwardMsg {
     /// The cross-shard batch being forwarded.
     pub batch: Arc<Batch>,
@@ -36,7 +37,7 @@ pub struct ForwardMsg {
 
 /// The Execute message of Fig 5 line 37: second-rotation message carrying
 /// the updated write sets `Σℑ`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecuteMsg {
     /// Batch digest `Δ`.
     pub digest: Digest,
@@ -47,7 +48,7 @@ pub struct ExecuteMsg {
 }
 
 /// All messages a RingBFT replica sends or receives.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RingMsg {
     /// A client's signed transaction request (§4.3.1), possibly relayed
     /// by a non-primary replica or a wrong-shard primary (Fig 5 line 9).
@@ -142,7 +143,11 @@ mod tests {
             deps: vec![],
         };
         assert_eq!(
-            RingMsg::Request { txn, relayed: false }.tag(),
+            RingMsg::Request {
+                txn,
+                relayed: false
+            }
+            .tag(),
             "request"
         );
         assert_eq!(RingMsg::Forward(fwd.clone()).tag(), "forward");

@@ -343,9 +343,13 @@ impl RingReplica {
                 if r.shard != self.me.shard {
                     return; // PBFT is intra-shard only
                 }
-                self.drive_pbft(now, |pbft, pout, events| {
-                    pbft.on_message(now, r, m, pout, events);
-                }, out);
+                self.drive_pbft(
+                    now,
+                    |pbft, pout, events| {
+                        pbft.on_message(now, r, m, pout, events);
+                    },
+                    out,
+                );
             }
             RingMsg::Forward(fwd) => {
                 let NodeId::Replica(r) = from else { return };
@@ -388,7 +392,13 @@ impl RingReplica {
     }
 
     /// Handles a timer expiry.
-    pub fn on_timer(&mut self, now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<RingMsg>) {
+    pub fn on_timer(
+        &mut self,
+        now: Instant,
+        kind: TimerKind,
+        token: u64,
+        out: &mut Outbox<RingMsg>,
+    ) {
         match kind {
             TimerKind::Local => {
                 // Grace period: a freshly installed view gets one full
@@ -408,9 +418,13 @@ impl RingReplica {
                         // Keep watching: the re-relay on view entry (below)
                         // hands the request to the next primary.
                         out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
-                        self.drive_pbft(now, |pbft, pout, events| {
-                            pbft.force_view_change(pout, events);
-                        }, out);
+                        self.drive_pbft(
+                            now,
+                            |pbft, pout, events| {
+                                pbft.force_view_change(pout, events);
+                            },
+                            out,
+                        );
                     }
                     return;
                 }
@@ -424,16 +438,24 @@ impl RingReplica {
                     if stalled && (grace || self.pbft.in_view_change()) {
                         out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
                     } else if stalled {
-                        self.drive_pbft(now, |pbft, pout, events| {
-                            pbft.force_view_change(pout, events);
-                        }, out);
+                        self.drive_pbft(
+                            now,
+                            |pbft, pout, events| {
+                                pbft.force_view_change(pout, events);
+                            },
+                            out,
+                        );
                     }
                     return;
                 }
                 // PBFT-owned token (per-seq watchdog or view-change timer).
-                self.drive_pbft(now, |pbft, pout, events| {
-                    pbft.on_timer(kind, token, pout, events);
-                }, out);
+                self.drive_pbft(
+                    now,
+                    |pbft, pout, events| {
+                        pbft.on_timer(kind, token, pout, events);
+                    },
+                    out,
+                );
             }
             TimerKind::Transmit => self.on_transmit_timer(token, out),
             TimerKind::Remote => self.on_remote_timer(token, out),
@@ -470,10 +492,7 @@ impl RingReplica {
             if !self.pooled.insert(txn.id) {
                 return; // already pooled (duplicate relay)
             }
-            self.pools
-                .entry(involved)
-                .or_default()
-                .push((*txn).clone());
+            self.pools.entry(involved).or_default().push((*txn).clone());
             self.flush_pools(false, out);
             if !self.pool_timer_armed && self.pools.values().any(|p| !p.is_empty()) {
                 self.pool_timer_armed = true;
@@ -568,9 +587,13 @@ impl RingReplica {
             });
         }
         let now = Instant::ZERO; // PBFT core does not use wall time
-        self.drive_pbft(now, |pbft, pout, events| {
-            pbft.propose(batch, pout, events);
-        }, out);
+        self.drive_pbft(
+            now,
+            |pbft, pout, events| {
+                pbft.propose(batch, pout, events);
+            },
+            out,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -666,7 +689,7 @@ impl RingReplica {
             state.local_seq = Some(seq.0);
             state.committed_local = true;
             let _ = committers; // certificate modeled by index set size
-            // Cancel the forwarded-request watchdog (primary proposed it).
+                                // Cancel the forwarded-request watchdog (primary proposed it).
             out.cancel_timer(TimerKind::Local, state.token);
             self.work.insert(seq.0, Work::Cst(digest));
         }
@@ -849,7 +872,12 @@ impl RingReplica {
             // Ablation: all-to-all cross-shard fan-out (what SharPer-style
             // protocols pay and RingBFT's primitive avoids).
             let msg = RingMsg::Forward(fwd);
-            let dsts: Vec<NodeId> = self.cfg.shard(next).replicas().map(NodeId::Replica).collect();
+            let dsts: Vec<NodeId> = self
+                .cfg
+                .shard(next)
+                .replicas()
+                .map(NodeId::Replica)
+                .collect();
             out.multicast(dsts, &msg);
             self.stats.forwards_sent += self.cfg.shard(next).n as u64;
         } else {
@@ -963,9 +991,13 @@ impl RingReplica {
                     s.proposed_here = true;
                 }
                 let now = Instant::ZERO;
-                self.drive_pbft(now, |pbft, pout, events| {
-                    pbft.propose(batch, pout, events);
-                }, out);
+                self.drive_pbft(
+                    now,
+                    |pbft, pout, events| {
+                        pbft.propose(batch, pout, events);
+                    },
+                    out,
+                );
             } else {
                 // Watch the primary: it must propose this cst.
                 out.set_timer(TimerKind::Local, tok, self.pbft.request_timeout());
@@ -1038,7 +1070,12 @@ impl RingReplica {
         };
         if self.cfg.ablation_quadratic_forward {
             let msg = RingMsg::Execute(ex);
-            let dsts: Vec<NodeId> = self.cfg.shard(next).replicas().map(NodeId::Replica).collect();
+            let dsts: Vec<NodeId> = self
+                .cfg
+                .shard(next)
+                .replicas()
+                .map(NodeId::Replica)
+                .collect();
             out.multicast(dsts, &msg);
             self.stats.executes_sent += self.cfg.shard(next).n as u64;
         } else {
@@ -1176,7 +1213,13 @@ impl RingReplica {
         self.stats.remote_views_sent += 1;
     }
 
-    fn on_remote_view(&mut self, now: Instant, digest: Digest, origin: u32, out: &mut Outbox<RingMsg>) {
+    fn on_remote_view(
+        &mut self,
+        now: Instant,
+        digest: Digest,
+        origin: u32,
+        out: &mut Outbox<RingMsg>,
+    ) {
         let f = self.f();
         let votes = self.remote_complaints.entry(digest).or_default();
         votes.insert(origin);
@@ -1209,22 +1252,22 @@ impl RingReplica {
         if !grace && self.remote_vc_done.insert(digest) {
             // Fig 6 lines 5–6: f+1 complaints about a transaction this
             // shard failed to replicate force a local view change.
-            self.drive_pbft(now, |pbft, pout, events| {
-                pbft.force_view_change(pout, events);
-            }, out);
+            self.drive_pbft(
+                now,
+                |pbft, pout, events| {
+                    pbft.force_view_change(pout, events);
+                },
+                out,
+            );
         }
     }
-
 
     fn on_entered_view(&mut self, out: &mut Outbox<RingMsg>) {
         if !self.pbft.is_primary() {
             // Hand every watched (stuck) request to the new primary — the
             // old primary's pool died with it (PBFT view changes carry
             // pending requests forward; here the backups re-relay).
-            let primary = NodeId::Replica(ReplicaId::new(
-                self.me.shard,
-                self.pbft.primary_index(),
-            ));
+            let primary = NodeId::Replica(ReplicaId::new(self.me.shard, self.pbft.primary_index()));
             for txn in self.watched_txns.values() {
                 out.send(
                     primary,
@@ -1251,9 +1294,13 @@ impl RingReplica {
             .collect();
         for batch in stalled_proposals {
             let now = Instant::ZERO;
-            self.drive_pbft(now, |pbft, pout, events| {
-                pbft.propose(batch, pout, events);
-            }, out);
+            self.drive_pbft(
+                now,
+                |pbft, pout, events| {
+                    pbft.propose(batch, pout, events);
+                },
+                out,
+            );
         }
         let resend: Vec<Digest> = self
             .csts

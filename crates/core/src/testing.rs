@@ -7,8 +7,7 @@ use crate::node::RingReplica;
 use ringbft_crypto::Digest;
 use ringbft_types::txn::Transaction;
 use ringbft_types::{
-    Action, ClientId, Instant, NodeId, Outbox, ReplicaId, RingOrder, SystemConfig, TimerKind,
-    TxnId,
+    Action, ClientId, Instant, NodeId, Outbox, ReplicaId, RingOrder, SystemConfig, TimerKind, TxnId,
 };
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;

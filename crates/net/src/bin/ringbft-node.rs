@@ -1,0 +1,267 @@
+//! `ringbft-node` — host replicas (and optionally a client workload) of
+//! a RingBFT cluster on real sockets.
+//!
+//! ```text
+//! # one process per replica:
+//! ringbft-node --config cluster.json --host S0r0
+//!
+//! # or one process per shard:
+//! ringbft-node --config cluster.json --host S0r0 --host S0r1 --host S0r2 --host S0r3
+//!
+//! # drive load from a client-host process (200 logical clients):
+//! ringbft-node --config cluster.json --workload 1000000:200:42
+//!
+//! # print an example cluster file for 2 shards x 4 replicas:
+//! ringbft-node --example-config 2 4
+//! ```
+//!
+//! The config file format is documented in `ringbft_net::config`. Every
+//! process of one cluster must read the same file. The process runs
+//! until killed, printing per-node throughput and transport counters
+//! every `--stats-secs` (default 5) seconds.
+
+use ringbft_net::config::{load_cluster_config, parse_replica_name, render_cluster_config};
+use ringbft_net::runtime::{Clock, NodeRuntime, PeerTable};
+use ringbft_sim::{AnyMsg, AnyNode, SimClient};
+use ringbft_types::{ClientId, NodeId, ProtocolKind, SystemConfig};
+use std::net::TcpListener;
+
+struct Args {
+    config: Option<String>,
+    hosts: Vec<String>,
+    workload: Option<(u64, u64, u64)>,
+    stats_secs: u64,
+    example: Option<(usize, usize)>,
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    eprintln!(
+        "ringbft-node — host RingBFT replicas over TCP\n\
+         usage:\n  ringbft-node --config FILE --host S0r0 [--host S0r1 ...]\n\
+         \x20 ringbft-node --config FILE --workload FIRST_ID:COUNT:SEED\n\
+         \x20 ringbft-node --example-config SHARDS REPLICAS\n\
+         options:\n  --stats-secs N   stats print interval (default 5, 0 = silent)"
+    );
+    std::process::exit(code);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: None,
+        hosts: Vec::new(),
+        workload: None,
+        stats_secs: 5,
+        example: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage_and_exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--config" => args.config = Some(value(&argv, &mut i, "--config")),
+            "--host" => args.hosts.push(value(&argv, &mut i, "--host")),
+            "--workload" => {
+                let spec = value(&argv, &mut i, "--workload");
+                let parts: Vec<&str> = spec.split(':').collect();
+                let parsed = (|| {
+                    let [first, count, seed] = parts.as_slice() else {
+                        return None;
+                    };
+                    Some((first.parse().ok()?, count.parse().ok()?, seed.parse().ok()?))
+                })();
+                match parsed {
+                    Some(w) => args.workload = Some(w),
+                    None => {
+                        eprintln!("--workload needs FIRST_ID:COUNT:SEED");
+                        usage_and_exit(2);
+                    }
+                }
+            }
+            "--stats-secs" => {
+                args.stats_secs =
+                    value(&argv, &mut i, "--stats-secs")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--stats-secs needs an integer");
+                            usage_and_exit(2);
+                        });
+            }
+            "--example-config" => {
+                let z = value(&argv, &mut i, "--example-config");
+                let n = value(&argv, &mut i, "--example-config");
+                match (z.parse(), n.parse()) {
+                    (Ok(z), Ok(n)) => args.example = Some((z, n)),
+                    _ => usage_and_exit(2),
+                }
+            }
+            "--help" | "-h" => usage_and_exit(0),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage_and_exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn print_example(z: usize, n: usize) {
+    let system = SystemConfig::uniform(ProtocolKind::RingBft, z, n);
+    let mut peers = std::collections::HashMap::new();
+    let mut port = 4100u16;
+    for shard in &system.shards {
+        for r in shard.replicas() {
+            peers.insert(r, format!("127.0.0.1:{port}").parse().expect("addr"));
+            port += 1;
+        }
+    }
+    println!("{}", render_cluster_config(&system, &peers));
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some((z, n)) = args.example {
+        print_example(z, n);
+        return;
+    }
+    let Some(config_path) = &args.config else {
+        usage_and_exit(2);
+    };
+    if args.hosts.is_empty() && args.workload.is_none() {
+        eprintln!("nothing to host: pass --host and/or --workload");
+        usage_and_exit(2);
+    }
+    let cluster = match load_cluster_config(std::path::Path::new(config_path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Every process of the cluster shares the peer table from the file.
+    let peers = PeerTable::new();
+    for (r, addr) in &cluster.peers {
+        peers.insert(NodeId::Replica(*r), *addr);
+    }
+
+    let clock = Clock::start();
+    let mut deployment = ringbft_sim::nodes::deployment(&cluster.system);
+    let mut runtimes: Vec<NodeRuntime<AnyMsg, AnyNode>> = Vec::new();
+
+    for host in &args.hosts {
+        let id = match parse_replica_name(host) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        let Some(addr) = cluster.peers.get(&id).copied() else {
+            eprintln!("replica {id} has no address in {config_path}");
+            std::process::exit(1);
+        };
+        let Some(pos) = deployment.iter().position(|(r, _, _)| *r == id) else {
+            eprintln!("replica {id} is not part of the configured deployment");
+            std::process::exit(1);
+        };
+        let (_, _, node) = deployment.swap_remove(pos);
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("bind {addr} for {id}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match NodeRuntime::launch(
+            NodeId::Replica(id),
+            node,
+            listener,
+            peers.clone(),
+            clock.clone(),
+        ) {
+            Ok(rt) => {
+                println!("hosting {id} on {addr}");
+                runtimes.push(rt);
+            }
+            Err(e) => {
+                eprintln!("launch {id}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some((first_id, count, seed)) = args.workload {
+        let host = NodeId::Client(ClientId(first_id));
+        let listener = TcpListener::bind("0.0.0.0:0").expect("bind client listener");
+        let addr = listener.local_addr().expect("client addr");
+        peers.insert(host, addr);
+        for c in first_id + 1..first_id + count {
+            peers.add_alias(NodeId::Client(ClientId(c)), host);
+        }
+        let client = SimClient::new(cluster.system.clone(), seed, first_id, count);
+        match NodeRuntime::launch(
+            host,
+            AnyNode::Client(Box::new(client)),
+            listener,
+            peers.clone(),
+            clock.clone(),
+        ) {
+            Ok(rt) => {
+                println!("hosting workload {host} ({count} logical clients) on {addr}");
+                runtimes.push(rt);
+            }
+            Err(e) => {
+                eprintln!("launch workload host: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Periodic stats until killed.
+    let interval = if args.stats_secs == 0 {
+        std::time::Duration::from_secs(3600)
+    } else {
+        std::time::Duration::from_secs(args.stats_secs)
+    };
+    let mut last_completions = 0usize;
+    loop {
+        std::thread::sleep(interval);
+        if args.stats_secs == 0 {
+            continue;
+        }
+        for rt in &runtimes {
+            let s = rt.stats();
+            let execs = rt.exec_log().len();
+            let completions = rt.with_node(|n| match n {
+                AnyNode::Client(c) => c.completions.len(),
+                _ => 0,
+            });
+            let line = format!(
+                "[{}] sent={} recv={} dropped={} undeliverable={} timers={} bytes={} (model {}) execs={}",
+                rt.id(),
+                s.messages_sent,
+                s.messages_delivered,
+                s.messages_dropped,
+                s.messages_undeliverable,
+                s.timers_fired,
+                s.bytes_sent,
+                s.modeled_bytes_sent,
+                execs,
+            );
+            if completions > 0 {
+                let rate = (completions - last_completions) as f64 / interval.as_secs_f64();
+                println!("{line} completions={completions} ({rate:.1} txn/s)");
+                last_completions = completions;
+            } else {
+                println!("{line}");
+            }
+        }
+    }
+}

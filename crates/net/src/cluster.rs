@@ -1,0 +1,188 @@
+//! In-process loopback cluster: the full shard topology over real TCP.
+//!
+//! [`LocalCluster`] binds one `127.0.0.1` listener per replica, builds
+//! the shared [`PeerTable`], and launches a [`NodeRuntime`] per node —
+//! the same state machines the simulator drives, now exchanging frames
+//! through the kernel's loopback stack with real clocks. Client hosts
+//! (closed-loop [`SimClient`]s or custom injector nodes) join the same
+//! peer table.
+//!
+//! This is both the integration-test harness and the reference for
+//! wiring real multi-process deployments with `ringbft-node`.
+
+use crate::runtime::{Clock, NodeRuntime, PeerTable};
+use ringbft_sim::{AnyMsg, AnyNode, SimClient};
+use ringbft_types::{ClientId, NodeId, ReplicaId, SystemConfig};
+use std::net::TcpListener;
+
+/// A running loopback deployment.
+pub struct LocalCluster {
+    cfg: SystemConfig,
+    clock: Clock,
+    peers: PeerTable,
+    replicas: Vec<NodeRuntime<AnyMsg, AnyNode>>,
+    clients: Vec<NodeRuntime<AnyMsg, AnyNode>>,
+}
+
+impl LocalCluster {
+    /// Binds listeners and launches every replica of `cfg` (including
+    /// AHL's committee when applicable) on loopback TCP.
+    pub fn launch(cfg: SystemConfig) -> std::io::Result<LocalCluster> {
+        cfg.validate().expect("valid cluster config");
+        let deployment = ringbft_sim::nodes::deployment(&cfg);
+
+        // Bind every listener first so the peer table is complete before
+        // any node starts talking.
+        let peers = PeerTable::new();
+        let mut listeners = Vec::new();
+        for (r, _region, _node) in &deployment {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            peers.insert(NodeId::Replica(*r), listener.local_addr()?);
+            listeners.push(listener);
+        }
+
+        let clock = Clock::start();
+        let mut replicas = Vec::new();
+        for ((r, _region, node), listener) in deployment.into_iter().zip(listeners) {
+            replicas.push(NodeRuntime::launch(
+                NodeId::Replica(r),
+                node,
+                listener,
+                peers.clone(),
+                clock.clone(),
+            )?);
+        }
+        Ok(LocalCluster {
+            cfg,
+            clock,
+            peers,
+            replicas,
+            clients: Vec::new(),
+        })
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The cluster's shared timebase.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The cluster's peer table (replicas plus any spawned clients).
+    pub fn peers(&self) -> &PeerTable {
+        &self.peers
+    }
+
+    /// Launches a closed-loop workload host serving logical clients
+    /// `first_id..first_id + count` (the same [`SimClient`] the
+    /// simulator uses); replies to any logical id route back to it.
+    pub fn spawn_workload_host(
+        &mut self,
+        seed: u64,
+        first_id: u64,
+        count: u64,
+    ) -> std::io::Result<NodeId> {
+        let host = NodeId::Client(ClientId(first_id));
+        let client = SimClient::new(self.cfg.clone(), seed, first_id, count);
+        let aliases: Vec<NodeId> = (first_id + 1..first_id + count)
+            .map(|c| NodeId::Client(ClientId(c)))
+            .collect();
+        self.spawn_client(host, AnyNode::Client(Box::new(client)), &aliases)
+    }
+
+    /// Launches an arbitrary client-side node (e.g. a test injector)
+    /// as `host`, optionally aliasing extra logical ids to it. The
+    /// shared peer table makes the new host visible to every running
+    /// replica immediately.
+    pub fn spawn_client(
+        &mut self,
+        host: NodeId,
+        node: AnyNode,
+        aliases: &[NodeId],
+    ) -> std::io::Result<NodeId> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        self.peers.insert(host, listener.local_addr()?);
+        for a in aliases {
+            self.peers.add_alias(*a, host);
+        }
+        self.clients.push(NodeRuntime::launch(
+            host,
+            node,
+            listener,
+            self.peers.clone(),
+            self.clock.clone(),
+        )?);
+        Ok(host)
+    }
+
+    /// Runs `f` on the client runtime hosting `host`.
+    pub fn with_client<R>(&self, host: NodeId, f: impl FnOnce(&mut AnyNode) -> R) -> R {
+        let rt = self
+            .clients
+            .iter()
+            .find(|c| c.id() == host)
+            .expect("unknown client host");
+        rt.with_node(f)
+    }
+
+    /// Total transactions completed across all workload hosts.
+    pub fn total_completions(&self) -> usize {
+        self.clients
+            .iter()
+            .map(|rt| {
+                rt.with_node(|n| match n {
+                    AnyNode::Client(c) => c.completions.len(),
+                    _ => 0,
+                })
+            })
+            .sum()
+    }
+
+    /// Runs `f` on the runtime hosting replica `r`.
+    pub fn with_replica<R>(&self, r: ReplicaId, f: impl FnOnce(&mut AnyNode) -> R) -> R {
+        let rt = self
+            .replicas
+            .iter()
+            .find(|rt| rt.id() == NodeId::Replica(r))
+            .expect("unknown replica");
+        rt.with_node(f)
+    }
+
+    /// Iterates the replica runtimes (stats inspection).
+    pub fn replica_runtimes(&self) -> impl Iterator<Item = &NodeRuntime<AnyMsg, AnyNode>> {
+        self.replicas.iter()
+    }
+
+    /// Polls until `pred` holds or `timeout` elapses; returns whether
+    /// the predicate held.
+    pub fn wait_until(
+        &self,
+        timeout: std::time::Duration,
+        mut pred: impl FnMut(&LocalCluster) -> bool,
+    ) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+    }
+
+    /// Stops every runtime (clients first, so replica sockets close
+    /// cleanly afterwards).
+    pub fn shutdown(self) {
+        for c in self.clients {
+            let _ = c.shutdown();
+        }
+        for r in self.replicas {
+            let _ = r.shutdown();
+        }
+    }
+}

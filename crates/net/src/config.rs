@@ -1,0 +1,374 @@
+//! Cluster configuration files for `ringbft-node`.
+//!
+//! A cluster file is JSON carrying the [`SystemConfig`] knobs plus the
+//! peer address map:
+//!
+//! ```json
+//! {
+//!   "protocol": "RingBft",
+//!   "shards": [
+//!     { "n": 4, "region": "Oregon" },
+//!     { "n": 4, "region": "Iowa" }
+//!   ],
+//!   "batch_size": 100,
+//!   "num_keys": 600000,
+//!   "clients": 1000,
+//!   "cross_shard_rate": 0.3,
+//!   "involved_shards": 2,
+//!   "remote_reads": 0,
+//!   "timers_ms": { "local": 2000, "remote": 4000, "transmit": 6000, "client": 8000 },
+//!   "peers": {
+//!     "S0r0": "10.0.0.10:4100",
+//!     "S0r1": "10.0.0.11:4100"
+//!   }
+//! }
+//! ```
+//!
+//! Only `protocol`, `shards` and `peers` are required; every other knob
+//! defaults to [`SystemConfig::uniform`]'s paper-standard values.
+//! Replica names use the `Display` spelling of [`ReplicaId`] (`S<shard>r
+//! <index>`), the same names the logs print.
+
+use ringbft_types::{
+    Duration, ProtocolKind, Region, ReplicaId, ShardConfig, ShardId, SystemConfig,
+};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+/// A parsed cluster file.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The protocol deployment description.
+    pub system: SystemConfig,
+    /// Listener address of every replica.
+    pub peers: HashMap<ReplicaId, SocketAddr>,
+}
+
+/// Configuration loading failure with context.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError(msg.into()))
+}
+
+fn protocol_by_name(name: &str) -> Option<ProtocolKind> {
+    let all = [
+        ProtocolKind::RingBft,
+        ProtocolKind::Ahl,
+        ProtocolKind::Sharper,
+        ProtocolKind::Pbft,
+        ProtocolKind::Zyzzyva,
+        ProtocolKind::Sbft,
+        ProtocolKind::Poe,
+        ProtocolKind::HotStuff,
+        ProtocolKind::Rcc,
+    ];
+    all.into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+fn region_by_name(name: &str) -> Option<Region> {
+    Region::ALL
+        .into_iter()
+        .find(|r| r.name().eq_ignore_ascii_case(name))
+}
+
+/// Parses a replica name in the `Display` spelling, e.g. `"S2r0"`.
+pub fn parse_replica_name(name: &str) -> Result<ReplicaId, ConfigError> {
+    let rest = name
+        .strip_prefix('S')
+        .ok_or_else(|| ConfigError(format!("replica name `{name}` must look like S0r1")))?;
+    let (shard, index) = rest
+        .split_once('r')
+        .ok_or_else(|| ConfigError(format!("replica name `{name}` must look like S0r1")))?;
+    let shard: u32 = shard
+        .parse()
+        .map_err(|_| ConfigError(format!("bad shard in `{name}`")))?;
+    let index: u32 = index
+        .parse()
+        .map_err(|_| ConfigError(format!("bad index in `{name}`")))?;
+    Ok(ReplicaId::new(ShardId(shard), index))
+}
+
+/// Top-level keys a cluster file may carry. Unknown keys are rejected
+/// so a typo'd knob fails loudly instead of silently running with the
+/// paper default (every process must share the file, so a silent
+/// fallback would be a cross-process misconfiguration).
+const KNOWN_KEYS: [&str; 11] = [
+    "protocol",
+    "shards",
+    "batch_size",
+    "num_keys",
+    "clients",
+    "cross_shard_rate",
+    "involved_shards",
+    "remote_reads",
+    "ring_offset",
+    "timers_ms",
+    "peers",
+];
+
+/// Parses a cluster file's text.
+pub fn parse_cluster_config(text: &str) -> Result<ClusterConfig, ConfigError> {
+    let doc = serde_json::from_str(text).map_err(|e| ConfigError(e.to_string()))?;
+
+    if let Some(members) = doc.as_object() {
+        for (key, _) in members {
+            if !KNOWN_KEYS.contains(&key.as_str()) {
+                return err(format!(
+                    "unknown key `{key}` (known: {})",
+                    KNOWN_KEYS.join(", ")
+                ));
+            }
+        }
+    }
+
+    let protocol_name = doc
+        .get("protocol")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ConfigError("missing `protocol`".into()))?;
+    let protocol = protocol_by_name(protocol_name)
+        .ok_or_else(|| ConfigError(format!("unknown protocol `{protocol_name}`")))?;
+
+    let shard_docs = doc
+        .get("shards")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| ConfigError("missing `shards` array".into()))?;
+    if shard_docs.is_empty() {
+        return err("`shards` must not be empty");
+    }
+    let mut shards = Vec::new();
+    for (i, s) in shard_docs.iter().enumerate() {
+        let n = s
+            .get("n")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| ConfigError(format!("shard {i}: missing `n`")))?;
+        let region = match s.get("region").and_then(|v| v.as_str()) {
+            Some(name) => region_by_name(name)
+                .ok_or_else(|| ConfigError(format!("shard {i}: unknown region `{name}`")))?,
+            None => Region::for_shard(i),
+        };
+        shards.push(ShardConfig {
+            id: ShardId(i as u32),
+            n: n as usize,
+            region,
+        });
+    }
+
+    // Start from the paper-standard knobs, then apply overrides.
+    let z = shards.len();
+    let n0 = shards[0].n;
+    let mut system = SystemConfig::uniform(protocol, z, n0);
+    system.shards = shards;
+    system.involved_shards = z;
+
+    let u64_knob = |key: &str| doc.get(key).and_then(|v| v.as_u64());
+    if let Some(v) = u64_knob("batch_size") {
+        system.batch_size = v as usize;
+    }
+    if let Some(v) = u64_knob("num_keys") {
+        system.num_keys = v;
+    }
+    if let Some(v) = u64_knob("clients") {
+        system.clients = v as usize;
+    }
+    if let Some(v) = u64_knob("involved_shards") {
+        system.involved_shards = v as usize;
+    }
+    if let Some(v) = u64_knob("remote_reads") {
+        system.remote_reads = v as usize;
+    }
+    if let Some(v) = u64_knob("ring_offset") {
+        system.ring_offset = v as u32;
+    }
+    if let Some(v) = doc.get("cross_shard_rate").and_then(|v| v.as_f64()) {
+        system.cross_shard_rate = v;
+    }
+    if let Some(t) = doc.get("timers_ms") {
+        let timer = |key: &str, fallback: Duration| {
+            t.get(key)
+                .and_then(|v| v.as_u64())
+                .map(Duration::from_millis)
+                .unwrap_or(fallback)
+        };
+        system.timers.local = timer("local", system.timers.local);
+        system.timers.remote = timer("remote", system.timers.remote);
+        system.timers.transmit = timer("transmit", system.timers.transmit);
+        system.timers.client = timer("client", system.timers.client);
+    }
+    system
+        .validate()
+        .map_err(|e| ConfigError(format!("invalid system config: {e}")))?;
+
+    let peer_doc = doc
+        .get("peers")
+        .and_then(|v| v.as_object())
+        .ok_or_else(|| ConfigError("missing `peers` object".into()))?;
+    let mut peers = HashMap::new();
+    for (name, addr) in peer_doc {
+        let replica = parse_replica_name(name)?;
+        let addr_text = addr
+            .as_str()
+            .ok_or_else(|| ConfigError(format!("peer `{name}`: address must be a string")))?;
+        let addr: SocketAddr = addr_text
+            .parse()
+            .map_err(|_| ConfigError(format!("peer `{name}`: bad address `{addr_text}`")))?;
+        peers.insert(replica, addr);
+    }
+
+    Ok(ClusterConfig { system, peers })
+}
+
+/// Loads and parses a cluster file.
+pub fn load_cluster_config(path: &std::path::Path) -> Result<ClusterConfig, ConfigError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ConfigError(format!("read {}: {e}", path.display())))?;
+    parse_cluster_config(&text)
+}
+
+/// Renders a cluster file for `system` with the given peer addresses
+/// (used by docs/examples and round-trip tests).
+pub fn render_cluster_config(
+    system: &SystemConfig,
+    peers: &HashMap<ReplicaId, SocketAddr>,
+) -> String {
+    let shards: Vec<serde_json::Value> = system
+        .shards
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "n": s.n as u64,
+                "region": s.region.name(),
+            })
+        })
+        .collect();
+    let mut peer_entries: Vec<(ReplicaId, SocketAddr)> =
+        peers.iter().map(|(r, a)| (*r, *a)).collect();
+    peer_entries.sort_by_key(|(r, _)| *r);
+    let peer_members: Vec<(String, serde_json::Value)> = peer_entries
+        .into_iter()
+        .map(|(r, a)| (r.to_string(), serde_json::Value::String(a.to_string())))
+        .collect();
+    let doc = serde_json::json!({
+        "protocol": system.protocol.name(),
+        "shards": shards,
+        "batch_size": system.batch_size as u64,
+        "num_keys": system.num_keys,
+        "clients": system.clients as u64,
+        "cross_shard_rate": system.cross_shard_rate,
+        "involved_shards": system.involved_shards as u64,
+        "remote_reads": system.remote_reads as u64,
+        "ring_offset": system.ring_offset,
+        "timers_ms": serde_json::json!({
+            "local": system.timers.local.as_nanos() / 1_000_000,
+            "remote": system.timers.remote.as_nanos() / 1_000_000,
+            "transmit": system.timers.transmit.as_nanos() / 1_000_000,
+            "client": system.timers.client.as_nanos() / 1_000_000,
+        }),
+        "peers": serde_json::Value::Object(peer_members),
+    });
+    serde_json::to_string_pretty(&doc).expect("render config")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_file() {
+        let text = r#"{
+            "protocol": "RingBft",
+            "shards": [{ "n": 4 }, { "n": 4, "region": "Iowa" }],
+            "peers": { "S0r0": "127.0.0.1:4100", "S1r3": "127.0.0.1:4101" }
+        }"#;
+        let cc = parse_cluster_config(text).unwrap();
+        assert_eq!(cc.system.protocol, ProtocolKind::RingBft);
+        assert_eq!(cc.system.z(), 2);
+        assert_eq!(cc.system.shards[1].region, Region::Iowa);
+        assert_eq!(cc.system.batch_size, 100); // paper default
+        assert_eq!(
+            cc.peers[&ReplicaId::new(ShardId(1), 3)],
+            "127.0.0.1:4101".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn overrides_apply_and_validate() {
+        let text = r#"{
+            "protocol": "RingBFT",
+            "shards": [{ "n": 4 }, { "n": 4 }],
+            "batch_size": 10,
+            "cross_shard_rate": 0.5,
+            "timers_ms": { "local": 100, "remote": 200, "transmit": 300, "client": 400 },
+            "peers": {}
+        }"#;
+        let cc = parse_cluster_config(text).unwrap();
+        assert_eq!(cc.system.batch_size, 10);
+        assert_eq!(cc.system.cross_shard_rate, 0.5);
+        assert_eq!(cc.system.timers.local, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_cluster_config("{}").is_err());
+        assert!(parse_cluster_config(
+            r#"{ "protocol": "NoSuch", "shards": [{ "n": 4 }], "peers": {} }"#
+        )
+        .is_err());
+        assert!(parse_cluster_config(
+            r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],
+                 "peers": { "bogus": "127.0.0.1:1" } }"#
+        )
+        .is_err());
+        // Ill-ordered timers are caught by SystemConfig::validate.
+        assert!(parse_cluster_config(
+            r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],
+                 "timers_ms": { "local": 500, "remote": 100 }, "peers": {} }"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let system = SystemConfig::uniform(ProtocolKind::RingBft, 2, 4);
+        let mut peers = HashMap::new();
+        for shard in &system.shards {
+            for r in shard.replicas() {
+                peers.insert(r, format!("127.0.0.1:{}", 4100 + r.index).parse().unwrap());
+            }
+        }
+        let text = render_cluster_config(&system, &peers);
+        let cc = parse_cluster_config(&text).unwrap();
+        assert_eq!(cc.system, system);
+        assert_eq!(cc.peers, peers);
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        let err = parse_cluster_config(
+            r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],
+                 "batchsize": 500, "peers": {} }"#,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("unknown key `batchsize`"), "{err}");
+    }
+
+    #[test]
+    fn replica_names_parse() {
+        assert_eq!(
+            parse_replica_name("S2r7").unwrap(),
+            ReplicaId::new(ShardId(2), 7)
+        );
+        assert!(parse_replica_name("2r7").is_err());
+        assert!(parse_replica_name("Sxr7").is_err());
+    }
+}

@@ -1,0 +1,758 @@
+//! The real-network driver: hosts one sans-io [`ProtocolNode`] on a TCP
+//! listener with real clocks, real sockets and real kernels.
+//!
+//! The runtime is the second implementation of the driver contract the
+//! discrete-event simulator defines (`ringbft_types::sansio`): the exact
+//! same state machines (`RingReplica`, the PBFT baselines, `SimClient`)
+//! run unchanged over loopback or a real WAN.
+//!
+//! ## Thread model
+//!
+//! Per hosted node:
+//!
+//! * **event loop** — owns the node; drains an mpsc of
+//!   `Deliver`/`Timer` events, calls the state machine, and dispatches
+//!   its [`Action`]s;
+//! * **timer thread** — a monotonic-clock timer wheel for the four
+//!   [`TimerKind`] classes, with generation counters so `CancelTimer`
+//!   and re-arms behave exactly like the simulator's;
+//! * **accept loop + per-connection readers** — decode frames and feed
+//!   the event loop;
+//! * **per-peer writers** — lazily connected, each draining a bounded
+//!   queue (the backpressure boundary: when a peer cannot keep up, new
+//!   frames for it are dropped and counted rather than buffered without
+//!   bound — BFT retransmission timers provide recovery, the same
+//!   assumption the paper makes about unreliable channels).
+//!
+//! Timestamps handed to protocol nodes are nanoseconds since a shared
+//! epoch (`Clock`), so all nodes of one process observe one timebase,
+//! mirroring `Instant::ZERO` at simulation start.
+
+use crate::codec::{encode_frame, encode_hello_frame, read_any_frame, Envelope, Frame, Hello};
+use ringbft_types::sansio::ProtocolNode;
+use ringbft_types::{Action, Duration, Instant, NodeId, TimerKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Marker for messages the runtime can carry: encodable, decodable, and
+/// movable across the runtime's threads.
+pub trait NetMsg: Serialize + Deserialize + Clone + Send + 'static {}
+
+impl<T: Serialize + Deserialize + Clone + Send + 'static> NetMsg for T {}
+
+/// Shared wall-clock epoch translating real time into the sans-io
+/// `Instant` timeline.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    epoch: std::time::Instant,
+}
+
+impl Clock {
+    /// A clock starting now.
+    pub fn start() -> Clock {
+        Clock {
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the epoch, as the protocol-visible instant.
+    pub fn now(&self) -> Instant {
+        Instant(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Routing state: where each peer listens, plus alias routing (many
+/// logical client ids hosted by one client-host node, exactly like the
+/// simulator's `World::add_alias`).
+///
+/// Clones share one underlying table, so registering a node after a
+/// cluster is up (a client host joining, a replica being replaced) is
+/// immediately visible to every runtime holding a clone.
+#[derive(Debug, Clone, Default)]
+pub struct PeerTable {
+    inner: Arc<std::sync::RwLock<PeerTableInner>>,
+}
+
+#[derive(Debug, Default)]
+struct PeerTableInner {
+    addrs: HashMap<NodeId, SocketAddr>,
+    aliases: HashMap<NodeId, NodeId>,
+}
+
+impl PeerTable {
+    /// An empty table.
+    pub fn new() -> PeerTable {
+        PeerTable::default()
+    }
+
+    /// Registers `node` as listening on `addr`.
+    pub fn insert(&self, node: NodeId, addr: SocketAddr) {
+        self.inner
+            .write()
+            .expect("peer table")
+            .addrs
+            .insert(node, addr);
+    }
+
+    /// Registers `node` only if it has no address yet. Used for routes
+    /// learned from Hello frames: a statically configured address (for
+    /// example a replica's public interface from the cluster file) must
+    /// never be clobbered by a connection's source IP, which can differ
+    /// on multi-homed hosts.
+    pub fn insert_if_absent(&self, node: NodeId, addr: SocketAddr) {
+        self.inner
+            .write()
+            .expect("peer table")
+            .addrs
+            .entry(node)
+            .or_insert(addr);
+    }
+
+    /// Routes traffic for `alias` to `target`'s listener.
+    pub fn add_alias(&self, alias: NodeId, target: NodeId) {
+        self.inner
+            .write()
+            .expect("peer table")
+            .aliases
+            .insert(alias, target);
+    }
+
+    /// Resolves an alias to its hosting node (identity for non-aliases).
+    pub fn resolve(&self, node: NodeId) -> NodeId {
+        self.inner
+            .read()
+            .expect("peer table")
+            .aliases
+            .get(&node)
+            .copied()
+            .unwrap_or(node)
+    }
+
+    /// The listener address of `node` (after alias resolution).
+    pub fn addr_of(&self, node: NodeId) -> Option<SocketAddr> {
+        let inner = self.inner.read().expect("peer table");
+        let resolved = inner.aliases.get(&node).copied().unwrap_or(node);
+        inner.addrs.get(&resolved).copied()
+    }
+
+    /// Snapshot of all registered `(node, addr)` pairs.
+    pub fn entries(&self) -> Vec<(NodeId, SocketAddr)> {
+        let inner = self.inner.read().expect("peer table");
+        inner.addrs.iter().map(|(n, a)| (*n, *a)).collect()
+    }
+
+    /// All aliases currently routing to `target`.
+    pub fn aliases_of(&self, target: NodeId) -> Vec<NodeId> {
+        let inner = self.inner.read().expect("peer table");
+        inner
+            .aliases
+            .iter()
+            .filter(|(_, t)| **t == target)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+}
+
+/// Counters mirroring the simulator's `NetStats`, plus the transport-
+/// level drop counter of the backpressure boundary.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Frames handed to peer queues.
+    pub messages_sent: AtomicU64,
+    /// Actual encoded bytes handed to peer queues.
+    pub bytes_sent: AtomicU64,
+    /// Bytes the simulator's wire model would have charged for the same
+    /// messages — kept so simulated and real runs report comparable
+    /// bandwidth numbers.
+    pub modeled_bytes_sent: AtomicU64,
+    /// Frames dropped before enqueue (peer queue full, unknown peer,
+    /// unencodable message).
+    pub messages_dropped: AtomicU64,
+    /// Frames accepted into a peer queue whose delivery then failed
+    /// (peer unreachable past the retry budget). `messages_sent`
+    /// already counted them, so sent − undeliverable ≈ on the wire.
+    pub messages_undeliverable: AtomicU64,
+    /// Timers fired (uncancelled).
+    pub timers_fired: AtomicU64,
+    /// Frames delivered to the hosted node.
+    pub messages_delivered: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Frames handed to peer queues.
+    pub messages_sent: u64,
+    /// Actual encoded bytes handed to peer queues.
+    pub bytes_sent: u64,
+    /// Wire-model bytes for the same messages.
+    pub modeled_bytes_sent: u64,
+    /// Frames dropped at the backpressure boundary.
+    pub messages_dropped: u64,
+    /// Enqueued frames whose delivery failed (peer unreachable).
+    pub messages_undeliverable: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Frames delivered to the node.
+    pub messages_delivered: u64,
+}
+
+/// An `Executed` record observed by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecEvent {
+    /// When it happened (runtime timeline).
+    pub at: Instant,
+    /// Shard-local sequence number.
+    pub seq: u64,
+    /// Transactions in the executed batch.
+    pub txns: u32,
+}
+
+enum Event<M> {
+    Deliver {
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        kind: TimerKind,
+        token: u64,
+        gen: u64,
+    },
+    Stop,
+}
+
+/// Timer wheel guarded by one mutex; the timer thread sleeps on the
+/// condvar until the earliest deadline or a re-arm.
+struct TimerState {
+    /// Min-heap of `(deadline, kind, token, gen)`.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, TimerKind, u64, u64)>>,
+    /// Live generation per `(kind, token)`; stale heap entries whose
+    /// generation no longer matches are cancelled or superseded.
+    armed: HashMap<(TimerKind, u64), u64>,
+    next_gen: u64,
+    stopped: bool,
+}
+
+struct Shared<M> {
+    id: NodeId,
+    clock: Clock,
+    peers: PeerTable,
+    /// Port our own listener accepts on (advertised in Hello frames).
+    listen_port: u16,
+    events: Sender<Event<M>>,
+    timers: Mutex<TimerState>,
+    timers_cv: Condvar,
+    counters: NetCounters,
+    stop: AtomicBool,
+    /// Per-peer frame queues; writers drain them.
+    writers: Mutex<HashMap<NodeId, SyncSender<Vec<u8>>>>,
+    exec_log: Mutex<Vec<ExecEvent>>,
+    view_log: Mutex<Vec<(Instant, u64)>>,
+}
+
+/// Capacity of each per-peer outbound queue (frames). Beyond it the
+/// runtime drops (and counts) rather than buffering without bound.
+const PEER_QUEUE_FRAMES: usize = 4096;
+
+/// Modeled wire size of an outbound message, when the message type
+/// supports the simulator's size model.
+fn modeled_bytes<M: ringbft_simnet::SimMessage>(msg: &M) -> u64 {
+    msg.wire_bytes()
+}
+
+/// Hosts one protocol node over TCP.
+pub struct NodeRuntime<M: NetMsg, N: ProtocolNode<M> + Send + 'static> {
+    shared: Arc<Shared<M>>,
+    node: Arc<Mutex<N>>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<M, N> NodeRuntime<M, N>
+where
+    M: NetMsg + ringbft_simnet::SimMessage,
+    N: ProtocolNode<M> + Send + 'static,
+{
+    /// Starts hosting `node` as `id` on `listener`, reaching peers via
+    /// `peers`. The listener must already be bound (bind with port 0 to
+    /// let the kernel pick, then collect `local_addr` into the table).
+    pub fn launch(
+        id: NodeId,
+        node: N,
+        listener: TcpListener,
+        peers: PeerTable,
+        clock: Clock,
+    ) -> std::io::Result<NodeRuntime<M, N>> {
+        let local_addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel::<Event<M>>();
+        let shared = Arc::new(Shared {
+            id,
+            clock,
+            peers,
+            listen_port: local_addr.port(),
+            events: tx,
+            timers: Mutex::new(TimerState {
+                heap: BinaryHeap::new(),
+                armed: HashMap::new(),
+                next_gen: 0,
+                stopped: false,
+            }),
+            timers_cv: Condvar::new(),
+            counters: NetCounters::default(),
+            stop: AtomicBool::new(false),
+            writers: Mutex::new(HashMap::new()),
+            exec_log: Mutex::new(Vec::new()),
+            view_log: Mutex::new(Vec::new()),
+        });
+        let node = Arc::new(Mutex::new(node));
+
+        let mut threads = Vec::new();
+        threads.push(spawn_named(
+            format!("{id}-events"),
+            event_loop(Arc::clone(&shared), Arc::clone(&node), rx),
+        ));
+        threads.push(spawn_named(
+            format!("{id}-timers"),
+            timer_loop(Arc::clone(&shared)),
+        ));
+        threads.push(spawn_named(
+            format!("{id}-accept"),
+            accept_loop(Arc::clone(&shared), listener),
+        ));
+        Ok(NodeRuntime {
+            shared,
+            node,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The node id this runtime hosts.
+    pub fn id(&self) -> NodeId {
+        self.shared.id
+    }
+
+    /// The bound listener address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs `f` with exclusive access to the hosted node (pauses event
+    /// processing for the duration — keep it short).
+    pub fn with_node<R>(&self, f: impl FnOnce(&mut N) -> R) -> R {
+        f(&mut self.node.lock().expect("node lock"))
+    }
+
+    /// Snapshot of the transport counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        let c = &self.shared.counters;
+        NetStatsSnapshot {
+            messages_sent: c.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            modeled_bytes_sent: c.modeled_bytes_sent.load(Ordering::Relaxed),
+            messages_dropped: c.messages_dropped.load(Ordering::Relaxed),
+            messages_undeliverable: c.messages_undeliverable.load(Ordering::Relaxed),
+            timers_fired: c.timers_fired.load(Ordering::Relaxed),
+            messages_delivered: c.messages_delivered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Copy of the `Executed` log.
+    pub fn exec_log(&self) -> Vec<ExecEvent> {
+        self.shared.exec_log.lock().expect("exec log").clone()
+    }
+
+    /// Copy of the view-change log.
+    pub fn view_log(&self) -> Vec<(Instant, u64)> {
+        self.shared.view_log.lock().expect("view log").clone()
+    }
+
+    /// Stops all threads and tears the node down, returning it.
+    pub fn shutdown(mut self) -> N
+    where
+        N: Send,
+    {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the event loop.
+        let _ = self.shared.events.send(Event::Stop);
+        // Wake the timer thread.
+        {
+            let mut t = self.shared.timers.lock().expect("timer lock");
+            t.stopped = true;
+            self.shared.timers_cv.notify_all();
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        // Close writer queues so writer threads drain and exit.
+        self.shared.writers.lock().expect("writers").clear();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        match Arc::try_unwrap(self.node) {
+            Ok(m) => m.into_inner().expect("node lock"),
+            Err(_) => unreachable!("all node users joined"),
+        }
+    }
+}
+
+fn spawn_named(name: String, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .expect("spawn runtime thread")
+}
+
+/// The node's event loop: start the machine, then drain events.
+fn event_loop<M, N>(
+    shared: Arc<Shared<M>>,
+    node: Arc<Mutex<N>>,
+    rx: Receiver<Event<M>>,
+) -> impl FnOnce() + Send + 'static
+where
+    M: NetMsg + ringbft_simnet::SimMessage,
+    N: ProtocolNode<M> + Send + 'static,
+{
+    move || {
+        let actions = {
+            let mut n = node.lock().expect("node lock");
+            n.on_start(shared.clock.now())
+        };
+        apply_actions(&shared, actions);
+        while let Ok(event) = rx.recv() {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let actions = match event {
+                Event::Stop => break,
+                Event::Deliver { from, msg } => {
+                    shared
+                        .counters
+                        .messages_delivered
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut n = node.lock().expect("node lock");
+                    n.on_message(shared.clock.now(), from, msg)
+                }
+                Event::Timer { kind, token, gen } => {
+                    // Validate the generation under the timer lock so a
+                    // cancel that raced the firing wins, matching the
+                    // simulator's semantics.
+                    {
+                        let mut t = shared.timers.lock().expect("timer lock");
+                        if t.armed.get(&(kind, token)) != Some(&gen) {
+                            continue;
+                        }
+                        t.armed.remove(&(kind, token));
+                    }
+                    shared.counters.timers_fired.fetch_add(1, Ordering::Relaxed);
+                    let mut n = node.lock().expect("node lock");
+                    n.on_timer(shared.clock.now(), kind, token)
+                }
+            };
+            apply_actions(&shared, actions);
+        }
+    }
+}
+
+fn apply_actions<M>(shared: &Arc<Shared<M>>, actions: Vec<Action<M>>)
+where
+    M: NetMsg + ringbft_simnet::SimMessage,
+{
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => send(shared, to, msg),
+            Action::SetTimer { kind, token, after } => set_timer(shared, kind, token, after),
+            Action::CancelTimer { kind, token } => {
+                let mut t = shared.timers.lock().expect("timer lock");
+                t.armed.remove(&(kind, token));
+                // Stale heap entries are skipped by the generation check.
+            }
+            Action::Executed { seq, txns } => {
+                shared.exec_log.lock().expect("exec log").push(ExecEvent {
+                    at: shared.clock.now(),
+                    seq,
+                    txns,
+                });
+            }
+            Action::ViewChanged { view } => {
+                shared
+                    .view_log
+                    .lock()
+                    .expect("view log")
+                    .push((shared.clock.now(), view));
+            }
+        }
+    }
+}
+
+fn set_timer<M>(shared: &Arc<Shared<M>>, kind: TimerKind, token: u64, after: Duration) {
+    let deadline = shared.clock.now().as_nanos() + after.as_nanos();
+    let mut t = shared.timers.lock().expect("timer lock");
+    t.next_gen += 1;
+    let gen = t.next_gen;
+    t.armed.insert((kind, token), gen);
+    t.heap.push(std::cmp::Reverse((deadline, kind, token, gen)));
+    shared.timers_cv.notify_all();
+}
+
+/// The timer thread: sleep until the earliest deadline, emit `Timer`
+/// events for entries whose generation is still live.
+fn timer_loop<M: NetMsg>(shared: Arc<Shared<M>>) -> impl FnOnce() + Send + 'static {
+    move || {
+        let mut guard = shared.timers.lock().expect("timer lock");
+        loop {
+            if guard.stopped {
+                return;
+            }
+            let now = shared.clock.now().as_nanos();
+            // Fire everything due.
+            while let Some(std::cmp::Reverse((deadline, kind, token, gen))) =
+                guard.heap.peek().copied()
+            {
+                if deadline > now {
+                    break;
+                }
+                guard.heap.pop();
+                if guard.armed.get(&(kind, token)) == Some(&gen) {
+                    // The event loop re-validates under this same lock
+                    // before dispatching, so a cancel can still win.
+                    let _ = shared.events.send(Event::Timer { kind, token, gen });
+                }
+            }
+            let wait = match guard.heap.peek() {
+                Some(std::cmp::Reverse((deadline, ..))) => {
+                    std::time::Duration::from_nanos(deadline.saturating_sub(now))
+                }
+                None => std::time::Duration::from_millis(250),
+            };
+            let (g, _) = shared
+                .timers_cv
+                .wait_timeout(guard, wait)
+                .expect("timer wait");
+            guard = g;
+        }
+    }
+}
+
+/// Queues a message for a peer, standing up the peer's writer on first
+/// use. Self-sends bypass the network, exactly like the simulator.
+fn send<M>(shared: &Arc<Shared<M>>, to: NodeId, msg: M)
+where
+    M: NetMsg + ringbft_simnet::SimMessage,
+{
+    let resolved = shared.peers.resolve(to);
+    if resolved == shared.id {
+        let _ = shared.events.send(Event::Deliver {
+            from: shared.id,
+            msg,
+        });
+        return;
+    }
+    if shared.peers.addr_of(resolved).is_none() {
+        // Unknown peer: drop, as the simulator drops sends to
+        // unregistered nodes. (A Hello may register it later; the
+        // writer re-reads the table on every connect.)
+        shared
+            .counters
+            .messages_dropped
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let model = modeled_bytes(&msg);
+    let env = Envelope {
+        from: shared.id,
+        to,
+        msg,
+    };
+    let frame = match encode_frame(&env) {
+        Ok(f) => f,
+        Err(_) => {
+            shared
+                .counters
+                .messages_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let sender = {
+        let mut writers = shared.writers.lock().expect("writers");
+        writers
+            .entry(resolved)
+            .or_insert_with(|| {
+                let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(PEER_QUEUE_FRAMES);
+                let shared_for_writer = Arc::clone(shared);
+                spawn_named(format!("{}-w-{resolved}", shared.id), move || {
+                    writer_loop(shared_for_writer, resolved, rx)
+                });
+                tx
+            })
+            .clone()
+    };
+    let bytes = frame.len() as u64;
+    match sender.try_send(frame) {
+        Ok(()) => {
+            shared
+                .counters
+                .messages_sent
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .bytes_sent
+                .fetch_add(bytes, Ordering::Relaxed);
+            shared
+                .counters
+                .modeled_bytes_sent
+                .fetch_add(model, Ordering::Relaxed);
+        }
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            shared
+                .counters
+                .messages_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-frame delivery attempts before a writer drops the frame. Keeps
+/// a down peer from stalling the queue for more than a few seconds
+/// while the protocol's retransmission timers cover the loss.
+const WRITE_ATTEMPTS_PER_FRAME: u32 = 5;
+
+/// A peer writer: dial the peer's *current* address (re-read from the
+/// peer table every connect, so Hello-driven refreshes take effect),
+/// then drain the queue. The thread lives as long as its queue: a
+/// frame that cannot be delivered within a few attempts is dropped and
+/// counted, and the writer moves on — delivery resumes as soon as the
+/// peer is reachable again.
+fn writer_loop<M: NetMsg>(shared: Arc<Shared<M>>, peer: NodeId, rx: Receiver<Vec<u8>>) {
+    let mut stream: Option<TcpStream> = None;
+    loop {
+        let Ok(frame) = rx.recv() else {
+            return; // queue closed: shutdown
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut delivered = false;
+        for attempt in 0..WRITE_ATTEMPTS_PER_FRAME {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if stream.is_none() {
+                stream = connect_and_hello(&shared, peer);
+                if stream.is_none() {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        (20 * (attempt + 1)) as u64,
+                    ));
+                    continue;
+                }
+            }
+            let s = stream.as_mut().expect("connected");
+            match std::io::Write::write_all(s, &frame) {
+                Ok(()) => {
+                    delivered = true;
+                    break;
+                }
+                Err(_) => {
+                    // Broken pipe: re-dial on the next attempt.
+                    stream = None;
+                }
+            }
+        }
+        if !delivered {
+            shared
+                .counters
+                .messages_undeliverable
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Dials `peer` at its current peer-table address and introduces this
+/// node, so the peer learns a dial-back route (essential for client
+/// hosts that are not in the static config).
+fn connect_and_hello<M: NetMsg>(shared: &Arc<Shared<M>>, peer: NodeId) -> Option<TcpStream> {
+    let addr = shared.peers.addr_of(peer)?;
+    let mut s = TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(500)).ok()?;
+    let _ = s.set_nodelay(true);
+    let hello = Hello {
+        node: shared.id,
+        aliases: shared.peers.aliases_of(shared.id),
+        listen_port: shared.listen_port,
+    };
+    let frame = encode_hello_frame(&hello).ok()?;
+    std::io::Write::write_all(&mut s, &frame).ok()?;
+    Some(s)
+}
+
+/// Accept loop: one reader thread per inbound connection.
+fn accept_loop<M: NetMsg>(
+    shared: Arc<Shared<M>>,
+    listener: TcpListener,
+) -> impl FnOnce() + Send + 'static {
+    move || {
+        for conn in listener.incoming() {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(stream) = conn else { continue };
+            let shared = Arc::clone(&shared);
+            // Readers are detached: they exit on EOF (peers close their
+            // write sides at shutdown) or on a codec error.
+            let _ = std::thread::Builder::new()
+                .name(format!("{}-read", shared.id))
+                .spawn(move || reader_loop(shared, stream));
+        }
+    }
+}
+
+fn reader_loop<M: NetMsg>(shared: Arc<Shared<M>>, stream: TcpStream) {
+    let peer_ip = stream.peer_addr().ok().map(|a| a.ip());
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_any_frame::<M, _>(&mut reader) {
+            Ok(Frame::Hello(hello)) => {
+                // Learn the dial-back route for this peer: its
+                // advertised listener port on the connection's source
+                // IP. Client hosts may restart on a new ephemeral port,
+                // so their route refreshes on every Hello; replica
+                // routes from the cluster file are authoritative and
+                // are only filled in when missing (a source IP can
+                // differ from the configured interface on multi-homed
+                // hosts). Channels are unauthenticated for now, the
+                // same trust model as the rest of the transport.
+                if let Some(ip) = peer_ip {
+                    let addr = SocketAddr::new(ip, hello.listen_port);
+                    match hello.node {
+                        NodeId::Client(_) => shared.peers.insert(hello.node, addr),
+                        NodeId::Replica(_) => shared.peers.insert_if_absent(hello.node, addr),
+                    }
+                    for alias in hello.aliases {
+                        shared.peers.add_alias(alias, hello.node);
+                    }
+                }
+            }
+            Ok(Frame::Data(env)) => {
+                // Deliver only traffic addressed to (an alias of) us;
+                // anything else indicates a stale peer table.
+                if shared.peers.resolve(env.to) == shared.id {
+                    let _ = shared.events.send(Event::Deliver {
+                        from: env.from,
+                        msg: env.msg,
+                    });
+                }
+            }
+            Err(_) => {
+                return; // EOF or corruption: close the connection
+            }
+        }
+    }
+}

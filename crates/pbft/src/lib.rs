@@ -220,8 +220,11 @@ mod tests {
         c.deliver_all();
         for i in 0..4 {
             assert_eq!(c.cores[i as usize].last_stable().0, 10, "replica {i}");
-            assert!(c.events.iter().any(|(j, e)| *j == i
-                && matches!(e, PbftEvent::StableCheckpoint { seq } if seq.0 == 10)));
+            assert!(c
+                .events
+                .iter()
+                .any(|(j, e)| *j == i
+                    && matches!(e, PbftEvent::StableCheckpoint { seq } if seq.0 == 10)));
         }
         // Committed digests below the checkpoint are GC'd.
         assert!(c.cores[0].committed_digest(SeqNum(5)).is_none());

@@ -4,6 +4,7 @@
 use ringbft_crypto::{sha256_concat, Digest};
 use ringbft_types::txn::Batch;
 use ringbft_types::{SeqNum, ViewNum};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A prepared-certificate entry carried inside a ViewChange message: proof
@@ -12,7 +13,7 @@ use std::sync::Arc;
 /// We carry the batch payload alongside (when the sender has it) so the
 /// new primary can re-propose without a separate fetch round; the wire
 /// model charges for this in `view_change_bytes`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PreparedProof {
     /// View in which the request prepared.
     pub view: ViewNum,
@@ -25,7 +26,7 @@ pub struct PreparedProof {
 }
 
 /// Intra-shard PBFT messages.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PbftMsg {
     /// Primary's proposal ordering `batch` at `seq` in `view`.
     Preprepare {

@@ -227,7 +227,10 @@ impl PbftCore {
         inst.digest = Some(digest);
         inst.batch = Some(batch);
         inst.preprepared = true;
-        inst.prepares.entry(digest).or_default().insert(self.me.index);
+        inst.prepares
+            .entry(digest)
+            .or_default()
+            .insert(self.me.index);
         out.set_timer(TimerKind::Local, seq.0, self.request_timeout());
         self.check_quorums(seq.0, out, events);
         Some(seq)
@@ -336,17 +339,10 @@ impl PbftCore {
         inst.batch = Some(batch);
         inst.preprepared = true;
         // Primary's pre-prepare counts as its prepare vote.
-        inst.prepares
-            .entry(digest)
-            .or_default()
-            .insert(from.index);
+        inst.prepares.entry(digest).or_default().insert(from.index);
         self.max_seq_seen = self.max_seq_seen.max(seq.0);
         // Broadcast our Prepare and count our own vote.
-        let prep = PbftMsg::Prepare {
-            view,
-            seq,
-            digest,
-        };
+        let prep = PbftMsg::Prepare { view, seq, digest };
         out.multicast(self.others(), &prep);
         self.instances
             .get_mut(&seq.0)
@@ -384,12 +380,7 @@ impl PbftCore {
     }
 
     /// Advances prepare→commit→committed when quorums are met.
-    fn check_quorums(
-        &mut self,
-        seq: u64,
-        out: &mut Outbox<PbftMsg>,
-        events: &mut Vec<PbftEvent>,
-    ) {
+    fn check_quorums(&mut self, seq: u64, out: &mut Outbox<PbftMsg>, events: &mut Vec<PbftEvent>) {
         let nf = self.cfg.nf();
         let me = self.me.index;
         let others: Vec<NodeId> = self.others().collect();
@@ -762,11 +753,7 @@ impl PbftCore {
     /// change (§5.1.2, Fig 6 line 6: "Initiate Local view-change
     /// protocol") and by the client-broadcast fallback (A1) when the
     /// primary sits on a forwarded request. No-op if already changing.
-    pub fn force_view_change(
-        &mut self,
-        out: &mut Outbox<PbftMsg>,
-        events: &mut Vec<PbftEvent>,
-    ) {
+    pub fn force_view_change(&mut self, out: &mut Outbox<PbftMsg>, events: &mut Vec<PbftEvent>) {
         if self.in_view_change {
             return;
         }

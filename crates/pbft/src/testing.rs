@@ -191,7 +191,11 @@ impl TestCluster {
 
 /// Builds a single-shard batch of `txns` read-modify-write transactions
 /// over distinct keys — shared helper for protocol tests.
-pub fn test_batch(shard: ShardId, batch_id: u64, txns: usize) -> std::sync::Arc<ringbft_types::Batch> {
+pub fn test_batch(
+    shard: ShardId,
+    batch_id: u64,
+    txns: usize,
+) -> std::sync::Arc<ringbft_types::Batch> {
     use ringbft_types::txn::{Operation, OperationKind, Transaction};
     use ringbft_types::{BatchId, ClientId, TxnId};
     let txns: Vec<Transaction> = (0..txns as u64)

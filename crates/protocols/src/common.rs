@@ -1,10 +1,11 @@
 //! Shared plumbing for the single-shard baseline protocols: the unified
 //! message enum, the primary's batching pool, and client-reply helpers.
 
-use ringbft_pbft::PbftMsg;
 use ringbft_crypto::Digest;
+use ringbft_pbft::PbftMsg;
 use ringbft_types::txn::{Batch, Transaction};
 use ringbft_types::{BatchId, ClientId, NodeId, Outbox, SeqNum, TxnId};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -12,7 +13,7 @@ use std::sync::Arc;
 /// protocol uses the subset of variants that matches its communication
 /// pattern; keeping one enum lets the simulator treat all of them
 /// uniformly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SsMsg {
     /// Client request (or a replica's relay of one).
     Request {

@@ -93,7 +93,13 @@ impl HotStuffReplica {
     }
 
     /// Handles the pool-flush timer.
-    pub fn on_timer(&mut self, _now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<SsMsg>) {
+    pub fn on_timer(
+        &mut self,
+        _now: Instant,
+        kind: TimerKind,
+        token: u64,
+        out: &mut Outbox<SsMsg>,
+    ) {
         if kind == TimerKind::Client && token == FLUSH_TOKEN {
             self.flush_armed = false;
             if let Some(batch) = self.pool.cut() {
@@ -158,7 +164,14 @@ impl HotStuffReplica {
         out.send(self.leader(), SsMsg::Vote { seq, phase, digest });
     }
 
-    fn on_vote(&mut self, seq: SeqNum, phase: u8, digest: Digest, from: u32, out: &mut Outbox<SsMsg>) {
+    fn on_vote(
+        &mut self,
+        seq: SeqNum,
+        phase: u8,
+        digest: Digest,
+        from: u32,
+        out: &mut Outbox<SsMsg>,
+    ) {
         if !self.is_leader() || phase > LAST_PHASE {
             return;
         }

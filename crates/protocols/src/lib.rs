@@ -52,7 +52,9 @@ impl SsReplica {
             ProtocolKind::Sbft => {
                 SsReplica::Spec(SpecReplica::new(SpecKind::Sbft, me, n, batch_size))
             }
-            ProtocolKind::Poe => SsReplica::Spec(SpecReplica::new(SpecKind::Poe, me, n, batch_size)),
+            ProtocolKind::Poe => {
+                SsReplica::Spec(SpecReplica::new(SpecKind::Poe, me, n, batch_size))
+            }
             ProtocolKind::HotStuff => SsReplica::HotStuff(HotStuffReplica::new(me, n, batch_size)),
             ProtocolKind::Rcc => SsReplica::Rcc(RccReplica::new(me, n, batch_size, local_timeout)),
             other => panic!("{other:?} is not a single-shard baseline"),
@@ -168,9 +170,10 @@ mod tests {
         fn absorb(&mut self, from: u32, actions: Vec<Action<SsMsg>>) {
             for a in actions {
                 match a {
-                    Action::Send { to, msg } => self
-                        .queue
-                        .push_back((NodeId::Replica(ReplicaId::new(S, from)), to, msg)),
+                    Action::Send { to, msg } => {
+                        self.queue
+                            .push_back((NodeId::Replica(ReplicaId::new(S, from)), to, msg))
+                    }
                     Action::SetTimer { kind, token, .. } => {
                         self.timers.insert((from, kind, token));
                     }
@@ -195,7 +198,9 @@ mod tests {
                     }
                     NodeId::Client(c) => {
                         if let SsMsg::Reply { digest, .. } = msg {
-                            let NodeId::Replica(sender) = from else { continue };
+                            let NodeId::Replica(sender) = from else {
+                                continue;
+                            };
                             self.replies
                                 .entry(c)
                                 .or_default()

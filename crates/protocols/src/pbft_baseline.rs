@@ -96,9 +96,13 @@ impl PbftBaseline {
             return;
         }
         if let Some(batch) = self.pool.push((*txn).clone()) {
-            self.drive(now, |p, po, ev| {
-                p.propose(batch, po, ev);
-            }, out);
+            self.drive(
+                now,
+                |p, po, ev| {
+                    p.propose(batch, po, ev);
+                },
+                out,
+            );
         }
         if !self.pool.is_empty() && !self.flush_armed {
             self.flush_armed = true;
@@ -111,16 +115,24 @@ impl PbftBaseline {
         if kind == TimerKind::Client && token == FLUSH_TOKEN {
             self.flush_armed = false;
             if let Some(batch) = self.pool.cut() {
-                self.drive(now, |p, po, ev| {
-                    p.propose(batch, po, ev);
-                }, out);
+                self.drive(
+                    now,
+                    |p, po, ev| {
+                        p.propose(batch, po, ev);
+                    },
+                    out,
+                );
             }
             return;
         }
         if kind == TimerKind::Local {
-            self.drive(now, |p, po, ev| {
-                p.on_timer(kind, token, po, ev);
-            }, out);
+            self.drive(
+                now,
+                |p, po, ev| {
+                    p.on_timer(kind, token, po, ev);
+                },
+                out,
+            );
         }
     }
 }

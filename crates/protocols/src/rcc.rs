@@ -118,9 +118,13 @@ impl RccReplica {
         // Multi-primary: pool locally and propose into our own stream.
         if let Some(batch) = self.pool.push((*txn).clone()) {
             let stream = self.own_stream();
-            self.drive(stream, |p, po, ev| {
-                p.propose(batch, po, ev);
-            }, out);
+            self.drive(
+                stream,
+                |p, po, ev| {
+                    p.propose(batch, po, ev);
+                },
+                out,
+            );
         }
         if !self.pool.is_empty() && !self.flush_armed {
             self.flush_armed = true;
@@ -129,14 +133,24 @@ impl RccReplica {
     }
 
     /// Handles a timer.
-    pub fn on_timer(&mut self, _now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<SsMsg>) {
+    pub fn on_timer(
+        &mut self,
+        _now: Instant,
+        kind: TimerKind,
+        token: u64,
+        out: &mut Outbox<SsMsg>,
+    ) {
         if kind == TimerKind::Client && token == FLUSH_TOKEN {
             self.flush_armed = false;
             if let Some(batch) = self.pool.cut() {
                 let stream = self.own_stream();
-                self.drive(stream, |p, po, ev| {
-                    p.propose(batch, po, ev);
-                }, out);
+                self.drive(
+                    stream,
+                    |p, po, ev| {
+                        p.propose(batch, po, ev);
+                    },
+                    out,
+                );
             }
             return;
         }
@@ -145,9 +159,13 @@ impl RccReplica {
             let stream = ((token >> 48) & 0xffff) as usize;
             let inner = token ^ ((stream as u64) << 48);
             if stream < self.streams.len() {
-                self.drive(stream, |p, po, ev| {
-                    p.on_timer(kind, inner, po, ev);
-                }, out);
+                self.drive(
+                    stream,
+                    |p, po, ev| {
+                        p.on_timer(kind, inner, po, ev);
+                    },
+                    out,
+                );
             }
         }
     }

@@ -41,9 +41,9 @@ impl SpecKind {
     /// How many matching replies the client must collect.
     pub fn reply_quorum(self, n: usize, f: usize) -> usize {
         match self {
-            SpecKind::Zyzzyva => n,     // fast path needs all 3f+1
-            SpecKind::Sbft => 1,        // single certified reply
-            SpecKind::Poe => n - f,     // nf speculative responses
+            SpecKind::Zyzzyva => n, // fast path needs all 3f+1
+            SpecKind::Sbft => 1,    // single certified reply
+            SpecKind::Poe => n - f, // nf speculative responses
         }
     }
 }
@@ -125,11 +125,7 @@ impl SpecReplica {
                 digest,
                 batch: Some(batch),
             } => self.on_propose(seq, digest, batch, out),
-            SsMsg::Vote {
-                seq,
-                phase,
-                digest,
-            } => {
+            SsMsg::Vote { seq, phase, digest } => {
                 let NodeId::Replica(r) = from else { return };
                 self.on_vote(seq, phase, digest, r.index, out);
             }
@@ -157,7 +153,13 @@ impl SpecReplica {
     }
 
     /// Handles a timer (pool flush only — failure-free baselines).
-    pub fn on_timer(&mut self, _now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<SsMsg>) {
+    pub fn on_timer(
+        &mut self,
+        _now: Instant,
+        kind: TimerKind,
+        token: u64,
+        out: &mut Outbox<SsMsg>,
+    ) {
         if kind == TimerKind::Client && token == FLUSH_TOKEN {
             self.flush_armed = false;
             if let Some(batch) = self.pool.cut() {
@@ -251,7 +253,14 @@ impl SpecReplica {
         }
     }
 
-    fn on_vote(&mut self, seq: SeqNum, phase: u8, digest: Digest, from: u32, out: &mut Outbox<SsMsg>) {
+    fn on_vote(
+        &mut self,
+        seq: SeqNum,
+        phase: u8,
+        digest: Digest,
+        from: u32,
+        out: &mut Outbox<SsMsg>,
+    ) {
         if self.kind != SpecKind::Sbft || !self.is_leader() {
             return;
         }
@@ -310,10 +319,7 @@ impl SpecReplica {
             );
             // Replicas execute locally but only the collector answers the
             // client.
-            let batch = self
-                .slots
-                .get(&seq.0)
-                .and_then(|s| s.batch.clone());
+            let batch = self.slots.get(&seq.0).and_then(|s| s.batch.clone());
             if let Some(batch) = batch {
                 self.execute_silent(seq.0, &batch, out);
             }

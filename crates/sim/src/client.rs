@@ -179,7 +179,13 @@ impl SimClient {
     }
 
     /// Handles a reply.
-    pub fn on_message(&mut self, now: Instant, from: NodeId, msg: AnyMsg, out: &mut Outbox<AnyMsg>) {
+    pub fn on_message(
+        &mut self,
+        now: Instant,
+        from: NodeId,
+        msg: AnyMsg,
+        out: &mut Outbox<AnyMsg>,
+    ) {
         let (digest, txn_ids) = match msg {
             AnyMsg::Ring(RingMsg::Reply {
                 digest, txn_ids, ..
@@ -192,7 +198,9 @@ impl SimClient {
             }) => (digest, txn_ids),
             _ => return,
         };
-        let NodeId::Replica(sender) = from else { return };
+        let NodeId::Replica(sender) = from else {
+            return;
+        };
         // Remember a live replica of this shard: replies prove liveness,
         // so later requests stop addressing a crashed ex-primary.
         self.preferred.insert(sender.shard, sender.index);
@@ -235,7 +243,13 @@ impl SimClient {
 
     /// Handles the per-transaction response timer (A1): on expiry the
     /// client "broadcasts Tℑ to all the replicas" of the target shard.
-    pub fn on_timer(&mut self, now: Instant, kind: TimerKind, token: u64, out: &mut Outbox<AnyMsg>) {
+    pub fn on_timer(
+        &mut self,
+        now: Instant,
+        kind: TimerKind,
+        token: u64,
+        out: &mut Outbox<AnyMsg>,
+    ) {
         if kind != TimerKind::Client {
             return;
         }
@@ -275,9 +289,7 @@ impl SimClient {
 pub fn reply_quorum(cfg: &SystemConfig) -> usize {
     let n = cfg.shards[0].n;
     match cfg.protocol {
-        ProtocolKind::RingBft | ProtocolKind::Ahl | ProtocolKind::Sharper => {
-            cfg.shards[0].f() + 1
-        }
+        ProtocolKind::RingBft | ProtocolKind::Ahl | ProtocolKind::Sharper => cfg.shards[0].f() + 1,
         kind => SsReplica::reply_quorum(kind, n),
     }
 }

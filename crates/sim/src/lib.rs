@@ -23,7 +23,9 @@ pub use scenario::{scenario_quorum, Scenario, ScenarioReport};
 mod tests {
     use crate::Scenario;
     use ringbft_simnet::FaultPlan;
-    use ringbft_types::{Duration, Instant, NodeId, ProtocolKind, ReplicaId, ShardId, SystemConfig};
+    use ringbft_types::{
+        Duration, Instant, NodeId, ProtocolKind, ReplicaId, ShardId, SystemConfig,
+    };
 
     fn quick(cfg: &mut SystemConfig) {
         cfg.num_keys = 6_000;
@@ -36,7 +38,10 @@ mod tests {
         let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
         quick(&mut cfg);
         cfg.cross_shard_rate = 0.0;
-        let r = Scenario::new(cfg, 1).warmup_secs(0.5).measure_secs(2.0).run();
+        let r = Scenario::new(cfg, 1)
+            .warmup_secs(0.5)
+            .measure_secs(2.0)
+            .run();
         assert!(r.completed_txns > 0, "no txns completed: {r:?}");
         assert!(r.avg_latency_s > 0.0);
     }
@@ -46,7 +51,10 @@ mod tests {
         let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
         quick(&mut cfg);
         cfg.cross_shard_rate = 0.3;
-        let r = Scenario::new(cfg, 1).warmup_secs(0.5).measure_secs(3.0).run();
+        let r = Scenario::new(cfg, 1)
+            .warmup_secs(0.5)
+            .measure_secs(3.0)
+            .run();
         assert!(r.completed_txns > 0, "no cst completed: {r:?}");
     }
 
@@ -56,7 +64,10 @@ mod tests {
             let mut cfg = SystemConfig::uniform(kind, 3, 4);
             quick(&mut cfg);
             cfg.cross_shard_rate = 0.3;
-            let r = Scenario::new(cfg, 1).warmup_secs(0.5).measure_secs(3.0).run();
+            let r = Scenario::new(cfg, 1)
+                .warmup_secs(0.5)
+                .measure_secs(3.0)
+                .run();
             assert!(r.completed_txns > 0, "{kind:?} made no progress: {r:?}");
         }
     }
@@ -75,7 +86,10 @@ mod tests {
             quick(&mut cfg);
             cfg.cross_shard_rate = 0.0;
             cfg.involved_shards = 1;
-            let r = Scenario::new(cfg, 1).warmup_secs(0.5).measure_secs(2.0).run();
+            let r = Scenario::new(cfg, 1)
+                .warmup_secs(0.5)
+                .measure_secs(2.0)
+                .run();
             assert!(r.completed_txns > 0, "{kind:?} made no progress");
         }
     }
@@ -85,7 +99,10 @@ mod tests {
         let mk = || {
             let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
             quick(&mut cfg);
-            Scenario::new(cfg, 7).warmup_secs(0.5).measure_secs(1.5).run()
+            Scenario::new(cfg, 7)
+                .warmup_secs(0.5)
+                .measure_secs(1.5)
+                .run()
         };
         let a = mk();
         let b = mk();
@@ -105,10 +122,8 @@ mod tests {
         cfg.timers.transmit = Duration::from_millis(1500);
         cfg.timers.client = Duration::from_millis(2000);
         let crash_at = Instant::ZERO + Duration::from_secs(2);
-        let faults = FaultPlan::none().crash(
-            NodeId::Replica(ReplicaId::new(ShardId(0), 0)),
-            crash_at,
-        );
+        let faults =
+            FaultPlan::none().crash(NodeId::Replica(ReplicaId::new(ShardId(0), 0)), crash_at);
         let r = Scenario::new(cfg, 3)
             .warmup_secs(1.0)
             .measure_secs(9.0)
@@ -123,6 +138,10 @@ mod tests {
             .filter(|(t, _)| *t >= 7.0)
             .map(|(_, n)| n)
             .sum();
-        assert!(late > 0.0, "no completions after recovery: {:?}", r.timeline);
+        assert!(
+            late > 0.0,
+            "no completions after recovery: {:?}",
+            r.timeline
+        );
     }
 }

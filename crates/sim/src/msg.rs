@@ -14,9 +14,11 @@ use ringbft_pbft::PbftMsg;
 use ringbft_protocols::SsMsg;
 use ringbft_simnet::SimMessage;
 use ringbft_types::{wire, Duration};
+use serde::{Deserialize, Serialize};
 
-/// All messages flowing through a simulation.
-#[derive(Debug, Clone)]
+/// All messages flowing through a simulation (and, framed by
+/// `ringbft-net`'s codec, over real sockets).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AnyMsg {
     /// RingBFT traffic.
     Ring(RingMsg),
@@ -38,7 +40,11 @@ fn pbft_bytes(m: &PbftMsg) -> u64 {
             wire::new_view_bytes(preprepares.len())
                 + preprepares
                     .iter()
-                    .map(|p| p.batch.as_ref().map_or(0, |b| wire::preprepare_bytes(b.len())))
+                    .map(|p| {
+                        p.batch
+                            .as_ref()
+                            .map_or(0, |b| wire::preprepare_bytes(b.len()))
+                    })
                     .sum::<u64>()
         }
     }
@@ -89,11 +95,9 @@ impl SimMessage for AnyMsg {
                 SsMsg::Request { txn, .. } => wire::client_request_bytes(txn.ops.len()),
                 SsMsg::Pbft(p) | SsMsg::Rcc { msg: p, .. } => pbft_bytes(p),
                 SsMsg::OrderReq { batch, .. } => wire::preprepare_bytes(batch.len()),
-                SsMsg::Propose { batch, .. } => {
-                    batch.as_ref().map_or(wire::prepare_bytes(), |b| {
-                        wire::preprepare_bytes(b.len())
-                    })
-                }
+                SsMsg::Propose { batch, .. } => batch
+                    .as_ref()
+                    .map_or(wire::prepare_bytes(), |b| wire::preprepare_bytes(b.len())),
                 SsMsg::Vote { .. } => wire::prepare_bytes(),
                 SsMsg::Cert { .. } => wire::commit_bytes(),
                 SsMsg::Support { .. } => wire::prepare_bytes(),

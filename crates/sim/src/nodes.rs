@@ -7,7 +7,7 @@ use ringbft_baselines::{AhlReplica, SharperReplica};
 use ringbft_core::RingReplica;
 use ringbft_protocols::SsReplica;
 use ringbft_simnet::SimNode;
-use ringbft_types::{Action, Instant, NodeId, Outbox, TimerKind};
+use ringbft_types::{Action, Instant, NodeId, Outbox, Region, ReplicaId, TimerKind};
 
 /// Any node participating in a simulation.
 pub enum AnyNode {
@@ -21,6 +21,88 @@ pub enum AnyNode {
     Ss(Box<SsReplica>),
     /// A client host.
     Client(Box<SimClient>),
+}
+
+/// Builds the full replica deployment for `cfg`: every replica node the
+/// configured protocol needs (including AHL's reference committee),
+/// paired with the region hosting it.
+///
+/// Both drivers use this one factory — the discrete-event scenario
+/// harness places each node in its region on the simulated WAN, while
+/// `ringbft-net` hosts each node on a socket and ignores the region.
+pub fn deployment(cfg: &ringbft_types::SystemConfig) -> Vec<(ReplicaId, Region, AnyNode)> {
+    use ringbft_baselines::AhlRole;
+    use ringbft_types::{ProtocolKind, ShardId};
+
+    let mut nodes = Vec::new();
+    match cfg.protocol {
+        ProtocolKind::RingBft => {
+            for shard in &cfg.shards {
+                for r in shard.replicas() {
+                    nodes.push((
+                        r,
+                        shard.region,
+                        AnyNode::Ring(Box::new(RingReplica::new(cfg.clone(), r, false))),
+                    ));
+                }
+            }
+        }
+        ProtocolKind::Sharper => {
+            for shard in &cfg.shards {
+                for r in shard.replicas() {
+                    nodes.push((
+                        r,
+                        shard.region,
+                        AnyNode::Sharper(Box::new(SharperReplica::new(cfg.clone(), r))),
+                    ));
+                }
+            }
+        }
+        ProtocolKind::Ahl => {
+            for shard in &cfg.shards {
+                for r in shard.replicas() {
+                    nodes.push((
+                        r,
+                        shard.region,
+                        AnyNode::Ahl(Box::new(AhlReplica::new(cfg.clone(), r, AhlRole::Shard))),
+                    ));
+                }
+            }
+            // The reference committee lives in the first region.
+            let cshard = AhlReplica::committee_shard_of(cfg);
+            for i in 0..AhlReplica::committee_size(cfg) as u32 {
+                let r = ReplicaId::new(cshard, i);
+                nodes.push((
+                    r,
+                    cfg.shards[0].region,
+                    AnyNode::Ahl(Box::new(AhlReplica::new(
+                        cfg.clone(),
+                        r,
+                        AhlRole::Committee,
+                    ))),
+                ));
+            }
+        }
+        // Fully-replicated baselines: one group spread over regions.
+        kind => {
+            let n = cfg.shards[0].n;
+            for i in 0..n as u32 {
+                let r = ReplicaId::new(ShardId(0), i);
+                nodes.push((
+                    r,
+                    Region::ALL[i as usize % Region::ALL.len()],
+                    AnyNode::Ss(Box::new(SsReplica::new(
+                        kind,
+                        r,
+                        n,
+                        cfg.batch_size,
+                        cfg.timers.local,
+                    ))),
+                ));
+            }
+        }
+    }
+    nodes
 }
 
 fn lift<M>(actions: Vec<Action<M>>, wrap: impl Fn(M) -> AnyMsg) -> Vec<Action<AnyMsg>> {

@@ -6,13 +6,8 @@
 use crate::client::{reply_quorum, SimClient};
 use crate::msg::AnyMsg;
 use crate::nodes::AnyNode;
-use ringbft_baselines::{AhlReplica, AhlRole, SharperReplica};
-use ringbft_core::RingReplica;
-use ringbft_protocols::SsReplica;
 use ringbft_simnet::{FaultPlan, Topology, World};
-use ringbft_types::{
-    ClientId, Duration, Instant, NodeId, ProtocolKind, Region, ReplicaId, ShardId, SystemConfig,
-};
+use ringbft_types::{ClientId, Duration, Instant, NodeId, Region, SystemConfig};
 
 /// Metrics of one scenario run.
 #[derive(Debug, Clone)]
@@ -120,79 +115,12 @@ impl Scenario {
         };
         topology.intra_region_bps /= self.bandwidth_divisor;
         topology.wan_bps /= self.bandwidth_divisor;
-        let mut world: World<AnyMsg, AnyNode> = World::new(topology, self.faults.clone(), self.seed);
+        let mut world: World<AnyMsg, AnyNode> =
+            World::new(topology, self.faults.clone(), self.seed);
 
-        // --- replicas ---
-        match cfg.protocol {
-            ProtocolKind::RingBft => {
-                for shard in &cfg.shards {
-                    for r in shard.replicas() {
-                        world.add_node(
-                            NodeId::Replica(r),
-                            shard.region,
-                            AnyNode::Ring(Box::new(RingReplica::new(cfg.clone(), r, false))),
-                        );
-                    }
-                }
-            }
-            ProtocolKind::Sharper => {
-                for shard in &cfg.shards {
-                    for r in shard.replicas() {
-                        world.add_node(
-                            NodeId::Replica(r),
-                            shard.region,
-                            AnyNode::Sharper(Box::new(SharperReplica::new(cfg.clone(), r))),
-                        );
-                    }
-                }
-            }
-            ProtocolKind::Ahl => {
-                for shard in &cfg.shards {
-                    for r in shard.replicas() {
-                        world.add_node(
-                            NodeId::Replica(r),
-                            shard.region,
-                            AnyNode::Ahl(Box::new(AhlReplica::new(
-                                cfg.clone(),
-                                r,
-                                AhlRole::Shard,
-                            ))),
-                        );
-                    }
-                }
-                // The reference committee lives in the first region.
-                let cshard = AhlReplica::committee_shard_of(&cfg);
-                for i in 0..AhlReplica::committee_size(&cfg) as u32 {
-                    let r = ReplicaId::new(cshard, i);
-                    world.add_node(
-                        NodeId::Replica(r),
-                        cfg.shards[0].region,
-                        AnyNode::Ahl(Box::new(AhlReplica::new(
-                            cfg.clone(),
-                            r,
-                            AhlRole::Committee,
-                        ))),
-                    );
-                }
-            }
-            // Fully-replicated baselines: one group spread over regions.
-            kind => {
-                let n = cfg.shards[0].n;
-                for i in 0..n as u32 {
-                    let r = ReplicaId::new(ShardId(0), i);
-                    world.add_node(
-                        NodeId::Replica(r),
-                        Region::ALL[i as usize % Region::ALL.len()],
-                        AnyNode::Ss(Box::new(SsReplica::new(
-                            kind,
-                            r,
-                            n,
-                            cfg.batch_size,
-                            cfg.timers.local,
-                        ))),
-                    );
-                }
-            }
+        // --- replicas (one factory shared with the ringbft-net runtime) ---
+        for (r, region, node) in crate::nodes::deployment(&cfg) {
+            world.add_node(NodeId::Replica(r), region, node);
         }
 
         // --- clients, spread equally over the regions in use (§8) ---
@@ -209,9 +137,7 @@ impl Scenario {
         let host_count = total_clients.div_ceil(self.clients_per_host).max(1);
         let mut assigned = 0u64;
         for h in 0..host_count {
-            let count = self
-                .clients_per_host
-                .min(total_clients - assigned);
+            let count = self.clients_per_host.min(total_clients - assigned);
             if count == 0 {
                 break;
             }

@@ -14,19 +14,19 @@ use ringbft_types::{Duration, Region};
 /// Approximate datacenter coordinates (latitude, longitude) per region.
 fn coordinates(r: Region) -> (f64, f64) {
     match r {
-        Region::Oregon => (45.60, -121.18),        // The Dalles
-        Region::Iowa => (41.26, -95.86),           // Council Bluffs
+        Region::Oregon => (45.60, -121.18), // The Dalles
+        Region::Iowa => (41.26, -95.86),    // Council Bluffs
         Region::Montreal => (45.50, -73.57),
-        Region::Netherlands => (53.44, 6.84),      // Eemshaven
-        Region::Taiwan => (24.08, 120.54),         // Changhua
+        Region::Netherlands => (53.44, 6.84), // Eemshaven
+        Region::Taiwan => (24.08, 120.54),    // Changhua
         Region::Sydney => (-33.87, 151.21),
         Region::Singapore => (1.35, 103.82),
-        Region::SouthCarolina => (33.20, -80.01),  // Moncks Corner
-        Region::NorthVirginia => (39.04, -77.49),  // Ashburn
+        Region::SouthCarolina => (33.20, -80.01), // Moncks Corner
+        Region::NorthVirginia => (39.04, -77.49), // Ashburn
         Region::LosAngeles => (34.05, -118.24),
         Region::LasVegas => (36.17, -115.14),
         Region::London => (51.51, -0.13),
-        Region::Belgium => (50.47, 3.87),          // St. Ghislain
+        Region::Belgium => (50.47, 3.87), // St. Ghislain
         Region::Tokyo => (35.69, 139.69),
         Region::HongKong => (22.32, 114.17),
     }

@@ -37,16 +37,11 @@ pub trait SimMessage: Clone {
 }
 
 /// A sans-io protocol node drivable by the [`World`].
-pub trait SimNode<M: SimMessage> {
-    /// Called once at simulation start.
-    fn on_start(&mut self, now: Instant) -> Vec<Action<M>>;
-
-    /// Called when a message is delivered.
-    fn on_message(&mut self, now: Instant, from: NodeId, msg: M) -> Vec<Action<M>>;
-
-    /// Called when an armed, uncancelled timer fires.
-    fn on_timer(&mut self, now: Instant, kind: TimerKind, token: u64) -> Vec<Action<M>>;
-}
+///
+/// This is the workspace-wide driver contract from
+/// [`ringbft_types::sansio::ProtocolNode`]; the simulator and the
+/// real-network runtime (`ringbft-net`) host the exact same nodes.
+pub use ringbft_types::sansio::ProtocolNode as SimNode;
 
 /// Record of an `Executed` action (throughput accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,9 +83,20 @@ pub struct NetStats {
 }
 
 enum Event<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    TimerFired { node: NodeId, kind: TimerKind, token: u64, gen: u64 },
-    Crash { node: NodeId },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    TimerFired {
+        node: NodeId,
+        kind: TimerKind,
+        token: u64,
+        gen: u64,
+    },
+    Crash {
+        node: NodeId,
+    },
 }
 
 struct Slot<N> {
@@ -169,8 +175,14 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
     /// to the alias reach the target node. The target must already be
     /// registered.
     pub fn add_alias(&mut self, alias: NodeId, target: NodeId) {
-        assert!(self.slots.contains_key(&target), "alias target {target} missing");
-        assert!(!self.slots.contains_key(&alias), "alias {alias} clashes with a node");
+        assert!(
+            self.slots.contains_key(&target),
+            "alias target {target} missing"
+        );
+        assert!(
+            !self.slots.contains_key(&alias),
+            "alias {alias} clashes with a node"
+        );
         self.aliases.insert(alias, target);
     }
 
@@ -333,7 +345,9 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
         }
         let (src_region, dst_region) = (src.region, dst.region);
         let bytes = msg.wire_bytes();
-        let tx = self.topology.transmission_delay(src_region, dst_region, bytes);
+        let tx = self
+            .topology
+            .transmission_delay(src_region, dst_region, bytes);
         let base_latency = self.topology.latency(src_region, dst_region);
         let jitter = if self.jitter_frac > 0.0 {
             1.0 + self.rng.random::<f64>() * self.jitter_frac
@@ -393,9 +407,12 @@ mod tests {
             self.received.push((now, msg.hops_left));
             let mut out = Outbox::new();
             if msg.hops_left > 0 {
-                out.send(from, Ping {
-                    hops_left: msg.hops_left - 1,
-                });
+                out.send(
+                    from,
+                    Ping {
+                        hops_left: msg.hops_left - 1,
+                    },
+                );
             }
             out.take()
         }
@@ -409,10 +426,7 @@ mod tests {
         NodeId::Replica(ReplicaId::new(ShardId(s), i))
     }
 
-    fn two_node_world(
-        faults: FaultPlan,
-        seed: u64,
-    ) -> World<Ping, Echo> {
+    fn two_node_world(faults: FaultPlan, seed: u64) -> World<Ping, Echo> {
         let mut w = World::new(Topology::gcp(), faults, seed);
         w.set_jitter(0.0);
         w.add_node(
@@ -444,7 +458,7 @@ mod tests {
         let b = w.node(rep(1, 0)).unwrap();
         assert_eq!(b.received.len(), 3); // hops 4, 2, 0
         assert_eq!(a.received.len(), 2); // hops 3, 1
-        // First delivery no earlier than the one-way Oregon→Iowa latency.
+                                         // First delivery no earlier than the one-way Oregon→Iowa latency.
         let one_way = Topology::gcp().latency(Region::Oregon, Region::Iowa);
         assert!(b.received[0].0 >= Instant::ZERO + one_way);
         assert_eq!(w.stats.messages_sent, 5);
@@ -457,18 +471,18 @@ mod tests {
             let mut w = two_node_world(FaultPlan::none().with_loss(0.3), seed);
             w.start();
             w.run_until(Instant::ZERO + Duration::from_secs(5));
-            (
-                w.stats,
-                w.node(rep(1, 0)).unwrap().received.clone(),
-            )
+            (w.stats, w.node(rep(1, 0)).unwrap().received.clone())
         };
         let (s1, r1) = run(7);
         let (s2, r2) = run(7);
         assert_eq!(s1, s2);
         assert_eq!(r1, r2);
-        let (s3, _) = run(8);
-        // Different seed usually differs under 30% loss (hops dropped).
-        assert!(s1 != s3 || s1.messages_dropped == 0);
+        // Some other seed behaves differently under 30% loss (any single
+        // pair of seeds can coincide by luck over so few messages).
+        assert!(
+            (8..16).any(|seed| run(seed).0 != s1),
+            "all seeds produced identical runs"
+        );
     }
 
     #[test]
@@ -521,8 +535,7 @@ mod tests {
     #[test]
     fn timers_fire_unless_cancelled() {
         for cancel in [false, true] {
-            let mut w: World<Ping, TimerNode> =
-                World::new(Topology::local(), FaultPlan::none(), 0);
+            let mut w: World<Ping, TimerNode> = World::new(Topology::local(), FaultPlan::none(), 0);
             let id = NodeId::Client(ClientId(0));
             w.add_node(
                 id,

@@ -192,11 +192,7 @@ mod tests {
     #[test]
     fn rmw_execution_is_replica_deterministic() {
         let shard = ShardId(0);
-        let txn = Transaction::new(
-            TxnId(9),
-            ClientId(1),
-            rmw_ops(&[(shard, 1), (shard, 2)]),
-        );
+        let txn = Transaction::new(TxnId(9), ClientId(1), rmw_ops(&[(shard, 1), (shard, 2)]));
         let mut kv1 = KvStore::init_partition(0..10);
         let mut kv2 = KvStore::init_partition(0..10);
         let r1 = kv1.execute_fragment(&txn, shard, &[]);

@@ -173,7 +173,11 @@ impl LockManager {
                 self.locked.insert(k, LockState::Exclusive(next_seq));
             }
             for &k in &waiting.reads {
-                match self.locked.entry(k).or_insert_with(|| LockState::Shared(HashMap::new())) {
+                match self
+                    .locked
+                    .entry(k)
+                    .or_insert_with(|| LockState::Shared(HashMap::new()))
+                {
                     LockState::Shared(holders) => {
                         *holders.entry(next_seq).or_default() += 1;
                     }

@@ -307,7 +307,7 @@ mod tests {
     #[test]
     fn key_partitioning_covers_space_disjointly() {
         let cfg = SystemConfig::uniform(ProtocolKind::RingBft, 7, 4);
-        let mut counts = vec![0u64; 7];
+        let mut counts = [0u64; 7];
         for key in (0..cfg.num_keys).step_by(1013) {
             let s = cfg.shard_of_key(key);
             counts[s.index()] += 1;

@@ -25,6 +25,6 @@ pub use config::{ProtocolKind, ShardConfig, SystemConfig};
 pub use ids::{ClientId, NodeId, ReplicaId, SeqNum, ShardId, ViewNum};
 pub use region::Region;
 pub use ring::RingOrder;
-pub use sansio::{Action, Outbox, TimerKind};
+pub use sansio::{Action, Outbox, ProtocolNode, TimerKind};
 pub use time::{Duration, Instant};
 pub use txn::{Batch, BatchId, Operation, OperationKind, ReadWriteSet, Transaction, TxnId};

@@ -34,7 +34,10 @@ impl RingOrder {
     /// A rotated ring order: shard with raw id `offset` occupies position 0.
     pub fn rotated(z: u32, offset: u32) -> Self {
         assert!(z > 0, "ring requires at least one shard");
-        RingOrder { z, offset: offset % z }
+        RingOrder {
+            z,
+            offset: offset % z,
+        }
     }
 
     /// Number of shards in the ring.

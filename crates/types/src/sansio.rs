@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 ///   shard (§5.1.1). Longest duration.
 /// * **Client** — the client-side response timer (§5, A1): on expiry the
 ///   client broadcasts its transaction to the whole shard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TimerKind {
     /// Local replication watchdog (view-change trigger).
     Local,
@@ -85,6 +85,32 @@ pub enum Action<M> {
     },
 }
 
+/// The driver contract: a sans-io protocol node that any driver — the
+/// discrete-event simulator in `ringbft-simnet`, the real-network TCP
+/// runtime in `ringbft-net`, or a unit test — can host.
+///
+/// The node never performs I/O or reads a clock; it receives events
+/// together with the driver's notion of *now* and returns the
+/// [`Action`]s it wants performed. `Instant` is nanoseconds since an
+/// epoch the driver chooses (simulation start, or process start for real
+/// deployments); protocols only ever compare instants and add
+/// durations, so the epoch never leaks into protocol logic.
+pub trait ProtocolNode<M> {
+    /// Called once when the driver starts hosting the node.
+    fn on_start(&mut self, now: crate::time::Instant) -> Vec<Action<M>>;
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, now: crate::time::Instant, from: NodeId, msg: M) -> Vec<Action<M>>;
+
+    /// Called when an armed, uncancelled `(kind, token)` timer expires.
+    fn on_timer(
+        &mut self,
+        now: crate::time::Instant,
+        kind: TimerKind,
+        token: u64,
+    ) -> Vec<Action<M>>;
+}
+
 impl<M> Action<M> {
     /// Maps the message type, preserving all non-message variants.
     pub fn map_msg<N>(self, f: impl FnOnce(M) -> N) -> Action<N> {
@@ -129,10 +155,7 @@ impl<M> Outbox<M> {
 
     /// Queue a unicast send.
     pub fn send(&mut self, to: impl Into<NodeId>, msg: M) {
-        self.actions.push(Action::Send {
-            to: to.into(),
-            msg,
-        });
+        self.actions.push(Action::Send { to: to.into(), msg });
     }
 
     /// Queue sends of clones of `msg` to many destinations.

@@ -276,11 +276,7 @@ impl Batch {
 
     /// Union of all keys the batch locks at `shard`, deduplicated.
     pub fn keys_in(&self, shard: ShardId) -> Vec<Key> {
-        let mut keys: Vec<Key> = self
-            .txns
-            .iter()
-            .flat_map(|t| t.keys_in(shard))
-            .collect();
+        let mut keys: Vec<Key> = self.txns.iter().flat_map(|t| t.keys_in(shard)).collect();
         keys.sort_unstable();
         keys.dedup();
         keys

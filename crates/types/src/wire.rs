@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn forward_scales_with_quorum() {
-        assert_eq!(forward_bytes(100, 20) - forward_bytes(100, 19), ATTEST_BYTES);
+        assert_eq!(
+            forward_bytes(100, 20) - forward_bytes(100, 19),
+            ATTEST_BYTES
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl WorkloadGen {
         let off = match self.dist {
             KeyDistribution::Uniform => self.rng.random_range(0..span),
             KeyDistribution::Zipfian(_) => {
-                self.zipf.as_mut().expect("zipf sampler").sample(&mut self.rng) % span
+                self.zipf
+                    .as_mut()
+                    .expect("zipf sampler")
+                    .sample(&mut self.rng)
+                    % span
             }
         };
         range.start + off

@@ -20,7 +20,10 @@ impl Zipf {
     /// default is 0.99; θ = 0 degenerates to uniform).
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipf needs at least one item");
-        assert!((0.0..1.0).contains(&theta) || theta >= 0.0, "theta must be ≥ 0");
+        assert!(
+            (0.0..1.0).contains(&theta) || theta >= 0.0,
+            "theta must be ≥ 0"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);

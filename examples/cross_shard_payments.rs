@@ -70,7 +70,10 @@ fn main() {
             prints.windows(2).all(|w| w[0] == w[1]),
             "consortium {s} diverged!"
         );
-        println!("consortium {s} state fingerprint: {:016x} (all replicas agree)", prints[0]);
+        println!(
+            "consortium {s} state fingerprint: {:016x} (all replicas agree)",
+            prints[0]
+        );
     }
 
     // No deadlock: every lock released, nothing stuck in π.

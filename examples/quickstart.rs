@@ -35,13 +35,24 @@ fn main() {
         .run();
 
     println!("completed transactions : {}", report.completed_txns);
-    println!("throughput             : {:.0} txn/s", report.throughput_tps);
-    println!("average latency        : {:.1} ms", report.avg_latency_s * 1e3);
-    println!("p50 / p95 latency      : {:.1} / {:.1} ms",
+    println!(
+        "throughput             : {:.0} txn/s",
+        report.throughput_tps
+    );
+    println!(
+        "average latency        : {:.1} ms",
+        report.avg_latency_s * 1e3
+    );
+    println!(
+        "p50 / p95 latency      : {:.1} / {:.1} ms",
         report.p50_latency_s * 1e3,
-        report.p95_latency_s * 1e3);
+        report.p95_latency_s * 1e3
+    );
     println!("network messages       : {}", report.messages_sent);
-    println!("network bytes          : {:.1} MB", report.bytes_sent as f64 / 1e6);
+    println!(
+        "network bytes          : {:.1} MB",
+        report.bytes_sent as f64 / 1e6
+    );
 
     assert!(report.completed_txns > 0, "the system should make progress");
 }

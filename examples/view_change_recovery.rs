@@ -8,9 +8,7 @@
 
 use ringbft::sim::Scenario;
 use ringbft::simnet::FaultPlan;
-use ringbft::types::{
-    Duration, Instant, NodeId, ProtocolKind, ReplicaId, ShardId, SystemConfig,
-};
+use ringbft::types::{Duration, Instant, NodeId, ProtocolKind, ReplicaId, ShardId, SystemConfig};
 
 fn main() {
     let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
@@ -25,10 +23,7 @@ fn main() {
 
     // The primary of shard 0 fail-stops at t = 3 s.
     let crash_at = Instant::ZERO + Duration::from_secs(3);
-    let faults = FaultPlan::none().crash(
-        NodeId::Replica(ReplicaId::new(ShardId(0), 0)),
-        crash_at,
-    );
+    let faults = FaultPlan::none().crash(NodeId::Replica(ReplicaId::new(ShardId(0), 0)), crash_at);
 
     println!("running 12 s with primary S0r0 crashing at t = 3 s ...");
     let report = Scenario::new(cfg, 7)

@@ -23,6 +23,10 @@
 //! * [`workload`] — YCSB-style workload generation.
 //! * [`sim`] — the scenario harness that wires protocol nodes into the
 //!   simulator and measures throughput/latency.
+//! * [`net`] — the real-network runtime: a length-prefixed binary codec,
+//!   a TCP driver hosting the same sans-io nodes on real sockets with
+//!   real clocks, the `ringbft-node` cluster binary, and an in-process
+//!   loopback cluster harness.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@ pub use ringbft_baselines as baselines;
 pub use ringbft_core as core;
 pub use ringbft_crypto as crypto;
 pub use ringbft_ledger as ledger;
+pub use ringbft_net as net;
 pub use ringbft_pbft as pbft;
 pub use ringbft_protocols as protocols;
 pub use ringbft_sim as sim;

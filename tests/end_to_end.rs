@@ -6,9 +6,7 @@ use ringbft::core::testing::RingNet;
 use ringbft::sim::Scenario;
 use ringbft::store::rmw_ops;
 use ringbft::types::txn::{RemoteRead, Transaction};
-use ringbft::types::{
-    ClientId, ProtocolKind, ShardId, SystemConfig, TxnId,
-};
+use ringbft::types::{ClientId, ProtocolKind, ShardId, SystemConfig, TxnId};
 
 fn small_cfg(z: usize, n: usize) -> SystemConfig {
     let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, z, n);
@@ -61,7 +59,10 @@ fn five_shards_seven_replicas_full_mix() {
             .filter(|r| r.id().shard == ShardId(s))
             .map(|r| r.store().state_fingerprint())
             .collect();
-        assert!(prints.windows(2).all(|w| w[0] == w[1]), "shard {s} diverged");
+        assert!(
+            prints.windows(2).all(|w| w[0] == w[1]),
+            "shard {s} diverged"
+        );
     }
     for r in net.replicas.values() {
         r.ledger().verify().unwrap();
@@ -127,10 +128,16 @@ fn conflicting_csts_from_different_initiators_serialize() {
     let mut net = RingNet::new(cfg.clone());
     for id in 1..=4u64 {
         let shards: &[u32] = if id % 2 == 1 { &[0, 1] } else { &[1, 2] };
-        let mut ops = vec![(ShardId(shards[0]), cfg.key_range(ShardId(shards[0])).start + id)];
+        let mut ops = vec![(
+            ShardId(shards[0]),
+            cfg.key_range(ShardId(shards[0])).start + id,
+        )];
         ops.push((ShardId(1), hot)); // every txn hits the hot key
         if shards[1] != 1 {
-            ops.push((ShardId(shards[1]), cfg.key_range(ShardId(shards[1])).start + id));
+            ops.push((
+                ShardId(shards[1]),
+                cfg.key_range(ShardId(shards[1])).start + id,
+            ));
         }
         let t = Transaction::new(TxnId(id), ClientId(id), rmw_ops(&ops));
         net.client_send(ClientId(id), t);
@@ -163,9 +170,15 @@ fn wan_simulation_all_protocols_make_progress() {
         cfg.clients = 60;
         cfg.batch_size = 10;
         cfg.cross_shard_rate = 0.3;
-        let r = Scenario::new(cfg, 5).warmup_secs(1.0).measure_secs(3.0).run();
+        let r = Scenario::new(cfg, 5)
+            .warmup_secs(1.0)
+            .measure_secs(3.0)
+            .run();
         assert!(r.completed_txns > 0, "{kind:?} stalled");
-        assert!(r.avg_latency_s > 0.0 && r.avg_latency_s < 5.0, "{kind:?} latency {r:?}");
+        assert!(
+            r.avg_latency_s > 0.0 && r.avg_latency_s < 5.0,
+            "{kind:?} latency {r:?}"
+        );
     }
 }
 
@@ -180,7 +193,10 @@ fn ring_order_invariance_under_shard_count() {
         cfg.batch_size = 5;
         cfg.cross_shard_rate = 1.0;
         cfg.involved_shards = z;
-        let r = Scenario::new(cfg, 2).warmup_secs(1.0).measure_secs(4.0).run();
+        let r = Scenario::new(cfg, 2)
+            .warmup_secs(1.0)
+            .measure_secs(4.0)
+            .run();
         assert!(r.completed_txns > 0, "z={z} stalled");
     }
 }

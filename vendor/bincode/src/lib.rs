@@ -1,0 +1,45 @@
+//! Offline stand-in for `bincode` 1.x.
+//!
+//! Exposes the two entry points the workspace uses — [`serialize`] and
+//! [`deserialize`] — over the vendored serde shim's binary format:
+//! little-endian fixed-width scalars, `u64` length prefixes, `u8` option
+//! tags and `u32` enum variant tags. The format is self-consistent and
+//! versioned at the framing layer (`ringbft-net`'s codec), not here.
+
+use std::fmt;
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bincode: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias mirroring bincode 1.x.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encodes `value` into a byte vector.
+pub fn serialize<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(serde::to_bytes(value))
+}
+
+/// Decodes a value of type `T` from `bytes`, requiring full consumption.
+pub fn deserialize<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    Ok(serde::from_bytes(bytes)?)
+}
+
+/// Encoded size of a value (bincode 1.x compatibility helper).
+pub fn serialized_size<T: serde::Serialize + ?Sized>(value: &T) -> Result<u64> {
+    Ok(serde::to_bytes(value).len() as u64)
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `Throughput`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!`) over a simple wall-clock harness: a short warmup,
+//! then timed batches until a sampling budget is spent, reporting the
+//! median per-iteration time. No statistics engine, plots or baselines —
+//! enough to compile the benches and give useful numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; batches may be large.
+    SmallInput,
+    /// Large setup output; batches stay small.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    /// Per-sample iteration count chosen during calibration.
+    iters_per_sample: u64,
+}
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(500);
+const SAMPLES: usize = 20;
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit one sample slot.
+        let t0 = Instant::now();
+        let mut calibration_iters = 0u64;
+        while t0.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() as u64 / calibration_iters.max(1);
+        let sample_budget = (MEASURE.as_nanos() as u64 / SAMPLES as u64).max(1);
+        self.iters_per_sample = (sample_budget / per_iter.max(1)).clamp(1, 1_000_000);
+        for _ in 0..SAMPLES {
+            let s = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(s.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup
+    /// cost per sample only approximately (setup runs outside timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        let mut calibration_iters = 0u64;
+        while t0.elapsed() < WARMUP {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            calibration_iters += 1;
+        }
+        let _ = calibration_iters;
+        self.iters_per_sample = 1;
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let s = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(s.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut ns: Vec<u64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as u64 / self.iters_per_sample.max(1))
+            .collect();
+        ns.sort_unstable();
+        ns[ns.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration of subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        let ns = b.median_ns();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if ns > 0 => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / (ns as f64 / 1e9) / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) if ns > 0 => {
+                format!("  {:>10.1} elem/s", n as f64 / (ns as f64 / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<28} {:>12} ns/iter{}", self.name, id, ns, rate);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark registry handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export matching criterion's path (benches may import either).
+pub use std::hint::black_box;
+
+/// Declares a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-running functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,498 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the property-test surface this workspace uses:
+//!
+//! * the [`proptest!`] macro with `name in strategy` arguments and an
+//!   optional `#![proptest_config(...)]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] /
+//!   [`prop_oneof!`],
+//! * integer-range, tuple and [`Just`] strategies, `any::<T>()`,
+//!   `collection::{vec, btree_set}` and `sample::subsequence`.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with its deterministic per-test seed, so it reproduces exactly), and
+//! rejection sampling for `prop_assume!` is bounded rather than
+//! ratio-tracked.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The deterministic generator driving all strategies.
+pub type TestRng = ChaCha12Rng;
+
+/// Marker returned by [`prop_assume!`] when a case must be discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Runner configuration (`ProptestConfig` in real proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's full path so each
+/// property sees a stable but distinct stream.
+pub fn rng_for(test_path: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies ([`prop_oneof!`]).
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S> Union<S> {
+    /// A union over `options`; must be non-empty.
+    pub fn new(options: Vec<S>) -> Union<S> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool, f64);
+
+impl<A: Arbitrary, const N: usize> Arbitrary for [A; N] {
+    fn arbitrary(rng: &mut TestRng) -> [A; N] {
+        std::array::from_fn(|_| A::arbitrary(rng))
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.min + 1 >= self.max {
+            self.min
+        } else {
+            rng.random_range(self.min..self.max)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` of a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size from `size`
+    /// (the achieved size may be smaller if the element domain is
+    /// narrow, mirroring real proptest's best-effort behaviour).
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 16 + 64 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy yielding order-preserving subsequences of a source vector.
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T: Clone> {
+        source: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let k = self.size.pick(rng).min(self.source.len());
+            // Choose k distinct indices, then emit them in order.
+            let mut indices: Vec<usize> = (0..self.source.len()).collect();
+            for i in 0..k {
+                let j = rng.random_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            let mut chosen = indices[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.source[i].clone()).collect()
+        }
+    }
+
+    /// `proptest::sample::subsequence`.
+    pub fn subsequence<T: Clone>(source: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            source,
+            size: size.into(),
+        }
+    }
+}
+
+/// `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; the
+/// deterministic per-test seed makes the case reproducible).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                l, r, format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!("prop_assert_ne failed: both {:?}", l);
+        }
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// Uniform choice among strategies of one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($strategy),+])
+    };
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut __passed = 0u32;
+                let mut __rejected = 0u32;
+                while __passed < __config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::Rejected> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err(_) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected <= __config.cases * 64 + 4096,
+                                "too many prop_assume rejections ({} for {} cases)",
+                                __rejected,
+                                __config.cases
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u64..100, pair in (0u8..4, 0u64..5)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(pair.0 < 4 && pair.1 < 5);
+        }
+
+        #[test]
+        fn collections_and_any(
+            bytes in crate::collection::vec(any::<u8>(), 0..32),
+            digest in any::<[u8; 32]>(),
+            set in crate::collection::btree_set(0u32..20, 1..10),
+            sub in crate::sample::subsequence((1u64..=12).collect::<Vec<_>>(), 12),
+        ) {
+            prop_assert!(bytes.len() < 32);
+            prop_assert_eq!(digest.len(), 32);
+            prop_assert!(!set.is_empty() && set.len() < 10);
+            prop_assert_eq!(sub, (1u64..=12).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn oneof_and_assume(n in prop_oneof![Just(4usize), Just(7), Just(10)], x in 0u8..10) {
+            prop_assume!(x < 5);
+            prop_assert!(n == 4 || n == 7 || n == 10);
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn runs_them() {
+        ranges_and_tuples();
+        collections_and_any();
+        oneof_and_assume();
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha12Rng`] is a real ChaCha stream cipher core (12 rounds) used
+//! as a deterministic random generator: the 64-bit seed is expanded with
+//! SplitMix64 into a 256-bit key, and output words come from successive
+//! ChaCha blocks. Runs are bit-reproducible per seed — the property the
+//! discrete-event simulator's tests assert. Output parity with the real
+//! `rand_chacha` crate is not claimed (its `seed_from_u64` expansion
+//! differs); nothing in this workspace depends on specific values.
+
+use rand::{split_mix_64, RngCore, SeedableRng};
+
+const ROUNDS: usize = 12;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A deterministic ChaCha12-based random generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    /// The ChaCha input block: constants, key, counter, nonce.
+    input: [u32; 16],
+    /// The current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+impl ChaCha12Rng {
+    /// Builds the generator from a 256-bit key.
+    pub fn from_key(key: [u8; 32]) -> ChaCha12Rng {
+        let mut input = [0u32; 16];
+        input[0] = 0x6170_7865; // "expa"
+        input[1] = 0x3320_646e; // "nd 3"
+        input[2] = 0x7962_2d32; // "2-by"
+        input[3] = 0x6b20_6574; // "te k"
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        // words 12..13: 64-bit block counter; 14..15: nonce (zero).
+        ChaCha12Rng {
+            input,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.input;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, inp)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.input.iter()))
+        {
+            *out = w.wrapping_add(*inp);
+        }
+        // Advance the 64-bit block counter.
+        let (lo, carry) = self.input[12].overflowing_add(1);
+        self.input[12] = lo;
+        if carry {
+            self.input[13] = self.input[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    fn seed_from_u64(seed: u64) -> ChaCha12Rng {
+        let mut state = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&split_mix_64(&mut state).to_le_bytes());
+        }
+        ChaCha12Rng::from_key(key)
+    }
+}
+
+/// 20-round variant (provided for API familiarity).
+#[derive(Debug, Clone)]
+pub struct ChaCha20Rng(ChaCha12Rng);
+
+impl RngCore for ChaCha20Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for ChaCha20Rng {
+    fn seed_from_u64(seed: u64) -> ChaCha20Rng {
+        ChaCha20Rng(ChaCha12Rng::seed_from_u64(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::seed_from_u64(8);
+        let first_100: Vec<u64> = (0..100)
+            .map(|_| ChaCha12Rng::seed_from_u64(7).next_u64())
+            .collect();
+        assert!(first_100.iter().all(|&w| w == first_100[0]));
+        assert_ne!(ChaCha12Rng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_cover_unit_interval() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            lo |= f < 0.1;
+            hi |= f > 0.9;
+        }
+        assert!(lo && hi, "samples never reached the interval edges");
+    }
+
+    #[test]
+    fn counter_crosses_block_boundaries() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let a: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        // Words within one block differ from the next block's words.
+        assert_ne!(&a[0..16], &a[16..32]);
+    }
+}

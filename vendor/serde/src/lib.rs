@@ -1,0 +1,512 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the minimal serde surface it actually uses: `Serialize`/`Deserialize`
+//! traits plus `#[derive(Serialize, Deserialize)]`. Unlike real serde,
+//! the traits here target one concrete non-self-describing binary format
+//! (exposed through `vendor/bincode`):
+//!
+//! * fixed-width little-endian integers (`usize` as `u64`),
+//! * IEEE-754 little-endian floats,
+//! * `u64` length prefixes for sequences, strings and maps,
+//! * a `u8` presence tag for `Option`,
+//! * a `u32` variant tag for enums.
+//!
+//! The derive macros generate field-by-field calls against these traits;
+//! every container impl a workspace crate needs lives here. If the repo
+//! later gains network access, swapping back to real serde is a
+//! manifest-level change: the derive spelling and import paths
+//! (`use serde::{Serialize, Deserialize}`) are identical.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Decoding error: truncated input, bad tags, or trailing garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error describing invalid input.
+    pub fn invalid(msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A cursor over the bytes being decoded.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.remaining() < n {
+            return Err(Error::invalid("unexpected end of input"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Encodes `self` onto `out` in the shim's binary format.
+pub trait Serialize {
+    /// Appends the encoding of `self` to `out`.
+    fn serialize(&self, out: &mut Vec<u8>);
+}
+
+/// Decodes `Self` from a [`Reader`]. Always produces owned data (the
+/// equivalent of real serde's `DeserializeOwned`).
+pub trait Deserialize: Sized {
+    /// Reads one value.
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error>;
+}
+
+/// Writes a `u32` (used by derived enum impls for variant tags).
+#[inline]
+pub fn write_u32(v: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` (used by derived enum impls for variant tags).
+#[inline]
+pub fn read_u32(r: &mut Reader<'_>) -> Result<u32, Error> {
+    Ok(u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")))
+}
+
+/// Length prefix for sequences. Bounded on decode so corrupt or hostile
+/// frames cannot trigger huge pre-allocations.
+const MAX_SEQ_LEN: u64 = 1 << 32;
+
+fn write_len(n: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+}
+
+fn read_len(r: &mut Reader<'_>) -> Result<usize, Error> {
+    let n = u64::deserialize(r)?;
+    if n > MAX_SEQ_LEN {
+        return Err(Error::invalid("sequence length out of bounds"));
+    }
+    Ok(n as usize)
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Deserialize for $t {
+            #[inline]
+            fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized")))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl Serialize for usize {
+    #[inline]
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as u64).serialize(out);
+    }
+}
+
+impl Deserialize for usize {
+    #[inline]
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let v = u64::deserialize(r)?;
+        usize::try_from(v).map_err(|_| Error::invalid("usize overflow"))
+    }
+}
+
+impl Serialize for isize {
+    #[inline]
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as i64).serialize(out);
+    }
+}
+
+impl Deserialize for isize {
+    #[inline]
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let v = i64::deserialize(r)?;
+        isize::try_from(v).map_err(|_| Error::invalid("isize overflow"))
+    }
+}
+
+impl Serialize for bool {
+    #[inline]
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Deserialize for bool {
+    #[inline]
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Error::invalid("bool tag")),
+        }
+    }
+}
+
+impl Serialize for char {
+    #[inline]
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as u32).serialize(out);
+    }
+}
+
+impl Deserialize for char {
+    #[inline]
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        char::from_u32(u32::deserialize(r)?).ok_or_else(|| Error::invalid("char scalar"))
+    }
+}
+
+impl Serialize for () {
+    #[inline]
+    fn serialize(&self, _out: &mut Vec<u8>) {}
+}
+
+impl Deserialize for () {
+    #[inline]
+    fn deserialize(_r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.as_str().serialize(out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let n = read_len(r)?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::invalid("utf-8 string"))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(self.len(), out);
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let n = read_len(r)?;
+        // Pre-allocation is bounded by what the input could possibly
+        // hold, so a lying length prefix cannot balloon memory.
+        let mut v = Vec::with_capacity(n.min(r.remaining().max(1)));
+        for _ in 0..n {
+            v.push(T::deserialize(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::deserialize(r)?);
+        }
+        v.try_into().map_err(|_| Error::invalid("array arity"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(r)?)),
+            _ => Err(Error::invalid("option tag")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(r)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Arc::new(T::deserialize(r)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Rc::new(T::deserialize(r)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                $(self.$idx.serialize(out);)+
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+                Ok(($($name::deserialize(r)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(self.len(), out);
+        for (k, v) in self {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let n = read_len(r)?;
+        let mut m = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::deserialize(r)?;
+            let v = V::deserialize(r)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(self.len(), out);
+        for (k, v) in self {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let n = read_len(r)?;
+        let mut m = HashMap::with_capacity(n.min(r.remaining().max(1)));
+        for _ in 0..n {
+            let k = K::deserialize(r)?;
+            let v = V::deserialize(r)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(self.len(), out);
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let n = read_len(r)?;
+        let mut s = BTreeSet::new();
+        for _ in 0..n {
+            s.insert(T::deserialize(r)?);
+        }
+        Ok(s)
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(self.len(), out);
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let n = read_len(r)?;
+        let mut s = HashSet::with_capacity(n.min(r.remaining().max(1)));
+        for _ in 0..n {
+            s.insert(T::deserialize(r)?);
+        }
+        Ok(s)
+    }
+}
+
+/// Encodes a value to a fresh byte vector.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.serialize(&mut out);
+    out
+}
+
+/// Decodes a value, requiring the input to be fully consumed.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut r = Reader::new(bytes);
+    let v = T::deserialize(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(Error::invalid("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_bytes::<u64>(&to_bytes(&42u64)).unwrap(), 42);
+        assert_eq!(from_bytes::<i32>(&to_bytes(&-7i32)).unwrap(), -7);
+        assert!(from_bytes::<bool>(&to_bytes(&true)).unwrap());
+        assert_eq!(from_bytes::<f64>(&to_bytes(&1.5f64)).unwrap(), 1.5);
+        assert_eq!(from_bytes::<String>(&to_bytes("hello")).unwrap(), "hello");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, 2u64), (3, 4)];
+        assert_eq!(from_bytes::<Vec<(u64, u64)>>(&to_bytes(&v)).unwrap(), v);
+        let o: Option<Vec<u8>> = Some(vec![1, 2, 3]);
+        assert_eq!(from_bytes::<Option<Vec<u8>>>(&to_bytes(&o)).unwrap(), o);
+        let a: [u8; 4] = [9, 8, 7, 6];
+        assert_eq!(from_bytes::<[u8; 4]>(&to_bytes(&a)).unwrap(), a);
+        let arc = Arc::new(5u32);
+        assert_eq!(*from_bytes::<Arc<u32>>(&to_bytes(&arc)).unwrap(), 5);
+    }
+
+    #[test]
+    fn truncation_and_trailing_rejected() {
+        let bytes = to_bytes(&12345u64);
+        assert!(from_bytes::<u64>(&bytes[..4]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(from_bytes::<u64>(&extra).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut bytes = Vec::new();
+        write_len(u64::MAX as usize, &mut bytes);
+        assert!(from_bytes::<Vec<u8>>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde-compatible surface (see `vendor/serde`). This
+//! proc-macro crate derives that shim's `Serialize`/`Deserialize` traits,
+//! which target a single non-self-describing binary format (the one
+//! `vendor/bincode` exposes).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * unit / tuple / named-field structs,
+//! * enums with unit, tuple and struct variants (tagged by `u32` index),
+//! * `#[serde(...)]` field/container attributes (accepted and ignored:
+//!   the binary format always encodes every field).
+//!
+//! Generic types are rejected with a compile error; the few generic
+//! containers that need codecs have hand-written impls in `vendor/serde`.
+//!
+//! The implementation parses the item's token stream directly (no `syn`
+//! or `quote` — they are equally unavailable) and emits code by string
+//! assembly. Only field *names* and variant shapes are needed; types are
+//! skipped with angle-bracket-depth tracking.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list: named fields, a tuple arity, or a unit shape.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// Skips attributes (`#[...]`, including doc comments) at `i`.
+fn skip_attrs(trees: &[TokenTree], i: &mut usize) {
+    while *i + 1 < trees.len() {
+        match (&trees[*i], &trees[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(trees: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = trees.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = trees.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens of one type expression: everything up to the next
+/// comma at angle-bracket depth zero. Commas inside `<...>` (generic
+/// arguments) and inside any bracketed group do not terminate the type.
+fn skip_type(trees: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = trees.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and struct
+/// variant bodies).
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let trees: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        skip_vis(&trees, &mut i);
+        let TokenTree::Ident(name) = &trees[i] else {
+            return Err(format!("expected field name, found `{}`", trees[i]));
+        };
+        names.push(name.to_string());
+        i += 1;
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type(&trees, &mut i);
+        i += 1; // the separating comma (or one past the end)
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a tuple body `(TypeA, TypeB, ...)`.
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let trees: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs(&trees, &mut i);
+        skip_vis(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&trees, &mut i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let trees: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &trees[i] else {
+            return Err(format!("expected variant name, found `{}`", trees[i]));
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g)?)
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = trees.get(i) {
+            // Explicit discriminant (`Variant = expr`): skip the
+            // expression; derived tags stay positional.
+            if p.as_char() == '=' {
+                i += 1;
+                skip_type(&trees, &mut i);
+            }
+        }
+        match trees.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => return Err(format!("unsupported token after variant: `{other}`")),
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&trees, &mut i);
+    skip_vis(&trees, &mut i);
+    let kind = match &trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match &trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = trees.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde derive does not support generic type `{name}`; \
+                 write a manual impl in vendor/serde"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match trees.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_arity(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derives the shim's `Serialize` (field-by-field binary encoding).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    let name = match &item {
+        Item::Struct { name, fields } => {
+            match fields {
+                Fields::Named(names) => {
+                    for f in names {
+                        body.push_str(&format!(
+                            "::serde::Serialize::serialize(&self.{f}, __out);\n"
+                        ));
+                    }
+                }
+                Fields::Tuple(n) => {
+                    for idx in 0..*n {
+                        body.push_str(&format!(
+                            "::serde::Serialize::serialize(&self.{idx}, __out);\n"
+                        ));
+                    }
+                }
+                Fields::Unit => {}
+            }
+            name.clone()
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vn} => {{ ::serde::write_u32({tag}u32, __out); }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => {{ ::serde::write_u32({tag}u32, __out);\n",
+                            binds.join(", ")
+                        ));
+                        for b in &binds {
+                            body.push_str(&format!("::serde::Serialize::serialize({b}, __out);\n"));
+                        }
+                        body.push_str("}\n");
+                    }
+                    Fields::Named(fields) => {
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ ::serde::write_u32({tag}u32, __out);\n",
+                            fields.join(", ")
+                        ));
+                        for f in fields {
+                            body.push_str(&format!("::serde::Serialize::serialize({f}, __out);\n"));
+                        }
+                        body.push_str("}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+            name.clone()
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, __out: &mut ::std::vec::Vec<u8>) {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl")
+}
+
+/// Derives the shim's `Deserialize` (field-by-field binary decoding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let de = "::serde::Deserialize::deserialize(__r)?";
+    let (name, body) = match &item {
+        Item::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names.iter().map(|f| format!("{f}: {de}")).collect();
+                    format!("{name} {{ {} }}", inits.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n).map(|_| de.to_string()).collect();
+                    format!("{name}({})", inits.join(", "))
+                }
+                Fields::Unit => name.clone(),
+            };
+            (name.clone(), format!("::std::result::Result::Ok({expr})\n"))
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                let expr = match &v.fields {
+                    Fields::Unit => format!("{name}::{vn}"),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n).map(|_| de.to_string()).collect();
+                        format!("{name}::{vn}({})", inits.join(", "))
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: {de}")).collect();
+                        format!("{name}::{vn} {{ {} }}", inits.join(", "))
+                    }
+                };
+                arms.push_str(&format!("{tag}u32 => ::std::result::Result::Ok({expr}),\n"));
+            }
+            let body = format!(
+                "let __tag = ::serde::read_u32(__r)?;\n\
+                 match __tag {{\n{arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::invalid(\
+                 \"unknown enum variant tag\")),\n}}\n"
+            );
+            (name.clone(), body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__r: &mut ::serde::Reader<'_>) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl")
+}
