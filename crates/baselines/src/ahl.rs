@@ -99,6 +99,7 @@ impl AhlReplica {
             PbftConfig {
                 n,
                 checkpoint_interval: 128,
+                external_checkpoints: false,
                 local_timeout: cfg.timers.local,
             },
         );

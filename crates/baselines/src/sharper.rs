@@ -68,6 +68,7 @@ impl SharperReplica {
             PbftConfig {
                 n,
                 checkpoint_interval: 128,
+                external_checkpoints: false,
                 local_timeout: cfg.timers.local,
             },
         );

@@ -13,12 +13,15 @@
 //! change it only together with a new `schema_version`.
 
 use ringbft_sim::Scenario;
-use ringbft_types::{ProtocolKind, SystemConfig};
+use ringbft_types::{ProtocolKind, ReplicaId, ShardId, SystemConfig};
 use std::io::Write as _;
 
 /// Bump when the benchmark workload or JSON layout changes, so trend
 /// tooling never compares across incompatible definitions.
-const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: per-message frame-authenticator CPU cost added to the simulator
+/// model, and a `recovery` section (replica blank-restart catch-up).
+const SCHEMA_VERSION: u64 = 2;
 
 fn quick_cfg(kind: ProtocolKind) -> SystemConfig {
     let (z, n) = if kind.is_sharded() { (3, 4) } else { (1, 4) };
@@ -95,6 +98,37 @@ fn main() {
         ));
     }
 
+    // Recovery scenario: a RingBFT replica crashes, restarts blank, and
+    // catches up via checkpoint state transfer while traffic continues.
+    // Tracks time-to-catch-up and post-restart throughput across PRs.
+    eprintln!("bench recovery (replica blank restart) ...");
+    let recovery = {
+        let mut cfg = quick_cfg(ProtocolKind::RingBft);
+        cfg.checkpoint_interval = 16;
+        let t0 = std::time::Instant::now();
+        let report = Scenario::new(cfg, seed)
+            .warmup_secs(1.0)
+            .measure_secs(9.0)
+            .bandwidth_divisor(20)
+            .with_blank_restart(3.0, 4.0, ReplicaId::new(ShardId(1), 2))
+            .run();
+        let rec = report.recovery.expect("recovery scenario configured");
+        eprintln!(
+            "  catch-up {:?}s, {:.0} txn/s post-restart ({:.1}s wall)",
+            rec.catchup_s,
+            rec.post_restart_tps,
+            t0.elapsed().as_secs_f64()
+        );
+        serde_json::json!({
+            "crash_s": 3.0,
+            "restart_s": rec.restart_s,
+            "catchup_s": rec.catchup_s,
+            "post_restart_tps": rec.post_restart_tps,
+            "throughput_tps": report.throughput_tps,
+            "checkpoint_interval": 16,
+        })
+    };
+
     let doc = serde_json::json!({
         "schema_version": SCHEMA_VERSION,
         "seed": seed,
@@ -102,9 +136,12 @@ fn main() {
         "workload": serde_json::json!({
             "sharded": "3 shards x 4 replicas, 30% cst, batch 50, 2000 clients",
             "single_shard": "1 shard x 4 replicas, batch 50, 2000 clients",
-            "warmup_s": 1.0, "measure_s": 4.0, "bandwidth_divisor": 20,
+            "recovery": "RingBFT 3x4, S1r2 crash@3s + blank restart@4s, checkpoint interval 16",
+            "warmup_s": 1.0, "measure_s": 4.0, "recovery_measure_s": 9.0,
+            "bandwidth_divisor": 20,
         }),
         "protocols": serde_json::Value::Object(entries),
+        "recovery": recovery,
     });
     let mut f = std::fs::File::create(&out_path).expect("create output file");
     writeln!(

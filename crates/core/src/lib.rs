@@ -73,7 +73,7 @@ mod tests {
             .replicas
             .values()
             .filter(|r| r.id().shard == ShardId(0))
-            .map(|r| r.ledger().head().hash())
+            .map(|r| r.ledger().head_hash())
             .collect();
         assert!(heads.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(

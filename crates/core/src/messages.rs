@@ -9,6 +9,7 @@
 
 use ringbft_crypto::Digest;
 use ringbft_pbft::PbftMsg;
+use ringbft_recovery::RecoveryMsg;
 use ringbft_types::txn::{Batch, Key, Transaction, Value};
 use ringbft_types::{ClientId, ShardId, TxnId};
 use serde::{Deserialize, Serialize};
@@ -88,6 +89,10 @@ pub enum RingMsg {
         /// Index of the complaining replica in the next shard.
         origin: u32,
     },
+    /// Checkpoint state transfer between replicas of one shard (§5, A3):
+    /// a lagging or freshly restarted replica fetches the snapshot
+    /// behind a quorum-stable checkpoint digest (`ringbft-recovery`).
+    Recovery(RecoveryMsg),
     /// Response to the client: `Response(⟨Tℑ⟩c, k, r)` (client collects
     /// `f + 1` matching responses).
     Reply {
@@ -112,6 +117,7 @@ impl RingMsg {
             RingMsg::ExecuteShare(_) => "execute-share",
             RingMsg::RemoteView { .. } => "remote-view",
             RingMsg::RemoteViewShare { .. } => "remote-view-share",
+            RingMsg::Recovery(m) => m.tag(),
             RingMsg::Reply { .. } => "reply",
         }
     }

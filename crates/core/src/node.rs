@@ -44,13 +44,16 @@ use crate::messages::{ExecuteMsg, ForwardMsg, RingMsg};
 use ringbft_crypto::Digest;
 use ringbft_ledger::{BlockBody, Ledger};
 use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
+use ringbft_recovery::{
+    RecoveryEvent, RecoveryManager, RecoveryMsg, RecoveryStats, Snapshot, RECOVERY_PROBE_TOKEN,
+};
 use ringbft_store::{KvStore, LockManager};
 use ringbft_types::txn::{Batch, Key, Transaction, Value};
 use ringbft_types::{
     Action, BatchId, Instant, NodeId, Outbox, ReplicaId, RingOrder, SeqNum, ShardId, SystemConfig,
     TimerKind, TxnId,
 };
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// First token value used for RingBFT-level watchdogs, disjoint from PBFT
@@ -120,6 +123,10 @@ pub struct RingStats {
     pub remote_views_sent: u64,
     /// Client replies sent.
     pub replies_sent: u64,
+    /// Stable checkpoints whose quorum digest disagreed with the digest
+    /// this replica announced — evidence of local state divergence
+    /// (must stay 0 for correct replicas).
+    pub checkpoint_divergences: u64,
 }
 
 /// A RingBFT replica.
@@ -138,11 +145,12 @@ pub struct RingReplica {
     pool_timer_armed: bool,
     next_batch_id: u64,
     /// Locally committed work by sequence number.
-    work: HashMap<u64, Work>,
+    work: BTreeMap<u64, Work>,
     /// Cross-shard transaction state by digest.
-    csts: HashMap<Digest, CstState>,
-    /// Completed digests (late-message dedup).
-    done: HashSet<Digest>,
+    csts: BTreeMap<Digest, CstState>,
+    /// Completed digests (late-message dedup), with the local sequence
+    /// they finished at so checkpoints can garbage-collect them.
+    done: HashMap<Digest, u64>,
     /// Watchdog token → digest.
     token_digest: HashMap<u64, Digest>,
     next_token: u64,
@@ -162,6 +170,33 @@ pub struct RingReplica {
     remote_complaints: HashMap<Digest, HashSet<u32>>,
     /// Digests whose complaints already forced a view change.
     remote_vc_done: HashSet<Digest>,
+    // --- checkpointing & recovery (§5 A3, `ringbft-recovery`) ---
+    /// Highest sequence number such that *every* sequence up to it has
+    /// executed on this replica. Checkpoints wait for the watermark so
+    /// the state digest is replica-deterministic even though complex
+    /// csts may execute out of order.
+    exec_watermark: u64,
+    /// Executed sequence numbers above the watermark (out-of-order
+    /// executions waiting for the gap to close).
+    executed_ahead: BTreeSet<u64>,
+    /// Per-sequence write effects not yet folded into `stable_kv`.
+    pending_effects: BTreeMap<u64, Vec<(Key, Value)>>,
+    /// Checkpoint boundaries PBFT declared due, awaiting the watermark.
+    pending_checkpoints: BTreeSet<u64>,
+    /// Snapshots announced (voted) but not yet quorum-stable, with the
+    /// digest this replica voted.
+    announced: BTreeMap<u64, (Arc<Snapshot>, Digest)>,
+    /// The store as of the last announced checkpoint: `kv` restricted to
+    /// sequences ≤ `stable_seq`, advanced strictly in sequence order so
+    /// its content is identical across replicas.
+    stable_kv: KvStore,
+    /// Sequence `stable_kv` reflects.
+    stable_seq: u64,
+    /// The state-transfer state machine.
+    recovery: RecoveryManager,
+    /// When the first watchdog expiry was swallowed while this replica
+    /// had not yet committed a single batch (see `allow_solo_vc`).
+    pre_commit_vc_defer: Option<Instant>,
     /// Statistics.
     pub stats: RingStats,
 }
@@ -172,12 +207,14 @@ impl RingReplica {
     /// (large!) or left empty (tests that never execute reads).
     pub fn new(cfg: SystemConfig, me: ReplicaId, init_store: bool) -> Self {
         let shard_cfg = cfg.shard(me.shard);
+        let shard_n = shard_cfg.n;
         let pbft = PbftCore::new(
             me,
             PbftConfig {
-                n: shard_cfg.n,
-                checkpoint_interval: 128,
+                n: shard_n,
+                checkpoint_interval: cfg.checkpoint_interval,
                 local_timeout: cfg.timers.local,
+                external_checkpoints: true,
             },
         );
         let kv = if init_store {
@@ -185,6 +222,16 @@ impl RingReplica {
         } else {
             KvStore::new()
         };
+        let recovery = RecoveryManager::new(
+            me,
+            shard_n,
+            cfg.state_chunk_records,
+            // Probe after half a local timeout: long enough that a
+            // merely in-flight replica catches up by itself, short
+            // enough that a blank restart recovers within one timeout.
+            cfg.timers.local / 2,
+        );
+        let stable_kv = kv.clone();
         let ring = cfg.ring_order();
         RingReplica {
             ring,
@@ -196,9 +243,9 @@ impl RingReplica {
             pooled: HashSet::new(),
             pool_timer_armed: false,
             next_batch_id: (me.shard.0 as u64) << 40,
-            work: HashMap::new(),
-            csts: HashMap::new(),
-            done: HashSet::new(),
+            work: BTreeMap::new(),
+            csts: BTreeMap::new(),
+            done: HashMap::new(),
             token_digest: HashMap::new(),
             next_token: TOKEN_BASE,
             txn_watchdogs: HashMap::new(),
@@ -208,6 +255,15 @@ impl RingReplica {
             last_view_entry: Instant::ZERO,
             remote_complaints: HashMap::new(),
             remote_vc_done: HashSet::new(),
+            exec_watermark: 0,
+            executed_ahead: BTreeSet::new(),
+            pending_effects: BTreeMap::new(),
+            pending_checkpoints: BTreeSet::new(),
+            announced: BTreeMap::new(),
+            stable_kv,
+            stable_seq: 0,
+            recovery,
+            pre_commit_vc_defer: None,
             stats: RingStats::default(),
             cfg,
             me,
@@ -262,6 +318,34 @@ impl RingReplica {
         &self.locks
     }
 
+    /// Highest sequence number through which every sequence has executed
+    /// (the checkpoint watermark).
+    pub fn exec_watermark(&self) -> u64 {
+        self.exec_watermark
+    }
+
+    /// The last stable checkpoint sequence of the embedded PBFT engine.
+    pub fn last_stable_seq(&self) -> u64 {
+        self.pbft.last_stable().0
+    }
+
+    /// State-transfer counters (installs, transfers served, …).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.stats
+    }
+
+    /// Checkpoint/recovery diagnostics: `(executed ahead of the
+    /// watermark, committed-but-unexecuted work items, pending lock
+    /// admissions, batches the embedded PBFT committed)`.
+    pub fn recovery_diag(&self) -> (usize, usize, usize, u64) {
+        (
+            self.executed_ahead.len(),
+            self.work.len(),
+            self.locks.pending_len(),
+            self.pbft.committed_batches,
+        )
+    }
+
     fn f(&self) -> usize {
         self.cfg.shard(self.me.shard).f()
     }
@@ -287,6 +371,42 @@ impl RingReplica {
     fn counterpart(&self, shard: ShardId) -> NodeId {
         let n = self.cfg.shard(shard).n as u32;
         NodeId::Replica(ReplicaId::new(shard, self.me.index % n))
+    }
+
+    /// Is this replica behind its shard's stable checkpoint frontier —
+    /// actively fetching state, installed but not yet re-executing past
+    /// the last stable checkpoint, or (the restart window) not yet
+    /// having committed a single live batch even though quorum
+    /// checkpoints prove the shard is ahead of it? While catching up,
+    /// watchdogs and remote complaints must not demand view changes:
+    /// the work they cover was typically finished by the healthy quorum
+    /// while this replica was dark, and a solo view-change demand can
+    /// never gather a quorum — it would only wedge this replica in a
+    /// view no peer joins. A fresh cluster (no stable checkpoint yet)
+    /// is never "catching up", so bootstrap liveness — view-changing a
+    /// dead initial primary — is unaffected.
+    fn catching_up(&self) -> bool {
+        self.recovery.target().is_some()
+            || self.exec_watermark < self.pbft.last_stable().0
+            || (self.pbft.committed_batches == 0 && self.pbft.last_stable().0 > 0)
+    }
+
+    /// May a watchdog expiry demand a view change right now? A replica
+    /// that has never committed a live batch cannot tell a dead primary
+    /// from its own staleness (a blank restart into a live cluster sees
+    /// stale forwarded work long before the first checkpoint vote
+    /// arrives at low traffic), so it defers for two further timeout
+    /// windows from the first swallowed expiry. By then it has either
+    /// committed (gate lifts for good), observed a stable checkpoint it
+    /// is behind (`catching_up` takes over), or the shard is genuinely
+    /// stuck and the view change proceeds — bootstrap liveness against
+    /// a dead initial primary is delayed, never lost.
+    fn allow_solo_vc(&mut self, now: Instant) -> bool {
+        if self.pbft.committed_batches > 0 {
+            return true;
+        }
+        let first = *self.pre_commit_vc_defer.get_or_insert(now);
+        now.since(first) >= self.pbft.request_timeout() * 2
     }
 
     fn alloc_token(&mut self, digest: Digest) -> u64 {
@@ -387,6 +507,13 @@ impl RingReplica {
             RingMsg::RemoteViewShare { digest, origin, .. } => {
                 self.on_remote_view(now, digest, origin, out);
             }
+            RingMsg::Recovery(m) => {
+                let NodeId::Replica(r) = from else { return };
+                if r.shard != self.me.shard {
+                    return; // state transfer is intra-shard only
+                }
+                self.drive_recovery(|mgr, rout| mgr.on_message(r, m, rout), out);
+            }
             RingMsg::Reply { .. } => {} // replicas ignore client replies
         }
     }
@@ -405,8 +532,11 @@ impl RingReplica {
                 // timeout to make progress before watchdogs escalate —
                 // otherwise bursts of stuck-request watchdogs force
                 // view-change churn faster than any primary can recover.
-                let grace = self.last_view_entry > Instant::ZERO
-                    && now.since(self.last_view_entry) < self.pbft.request_timeout();
+                // A replica catching up to a stable checkpoint gets the
+                // same leniency (see `catching_up`).
+                let grace = (self.last_view_entry > Instant::ZERO
+                    && now.since(self.last_view_entry) < self.pbft.request_timeout())
+                    || self.catching_up();
                 if let Some(txn) = self.token_txn.get(&token).copied() {
                     // A1: the primary never ordered a relayed request.
                     if self.committed_txns.contains(&txn) {
@@ -418,13 +548,15 @@ impl RingReplica {
                         // Keep watching: the re-relay on view entry (below)
                         // hands the request to the next primary.
                         out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
-                        self.drive_pbft(
-                            now,
-                            |pbft, pout, events| {
-                                pbft.force_view_change(pout, events);
-                            },
-                            out,
-                        );
+                        if self.allow_solo_vc(now) {
+                            self.drive_pbft(
+                                now,
+                                |pbft, pout, events| {
+                                    pbft.force_view_change(pout, events);
+                                },
+                                out,
+                            );
+                        }
                     }
                     return;
                 }
@@ -437,7 +569,7 @@ impl RingReplica {
                         .unwrap_or(false);
                     if stalled && (grace || self.pbft.in_view_change()) {
                         out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
-                    } else if stalled {
+                    } else if stalled && self.allow_solo_vc(now) {
                         self.drive_pbft(
                             now,
                             |pbft, pout, events| {
@@ -463,6 +595,8 @@ impl RingReplica {
                 if token == POOL_FLUSH_TOKEN {
                     self.pool_timer_armed = false;
                     self.flush_pools(true, out);
+                } else if token == RECOVERY_PROBE_TOKEN {
+                    self.drive_recovery(|mgr, rout| mgr.on_probe_timer(rout), out);
                 }
             }
         }
@@ -631,8 +765,217 @@ impl RingReplica {
                 out.view_changed(view.0);
                 self.on_entered_view(out);
             }
-            PbftEvent::StableCheckpoint { .. } => {}
+            PbftEvent::CheckpointDue { seq } => {
+                self.pending_checkpoints.insert(seq.0);
+                self.try_announce_checkpoints(out);
+            }
+            PbftEvent::StableCheckpoint { seq, state_digest } => {
+                self.on_stable_checkpoint(seq.0, state_digest, out);
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing and state transfer (§5 A3, `ringbft-recovery`)
+    // ------------------------------------------------------------------
+
+    /// Runs a closure against the recovery manager, lifting its actions
+    /// into the RingBFT message space and applying install events.
+    fn drive_recovery<F>(&mut self, f: F, out: &mut Outbox<RingMsg>)
+    where
+        F: FnOnce(&mut RecoveryManager, &mut Outbox<RecoveryMsg>),
+    {
+        let mut rout = Outbox::new();
+        f(&mut self.recovery, &mut rout);
+        for action in rout.take() {
+            match action.map_msg(RingMsg::Recovery) {
+                Action::Send { to, msg } => out.send(to, msg),
+                Action::SetTimer { kind, token, after } => out.set_timer(kind, token, after),
+                Action::CancelTimer { kind, token } => out.cancel_timer(kind, token),
+                Action::Executed { .. } | Action::ViewChanged { .. } => {}
+            }
+        }
+        for event in self.recovery.take_events() {
+            match event {
+                RecoveryEvent::Install(snap) => self.install_snapshot(snap, out),
+            }
+        }
+    }
+
+    /// Records that `seq` executed with the given write effects, advances
+    /// the contiguous watermark, and releases any checkpoint waiting on
+    /// it.
+    fn mark_executed(&mut self, seq: u64, writes: Vec<(Key, Value)>, out: &mut Outbox<RingMsg>) {
+        if seq <= self.exec_watermark || self.executed_ahead.contains(&seq) {
+            return;
+        }
+        self.pending_effects.insert(seq, writes);
+        self.executed_ahead.insert(seq);
+        while self.executed_ahead.remove(&(self.exec_watermark + 1)) {
+            self.exec_watermark += 1;
+        }
+        self.recovery.caught_up_to(self.exec_watermark);
+        self.try_announce_checkpoints(out);
+    }
+
+    /// Announces every due checkpoint the watermark has reached: folds
+    /// the per-sequence effects into `stable_kv` strictly in sequence
+    /// order (making its content replica-deterministic), captures the
+    /// snapshot, and votes its digest via the PBFT engine.
+    fn try_announce_checkpoints(&mut self, out: &mut Outbox<RingMsg>) {
+        while let Some(&seq) = self.pending_checkpoints.iter().next() {
+            if seq > self.exec_watermark {
+                break;
+            }
+            self.pending_checkpoints.remove(&seq);
+            let later = self.pending_effects.split_off(&(seq + 1));
+            for (_, writes) in std::mem::replace(&mut self.pending_effects, later) {
+                for (k, v) in writes {
+                    self.stable_kv.put(k, v);
+                }
+            }
+            self.stable_seq = seq;
+            let snap = Arc::new(Snapshot::capture(
+                self.me.shard,
+                seq,
+                &self.stable_kv,
+                self.ledger.height() as u64,
+                self.ledger.head_hash(),
+            ));
+            let digest = snap.digest();
+            self.announced.insert(seq, (snap, digest));
+            self.drive_pbft(
+                Instant::ZERO,
+                |pbft, pout, events| {
+                    pbft.announce_checkpoint(SeqNum(seq), digest, pout, events);
+                },
+                out,
+            );
+        }
+    }
+
+    /// A checkpoint gathered its `nf` matching votes: garbage-collect up
+    /// to it when we hold the state, or start catch-up when we are the
+    /// replica in the dark.
+    fn on_stable_checkpoint(&mut self, seq: u64, digest: Digest, out: &mut Outbox<RingMsg>) {
+        self.recovery.note_stable(seq, digest);
+        if let Some((snap, ours)) = self.announced.remove(&seq) {
+            self.announced.retain(|s, _| *s > seq);
+            if ours == digest {
+                // We are part of the quorum: the snapshot becomes
+                // servable, and everything at or below it is truncated.
+                // The replay-dedup map keeps two extra checkpoint
+                // windows of finished digests: peers' writer queues can
+                // redeliver a just-finished cst's Forward shortly after
+                // the boundary, and a fresh `done` map would let it
+                // re-enter consensus and re-execute.
+                self.recovery.retain(snap);
+                self.ledger.prune_through_seq(seq);
+                let horizon = seq.saturating_sub(2 * self.cfg.checkpoint_interval);
+                self.done.retain(|_, s| *s > horizon);
+                return;
+            }
+            // Our digest lost the vote: this replica's executed state
+            // disagrees with the checkpoint quorum. Deterministic
+            // execution makes this unreachable for a correct replica;
+            // count it loudly and keep everything (no truncation, no
+            // serving) so the divergence stays inspectable. Automated
+            // rollback-and-refetch is a ROADMAP item — the snapshot
+            // cannot simply be installed, because the local state it
+            // would replace has already fed later executions.
+            self.stats.checkpoint_divergences += 1;
+            return;
+        }
+        if self.exec_watermark >= seq {
+            return; // merely a vote we did not join; state is current
+        }
+        // In the dark (blank restart, long partition): arm the probe.
+        // The delay gives an in-flight replica time to catch up by
+        // itself before any state is moved.
+        let watermark = self.exec_watermark;
+        self.drive_recovery(|mgr, rout| mgr.set_behind(seq, watermark, rout), out);
+    }
+
+    /// Installs a verified snapshot: replaces store, locks and ledger,
+    /// fast-forwards the watermark, and replays the committed tail.
+    fn install_snapshot(&mut self, snap: Snapshot, out: &mut Outbox<RingMsg>) {
+        if snap.seq <= self.exec_watermark {
+            return; // raced our own catch-up
+        }
+        // Refuse while state *beyond* the snapshot exists locally — the
+        // install would erase effects later sequences already derived
+        // from. State at or below the snapshot (including complex csts
+        // wedged holding locks because their ring partners moved on —
+        // the exact laggards A3 is about) is superseded by the snapshot
+        // and installs over it.
+        if self.executed_ahead.iter().any(|s| *s > snap.seq)
+            || self.locks.max_held_seq().is_some_and(|s| s > snap.seq)
+        {
+            return;
+        }
+        let seq = snap.seq;
+        self.kv = snap.restore_store();
+        self.stable_kv = self.kv.clone();
+        self.stable_seq = seq;
+        self.exec_watermark = seq;
+        self.executed_ahead.clear();
+        self.pending_effects = self.pending_effects.split_off(&(seq + 1));
+        self.pending_checkpoints.retain(|s| *s > seq);
+        self.announced.retain(|s, _| *s > seq);
+        self.locks = LockManager::starting_at(seq);
+        self.ledger = Ledger::from_checkpoint(self.me.shard, snap.ledger_height, snap.ledger_head);
+        // Cst state at or below the checkpoint is superseded. Forward
+        // state never committed locally (`local_seq` None, no locks) is
+        // dropped too, watchdogs included: it usually describes work the
+        // shard finished while this replica was dark — and a watchdog
+        // for it would demand a view change no healthy peer joins. A
+        // genuinely live cst is rebuilt by the sender's retransmission.
+        let stale: Vec<Digest> = self
+            .csts
+            .iter()
+            .filter(|(_, c)| {
+                c.local_seq.is_some_and(|s| s <= seq)
+                    || (c.local_seq.is_none() && !c.locked && !c.executed)
+            })
+            .map(|(d, _)| *d)
+            .collect();
+        for d in stale {
+            if let Some(c) = self.csts.remove(&d) {
+                if let Some(local_seq) = c.local_seq {
+                    // Finished work: keep the replay-dedup entry.
+                    self.done.insert(d, local_seq);
+                }
+                self.token_digest.remove(&c.token);
+                out.cancel_timer(TimerKind::Local, c.token);
+                out.cancel_timer(TimerKind::Remote, c.token);
+                out.cancel_timer(TimerKind::Transmit, c.token);
+            }
+        }
+        self.work.retain(|s, _| *s > seq);
+        // Replay the ledger tail: re-offer every committed-but-unadmitted
+        // sequence above the checkpoint in order; execution follows the
+        // normal admission path.
+        let mut seqs: Vec<u64> = self.work.keys().copied().collect();
+        seqs.sort_unstable();
+        for s in seqs {
+            let (reads, writes) = match self.work.get(&s) {
+                Some(Work::Single(b)) => self.lock_keys(b),
+                Some(Work::Cst(d)) => match self.csts.get(d) {
+                    Some(c) => self.lock_keys(&c.batch),
+                    None => (Vec::new(), Vec::new()),
+                },
+                Some(Work::Duplicate) | None => (Vec::new(), Vec::new()),
+            };
+            let admitted = self.locks.commit_rw(s, reads, writes);
+            for a in admitted.acquired {
+                self.on_admitted(a, out);
+            }
+        }
+        // The installed snapshot is servable to the next laggard.
+        self.recovery.retain(Arc::new(snap));
+        self.recovery.caught_up_to(self.exec_watermark);
+        self.recovery.confirm_install();
+        self.try_announce_checkpoints(out);
     }
 
     fn on_local_commit(
@@ -656,7 +999,7 @@ impl RingReplica {
         let involved = batch.involved_shards();
         if involved.len() <= 1 {
             self.work.insert(seq.0, Work::Single(Arc::clone(&batch)));
-        } else if self.done.contains(&digest)
+        } else if self.done.contains_key(&digest)
             || self.csts.get(&digest).is_some_and(|c| c.committed_local)
         {
             // Already committed at another sequence number (view-change
@@ -712,6 +1055,9 @@ impl RingReplica {
             }
             Work::Duplicate => {
                 self.work.remove(&seq);
+                // No new effects at this sequence; it still advances the
+                // checkpoint watermark.
+                self.mark_executed(seq, Vec::new(), out);
                 let admitted = self.locks.release(seq);
                 for s in admitted.acquired {
                     self.on_admitted(s, out);
@@ -722,6 +1068,7 @@ impl RingReplica {
                 // duplicate) must not hold fresh locks.
                 if self.csts.get(&digest).is_none_or(|s| s.executed) {
                     self.work.remove(&seq);
+                    self.mark_executed(seq, Vec::new(), out);
                     let admitted = self.locks.release(seq);
                     for s in admitted.acquired {
                         self.on_admitted(s, out);
@@ -766,8 +1113,10 @@ impl RingReplica {
         let batch = Arc::clone(&state.batch);
         let involved = state.involved.clone();
         let seq = state.local_seq.expect("locked implies committed locally");
+        let mut effects = Vec::new();
         for txn in &batch.txns {
-            self.kv.execute_fragment(txn, me_shard, &[]);
+            let result = self.kv.execute_fragment(txn, me_shard, &[]);
+            effects.extend(result.writes);
             self.stats.executed_txns += 1;
         }
         self.stats.executed_batches += 1;
@@ -779,6 +1128,7 @@ impl RingReplica {
             involved,
         });
         out.executed(seq, batch.len() as u32);
+        self.mark_executed(seq, effects, out);
         self.work.remove(&seq);
         let admitted = self.locks.release(seq);
         for s in admitted.acquired {
@@ -793,8 +1143,10 @@ impl RingReplica {
         batch: &Arc<Batch>,
         out: &mut Outbox<RingMsg>,
     ) {
+        let mut effects = Vec::new();
         for txn in &batch.txns {
-            self.kv.execute_fragment(txn, self.me.shard, &[]);
+            let result = self.kv.execute_fragment(txn, self.me.shard, &[]);
+            effects.extend(result.writes);
             self.stats.executed_txns += 1;
         }
         self.stats.executed_batches += 1;
@@ -806,6 +1158,7 @@ impl RingReplica {
             involved: vec![self.me.shard],
         });
         out.executed(seq, batch.len() as u32);
+        self.mark_executed(seq, effects, out);
         self.reply_clients(digest, batch, out);
         self.work.remove(&seq);
         let admitted = self.locks.release(seq);
@@ -895,7 +1248,7 @@ impl RingReplica {
         out: &mut Outbox<RingMsg>,
     ) {
         let digest = fwd.digest;
-        if self.done.contains(&digest) {
+        if self.done.contains_key(&digest) {
             return;
         }
         let involved = fwd.batch.involved_shards();
@@ -1031,6 +1384,7 @@ impl RingReplica {
         if sigma.is_empty() {
             sigma = state.deps.clone();
         }
+        let mut effects = Vec::new();
         for txn in &batch.txns {
             let remote: Vec<(Key, Value)> = txn
                 .remote_reads
@@ -1039,6 +1393,7 @@ impl RingReplica {
                 .map(|rr| (rr.key, resolved.get(&rr.key).copied().unwrap_or_default()))
                 .collect();
             let result = self.kv.execute_fragment(txn, me_shard, &remote);
+            effects.extend(result.writes.iter().copied());
             sigma.extend(result.writes);
             self.stats.executed_txns += 1;
         }
@@ -1055,6 +1410,7 @@ impl RingReplica {
             involved: involved.clone(),
         });
         out.executed(seq, batch.len() as u32);
+        self.mark_executed(seq, effects, out);
         // Release locks (Fig 5 line 35) and admit successors.
         self.work.remove(&seq);
         let admitted = self.locks.release(seq);
@@ -1094,7 +1450,7 @@ impl RingReplica {
         out: &mut Outbox<RingMsg>,
     ) {
         let digest = ex.digest;
-        if self.done.contains(&digest) {
+        if self.done.contains_key(&digest) {
             return;
         }
         let Some(prev) = self
@@ -1148,12 +1504,15 @@ impl RingReplica {
     }
 
     fn finish_cst(&mut self, digest: Digest, token: u64) {
-        self.done.insert(digest);
         self.token_digest.remove(&token);
-        if let Some(state) = self.csts.remove(&digest) {
-            // Retain nothing; late messages hit the `done` filter.
-            drop(state);
-        }
+        let finished_seq = self
+            .csts
+            .remove(&digest)
+            .and_then(|state| state.local_seq)
+            .unwrap_or(self.exec_watermark);
+        // Retain only the finishing sequence; late messages hit the
+        // `done` filter until a checkpoint garbage-collects the entry.
+        self.done.insert(digest, finished_seq);
     }
 
     // ------------------------------------------------------------------
@@ -1232,7 +1591,7 @@ impl RingReplica {
             .get(&digest)
             .map(|c| c.committed_local && (c.locked || c.executed))
             .unwrap_or(false)
-            || self.done.contains(&digest);
+            || self.done.contains_key(&digest);
         if committed {
             // We replicated the cst — the next shard's starvation was a
             // network loss, not a suppressing primary. Re-transmit
@@ -1245,10 +1604,19 @@ impl RingReplica {
         }
         // Grace: a freshly installed view re-proposes every starving cst
         // itself (`on_entered_view`); complaints arriving during that
-        // window must not tear it straight down again.
+        // window must not tear it straight down again. A replica still
+        // catching up to a stable checkpoint is equally exempt — the
+        // complained-about cst is usually one the healthy quorum
+        // finished while it was dark (covered by the snapshot), and its
+        // solo view-change demand would wedge it in an unjoined view.
         let grace = (self.last_view_entry > Instant::ZERO
             && now.since(self.last_view_entry) < self.pbft.request_timeout())
-            || self.pbft.in_view_change();
+            || self.pbft.in_view_change()
+            || self.catching_up();
+        // No solo-VC deferral here: the f+1 complaint quorum behind this
+        // trigger is shared shard-wide, so every correct replica that
+        // lacks the commit forces the view change *together* (Fig 6) —
+        // only a replica still catching up (grace above) stands apart.
         if !grace && self.remote_vc_done.insert(digest) {
             // Fig 6 lines 5–6: f+1 complaints about a transaction this
             // shard failed to replicate force a local view change.

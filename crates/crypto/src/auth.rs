@@ -100,6 +100,14 @@ impl KeyStore {
         MacTag(hmac_sha256_parts(&key, &[msg]))
     }
 
+    /// Computes the MAC `from → to` over the concatenation of `parts`
+    /// without copying them into one buffer — used by the frame codec
+    /// to prepend a domain tag to large bodies.
+    pub fn mac_parts(&self, from: NodeId, to: NodeId, parts: &[&[u8]]) -> MacTag {
+        let key = self.pair_key(from, to);
+        MacTag(hmac_sha256_parts(&key, parts))
+    }
+
     /// Verifies a MAC received by `to` from claimed sender `from`.
     pub fn verify_mac(&self, from: NodeId, to: NodeId, msg: &[u8], tag: &MacTag) -> bool {
         digest_eq(&self.mac(from, to, msg).0, &tag.0)

@@ -20,6 +20,7 @@
 //! until killed, printing per-node throughput and transport counters
 //! every `--stats-secs` (default 5) seconds.
 
+use ringbft_net::codec::FrameAuth;
 use ringbft_net::config::{load_cluster_config, parse_replica_name, render_cluster_config};
 use ringbft_net::runtime::{Clock, NodeRuntime, PeerTable};
 use ringbft_sim::{AnyMsg, AnyNode, SimClient};
@@ -32,6 +33,12 @@ struct Args {
     workload: Option<(u64, u64, u64)>,
     stats_secs: u64,
     example: Option<(usize, usize)>,
+    /// Exit after this many seconds (0 = run until killed). For
+    /// scripted runs (CI smoke tests).
+    duration_secs: u64,
+    /// At a timed exit, fail (status 1) unless at least this many
+    /// client transactions completed.
+    min_completions: usize,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -40,7 +47,9 @@ fn usage_and_exit(code: i32) -> ! {
          usage:\n  ringbft-node --config FILE --host S0r0 [--host S0r1 ...]\n\
          \x20 ringbft-node --config FILE --workload FIRST_ID:COUNT:SEED\n\
          \x20 ringbft-node --example-config SHARDS REPLICAS\n\
-         options:\n  --stats-secs N   stats print interval (default 5, 0 = silent)"
+         options:\n  --stats-secs N       stats print interval (default 5, 0 = silent)\n\
+         \x20 --duration-secs N    exit after N seconds (default: run until killed)\n\
+         \x20 --min-completions K  with --duration-secs: exit 1 unless ≥ K txns completed"
     );
     std::process::exit(code);
 }
@@ -52,6 +61,8 @@ fn parse_args() -> Args {
         workload: None,
         stats_secs: 5,
         example: None,
+        duration_secs: 0,
+        min_completions: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -91,6 +102,22 @@ fn parse_args() -> Args {
                             eprintln!("--stats-secs needs an integer");
                             usage_and_exit(2);
                         });
+            }
+            "--duration-secs" => {
+                args.duration_secs = value(&argv, &mut i, "--duration-secs")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--duration-secs needs an integer");
+                        usage_and_exit(2);
+                    });
+            }
+            "--min-completions" => {
+                args.min_completions = value(&argv, &mut i, "--min-completions")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--min-completions needs an integer");
+                        usage_and_exit(2);
+                    });
             }
             "--example-config" => {
                 let z = value(&argv, &mut i, "--example-config");
@@ -145,11 +172,13 @@ fn main() {
         }
     };
 
-    // Every process of the cluster shares the peer table from the file.
+    // Every process of the cluster shares the peer table from the file,
+    // and the frame authenticator derived from its auth_seed.
     let peers = PeerTable::new();
     for (r, addr) in &cluster.peers {
         peers.insert(NodeId::Replica(*r), *addr);
     }
+    let auth = FrameAuth::from_seed(cluster.system.auth_seed);
 
     let clock = Clock::start();
     let mut deployment = ringbft_sim::nodes::deployment(&cluster.system);
@@ -185,6 +214,7 @@ fn main() {
             listener,
             peers.clone(),
             clock.clone(),
+            auth.clone(),
         ) {
             Ok(rt) => {
                 println!("hosting {id} on {addr}");
@@ -212,6 +242,7 @@ fn main() {
             listener,
             peers.clone(),
             clock.clone(),
+            auth.clone(),
         ) {
             Ok(rt) => {
                 println!("hosting workload {host} ({count} logical clients) on {addr}");
@@ -224,15 +255,39 @@ fn main() {
         }
     }
 
-    // Periodic stats until killed.
+    // Periodic stats until killed (or the scripted duration elapses).
+    let started = std::time::Instant::now();
     let interval = if args.stats_secs == 0 {
-        std::time::Duration::from_secs(3600)
+        std::time::Duration::from_secs(if args.duration_secs > 0 { 1 } else { 3600 })
     } else {
         std::time::Duration::from_secs(args.stats_secs)
+    };
+    let total_completions = |runtimes: &[NodeRuntime<AnyMsg, AnyNode>]| -> usize {
+        runtimes
+            .iter()
+            .map(|rt| {
+                rt.with_node(|n| match n {
+                    AnyNode::Client(c) => c.completions.len(),
+                    _ => 0,
+                })
+            })
+            .sum()
     };
     let mut last_completions = 0usize;
     loop {
         std::thread::sleep(interval);
+        if args.duration_secs > 0
+            && started.elapsed() >= std::time::Duration::from_secs(args.duration_secs)
+        {
+            let total = total_completions(&runtimes);
+            let ok = total >= args.min_completions;
+            println!(
+                "duration elapsed: {total} completions (required {}) — {}",
+                args.min_completions,
+                if ok { "ok" } else { "FAIL" }
+            );
+            std::process::exit(if ok { 0 } else { 1 });
+        }
         if args.stats_secs == 0 {
             continue;
         }

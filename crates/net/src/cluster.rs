@@ -10,6 +10,7 @@
 //! This is both the integration-test harness and the reference for
 //! wiring real multi-process deployments with `ringbft-node`.
 
+use crate::codec::FrameAuth;
 use crate::runtime::{Clock, NodeRuntime, PeerTable};
 use ringbft_sim::{AnyMsg, AnyNode, SimClient};
 use ringbft_types::{ClientId, NodeId, ReplicaId, SystemConfig};
@@ -20,16 +21,19 @@ pub struct LocalCluster {
     cfg: SystemConfig,
     clock: Clock,
     peers: PeerTable,
+    auth: FrameAuth,
     replicas: Vec<NodeRuntime<AnyMsg, AnyNode>>,
     clients: Vec<NodeRuntime<AnyMsg, AnyNode>>,
 }
 
 impl LocalCluster {
     /// Binds listeners and launches every replica of `cfg` (including
-    /// AHL's committee when applicable) on loopback TCP.
+    /// AHL's committee when applicable) on loopback TCP. Frames are
+    /// authenticated under the config's `auth_seed`.
     pub fn launch(cfg: SystemConfig) -> std::io::Result<LocalCluster> {
         cfg.validate().expect("valid cluster config");
         let deployment = ringbft_sim::nodes::deployment(&cfg);
+        let auth = FrameAuth::from_seed(cfg.auth_seed);
 
         // Bind every listener first so the peer table is complete before
         // any node starts talking.
@@ -50,15 +54,64 @@ impl LocalCluster {
                 listener,
                 peers.clone(),
                 clock.clone(),
+                auth.clone(),
             )?);
         }
         Ok(LocalCluster {
             cfg,
             clock,
             peers,
+            auth,
             replicas,
             clients: Vec::new(),
         })
+    }
+
+    /// The cluster's frame authenticator (share it with externally
+    /// launched runtimes, e.g. test injectors).
+    pub fn auth(&self) -> &FrameAuth {
+        &self.auth
+    }
+
+    /// Kills replica `r`: its runtime is stopped and its entire node
+    /// state dropped, as if the process died. Peers' writers fail over
+    /// and drop frames for it until it is restarted.
+    pub fn kill_replica(&mut self, r: ReplicaId) {
+        let pos = self
+            .replicas
+            .iter()
+            .position(|rt| rt.id() == NodeId::Replica(r))
+            .expect("unknown replica");
+        let rt = self.replicas.swap_remove(pos);
+        let _ = rt.shutdown(); // node state dropped here
+    }
+
+    /// Restarts a previously killed replica *blank*: a fresh node with
+    /// an empty store and fresh consensus state, on a new listener. The
+    /// peer table is updated in place, so running peers re-route to the
+    /// new incarnation on their next (re)connect. Catch-up is the
+    /// recovery subsystem's job (`ringbft-recovery`).
+    pub fn restart_replica_blank(&mut self, r: ReplicaId) -> std::io::Result<()> {
+        assert!(
+            !self.replicas.iter().any(|rt| rt.id() == NodeId::Replica(r)),
+            "{r} is still running; kill it first"
+        );
+        let (_, _, node) = ringbft_sim::nodes::deployment(&self.cfg)
+            .into_iter()
+            .find(|(id, _, _)| *id == r)
+            .expect("replica in deployment");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        self.peers
+            .insert(NodeId::Replica(r), listener.local_addr()?);
+        self.replicas.push(NodeRuntime::launch(
+            NodeId::Replica(r),
+            node,
+            listener,
+            self.peers.clone(),
+            self.clock.clone(),
+            self.auth.clone(),
+        )?);
+        Ok(())
     }
 
     /// The deployment's configuration.
@@ -114,6 +167,7 @@ impl LocalCluster {
             listener,
             self.peers.clone(),
             self.clock.clone(),
+            self.auth.clone(),
         )?);
         Ok(host)
     }

@@ -1,19 +1,28 @@
-//! Length-prefixed binary framing for protocol messages on real sockets.
+//! Length-prefixed, MAC-authenticated binary framing for protocol
+//! messages on real sockets.
 //!
-//! Every frame is a fixed 12-byte header followed by a bincode-encoded
-//! [`Envelope`]:
+//! Every frame is a fixed 12-byte header, a 32-byte HMAC-SHA256
+//! authenticator, and a bincode-encoded [`Envelope`]:
 //!
 //! ```text
-//! +--------+---------+-------+-----------+----------------------+
-//! | magic  | version | flags | body len  | bincode(Envelope<M>) |
-//! | u32 LE | u16 LE  | u16LE | u32 LE    | `body len` bytes     |
-//! +--------+---------+-------+-----------+----------------------+
+//! +--------+---------+-------+----------+---------+----------------------+
+//! | magic  | version | flags | body len | mac     | bincode(Envelope<M>) |
+//! | u32 LE | u16 LE  | u16LE | u32 LE   | 32 B    | `body len` bytes     |
+//! +--------+---------+-------+----------+---------+----------------------+
 //! ```
 //!
 //! The header is versioned so future PRs can evolve the body encoding
 //! (compression, signatures) without breaking running clusters mid-
 //! upgrade: a decoder rejects frames whose `version` it does not speak
-//! instead of misparsing them.
+//! instead of misparsing them. Version 2 introduced the authenticator.
+//!
+//! The MAC implements the paper's §3 authenticated channels with the
+//! pairwise keys of [`ringbft_crypto::KeyStore`]: a data frame is tagged
+//! under the `{from, to}` pair key, a [`Hello`] under the
+//! `{sender, receiver}` pair key. A frame whose MAC does not verify is
+//! rejected ([`CodecError::BadMac`]) and the connection is dropped —
+//! matching the simulator, which charges the same per-message hash cost
+//! in its CPU model.
 //!
 //! The body length is bounded by [`MAX_FRAME_BYTES`]; the bound is
 //! derived from the same size model the simulator charges for bandwidth
@@ -22,6 +31,7 @@
 //! orders of magnitude of headroom above the paper's standard settings
 //! while still refusing absurd allocations from corrupt peers.
 
+use ringbft_crypto::KeyStore;
 use ringbft_types::wire;
 use ringbft_types::NodeId;
 use serde::{Deserialize, Serialize};
@@ -30,11 +40,46 @@ use std::io::{Read, Write};
 /// Frame magic: `"RBFT"` little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"RBFT");
 
-/// Current frame version.
-pub const VERSION: u16 = 1;
+/// Current frame version (2 = MAC-authenticated frames).
+pub const VERSION: u16 = 2;
 
-/// Bytes of the fixed frame header.
+/// Bytes of the fixed frame header (excluding the authenticator).
 pub const HEADER_BYTES: usize = 12;
+
+/// Bytes of the frame authenticator following the header.
+pub const FRAME_MAC_BYTES: usize = 32;
+
+/// The channel authenticator: derives and checks per-frame HMACs from
+/// the deployment's shared [`KeyStore`] seed (every process of one
+/// cluster must use the same seed — the `auth_seed` cluster knob).
+#[derive(Debug, Clone)]
+pub struct FrameAuth {
+    ks: KeyStore,
+}
+
+impl FrameAuth {
+    /// An authenticator over the key-distribution oracle seeded with
+    /// `seed`.
+    pub fn from_seed(seed: u64) -> FrameAuth {
+        FrameAuth {
+            ks: KeyStore::from_seed(seed),
+        }
+    }
+
+    /// MAC of a data body exchanged between `from` and `to`. The domain
+    /// tag separates data from Hello MACs, so flipping the (otherwise
+    /// unauthenticated) `FLAG_HELLO` header bit can never turn an
+    /// authenticated data frame into an accepted route announcement.
+    fn data_tag(&self, from: NodeId, to: NodeId, body: &[u8]) -> [u8; 32] {
+        self.ks.mac_parts(from, to, &[b"rbft-data", body]).0
+    }
+
+    /// MAC of a Hello body sent by `node` to `receiver` (domain-tagged,
+    /// see [`FrameAuth::data_tag`]).
+    fn hello_tag(&self, node: NodeId, receiver: NodeId, body: &[u8]) -> [u8; 32] {
+        self.ks.mac_parts(node, receiver, &[b"rbft-hello", body]).0
+    }
+}
 
 /// Header flag: the body is a [`Hello`] control frame, not an
 /// [`Envelope`].
@@ -97,9 +142,9 @@ impl<M: Deserialize> Deserialize for Envelope<M> {
 /// accepts on. The receiver combines that port with the connection's
 /// source IP to learn a dial-back address.
 ///
-/// Trust note: Hellos are taken at face value today, matching the
-/// unauthenticated channel model of the rest of the transport; wiring
-/// `ringbft-crypto` authenticators through the codec is a roadmap item.
+/// Trust note: a Hello is accepted only when its HMAC verifies under
+/// the pair key of the announced node and the receiving node, so route
+/// announcements cannot be forged without that pair's secret.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Hello {
     /// The node this connection belongs to.
@@ -133,6 +178,10 @@ pub enum CodecError {
     /// A frame body (inbound declared, or outbound encoded) exceeds
     /// [`MAX_FRAME_BYTES`].
     Oversized(u64),
+    /// The frame's HMAC authenticator failed to verify (§3 authenticated
+    /// channels): forged, corrupted, or sent under a different
+    /// `auth_seed`.
+    BadMac,
     /// The body failed to decode.
     Body(bincode::Error),
 }
@@ -144,6 +193,7 @@ impl std::fmt::Display for CodecError {
             CodecError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
             CodecError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
             CodecError::Oversized(n) => write!(f, "frame body of {n} bytes exceeds cap"),
+            CodecError::BadMac => write!(f, "frame authenticator rejected"),
             CodecError::Body(e) => write!(f, "frame body: {e}"),
         }
     }
@@ -165,48 +215,66 @@ impl CodecError {
     }
 }
 
-fn frame_with(flags: u16, body: Vec<u8>) -> Result<Vec<u8>, CodecError> {
+fn frame_with(flags: u16, mac: [u8; 32], body: Vec<u8>) -> Result<Vec<u8>, CodecError> {
     if body.len() as u64 > MAX_FRAME_BYTES as u64 {
         // Refuse rather than panic: the runtime drops-and-counts
         // unencodable messages, and a frozen replica would be worse
         // than a lost frame.
         return Err(CodecError::Oversized(body.len() as u64));
     }
-    let mut frame = Vec::with_capacity(HEADER_BYTES + body.len());
+    let mut frame = Vec::with_capacity(HEADER_BYTES + FRAME_MAC_BYTES + body.len());
     frame.extend_from_slice(&MAGIC.to_le_bytes());
     frame.extend_from_slice(&VERSION.to_le_bytes());
     frame.extend_from_slice(&flags.to_le_bytes());
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&mac);
     frame.extend_from_slice(&body);
     Ok(frame)
 }
 
-/// Encodes one data frame (header + body) into a fresh buffer.
-pub fn encode_frame<M: Serialize>(env: &Envelope<M>) -> Result<Vec<u8>, CodecError> {
+/// Encodes one data frame (header + MAC + body) into a fresh buffer.
+pub fn encode_frame<M: Serialize>(
+    env: &Envelope<M>,
+    auth: &FrameAuth,
+) -> Result<Vec<u8>, CodecError> {
     let body = bincode::serialize(env).map_err(CodecError::Body)?;
-    frame_with(0, body)
+    let mac = auth.data_tag(env.from, env.to, &body);
+    frame_with(0, mac, body)
 }
 
-/// Encodes a [`Hello`] control frame.
-pub fn encode_hello_frame(hello: &Hello) -> Result<Vec<u8>, CodecError> {
+/// Encodes a [`Hello`] control frame addressed to `receiver` (the peer
+/// being dialled; Hello MACs bind the connection's two endpoints).
+pub fn encode_hello_frame(
+    hello: &Hello,
+    auth: &FrameAuth,
+    receiver: NodeId,
+) -> Result<Vec<u8>, CodecError> {
     let body = bincode::serialize(hello).map_err(CodecError::Body)?;
-    frame_with(FLAG_HELLO, body)
+    let mac = auth.hello_tag(hello.node, receiver, &body);
+    frame_with(FLAG_HELLO, mac, body)
 }
 
 /// Writes one frame to `w` (flushes).
 pub fn write_frame<M: Serialize, W: Write>(
     w: &mut W,
     env: &Envelope<M>,
+    auth: &FrameAuth,
 ) -> Result<usize, CodecError> {
-    let frame = encode_frame(env)?;
+    let frame = encode_frame(env, auth)?;
     w.write_all(&frame)?;
     w.flush()?;
     Ok(frame.len())
 }
 
 /// Reads one frame (data or control) from `r`, blocking until a full
-/// frame arrives.
-pub fn read_any_frame<M: Deserialize, R: Read>(r: &mut R) -> Result<Frame<M>, CodecError> {
+/// frame arrives, and verifies its authenticator. `local` is the
+/// reading node's identity (Hello MACs bind to the receiver; data MACs
+/// bind to the envelope's own endpoints).
+pub fn read_any_frame<M: Deserialize, R: Read>(
+    r: &mut R,
+    auth: &FrameAuth,
+    local: NodeId,
+) -> Result<Frame<M>, CodecError> {
     let mut header = [0u8; HEADER_BYTES];
     r.read_exact(&mut header)?;
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
@@ -222,23 +290,33 @@ pub fn read_any_frame<M: Deserialize, R: Read>(r: &mut R) -> Result<Frame<M>, Co
     if len > MAX_FRAME_BYTES {
         return Err(CodecError::Oversized(len as u64));
     }
+    let mut mac = [0u8; FRAME_MAC_BYTES];
+    r.read_exact(&mut mac)?;
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
     if flags & FLAG_HELLO != 0 {
-        Ok(Frame::Hello(
-            bincode::deserialize(&body).map_err(CodecError::Body)?,
-        ))
+        let hello: Hello = bincode::deserialize(&body).map_err(CodecError::Body)?;
+        if !ringbft_crypto::hmac::digest_eq(&auth.hello_tag(hello.node, local, &body), &mac) {
+            return Err(CodecError::BadMac);
+        }
+        Ok(Frame::Hello(hello))
     } else {
-        Ok(Frame::Data(
-            bincode::deserialize(&body).map_err(CodecError::Body)?,
-        ))
+        let env: Envelope<M> = bincode::deserialize(&body).map_err(CodecError::Body)?;
+        if !ringbft_crypto::hmac::digest_eq(&auth.data_tag(env.from, env.to, &body), &mac) {
+            return Err(CodecError::BadMac);
+        }
+        Ok(Frame::Data(env))
     }
 }
 
 /// Reads one *data* frame from `r`; control frames are an error. Kept
 /// for callers that only speak protocol traffic (tests, tools).
-pub fn read_frame<M: Deserialize, R: Read>(r: &mut R) -> Result<Envelope<M>, CodecError> {
-    match read_any_frame(r)? {
+pub fn read_frame<M: Deserialize, R: Read>(
+    r: &mut R,
+    auth: &FrameAuth,
+    local: NodeId,
+) -> Result<Envelope<M>, CodecError> {
+    match read_any_frame(r, auth, local)? {
         Frame::Data(env) => Ok(env),
         Frame::Hello(_) => Err(CodecError::Body(bincode::Error::from(
             serde::Error::invalid("unexpected control frame"),
@@ -255,6 +333,14 @@ mod tests {
     use ringbft_types::{ClientId, ReplicaId, ShardId, TxnId};
     use std::sync::Arc;
 
+    fn auth() -> FrameAuth {
+        FrameAuth::from_seed(0)
+    }
+
+    fn receiver() -> NodeId {
+        NodeId::Replica(ReplicaId::new(ShardId(0), 0))
+    }
+
     fn sample_env() -> Envelope<AnyMsg> {
         let txn = Transaction::new(
             TxnId(7),
@@ -267,7 +353,7 @@ mod tests {
         );
         Envelope {
             from: NodeId::Client(ClientId(3)),
-            to: NodeId::Replica(ReplicaId::new(ShardId(0), 0)),
+            to: receiver(),
             msg: AnyMsg::Ring(RingMsg::Request {
                 txn: Arc::new(txn),
                 relayed: false,
@@ -278,37 +364,91 @@ mod tests {
     #[test]
     fn frame_round_trips() {
         let env = sample_env();
-        let frame = encode_frame(&env).unwrap();
-        let decoded: Envelope<AnyMsg> = read_frame(&mut frame.as_slice()).unwrap();
+        let frame = encode_frame(&env, &auth()).unwrap();
+        let decoded: Envelope<AnyMsg> =
+            read_frame(&mut frame.as_slice(), &auth(), receiver()).unwrap();
         assert_eq!(decoded, env);
     }
 
     #[test]
     fn header_is_versioned() {
         let env = sample_env();
-        let mut frame = encode_frame(&env).unwrap();
+        let mut frame = encode_frame(&env, &auth()).unwrap();
         frame[4] = 99; // version
-        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice()).unwrap_err();
+        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
         assert!(matches!(err, CodecError::BadVersion(99)));
 
-        let mut frame = encode_frame(&env).unwrap();
+        let mut frame = encode_frame(&env, &auth()).unwrap();
         frame[0] ^= 0xff; // magic
-        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice()).unwrap_err();
+        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
         assert!(matches!(err, CodecError::BadMagic(_)));
     }
 
     #[test]
     fn oversized_frames_rejected_before_allocation() {
         let env = sample_env();
-        let mut frame = encode_frame(&env).unwrap();
+        let mut frame = encode_frame(&env, &auth()).unwrap();
         frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
-        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice()).unwrap_err();
+        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
         assert!(matches!(err, CodecError::Oversized(_)));
     }
 
     #[test]
+    fn tampered_body_or_mac_is_rejected() {
+        let env = sample_env();
+        // Flip one bit of the MAC.
+        let mut frame = encode_frame(&env, &auth()).unwrap();
+        frame[HEADER_BYTES] ^= 1;
+        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
+        assert!(matches!(err, CodecError::BadMac));
+        // Flip one bit of the body.
+        let mut frame = encode_frame(&env, &auth()).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 1;
+        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
+        assert!(matches!(err, CodecError::BadMac | CodecError::Body(_)));
+    }
+
+    #[test]
+    fn reflagging_a_data_frame_as_hello_is_rejected() {
+        // The header flags are outside the MAC, but the MAC domain tag
+        // makes a data tag useless for a Hello frame: an on-path
+        // tamperer flipping FLAG_HELLO must not plant a route.
+        let env = sample_env();
+        let mut frame = encode_frame(&env, &auth()).unwrap();
+        frame[6] |= FLAG_HELLO as u8;
+        let err =
+            read_any_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
+        assert!(matches!(err, CodecError::BadMac | CodecError::Body(_)));
+    }
+
+    #[test]
+    fn wrong_auth_seed_is_rejected() {
+        let env = sample_env();
+        let frame = encode_frame(&env, &FrameAuth::from_seed(1)).unwrap();
+        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
+        assert!(matches!(err, CodecError::BadMac));
+    }
+
+    #[test]
+    fn hello_macs_bind_the_receiver() {
+        let hello = Hello {
+            node: NodeId::Replica(ReplicaId::new(ShardId(1), 2)),
+            aliases: vec![],
+            listen_port: 4242,
+        };
+        let frame = encode_hello_frame(&hello, &auth(), receiver()).unwrap();
+        let decoded = read_any_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver());
+        assert!(matches!(decoded, Ok(Frame::Hello(h)) if h == hello));
+        // A different receiver must not accept it (wrong pair key).
+        let other = NodeId::Replica(ReplicaId::new(ShardId(2), 3));
+        let err = read_any_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), other).unwrap_err();
+        assert!(matches!(err, CodecError::BadMac));
+    }
+
+    #[test]
     fn truncated_stream_is_clean_eof_between_frames() {
-        let err = read_frame::<AnyMsg, _>(&mut [].as_slice()).unwrap_err();
+        let err = read_frame::<AnyMsg, _>(&mut [].as_slice(), &auth(), receiver()).unwrap_err();
         assert!(err.is_clean_eof());
     }
 }

@@ -17,6 +17,9 @@
 //!   "involved_shards": 2,
 //!   "remote_reads": 0,
 //!   "timers_ms": { "local": 2000, "remote": 4000, "transmit": 6000, "client": 8000 },
+//!   "checkpoint_interval": 128,
+//!   "state_chunk_records": 4096,
+//!   "auth_seed": 0,
 //!   "peers": {
 //!     "S0r0": "10.0.0.10:4100",
 //!     "S0r1": "10.0.0.11:4100"
@@ -103,7 +106,7 @@ pub fn parse_replica_name(name: &str) -> Result<ReplicaId, ConfigError> {
 /// so a typo'd knob fails loudly instead of silently running with the
 /// paper default (every process must share the file, so a silent
 /// fallback would be a cross-process misconfiguration).
-const KNOWN_KEYS: [&str; 11] = [
+const KNOWN_KEYS: [&str; 14] = [
     "protocol",
     "shards",
     "batch_size",
@@ -114,6 +117,9 @@ const KNOWN_KEYS: [&str; 11] = [
     "remote_reads",
     "ring_offset",
     "timers_ms",
+    "checkpoint_interval",
+    "state_chunk_records",
+    "auth_seed",
     "peers",
 ];
 
@@ -189,6 +195,15 @@ pub fn parse_cluster_config(text: &str) -> Result<ClusterConfig, ConfigError> {
     }
     if let Some(v) = u64_knob("ring_offset") {
         system.ring_offset = v as u32;
+    }
+    if let Some(v) = u64_knob("checkpoint_interval") {
+        system.checkpoint_interval = v;
+    }
+    if let Some(v) = u64_knob("state_chunk_records") {
+        system.state_chunk_records = v as usize;
+    }
+    if let Some(v) = u64_knob("auth_seed") {
+        system.auth_seed = v;
     }
     if let Some(v) = doc.get("cross_shard_rate").and_then(|v| v.as_f64()) {
         system.cross_shard_rate = v;
@@ -268,6 +283,9 @@ pub fn render_cluster_config(
         "involved_shards": system.involved_shards as u64,
         "remote_reads": system.remote_reads as u64,
         "ring_offset": system.ring_offset,
+        "checkpoint_interval": system.checkpoint_interval,
+        "state_chunk_records": system.state_chunk_records as u64,
+        "auth_seed": system.auth_seed,
         "timers_ms": serde_json::json!({
             "local": system.timers.local.as_nanos() / 1_000_000,
             "remote": system.timers.remote.as_nanos() / 1_000_000,
@@ -315,6 +333,28 @@ mod tests {
         assert_eq!(cc.system.batch_size, 10);
         assert_eq!(cc.system.cross_shard_rate, 0.5);
         assert_eq!(cc.system.timers.local, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn recovery_and_auth_knobs_parse() {
+        let text = r#"{
+            "protocol": "RingBft",
+            "shards": [{ "n": 4 }],
+            "checkpoint_interval": 16,
+            "state_chunk_records": 512,
+            "auth_seed": 7,
+            "peers": {}
+        }"#;
+        let cc = parse_cluster_config(text).unwrap();
+        assert_eq!(cc.system.checkpoint_interval, 16);
+        assert_eq!(cc.system.state_chunk_records, 512);
+        assert_eq!(cc.system.auth_seed, 7);
+        // A zero interval fails SystemConfig validation.
+        assert!(parse_cluster_config(
+            r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],
+                 "checkpoint_interval": 0, "peers": {} }"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! ## Hosting a replica on a real socket
 //!
 //! ```no_run
+//! use ringbft_net::codec::FrameAuth;
 //! use ringbft_net::runtime::{Clock, NodeRuntime, PeerTable};
 //! use ringbft_sim::{AnyMsg, AnyNode};
 //! use ringbft_types::{NodeId, ProtocolKind, ReplicaId, ShardId, SystemConfig};
@@ -36,8 +37,9 @@
 //! let peers = PeerTable::new();
 //! peers.insert(NodeId::Replica(me), listener.local_addr().unwrap());
 //! // ... insert every other replica's address ...
+//! let auth = FrameAuth::from_seed(cfg.auth_seed);
 //! let rt: NodeRuntime<AnyMsg, AnyNode> =
-//!     NodeRuntime::launch(NodeId::Replica(me), node, listener, peers, Clock::start())
+//!     NodeRuntime::launch(NodeId::Replica(me), node, listener, peers, Clock::start(), auth)
 //!         .unwrap();
 //! # let _ = rt;
 //! ```
@@ -48,6 +50,6 @@ pub mod config;
 pub mod runtime;
 
 pub use cluster::LocalCluster;
-pub use codec::{encode_frame, read_frame, write_frame, CodecError, Envelope};
+pub use codec::{encode_frame, read_frame, write_frame, CodecError, Envelope, FrameAuth};
 pub use config::{load_cluster_config, parse_cluster_config, ClusterConfig, ConfigError};
 pub use runtime::{Clock, NetStatsSnapshot, NodeRuntime, PeerTable};

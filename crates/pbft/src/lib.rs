@@ -109,6 +109,36 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_view_change_is_abandoned() {
+        // Only replica 3's watchdog fires (the others are content): its
+        // solo view-change demand can never reach the nf quorum. On the
+        // escalation timer, with no peer having seconded any view
+        // change, it abandons and resumes view 0 instead of wedging in
+        // a view nobody joins.
+        let mut c = TestCluster::new(S, 4);
+        c.propose(0, test_batch(S, 3, 1));
+        // Replica 3 sees the proposal but none of the Commit votes.
+        c.drop_filter = Some(Box::new(|_, to, m| {
+            to.index == 3 && matches!(m, PbftMsg::Commit { .. })
+        }));
+        c.deliver_all();
+        c.drop_filter = None;
+        assert!(c.committed_seqs(3).is_empty());
+        assert!(c.fire_timer(3, TimerKind::Local, 1), "watchdog armed");
+        c.deliver_all();
+        assert!(c.cores[3].in_view_change(), "replica 3 demands view 1");
+        // Peers stayed in view 0 (one demand < f+1); the escalation
+        // timer expires without any support having been seen.
+        assert!(c.fire_timer(3, TimerKind::Local, VIEW_CHANGE_TOKEN));
+        c.deliver_all();
+        assert!(!c.cores[3].in_view_change(), "view change abandoned");
+        assert_eq!(c.cores[3].view().0, 0, "resumed the live view");
+        for i in 0..3 {
+            assert_eq!(c.cores[i].view().0, 0, "peers undisturbed");
+        }
+    }
+
+    #[test]
     fn view_change_replaces_failed_primary() {
         let mut c = TestCluster::new(S, 4);
         // Everyone sees the proposal, but every Commit vanishes — the
@@ -220,11 +250,8 @@ mod tests {
         c.deliver_all();
         for i in 0..4 {
             assert_eq!(c.cores[i as usize].last_stable().0, 10, "replica {i}");
-            assert!(c
-                .events
-                .iter()
-                .any(|(j, e)| *j == i
-                    && matches!(e, PbftEvent::StableCheckpoint { seq } if seq.0 == 10)));
+            assert!(c.events.iter().any(|(j, e)| *j == i
+                && matches!(e, PbftEvent::StableCheckpoint { seq, .. } if seq.0 == 10)));
         }
         // Committed digests below the checkpoint are GC'd.
         assert!(c.cores[0].committed_digest(SeqNum(5)).is_none());

@@ -37,6 +37,16 @@ pub struct PbftConfig {
     pub checkpoint_interval: u64,
     /// Local replication watchdog duration (§5: the shortest timer).
     pub local_timeout: Duration,
+    /// When true, the engine does not vote a checkpoint by itself when a
+    /// checkpoint-boundary sequence commits; it emits
+    /// [`PbftEvent::CheckpointDue`] and the outer protocol calls
+    /// [`PbftCore::announce_checkpoint`] once it can bind a real
+    /// application-state digest (RingBFT waits until every sequence up
+    /// to the boundary has *executed*, then digests the store — see
+    /// `ringbft-recovery`). When false (the baselines), the engine votes
+    /// immediately with the committed batch digest, which suffices for
+    /// log truncation but is not transferable state.
+    pub external_checkpoints: bool,
 }
 
 impl PbftConfig {
@@ -76,10 +86,21 @@ pub enum PbftEvent {
         /// The view now active.
         view: ViewNum,
     },
+    /// A checkpoint boundary committed and the engine runs with
+    /// `external_checkpoints`: the outer protocol must (eventually) call
+    /// [`PbftCore::announce_checkpoint`] for `seq` with its state digest.
+    CheckpointDue {
+        /// The checkpoint-boundary sequence number.
+        seq: SeqNum,
+    },
     /// A checkpoint became stable; everything ≤ `seq` is garbage-collected.
     StableCheckpoint {
         /// Covered sequence number.
         seq: SeqNum,
+        /// The digest a quorum of `nf` replicas agreed on — under
+        /// `external_checkpoints` this is the application-state digest a
+        /// lagging replica can fetch and verify a snapshot against.
+        state_digest: Digest,
     },
 }
 
@@ -108,7 +129,7 @@ pub struct PbftCore {
     last_stable: u64,
     instances: BTreeMap<u64, Instance>,
     checkpoint_votes: BTreeMap<u64, HashMap<u32, Digest>>,
-    view_change_votes: BTreeMap<u64, HashMap<u32, Vec<PreparedProof>>>,
+    view_change_votes: BTreeMap<u64, BTreeMap<u32, Vec<PreparedProof>>>,
     /// Timeout backoff: doubles on every view change without progress
     /// (capped), resets when a batch commits. Prevents view-change churn
     /// under load (Castro & Liskov §4.5.2).
@@ -119,6 +140,19 @@ pub struct PbftCore {
     /// leapfrog each other's target views forever; growing windows let
     /// the f+1 join rule align them.
     vc_backoff: u32,
+    /// The view this replica was in before it started the current view
+    /// change (resumed if the view change turns out to be unsupported).
+    pre_vc_view: ViewNum,
+    /// Did any peer send a ViewChange while our view change is pending?
+    /// A view change nobody else wants can never reach its `nf` quorum:
+    /// a stale replica (e.g. freshly recovered, watchdogging work the
+    /// healthy quorum finished long ago) that forced one alone would
+    /// wedge forever in a view no peer joins. Without support after two
+    /// escalation windows, the view change is abandoned and the old —
+    /// evidently still live — view resumed.
+    vc_support_seen: bool,
+    /// Escalation-timer expiries since the current view change began.
+    vc_escalations: u32,
     /// Count of batches committed by this replica (diagnostics).
     pub committed_batches: u64,
 }
@@ -150,6 +184,9 @@ impl PbftCore {
             view_change_votes: BTreeMap::new(),
             backoff: 1,
             vc_backoff: 1,
+            pre_vc_view: ViewNum(0),
+            vc_support_seen: false,
+            vc_escalations: 0,
             committed_batches: 0,
         }
     }
@@ -285,10 +322,20 @@ impl PbftCore {
             return false;
         }
         if token == VIEW_CHANGE_TOKEN {
-            // NewView never arrived: escalate to the next view.
+            // NewView never arrived: escalate to the next view — unless
+            // nobody ever seconded this view change, in which case it
+            // can never reach its quorum and is abandoned instead: the
+            // old view is evidently still live, so resume it.
             if self.in_view_change {
-                let next = self.view.next();
-                self.start_view_change(next, out, events);
+                self.vc_escalations += 1;
+                if !self.vc_support_seen {
+                    // A full escalation window without one peer demanding
+                    // any view change: we are alone, abandon.
+                    self.abandon_view_change(out, events);
+                } else {
+                    let next = self.view.next();
+                    self.start_view_change(next, out, events);
+                }
             }
             return true;
         }
@@ -435,16 +482,37 @@ impl PbftCore {
         if !seq.is_multiple_of(self.cfg.checkpoint_interval) {
             return;
         }
-        let msg = PbftMsg::Checkpoint {
-            seq: SeqNum(seq),
-            state_digest: digest,
-        };
+        if self.cfg.external_checkpoints {
+            // The outer protocol owns the state digest; it answers with
+            // `announce_checkpoint` once the boundary has executed.
+            events.push(PbftEvent::CheckpointDue { seq: SeqNum(seq) });
+            return;
+        }
+        self.announce_checkpoint(SeqNum(seq), digest, out, events);
+    }
+
+    /// Broadcasts this replica's checkpoint vote for `seq` with
+    /// `state_digest` and counts it toward stabilization. Under
+    /// `external_checkpoints` the outer protocol calls this in response
+    /// to [`PbftEvent::CheckpointDue`]; the non-external path calls it
+    /// internally with the batch digest.
+    pub fn announce_checkpoint(
+        &mut self,
+        seq: SeqNum,
+        state_digest: Digest,
+        out: &mut Outbox<PbftMsg>,
+        events: &mut Vec<PbftEvent>,
+    ) {
+        if seq.0 <= self.last_stable {
+            return;
+        }
+        let msg = PbftMsg::Checkpoint { seq, state_digest };
         out.multicast(self.others(), &msg);
         self.checkpoint_votes
-            .entry(seq)
+            .entry(seq.0)
             .or_default()
-            .insert(self.me.index, digest);
-        self.try_stabilize(seq, events);
+            .insert(self.me.index, state_digest);
+        self.try_stabilize(seq.0, events);
     }
 
     fn on_checkpoint(
@@ -474,14 +542,20 @@ impl PbftCore {
         for d in votes.values() {
             *counts.entry(*d).or_default() += 1;
         }
-        if counts.values().copied().max().unwrap_or(0) >= nf {
+        let Some((winner, n_votes)) = counts.into_iter().max_by_key(|(_, n)| *n) else {
+            return;
+        };
+        if n_votes >= nf {
             self.last_stable = self.last_stable.max(seq);
             // In-dark replicas fast-forward past work they missed.
             self.max_seq_seen = self.max_seq_seen.max(seq);
             self.next_seq = self.next_seq.max(seq + 1);
             self.instances.retain(|k, _| *k > seq);
             self.checkpoint_votes.retain(|k, _| *k > seq);
-            events.push(PbftEvent::StableCheckpoint { seq: SeqNum(seq) });
+            events.push(PbftEvent::StableCheckpoint {
+                seq: SeqNum(seq),
+                state_digest: winner,
+            });
         }
     }
 
@@ -500,12 +574,33 @@ impl PbftCore {
             .collect()
     }
 
+    /// Abandons an unsupported view change: no peer ever demanded one,
+    /// so the quorum can never form and the pre-change view is still
+    /// the shard's live view. Safe to resume: this replica only sent
+    /// ViewChange messages (which stay valid votes should the view
+    /// change later find support) and dropped in-flight vote traffic,
+    /// which retransmission and checkpoint recovery cover.
+    fn abandon_view_change(&mut self, out: &mut Outbox<PbftMsg>, events: &mut Vec<PbftEvent>) {
+        self.in_view_change = false;
+        self.view = self.pre_vc_view;
+        self.vc_backoff = 1;
+        self.vc_escalations = 0;
+        out.cancel_timer(TimerKind::Local, VIEW_CHANGE_TOKEN);
+        events.push(PbftEvent::EnteredView { view: self.view });
+    }
+
     fn start_view_change(
         &mut self,
         target: ViewNum,
         out: &mut Outbox<PbftMsg>,
         _events: &mut Vec<PbftEvent>,
     ) {
+        if !self.in_view_change {
+            // Remember where we came from and start tracking support.
+            self.pre_vc_view = self.view;
+            self.vc_support_seen = false;
+            self.vc_escalations = 0;
+        }
         self.in_view_change = true;
         self.view = target;
         self.backoff = (self.backoff * 2).min(4);
@@ -540,6 +635,9 @@ impl PbftCore {
         out: &mut Outbox<PbftMsg>,
         events: &mut Vec<PbftEvent>,
     ) {
+        // Any peer demanding any view change seconds ours (support in
+        // the loosest sense: we are at least not alone).
+        self.vc_support_seen = true;
         if new_view <= self.view && !(new_view == self.view && self.in_view_change) {
             return;
         }

@@ -34,6 +34,7 @@ impl TestCluster {
         let cfg = PbftConfig {
             n,
             checkpoint_interval: 10,
+            external_checkpoints: false,
             local_timeout: Duration::from_millis(500),
         };
         Self::with_config(shard, cfg)

@@ -36,6 +36,7 @@ impl PbftBaseline {
                 PbftConfig {
                     n,
                     checkpoint_interval: 128,
+                    external_checkpoints: false,
                     local_timeout,
                 },
             ),

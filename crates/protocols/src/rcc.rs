@@ -35,6 +35,7 @@ impl RccReplica {
                     PbftConfig {
                         n,
                         checkpoint_interval: 128,
+                        external_checkpoints: false,
                         local_timeout,
                     },
                     ViewNum(j),

@@ -1,0 +1,41 @@
+//! Checkpointing and state transfer for RingBFT shards (§3 liveness, §5
+//! attack A3: "in-dark" replicas).
+//!
+//! The PBFT engine's periodic `Checkpoint` votes agree on a *state
+//! digest* per checkpoint sequence number; this crate supplies what that
+//! digest actually commits to and how a lagging replica obtains the
+//! state behind it:
+//!
+//! * [`Snapshot`] — the application state of one shard replica at a
+//!   stable checkpoint: the key-value partition, the lock-admission
+//!   high-water mark (`k_max`, implicitly the checkpoint sequence), and
+//!   the replica's ledger position. Its SHA-256 [`Snapshot::digest`] is
+//!   the `state_digest` carried in `PbftMsg::Checkpoint` — replicas only
+//!   reach a stable checkpoint when `nf` of them hold *identical* state.
+//! * [`RecoveryManager`] — a sans-io state machine (it fits the
+//!   [`ProtocolNode`](ringbft_types::sansio::ProtocolNode) driver
+//!   contract) that serves snapshots to lagging same-shard peers and,
+//!   when its own replica falls behind a quorum-stable checkpoint,
+//!   fetches the snapshot chunk by chunk, validates the reassembled
+//!   state against the agreed digest, and hands it back for install.
+//!
+//! Communication reuses the paper's linear-primitive discipline: a
+//! recovering replica asks **one** peer at a time (rotating on a probe
+//! timer) instead of broadcasting, so recovery traffic stays O(state),
+//! not O(n·state).
+//!
+//! The digest deliberately excludes the ledger linkage: §7 allows the
+//! relative order of non-conflicting cross-shard blocks to differ
+//! between replicas of one shard, so chain heads are replica-local. The
+//! ledger base carried by [`RecoveryMsg::StateDone`] is therefore taken
+//! from the donor on trust — a Byzantine donor can feed a bogus chain
+//! *base*, but never bogus *state*: the key-value records are checked
+//! against the digest `nf` replicas voted for.
+
+pub mod manager;
+pub mod snapshot;
+
+pub use manager::{
+    RecoveryEvent, RecoveryManager, RecoveryMsg, RecoveryStats, RECOVERY_PROBE_TOKEN,
+};
+pub use snapshot::{RecordEntry, Snapshot};

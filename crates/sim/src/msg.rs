@@ -12,9 +12,16 @@ use ringbft_baselines::ShardedMsg;
 use ringbft_core::RingMsg;
 use ringbft_pbft::PbftMsg;
 use ringbft_protocols::SsMsg;
+use ringbft_recovery::RecoveryMsg;
 use ringbft_simnet::SimMessage;
 use ringbft_types::{wire, Duration};
 use serde::{Deserialize, Serialize};
+
+/// CPU time charged per delivered message for verifying the frame's
+/// HMAC authenticator (§3 authenticated channels; the TCP runtime
+/// rejects frames whose MAC fails, and the simulator charges the same
+/// hash cost so both drivers model identical per-message overhead).
+const FRAME_MAC_VERIFY: Duration = Duration::from_micros(2);
 
 /// All messages flowing through a simulation (and, framed by
 /// `ringbft-net`'s codec, over real sockets).
@@ -78,6 +85,13 @@ impl SimMessage for AnyMsg {
                 RingMsg::RemoteView { .. } | RingMsg::RemoteViewShare { .. } => {
                     wire::remote_view_bytes()
                 }
+                RingMsg::Recovery(m) => match m {
+                    RecoveryMsg::StateRequest { .. } => wire::state_request_bytes(),
+                    RecoveryMsg::StateChunk { records, .. } => {
+                        wire::state_chunk_bytes(records.len())
+                    }
+                    RecoveryMsg::StateDone { .. } => wire::state_done_bytes(),
+                },
                 RingMsg::Reply { .. } => wire::client_response_bytes(),
             },
             AnyMsg::Sharded(m) => match m {
@@ -107,7 +121,7 @@ impl SimMessage for AnyMsg {
     }
 
     fn cpu_cost(&self) -> Duration {
-        match self {
+        let protocol_cost = match self {
             AnyMsg::Ring(m) => match m {
                 RingMsg::Request { .. } => Duration::from_micros(15), // client DS
                 RingMsg::Pbft(p) => pbft_cpu(p),
@@ -119,6 +133,15 @@ impl SimMessage for AnyMsg {
                 RingMsg::RemoteView { .. } | RingMsg::RemoteViewShare { .. } => {
                     Duration::from_micros(15)
                 }
+                // Installing/serving state scales with the records moved
+                // (hashing for the digest check dominates).
+                RingMsg::Recovery(m) => match m {
+                    RecoveryMsg::StateRequest { .. } => Duration::from_micros(3),
+                    RecoveryMsg::StateChunk { records, .. } => {
+                        Duration::from_micros(5 + records.len() as u64 / 8)
+                    }
+                    RecoveryMsg::StateDone { .. } => Duration::from_micros(5),
+                },
                 RingMsg::Reply { .. } => Duration::from_micros(2),
             },
             AnyMsg::Sharded(m) => match m {
@@ -150,7 +173,8 @@ impl SimMessage for AnyMsg {
                 SsMsg::Cert { .. } => Duration::from_micros(5),
                 SsMsg::Reply { .. } => Duration::from_micros(2),
             },
-        }
+        };
+        protocol_cost + FRAME_MAC_VERIFY
     }
 }
 

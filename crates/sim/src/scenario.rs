@@ -7,7 +7,21 @@ use crate::client::{reply_quorum, SimClient};
 use crate::msg::AnyMsg;
 use crate::nodes::AnyNode;
 use ringbft_simnet::{FaultPlan, Topology, World};
-use ringbft_types::{ClientId, Duration, Instant, NodeId, Region, SystemConfig};
+use ringbft_types::{ClientId, Duration, Instant, NodeId, Region, ReplicaId, SystemConfig};
+
+/// Metrics of a crash + blank-restart recovery pass (set when the
+/// scenario was built with [`Scenario::with_blank_restart`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// When the replica was restarted blank (seconds into the run).
+    pub restart_s: f64,
+    /// Seconds from the blank restart to the replica's first post-restart
+    /// execution (it installed a snapshot and re-entered the execution
+    /// path); `None` if it never caught up within the run.
+    pub catchup_s: Option<f64>,
+    /// Client throughput over the window after the restart, txn/s.
+    pub post_restart_tps: f64,
+}
 
 /// Metrics of one scenario run.
 #[derive(Debug, Clone)]
@@ -30,6 +44,8 @@ pub struct ScenarioReport {
     pub messages_sent: u64,
     /// Bytes sent on the simulated network.
     pub bytes_sent: u64,
+    /// Crash/blank-restart recovery metrics, when configured.
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// A configurable experiment.
@@ -42,6 +58,7 @@ pub struct Scenario {
     local_topology: bool,
     clients_per_host: u64,
     bandwidth_divisor: u64,
+    blank_restart: Option<(f64, f64, ReplicaId)>,
 }
 
 impl Scenario {
@@ -56,6 +73,7 @@ impl Scenario {
             local_topology: false,
             clients_per_host: 200,
             bandwidth_divisor: 1,
+            blank_restart: None,
         }
     }
 
@@ -74,6 +92,21 @@ impl Scenario {
     /// Inject faults (crashes, drops).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Crashes `replica` at `crash_s` and restarts it *blank* at
+    /// `restart_s` (empty store, fresh consensus state): the replica must
+    /// catch up via checkpoint state transfer. The report's `recovery`
+    /// field measures the time to its first post-restart execution and
+    /// the post-restart throughput.
+    pub fn with_blank_restart(mut self, crash_s: f64, restart_s: f64, replica: ReplicaId) -> Self {
+        assert!(crash_s < restart_s, "restart must follow the crash");
+        self.faults = self.faults.crash(
+            NodeId::Replica(replica),
+            Instant::ZERO + Duration::from_secs_f64(crash_s),
+        );
+        self.blank_restart = Some((crash_s, restart_s, replica));
         self
     }
 
@@ -121,6 +154,19 @@ impl Scenario {
         // --- replicas (one factory shared with the ringbft-net runtime) ---
         for (r, region, node) in crate::nodes::deployment(&cfg) {
             world.add_node(NodeId::Replica(r), region, node);
+        }
+
+        // --- blank restart (recovery scenarios) ---
+        if let Some((_, restart_s, replica)) = self.blank_restart {
+            let (_, _, fresh) = crate::nodes::deployment(&cfg)
+                .into_iter()
+                .find(|(r, _, _)| *r == replica)
+                .expect("restarted replica is part of the deployment");
+            world.schedule_restart(
+                Instant::ZERO + Duration::from_secs_f64(restart_s),
+                NodeId::Replica(replica),
+                fresh,
+            );
         }
 
         // --- clients, spread equally over the regions in use (§8) ---
@@ -204,6 +250,28 @@ impl Scenario {
             .map(|(i, n)| (i as f64, *n as f64))
             .collect();
 
+        // Recovery metrics: first execution by the restarted replica
+        // after its blank restart, and throughput since the restart.
+        let recovery = self.blank_restart.map(|(_, restart_s, replica)| {
+            let restart_at = Instant::ZERO + Duration::from_secs_f64(restart_s);
+            let catchup_s = world
+                .exec_log
+                .iter()
+                .filter(|e| e.node == NodeId::Replica(replica) && e.at >= restart_at)
+                .map(|e| e.at.since(restart_at).as_secs_f64())
+                .next();
+            let window_s = (end.since(restart_at)).as_secs_f64().max(1e-9);
+            let post = completions
+                .iter()
+                .filter(|c| c.done >= restart_at && c.done <= end)
+                .count();
+            RecoveryReport {
+                restart_s,
+                catchup_s,
+                post_restart_tps: post as f64 / window_s,
+            }
+        });
+
         ScenarioReport {
             completed_txns: completed,
             throughput_tps: throughput,
@@ -214,6 +282,7 @@ impl Scenario {
             view_changes: world.view_log.len(),
             messages_sent: world.stats.messages_sent,
             bytes_sent: world.stats.bytes_sent,
+            recovery,
         }
     }
 }

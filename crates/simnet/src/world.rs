@@ -97,6 +97,9 @@ enum Event<M> {
     Crash {
         node: NodeId,
     },
+    Restart {
+        node: NodeId,
+    },
 }
 
 struct Slot<N> {
@@ -116,6 +119,9 @@ pub struct World<M: SimMessage, N: SimNode<M>> {
     /// Alias routing: messages addressed to an alias are delivered to its
     /// target node (used to host many logical clients on one node).
     aliases: HashMap<NodeId, NodeId>,
+    /// Replacement nodes for scheduled restarts, popped front-first when
+    /// the matching `Restart` event fires.
+    pending_restarts: HashMap<NodeId, std::collections::VecDeque<N>>,
     timers: HashMap<(NodeId, TimerKind, u64), u64>,
     timer_gen: u64,
     now: Instant,
@@ -139,6 +145,7 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
             queue: EventQueue::new(),
             slots: BTreeMap::new(),
             aliases: HashMap::new(),
+            pending_restarts: HashMap::new(),
             timers: HashMap::new(),
             timer_gen: 0,
             now: Instant::ZERO,
@@ -189,6 +196,21 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
     #[inline]
     fn resolve(&self, id: NodeId) -> NodeId {
         self.aliases.get(&id).copied().unwrap_or(id)
+    }
+
+    /// Schedules a restart of `node` at `at` with the given replacement
+    /// state — a *blank* restart when `replacement` is a fresh node: the
+    /// crashed incarnation's state, timers and in-flight deliveries are
+    /// discarded, and the replacement's `on_start` runs at `at`. Used to
+    /// drive the paper's A3 recovery path (a replica rejoining a live
+    /// cluster with empty state).
+    pub fn schedule_restart(&mut self, at: Instant, node: NodeId, replacement: N) {
+        assert!(self.slots.contains_key(&node), "restart of unknown {node}");
+        self.pending_restarts
+            .entry(node)
+            .or_default()
+            .push_back(replacement);
+        self.queue.push(at, Event::Restart { node });
     }
 
     /// Current simulated time.
@@ -285,6 +307,27 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
                 if let Some(slot) = self.slots.get_mut(&node) {
                     slot.crashed = true;
                 }
+            }
+            Event::Restart { node } => {
+                let Some(replacement) = self
+                    .pending_restarts
+                    .get_mut(&node)
+                    .and_then(|q| q.pop_front())
+                else {
+                    return;
+                };
+                let Some(slot) = self.slots.get_mut(&node) else {
+                    return;
+                };
+                // The old incarnation's timers must never fire into the
+                // new one.
+                self.timers.retain(|(n, _, _), _| *n != node);
+                slot.node = replacement;
+                slot.crashed = false;
+                slot.busy_until = at;
+                slot.egress_free = at;
+                let actions = slot.node.on_start(at);
+                self.apply_actions(node, at, actions);
             }
         }
     }
@@ -506,6 +549,32 @@ mod tests {
         // the crash and is never processed.
         assert!(w.node(rep(1, 0)).unwrap().received.is_empty());
         assert!(w.node(rep(0, 0)).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn blank_restart_discards_state_and_reruns_on_start() {
+        let faults = FaultPlan::none().crash(rep(1, 0), Instant::ZERO + Duration::from_millis(1));
+        let mut w = two_node_world(faults, 1);
+        // Restart the crashed node blank, now initiating its own ping.
+        w.schedule_restart(
+            Instant::ZERO + Duration::from_millis(200),
+            rep(1, 0),
+            Echo {
+                received: vec![],
+                peer: Some(rep(0, 0)),
+            },
+        );
+        w.start();
+        w.run_until(Instant::ZERO + Duration::from_secs(5));
+        // The new incarnation's on_start pinged node 0, which echoed.
+        let a = w.node(rep(0, 0)).unwrap();
+        let b = w.node(rep(1, 0)).unwrap();
+        assert!(!a.received.is_empty(), "restarted node never pinged");
+        assert!(!b.received.is_empty(), "echo never returned");
+        // The replacement is blank: everything it received postdates the
+        // restart.
+        let restart_at = Instant::ZERO + Duration::from_millis(200);
+        assert!(b.received.iter().all(|(t, _)| *t >= restart_at));
     }
 
     struct TimerNode {

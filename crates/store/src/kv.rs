@@ -73,6 +73,19 @@ impl KvStore {
         self.records.get(&key).copied()
     }
 
+    /// Iterates all `(key, record)` pairs in unspecified order (snapshot
+    /// capture sorts; see `ringbft-recovery`).
+    pub fn iter(&self) -> impl Iterator<Item = (Key, Record)> + '_ {
+        self.records.iter().map(|(k, r)| (*k, *r))
+    }
+
+    /// Installs a record verbatim, version included — used when
+    /// restoring a checkpoint snapshot, where the donor's version
+    /// counters must be preserved exactly.
+    pub fn insert_record(&mut self, key: Key, record: Record) {
+        self.records.insert(key, record);
+    }
+
     /// Writes a record, bumping its version. Inserts if missing.
     pub fn put(&mut self, key: Key, value: Value) {
         let rec = self.records.entry(key).or_insert(Record {

@@ -65,6 +65,17 @@ impl LockManager {
         Self::default()
     }
 
+    /// A manager whose admission order starts *after* `k_max` — used when
+    /// a replica installs a checkpoint snapshot: every sequence number up
+    /// to the checkpoint is already reflected in the installed state, so
+    /// admission resumes at `k_max + 1` with no locks held.
+    pub fn starting_at(k_max: u64) -> Self {
+        LockManager {
+            k_max,
+            ..Self::default()
+        }
+    }
+
     /// Sequence number of the last admitted transaction.
     pub fn k_max(&self) -> u64 {
         self.k_max
@@ -99,6 +110,11 @@ impl LockManager {
     /// Number of transactions currently holding locks.
     pub fn held_len(&self) -> usize {
         self.held.len()
+    }
+
+    /// Highest sequence number currently holding locks, if any.
+    pub fn max_held_seq(&self) -> Option<u64> {
+        self.held.keys().max().copied()
     }
 
     /// A transaction at `seq` finished its local commit phase (received

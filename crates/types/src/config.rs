@@ -151,6 +151,18 @@ pub struct SystemConfig {
     pub remote_reads: usize,
     /// Timer durations.
     pub timers: TimerConfig,
+    /// Stable-checkpoint interval in consensus sequence numbers (§5,
+    /// A3): every `checkpoint_interval`-th sequence triggers a
+    /// checkpoint vote once executed, enabling log/ledger truncation and
+    /// state transfer to in-dark replicas.
+    pub checkpoint_interval: u64,
+    /// Records per `StateChunk` during checkpoint state transfer
+    /// (`ringbft-recovery`).
+    pub state_chunk_records: usize,
+    /// Seed of the deployment's key-distribution oracle
+    /// (`ringbft_crypto::KeyStore`): every process of one cluster must
+    /// share it so frame authenticators (HMACs, §3) verify.
+    pub auth_seed: u64,
     /// Ablation switch: send cross-shard Forward/Execute messages to
     /// *every* replica of the next shard instead of only the same-index
     /// counterpart. Quantifies the linear communication primitive's
@@ -190,6 +202,9 @@ impl SystemConfig {
             involved_shards: z,
             remote_reads: 0,
             timers: TimerConfig::default(),
+            checkpoint_interval: 128,
+            state_chunk_records: 4096,
+            auth_seed: 0,
             ablation_quadratic_forward: false,
             ring_offset: 0,
         }
@@ -262,6 +277,12 @@ impl SystemConfig {
         }
         if !self.timers.is_well_ordered() {
             return Err("timers must satisfy local < remote < transmit".into());
+        }
+        if self.checkpoint_interval == 0 {
+            return Err("checkpoint_interval must be positive".into());
+        }
+        if self.state_chunk_records == 0 {
+            return Err("state_chunk_records must be positive".into());
         }
         if self.num_keys < self.z() as u64 {
             return Err("need at least one key per shard".into());

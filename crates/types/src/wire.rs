@@ -112,6 +112,29 @@ pub fn remote_view_bytes() -> u64 {
     HEADER_BYTES + DIGEST_BYTES + SIG_BYTES
 }
 
+/// Bytes per key-value record in a state-transfer chunk: key, value,
+/// and write-version, 8 bytes each.
+pub const PER_RECORD_BYTES: u64 = 24;
+
+/// Size of a StateRequest (checkpoint state transfer, A3): header plus
+/// the requester's watermark.
+#[inline]
+pub fn state_request_bytes() -> u64 {
+    HEADER_BYTES + MAC_BYTES + 8
+}
+
+/// Size of a StateChunk carrying `records` key-value records.
+#[inline]
+pub fn state_chunk_bytes(records: usize) -> u64 {
+    HEADER_BYTES + DIGEST_BYTES + MAC_BYTES + 16 + PER_RECORD_BYTES * records as u64
+}
+
+/// Size of a StateDone trailer (digest, chunk count, ledger base).
+#[inline]
+pub fn state_done_bytes() -> u64 {
+    HEADER_BYTES + 2 * DIGEST_BYTES + MAC_BYTES + 16
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +170,16 @@ mod tests {
         assert_eq!(
             forward_bytes(100, 20) - forward_bytes(100, 19),
             ATTEST_BYTES
+        );
+    }
+
+    #[test]
+    fn state_transfer_sizes_scale_with_records() {
+        assert!(state_request_bytes() > 0);
+        assert!(state_done_bytes() > 0);
+        assert_eq!(
+            state_chunk_bytes(100) - state_chunk_bytes(0),
+            100 * PER_RECORD_BYTES
         );
     }
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke test: launches a real 2-shard x 4-replica
+# RingBFT cluster as three separate `ringbft-node` processes (one per
+# shard plus a workload host) on localhost TCP, and requires the
+# workload to complete a minimum number of transactions end-to-end.
+#
+# Used by CI; runnable locally:
+#   cargo build --release && scripts/smoke_cluster.sh
+#
+# Environment:
+#   RINGBFT_NODE   path to the ringbft-node binary
+#                  (default target/release/ringbft-node)
+#   SMOKE_SECS     workload duration in seconds (default 25)
+#   SMOKE_MIN_TXNS minimum completed transactions (default 50)
+
+set -euo pipefail
+
+SECS="${SMOKE_SECS:-25}"
+MIN_TXNS="${SMOKE_MIN_TXNS:-50}"
+WORKDIR="$(mktemp -d)"
+CONFIG="$WORKDIR/cluster.json"
+
+if [[ -z "${RINGBFT_NODE:-}" ]]; then
+    # The root package's `cargo build --release` does not build
+    # dependency binaries; build (or refresh) the node binary here.
+    echo "smoke: building ringbft-node"
+    cargo build --release -p ringbft-net --bin ringbft-node
+    RINGBFT_NODE=target/release/ringbft-node
+fi
+BIN="$RINGBFT_NODE"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "smoke: $BIN not found" >&2
+    exit 2
+fi
+
+cleanup() {
+    # Kill replica processes (the workload process exits by itself).
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "smoke: generating 2x4 cluster config"
+"$BIN" --example-config 2 4 >"$CONFIG"
+
+PIDS=()
+echo "smoke: starting shard 0 process"
+"$BIN" --config "$CONFIG" --host S0r0 --host S0r1 --host S0r2 --host S0r3 \
+    --stats-secs 0 &
+PIDS+=($!)
+echo "smoke: starting shard 1 process"
+"$BIN" --config "$CONFIG" --host S1r0 --host S1r1 --host S1r2 --host S1r3 \
+    --stats-secs 0 &
+PIDS+=($!)
+
+# Give the replica listeners a moment to bind.
+sleep 2
+for pid in "${PIDS[@]}"; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: replica process $pid died during startup" >&2
+        exit 1
+    fi
+done
+
+echo "smoke: driving 100 logical clients for ${SECS}s (require ≥ ${MIN_TXNS} txns)"
+"$BIN" --config "$CONFIG" --workload 1000000:100:42 \
+    --stats-secs 5 --duration-secs "$SECS" --min-completions "$MIN_TXNS"
+RC=$?
+
+echo "smoke: workload exited with status $RC"
+exit "$RC"

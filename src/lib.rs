@@ -19,6 +19,9 @@
 //! * [`protocols`] — single-shard baselines for Figure 1 (Zyzzyva, SBFT,
 //!   PoE, HotStuff, RCC).
 //! * [`core`] — the RingBFT meta-protocol: process, forward, re-transmit.
+//! * [`recovery`] — checkpoint snapshots with agreed state digests, and
+//!   the state-transfer machine that brings blank or in-dark replicas
+//!   back into consensus.
 //! * [`baselines`] — sharded baselines AHL and SharPer.
 //! * [`workload`] — YCSB-style workload generation.
 //! * [`sim`] — the scenario harness that wires protocol nodes into the
@@ -51,6 +54,7 @@ pub use ringbft_ledger as ledger;
 pub use ringbft_net as net;
 pub use ringbft_pbft as pbft;
 pub use ringbft_protocols as protocols;
+pub use ringbft_recovery as recovery;
 pub use ringbft_sim as sim;
 pub use ringbft_simnet as simnet;
 pub use ringbft_store as store;
