@@ -1,0 +1,163 @@
+//! Compares two `BENCH_ringbft.json` snapshots and fails (exit 1) on a
+//! regression — used by `scripts/check_bench.sh` in CI.
+//!
+//! ```text
+//! bench_check BASELINE.json CANDIDATE.json [--tolerance 0.2]
+//! ```
+//!
+//! A regression is:
+//!
+//! * any protocol losing more than `tolerance` (default 20 %) of its
+//!   baseline `throughput_tps`,
+//! * any scenario flag (`safety_ok` / `liveness_ok` — any boolean key
+//!   ending in `_ok`, wherever it appears) that was true in the
+//!   baseline turning false,
+//! * a protocol or flag present in the baseline but missing from the
+//!   candidate.
+//!
+//! Schema-version mismatches are an error in their own right: the files
+//! describe different workloads and must not be compared — regenerate
+//! and commit the baseline together with the schema bump.
+
+fn load(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check: parse {path}: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Collects every boolean `*_ok` flag under `value` as
+/// `(dotted.path, bool)`.
+fn collect_flags(prefix: &str, value: &serde_json::Value, out: &mut Vec<(String, bool)>) {
+    if let Some(obj) = value.as_object() {
+        for (key, child) in obj {
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            if key.ends_with("_ok") {
+                if let Some(b) = child.as_bool() {
+                    out.push((path, b));
+                    continue;
+                }
+            }
+            collect_flags(&path, child, out);
+        }
+    }
+}
+
+/// Looks a dotted path up in `value`.
+fn lookup<'a>(value: &'a serde_json::Value, path: &str) -> Option<&'a serde_json::Value> {
+    let mut cur = value;
+    for part in path.split('.') {
+        cur = cur.get(part)?;
+    }
+    Some(cur)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.20f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a fraction (e.g. 0.2)");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("bench_check BASELINE.json CANDIDATE.json [--tolerance 0.2]");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!("bench_check BASELINE.json CANDIDATE.json [--tolerance 0.2]");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let candidate = load(candidate_path);
+
+    let mut failures: Vec<String> = Vec::new();
+
+    let schema = |v: &serde_json::Value| v.get("schema_version").and_then(|s| s.as_u64());
+    match (schema(&baseline), schema(&candidate)) {
+        (Some(a), Some(b)) if a == b => {}
+        (a, b) => {
+            eprintln!(
+                "bench_check: schema mismatch (baseline {a:?}, candidate {b:?}) — \
+                 regenerate and commit the baseline with the schema change"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Per-protocol throughput floor.
+    let empty = Vec::new();
+    let protocols = baseline
+        .get("protocols")
+        .and_then(|p| p.as_object())
+        .unwrap_or(&empty);
+    for (name, entry) in protocols {
+        let Some(base_tps) = entry.get("throughput_tps").and_then(|t| t.as_f64()) else {
+            continue;
+        };
+        let cand_tps = candidate
+            .get("protocols")
+            .and_then(|p| p.get(name))
+            .and_then(|e| e.get("throughput_tps"))
+            .and_then(|t| t.as_f64());
+        match cand_tps {
+            None => failures.push(format!("protocol {name}: missing from candidate")),
+            Some(tps) if tps < base_tps * (1.0 - tolerance) => failures.push(format!(
+                "protocol {name}: throughput {tps:.0} txn/s is {:.1}% below baseline {base_tps:.0}",
+                (1.0 - tps / base_tps) * 100.0
+            )),
+            Some(tps) => {
+                eprintln!("ok  {name}: {tps:.0} txn/s (baseline {base_tps:.0})");
+            }
+        }
+    }
+
+    // Safety/liveness flags must never go true → false.
+    let mut flags = Vec::new();
+    collect_flags("", &baseline, &mut flags);
+    for (path, base_ok) in flags {
+        if !base_ok {
+            continue; // already red in the baseline; nothing to lose
+        }
+        match lookup(&candidate, &path).and_then(|v| v.as_bool()) {
+            Some(true) => eprintln!("ok  {path}"),
+            Some(false) => failures.push(format!("{path}: flag lost (true → false)")),
+            None => failures.push(format!("{path}: flag missing from candidate")),
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "bench_check: no regressions (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        return;
+    }
+    eprintln!("bench_check: {} regression(s):", failures.len());
+    for f in &failures {
+        eprintln!("  FAIL {f}");
+    }
+    std::process::exit(1);
+}

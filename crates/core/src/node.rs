@@ -45,9 +45,11 @@ use ringbft_crypto::Digest;
 use ringbft_ledger::{BlockBody, Ledger};
 use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
 use ringbft_recovery::{
-    RecoveryEvent, RecoveryManager, RecoveryMsg, RecoveryStats, Snapshot, RECOVERY_PROBE_TOKEN,
+    HoleFetcher, HoleStats, RecoveryEvent, RecoveryManager, RecoveryMsg, RecoveryStats, Snapshot,
+    HOLE_PROBE_TOKEN, RECOVERY_PROBE_TOKEN,
 };
 use ringbft_store::{KvStore, LockManager};
+use ringbft_types::hole::{HoleReply, HoleRequest};
 use ringbft_types::txn::{Batch, Key, Transaction, Value};
 use ringbft_types::{
     Action, BatchId, Instant, NodeId, Outbox, ReplicaId, RingOrder, SeqNum, ShardId, SystemConfig,
@@ -194,6 +196,9 @@ pub struct RingReplica {
     stable_seq: u64,
     /// The state-transfer state machine.
     recovery: RecoveryManager,
+    /// The hole-fetch state machine: single-sequence commit-certificate
+    /// recovery when the watermark stalls behind the commit frontier.
+    hole: HoleFetcher,
     /// When the first watchdog expiry was swallowed while this replica
     /// had not yet committed a single batch (see `allow_solo_vc`).
     pre_commit_vc_defer: Option<Instant>,
@@ -231,6 +236,13 @@ impl RingReplica {
             // enough that a blank restart recovers within one timeout.
             cfg.timers.local / 2,
         );
+        // Slightly tighter than the state-transfer probe: the first
+        // hole request goes out after a third of a timeout (in-flight
+        // commits close transient gaps well before that), so a single
+        // missing certificate is repaired before any O(state) snapshot
+        // transfer starts and before the per-request watchdog would
+        // demand a (futile, solo) view change.
+        let hole = HoleFetcher::new(me, shard_n, cfg.timers.local / 3);
         let stable_kv = kv.clone();
         let ring = cfg.ring_order();
         RingReplica {
@@ -263,6 +275,7 @@ impl RingReplica {
             stable_kv,
             stable_seq: 0,
             recovery,
+            hole,
             pre_commit_vc_defer: None,
             stats: RingStats::default(),
             cfg,
@@ -332,6 +345,12 @@ impl RingReplica {
     /// State-transfer counters (installs, transfers served, …).
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery.stats
+    }
+
+    /// Hole-fetch counters (requests, certificates served, holes
+    /// filled, forged replies rejected).
+    pub fn hole_stats(&self) -> HoleStats {
+        self.hole.stats
     }
 
     /// Checkpoint/recovery diagnostics: `(executed ahead of the
@@ -509,10 +528,14 @@ impl RingReplica {
             }
             RingMsg::Recovery(m) => {
                 let NodeId::Replica(r) = from else { return };
-                if r.shard != self.me.shard {
+                if r.shard != self.me.shard || r == self.me {
                     return; // state transfer is intra-shard only
                 }
-                self.drive_recovery(|mgr, rout| mgr.on_message(r, m, rout), out);
+                match m {
+                    RecoveryMsg::HoleRequest(req) => self.on_hole_request(r, req, out),
+                    RecoveryMsg::HoleReply(reply) => self.on_hole_reply(reply, out),
+                    other => self.drive_recovery(|mgr, rout| mgr.on_message(r, other, rout), out),
+                }
             }
             RingMsg::Reply { .. } => {} // replicas ignore client replies
         }
@@ -597,6 +620,21 @@ impl RingReplica {
                     self.flush_pools(true, out);
                 } else if token == RECOVERY_PROBE_TOKEN {
                     self.drive_recovery(|mgr, rout| mgr.on_probe_timer(rout), out);
+                } else if token == HOLE_PROBE_TOKEN {
+                    // Re-validate against the live log before asking: the
+                    // missing commit may have arrived (or been superseded
+                    // by a stable checkpoint) since the last tick.
+                    let hole = self.first_hole();
+                    self.drive_hole(
+                        |f, hout| {
+                            match hole {
+                                Some(s) => f.set_missing(s, hout),
+                                None => f.all_present(),
+                            }
+                            f.on_probe_timer(hout);
+                        },
+                        out,
+                    );
                 }
             }
         }
@@ -802,6 +840,125 @@ impl RingReplica {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Hole fetch: single-sequence commit-certificate recovery
+    // ------------------------------------------------------------------
+
+    /// Runs a closure against the hole fetcher, lifting its actions into
+    /// the RingBFT message space.
+    fn drive_hole<F>(&mut self, f: F, out: &mut Outbox<RingMsg>)
+    where
+        F: FnOnce(&mut HoleFetcher, &mut Outbox<RecoveryMsg>),
+    {
+        let mut hout = Outbox::new();
+        f(&mut self.hole, &mut hout);
+        for action in hout.take() {
+            match action.map_msg(RingMsg::Recovery) {
+                Action::Send { to, msg } => out.send(to, msg),
+                Action::SetTimer { kind, token, after } => out.set_timer(kind, token, after),
+                Action::CancelTimer { kind, token } => out.cancel_timer(kind, token),
+                Action::Executed { .. } | Action::ViewChanged { .. } => {}
+            }
+        }
+    }
+
+    /// The earliest *hole*: a sequence above the execution watermark
+    /// (and above the last stable checkpoint — donors prune their logs
+    /// there, and state transfer owns everything a stable snapshot
+    /// covers), below the local commit frontier, that never committed
+    /// here. Such a sequence wedges sequence-ordered lock admission
+    /// (and with it the checkpoint watermark) until it is filled —
+    /// later commits prove the shard's quorum decided it, so the
+    /// certificate exists at `f + 1` correct peers and can simply be
+    /// fetched. Holes *above* the stable checkpoint are pursued even
+    /// while a state transfer toward that checkpoint runs: one
+    /// certificate is O(batch) where a snapshot is O(state), so the
+    /// cheap repair races ahead and the state transfer cancels itself
+    /// once the watermark catches up.
+    fn first_hole(&self) -> Option<u64> {
+        let frontier = self.pbft.max_committed_seq();
+        // Holes at or below our own stable checkpoint are not holes:
+        // the commit is subsumed by quorum-agreed state, the engine
+        // refuses to install it, and state transfer covers it. (The
+        // donor-side extra retention window exists for the converse
+        // lag: a donor whose checkpoint stabilized *before* ours can
+        // still serve sequences its GC would otherwise have pruned.)
+        // Above that floor the earliest hole is simply the end of the
+        // contiguous-commit prefix — O(1), so this can run on every
+        // commit without making the hot path scale with the gap. Wide
+        // gaps are fetched too (sequentially, burst-paced on install):
+        // when more than `f` replicas gape, no checkpoint can stabilize
+        // to trigger state transfer, and hole fetch is the only way the
+        // cadence deadlock unwinds.
+        let floor = self.exec_watermark.max(self.pbft.last_stable().0);
+        let candidate = self.pbft.committed_through().max(floor) + 1;
+        (candidate < frontier).then_some(candidate)
+    }
+
+    /// Re-points the hole fetcher at the current first hole (arming its
+    /// probe), or stands it down when every sequence up to the frontier
+    /// is committed locally. Called whenever the commit frontier or the
+    /// watermark moves.
+    fn update_hole_probe(&mut self, out: &mut Outbox<RingMsg>) {
+        match self.first_hole() {
+            Some(s) => self.drive_hole(|f, hout| f.set_missing(s, hout), out),
+            None => self.hole.all_present(),
+        }
+    }
+
+    /// A same-shard peer asked for the commit certificate of a sequence
+    /// it is missing. Serve it straight from the PBFT message log (the
+    /// log keeps every instance above the last stable checkpoint, so any
+    /// hole a peer can legitimately have is still servable). No
+    /// certificate — never committed here, or already GC'd — means we
+    /// stay silent and the requester's probe rotates to the next donor.
+    fn on_hole_request(&mut self, from: ReplicaId, req: HoleRequest, out: &mut Outbox<RingMsg>) {
+        if let Some(reply) = self.pbft.commit_certificate(req.seq) {
+            self.hole.stats.replies_served += 1;
+            out.send(
+                NodeId::Replica(from),
+                RingMsg::Recovery(RecoveryMsg::HoleReply(reply)),
+            );
+        }
+    }
+
+    /// A donor answered with a certificate + batch: verify the
+    /// `nf`-strong certificate and the batch digest, then install the
+    /// commit through the PBFT engine so the normal admission path
+    /// (locks in sequence order, execution, checkpoint watermark) runs
+    /// exactly as if the quorum traffic had arrived live. A forged or
+    /// corrupt reply is counted and dropped — never installed — and the
+    /// probe keeps rotating donors.
+    fn on_hole_reply(&mut self, reply: HoleReply, out: &mut Outbox<RingMsg>) {
+        if self.hole.missing() != Some(reply.cert.seq.0) {
+            return; // unsolicited or stale
+        }
+        let n = self.cfg.shard(self.me.shard).n;
+        if ringbft_pbft::verify_hole_reply(n, &reply).is_err() {
+            self.hole.stats.bad_replies += 1;
+            return;
+        }
+        let mut installed = false;
+        self.drive_pbft(
+            Instant::ZERO,
+            |pbft, pout, events| {
+                installed = pbft.install_certified_commit(reply, pout, events);
+            },
+            out,
+        );
+        if installed {
+            self.hole.stats.holes_filled += 1;
+        }
+        self.update_hole_probe(out);
+        // Burst pacing: a multi-sequence gap (partitioned replica whose
+        // shard cannot stabilize a checkpoint while > f peers gape)
+        // repairs at round-trip pace instead of one probe tick per
+        // sequence.
+        if installed && self.hole.missing().is_some() {
+            self.drive_hole(|f, hout| f.fetch_now(hout), out);
+        }
+    }
+
     /// Records that `seq` executed with the given write effects, advances
     /// the contiguous watermark, and releases any checkpoint waiting on
     /// it.
@@ -858,6 +1015,10 @@ impl RingReplica {
     /// to it when we hold the state, or start catch-up when we are the
     /// replica in the dark.
     fn on_stable_checkpoint(&mut self, seq: u64, digest: Digest, out: &mut Outbox<RingMsg>) {
+        // The stable floor moved: holes at or below it are settled by
+        // quorum state (the engine refuses their install; state
+        // transfer covers them) — re-point or stand down.
+        self.update_hole_probe(out);
         self.recovery.note_stable(seq, digest);
         if let Some((snap, ours)) = self.announced.remove(&seq) {
             self.announced.retain(|s, _| *s > seq);
@@ -891,7 +1052,10 @@ impl RingReplica {
         }
         // In the dark (blank restart, long partition): arm the probe.
         // The delay gives an in-flight replica time to catch up by
-        // itself before any state is moved.
+        // itself before any state is moved. A *small* hole above the
+        // new stable floor stays with the hole fetcher (cheaper repair);
+        // it races this state transfer and whichever finishes first
+        // cancels the other.
         let watermark = self.exec_watermark;
         self.drive_recovery(|mgr, rout| mgr.set_behind(seq, watermark, rout), out);
     }
@@ -1041,6 +1205,10 @@ impl RingReplica {
         for s in admitted.acquired {
             self.on_admitted(s, out);
         }
+        // The commit frontier moved: a gap below it (a sequence whose
+        // quorum traffic we missed) is now observable — or a previously
+        // detected hole just committed after all.
+        self.update_hole_probe(out);
     }
 
     /// A sequence number acquired its locks: act on the work it carries.

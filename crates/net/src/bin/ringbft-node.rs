@@ -39,6 +39,9 @@ struct Args {
     /// At a timed exit, fail (status 1) unless at least this many
     /// client transactions completed.
     min_completions: usize,
+    /// First listener port of `--example-config` (scripts retry with a
+    /// different base on port collisions).
+    port_base: u16,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -49,7 +52,8 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 ringbft-node --example-config SHARDS REPLICAS\n\
          options:\n  --stats-secs N       stats print interval (default 5, 0 = silent)\n\
          \x20 --duration-secs N    exit after N seconds (default: run until killed)\n\
-         \x20 --min-completions K  with --duration-secs: exit 1 unless ≥ K txns completed"
+         \x20 --min-completions K  with --duration-secs: exit 1 unless ≥ K txns completed\n\
+         \x20 --port-base P        first listener port of --example-config (default 4100)"
     );
     std::process::exit(code);
 }
@@ -63,6 +67,7 @@ fn parse_args() -> Args {
         example: None,
         duration_secs: 0,
         min_completions: 0,
+        port_base: 4100,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -127,6 +132,14 @@ fn parse_args() -> Args {
                     _ => usage_and_exit(2),
                 }
             }
+            "--port-base" => {
+                args.port_base = value(&argv, &mut i, "--port-base")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--port-base needs a port number");
+                        usage_and_exit(2);
+                    });
+            }
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -138,10 +151,10 @@ fn parse_args() -> Args {
     args
 }
 
-fn print_example(z: usize, n: usize) {
+fn print_example(z: usize, n: usize, port_base: u16) {
     let system = SystemConfig::uniform(ProtocolKind::RingBft, z, n);
     let mut peers = std::collections::HashMap::new();
-    let mut port = 4100u16;
+    let mut port = port_base;
     for shard in &system.shards {
         for r in shard.replicas() {
             peers.insert(r, format!("127.0.0.1:{port}").parse().expect("addr"));
@@ -154,7 +167,7 @@ fn print_example(z: usize, n: usize) {
 fn main() {
     let args = parse_args();
     if let Some((z, n)) = args.example {
-        print_example(z, n);
+        print_example(z, n, args.port_base);
         return;
     }
     let Some(config_path) = &args.config else {

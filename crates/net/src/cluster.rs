@@ -195,6 +195,23 @@ impl LocalCluster {
             .sum()
     }
 
+    /// Installs a content-aware inbound drop rule on replica `r`'s
+    /// runtime (fault injection over real sockets): frames for which
+    /// `filter(from, &msg)` returns true never reach the node. See
+    /// [`NodeRuntime::set_inbound_filter`].
+    pub fn set_inbound_filter(
+        &self,
+        r: ReplicaId,
+        filter: impl Fn(NodeId, &AnyMsg) -> bool + Send + 'static,
+    ) {
+        let rt = self
+            .replicas
+            .iter()
+            .find(|rt| rt.id() == NodeId::Replica(r))
+            .expect("unknown replica");
+        rt.set_inbound_filter(filter);
+    }
+
     /// Runs `f` on the runtime hosting replica `r`.
     pub fn with_replica<R>(&self, r: ReplicaId, f: impl FnOnce(&mut AnyNode) -> R) -> R {
         let rt = self

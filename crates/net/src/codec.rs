@@ -40,8 +40,10 @@ use std::io::{Read, Write};
 /// Frame magic: `"RBFT"` little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"RBFT");
 
-/// Current frame version (2 = MAC-authenticated frames).
-pub const VERSION: u16 = 2;
+/// Current frame version (2 = MAC-authenticated frames; 3 = hole-fetch
+/// messages added to the recovery vocabulary — enum layouts changed, so
+/// v2 peers must not decode v3 bodies).
+pub const VERSION: u16 = 3;
 
 /// Bytes of the fixed frame header (excluding the authenticator).
 pub const HEADER_BYTES: usize = 12;

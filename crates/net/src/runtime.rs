@@ -184,6 +184,9 @@ pub struct NetCounters {
     pub timers_fired: AtomicU64,
     /// Frames delivered to the hosted node.
     pub messages_delivered: AtomicU64,
+    /// Inbound frames suppressed by a fault-injection filter
+    /// ([`NodeRuntime::set_inbound_filter`]).
+    pub messages_filtered: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetCounters`].
@@ -203,6 +206,8 @@ pub struct NetStatsSnapshot {
     pub timers_fired: u64,
     /// Frames delivered to the node.
     pub messages_delivered: u64,
+    /// Inbound frames suppressed by a fault-injection filter.
+    pub messages_filtered: u64,
 }
 
 /// An `Executed` record observed by the runtime.
@@ -259,6 +264,17 @@ struct Shared<M> {
     writers: Mutex<HashMap<NodeId, SyncSender<Vec<u8>>>>,
     exec_log: Mutex<Vec<ExecEvent>>,
     view_log: Mutex<Vec<(Instant, u64)>>,
+    /// Content-aware inbound fault injection: a frame for which the
+    /// filter returns true is counted and discarded before delivery —
+    /// the TCP twin of the simulator's `World::set_drop_filter`, used by
+    /// fault-scenario tests to suppress targeted traffic (e.g. every
+    /// Commit for one sequence) on a real-socket cluster.
+    /// `inbound_filter_armed` is the hot-path guard: production runs
+    /// never install a filter, and readers must not pay a shared mutex
+    /// per frame for a test-only feature.
+    #[allow(clippy::type_complexity)]
+    inbound_filter: Mutex<Option<Box<dyn Fn(NodeId, &M) -> bool + Send>>>,
+    inbound_filter_armed: AtomicBool,
 }
 
 /// Capacity of each per-peer outbound queue (frames). Beyond it the
@@ -318,6 +334,8 @@ where
             writers: Mutex::new(HashMap::new()),
             exec_log: Mutex::new(Vec::new()),
             view_log: Mutex::new(Vec::new()),
+            inbound_filter: Mutex::new(None),
+            inbound_filter_armed: AtomicBool::new(false),
         });
         let node = Arc::new(Mutex::new(node));
 
@@ -358,6 +376,27 @@ where
         f(&mut self.node.lock().expect("node lock"))
     }
 
+    /// Installs (or replaces) a content-aware inbound drop rule: every
+    /// received frame for which `filter(from, &msg)` returns true is
+    /// counted in `messages_filtered` and never delivered to the node.
+    /// Pass-through for Hello frames (routing must keep working).
+    /// Intended for fault-scenario tests; `clear_inbound_filter`
+    /// restores normal delivery.
+    pub fn set_inbound_filter(&self, filter: impl Fn(NodeId, &M) -> bool + Send + 'static) {
+        *self.shared.inbound_filter.lock().expect("filter lock") = Some(Box::new(filter));
+        self.shared
+            .inbound_filter_armed
+            .store(true, Ordering::Release);
+    }
+
+    /// Removes an installed inbound drop rule.
+    pub fn clear_inbound_filter(&self) {
+        self.shared
+            .inbound_filter_armed
+            .store(false, Ordering::Release);
+        *self.shared.inbound_filter.lock().expect("filter lock") = None;
+    }
+
     /// Snapshot of the transport counters.
     pub fn stats(&self) -> NetStatsSnapshot {
         let c = &self.shared.counters;
@@ -369,6 +408,7 @@ where
             messages_undeliverable: c.messages_undeliverable.load(Ordering::Relaxed),
             timers_fired: c.timers_fired.load(Ordering::Relaxed),
             messages_delivered: c.messages_delivered.load(Ordering::Relaxed),
+            messages_filtered: c.messages_filtered.load(Ordering::Relaxed),
         }
     }
 
@@ -782,6 +822,22 @@ fn reader_loop<M: NetMsg>(shared: Arc<Shared<M>>, stream: TcpStream) {
                 // Deliver only traffic addressed to (an alias of) us;
                 // anything else indicates a stale peer table.
                 if shared.peers.resolve(env.to) == shared.id {
+                    // Fast path: the atomic keeps the no-filter case
+                    // (every production run) free of the shared lock.
+                    let filtered = shared.inbound_filter_armed.load(Ordering::Acquire)
+                        && shared
+                            .inbound_filter
+                            .lock()
+                            .expect("filter lock")
+                            .as_ref()
+                            .is_some_and(|f| f(env.from, &env.msg));
+                    if filtered {
+                        shared
+                            .counters
+                            .messages_filtered
+                            .fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                     let _ = shared.events.send(Event::Deliver {
                         from: env.from,
                         msg: env.msg,

@@ -11,6 +11,7 @@
 use ringbft_core::RingMsg;
 use ringbft_net::runtime::NodeRuntime;
 use ringbft_net::LocalCluster;
+use ringbft_pbft::PbftMsg;
 use ringbft_sim::AnyMsg;
 use ringbft_types::sansio::ProtocolNode;
 use ringbft_types::txn::{Digest, RemoteRead, Transaction};
@@ -411,6 +412,96 @@ fn replica_blank_restart_catches_up_via_state_transfer_over_tcp() {
         }
         _ => panic!("ring replica expected"),
     });
+
+    cluster.shutdown();
+}
+
+/// Acceptance test (ISSUE 3): one replica of a real-socket cluster is
+/// made to miss the entire quorum traffic for a single sequence (every
+/// Preprepare/Prepare/Commit for that sequence is suppressed at its
+/// inbound boundary). The shard commits past it, the replica's
+/// sequence-ordered admission wedges on the hole — and the hole-fetch
+/// subsystem repairs it over TCP with a commit certificate from a
+/// same-shard peer, with no checkpoint state transfer involved.
+#[test]
+fn commit_hole_repaired_via_certificate_fetch_over_tcp() {
+    let mut cfg = quick_cfg(2, 4);
+    // A checkpoint window far wider than the traffic in this test: the
+    // only repair path available is certificate fetch.
+    cfg.checkpoint_interval = 512;
+    let victim = ReplicaId::new(ShardId(0), 2); // a backup, not a primary
+    let hole_seq = 3u64;
+    let cluster = LocalCluster::launch(cfg.clone()).expect("launch cluster");
+    cluster.set_inbound_filter(victim, move |_from, msg| {
+        let AnyMsg::Ring(RingMsg::Pbft(p)) = msg else {
+            return false;
+        };
+        matches!(
+            p,
+            PbftMsg::Preprepare { seq, .. }
+            | PbftMsg::Prepare { seq, .. }
+            | PbftMsg::Commit { seq, .. } if seq.0 == hole_seq
+        )
+    });
+
+    // Single-shard traffic on shard 0 drives the sequence numbers past
+    // the hole (the healthy 3/4 quorum confirms every transaction).
+    let txns: Vec<Transaction> = (1..=8u64)
+        .map(|i| {
+            Transaction::new(
+                TxnId(i),
+                ClientId(i),
+                ringbft_store::rmw_ops(&[(ShardId(0), key_in(&cfg, 0, 400 + i))]),
+            )
+        })
+        .collect();
+    run_phase(&cluster, &cfg, txns);
+
+    // The fault injection actually engaged…
+    let filtered = cluster
+        .replica_runtimes()
+        .find(|rt| rt.id() == NodeId::Replica(victim))
+        .expect("victim runtime")
+        .stats()
+        .messages_filtered;
+    assert!(filtered > 0, "no frames were suppressed at the victim");
+
+    // …the victim repaired the hole with a fetched certificate and
+    // resumed execution through it…
+    let repaired = cluster.wait_until(DEADLINE, |c| {
+        c.with_replica(victim, |n| match n {
+            ringbft_sim::AnyNode::Ring(r) => {
+                r.hole_stats().holes_filled >= 1 && r.exec_watermark() >= hole_seq
+            }
+            _ => panic!("ring replica expected"),
+        })
+    });
+    assert!(repaired, "victim never repaired the hole via fetch");
+    cluster.with_replica(victim, |n| match n {
+        ringbft_sim::AnyNode::Ring(r) => {
+            assert_eq!(r.hole_stats().bad_replies, 0, "a donor reply failed");
+            assert_eq!(
+                r.recovery_stats().installs,
+                0,
+                "fell back to snapshot transfer for a single lost sequence"
+            );
+        }
+        _ => panic!("ring replica expected"),
+    });
+
+    // …and converges to the same store as its shard peers.
+    let converged = cluster.wait_until(DEADLINE, |c| {
+        let prints: Vec<u64> = (0..4u32)
+            .map(|i| {
+                c.with_replica(ReplicaId::new(ShardId(0), i), |n| match n {
+                    ringbft_sim::AnyNode::Ring(r) => r.store().state_fingerprint(),
+                    _ => panic!("ring replica expected"),
+                })
+            })
+            .collect();
+        prints.windows(2).all(|w| w[0] == w[1])
+    });
+    assert!(converged, "victim's store diverged after hole repair");
 
     cluster.shutdown();
 }

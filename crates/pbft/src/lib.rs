@@ -11,7 +11,7 @@ pub mod messages;
 pub mod replica;
 pub mod testing;
 
-pub use messages::{batch_digest, PbftMsg, PreparedProof};
+pub use messages::{batch_digest, verify_hole_reply, CertError, PbftMsg, PreparedProof};
 pub use replica::{PbftConfig, PbftCore, PbftEvent, VIEW_CHANGE_TOKEN};
 
 #[cfg(test)]
@@ -253,8 +253,18 @@ mod tests {
             assert!(c.events.iter().any(|(j, e)| *j == i
                 && matches!(e, PbftEvent::StableCheckpoint { seq, .. } if seq.0 == 10)));
         }
-        // Committed digests below the checkpoint are GC'd.
+        // One extra checkpoint window stays servable for hole fetch…
+        assert!(c.cores[0].committed_digest(SeqNum(5)).is_some());
+        assert!(c.cores[0].commit_certificate(SeqNum(5)).is_some());
+        // …and is pruned once the *next* checkpoint stabilizes.
+        for k in 11..=20 {
+            c.propose(0, test_batch(S, k, 1));
+        }
+        c.deliver_all();
+        assert_eq!(c.cores[0].last_stable().0, 20);
         assert!(c.cores[0].committed_digest(SeqNum(5)).is_none());
+        assert!(c.cores[0].commit_certificate(SeqNum(5)).is_none());
+        assert!(c.cores[0].commit_certificate(SeqNum(15)).is_some());
     }
 
     #[test]
@@ -275,6 +285,100 @@ mod tests {
         c.propose(0, test_batch(S, 1, 3));
         c.deliver_all();
         assert_eq!(c.committed_seqs(0), vec![1]);
+    }
+}
+
+#[cfg(test)]
+mod hole_tests {
+    use crate::messages::{batch_digest, verify_hole_reply, CertError};
+    use crate::replica::{PbftConfig, PbftCore, PbftEvent};
+    use crate::testing::{test_batch, TestCluster};
+    use ringbft_types::{Duration, Outbox, ReplicaId, SeqNum, ShardId};
+
+    const S: ShardId = ShardId(0);
+
+    /// Commits one batch on a 4-replica cluster and exports replica 0's
+    /// commit certificate for it.
+    fn committed_reply() -> ringbft_types::hole::HoleReply {
+        let mut c = TestCluster::new(S, 4);
+        c.propose(0, test_batch(S, 1, 3));
+        c.deliver_all();
+        c.cores[0]
+            .commit_certificate(SeqNum(1))
+            .expect("committed instance serves its certificate")
+    }
+
+    fn fresh_core() -> PbftCore {
+        PbftCore::new(
+            ReplicaId::new(S, 3),
+            PbftConfig {
+                n: 4,
+                checkpoint_interval: 10,
+                local_timeout: Duration::from_millis(100),
+                external_checkpoints: true,
+            },
+        )
+    }
+
+    #[test]
+    fn exported_certificate_verifies_and_installs() {
+        let reply = committed_reply();
+        assert_eq!(reply.cert.seq, SeqNum(1));
+        assert!(reply.cert.signers.len() >= 3, "nf = 3 for n = 4");
+        verify_hole_reply(4, &reply).expect("live certificate verifies");
+        // A replica that saw none of the quorum traffic installs it and
+        // emits the same Committed event a live quorum would have.
+        let mut core = fresh_core();
+        let mut out = Outbox::new();
+        let mut events = Vec::new();
+        assert!(core.install_certified_commit(reply.clone(), &mut out, &mut events));
+        let committed = events.iter().any(|e| {
+            matches!(e, PbftEvent::Committed { seq, digest, .. }
+                if *seq == SeqNum(1) && *digest == reply.cert.digest)
+        });
+        assert!(committed, "install did not surface the commit: {events:?}");
+        assert_eq!(core.committed_digest(SeqNum(1)), Some(reply.cert.digest));
+        // Idempotent: a second install is refused without side effects.
+        let mut events2 = Vec::new();
+        assert!(!core.install_certified_commit(reply, &mut out, &mut events2));
+        assert!(events2.is_empty());
+    }
+
+    #[test]
+    fn quorum_too_small_is_rejected() {
+        let mut reply = committed_reply();
+        reply.cert.signers.truncate(2); // below nf = 3
+        assert_eq!(verify_hole_reply(4, &reply), Err(CertError::QuorumTooSmall));
+    }
+
+    #[test]
+    fn duplicate_signers_cannot_inflate_the_quorum() {
+        let mut reply = committed_reply();
+        let first = reply.cert.signers[0];
+        reply.cert.signers = vec![first; 4];
+        assert_eq!(
+            verify_hole_reply(4, &reply),
+            Err(CertError::DuplicateSigner)
+        );
+    }
+
+    #[test]
+    fn out_of_range_signers_are_rejected() {
+        let mut reply = committed_reply();
+        reply.cert.signers[0] = 9; // no replica 9 in a 4-replica shard
+        assert_eq!(
+            verify_hole_reply(4, &reply),
+            Err(CertError::SignerOutOfRange)
+        );
+    }
+
+    #[test]
+    fn swapped_batch_fails_the_digest_binding() {
+        let mut reply = committed_reply();
+        let other = test_batch(S, 99, 3);
+        assert_ne!(batch_digest(&other), reply.cert.digest);
+        reply.batch = other;
+        assert_eq!(verify_hole_reply(4, &reply), Err(CertError::DigestMismatch));
     }
 }
 
@@ -319,6 +423,43 @@ mod prop_tests {
                 seqs.sort_unstable();
                 prop_assert_eq!(seqs.len(), batches, "replica {} incomplete", i);
             }
+        }
+
+        /// Hole-fetch safety: a forged certificate is never installed.
+        /// Starting from a *valid* exported commit certificate, any
+        /// tampering — digest bits, a thinned/duplicated/out-of-range
+        /// signer set, a swapped batch — fails verification, which every
+        /// host runs before install.
+        #[test]
+        fn forged_certificates_never_verify(
+            k in 1u64..50,
+            len in 1usize..6,
+            tamper in 0u8..5,
+            byte in 0usize..32,
+            bit in 0u32..8,
+        ) {
+            let mut c = TestCluster::new(ShardId(0), 4);
+            c.propose(0, test_batch(ShardId(0), k, len));
+            c.deliver_all();
+            let valid = c.cores[0]
+                .commit_certificate(ringbft_types::SeqNum(1))
+                .expect("committed instance serves its certificate");
+            prop_assert!(crate::messages::verify_hole_reply(4, &valid).is_ok());
+            let mut forged = valid.clone();
+            match tamper {
+                0 => forged.cert.digest[byte] ^= 1 << bit,
+                1 => forged.cert.signers.truncate(2),
+                2 => {
+                    let first = forged.cert.signers[0];
+                    forged.cert.signers = vec![first; 4];
+                }
+                3 => forged.cert.signers[0] = 4 + byte as u32,
+                _ => forged.batch = test_batch(ShardId(0), k + 1_000, len),
+            }
+            prop_assert!(
+                crate::messages::verify_hole_reply(4, &forged).is_err(),
+                "forged certificate verified (tamper {})", tamper
+            );
         }
 
         /// Safety with f crashed replicas *and* adversarial ordering.

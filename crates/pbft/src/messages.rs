@@ -98,6 +98,63 @@ impl PbftMsg {
     }
 }
 
+/// Why a [`HoleReply`](ringbft_types::hole::HoleReply) certificate was
+/// rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertError {
+    /// Fewer than `nf` distinct signers.
+    QuorumTooSmall,
+    /// A signer index repeats.
+    DuplicateSigner,
+    /// A signer index is outside `0..n`.
+    SignerOutOfRange,
+    /// The batch's digest does not match the certified digest.
+    DigestMismatch,
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::QuorumTooSmall => write!(f, "fewer than nf distinct signers"),
+            CertError::DuplicateSigner => write!(f, "duplicate signer index"),
+            CertError::SignerOutOfRange => write!(f, "signer index outside the shard"),
+            CertError::DigestMismatch => write!(f, "batch digest does not match certificate"),
+        }
+    }
+}
+
+/// Verifies a fetched commit certificate against a shard of `n`
+/// replicas: the signer set must name at least `nf = n − f` *distinct*
+/// in-range replicas, and the carried batch must hash to the certified
+/// digest. Signatures are modeled by the index set (consistent with
+/// `ForwardMsg::cert_signers`); with real crypto this is where each
+/// signer's Commit signature over `(view, seq, digest)` would be
+/// checked. A reply that fails here must never be installed.
+pub fn verify_hole_reply(
+    n: usize,
+    reply: &ringbft_types::hole::HoleReply,
+) -> Result<(), CertError> {
+    let f = (n - 1) / 3;
+    let nf = n - f;
+    let cert = &reply.cert;
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &cert.signers {
+        if *s as usize >= n {
+            return Err(CertError::SignerOutOfRange);
+        }
+        if !seen.insert(*s) {
+            return Err(CertError::DuplicateSigner);
+        }
+    }
+    if seen.len() < nf {
+        return Err(CertError::QuorumTooSmall);
+    }
+    if batch_digest(&reply.batch) != cert.digest {
+        return Err(CertError::DigestMismatch);
+    }
+    Ok(())
+}
+
 /// Canonical digest `Δ := H(⟨T⟩c)` of a batch (Fig 5 line 6): a hash over
 /// every transaction's identity and declared accesses.
 pub fn batch_digest(batch: &Batch) -> Digest {

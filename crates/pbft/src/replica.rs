@@ -153,6 +153,12 @@ pub struct PbftCore {
     vc_support_seen: bool,
     /// Escalation-timer expiries since the current view change began.
     vc_escalations: u32,
+    /// Largest sequence such that every sequence up to it is committed
+    /// locally (or covered by the stable checkpoint). Maintained
+    /// incrementally so hole detection is O(1) per commit: the first
+    /// *hole* — a missed commit wedging sequence-ordered admission —
+    /// is always `committed_through + 1` when the frontier is beyond it.
+    committed_through: u64,
     /// Count of batches committed by this replica (diagnostics).
     pub committed_batches: u64,
 }
@@ -187,6 +193,7 @@ impl PbftCore {
             pre_vc_view: ViewNum(0),
             vc_support_seen: false,
             vc_escalations: 0,
+            committed_through: 0,
             committed_batches: 0,
         }
     }
@@ -227,6 +234,111 @@ impl PbftCore {
             .get(&seq.0)
             .filter(|i| i.committed)
             .and_then(|i| i.digest)
+    }
+
+    /// Highest sequence number this replica has committed (0 before the
+    /// first commit). Sequences between the execution watermark and this
+    /// frontier that never committed locally are *holes*.
+    pub fn max_committed_seq(&self) -> u64 {
+        self.instances
+            .iter()
+            .rev()
+            .find(|(_, i)| i.committed)
+            .map(|(s, _)| *s)
+            .unwrap_or(self.last_stable)
+    }
+
+    /// Largest sequence such that every sequence up to it is committed
+    /// locally (or covered by the stable checkpoint). The earliest hole
+    /// in the log is `committed_through() + 1` whenever
+    /// [`Self::max_committed_seq`] lies beyond it. O(1): maintained
+    /// incrementally as commits, installs and checkpoints land.
+    pub fn committed_through(&self) -> u64 {
+        self.committed_through
+    }
+
+    /// Advances the contiguous-commit prefix over freshly committed
+    /// instances. Amortized O(1): each sequence is walked over once.
+    fn advance_committed_through(&mut self) {
+        self.committed_through = self.committed_through.max(self.last_stable);
+        while self
+            .instances
+            .get(&(self.committed_through + 1))
+            .is_some_and(|i| i.committed)
+        {
+            self.committed_through += 1;
+        }
+    }
+
+    /// Exports the commit certificate and batch for `seq` from the
+    /// message log, if this replica committed it and the instance has
+    /// not yet been garbage-collected by a stable checkpoint. This is
+    /// what a donor serves to a hole-fetching peer: everything the peer
+    /// needs to verify and install the commit without other context.
+    pub fn commit_certificate(&self, seq: SeqNum) -> Option<ringbft_types::hole::HoleReply> {
+        let inst = self.instances.get(&seq.0).filter(|i| i.committed)?;
+        let digest = inst.digest?;
+        let batch = inst.batch.clone()?;
+        let signers: Vec<u32> = inst.commits.get(&digest)?.iter().copied().collect();
+        Some(ringbft_types::hole::HoleReply {
+            cert: ringbft_types::hole::CommitCertificate {
+                view: inst.view,
+                seq,
+                digest,
+                signers,
+            },
+            batch,
+        })
+    }
+
+    /// Installs an externally fetched, *already verified* commit
+    /// certificate (hole fetch): marks the instance committed and emits
+    /// the same [`PbftEvent::Committed`] a live quorum would have, so
+    /// the outer protocol's admission path runs unchanged (checkpoint
+    /// boundaries included). Returns false without side effects when the
+    /// sequence is already committed locally or below the stable
+    /// checkpoint. The caller must have verified the certificate with
+    /// [`crate::verify_hole_reply`] first — this method trusts it.
+    pub fn install_certified_commit(
+        &mut self,
+        reply: ringbft_types::hole::HoleReply,
+        out: &mut Outbox<PbftMsg>,
+        events: &mut Vec<PbftEvent>,
+    ) -> bool {
+        let seq = reply.cert.seq;
+        if seq.0 <= self.last_stable {
+            return false;
+        }
+        let inst = self.instances.entry(seq.0).or_default();
+        if inst.committed {
+            return false;
+        }
+        let digest = reply.cert.digest;
+        inst.view = reply.cert.view;
+        inst.digest = Some(digest);
+        inst.batch = Some(Arc::clone(&reply.batch));
+        inst.preprepared = true;
+        inst.prepared = true;
+        inst.committed = true;
+        inst.commits
+            .entry(digest)
+            .or_default()
+            .extend(reply.cert.signers.iter().copied());
+        self.committed_batches += 1;
+        self.max_seq_seen = self.max_seq_seen.max(seq.0);
+        // A watchdog for this slot (armed if we saw its pre-prepare
+        // before the quorum traffic was lost) is now satisfied.
+        out.cancel_timer(TimerKind::Local, seq.0);
+        events.push(PbftEvent::Committed {
+            view: reply.cert.view,
+            seq,
+            digest,
+            batch: reply.batch,
+            committers: reply.cert.signers,
+        });
+        self.advance_committed_through();
+        self.maybe_checkpoint(seq.0, digest, out, events);
+        true
     }
 
     fn others(&self) -> impl Iterator<Item = NodeId> + '_ {
@@ -339,12 +451,18 @@ impl PbftCore {
             }
             return true;
         }
-        // Per-request watchdog: request did not commit in time.
-        let committed = self
-            .instances
-            .get(&token)
-            .map(|i| i.committed)
-            .unwrap_or(token <= self.last_stable);
+        // Per-request watchdog: request did not commit in time. A
+        // sequence at or below the stable checkpoint is settled
+        // whatever its instance says — with the extra retention window
+        // an *uncommitted* instance can now survive below the
+        // checkpoint, and its watchdog must not demand a view change
+        // for work the quorum already subsumed.
+        let committed = token <= self.last_stable
+            || self
+                .instances
+                .get(&token)
+                .map(|i| i.committed)
+                .unwrap_or(false);
         if !committed && !self.in_view_change {
             let next = self.view.next();
             self.start_view_change(next, out, events);
@@ -468,6 +586,7 @@ impl PbftCore {
                 batch,
                 committers,
             });
+            self.advance_committed_through();
             self.maybe_checkpoint(seq, digest, out, events);
         }
     }
@@ -550,8 +669,17 @@ impl PbftCore {
             // In-dark replicas fast-forward past work they missed.
             self.max_seq_seen = self.max_seq_seen.max(seq);
             self.next_seq = self.next_seq.max(seq + 1);
-            self.instances.retain(|k, _| *k > seq);
+            // Keep one extra checkpoint window of committed instances:
+            // a peer that missed a single commit near the boundary asks
+            // for its certificate (hole fetch) shortly *after* the
+            // checkpoint stabilizes here — pruning at the boundary
+            // would force it into an O(state) snapshot transfer for one
+            // lost message. (Same policy as the outer protocol's
+            // replay-dedup map.)
+            let horizon = seq.saturating_sub(self.cfg.checkpoint_interval);
+            self.instances.retain(|k, _| *k > horizon);
             self.checkpoint_votes.retain(|k, _| *k > seq);
+            self.advance_committed_through();
             events.push(PbftEvent::StableCheckpoint {
                 seq: SeqNum(seq),
                 state_digest: winner,

@@ -1,0 +1,249 @@
+//! Hole fetch: single-sequence commit-certificate recovery.
+//!
+//! Checkpoint state transfer ([`crate::manager`]) repairs a replica that
+//! is behind a *stable checkpoint* — but a replica that merely missed
+//! one commit (a dropped Commit quorum, a lost Preprepare) is not behind
+//! any checkpoint: it sits wedged with its sequence-ordered lock
+//! admission stalled on the hole, waiting for the next checkpoint
+//! window. Worse, a checkpoint needs `nf` replicas *past* the boundary,
+//! so if more than `f` replicas wedge this way no checkpoint ever
+//! stabilizes and the healthy replicas stop truncating — a cadence
+//! deadlock. The [`HoleFetcher`] closes the hole directly: when the
+//! host's execution watermark stalls behind its commit frontier past a
+//! probe interval, it asks one same-shard peer at a time for the missing
+//! `(view, seq)` commit certificate plus the ordered batch
+//! ([`ringbft_types::hole::HoleRequest`] / `HoleReply`), rotating donors
+//! exactly like the state-transfer probe. The host verifies the
+//! certificate (`ringbft_pbft::verify_hole_reply`) and installs the
+//! commit through its normal admission path — recovery cost O(batch),
+//! not O(state), and never gated on a checkpoint boundary.
+
+use crate::manager::RecoveryMsg;
+use ringbft_types::hole::HoleRequest;
+use ringbft_types::{Duration, NodeId, Outbox, ReplicaId, SeqNum, ShardId, TimerKind};
+
+/// Timer token of the hole-fetch probe watchdog (on
+/// [`TimerKind::Client`]), from the RingBFT-level token space, disjoint
+/// from PBFT sequence tokens, the pool-flush token and the recovery
+/// probe token.
+pub const HOLE_PROBE_TOKEN: u64 = (1 << 62) - 3;
+
+/// Rotating same-shard donor selection, shared by the state-transfer
+/// probe and the hole fetcher: ask one peer at a time (the linear-
+/// primitive discipline — recovery traffic stays O(payload), not
+/// O(n·payload)), skipping ourselves, cycling through every peer.
+#[derive(Debug)]
+pub struct DonorRotation {
+    shard: ShardId,
+    my_index: u32,
+    n: u32,
+    cursor: u32,
+}
+
+impl DonorRotation {
+    /// Rotation for replica `me` of a shard of `n` replicas.
+    pub fn new(me: ReplicaId, n: usize) -> DonorRotation {
+        DonorRotation {
+            shard: me.shard,
+            my_index: me.index,
+            n: n as u32,
+            cursor: 0,
+        }
+    }
+
+    /// The next peer to ask; `None` in a one-replica shard.
+    pub fn next_donor(&mut self) -> Option<NodeId> {
+        if self.n <= 1 {
+            return None;
+        }
+        let idx = (self.my_index + 1 + self.cursor) % self.n;
+        self.cursor = (self.cursor + 1) % (self.n - 1).max(1);
+        if idx == self.my_index {
+            return None; // unreachable with the cursor bound, defensive
+        }
+        Some(NodeId::Replica(ReplicaId::new(self.shard, idx)))
+    }
+}
+
+/// Counters for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HoleStats {
+    /// HoleRequests this replica sent.
+    pub requests_sent: u64,
+    /// HoleRequests this replica answered with a certificate.
+    pub replies_served: u64,
+    /// Verified certificates the host installed (holes closed).
+    pub holes_filled: u64,
+    /// Replies rejected by certificate verification (forged or corrupt —
+    /// must never be installed).
+    pub bad_replies: u64,
+}
+
+/// The hole-fetch state machine of one shard replica. Sans-io like the
+/// [`crate::RecoveryManager`]: the hosting replica detects the stall
+/// (execution watermark behind the commit frontier with an uncommitted
+/// sequence in between), reports it via [`HoleFetcher::set_missing`],
+/// and performs the sends the probe timer emits. Verification and
+/// install stay with the host, which owns the PBFT log.
+#[derive(Debug)]
+pub struct HoleFetcher {
+    donors: DonorRotation,
+    probe_interval: Duration,
+    /// The sequence currently being fetched (None = no hole).
+    missing: Option<u64>,
+    probing: bool,
+    /// Counters.
+    pub stats: HoleStats,
+}
+
+impl HoleFetcher {
+    /// Creates the fetcher for replica `me` of a shard of `n` replicas.
+    /// The first request goes out one `probe_interval` after the hole is
+    /// reported — long enough that an in-flight commit closes the hole
+    /// by itself, short enough to beat the per-request view-change
+    /// watchdog.
+    pub fn new(me: ReplicaId, n: usize, probe_interval: Duration) -> HoleFetcher {
+        HoleFetcher {
+            donors: DonorRotation::new(me, n),
+            probe_interval,
+            missing: None,
+            probing: false,
+            stats: HoleStats::default(),
+        }
+    }
+
+    /// The sequence currently being fetched, if any.
+    pub fn missing(&self) -> Option<u64> {
+        self.missing
+    }
+
+    /// The host detected (or re-confirmed) a hole at `seq`: remember it
+    /// and make sure the probe timer runs. Re-pointing at a different
+    /// sequence (an earlier hole closed, a later one remains) keeps the
+    /// running timer.
+    pub fn set_missing(&mut self, seq: u64, out: &mut Outbox<RecoveryMsg>) {
+        self.missing = Some(seq);
+        if !self.probing {
+            self.probing = true;
+            out.set_timer(TimerKind::Client, HOLE_PROBE_TOKEN, self.probe_interval);
+        }
+    }
+
+    /// Every sequence up to the commit frontier is committed locally:
+    /// stop fetching (the probe timer dies out on its next tick).
+    pub fn all_present(&mut self) {
+        self.missing = None;
+    }
+
+    /// Handles the probe timer: while a hole persists, ask the next
+    /// donor and re-arm.
+    pub fn on_probe_timer(&mut self, out: &mut Outbox<RecoveryMsg>) {
+        if self.missing.is_none() {
+            self.probing = false;
+            return;
+        }
+        self.request(out);
+        out.set_timer(TimerKind::Client, HOLE_PROBE_TOKEN, self.probe_interval);
+    }
+
+    /// Requests the current hole immediately, without waiting for the
+    /// next probe tick — burst pacing for sequential repair: after one
+    /// certificate installs, the next hole of a multi-sequence gap is
+    /// fetched at network round-trip pace while the probe timer keeps
+    /// running as the loss fallback.
+    pub fn fetch_now(&mut self, out: &mut Outbox<RecoveryMsg>) {
+        if self.missing.is_some() {
+            self.request(out);
+        }
+    }
+
+    fn request(&mut self, out: &mut Outbox<RecoveryMsg>) {
+        let Some(seq) = self.missing else { return };
+        if let Some(donor) = self.donors.next_donor() {
+            out.send(
+                donor,
+                RecoveryMsg::HoleRequest(HoleRequest { seq: SeqNum(seq) }),
+            );
+            self.stats.requests_sent += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringbft_types::Action;
+
+    fn rep(i: u32) -> ReplicaId {
+        ReplicaId::new(ShardId(0), i)
+    }
+
+    fn requests(out: &mut Outbox<RecoveryMsg>) -> Vec<(NodeId, u64)> {
+        out.take()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: RecoveryMsg::HoleRequest(r),
+                } => Some((to, r.seq.0)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn probe_rotates_donors_and_skips_self() {
+        let mut f = HoleFetcher::new(rep(2), 4, Duration::from_millis(50));
+        let mut out = Outbox::new();
+        f.set_missing(7, &mut out);
+        let mut donors = Vec::new();
+        for _ in 0..6 {
+            let mut o = Outbox::new();
+            f.on_probe_timer(&mut o);
+            donors.extend(requests(&mut o));
+        }
+        assert_eq!(donors.len(), 6);
+        assert!(donors.iter().all(|(_, s)| *s == 7));
+        assert!(donors.iter().all(|(d, _)| *d != NodeId::Replica(rep(2))));
+        let distinct: std::collections::HashSet<_> = donors.iter().map(|(d, _)| *d).collect();
+        assert_eq!(distinct.len(), 3, "all three peers asked in rotation");
+        assert_eq!(f.stats.requests_sent, 6);
+    }
+
+    #[test]
+    fn filled_hole_stops_the_probe() {
+        let mut f = HoleFetcher::new(rep(1), 4, Duration::from_millis(50));
+        let mut out = Outbox::new();
+        f.set_missing(3, &mut out);
+        f.all_present();
+        let mut o = Outbox::new();
+        f.on_probe_timer(&mut o);
+        assert!(o.take().is_empty(), "no request, no re-arm");
+        // A later hole re-arms the probe.
+        let mut o = Outbox::new();
+        f.set_missing(9, &mut o);
+        assert_eq!(o.take().len(), 1, "timer re-armed");
+    }
+
+    #[test]
+    fn repointing_keeps_one_timer() {
+        let mut f = HoleFetcher::new(rep(0), 4, Duration::from_millis(50));
+        let mut out = Outbox::new();
+        f.set_missing(3, &mut out);
+        assert_eq!(out.take().len(), 1);
+        let mut out = Outbox::new();
+        f.set_missing(4, &mut out);
+        assert!(out.take().is_empty(), "no duplicate timer");
+        assert_eq!(f.missing(), Some(4));
+    }
+
+    #[test]
+    fn single_replica_shard_never_requests() {
+        let mut f = HoleFetcher::new(rep(0), 1, Duration::from_millis(50));
+        let mut out = Outbox::new();
+        f.set_missing(1, &mut out);
+        let mut o = Outbox::new();
+        f.on_probe_timer(&mut o);
+        assert!(requests(&mut o).is_empty());
+    }
+}

@@ -32,9 +32,11 @@
 //! *base*, but never bogus *state*: the key-value records are checked
 //! against the digest `nf` replicas voted for.
 
+pub mod hole;
 pub mod manager;
 pub mod snapshot;
 
+pub use hole::{DonorRotation, HoleFetcher, HoleStats, HOLE_PROBE_TOKEN};
 pub use manager::{
     RecoveryEvent, RecoveryManager, RecoveryMsg, RecoveryStats, RECOVERY_PROBE_TOKEN,
 };

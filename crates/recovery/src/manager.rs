@@ -56,6 +56,12 @@ pub enum RecoveryMsg {
         /// Donor's chain head hash at the checkpoint.
         ledger_head: Digest,
     },
+    /// Single-sequence commit-certificate fetch (see [`crate::hole`]):
+    /// "send me the commit certificate and batch for this sequence".
+    HoleRequest(ringbft_types::hole::HoleRequest),
+    /// A donor's certificate + batch answer. The host verifies the
+    /// `nf`-strong certificate and the batch digest before installing.
+    HoleReply(ringbft_types::hole::HoleReply),
 }
 
 impl RecoveryMsg {
@@ -65,6 +71,8 @@ impl RecoveryMsg {
             RecoveryMsg::StateRequest { .. } => "state-request",
             RecoveryMsg::StateChunk { .. } => "state-chunk",
             RecoveryMsg::StateDone { .. } => "state-done",
+            RecoveryMsg::HoleRequest(_) => "hole-request",
+            RecoveryMsg::HoleReply(_) => "hole-reply",
         }
     }
 }
@@ -113,7 +121,6 @@ struct Assembly {
 /// sends/timers (directly, or lifted into its own message space).
 pub struct RecoveryManager {
     me: ReplicaId,
-    n: u32,
     chunk_records: usize,
     probe_interval: Duration,
     /// The latest stable snapshot this replica can serve, with its
@@ -132,7 +139,7 @@ pub struct RecoveryManager {
     /// used to suppress redundant full retransfers while one is
     /// arriving.
     last_probe_progress: Option<(u64, usize)>,
-    donor_cursor: u32,
+    donors: crate::hole::DonorRotation,
     probing: bool,
     events: Vec<RecoveryEvent>,
     /// Counters.
@@ -146,7 +153,6 @@ impl RecoveryManager {
     pub fn new(me: ReplicaId, n: usize, chunk_records: usize, probe_interval: Duration) -> Self {
         RecoveryManager {
             me,
-            n: n as u32,
             chunk_records: chunk_records.max(1),
             probe_interval,
             retained: None,
@@ -155,7 +161,7 @@ impl RecoveryManager {
             local_floor: 0,
             assembly: None,
             last_probe_progress: None,
-            donor_cursor: 0,
+            donors: crate::hole::DonorRotation::new(me, n),
             probing: false,
             events: Vec::new(),
             stats: RecoveryStats::default(),
@@ -248,17 +254,10 @@ impl RecoveryManager {
         out.set_timer(TimerKind::Client, RECOVERY_PROBE_TOKEN, self.probe_interval);
     }
 
-    /// The next same-shard peer to ask, rotating and skipping ourselves.
+    /// The next same-shard peer to ask (shared rotation discipline with
+    /// the hole fetcher).
     fn next_donor(&mut self) -> Option<NodeId> {
-        if self.n <= 1 {
-            return None;
-        }
-        let idx = (self.me.index + 1 + self.donor_cursor) % self.n;
-        self.donor_cursor = (self.donor_cursor + 1) % (self.n - 1).max(1);
-        if idx == self.me.index {
-            return None; // unreachable with the cursor bound, defensive
-        }
-        Some(NodeId::Replica(ReplicaId::new(self.me.shard, idx)))
+        self.donors.next_donor()
     }
 
     /// Handles a recovery message from same-shard replica `from`.
@@ -289,6 +288,9 @@ impl RecoveryManager {
                 None,
                 Some((ledger_height, ledger_head)),
             ),
+            // Hole fetch is handled by the hosting replica (it owns the
+            // PBFT log the certificates come from); see `crate::hole`.
+            RecoveryMsg::HoleRequest(_) | RecoveryMsg::HoleReply(_) => {}
         }
     }
 

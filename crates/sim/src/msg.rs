@@ -91,6 +91,10 @@ impl SimMessage for AnyMsg {
                         wire::state_chunk_bytes(records.len())
                     }
                     RecoveryMsg::StateDone { .. } => wire::state_done_bytes(),
+                    RecoveryMsg::HoleRequest(_) => wire::hole_request_bytes(),
+                    RecoveryMsg::HoleReply(r) => {
+                        wire::hole_reply_bytes(r.batch.len(), r.cert.signers.len())
+                    }
                 },
                 RingMsg::Reply { .. } => wire::client_response_bytes(),
             },
@@ -141,6 +145,11 @@ impl SimMessage for AnyMsg {
                         Duration::from_micros(5 + records.len() as u64 / 8)
                     }
                     RecoveryMsg::StateDone { .. } => Duration::from_micros(5),
+                    RecoveryMsg::HoleRequest(_) => Duration::from_micros(3),
+                    // Validate nf commit attestations plus hash the batch.
+                    RecoveryMsg::HoleReply(r) => Duration::from_micros(
+                        10 + r.batch.len() as u64 + 2 * r.cert.signers.len() as u64,
+                    ),
                 },
                 RingMsg::Reply { .. } => Duration::from_micros(2),
             },

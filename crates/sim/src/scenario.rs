@@ -6,6 +6,8 @@
 use crate::client::{reply_quorum, SimClient};
 use crate::msg::AnyMsg;
 use crate::nodes::AnyNode;
+use ringbft_core::RingMsg;
+use ringbft_pbft::PbftMsg;
 use ringbft_simnet::{FaultPlan, Topology, World};
 use ringbft_types::{ClientId, Duration, Instant, NodeId, Region, ReplicaId, SystemConfig};
 
@@ -21,6 +23,36 @@ pub struct RecoveryReport {
     pub catchup_s: Option<f64>,
     /// Client throughput over the window after the restart, txn/s.
     pub post_restart_tps: f64,
+}
+
+/// Post-run state of one injected commit hole (set per
+/// [`Scenario::with_commit_hole`]): did the victim repair the missed
+/// sequence via hole fetch (certificate recovery) rather than waiting
+/// for checkpoint state transfer, and did checkpoint cadence survive?
+#[derive(Debug, Clone, Copy)]
+pub struct HoleReport {
+    /// The replica whose quorum traffic was suppressed.
+    pub replica: ReplicaId,
+    /// The sequence number it was made to miss.
+    pub seq: u64,
+    /// Seconds into the run when the victim executed the held sequence
+    /// (`None` = it never recovered within the run).
+    pub resumed_s: Option<f64>,
+    /// Commit certificates the victim fetched and installed.
+    pub holes_filled: u64,
+    /// HoleRequests the victim sent.
+    pub hole_requests: u64,
+    /// Forged/corrupt replies the victim rejected (must stay 0 with
+    /// correct donors).
+    pub bad_replies: u64,
+    /// Checkpoint snapshots the victim installed (0 = it recovered via
+    /// hole fetch alone, never falling back to full state transfer).
+    pub snapshot_installs: u64,
+    /// The victim's execution watermark at the end of the run.
+    pub exec_watermark: u64,
+    /// The victim's last stable checkpoint at the end of the run —
+    /// cadence survived iff this advanced past `seq`.
+    pub stable_seq: u64,
 }
 
 /// Metrics of one scenario run.
@@ -46,6 +78,8 @@ pub struct ScenarioReport {
     pub bytes_sent: u64,
     /// Crash/blank-restart recovery metrics, when configured.
     pub recovery: Option<RecoveryReport>,
+    /// Commit-hole repair metrics, one per injected hole.
+    pub holes: Vec<HoleReport>,
 }
 
 /// A configurable experiment.
@@ -59,6 +93,7 @@ pub struct Scenario {
     clients_per_host: u64,
     bandwidth_divisor: u64,
     blank_restart: Option<(f64, f64, ReplicaId)>,
+    commit_holes: Vec<(ReplicaId, u64)>,
 }
 
 impl Scenario {
@@ -74,6 +109,7 @@ impl Scenario {
             clients_per_host: 200,
             bandwidth_divisor: 1,
             blank_restart: None,
+            commit_holes: Vec::new(),
         }
     }
 
@@ -107,6 +143,17 @@ impl Scenario {
             Instant::ZERO + Duration::from_secs_f64(crash_s),
         );
         self.blank_restart = Some((crash_s, restart_s, replica));
+        self
+    }
+
+    /// Suppresses every Preprepare/Prepare/Commit for sequence `seq`
+    /// addressed to `replica` — the replica misses that one commit
+    /// entirely while its shard moves on, wedging its sequence-ordered
+    /// admission until the hole-fetch subsystem repairs it. Call once
+    /// per victim (up to `f` per shard keeps the shard live). The
+    /// report's `holes` entries measure the repair.
+    pub fn with_commit_hole(mut self, replica: ReplicaId, seq: u64) -> Self {
+        self.commit_holes.push((replica, seq));
         self
     }
 
@@ -150,6 +197,25 @@ impl Scenario {
         topology.wan_bps /= self.bandwidth_divisor;
         let mut world: World<AnyMsg, AnyNode> =
             World::new(topology, self.faults.clone(), self.seed);
+
+        // --- targeted commit holes (hole-fetch scenarios) ---
+        if !self.commit_holes.is_empty() {
+            let holes = self.commit_holes.clone();
+            world.set_drop_filter(move |_now, _from, to, msg| {
+                let AnyMsg::Ring(RingMsg::Pbft(p)) = msg else {
+                    return false;
+                };
+                let seq = match p {
+                    PbftMsg::Preprepare { seq, .. }
+                    | PbftMsg::Prepare { seq, .. }
+                    | PbftMsg::Commit { seq, .. } => seq.0,
+                    _ => return false,
+                };
+                holes
+                    .iter()
+                    .any(|(r, s)| *s == seq && to == NodeId::Replica(*r))
+            });
+        }
 
         // --- replicas (one factory shared with the ringbft-net runtime) ---
         for (r, region, node) in crate::nodes::deployment(&cfg) {
@@ -272,6 +338,43 @@ impl Scenario {
             }
         });
 
+        // Hole-repair metrics: per victim, whether the held sequence was
+        // fetched (certificate recovery) and executed, and where the
+        // victim's watermark and stable checkpoint ended up.
+        let holes: Vec<HoleReport> = self
+            .commit_holes
+            .iter()
+            .map(|(replica, seq)| {
+                let resumed_s = world
+                    .exec_log
+                    .iter()
+                    .filter(|e| e.node == NodeId::Replica(*replica) && e.seq == *seq)
+                    .map(|e| e.at.as_secs_f64())
+                    .next();
+                let (hole_stats, installs, watermark, stable) =
+                    match world.node(NodeId::Replica(*replica)) {
+                        Some(AnyNode::Ring(r)) => (
+                            r.hole_stats(),
+                            r.recovery_stats().installs,
+                            r.exec_watermark(),
+                            r.last_stable_seq(),
+                        ),
+                        _ => Default::default(),
+                    };
+                HoleReport {
+                    replica: *replica,
+                    seq: *seq,
+                    resumed_s,
+                    holes_filled: hole_stats.holes_filled,
+                    hole_requests: hole_stats.requests_sent,
+                    bad_replies: hole_stats.bad_replies,
+                    snapshot_installs: installs,
+                    exec_watermark: watermark,
+                    stable_seq: stable,
+                }
+            })
+            .collect();
+
         ScenarioReport {
             completed_txns: completed,
             throughput_tps: throughput,
@@ -283,6 +386,7 @@ impl Scenario {
             messages_sent: world.stats.messages_sent,
             bytes_sent: world.stats.bytes_sent,
             recovery,
+            holes,
         }
     }
 }

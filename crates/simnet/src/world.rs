@@ -43,6 +43,9 @@ pub trait SimMessage: Clone {
 /// real-network runtime (`ringbft-net`) host the exact same nodes.
 pub use ringbft_types::sansio::ProtocolNode as SimNode;
 
+/// A content-aware message drop predicate: `(now, from, to, &msg)`.
+pub type DropFilter<M> = Box<dyn Fn(Instant, NodeId, NodeId, &M) -> bool>;
+
 /// Record of an `Executed` action (throughput accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecRecord {
@@ -126,6 +129,12 @@ pub struct World<M: SimMessage, N: SimNode<M>> {
     timer_gen: u64,
     now: Instant,
     rng: ChaCha12Rng,
+    /// Content-aware drop rule: unlike [`FaultPlan`]'s link-level rules,
+    /// this one sees the message payload, enabling *targeted* fault
+    /// scenarios ("drop every Commit for sequence k addressed to
+    /// replica r"). Deterministic — a matching message is always
+    /// dropped, never coin-flipped.
+    drop_filter: Option<DropFilter<M>>,
     /// Multiplicative latency jitter range `[1, 1 + jitter_frac]`.
     jitter_frac: f64,
     /// Executed-batch log (drained by the harness).
@@ -150,6 +159,7 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
             timer_gen: 0,
             now: Instant::ZERO,
             rng: ChaCha12Rng::seed_from_u64(seed),
+            drop_filter: None,
             jitter_frac: 0.05,
             exec_log: Vec::new(),
             view_log: Vec::new(),
@@ -161,6 +171,19 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
     pub fn set_jitter(&mut self, frac: f64) {
         assert!(frac >= 0.0);
         self.jitter_frac = frac;
+    }
+
+    /// Installs a content-aware drop rule: every message for which
+    /// `filter(now, from, to, &msg)` returns true is dropped (and
+    /// counted in [`NetStats::messages_dropped`]). Complements the
+    /// [`FaultPlan`]'s link-level rules with payload-targeted faults —
+    /// e.g. suppressing one replica's Commit quorum for a single
+    /// sequence number to force a commit hole.
+    pub fn set_drop_filter(
+        &mut self,
+        filter: impl Fn(Instant, NodeId, NodeId, &M) -> bool + 'static,
+    ) {
+        self.drop_filter = Some(Box::new(filter));
     }
 
     /// Registers a node placed in `region`. Panics on duplicate ids.
@@ -374,6 +397,12 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
         if from == to {
             self.queue.push(now, Event::Deliver { from, to, msg });
             return;
+        }
+        if let Some(filter) = &self.drop_filter {
+            if filter(now, from, to, &msg) {
+                self.stats.messages_dropped += 1;
+                return;
+            }
         }
         let p = self.faults.drop_probability(now, from, to);
         if p > 0.0 && self.rng.random::<f64>() < p {

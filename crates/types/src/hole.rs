@@ -1,0 +1,92 @@
+//! Hole-fetch payloads: commit-certificate recovery for a single missed
+//! sequence number (§5 liveness, complementing the A3 checkpoint state
+//! transfer).
+//!
+//! A replica that misses the commit of one sequence (a dropped Commit
+//! quorum, a lost Preprepare) wedges its sequence-ordered lock admission
+//! until the next stable checkpoint — and if more than `f` replicas of a
+//! shard wedge this way, no checkpoint ever stabilizes. Hole fetch is
+//! the lightweight repair: ask a same-shard peer for exactly the missing
+//! `(view, seq)` commit certificate plus the ordered batch, verify the
+//! `nf`-strong certificate and the batch digest, and install the commit
+//! through the normal admission path. No snapshot moves; recovery cost
+//! is O(batch), not O(state).
+//!
+//! The structs here are pure wire payloads (serde-derived, carried
+//! inside `ringbft-recovery`'s `RecoveryMsg`); certificate *verification*
+//! lives next to the PBFT engine, which owns the quorum arithmetic.
+
+use crate::ids::{SeqNum, ViewNum};
+use crate::txn::{Batch, Digest};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A commit certificate: evidence that a shard quorum committed `digest`
+/// at `(view, seq)`. Signatures are modeled as the signer index set (the
+/// same modeling `ForwardMsg::cert_signers` uses for cross-shard
+/// certificates); a valid certificate names at least `nf = n − f`
+/// distinct in-range replicas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitCertificate {
+    /// View the batch committed in.
+    pub view: ViewNum,
+    /// Sequence number the certificate covers.
+    pub seq: SeqNum,
+    /// Batch digest `Δ` the quorum committed.
+    pub digest: Digest,
+    /// Indices of the replicas whose signed Commits form the
+    /// certificate.
+    pub signers: Vec<u32>,
+}
+
+/// "Send me the commit certificate and batch for `seq`" — unicast to a
+/// single same-shard peer at a time (the probe timer rotates the donor,
+/// mirroring the state-transfer discipline).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HoleRequest {
+    /// The sequence number the requester is missing.
+    pub seq: SeqNum,
+}
+
+/// A donor's answer: the certificate plus the full ordered batch, enough
+/// for the requester to verify and install the commit without any other
+/// context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HoleReply {
+    /// The commit certificate for the requested sequence.
+    pub cert: CommitCertificate,
+    /// The batch the certificate commits (its digest must equal
+    /// `cert.digest`).
+    pub batch: Arc<Batch>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::Transaction;
+    use crate::{BatchId, ClientId, TxnId};
+
+    #[test]
+    fn payloads_round_trip_serde() {
+        let batch = Arc::new(Batch::new_unchecked(
+            BatchId(7),
+            vec![Transaction::new(TxnId(1), ClientId(2), vec![])],
+        ));
+        let reply = HoleReply {
+            cert: CommitCertificate {
+                view: ViewNum(3),
+                seq: SeqNum(42),
+                digest: [9; 32],
+                signers: vec![0, 1, 3],
+            },
+            batch,
+        };
+        let bytes = bincode::serialize(&reply).expect("serialize");
+        let back: HoleReply = bincode::deserialize(&bytes).expect("deserialize");
+        assert_eq!(back, reply);
+        let req = HoleRequest { seq: SeqNum(42) };
+        let bytes = bincode::serialize(&req).expect("serialize");
+        let back: HoleRequest = bincode::deserialize(&bytes).expect("deserialize");
+        assert_eq!(back, req);
+    }
+}

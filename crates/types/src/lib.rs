@@ -13,6 +13,7 @@
 //! involved shards in ring order (§4.2).
 
 pub mod config;
+pub mod hole;
 pub mod ids;
 pub mod region;
 pub mod ring;
@@ -22,6 +23,7 @@ pub mod txn;
 pub mod wire;
 
 pub use config::{ProtocolKind, ShardConfig, SystemConfig};
+pub use hole::{CommitCertificate, HoleReply, HoleRequest};
 pub use ids::{ClientId, NodeId, ReplicaId, SeqNum, ShardId, ViewNum};
 pub use region::Region;
 pub use ring::RingOrder;

@@ -135,6 +135,21 @@ pub fn state_done_bytes() -> u64 {
     HEADER_BYTES + 2 * DIGEST_BYTES + MAC_BYTES + 16
 }
 
+/// Size of a HoleRequest (commit-certificate recovery): header plus the
+/// missing sequence number.
+#[inline]
+pub fn hole_request_bytes() -> u64 {
+    HEADER_BYTES + MAC_BYTES + 8
+}
+
+/// Size of a HoleReply: the ordered batch (same payload a Preprepare
+/// carries) plus a commit certificate of `signers` attestations and the
+/// `(view, seq, digest)` binding.
+#[inline]
+pub fn hole_reply_bytes(batch: usize, signers: usize) -> u64 {
+    preprepare_bytes(batch) + DIGEST_BYTES + MAC_BYTES + 16 + ATTEST_BYTES * signers as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +185,20 @@ mod tests {
         assert_eq!(
             forward_bytes(100, 20) - forward_bytes(100, 19),
             ATTEST_BYTES
+        );
+    }
+
+    #[test]
+    fn hole_fetch_sizes_scale_with_batch_and_certificate() {
+        assert!(hole_request_bytes() > 0);
+        assert!(hole_reply_bytes(100, 19) > preprepare_bytes(100));
+        assert_eq!(
+            hole_reply_bytes(100, 20) - hole_reply_bytes(100, 19),
+            ATTEST_BYTES
+        );
+        assert_eq!(
+            hole_reply_bytes(200, 19) - hole_reply_bytes(100, 19),
+            100 * PER_TXN_BYTES
         );
     }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Bench regression gate: regenerates BENCH_ringbft.json into a scratch
+# file and compares it against the committed snapshot. Fails when any
+# protocol loses more than 20% throughput, or when any fault scenario
+# loses a safety/liveness flag (`*_ok` keys) that the committed file
+# holds — so a PR cannot silently break hole-fetch or blank-restart
+# recovery while the happy-path tests stay green.
+#
+# Used by CI; runnable locally:
+#   cargo build --release && scripts/check_bench.sh
+#
+# Environment:
+#   BENCH_BASELINE   committed snapshot (default BENCH_ringbft.json)
+#   BENCH_OUT        where to write the regenerated snapshot
+#                    (default target/bench/BENCH_ringbft.json)
+#   BENCH_TOLERANCE  allowed relative throughput loss (default 0.20)
+
+set -euo pipefail
+
+BASELINE="${BENCH_BASELINE:-BENCH_ringbft.json}"
+OUT="${BENCH_OUT:-target/bench/BENCH_ringbft.json}"
+TOLERANCE="${BENCH_TOLERANCE:-0.20}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "check_bench: committed baseline $BASELINE not found" >&2
+    exit 2
+fi
+
+mkdir -p "$(dirname "$OUT")"
+
+echo "check_bench: regenerating bench snapshot -> $OUT"
+cargo run --release -p ringbft-bench --bin bench_json -- "$OUT"
+
+echo "check_bench: comparing against $BASELINE (tolerance ${TOLERANCE})"
+cargo run --release -p ringbft-bench --bin bench_check -- \
+    "$BASELINE" "$OUT" --tolerance "$TOLERANCE"
+
+echo "check_bench: OK"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Multi-process cluster smoke test: launches a real 2-shard x 4-replica
-# RingBFT cluster as three separate `ringbft-node` processes (one per
-# shard plus a workload host) on localhost TCP, and requires the
+# RingBFT cluster as separate `ringbft-node` processes on localhost TCP,
+# kills one replica mid-run and blank-restarts it, and requires the
 # workload to complete a minimum number of transactions end-to-end.
 #
 # Used by CI; runnable locally:
@@ -12,11 +12,14 @@
 #                  (default target/release/ringbft-node)
 #   SMOKE_SECS     workload duration in seconds (default 25)
 #   SMOKE_MIN_TXNS minimum completed transactions (default 50)
+#   SMOKE_KILL_AT  seconds into the workload before the kill/restart
+#                  (default 8; 0 disables the restart phase)
 
 set -euo pipefail
 
 SECS="${SMOKE_SECS:-25}"
 MIN_TXNS="${SMOKE_MIN_TXNS:-50}"
+KILL_AT="${SMOKE_KILL_AT:-8}"
 WORKDIR="$(mktemp -d)"
 CONFIG="$WORKDIR/cluster.json"
 
@@ -34,42 +37,112 @@ if [[ ! -x "$BIN" ]]; then
     exit 2
 fi
 
+PIDS=()
+VICTIM_PID=""
+
 cleanup() {
-    # Kill replica processes (the workload process exits by itself).
-    for pid in "${PIDS[@]:-}"; do
-        kill "$pid" 2>/dev/null || true
+    # Kill every spawned ringbft-node — replicas, the victim's restarted
+    # incarnation, and (on failure paths) the workload — then reap them
+    # so no process outlives the script whatever branch exited.
+    for pid in ${VICTIM_PID:-} "${PIDS[@]:-}"; do
+        [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    done
+    sleep 0.2
+    for pid in ${VICTIM_PID:-} "${PIDS[@]:-}"; do
+        [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
     done
     wait 2>/dev/null || true
     rm -rf "$WORKDIR"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
-echo "smoke: generating 2x4 cluster config"
-"$BIN" --example-config 2 4 >"$CONFIG"
+# Launches the replica processes for the config generated with the given
+# port base. The victim replica S0r3 runs as its own process so it can
+# be killed and blank-restarted alone; its three shard siblings share a
+# process (clients learn reply routes per *process* via Hello dial-back,
+# so the reply quorum f+1 = 2 must live in a process the client dials —
+# the primary's). Returns via globals: PIDS, VICTIM_PID.
+start_replicas() {
+    local port_base="$1"
+    "$BIN" --example-config 2 4 --port-base "$port_base" >"$CONFIG"
+    PIDS=()
+    echo "smoke: starting shard 0 (quorum process + victim process, ports from $port_base)"
+    "$BIN" --config "$CONFIG" --host S0r0 --host S0r1 --host S0r2 --stats-secs 0 &
+    PIDS+=($!)
+    "$BIN" --config "$CONFIG" --host S0r3 --stats-secs 0 &
+    VICTIM_PID=$!
+    echo "smoke: starting shard 1 process"
+    "$BIN" --config "$CONFIG" --host S1r0 --host S1r1 --host S1r2 --host S1r3 \
+        --stats-secs 0 &
+    PIDS+=($!)
+}
 
-PIDS=()
-echo "smoke: starting shard 0 process"
-"$BIN" --config "$CONFIG" --host S0r0 --host S0r1 --host S0r2 --host S0r3 \
-    --stats-secs 0 &
-PIDS+=($!)
-echo "smoke: starting shard 1 process"
-"$BIN" --config "$CONFIG" --host S1r0 --host S1r1 --host S1r2 --host S1r3 \
-    --stats-secs 0 &
-PIDS+=($!)
+# Did every replica process survive startup (no port collision)?
+replicas_alive() {
+    for pid in "${PIDS[@]}" "$VICTIM_PID"; do
+        if ! kill -0 "$pid" 2>/dev/null; then
+            return 1
+        fi
+    done
+    return 0
+}
 
-# Give the replica listeners a moment to bind.
-sleep 2
-for pid in "${PIDS[@]}"; do
-    if ! kill -0 "$pid" 2>/dev/null; then
-        echo "smoke: replica process $pid died during startup" >&2
-        exit 1
+# Start the cluster, retrying with a different port base when a replica
+# dies during startup — a stale listener from a previous CI job (or an
+# unrelated service) on the default ports must not fail the run.
+STARTED=0
+for attempt in 0 1 2; do
+    port_base=$((4100 + attempt * 40 + (RANDOM % 20) * 2))
+    start_replicas "$port_base"
+    sleep 2
+    if replicas_alive; then
+        STARTED=1
+        break
     fi
+    echo "smoke: a replica died during startup (port collision?); retrying" >&2
+    cleanup_pids=("${PIDS[@]}" "$VICTIM_PID")
+    for pid in "${cleanup_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
 done
+if [[ "$STARTED" != 1 ]]; then
+    echo "smoke: could not start the cluster after 3 attempts" >&2
+    exit 1
+fi
 
 echo "smoke: driving 100 logical clients for ${SECS}s (require ≥ ${MIN_TXNS} txns)"
 "$BIN" --config "$CONFIG" --workload 1000000:100:42 \
-    --stats-secs 5 --duration-secs "$SECS" --min-completions "$MIN_TXNS"
-RC=$?
+    --stats-secs 5 --duration-secs "$SECS" --min-completions "$MIN_TXNS" &
+WORKLOAD_PID=$!
+PIDS+=("$WORKLOAD_PID")
+
+if [[ "$KILL_AT" -gt 0 ]]; then
+    # Mid-run fault: kill replica S0r3 outright, leave the shard running
+    # at quorum 3/4 for a while, then restart the replica *blank* (fresh
+    # process, same listener from the shared config). The restarted
+    # incarnation must catch up via the recovery subsystem while the
+    # workload keeps completing transactions.
+    sleep "$KILL_AT"
+    echo "smoke: killing replica S0r3 (pid $VICTIM_PID)"
+    kill -9 "$VICTIM_PID" 2>/dev/null || true
+    wait "$VICTIM_PID" 2>/dev/null || true
+    sleep 3
+    echo "smoke: blank-restarting replica S0r3"
+    "$BIN" --config "$CONFIG" --host S0r3 --stats-secs 0 &
+    VICTIM_PID=$!
+    sleep 2
+    if ! kill -0 "$VICTIM_PID" 2>/dev/null; then
+        echo "smoke: restarted replica died immediately" >&2
+        exit 1
+    fi
+fi
+
+RC=0
+wait "$WORKLOAD_PID" || RC=$?
+
+if [[ "$KILL_AT" -gt 0 ]] && ! kill -0 "$VICTIM_PID" 2>/dev/null; then
+    echo "smoke: restarted replica did not survive the run" >&2
+    exit 1
+fi
 
 echo "smoke: workload exited with status $RC"
 exit "$RC"
