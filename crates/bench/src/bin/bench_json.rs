@@ -26,7 +26,12 @@ use std::io::Write as _;
 /// and explicit `safety_ok` / `liveness_ok` flags on the fault
 /// scenarios — `scripts/check_bench.sh` fails a PR that regresses
 /// throughput by > 20 % or loses any of these flags.
-const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: a `state_transfer` section (delta checkpointing): a laggard one
+/// checkpoint window behind recovers via a verified delta chain, and
+/// the `delta_vs_full_ok` flag gates that the recovery moved less data
+/// than a full-snapshot transfer would have.
+const SCHEMA_VERSION: u64 = 4;
 
 fn quick_cfg(kind: ProtocolKind) -> SystemConfig {
     let (z, n) = if kind.is_sharded() { (3, 4) } else { (1, 4) };
@@ -189,6 +194,66 @@ fn main() {
         })
     };
 
+    // Delta state-transfer scenario: a replica is partitioned from all
+    // inbound traffic for ~one checkpoint window; its catch-up must
+    // arrive as a verified delta chain moving O(churn) bytes — tracked
+    // against the modeled cost of a full snapshot of its partition.
+    eprintln!("bench state-transfer (delta chain catch-up) ...");
+    let state_transfer = {
+        use ringbft_types::Duration;
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 2, 4);
+        cfg.num_keys = 16_000;
+        cfg.clients = 8;
+        cfg.batch_size = 1;
+        cfg.cross_shard_rate = 0.2;
+        cfg.checkpoint_interval = 256;
+        cfg.timers.local = Duration::from_millis(4800);
+        cfg.timers.remote = Duration::from_millis(9600);
+        cfg.timers.transmit = Duration::from_millis(14400);
+        cfg.timers.client = Duration::from_millis(19200);
+        let victim = ReplicaId::new(ShardId(0), 2);
+        let t0 = std::time::Instant::now();
+        let report = Scenario::new(cfg, seed)
+            .warmup_secs(1.0)
+            .measure_secs(29.0)
+            .with_delta_transfer(victim, 2.0, 3.2)
+            .run();
+        let d = report.delta_transfers[0];
+        eprintln!(
+            "  {} delta / {} full installs, {} bytes moved vs {} full baseline ({:.1}s wall)",
+            d.delta_installs,
+            d.full_installs,
+            d.transfer_bytes(),
+            d.full_baseline_bytes,
+            t0.elapsed().as_secs_f64()
+        );
+        serde_json::json!({
+            "dark_from_s": d.dark_from_s,
+            "dark_until_s": d.dark_until_s,
+            "checkpoint_interval": 256,
+            "delta_installs": d.delta_installs,
+            "full_installs": d.full_installs,
+            "delta_bytes": d.delta_bytes,
+            "full_bytes": d.full_bytes,
+            "transfer_bytes": d.transfer_bytes(),
+            "full_baseline_bytes": d.full_baseline_bytes,
+            "victim_exec_watermark": d.exec_watermark,
+            "peer_max_watermark": d.peer_max_watermark,
+            "victim_stable_seq": d.stable_seq,
+            // No verified chain was ever rejected (honest donors).
+            "safety_ok": d.bad_digests == 0,
+            // The laggard recovered via a delta chain (no full-snapshot
+            // fallback for a recognized base) and rejoined the cadence.
+            "liveness_ok": d.delta_installs >= 1
+                && d.full_installs == 0
+                && d.exec_watermark + 3 * 256 >= d.peer_max_watermark,
+            // The whole point of delta checkpointing: recovery moved
+            // less data than a full-snapshot transfer would have.
+            "delta_vs_full_ok": d.transfer_bytes() > 0
+                && d.transfer_bytes() < d.full_baseline_bytes,
+        })
+    };
+
     let doc = serde_json::json!({
         "schema_version": SCHEMA_VERSION,
         "seed": seed,
@@ -198,13 +263,15 @@ fn main() {
             "single_shard": "1 shard x 4 replicas, batch 50, 2000 clients",
             "recovery": "RingBFT 3x4, S1r2 crash@3s + blank restart@4s, checkpoint interval 16",
             "hole_fetch": "RingBFT 3x4, S1r2 misses all quorum traffic for seq 10, checkpoint interval 512",
+            "state_transfer": "RingBFT 2x4, S0r2 dark 2.0-3.2s (~1 checkpoint window), delta-chain catch-up, interval 256",
             "warmup_s": 1.0, "measure_s": 4.0, "recovery_measure_s": 9.0,
-            "hole_measure_s": 7.0,
+            "hole_measure_s": 7.0, "state_transfer_measure_s": 29.0,
             "bandwidth_divisor": 20,
         }),
         "protocols": serde_json::Value::Object(entries),
         "recovery": recovery,
         "hole_fetch": hole_fetch,
+        "state_transfer": state_transfer,
     });
     let mut f = std::fs::File::create(&out_path).expect("create output file");
     writeln!(

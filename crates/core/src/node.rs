@@ -45,8 +45,8 @@ use ringbft_crypto::Digest;
 use ringbft_ledger::{BlockBody, Ledger};
 use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
 use ringbft_recovery::{
-    HoleFetcher, HoleStats, RecoveryEvent, RecoveryManager, RecoveryMsg, RecoveryStats, Snapshot,
-    HOLE_PROBE_TOKEN, RECOVERY_PROBE_TOKEN,
+    ChainTransfer, DeltaSnapshot, HoleFetcher, HoleStats, RecoveryEvent, RecoveryManager,
+    RecoveryMsg, RecoveryStats, Snapshot, HOLE_PROBE_TOKEN, RECOVERY_PROBE_TOKEN,
 };
 use ringbft_store::{KvStore, LockManager};
 use ringbft_types::hole::{HoleReply, HoleRequest};
@@ -97,6 +97,17 @@ struct CstState {
     proposed_here: bool,
 }
 
+/// A checkpoint this replica announced (voted) but whose quorum outcome
+/// is still pending: the voted digest, the O(churn) delta captured for
+/// the window, and — on the `full_snapshot_every` cadence — a full
+/// snapshot. Retained into the recovery manager once the vote wins.
+#[derive(Debug)]
+struct AnnouncedCheckpoint {
+    digest: Digest,
+    delta: Option<Arc<DeltaSnapshot>>,
+    full: Option<Arc<Snapshot>>,
+}
+
 #[derive(Debug, Clone)]
 enum Work {
     /// A single-shard batch awaiting execution once admitted.
@@ -129,6 +140,14 @@ pub struct RingStats {
     /// this replica announced — evidence of local state divergence
     /// (must stay 0 for correct replicas).
     pub checkpoint_divergences: u64,
+    /// Modeled wire bytes of full-snapshot state-transfer chunks this
+    /// replica accepted while recovering.
+    pub state_bytes_full: u64,
+    /// Modeled wire bytes of delta state-transfer chunks this replica
+    /// accepted while recovering — under delta checkpointing a laggard's
+    /// catch-up should move O(churn), so this stays far below what a
+    /// full transfer would cost.
+    pub state_bytes_delta: u64,
 }
 
 /// A RingBFT replica.
@@ -185,15 +204,23 @@ pub struct RingReplica {
     pending_effects: BTreeMap<u64, Vec<(Key, Value)>>,
     /// Checkpoint boundaries PBFT declared due, awaiting the watermark.
     pending_checkpoints: BTreeSet<u64>,
-    /// Snapshots announced (voted) but not yet quorum-stable, with the
-    /// digest this replica voted.
-    announced: BTreeMap<u64, (Arc<Snapshot>, Digest)>,
+    /// Checkpoints announced (voted) but not yet quorum-stable: the
+    /// voted digest plus the captured delta (every window) and full
+    /// snapshot (every `full_snapshot_every`-th window).
+    announced: BTreeMap<u64, AnnouncedCheckpoint>,
     /// The store as of the last announced checkpoint: `kv` restricted to
     /// sequences ≤ `stable_seq`, advanced strictly in sequence order so
     /// its content is identical across replicas.
     stable_kv: KvStore,
     /// Sequence `stable_kv` reflects.
     stable_seq: u64,
+    /// The full-state digest of `stable_kv` at `stable_seq` (None until
+    /// the first checkpoint) — the chain base this replica advertises
+    /// in StateRequests and folds delta transfers onto.
+    stable_digest: Option<Digest>,
+    /// Checkpoint windows since the last full snapshot capture (paces
+    /// the `full_snapshot_every` cadence).
+    windows_since_full: u64,
     /// The state-transfer state machine.
     recovery: RecoveryManager,
     /// The hole-fetch state machine: single-sequence commit-certificate
@@ -274,6 +301,8 @@ impl RingReplica {
             announced: BTreeMap::new(),
             stable_kv,
             stable_seq: 0,
+            stable_digest: None,
+            windows_since_full: 0,
             recovery,
             hole,
             pre_commit_vc_defer: None,
@@ -534,7 +563,26 @@ impl RingReplica {
                 match m {
                     RecoveryMsg::HoleRequest(req) => self.on_hole_request(r, req, out),
                     RecoveryMsg::HoleReply(reply) => self.on_hole_reply(reply, out),
-                    other => self.drive_recovery(|mgr, rout| mgr.on_message(r, other, rout), out),
+                    other => {
+                        if matches!(other, RecoveryMsg::StateRequest { .. }) {
+                            // Attach our stable-checkpoint vote to the
+                            // answer: a requester that slept through the
+                            // original vote traffic collects a weak
+                            // certificate (§6.2.2) for the target we can
+                            // actually serve as its rotating probe hits
+                            // f + 1 donors — without it, a transfer
+                            // toward our stable tip would never pass its
+                            // quorum-anchor admission check.
+                            if let Some((seq, state_digest)) = self.pbft.stable_checkpoint_revote()
+                            {
+                                out.send(
+                                    NodeId::Replica(r),
+                                    RingMsg::Pbft(PbftMsg::Checkpoint { seq, state_digest }),
+                                );
+                            }
+                        }
+                        self.drive_recovery(|mgr, rout| mgr.on_message(r, other, rout), out)
+                    }
                 }
             }
             RingMsg::Reply { .. } => {} // replicas ignore client replies
@@ -810,6 +858,43 @@ impl RingReplica {
             PbftEvent::StableCheckpoint { seq, state_digest } => {
                 self.on_stable_checkpoint(seq.0, state_digest, out);
             }
+            PbftEvent::CheckpointEvidence { seq, state_digest } => {
+                self.on_checkpoint_evidence(seq.0, state_digest, out);
+            }
+        }
+    }
+
+    /// `f + 1` distinct replicas voted the same checkpoint digest — a
+    /// weak certificate (Castro & Liskov §6.2.2): at least one voter is
+    /// correct, so state carrying this digest is a correct replica's
+    /// state and safe to fetch. Acted on only when this replica lags a
+    /// full checkpoint window behind the evidenced boundary: closer
+    /// gaps are hole-fetchable (donors retain one extra window of
+    /// certificates), and a healthy mid-window replica must not start
+    /// transfers on every passing vote. This unwedges the cadence
+    /// deadlock where a crash exhausts `f` while this replica lags —
+    /// no *new* checkpoint can then stabilize, the original votes are
+    /// never retransmitted, and without the weak path the replica
+    /// would never learn a fetchable target.
+    fn on_checkpoint_evidence(&mut self, seq: u64, digest: Digest, out: &mut Outbox<RingMsg>) {
+        if seq <= self.exec_watermark {
+            return;
+        }
+        if self.announced.get(&seq).is_some_and(|e| e.digest == digest) {
+            return; // our own state reaches it; no transfer needed
+        }
+        // Register the weakly-certified digest unconditionally: inbound
+        // transfers are verified against it, and a donor whose *stable*
+        // tip trails the evidenced boundary serves chains toward the
+        // tip — those must stay admissible.
+        self.recovery.note_stable(seq, digest);
+        // But only a full-window lag arms the transfer probe: closer
+        // gaps are hole-fetchable (donors retain one extra window of
+        // certificates), and a healthy mid-window replica must not
+        // start transfers on every passing vote.
+        if seq - self.exec_watermark >= self.cfg.checkpoint_interval {
+            let watermark = self.exec_watermark;
+            self.drive_recovery(|mgr, rout| mgr.set_behind(seq, watermark, rout), out);
         }
     }
 
@@ -835,9 +920,13 @@ impl RingReplica {
         }
         for event in self.recovery.take_events() {
             match event {
-                RecoveryEvent::Install(snap) => self.install_snapshot(snap, out),
+                RecoveryEvent::InstallChain(transfer) => self.install_chain(transfer, out),
             }
         }
+        // Mirror the transfer-byte accounting into the replica's own
+        // stats (full vs delta — surfaced by the bench harness).
+        self.stats.state_bytes_full = self.recovery.stats.bytes_full;
+        self.stats.state_bytes_delta = self.recovery.stats.bytes_delta;
     }
 
     // ------------------------------------------------------------------
@@ -919,6 +1008,21 @@ impl RingReplica {
                 NodeId::Replica(from),
                 RingMsg::Recovery(RecoveryMsg::HoleReply(reply)),
             );
+        } else if req.seq.0 <= self.pbft.last_stable().0 {
+            // The requested certificate is subsumed (and GC'd) by a
+            // stable checkpoint the requester evidently missed the
+            // votes for. Checkpoint votes are never retransmitted on
+            // their own, so re-send ours: f + 1 donors answering the
+            // rotating probe give the requester a weak certificate
+            // (§6.2.2) to anchor a state transfer on — without this, a
+            // shard whose cadence wedged (crash + laggard exhausting
+            // `f`) leaves the laggard dark forever.
+            if let Some((seq, state_digest)) = self.pbft.stable_checkpoint_revote() {
+                out.send(
+                    NodeId::Replica(from),
+                    RingMsg::Pbft(PbftMsg::Checkpoint { seq, state_digest }),
+                );
+            }
         }
     }
 
@@ -978,7 +1082,9 @@ impl RingReplica {
     /// Announces every due checkpoint the watermark has reached: folds
     /// the per-sequence effects into `stable_kv` strictly in sequence
     /// order (making its content replica-deterministic), captures the
-    /// snapshot, and votes its digest via the PBFT engine.
+    /// window's *delta* (the dirty keys of exactly those effects —
+    /// O(churn)) plus, on the `full_snapshot_every` cadence, a full
+    /// snapshot, and votes the full-state digest via the PBFT engine.
     fn try_announce_checkpoints(&mut self, out: &mut Outbox<RingMsg>) {
         while let Some(&seq) = self.pending_checkpoints.iter().next() {
             if seq > self.exec_watermark {
@@ -986,21 +1092,54 @@ impl RingReplica {
             }
             self.pending_checkpoints.remove(&seq);
             let later = self.pending_effects.split_off(&(seq + 1));
+            let mut dirty: BTreeSet<Key> = BTreeSet::new();
             for (_, writes) in std::mem::replace(&mut self.pending_effects, later) {
                 for (k, v) in writes {
                     self.stable_kv.put(k, v);
+                    dirty.insert(k);
                 }
             }
+            let prev = self.stable_digest.map(|d| (self.stable_seq, d));
             self.stable_seq = seq;
-            let snap = Arc::new(Snapshot::capture(
-                self.me.shard,
+            let digest = Snapshot::digest_of_store(self.me.shard, seq, &self.stable_kv);
+            self.stable_digest = Some(digest);
+            // The delta chains to the previous checkpoint; the very
+            // first checkpoint has no base and is captured full below.
+            let delta = prev.map(|(base_seq, base_digest)| {
+                Arc::new(DeltaSnapshot::capture(
+                    self.me.shard,
+                    base_seq,
+                    base_digest,
+                    seq,
+                    dirty.iter().copied(),
+                    &self.stable_kv,
+                    self.ledger.height() as u64,
+                    self.ledger.head_hash(),
+                ))
+            });
+            self.windows_since_full += 1;
+            let full = if delta.is_none() || self.windows_since_full >= self.cfg.full_snapshot_every
+            {
+                self.windows_since_full = 0;
+                Some(Arc::new(Snapshot::capture(
+                    self.me.shard,
+                    seq,
+                    &self.stable_kv,
+                    self.ledger.height() as u64,
+                    self.ledger.head_hash(),
+                )))
+            } else {
+                None
+            };
+            self.recovery.set_local_base(seq, digest);
+            self.announced.insert(
                 seq,
-                &self.stable_kv,
-                self.ledger.height() as u64,
-                self.ledger.head_hash(),
-            ));
-            let digest = snap.digest();
-            self.announced.insert(seq, (snap, digest));
+                AnnouncedCheckpoint {
+                    digest,
+                    delta,
+                    full,
+                },
+            );
             self.drive_pbft(
                 Instant::ZERO,
                 |pbft, pout, events| {
@@ -1020,26 +1159,46 @@ impl RingReplica {
         // transfer covers them) — re-point or stand down.
         self.update_hole_probe(out);
         self.recovery.note_stable(seq, digest);
-        if let Some((snap, ours)) = self.announced.remove(&seq) {
-            self.announced.retain(|s, _| *s > seq);
-            if ours == digest {
-                // We are part of the quorum: the snapshot becomes
-                // servable, and everything at or below it is truncated.
-                // The replay-dedup map keeps two extra checkpoint
-                // windows of finished digests: peers' writer queues can
-                // redeliver a just-finished cst's Forward shortly after
-                // the boundary, and a fresh `done` map would let it
-                // re-enter consensus and re-execute.
-                self.recovery.retain(snap);
+        if let Some(entry) = self.announced.get(&seq) {
+            if entry.digest == digest {
+                // We are part of the quorum: everything announced at or
+                // below this point is a verified prefix of the quorum
+                // state (the digest chain is deterministic, so a match
+                // at `seq` vouches for every earlier window too). The
+                // deltas become the servable chain (O(churn) laggard
+                // transfers), the periodic full snapshots anchor blank
+                // restarts, and everything at or below `seq` is
+                // truncated. The replay-dedup map keeps two extra
+                // checkpoint windows of finished digests: peers' writer
+                // queues can redeliver a just-finished cst's Forward
+                // shortly after the boundary, and a fresh `done` map
+                // would let it re-enter consensus and re-execute.
+                let keep = self.announced.split_off(&(seq + 1));
+                for (_, e) in std::mem::replace(&mut self.announced, keep) {
+                    // Delta before full: a full capture at the same
+                    // window must not clear the chain it extends.
+                    if let Some(d) = e.delta {
+                        self.recovery.retain_delta(d, e.digest);
+                    }
+                    if let Some(f) = e.full {
+                        self.recovery.retain(f);
+                    }
+                }
                 self.ledger.prune_through_seq(seq);
                 let horizon = seq.saturating_sub(2 * self.cfg.checkpoint_interval);
                 self.done.retain(|_, s| *s > horizon);
                 return;
             }
+            // Drop the diverged entry and everything below it (the
+            // snapshots can never be retained now — their digests chain
+            // into the losing one); keeping them would pin full record
+            // lists on exactly the path where the replica is already
+            // unhealthy.
+            self.announced = self.announced.split_off(&(seq + 1));
             // Our digest lost the vote: this replica's executed state
             // disagrees with the checkpoint quorum. Deterministic
             // execution makes this unreachable for a correct replica;
-            // count it loudly and keep everything (no truncation, no
+            // count it loudly and keep everything else (no truncation, no
             // serving) so the divergence stays inspectable. Automated
             // rollback-and-refetch is a ROADMAP item — the snapshot
             // cannot simply be installed, because the local state it
@@ -1060,11 +1219,64 @@ impl RingReplica {
         self.drive_recovery(|mgr, rout| mgr.set_behind(seq, watermark, rout), out);
     }
 
+    /// A state transfer finished reassembly: fold the chain onto this
+    /// replica's own checkpoint store, verify every link's chained
+    /// digest against the quorum anchors, and install the result. A
+    /// corrupted or mismatched chain is rejected here — nothing of it
+    /// ever reaches the store — and the next request falls back to the
+    /// full-snapshot path while the probe rotates donors.
+    fn install_chain(&mut self, transfer: ChainTransfer, out: &mut Outbox<RingMsg>) {
+        if transfer.target_seq <= self.exec_watermark {
+            return; // raced our own catch-up
+        }
+        // Quorum-stable digests for per-link verification (collected
+        // first so the fold can borrow the stable store).
+        let known: Vec<(u64, Digest)> = transfer
+            .links
+            .iter()
+            .filter_map(|(l, _)| self.recovery.stable_digest(l.seq).map(|d| (l.seq, d)))
+            .collect();
+        let local_base = self
+            .stable_digest
+            .map(|d| (self.stable_seq, d, &self.stable_kv));
+        let folded = transfer.fold_verified(self.me.shard, local_base, |s| {
+            known.iter().find(|(ks, _)| *ks == s).map(|(_, d)| *d)
+        });
+        match folded {
+            Ok(snap) => {
+                let delta_only = transfer.is_delta_only();
+                if self.install_snapshot(snap, transfer.target_digest, out) {
+                    self.recovery.confirm_install(delta_only);
+                } else {
+                    self.recovery.verified_not_installed();
+                }
+            }
+            // A delta chain whose base we no longer hold (our own
+            // checkpoint advanced while the chunks were in flight) is
+            // an honest race, not corruption: nothing folds, and the
+            // next request advertises the fresh base. Digest and
+            // continuity failures are integrity violations and force
+            // the full-snapshot fallback.
+            Err(
+                ringbft_recovery::ChainError::BaseMismatch | ringbft_recovery::ChainError::Empty,
+            ) => self.recovery.chain_stale(),
+            Err(_) => self.recovery.chain_rejected(),
+        }
+    }
+
     /// Installs a verified snapshot: replaces store, locks and ledger,
     /// fast-forwards the watermark, and replays the committed tail.
-    fn install_snapshot(&mut self, snap: Snapshot, out: &mut Outbox<RingMsg>) {
+    /// `digest` is the snapshot's (quorum-stable) full-state digest.
+    /// Returns false when the install was refused because it raced
+    /// local progress.
+    fn install_snapshot(
+        &mut self,
+        snap: Snapshot,
+        digest: Digest,
+        out: &mut Outbox<RingMsg>,
+    ) -> bool {
         if snap.seq <= self.exec_watermark {
-            return; // raced our own catch-up
+            return false; // raced our own catch-up
         }
         // Refuse while state *beyond* the snapshot exists locally — the
         // install would erase effects later sequences already derived
@@ -1075,12 +1287,19 @@ impl RingReplica {
         if self.executed_ahead.iter().any(|s| *s > snap.seq)
             || self.locks.max_held_seq().is_some_and(|s| s > snap.seq)
         {
-            return;
+            return false;
         }
         let seq = snap.seq;
         self.kv = snap.restore_store();
         self.stable_kv = self.kv.clone();
         self.stable_seq = seq;
+        self.stable_digest = Some(digest);
+        self.windows_since_full = 0;
+        self.recovery.set_local_base(seq, digest);
+        // Sequences the snapshot subsumes are settled: stand their
+        // PBFT watchdogs down (a weak-certificate install can land
+        // ahead of the engine's own stable observations).
+        self.pbft.install_stable_floor(SeqNum(seq));
         self.exec_watermark = seq;
         self.executed_ahead.clear();
         self.pending_effects = self.pending_effects.split_off(&(seq + 1));
@@ -1135,11 +1354,12 @@ impl RingReplica {
                 self.on_admitted(a, out);
             }
         }
-        // The installed snapshot is servable to the next laggard.
+        // The installed snapshot is servable to the next laggard (as a
+        // fresh chain base — future deltas chain onto it).
         self.recovery.retain(Arc::new(snap));
         self.recovery.caught_up_to(self.exec_watermark);
-        self.recovery.confirm_install();
         self.try_announce_checkpoints(out);
+        true
     }
 
     fn on_local_commit(
@@ -1426,6 +1646,23 @@ impl RingReplica {
         // Validate the modeled commit certificate: nf signers required.
         let prev = self.ring.prev(&involved, self.me.shard);
         if fwd.from_shard != prev || fwd.cert_signers.len() < self.cfg.shard(prev).nf() {
+            return;
+        }
+        // A Forward reaching its *initiator* shard is the wrap-around
+        // fate notification. Initiator-shard cst state is born from
+        // client requests and local consensus, never from Forwards — so
+        // a wrap-around for a cst unknown here is a replay of work
+        // already finished and GC'd past the `done` window
+        // (non-initiator shards retransmit the fate notification on a
+        // capped timer that can outlive any bounded dedup memory).
+        // Re-admitting it would re-run consensus and re-execute a
+        // finished transaction on part of the shard — divergence, not
+        // recovery. A replica that genuinely missed the cst first
+        // recovers its *commit* (hole fetch / state transfer), after
+        // which the state exists and the wrap-around is accepted.
+        // Checked before the local sharing below so a zombie replay is
+        // dropped at the boundary instead of fanning out shard-wide.
+        if self.ring.first(&involved) == self.me.shard && !self.csts.contains_key(&digest) {
             return;
         }
         if direct {

@@ -41,9 +41,11 @@ use std::io::{Read, Write};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"RBFT");
 
 /// Current frame version (2 = MAC-authenticated frames; 3 = hole-fetch
-/// messages added to the recovery vocabulary — enum layouts changed, so
-/// v2 peers must not decode v3 bodies).
-pub const VERSION: u16 = 3;
+/// messages added to the recovery vocabulary; 4 = delta state transfer —
+/// `StateRequest` gained the requester's base, `StatePlan` replaced the
+/// `StateDone` trailer, and `StateChunk` is chain-link framed. Enum
+/// layouts changed, so older peers must not decode v4 bodies).
+pub const VERSION: u16 = 4;
 
 /// Bytes of the fixed frame header (excluding the authenticator).
 pub const HEADER_BYTES: usize = 12;

@@ -106,7 +106,7 @@ pub fn parse_replica_name(name: &str) -> Result<ReplicaId, ConfigError> {
 /// so a typo'd knob fails loudly instead of silently running with the
 /// paper default (every process must share the file, so a silent
 /// fallback would be a cross-process misconfiguration).
-const KNOWN_KEYS: [&str; 14] = [
+const KNOWN_KEYS: [&str; 15] = [
     "protocol",
     "shards",
     "batch_size",
@@ -119,6 +119,7 @@ const KNOWN_KEYS: [&str; 14] = [
     "timers_ms",
     "checkpoint_interval",
     "state_chunk_records",
+    "full_snapshot_every",
     "auth_seed",
     "peers",
 ];
@@ -201,6 +202,9 @@ pub fn parse_cluster_config(text: &str) -> Result<ClusterConfig, ConfigError> {
     }
     if let Some(v) = u64_knob("state_chunk_records") {
         system.state_chunk_records = v as usize;
+    }
+    if let Some(v) = u64_knob("full_snapshot_every") {
+        system.full_snapshot_every = v;
     }
     if let Some(v) = u64_knob("auth_seed") {
         system.auth_seed = v;
@@ -285,6 +289,7 @@ pub fn render_cluster_config(
         "ring_offset": system.ring_offset,
         "checkpoint_interval": system.checkpoint_interval,
         "state_chunk_records": system.state_chunk_records as u64,
+        "full_snapshot_every": system.full_snapshot_every,
         "auth_seed": system.auth_seed,
         "timers_ms": serde_json::json!({
             "local": system.timers.local.as_nanos() / 1_000_000,
@@ -342,17 +347,25 @@ mod tests {
             "shards": [{ "n": 4 }],
             "checkpoint_interval": 16,
             "state_chunk_records": 512,
+            "full_snapshot_every": 2,
             "auth_seed": 7,
             "peers": {}
         }"#;
         let cc = parse_cluster_config(text).unwrap();
         assert_eq!(cc.system.checkpoint_interval, 16);
         assert_eq!(cc.system.state_chunk_records, 512);
+        assert_eq!(cc.system.full_snapshot_every, 2);
         assert_eq!(cc.system.auth_seed, 7);
         // A zero interval fails SystemConfig validation.
         assert!(parse_cluster_config(
             r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],
                  "checkpoint_interval": 0, "peers": {} }"#
+        )
+        .is_err());
+        // So does a zero full-snapshot cadence.
+        assert!(parse_cluster_config(
+            r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],
+                 "full_snapshot_every": 0, "peers": {} }"#
         )
         .is_err());
     }

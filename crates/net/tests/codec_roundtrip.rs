@@ -13,7 +13,7 @@ use ringbft_core::{ExecuteMsg, ForwardMsg, RingMsg};
 use ringbft_net::codec::{encode_frame, read_frame, Envelope, FrameAuth};
 use ringbft_pbft::{PbftMsg, PreparedProof};
 use ringbft_protocols::SsMsg;
-use ringbft_recovery::{RecordEntry, RecoveryMsg};
+use ringbft_recovery::{PlanLink, RecordEntry, RecoveryMsg};
 use ringbft_sim::AnyMsg;
 use ringbft_types::hole::{CommitCertificate, HoleReply, HoleRequest};
 use ringbft_types::txn::{Batch, Operation, OperationKind, RemoteRead, Transaction};
@@ -158,11 +158,39 @@ fn arb_ring(rng: &mut TestRng) -> RingMsg {
     }
 }
 
+fn arb_records(rng: &mut TestRng) -> Vec<RecordEntry> {
+    (0..arb_u64(rng, 50))
+        .map(|_| RecordEntry {
+            key: arb_u64(rng, 1 << 40),
+            value: arb_u64(rng, u64::MAX - 1),
+            version: arb_u64(rng, 1 << 20),
+        })
+        .collect()
+}
+
+fn arb_plan_link(rng: &mut TestRng) -> PlanLink {
+    PlanLink {
+        seq: arb_u64(rng, 1 << 30),
+        digest: arb_digest(rng),
+        base: if arb_u64(rng, 2) == 0 {
+            None
+        } else {
+            Some((arb_u64(rng, 1 << 30), arb_digest(rng)))
+        },
+        chunks: arb_u64(rng, 64) as u32,
+    }
+}
+
 fn arb_recovery(rng: &mut TestRng) -> RecoveryMsg {
     let digest = arb_digest(rng);
     match arb_u64(rng, 5) {
         0 => RecoveryMsg::StateRequest {
             from_seq: arb_u64(rng, 1 << 30),
+            base: if arb_u64(rng, 2) == 0 {
+                None
+            } else {
+                Some((arb_u64(rng, 1 << 30), arb_digest(rng)))
+            },
         },
         3 => RecoveryMsg::HoleRequest(HoleRequest {
             seq: SeqNum(arb_u64(rng, 1 << 30)),
@@ -177,22 +205,17 @@ fn arb_recovery(rng: &mut TestRng) -> RecoveryMsg {
             batch: arb_batch(rng),
         }),
         1 => RecoveryMsg::StateChunk {
-            seq: arb_u64(rng, 1 << 30),
-            digest,
+            target_seq: arb_u64(rng, 1 << 30),
+            target_digest: digest,
+            link_seq: arb_u64(rng, 1 << 30),
+            delta: arb_u64(rng, 2) == 0,
             chunk: arb_u64(rng, 64) as u32,
-            total: arb_u64(rng, 64) as u32,
-            records: (0..arb_u64(rng, 50))
-                .map(|_| RecordEntry {
-                    key: arb_u64(rng, 1 << 40),
-                    value: arb_u64(rng, u64::MAX - 1),
-                    version: arb_u64(rng, 1 << 20),
-                })
-                .collect(),
+            records: arb_records(rng),
         },
-        _ => RecoveryMsg::StateDone {
-            seq: arb_u64(rng, 1 << 30),
-            digest,
-            total: arb_u64(rng, 64) as u32,
+        _ => RecoveryMsg::StatePlan {
+            target_seq: arb_u64(rng, 1 << 30),
+            target_digest: digest,
+            links: (0..arb_u64(rng, 6)).map(|_| arb_plan_link(rng)).collect(),
             ledger_height: arb_u64(rng, 1 << 30),
             ledger_head: arb_digest(rng),
         },
@@ -334,6 +357,45 @@ proptest! {
             from: arb_node(&mut rng),
             to: arb_node(&mut rng),
             msg: AnyMsg::Ring(RingMsg::Recovery(arb_recovery(&mut rng))),
+        };
+        let frame = encode_frame(&env, &auth).expect("encode");
+        let decoded: Envelope<AnyMsg> =
+            read_frame(&mut frame.as_slice(), &auth, env.to).expect("decode");
+        prop_assert_eq!(&decoded, &env);
+    }
+
+    /// Codec v4: the delta state-transfer vocabulary — `StatePlan`
+    /// chain headers (full and delta links, empty and multi-link
+    /// chains) and link-framed `StateChunk`s with their delta flag —
+    /// survives the codec verbatim.
+    #[test]
+    fn delta_transfer_msgs_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = proptest::rng_for(&format!("codec-delta-{seed}"));
+        let auth = FrameAuth::from_seed(0);
+        let msg = if arb_u64(&mut rng, 2) == 0 {
+            RecoveryMsg::StatePlan {
+                target_seq: arb_u64(&mut rng, 1 << 30),
+                target_digest: arb_digest(&mut rng),
+                links: (0..arb_u64(&mut rng, 9))
+                    .map(|_| arb_plan_link(&mut rng))
+                    .collect(),
+                ledger_height: arb_u64(&mut rng, 1 << 30),
+                ledger_head: arb_digest(&mut rng),
+            }
+        } else {
+            RecoveryMsg::StateChunk {
+                target_seq: arb_u64(&mut rng, 1 << 30),
+                target_digest: arb_digest(&mut rng),
+                link_seq: arb_u64(&mut rng, 1 << 30),
+                delta: arb_u64(&mut rng, 2) == 0,
+                chunk: arb_u64(&mut rng, 64) as u32,
+                records: arb_records(&mut rng),
+            }
+        };
+        let env = Envelope {
+            from: arb_node(&mut rng),
+            to: arb_node(&mut rng),
+            msg: AnyMsg::Ring(RingMsg::Recovery(msg)),
         };
         let frame = encode_frame(&env, &auth).expect("encode");
         let decoded: Envelope<AnyMsg> =

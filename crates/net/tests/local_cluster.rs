@@ -314,15 +314,21 @@ fn run_phase(cluster: &LocalCluster, cfg: &SystemConfig, txns: Vec<Transaction>)
     let _ = injector.shutdown();
 }
 
-/// Acceptance test (ISSUE 2): a 3-shard × 4-replica TCP cluster kills
-/// one replica, restarts it with empty state, and the replica catches
-/// up via checkpoint state transfer and participates in committing new
-/// cross-shard transactions; ledger memory is truncated to the last
-/// stable checkpoint.
+/// Acceptance test (ISSUE 2, extended by ISSUE 4): a 3-shard ×
+/// 4-replica TCP cluster kills one replica, restarts it with empty
+/// state, and the replica catches up via checkpoint state transfer and
+/// participates in committing new cross-shard transactions; ledger
+/// memory is truncated to the last stable checkpoint. Under delta
+/// checkpointing (`full_snapshot_every` = 2 here) this doubles as the
+/// full-snapshot fallback twin of the sim test: the blank requester
+/// advertises no base digest, no donor can recognize one, and the
+/// catch-up must arrive as a chain with a full snapshot link — never a
+/// dangling delta chain.
 #[test]
 fn replica_blank_restart_catches_up_via_state_transfer_over_tcp() {
     let mut cfg = quick_cfg(3, 4);
     cfg.checkpoint_interval = 4;
+    cfg.full_snapshot_every = 2;
     let victim = ReplicaId::new(ShardId(1), 2); // a backup, not a primary
     let cst = |id: u64, offset: u64| {
         Transaction::new(
@@ -365,7 +371,15 @@ fn replica_blank_restart_catches_up_via_state_transfer_over_tcp() {
     assert!(caught_up, "victim never installed a snapshot");
     cluster.with_replica(victim, |n| match n {
         ringbft_sim::AnyNode::Ring(r) => {
-            assert_eq!(r.recovery_stats().bad_digests, 0);
+            let stats = r.recovery_stats();
+            assert_eq!(stats.bad_digests, 0);
+            // Full-snapshot fallback: a blank requester has no base any
+            // donor recognizes, so its first install must ship a full
+            // snapshot link (later top-ups may be delta chains).
+            assert!(
+                stats.full_installs >= 1,
+                "blank restart did not receive a full snapshot: {stats:?}"
+            );
         }
         _ => panic!("ring replica expected"),
     });

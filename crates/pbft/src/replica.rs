@@ -102,6 +102,19 @@ pub enum PbftEvent {
         /// lagging replica can fetch and verify a snapshot against.
         state_digest: Digest,
     },
+    /// A *weak certificate* (Castro & Liskov §6.2.2) formed for a
+    /// checkpoint: `f + 1` distinct replicas voted the same state
+    /// digest — at least one of them is correct, so state carrying this
+    /// digest is a correct replica's state and safe to fetch. Emitted
+    /// below the `nf` stability threshold so a replica that missed the
+    /// original vote traffic (and whose shard may no longer be able to
+    /// form full checkpoint quorums) can still anchor a state transfer.
+    CheckpointEvidence {
+        /// Covered sequence number.
+        seq: SeqNum,
+        /// The digest `f + 1` replicas agree on.
+        state_digest: Digest,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -127,6 +140,11 @@ pub struct PbftCore {
     /// Highest sequence number seen in any pre-prepare.
     max_seq_seen: u64,
     last_stable: u64,
+    /// Our own checkpoint vote for `last_stable`, retained at stabilize
+    /// when it matched the quorum digest — re-sendable to peers that ask
+    /// for sequences the checkpoint subsumed (see
+    /// [`PbftCore::stable_checkpoint_revote`]).
+    last_stable_vote: Option<Digest>,
     instances: BTreeMap<u64, Instance>,
     checkpoint_votes: BTreeMap<u64, HashMap<u32, Digest>>,
     view_change_votes: BTreeMap<u64, BTreeMap<u32, Vec<PreparedProof>>>,
@@ -185,6 +203,7 @@ impl PbftCore {
             next_seq: 1,
             max_seq_seen: 0,
             last_stable: 0,
+            last_stable_vote: None,
             instances: BTreeMap::new(),
             checkpoint_votes: BTreeMap::new(),
             view_change_votes: BTreeMap::new(),
@@ -218,9 +237,46 @@ impl PbftCore {
         self.in_view_change
     }
 
+    /// This replica's own checkpoint vote for the last stable boundary,
+    /// when it matched the quorum digest: `(seq, state_digest)`,
+    /// re-sendable as a fresh `PbftMsg::Checkpoint`. Donors answer
+    /// hole requests for checkpoint-subsumed sequences with it, so a
+    /// replica that slept through the original vote traffic can collect
+    /// a weak certificate (§6.2.2) and start a state transfer even when
+    /// the shard's checkpoint cadence is wedged.
+    pub fn stable_checkpoint_revote(&self) -> Option<(SeqNum, Digest)> {
+        self.last_stable_vote
+            .filter(|_| self.last_stable > 0)
+            .map(|d| (SeqNum(self.last_stable), d))
+    }
+
     /// Last stable checkpoint sequence.
     pub fn last_stable(&self) -> SeqNum {
         SeqNum(self.last_stable)
+    }
+
+    /// The outer protocol installed a verified checkpoint snapshot at
+    /// `seq` (fully- or weakly-certified, §6.2.2): fast-forward the
+    /// engine's stable floor so sequences the snapshot subsumes are
+    /// settled — their watchdogs stand down instead of demanding view
+    /// changes for work the shard finished while this replica was dark.
+    /// Prunes with the same one-extra-window retention policy as a
+    /// locally observed stabilization. No-op when `seq` is not ahead of
+    /// the floor (the common case: the install's target *was* the last
+    /// observed stable checkpoint).
+    pub fn install_stable_floor(&mut self, seq: SeqNum) {
+        if seq.0 <= self.last_stable {
+            return;
+        }
+        self.last_stable = seq.0;
+        // Our retained re-vote described the previous boundary.
+        self.last_stable_vote = None;
+        self.max_seq_seen = self.max_seq_seen.max(seq.0);
+        self.next_seq = self.next_seq.max(seq.0 + 1);
+        let horizon = seq.0.saturating_sub(self.cfg.checkpoint_interval);
+        self.instances.retain(|k, _| *k > horizon);
+        self.checkpoint_votes.retain(|k, _| *k > seq.0);
+        self.advance_committed_through();
     }
 
     /// Current per-request timeout, including view-change backoff.
@@ -464,6 +520,16 @@ impl PbftCore {
                 .map(|i| i.committed)
                 .unwrap_or(false);
         if !committed && !self.in_view_change {
+            // A hole below the local commit frontier is a delivery gap,
+            // not a dead primary: later sequences committed here, so
+            // the quorum demonstrably decided this slot too and the
+            // hole fetcher repairs it from peers (O(batch)). A view
+            // change could never recover the missed traffic — it would
+            // only wedge this replica in a view no healthy peer joins,
+            // dropping the live vote stream and tearing fresh holes.
+            if token < self.max_committed_seq() {
+                return true;
+            }
             let next = self.view.next();
             self.start_view_change(next, out, events);
         }
@@ -664,7 +730,28 @@ impl PbftCore {
         let Some((winner, n_votes)) = counts.into_iter().max_by_key(|(_, n)| *n) else {
             return;
         };
-        if n_votes >= nf {
+        if n_votes < nf {
+            // Below stability but already a weak certificate (§6.2.2):
+            // surface it, so an in-dark replica can anchor a state
+            // transfer even when the shard can no longer gather full
+            // checkpoint quorums (e.g. a crash exhausted `f` while this
+            // replica lags).
+            if n_votes > self.cfg.f() {
+                events.push(PbftEvent::CheckpointEvidence {
+                    seq: SeqNum(seq),
+                    state_digest: winner,
+                });
+            }
+            return;
+        }
+        {
+            // Retain re-vote metadata at stabilize: our own matching
+            // vote for the stable boundary, re-sendable to a peer that
+            // asks for a sequence this checkpoint already subsumed
+            // (checkpoint votes are not otherwise retransmitted, so a
+            // replica that slept through them could never learn the
+            // stable digest once the shard's cadence wedges).
+            self.last_stable_vote = votes.get(&self.me.index).filter(|d| **d == winner).copied();
             self.last_stable = self.last_stable.max(seq);
             // In-dark replicas fast-forward past work they missed.
             self.max_seq_seen = self.max_seq_seen.max(seq);

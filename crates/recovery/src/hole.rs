@@ -89,6 +89,10 @@ pub struct HoleStats {
 pub struct HoleFetcher {
     donors: DonorRotation,
     probe_interval: Duration,
+    /// Requests per burst tick: `f + 1`, so at most `f` dead or
+    /// Byzantine-silent donors can never stall a burst-paced gap
+    /// repair (the slow probe path stays single-request).
+    burst: usize,
     /// The sequence currently being fetched (None = no hole).
     missing: Option<u64>,
     probing: bool,
@@ -106,6 +110,7 @@ impl HoleFetcher {
         HoleFetcher {
             donors: DonorRotation::new(me, n),
             probe_interval,
+            burst: (n.saturating_sub(1)) / 3 + 1,
             missing: None,
             probing: false,
             stats: HoleStats::default(),
@@ -150,10 +155,14 @@ impl HoleFetcher {
     /// next probe tick — burst pacing for sequential repair: after one
     /// certificate installs, the next hole of a multi-sequence gap is
     /// fetched at network round-trip pace while the probe timer keeps
-    /// running as the loss fallback.
+    /// running as the loss fallback. Asks `f + 1` donors in parallel so
+    /// a dead donor in the rotation cannot stall the burst (duplicate
+    /// replies for an already-filled sequence are dropped as stale).
     pub fn fetch_now(&mut self, out: &mut Outbox<RecoveryMsg>) {
         if self.missing.is_some() {
-            self.request(out);
+            for _ in 0..self.burst {
+                self.request(out);
+            }
         }
     }
 

@@ -12,12 +12,21 @@
 //!   the replica's ledger position. Its SHA-256 [`Snapshot::digest`] is
 //!   the `state_digest` carried in `PbftMsg::Checkpoint` — replicas only
 //!   reach a stable checkpoint when `nf` of them hold *identical* state.
+//! * [`DeltaSnapshot`] — the incremental checkpoint (Castro & Liskov
+//!   §6.2): only the records written since the previous checkpoint,
+//!   chained to that checkpoint's digest, so per-window capture and
+//!   laggard transfers are O(churn) instead of O(state). Folding a
+//!   verified chain onto its base reproduces the full snapshot —
+//!   digest included ([`ChainTransfer::fold_verified`]).
 //! * [`RecoveryManager`] — a sans-io state machine (it fits the
 //!   [`ProtocolNode`](ringbft_types::sansio::ProtocolNode) driver
-//!   contract) that serves snapshots to lagging same-shard peers and,
-//!   when its own replica falls behind a quorum-stable checkpoint,
-//!   fetches the snapshot chunk by chunk, validates the reassembled
-//!   state against the agreed digest, and hands it back for install.
+//!   contract) that serves snapshot chains to lagging same-shard peers
+//!   (the shortest retained delta chain when it recognizes the
+//!   requester's base, the full snapshot otherwise) and, when its own
+//!   replica falls behind a quorum-stable checkpoint, reassembles the
+//!   announced chain chunk by chunk and hands it to the host, which
+//!   folds and verifies every link against the agreed digests before
+//!   install.
 //!
 //! Communication reuses the paper's linear-primitive discipline: a
 //! recovering replica asks **one** peer at a time (rotating on a probe
@@ -27,7 +36,7 @@
 //! The digest deliberately excludes the ledger linkage: §7 allows the
 //! relative order of non-conflicting cross-shard blocks to differ
 //! between replicas of one shard, so chain heads are replica-local. The
-//! ledger base carried by [`RecoveryMsg::StateDone`] is therefore taken
+//! ledger base carried by [`RecoveryMsg::StatePlan`] is therefore taken
 //! from the donor on trust — a Byzantine donor can feed a bogus chain
 //! *base*, but never bogus *state*: the key-value records are checked
 //! against the digest `nf` replicas voted for.
@@ -40,4 +49,4 @@ pub use hole::{DonorRotation, HoleFetcher, HoleStats, HOLE_PROBE_TOKEN};
 pub use manager::{
     RecoveryEvent, RecoveryManager, RecoveryMsg, RecoveryStats, RECOVERY_PROBE_TOKEN,
 };
-pub use snapshot::{RecordEntry, Snapshot};
+pub use snapshot::{ChainError, ChainTransfer, DeltaSnapshot, PlanLink, RecordEntry, Snapshot};

@@ -17,7 +17,9 @@ pub mod scenario;
 pub use client::{Completion, SimClient};
 pub use msg::AnyMsg;
 pub use nodes::AnyNode;
-pub use scenario::{scenario_quorum, HoleReport, RecoveryReport, Scenario, ScenarioReport};
+pub use scenario::{
+    scenario_quorum, DeltaTransferReport, HoleReport, RecoveryReport, Scenario, ScenarioReport,
+};
 
 #[cfg(test)]
 mod tests {

@@ -87,10 +87,10 @@ impl SimMessage for AnyMsg {
                 }
                 RingMsg::Recovery(m) => match m {
                     RecoveryMsg::StateRequest { .. } => wire::state_request_bytes(),
+                    RecoveryMsg::StatePlan { links, .. } => wire::state_plan_bytes(links.len()),
                     RecoveryMsg::StateChunk { records, .. } => {
                         wire::state_chunk_bytes(records.len())
                     }
-                    RecoveryMsg::StateDone { .. } => wire::state_done_bytes(),
                     RecoveryMsg::HoleRequest(_) => wire::hole_request_bytes(),
                     RecoveryMsg::HoleReply(r) => {
                         wire::hole_reply_bytes(r.batch.len(), r.cert.signers.len())
@@ -141,10 +141,13 @@ impl SimMessage for AnyMsg {
                 // (hashing for the digest check dominates).
                 RingMsg::Recovery(m) => match m {
                     RecoveryMsg::StateRequest { .. } => Duration::from_micros(3),
+                    // Plan validation scales with the chain length.
+                    RecoveryMsg::StatePlan { links, .. } => {
+                        Duration::from_micros(5 + links.len() as u64)
+                    }
                     RecoveryMsg::StateChunk { records, .. } => {
                         Duration::from_micros(5 + records.len() as u64 / 8)
                     }
-                    RecoveryMsg::StateDone { .. } => Duration::from_micros(5),
                     RecoveryMsg::HoleRequest(_) => Duration::from_micros(3),
                     // Validate nf commit attestations plus hash the batch.
                     RecoveryMsg::HoleReply(r) => Duration::from_micros(

@@ -23,6 +23,59 @@ pub struct RecoveryReport {
     pub catchup_s: Option<f64>,
     /// Client throughput over the window after the restart, txn/s.
     pub post_restart_tps: f64,
+    /// Installs whose transfer shipped a full snapshot link. A blank
+    /// restart advertises no base, so donors must answer with the full
+    /// fallback — this stays ≥ 1 under delta checkpointing.
+    pub full_installs: u64,
+    /// Installs recovered via a pure delta chain.
+    pub delta_installs: u64,
+    /// Transfers the restarted replica rejected at verification (must
+    /// stay 0 with correct donors).
+    pub bad_digests: u64,
+}
+
+/// Post-run state of one delta state-transfer pass (set per
+/// [`Scenario::with_delta_transfer`]): the victim was partitioned from
+/// all inbound traffic for a window, fell behind its shard's stable
+/// checkpoint frontier, and must catch up via a *delta chain* — moving
+/// O(churn) bytes, not O(state).
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaTransferReport {
+    /// The replica that was made dark.
+    pub replica: ReplicaId,
+    /// Darkness start (seconds into the run).
+    pub dark_from_s: f64,
+    /// Darkness end.
+    pub dark_until_s: f64,
+    /// Installs recovered via a pure delta chain.
+    pub delta_installs: u64,
+    /// Installs that fell back to a full snapshot link (should stay 0
+    /// when the victim's base is one window behind).
+    pub full_installs: u64,
+    /// Modeled wire bytes of delta chunks the victim accepted.
+    pub delta_bytes: u64,
+    /// Modeled wire bytes of full-snapshot chunks the victim accepted.
+    pub full_bytes: u64,
+    /// Modeled wire bytes a *full* snapshot transfer of the victim's
+    /// final store would have moved (plan + chunked records) — the
+    /// baseline the delta bytes are gated against.
+    pub full_baseline_bytes: u64,
+    /// Transfers rejected at verification (must stay 0 with correct
+    /// donors).
+    pub bad_digests: u64,
+    /// The victim's execution watermark at the end of the run.
+    pub exec_watermark: u64,
+    /// The highest same-shard peer watermark at the end of the run.
+    pub peer_max_watermark: u64,
+    /// The victim's last stable checkpoint at the end of the run.
+    pub stable_seq: u64,
+}
+
+impl DeltaTransferReport {
+    /// Total modeled state-transfer bytes the victim accepted.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.delta_bytes + self.full_bytes
+    }
 }
 
 /// Post-run state of one injected commit hole (set per
@@ -80,6 +133,8 @@ pub struct ScenarioReport {
     pub recovery: Option<RecoveryReport>,
     /// Commit-hole repair metrics, one per injected hole.
     pub holes: Vec<HoleReport>,
+    /// Delta state-transfer metrics, one per darkened replica.
+    pub delta_transfers: Vec<DeltaTransferReport>,
 }
 
 /// A configurable experiment.
@@ -94,6 +149,7 @@ pub struct Scenario {
     bandwidth_divisor: u64,
     blank_restart: Option<(f64, f64, ReplicaId)>,
     commit_holes: Vec<(ReplicaId, u64)>,
+    delta_transfers: Vec<(ReplicaId, f64, f64)>,
 }
 
 impl Scenario {
@@ -110,6 +166,7 @@ impl Scenario {
             bandwidth_divisor: 1,
             blank_restart: None,
             commit_holes: Vec::new(),
+            delta_transfers: Vec::new(),
         }
     }
 
@@ -157,6 +214,26 @@ impl Scenario {
         self
     }
 
+    /// Partitions `replica` from *all* inbound traffic during
+    /// `[dark_from_s, dark_until_s)` — it keeps its state but misses at
+    /// least one checkpoint window, so when the darkness lifts it is a
+    /// laggard behind its shard's stable frontier and must catch up via
+    /// state transfer. Under delta checkpointing the donors recognize
+    /// its (pre-darkness) checkpoint base and ship a delta chain; the
+    /// report's `delta_transfers` entries measure bytes moved and
+    /// install kinds.
+    pub fn with_delta_transfer(
+        mut self,
+        replica: ReplicaId,
+        dark_from_s: f64,
+        dark_until_s: f64,
+    ) -> Self {
+        assert!(dark_from_s < dark_until_s, "darkness must have an end");
+        self.delta_transfers
+            .push((replica, dark_from_s, dark_until_s));
+        self
+    }
+
     /// Use a single-datacenter topology instead of the 15-region WAN.
     pub fn local_topology(mut self, yes: bool) -> Self {
         self.local_topology = yes;
@@ -198,10 +275,29 @@ impl Scenario {
         let mut world: World<AnyMsg, AnyNode> =
             World::new(topology, self.faults.clone(), self.seed);
 
-        // --- targeted commit holes (hole-fetch scenarios) ---
-        if !self.commit_holes.is_empty() {
+        // --- targeted faults: commit holes and darkness windows ---
+        if !self.commit_holes.is_empty() || !self.delta_transfers.is_empty() {
             let holes = self.commit_holes.clone();
-            world.set_drop_filter(move |_now, _from, to, msg| {
+            let darks: Vec<(NodeId, Instant, Instant)> = self
+                .delta_transfers
+                .iter()
+                .map(|(r, from, until)| {
+                    (
+                        NodeId::Replica(*r),
+                        Instant::ZERO + Duration::from_secs_f64(*from),
+                        Instant::ZERO + Duration::from_secs_f64(*until),
+                    )
+                })
+                .collect();
+            world.set_drop_filter(move |now, _from, to, msg| {
+                // Darkness: the victim receives nothing at all.
+                if darks
+                    .iter()
+                    .any(|(n, a, b)| to == *n && now >= *a && now < *b)
+                {
+                    return true;
+                }
+                // Commit holes: suppress one sequence's quorum traffic.
                 let AnyMsg::Ring(RingMsg::Pbft(p)) = msg else {
                     return false;
                 };
@@ -331,12 +427,72 @@ impl Scenario {
                 .iter()
                 .filter(|c| c.done >= restart_at && c.done <= end)
                 .count();
+            let stats = match world.node(NodeId::Replica(replica)) {
+                Some(AnyNode::Ring(r)) => r.recovery_stats(),
+                _ => Default::default(),
+            };
             RecoveryReport {
                 restart_s,
                 catchup_s,
                 post_restart_tps: post as f64 / window_s,
+                full_installs: stats.full_installs,
+                delta_installs: stats.delta_installs,
+                bad_digests: stats.bad_digests,
             }
         });
+
+        // Delta state-transfer metrics: per darkened victim, what the
+        // catch-up actually moved (delta vs full bytes) against the
+        // modeled cost of a full snapshot of its final store.
+        let delta_transfers: Vec<DeltaTransferReport> = self
+            .delta_transfers
+            .iter()
+            .map(|(replica, dark_from_s, dark_until_s)| {
+                let (stats, watermark, stable, store_len) =
+                    match world.node(NodeId::Replica(*replica)) {
+                        Some(AnyNode::Ring(r)) => (
+                            r.recovery_stats(),
+                            r.exec_watermark(),
+                            r.last_stable_seq(),
+                            r.store().len(),
+                        ),
+                        _ => (Default::default(), 0, 0, 0),
+                    };
+                let peer_max_watermark = cfg
+                    .shard(replica.shard)
+                    .replicas()
+                    .filter(|r| *r != *replica)
+                    .filter_map(|r| match world.node(NodeId::Replica(r)) {
+                        Some(AnyNode::Ring(n)) => Some(n.exec_watermark()),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                // Modeled bytes of one full transfer of the final store.
+                let per = cfg.state_chunk_records.max(1);
+                let mut full_baseline_bytes = ringbft_types::wire::state_plan_bytes(1);
+                let mut left = store_len;
+                while left > 0 {
+                    let take = left.min(per);
+                    full_baseline_bytes += ringbft_types::wire::state_chunk_bytes(take);
+                    left -= take;
+                }
+                DeltaTransferReport {
+                    replica: *replica,
+                    dark_from_s: *dark_from_s,
+                    dark_until_s: *dark_until_s,
+                    delta_installs: stats.delta_installs,
+                    full_installs: stats.full_installs,
+                    delta_bytes: stats.bytes_delta,
+                    full_bytes: stats.bytes_full,
+                    full_baseline_bytes,
+                    bad_digests: stats.bad_digests,
+                    exec_watermark: watermark,
+                    peer_max_watermark,
+                    stable_seq: stable,
+                }
+            })
+            .collect();
 
         // Hole-repair metrics: per victim, whether the held sequence was
         // fetched (certificate recovery) and executed, and where the
@@ -387,6 +543,7 @@ impl Scenario {
             bytes_sent: world.stats.bytes_sent,
             recovery,
             holes,
+            delta_transfers,
         }
     }
 }

@@ -128,7 +128,11 @@ fn checkpoint_cadence_survives_f_laggards_per_shard() {
 /// Blank-restart recovery (checkpoint state transfer), as already
 /// covered by `recovery_sim` on one interleaving — here across the CI
 /// seed matrix: the restarted replica catches up and the cluster keeps
-/// completing transactions after the restart.
+/// completing transactions after the restart. Under delta
+/// checkpointing this doubles as the full-snapshot fallback test: a
+/// blank requester advertises no base digest, so no donor can
+/// recognize one, and the catch-up must arrive as a full snapshot
+/// chain — never a dangling delta chain.
 #[test]
 fn blank_restart_catches_up_across_seeds() {
     let mut cfg = fault_cfg(3);
@@ -147,5 +151,129 @@ fn blank_restart_catches_up_across_seeds() {
     assert!(
         rec.post_restart_tps > 0.0,
         "cluster stalled after the restart: {rec:?}"
+    );
+    // Full-snapshot fallback: donors recognize no base for a blank
+    // requester, so at least the first install ships a full link.
+    assert!(
+        rec.full_installs >= 1,
+        "blank restart did not receive a full snapshot: {rec:?}"
+    );
+    assert_eq!(
+        rec.bad_digests, 0,
+        "a correct donor's chain failed: {rec:?}"
+    );
+}
+
+/// Configuration for the delta state-transfer scenarios: a roomy key
+/// space, a checkpoint window of ~1 simulated second of traffic, and —
+/// deliberately — *wide* local timers: the victim's darkness
+/// (inbound-only partition, ~1.2 s ≈ one checkpoint window) plus its
+/// recovery must stay clear of per-request watchdogs demanding solo
+/// view changes, because a replica wedged in an unjoined view drops
+/// live vote traffic and turns a bounded lag into an unbounded one.
+/// Real deployments size `timers.local` well above transient partition
+/// blips for exactly this reason. The darkness straddles a checkpoint
+/// boundary, so by the time the victim's hole probe would fire the
+/// donors have stabilized a checkpoint past the gap's first sequence
+/// and GC'd its certificate — leaving state transfer as the bulk
+/// repair path.
+fn delta_cfg() -> SystemConfig {
+    let mut cfg = fault_cfg(2);
+    cfg.num_keys = 16_000; // 8 000 records per shard partition
+    cfg.checkpoint_interval = 256;
+    cfg.timers.local = Duration::from_millis(4800);
+    cfg.timers.remote = Duration::from_millis(9600);
+    cfg.timers.transmit = Duration::from_millis(14400);
+    cfg.timers.client = Duration::from_millis(19200);
+    cfg
+}
+
+/// Tentpole acceptance: a replica partitioned from all inbound traffic
+/// across a few checkpoint windows keeps its state, so when the
+/// darkness lifts its last announced checkpoint is a chain point every
+/// donor retains — catch-up arrives as a *verified delta chain* moving
+/// O(churn) bytes (gated at < 25 % of the full-snapshot baseline),
+/// with zero full-snapshot installs and zero digest mismatches.
+#[test]
+fn laggard_recovers_via_verified_delta_chain() {
+    let cfg = delta_cfg();
+    let interval = cfg.checkpoint_interval;
+    let victim = ReplicaId::new(ShardId(0), 2); // a backup, not the primary
+    let report = Scenario::new(cfg, seed())
+        .warmup_secs(1.0)
+        .measure_secs(29.0)
+        .with_delta_transfer(victim, 2.0, 3.2)
+        .run();
+    assert!(report.completed_txns > 0, "cluster stalled: {report:?}");
+    let d = &report.delta_transfers[0];
+    assert!(
+        d.delta_installs >= 1,
+        "laggard never installed a delta chain: {d:?}"
+    );
+    assert_eq!(
+        d.full_installs, 0,
+        "fell back to O(state) full transfer for a recognized base: {d:?}"
+    );
+    assert_eq!(d.bad_digests, 0, "a verified chain was rejected: {d:?}");
+    assert!(
+        4 * d.transfer_bytes() < d.full_baseline_bytes,
+        "delta recovery moved {} bytes, ≥ 25% of the {}-byte full baseline: {d:?}",
+        d.transfer_bytes(),
+        d.full_baseline_bytes
+    );
+    // The victim actually caught back up and checkpoints kept flowing.
+    assert!(
+        d.exec_watermark + 3 * interval >= d.peer_max_watermark,
+        "victim still wedged at watermark {}: {d:?}",
+        d.exec_watermark
+    );
+    assert!(
+        d.exec_watermark >= 2 * interval && d.stable_seq >= 2 * interval,
+        "victim never progressed past the dark window: {d:?}"
+    );
+}
+
+/// Donor-failure acceptance: the victim's first donor in rotation is
+/// killed the moment the darkness lifts — before it can complete a
+/// transfer — so repair must route around it (probe rotation to the
+/// surviving donors). The kill plus the laggard exhaust `f`, so new
+/// checkpoints can only stabilize once the victim rejoins; depending
+/// on the interleaving the gap closes via a delta chain from a second
+/// donor (anchored, when the original votes are gone, on the §6.2.2
+/// weak certificates donors re-send alongside their answers) or via
+/// burst-paced certificate fetch — either way nothing unverified is
+/// ever installed, the victim rejoins the cadence, and the shard's
+/// checkpoints resume.
+#[test]
+fn delta_transfer_survives_donor_kill_via_rotation() {
+    let cfg = delta_cfg();
+    let interval = cfg.checkpoint_interval;
+    let victim = ReplicaId::new(ShardId(0), 2);
+    // The rotation starts at index victim+1: S0r3 is asked first.
+    let first_donor = ReplicaId::new(ShardId(0), 3);
+    let faults = ringbft_simnet::FaultPlan::none().crash(
+        ringbft_types::NodeId::Replica(first_donor),
+        ringbft_types::Instant::ZERO + Duration::from_secs_f64(3.2),
+    );
+    let report = Scenario::new(cfg, seed())
+        .warmup_secs(1.0)
+        .measure_secs(19.0)
+        .with_faults(faults)
+        .with_delta_transfer(victim, 2.0, 3.2)
+        .run();
+    assert!(report.completed_txns > 0, "cluster stalled: {report:?}");
+    let d = &report.delta_transfers[0];
+    assert_eq!(d.bad_digests, 0, "a verified chain was rejected: {d:?}");
+    assert!(
+        d.exec_watermark + 3 * interval >= d.peer_max_watermark,
+        "victim still wedged at watermark {} (peers at {}): {d:?}",
+        d.exec_watermark,
+        d.peer_max_watermark
+    );
+    // Checkpoint cadence resumed after the kill: with f exhausted,
+    // stabilization needs the recovered victim's own votes.
+    assert!(
+        d.stable_seq >= 4 * interval,
+        "checkpoint cadence never resumed after the donor kill: {d:?}"
     );
 }

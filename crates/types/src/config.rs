@@ -126,6 +126,15 @@ impl TimerConfig {
     }
 }
 
+/// Checkpoint windows of delta snapshots (and quorum-stable digests)
+/// the recovery subsystem retains per replica — and therefore the upper
+/// bound on [`SystemConfig::full_snapshot_every`]: a sparser full-capture
+/// cadence would break donor chain continuity between the full base and
+/// the oldest retained delta. Defined here (rather than in
+/// `ringbft-recovery`, which consumes it) so config validation and the
+/// recovery manager's retention agree by compiler, not by comment.
+pub const DELTA_CHAIN_KEEP: usize = 8;
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -159,6 +168,16 @@ pub struct SystemConfig {
     /// Records per `StateChunk` during checkpoint state transfer
     /// (`ringbft-recovery`).
     pub state_chunk_records: usize,
+    /// Checkpoint windows between *full* snapshot captures
+    /// (`ringbft-recovery` delta checkpointing): in between, replicas
+    /// capture only the records written since the previous checkpoint
+    /// (O(churn) instead of O(state)), and state transfer ships the
+    /// delta chain to laggards whose base the donor recognizes. `1`
+    /// restores the pre-delta behaviour (every checkpoint is a full
+    /// capture). Chains longer than the stable-digest memory
+    /// (`ringbft-recovery`'s `KNOWN_STABLE_KEEP`) lose intermediate
+    /// quorum anchors, so keep this ≤ 8.
+    pub full_snapshot_every: u64,
     /// Seed of the deployment's key-distribution oracle
     /// (`ringbft_crypto::KeyStore`): every process of one cluster must
     /// share it so frame authenticators (HMACs, §3) verify.
@@ -204,6 +223,7 @@ impl SystemConfig {
             timers: TimerConfig::default(),
             checkpoint_interval: 128,
             state_chunk_records: 4096,
+            full_snapshot_every: 4,
             auth_seed: 0,
             ablation_quadratic_forward: false,
             ring_offset: 0,
@@ -283,6 +303,15 @@ impl SystemConfig {
         }
         if self.state_chunk_records == 0 {
             return Err("state_chunk_records must be positive".into());
+        }
+        if self.full_snapshot_every == 0 {
+            return Err("full_snapshot_every must be positive".into());
+        }
+        if self.full_snapshot_every > DELTA_CHAIN_KEEP as u64 {
+            return Err(format!(
+                "full_snapshot_every must be within 1..={DELTA_CHAIN_KEEP} \
+                 (the recovery subsystem's delta-chain memory)"
+            ));
         }
         if self.num_keys < self.z() as u64 {
             return Err("need at least one key per shard".into());
@@ -365,6 +394,18 @@ mod tests {
         let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
         cfg.timers.local = Duration::from_secs(100);
         assert!(cfg.validate().is_err());
+
+        // Delta checkpointing cadence: zero and beyond the recovery
+        // manager's delta-chain memory are both rejected.
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+        cfg.full_snapshot_every = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+        cfg.full_snapshot_every = 9;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+        cfg.full_snapshot_every = 8;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod time;
 pub mod txn;
 pub mod wire;
 
-pub use config::{ProtocolKind, ShardConfig, SystemConfig};
+pub use config::{ProtocolKind, ShardConfig, SystemConfig, DELTA_CHAIN_KEEP};
 pub use hole::{CommitCertificate, HoleReply, HoleRequest};
 pub use ids::{ClientId, NodeId, ReplicaId, SeqNum, ShardId, ViewNum};
 pub use region::Region;

@@ -116,23 +116,30 @@ pub fn remote_view_bytes() -> u64 {
 /// and write-version, 8 bytes each.
 pub const PER_RECORD_BYTES: u64 = 24;
 
-/// Size of a StateRequest (checkpoint state transfer, A3): header plus
-/// the requester's watermark.
+/// Size of a StateRequest (checkpoint state transfer, A3): header, the
+/// requester's watermark, and its advertised `(seq, digest)` base (the
+/// chain point delta transfers resume from).
 #[inline]
 pub fn state_request_bytes() -> u64 {
-    HEADER_BYTES + MAC_BYTES + 8
+    HEADER_BYTES + MAC_BYTES + 8 + 8 + DIGEST_BYTES
 }
 
-/// Size of a StateChunk carrying `records` key-value records.
+/// Bytes per link entry in a StatePlan: the link's endpoint `(seq,
+/// digest)`, its optional base `(seq, digest)`, and its chunk count.
+pub const PER_LINK_BYTES: u64 = 8 + DIGEST_BYTES + 8 + DIGEST_BYTES + 4;
+
+/// Size of a StatePlan announcing a transfer of `links` chain links
+/// (target binding, per-link metadata, and the donor's ledger base).
+#[inline]
+pub fn state_plan_bytes(links: usize) -> u64 {
+    HEADER_BYTES + 2 * DIGEST_BYTES + MAC_BYTES + 24 + PER_LINK_BYTES * links as u64
+}
+
+/// Size of a StateChunk carrying `records` key-value records of one
+/// chain link (target binding, link sequence, delta flag, chunk index).
 #[inline]
 pub fn state_chunk_bytes(records: usize) -> u64 {
-    HEADER_BYTES + DIGEST_BYTES + MAC_BYTES + 16 + PER_RECORD_BYTES * records as u64
-}
-
-/// Size of a StateDone trailer (digest, chunk count, ledger base).
-#[inline]
-pub fn state_done_bytes() -> u64 {
-    HEADER_BYTES + 2 * DIGEST_BYTES + MAC_BYTES + 16
+    HEADER_BYTES + DIGEST_BYTES + MAC_BYTES + 21 + PER_RECORD_BYTES * records as u64
 }
 
 /// Size of a HoleRequest (commit-certificate recovery): header plus the
@@ -205,11 +212,20 @@ mod tests {
     #[test]
     fn state_transfer_sizes_scale_with_records() {
         assert!(state_request_bytes() > 0);
-        assert!(state_done_bytes() > 0);
         assert_eq!(
             state_chunk_bytes(100) - state_chunk_bytes(0),
             100 * PER_RECORD_BYTES
         );
+    }
+
+    #[test]
+    fn state_plan_scales_with_chain_length() {
+        assert!(state_plan_bytes(0) > 0);
+        assert_eq!(state_plan_bytes(3) - state_plan_bytes(2), PER_LINK_BYTES);
+        // A one-window delta of `c` dirty records must model cheaper
+        // than a full snapshot of `n ≥ c` records — the whole point of
+        // delta state transfer.
+        assert!(state_plan_bytes(1) + state_chunk_bytes(100) < state_chunk_bytes(1000));
     }
 
     #[test]

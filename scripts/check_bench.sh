@@ -35,4 +35,16 @@ echo "check_bench: comparing against $BASELINE (tolerance ${TOLERANCE})"
 cargo run --release -p ringbft-bench --bin bench_check -- \
     "$BASELINE" "$OUT" --tolerance "$TOLERANCE"
 
+# Delta-recovery gate: a laggard's catch-up must move less data than a
+# full-snapshot transfer would (the point of delta checkpointing).
+# bench_json emits the flag after comparing the victim's accepted
+# transfer bytes against the modeled full-snapshot baseline; bench_check
+# already fails if a formerly-true flag turns false, but this check also
+# refuses a regenerated snapshot that silently *dropped* the scenario.
+if ! grep -q '"delta_vs_full_ok": true' "$OUT"; then
+    echo "check_bench: FAIL delta recovery moved >= full-snapshot bytes (delta_vs_full_ok not true in $OUT)" >&2
+    exit 1
+fi
+echo "check_bench: delta recovery moves less data than full recovery"
+
 echo "check_bench: OK"

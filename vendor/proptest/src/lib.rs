@@ -58,6 +58,60 @@ pub fn rng_for(test_path: &str) -> TestRng {
     TestRng::seed_from_u64(h)
 }
 
+/// An RNG from an explicit seed (regression replay).
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Regression seeds committed under `<manifest>/proptest-regressions/`:
+/// every `*.txt` file there is scanned for lines of the form
+///
+/// ```text
+/// cc <test_path_suffix> <seed>
+/// ```
+///
+/// (comments start with `#`). Seeds whose test path matches the running
+/// property (exact or suffix match on the `module::test` path) are
+/// replayed as extra cases *before* the random stream — mirroring real
+/// proptest's `proptest-regressions` persistence, adapted to this
+/// shim's u64 seeding. Missing directories are fine (no regressions
+/// recorded).
+pub fn regression_seeds(manifest_dir: &str, test_path: &str) -> Vec<u64> {
+    let dir = std::path::Path::new(manifest_dir).join("proptest-regressions");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("cc") {
+                continue;
+            }
+            let (Some(name), Some(seed)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            if test_path == name || test_path.ends_with(name) {
+                if let Ok(seed) = seed.parse::<u64>() {
+                    seeds.push(seed);
+                }
+            }
+        }
+    }
+    seeds
+}
+
 /// A value generator.
 pub trait Strategy {
     /// The generated type.
@@ -422,19 +476,26 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                let mut __rng =
-                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let mut __case =
+                    |__rng: &mut $crate::TestRng| -> ::std::result::Result<(), $crate::Rejected> {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                // Replay committed regression seeds first (see
+                // `regression_seeds`): once-failing cases stay pinned
+                // ahead of the random stream. Rejected (assumed-away)
+                // replays are skipped like any other case.
+                for __seed in $crate::regression_seeds(env!("CARGO_MANIFEST_DIR"), __path) {
+                    let mut __rng = $crate::rng_from_seed(__seed);
+                    let _ = __case(&mut __rng);
+                }
+                let mut __rng = $crate::rng_for(__path);
                 let mut __passed = 0u32;
                 let mut __rejected = 0u32;
                 while __passed < __config.cases {
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
-                    #[allow(clippy::redundant_closure_call)]
-                    let __outcome: ::std::result::Result<(), $crate::Rejected> =
-                        (move || {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    match __outcome {
+                    match __case(&mut __rng) {
                         ::std::result::Result::Ok(()) => __passed += 1,
                         ::std::result::Result::Err(_) => {
                             __rejected += 1;
