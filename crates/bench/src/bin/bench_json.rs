@@ -31,7 +31,13 @@ use std::io::Write as _;
 /// checkpoint window behind recovers via a verified delta chain, and
 /// the `delta_vs_full_ok` flag gates that the recovery moved less data
 /// than a full-snapshot transfer would have.
-const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: a `net` section — a real loopback-TCP cluster under the epoll
+/// reactor runtime, recording `threads_per_node` (must stay ≤
+/// `reactor_shards` + 1, gated by `scripts/check_bench.sh`: the
+/// thread-per-connection runtime this replaced would blow straight
+/// through it), `peak_fds`, and `reconnects`.
+const SCHEMA_VERSION: u64 = 5;
 
 fn quick_cfg(kind: ProtocolKind) -> SystemConfig {
     let (z, n) = if kind.is_sharded() { (3, 4) } else { (1, 4) };
@@ -254,6 +260,67 @@ fn main() {
         })
     };
 
+    // Real-socket reactor scenario: a loopback 2×4 RingBFT cluster plus
+    // one workload host, all hosted by the epoll reactor runtime. What
+    // matters here is the runtime's *footprint*, not peak throughput:
+    // thread count per hosted node must stay fixed (the reactor
+    // contract; the old runtime spawned 2 threads per connection), and
+    // fds/reconnects are tracked across PRs.
+    eprintln!("bench net (loopback TCP reactor) ...");
+    let net = {
+        use ringbft_types::Duration;
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 2, 4);
+        cfg.num_keys = 4_000;
+        cfg.clients = 32;
+        cfg.batch_size = 4;
+        cfg.cross_shard_rate = 0.3;
+        cfg.timers.local = Duration::from_millis(800);
+        cfg.timers.remote = Duration::from_millis(1600);
+        cfg.timers.transmit = Duration::from_millis(2400);
+        cfg.timers.client = Duration::from_millis(3200);
+        let reactor_shards = cfg.reactor_shards;
+        let proc_count = |dir: &str| std::fs::read_dir(dir).map(|d| d.count()).unwrap_or(0);
+        let threads_before = proc_count("/proc/self/task");
+        let t0 = std::time::Instant::now();
+        let mut cluster = ringbft_net::LocalCluster::launch(cfg).expect("launch net cluster");
+        cluster
+            .spawn_workload_host(seed, 1_000_000, 32)
+            .expect("spawn workload host");
+        let hosted_nodes = 8 + 1; // replicas + the workload host
+        let threads_during = proc_count("/proc/self/task");
+        let mut peak_fds = 0usize;
+        while t0.elapsed() < std::time::Duration::from_secs(4) {
+            peak_fds = peak_fds.max(proc_count("/proc/self/fd"));
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        let completed = cluster.total_completions();
+        let reconnects: u64 = cluster
+            .replica_runtimes()
+            .map(|rt| rt.stats().reconnects)
+            .sum();
+        let clean = cluster.shutdown();
+        let threads_per_node =
+            (threads_during.saturating_sub(threads_before)) as f64 / hosted_nodes as f64;
+        eprintln!(
+            "  {threads_per_node:.2} threads/node ({reactor_shards} reactor shard(s)), \
+             peak {peak_fds} fds, {reconnects} reconnects, {completed} txns \
+             ({:.1}s wall)",
+            t0.elapsed().as_secs_f64()
+        );
+        serde_json::json!({
+            "reactor_shards": reactor_shards as u64,
+            "hosted_nodes": hosted_nodes as u64,
+            "threads_per_node": threads_per_node,
+            "peak_fds": peak_fds as u64,
+            "reconnects": reconnects,
+            "completed_txns": completed as u64,
+            // The cluster made progress over real sockets and every
+            // reactor acknowledged the poisoned-eventfd shutdown within
+            // the bounded join timeout.
+            "liveness_ok": completed > 0 && clean,
+        })
+    };
+
     let doc = serde_json::json!({
         "schema_version": SCHEMA_VERSION,
         "seed": seed,
@@ -264,6 +331,7 @@ fn main() {
             "recovery": "RingBFT 3x4, S1r2 crash@3s + blank restart@4s, checkpoint interval 16",
             "hole_fetch": "RingBFT 3x4, S1r2 misses all quorum traffic for seq 10, checkpoint interval 512",
             "state_transfer": "RingBFT 2x4, S0r2 dark 2.0-3.2s (~1 checkpoint window), delta-chain catch-up, interval 256",
+            "net": "RingBFT 2x4 + 32-client host on loopback TCP (epoll reactor), 4s",
             "warmup_s": 1.0, "measure_s": 4.0, "recovery_measure_s": 9.0,
             "hole_measure_s": 7.0, "state_transfer_measure_s": 29.0,
             "bandwidth_divisor": 20,
@@ -272,6 +340,7 @@ fn main() {
         "recovery": recovery,
         "hole_fetch": hole_fetch,
         "state_transfer": state_transfer,
+        "net": net,
     });
     let mut f = std::fs::File::create(&out_path).expect("create output file");
     writeln!(

@@ -52,8 +52,8 @@ use ringbft_store::{KvStore, LockManager};
 use ringbft_types::hole::{HoleReply, HoleRequest};
 use ringbft_types::txn::{Batch, Key, Transaction, Value};
 use ringbft_types::{
-    Action, BatchId, Instant, NodeId, Outbox, ReplicaId, RingOrder, SeqNum, ShardId, SystemConfig,
-    TimerKind, TxnId,
+    Action, BatchId, ClientId, Instant, NodeId, Outbox, ReplicaId, RingOrder, SeqNum, ShardId,
+    SystemConfig, TimerKind, TxnId,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
@@ -95,6 +95,23 @@ struct CstState {
     token: u64,
     retransmits: u32,
     proposed_here: bool,
+}
+
+/// One client's replay/reply state (Castro & Liskov §4.1).
+#[derive(Debug, Clone)]
+struct ClientReplyCache {
+    /// Highest request (transaction) id a local commit covered for this
+    /// client. Anything at or below it is a replay.
+    last_id: TxnId,
+    /// Highest local sequence one of the client's commits finished at —
+    /// the GC horizon: a client idle for two whole checkpoint windows
+    /// is evicted (and counted) by the checkpoint backstop.
+    seq: u64,
+    /// The reply this replica sent for `last_id`'s batch, if it has
+    /// executed: the batch digest and the client's transaction ids in
+    /// it. A replayed request is answered from here without touching
+    /// consensus.
+    reply: Option<(Digest, Vec<TxnId>)>,
 }
 
 /// A checkpoint this replica announced (voted) but whose quorum outcome
@@ -148,6 +165,11 @@ pub struct RingStats {
     /// catch-up should move O(churn), so this stays far below what a
     /// full transfer would cost.
     pub state_bytes_delta: u64,
+    /// Per-client reply-cache entries garbage-collected by the 2-window
+    /// checkpoint backstop (clients idle for two whole checkpoint
+    /// windows). The cache itself is O(active clients); this counts how
+    /// often the backstop actually reclaimed a lapsed client.
+    pub reply_cache_evictions: u64,
 }
 
 /// A RingBFT replica.
@@ -181,8 +203,15 @@ pub struct RingReplica {
     /// Payloads of watched transactions, re-relayed to the new primary
     /// after a view change (the dead primary's pool is gone with it).
     watched_txns: HashMap<TxnId, Arc<Transaction>>,
-    /// Txns already covered by a local commit (cancels watchdogs).
-    committed_txns: HashSet<TxnId>,
+    /// Per-client reply caches (Castro & Liskov §4.1): the last
+    /// committed request id and — once executed — the reply sent for
+    /// it, keyed by client. This is the transaction-level replay dedup:
+    /// O(active clients), not O(transactions in the window). Replays of
+    /// the cached request re-send the reply without re-entering
+    /// consensus; older requests are dropped outright (request ids are
+    /// monotone per client — closed-loop clients never reissue a
+    /// superseded request).
+    client_replies: HashMap<ClientId, ClientReplyCache>,
     /// When this replica last installed a view (suppresses watchdog-driven
     /// view-change churn: give each new primary a grace period).
     last_view_entry: Instant,
@@ -290,7 +319,7 @@ impl RingReplica {
             txn_watchdogs: HashMap::new(),
             token_txn: HashMap::new(),
             watched_txns: HashMap::new(),
-            committed_txns: HashSet::new(),
+            client_replies: HashMap::new(),
             last_view_entry: Instant::ZERO,
             remote_complaints: HashMap::new(),
             remote_vc_done: HashSet::new(),
@@ -610,9 +639,19 @@ impl RingReplica {
                     || self.catching_up();
                 if let Some(txn) = self.token_txn.get(&token).copied() {
                     // A1: the primary never ordered a relayed request.
-                    if self.committed_txns.contains(&txn) {
+                    // "Committed" here includes being *superseded* by a
+                    // later request from the same client — the client
+                    // has moved on, so the watch (payload included)
+                    // must be dropped entirely or the dead request
+                    // would be re-relayed to every new primary forever.
+                    let committed = self
+                        .watched_txns
+                        .get(&txn)
+                        .is_some_and(|t| self.client_committed(t.client, txn));
+                    if committed {
                         self.token_txn.remove(&token);
                         self.txn_watchdogs.remove(&txn);
+                        self.watched_txns.remove(&txn);
                     } else if grace || self.pbft.in_view_change() {
                         out.set_timer(TimerKind::Local, token, self.pbft.request_timeout());
                     } else {
@@ -693,8 +732,38 @@ impl RingReplica {
     // ------------------------------------------------------------------
 
     fn on_request(&mut self, txn: Arc<Transaction>, relayed: bool, out: &mut Outbox<RingMsg>) {
-        if self.committed_txns.contains(&txn.id) || self.done_txn(&txn) {
-            return; // duplicate of an ordered request
+        // Per-client replay protection (C&L §4.1): requests at or below
+        // the client's last committed id never re-enter consensus. The
+        // last one is answered from the reply cache (the client's reply
+        // quorum may have been lost on the wire); anything older is a
+        // superseded request and is dropped outright.
+        let watermark = self.exec_watermark;
+        if let Some(entry) = self.client_replies.get_mut(&txn.client) {
+            if txn.id <= entry.last_id {
+                // The replay proves the client is alive: ratchet its GC
+                // horizon so the 2-window idle backstop cannot evict an
+                // actively retransmitting client — eviction would let
+                // this committed request re-enter consensus and
+                // execute twice.
+                entry.seq = entry.seq.max(watermark);
+            }
+            if txn.id < entry.last_id {
+                return;
+            }
+            if txn.id == entry.last_id {
+                if let Some((digest, txn_ids)) = entry.reply.clone() {
+                    out.send(
+                        NodeId::Client(txn.client),
+                        RingMsg::Reply {
+                            client: txn.client,
+                            digest,
+                            txn_ids,
+                        },
+                    );
+                    self.stats.replies_sent += 1;
+                }
+                return;
+            }
         }
         let involved = txn.involved_shards();
         let first = self.ring.first(&involved);
@@ -743,11 +812,32 @@ impl RingReplica {
         }
     }
 
-    fn done_txn(&self, txn: &Transaction) -> bool {
-        // Cheap duplicate filter; full replay protection would store
-        // per-client reply caches (Castro & Liskov §4.1).
-        let _ = txn;
-        false
+    /// True when a local commit already covers `(client, id)` — used by
+    /// the A1 watchdog to stand down.
+    fn client_committed(&self, client: ClientId, id: TxnId) -> bool {
+        self.client_replies
+            .get(&client)
+            .is_some_and(|e| e.last_id >= id)
+    }
+
+    /// Advances `client`'s reply-cache entry to a newly committed
+    /// request. A newer id invalidates the cached reply (it answered an
+    /// older request); `seq` only ratchets up, so the GC horizon tracks
+    /// the client's most recent activity.
+    fn note_client_commit(&mut self, client: ClientId, id: TxnId, seq: u64) {
+        let entry = self
+            .client_replies
+            .entry(client)
+            .or_insert(ClientReplyCache {
+                last_id: id,
+                seq,
+                reply: None,
+            });
+        if id > entry.last_id {
+            entry.last_id = id;
+            entry.reply = None;
+        }
+        entry.seq = entry.seq.max(seq);
     }
 
     /// Builds batches from pools. `force` flushes partial pools (timer).
@@ -1187,6 +1277,14 @@ impl RingReplica {
                 self.ledger.prune_through_seq(seq);
                 let horizon = seq.saturating_sub(2 * self.cfg.checkpoint_interval);
                 self.done.retain(|_, s| *s > horizon);
+                // Reply-cache backstop: the cache is O(active clients),
+                // but a client population that churns (hosts leaving,
+                // id ranges rotating) would still accrete entries —
+                // evict clients idle for two whole windows and count
+                // the reclaims.
+                let before = self.client_replies.len();
+                self.client_replies.retain(|_, e| e.seq > horizon);
+                self.stats.reply_cache_evictions += (before - self.client_replies.len()) as u64;
                 return;
             }
             // Drop the diverged entry and everything below it (the
@@ -1370,9 +1468,10 @@ impl RingReplica {
         committers: Vec<u32>,
         out: &mut Outbox<RingMsg>,
     ) {
-        // Cancel A1 watchdogs for the ordered transactions.
+        // Cancel A1 watchdogs for the ordered transactions and advance
+        // the per-client replay horizon.
         for t in &batch.txns {
-            self.committed_txns.insert(t.id);
+            self.note_client_commit(t.client, t.id, seq.0);
             self.pooled.remove(&t.id);
             self.watched_txns.remove(&t.id);
             if let Some(token) = self.txn_watchdogs.remove(&t.id) {
@@ -1556,11 +1655,29 @@ impl RingReplica {
     }
 
     fn reply_clients(&mut self, digest: Digest, batch: &Batch, out: &mut Outbox<RingMsg>) {
-        let mut by_client: BTreeMap<ringbft_types::ClientId, Vec<TxnId>> = BTreeMap::new();
+        let mut by_client: BTreeMap<ClientId, Vec<TxnId>> = BTreeMap::new();
         for t in &batch.txns {
             by_client.entry(t.client).or_default().push(t.id);
         }
         for (client, txn_ids) in by_client {
+            // Cache the reply (C&L §4.1) so a replayed request can be
+            // answered without re-entering consensus — but never let an
+            // out-of-order execution clobber the reply for a *newer*
+            // committed request.
+            let newest = txn_ids.iter().copied().max().expect("non-empty");
+            let fallback_seq = self.exec_watermark;
+            let entry = self
+                .client_replies
+                .entry(client)
+                .or_insert(ClientReplyCache {
+                    last_id: newest,
+                    seq: fallback_seq,
+                    reply: None,
+                });
+            if newest >= entry.last_id {
+                entry.last_id = newest;
+                entry.reply = Some((digest, txn_ids.clone()));
+            }
             out.send(
                 NodeId::Client(client),
                 RingMsg::Reply {

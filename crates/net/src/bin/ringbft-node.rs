@@ -221,16 +221,21 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match NodeRuntime::launch(
+        match NodeRuntime::launch_with_shards(
             NodeId::Replica(id),
             node,
             listener,
             peers.clone(),
             clock.clone(),
             auth.clone(),
+            cluster.system.reactor_shards,
         ) {
             Ok(rt) => {
-                println!("hosting {id} on {addr}");
+                println!(
+                    "hosting {id} on {addr} ({} reactor thread{})",
+                    rt.reactor_shards(),
+                    if rt.reactor_shards() == 1 { "" } else { "s" }
+                );
                 runtimes.push(rt);
             }
             Err(e) => {
@@ -249,13 +254,14 @@ fn main() {
             peers.add_alias(NodeId::Client(ClientId(c)), host);
         }
         let client = SimClient::new(cluster.system.clone(), seed, first_id, count);
-        match NodeRuntime::launch(
+        match NodeRuntime::launch_with_shards(
             host,
             AnyNode::Client(Box::new(client)),
             listener,
             peers.clone(),
             clock.clone(),
             auth.clone(),
+            cluster.system.reactor_shards,
         ) {
             Ok(rt) => {
                 println!("hosting workload {host} ({count} logical clients) on {addr}");
@@ -312,12 +318,13 @@ fn main() {
                 _ => 0,
             });
             let line = format!(
-                "[{}] sent={} recv={} dropped={} undeliverable={} timers={} bytes={} (model {}) execs={}",
+                "[{}] sent={} recv={} dropped={} undeliverable={} reconnects={} timers={} bytes={} (model {}) execs={}",
                 rt.id(),
                 s.messages_sent,
                 s.messages_delivered,
                 s.messages_dropped,
                 s.messages_undeliverable,
+                s.reconnects,
                 s.timers_fired,
                 s.bytes_sent,
                 s.modeled_bytes_sent,

@@ -48,13 +48,14 @@ impl LocalCluster {
         let clock = Clock::start();
         let mut replicas = Vec::new();
         for ((r, _region, node), listener) in deployment.into_iter().zip(listeners) {
-            replicas.push(NodeRuntime::launch(
+            replicas.push(NodeRuntime::launch_with_shards(
                 NodeId::Replica(r),
                 node,
                 listener,
                 peers.clone(),
                 clock.clone(),
                 auth.clone(),
+                cfg.reactor_shards,
             )?);
         }
         Ok(LocalCluster {
@@ -86,6 +87,24 @@ impl LocalCluster {
         let _ = rt.shutdown(); // node state dropped here
     }
 
+    /// Stops the runtime hosting client `host` (spawned via
+    /// [`LocalCluster::spawn_client`]/[`spawn_workload_host`]) — the
+    /// TCP twin of a client host disconnecting. Returns whether the
+    /// shutdown was clean (every reactor thread acknowledged within the
+    /// bounded join timeout). Connection-churn tests use this to cycle
+    /// client populations against a running cluster.
+    ///
+    /// [`spawn_workload_host`]: LocalCluster::spawn_workload_host
+    pub fn shutdown_client(&mut self, host: NodeId) -> bool {
+        let pos = self
+            .clients
+            .iter()
+            .position(|c| c.id() == host)
+            .expect("unknown client host");
+        let rt = self.clients.swap_remove(pos);
+        rt.shutdown().is_some()
+    }
+
     /// Restarts a previously killed replica *blank*: a fresh node with
     /// an empty store and fresh consensus state, on a new listener. The
     /// peer table is updated in place, so running peers re-route to the
@@ -103,13 +122,14 @@ impl LocalCluster {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         self.peers
             .insert(NodeId::Replica(r), listener.local_addr()?);
-        self.replicas.push(NodeRuntime::launch(
+        self.replicas.push(NodeRuntime::launch_with_shards(
             NodeId::Replica(r),
             node,
             listener,
             self.peers.clone(),
             self.clock.clone(),
             self.auth.clone(),
+            self.cfg.reactor_shards,
         )?);
         Ok(())
     }
@@ -161,13 +181,14 @@ impl LocalCluster {
         for a in aliases {
             self.peers.add_alias(*a, host);
         }
-        self.clients.push(NodeRuntime::launch(
+        self.clients.push(NodeRuntime::launch_with_shards(
             host,
             node,
             listener,
             self.peers.clone(),
             self.clock.clone(),
             self.auth.clone(),
+            self.cfg.reactor_shards,
         )?);
         Ok(host)
     }
@@ -247,13 +268,18 @@ impl LocalCluster {
     }
 
     /// Stops every runtime (clients first, so replica sockets close
-    /// cleanly afterwards).
-    pub fn shutdown(self) {
+    /// cleanly afterwards). Returns whether every shutdown was *clean*:
+    /// each runtime's reactor threads acknowledged the poisoned-eventfd
+    /// stop within the bounded join timeout. Tests assert this so a
+    /// wedged reactor cannot hide behind a green run.
+    pub fn shutdown(self) -> bool {
+        let mut clean = true;
         for c in self.clients {
-            let _ = c.shutdown();
+            clean &= c.shutdown().is_some();
         }
         for r in self.replicas {
-            let _ = r.shutdown();
+            clean &= r.shutdown().is_some();
         }
+        clean
     }
 }

@@ -219,6 +219,109 @@ impl CodecError {
     }
 }
 
+/// Decodes and MAC-verifies one complete frame body. Shared by the
+/// blocking reader ([`read_any_frame`]) and the reactor's incremental
+/// [`FrameAssembler`] so both paths enforce identical authentication.
+fn decode_body<M: Deserialize>(
+    flags: u16,
+    mac: &[u8; FRAME_MAC_BYTES],
+    body: &[u8],
+    auth: &FrameAuth,
+    local: NodeId,
+) -> Result<Frame<M>, CodecError> {
+    if flags & FLAG_HELLO != 0 {
+        let hello: Hello = bincode::deserialize(body).map_err(CodecError::Body)?;
+        if !ringbft_crypto::hmac::digest_eq(&auth.hello_tag(hello.node, local, body), mac) {
+            return Err(CodecError::BadMac);
+        }
+        Ok(Frame::Hello(hello))
+    } else {
+        let env: Envelope<M> = bincode::deserialize(body).map_err(CodecError::Body)?;
+        if !ringbft_crypto::hmac::digest_eq(&auth.data_tag(env.from, env.to, body), mac) {
+            return Err(CodecError::BadMac);
+        }
+        Ok(Frame::Data(env))
+    }
+}
+
+/// Incremental frame reassembly for nonblocking sockets: bytes arrive
+/// in arbitrary chunks (`extend`), frames come out whole (`next_frame`).
+///
+/// This is the reactor's read path: a nonblocking `read` may deliver
+/// half a header, a header plus part of a body, or several frames at
+/// once — the assembler buffers until a complete
+/// `header + MAC + body` is present, then decodes and verifies it with
+/// the exact same rules as the blocking [`read_any_frame`]. The header
+/// is validated as soon as it is complete, so a corrupt peer is
+/// rejected before its declared body length allocates anything.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily so a burst of small
+    /// frames does not memmove the tail once per frame).
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `pos` is dead.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed (partial-frame residue).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame, or `Ok(None)` when more bytes
+    /// are needed. A malformed header or failed MAC is an error: the
+    /// stream is unrecoverable and the connection must be dropped.
+    pub fn next_frame<M: Deserialize>(
+        &mut self,
+        auth: &FrameAuth,
+        local: NodeId,
+    ) -> Result<Option<Frame<M>>, CodecError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_BYTES + FRAME_MAC_BYTES {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(avail[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(avail[4..6].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let flags = u16::from_le_bytes(avail[6..8].try_into().expect("2 bytes"));
+        let len = u32::from_le_bytes(avail[8..12].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_BYTES {
+            return Err(CodecError::Oversized(len as u64));
+        }
+        let total = HEADER_BYTES + FRAME_MAC_BYTES + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let mac: [u8; FRAME_MAC_BYTES] = avail[HEADER_BYTES..HEADER_BYTES + FRAME_MAC_BYTES]
+            .try_into()
+            .expect("mac bytes");
+        let body = &avail[HEADER_BYTES + FRAME_MAC_BYTES..total];
+        let frame = decode_body(flags, &mac, body, auth, local)?;
+        self.pos += total;
+        Ok(Some(frame))
+    }
+}
+
 fn frame_with(flags: u16, mac: [u8; 32], body: Vec<u8>) -> Result<Vec<u8>, CodecError> {
     if body.len() as u64 > MAX_FRAME_BYTES as u64 {
         // Refuse rather than panic: the runtime drops-and-counts
@@ -298,19 +401,7 @@ pub fn read_any_frame<M: Deserialize, R: Read>(
     r.read_exact(&mut mac)?;
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
-    if flags & FLAG_HELLO != 0 {
-        let hello: Hello = bincode::deserialize(&body).map_err(CodecError::Body)?;
-        if !ringbft_crypto::hmac::digest_eq(&auth.hello_tag(hello.node, local, &body), &mac) {
-            return Err(CodecError::BadMac);
-        }
-        Ok(Frame::Hello(hello))
-    } else {
-        let env: Envelope<M> = bincode::deserialize(&body).map_err(CodecError::Body)?;
-        if !ringbft_crypto::hmac::digest_eq(&auth.data_tag(env.from, env.to, &body), &mac) {
-            return Err(CodecError::BadMac);
-        }
-        Ok(Frame::Data(env))
-    }
+    decode_body(flags, &mac, &body, auth, local)
 }
 
 /// Reads one *data* frame from `r`; control frames are an error. Kept
@@ -454,5 +545,74 @@ mod tests {
     fn truncated_stream_is_clean_eof_between_frames() {
         let err = read_frame::<AnyMsg, _>(&mut [].as_slice(), &auth(), receiver()).unwrap_err();
         assert!(err.is_clean_eof());
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_across_split_reads() {
+        let env = sample_env();
+        let frame = encode_frame(&env, &auth()).unwrap();
+        // Feed the frame one byte at a time: no prefix may yield a
+        // frame, the final byte must yield exactly one.
+        let mut asm = FrameAssembler::new();
+        for (i, b) in frame.iter().enumerate() {
+            asm.extend(std::slice::from_ref(b));
+            let got = asm.next_frame::<AnyMsg>(&auth(), receiver()).unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "frame surfaced early at byte {i}");
+            } else {
+                assert!(matches!(got, Some(Frame::Data(d)) if d == env));
+            }
+        }
+        assert_eq!(asm.buffered(), 0);
+        assert!(asm
+            .next_frame::<AnyMsg>(&auth(), receiver())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn assembler_handles_two_frames_split_at_every_boundary() {
+        let env = sample_env();
+        let hello = Hello {
+            node: NodeId::Replica(ReplicaId::new(ShardId(1), 2)),
+            aliases: vec![NodeId::Client(ClientId(9))],
+            listen_port: 4242,
+        };
+        let mut stream = encode_frame(&env, &auth()).unwrap();
+        stream.extend_from_slice(&encode_hello_frame(&hello, &auth(), receiver()).unwrap());
+        for cut in 0..=stream.len() {
+            let mut asm = FrameAssembler::new();
+            let mut frames = Vec::new();
+            for chunk in [&stream[..cut], &stream[cut..]] {
+                asm.extend(chunk);
+                while let Some(f) = asm.next_frame::<AnyMsg>(&auth(), receiver()).unwrap() {
+                    frames.push(f);
+                }
+            }
+            assert_eq!(frames.len(), 2, "cut at {cut}");
+            assert!(matches!(&frames[0], Frame::Data(d) if *d == env));
+            assert!(matches!(&frames[1], Frame::Hello(h) if *h == hello));
+            assert_eq!(asm.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_corruption_without_waiting_for_the_body() {
+        let env = sample_env();
+        let mut frame = encode_frame(&env, &auth()).unwrap();
+        frame[0] ^= 0xff; // magic
+        let mut asm = FrameAssembler::new();
+        // Header + MAC alone are enough to reject — the (possibly huge)
+        // declared body never needs to arrive.
+        asm.extend(&frame[..HEADER_BYTES + FRAME_MAC_BYTES]);
+        let err = asm.next_frame::<AnyMsg>(&auth(), receiver()).unwrap_err();
+        assert!(matches!(err, CodecError::BadMagic(_)));
+
+        let mut frame = encode_frame(&env, &auth()).unwrap();
+        frame[HEADER_BYTES] ^= 1; // MAC bit
+        let mut asm = FrameAssembler::new();
+        asm.extend(&frame);
+        let err = asm.next_frame::<AnyMsg>(&auth(), receiver()).unwrap_err();
+        assert!(matches!(err, CodecError::BadMac));
     }
 }

@@ -20,6 +20,7 @@
 //!   "checkpoint_interval": 128,
 //!   "state_chunk_records": 4096,
 //!   "auth_seed": 0,
+//!   "reactor_shards": 1,
 //!   "peers": {
 //!     "S0r0": "10.0.0.10:4100",
 //!     "S0r1": "10.0.0.11:4100"
@@ -106,7 +107,7 @@ pub fn parse_replica_name(name: &str) -> Result<ReplicaId, ConfigError> {
 /// so a typo'd knob fails loudly instead of silently running with the
 /// paper default (every process must share the file, so a silent
 /// fallback would be a cross-process misconfiguration).
-const KNOWN_KEYS: [&str; 15] = [
+const KNOWN_KEYS: [&str; 16] = [
     "protocol",
     "shards",
     "batch_size",
@@ -121,6 +122,7 @@ const KNOWN_KEYS: [&str; 15] = [
     "state_chunk_records",
     "full_snapshot_every",
     "auth_seed",
+    "reactor_shards",
     "peers",
 ];
 
@@ -209,6 +211,9 @@ pub fn parse_cluster_config(text: &str) -> Result<ClusterConfig, ConfigError> {
     if let Some(v) = u64_knob("auth_seed") {
         system.auth_seed = v;
     }
+    if let Some(v) = u64_knob("reactor_shards") {
+        system.reactor_shards = v as usize;
+    }
     if let Some(v) = doc.get("cross_shard_rate").and_then(|v| v.as_f64()) {
         system.cross_shard_rate = v;
     }
@@ -291,6 +296,7 @@ pub fn render_cluster_config(
         "state_chunk_records": system.state_chunk_records as u64,
         "full_snapshot_every": system.full_snapshot_every,
         "auth_seed": system.auth_seed,
+        "reactor_shards": system.reactor_shards as u64,
         "timers_ms": serde_json::json!({
             "local": system.timers.local.as_nanos() / 1_000_000,
             "remote": system.timers.remote.as_nanos() / 1_000_000,
@@ -349,6 +355,7 @@ mod tests {
             "state_chunk_records": 512,
             "full_snapshot_every": 2,
             "auth_seed": 7,
+            "reactor_shards": 2,
             "peers": {}
         }"#;
         let cc = parse_cluster_config(text).unwrap();
@@ -356,6 +363,13 @@ mod tests {
         assert_eq!(cc.system.state_chunk_records, 512);
         assert_eq!(cc.system.full_snapshot_every, 2);
         assert_eq!(cc.system.auth_seed, 7);
+        assert_eq!(cc.system.reactor_shards, 2);
+        // A zero reactor-shard count fails SystemConfig validation.
+        assert!(parse_cluster_config(
+            r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],
+                 "reactor_shards": 0, "peers": {} }"#
+        )
+        .is_err());
         // A zero interval fails SystemConfig validation.
         assert!(parse_cluster_config(
             r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],

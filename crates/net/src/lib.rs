@@ -8,11 +8,15 @@
 //!
 //! * [`codec`] — versioned length-prefixed binary framing for
 //!   [`AnyMsg`](ringbft_sim::AnyMsg) (and any other serde-codable
-//!   message type) with size caps derived from the paper's wire model.
+//!   message type) with size caps derived from the paper's wire model,
+//!   plus the incremental [`FrameAssembler`](codec::FrameAssembler)
+//!   the reactor's nonblocking reads feed.
 //! * [`runtime`] — [`NodeRuntime`]: hosts one protocol node on a TCP
-//!   listener, arming the four `TimerKind` watchdogs against the
-//!   monotonic clock and draining `Action`s to bounded per-peer
-//!   outbound queues.
+//!   listener with a fixed number of epoll reactor threads
+//!   (`reactor_shards`, default 1) — nonblocking accept/read/write
+//!   state machines, per-peer outbound byte queues with backpressure
+//!   watermarks, and the four `TimerKind` watchdogs folded into the
+//!   `epoll_wait` timeout.
 //! * [`cluster`] — [`LocalCluster`]: a full shard topology in-process
 //!   over loopback TCP, used by the integration tests and as the
 //!   reference for real deployments.
@@ -47,6 +51,7 @@
 pub mod cluster;
 pub mod codec;
 pub mod config;
+mod reactor;
 pub mod runtime;
 
 pub use cluster::LocalCluster;

@@ -8,38 +8,36 @@
 //!
 //! ## Thread model
 //!
-//! Per hosted node:
+//! Per hosted node: **exactly `reactor_shards` reactor threads**
+//! (default one), independent of how many peers or clients are
+//! connected. Each reactor (`crate::reactor`) multiplexes its share of
+//! the node's sockets through one `epoll` instance: nonblocking
+//! accept/read/write state machines per connection, per-peer outbound
+//! byte queues with backpressure watermarks (when a peer cannot keep
+//! up, new frames for it are dropped and counted rather than buffered
+//! without bound — BFT retransmission timers provide recovery, the same
+//! assumption the paper makes about unreliable channels), and the
+//! protocol timer wheel folded into the `epoll_wait` timeout.
 //!
-//! * **event loop** — owns the node; drains an mpsc of
-//!   `Deliver`/`Timer` events, calls the state machine, and dispatches
-//!   its [`Action`]s;
-//! * **timer thread** — a monotonic-clock timer wheel for the four
-//!   [`TimerKind`] classes, with generation counters so `CancelTimer`
-//!   and re-arms behave exactly like the simulator's;
-//! * **accept loop + per-connection readers** — decode frames and feed
-//!   the event loop;
-//! * **per-peer writers** — lazily connected, each draining a bounded
-//!   queue (the backpressure boundary: when a peer cannot keep up, new
-//!   frames for it are dropped and counted rather than buffered without
-//!   bound — BFT retransmission timers provide recovery, the same
-//!   assumption the paper makes about unreliable channels).
+//! The previous runtime spawned two OS threads per peer connection plus
+//! a timer thread — at the paper's scale (428 nodes, 500 k clients)
+//! that thread count is the bottleneck; the reactor keeps the thread
+//! count a small constant.
 //!
 //! Timestamps handed to protocol nodes are nanoseconds since a shared
 //! epoch (`Clock`), so all nodes of one process observe one timebase,
 //! mirroring `Instant::ZERO` at simulation start.
 
-use crate::codec::{
-    encode_frame, encode_hello_frame, read_any_frame, Envelope, Frame, FrameAuth, Hello,
-};
+use crate::codec::FrameAuth;
+use crate::reactor::{self, EventFd, PeerQueue, TimerState};
 use ringbft_types::sansio::ProtocolNode;
-use ringbft_types::{Action, Duration, Instant, NodeId, TimerKind};
+use ringbft_types::{Instant, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashMap};
-use std::io::BufReader;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Marker for messages the runtime can carry: encodable, decodable, and
@@ -173,8 +171,8 @@ pub struct NetCounters {
     /// messages — kept so simulated and real runs report comparable
     /// bandwidth numbers.
     pub modeled_bytes_sent: AtomicU64,
-    /// Frames dropped before enqueue (peer queue full, unknown peer,
-    /// unencodable message).
+    /// Frames dropped before enqueue (peer queue over its watermark,
+    /// unknown peer, unencodable message).
     pub messages_dropped: AtomicU64,
     /// Frames accepted into a peer queue whose delivery then failed
     /// (peer unreachable past the retry budget). `messages_sent`
@@ -187,6 +185,9 @@ pub struct NetCounters {
     /// Inbound frames suppressed by a fault-injection filter
     /// ([`NodeRuntime::set_inbound_filter`]).
     pub messages_filtered: AtomicU64,
+    /// Outbound dials beyond a peer's first attempt (reconnects after a
+    /// failure or a dead connection).
+    pub reconnects: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetCounters`].
@@ -208,6 +209,8 @@ pub struct NetStatsSnapshot {
     pub messages_delivered: u64,
     /// Inbound frames suppressed by a fault-injection filter.
     pub messages_filtered: u64,
+    /// Outbound dials beyond a peer's first attempt.
+    pub reconnects: u64,
 }
 
 /// An `Executed` record observed by the runtime.
@@ -221,49 +224,35 @@ pub struct ExecEvent {
     pub txns: u32,
 }
 
-enum Event<M> {
-    Deliver {
-        from: NodeId,
-        msg: M,
-    },
-    Timer {
-        kind: TimerKind,
-        token: u64,
-        gen: u64,
-    },
-    Stop,
-}
-
-/// Timer wheel guarded by one mutex; the timer thread sleeps on the
-/// condvar until the earliest deadline or a re-arm.
-struct TimerState {
-    /// Min-heap of `(deadline, kind, token, gen)`.
-    heap: BinaryHeap<std::cmp::Reverse<(u64, TimerKind, u64, u64)>>,
-    /// Live generation per `(kind, token)`; stale heap entries whose
-    /// generation no longer matches are cancelled or superseded.
-    armed: HashMap<(TimerKind, u64), u64>,
-    next_gen: u64,
-    stopped: bool,
-}
-
-struct Shared<M> {
-    id: NodeId,
-    clock: Clock,
-    peers: PeerTable,
+/// State shared between the public [`NodeRuntime`] handle and its
+/// reactor shards.
+pub(crate) struct Shared<M> {
+    pub(crate) id: NodeId,
+    pub(crate) clock: Clock,
+    pub(crate) peers: PeerTable,
     /// Channel authenticator: every frame sent carries a pairwise HMAC,
     /// every frame received is verified before delivery (§3).
-    auth: FrameAuth,
+    pub(crate) auth: FrameAuth,
     /// Port our own listener accepts on (advertised in Hello frames).
-    listen_port: u16,
-    events: Sender<Event<M>>,
-    timers: Mutex<TimerState>,
-    timers_cv: Condvar,
-    counters: NetCounters,
-    stop: AtomicBool,
-    /// Per-peer frame queues; writers drain them.
-    writers: Mutex<HashMap<NodeId, SyncSender<Vec<u8>>>>,
-    exec_log: Mutex<Vec<ExecEvent>>,
-    view_log: Mutex<Vec<(Instant, u64)>>,
+    pub(crate) listen_port: u16,
+    /// Protocol timer wheel; reactor shard 0 folds it into its
+    /// `epoll_wait` timeout.
+    pub(crate) timers: Mutex<TimerState>,
+    pub(crate) counters: NetCounters,
+    pub(crate) stop: AtomicBool,
+    /// Reactor shard count (fixed at launch).
+    pub(crate) nshards: usize,
+    /// Per-shard eventfd wakeups (cross-shard sends, earlier timer
+    /// deadlines, connection handoffs, shutdown poison).
+    pub(crate) wakeups: Vec<EventFd>,
+    /// Per-peer outbound byte queues (the backpressure boundary).
+    pub(crate) outq: Mutex<HashMap<NodeId, PeerQueue>>,
+    /// Per-shard sets of peers with freshly queued frames.
+    pub(crate) dirty: Vec<Mutex<HashSet<NodeId>>>,
+    /// Accepted connections awaiting adoption by their reactor shard.
+    pub(crate) handoff: Vec<Mutex<VecDeque<TcpStream>>>,
+    pub(crate) exec_log: Mutex<Vec<ExecEvent>>,
+    pub(crate) view_log: Mutex<Vec<(Instant, u64)>>,
     /// Content-aware inbound fault injection: a frame for which the
     /// filter returns true is counted and discarded before delivery —
     /// the TCP twin of the simulator's `World::set_drop_filter`, used by
@@ -273,19 +262,23 @@ struct Shared<M> {
     /// never install a filter, and readers must not pay a shared mutex
     /// per frame for a test-only feature.
     #[allow(clippy::type_complexity)]
-    inbound_filter: Mutex<Option<Box<dyn Fn(NodeId, &M) -> bool + Send>>>,
-    inbound_filter_armed: AtomicBool,
+    pub(crate) inbound_filter: Mutex<Option<Box<dyn Fn(NodeId, &M) -> bool + Send>>>,
+    pub(crate) inbound_filter_armed: AtomicBool,
 }
 
-/// Capacity of each per-peer outbound queue (frames). Beyond it the
-/// runtime drops (and counts) rather than buffering without bound.
-const PEER_QUEUE_FRAMES: usize = 4096;
-
-/// Modeled wire size of an outbound message, when the message type
-/// supports the simulator's size model.
-fn modeled_bytes<M: ringbft_simnet::SimMessage>(msg: &M) -> u64 {
-    msg.wire_bytes()
+impl<M> Shared<M> {
+    /// Stable peer→reactor-shard assignment.
+    pub(crate) fn peer_shard(&self, node: NodeId) -> usize {
+        reactor::peer_shard_of(node, self.nshards)
+    }
 }
+
+/// How long [`NodeRuntime::shutdown`] waits for the reactor threads to
+/// acknowledge the stop flag before declaring the shutdown unclean.
+/// Reactors never block (all I/O is nonblocking and every wait has a
+/// bounded timeout), so in practice they exit within one poll
+/// iteration; the bound guards against a wedged node state machine.
+const SHUTDOWN_JOIN_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// Hosts one protocol node over TCP.
 pub struct NodeRuntime<M: NetMsg, N: ProtocolNode<M> + Send + 'static> {
@@ -293,6 +286,7 @@ pub struct NodeRuntime<M: NetMsg, N: ProtocolNode<M> + Send + 'static> {
     node: Arc<Mutex<N>>,
     local_addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
+    exited: Receiver<usize>,
 }
 
 impl<M, N> NodeRuntime<M, N>
@@ -304,7 +298,9 @@ where
     /// `peers`, authenticating every frame with `auth` (all processes of
     /// one cluster must share the authenticator's seed). The listener
     /// must already be bound (bind with port 0 to let the kernel pick,
-    /// then collect `local_addr` into the table).
+    /// then collect `local_addr` into the table). Spawns exactly one
+    /// reactor thread; see [`NodeRuntime::launch_with_shards`] for
+    /// multi-core I/O scaling.
     pub fn launch(
         id: NodeId,
         node: N,
@@ -313,25 +309,44 @@ where
         clock: Clock,
         auth: FrameAuth,
     ) -> std::io::Result<NodeRuntime<M, N>> {
+        Self::launch_with_shards(id, node, listener, peers, clock, auth, 1)
+    }
+
+    /// Like [`NodeRuntime::launch`], but multiplexes the node's sockets
+    /// across `reactor_shards` reactor threads (peers are partitioned
+    /// by a stable hash; shard 0 additionally owns the listener and the
+    /// timer wheel). The thread count is fixed at launch and
+    /// independent of how many peers or clients connect.
+    pub fn launch_with_shards(
+        id: NodeId,
+        node: N,
+        listener: TcpListener,
+        peers: PeerTable,
+        clock: Clock,
+        auth: FrameAuth,
+        reactor_shards: usize,
+    ) -> std::io::Result<NodeRuntime<M, N>> {
+        let nshards = reactor_shards.max(1);
         let local_addr = listener.local_addr()?;
-        let (tx, rx) = mpsc::channel::<Event<M>>();
+        listener.set_nonblocking(true)?;
+        let mut wakeups = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            wakeups.push(EventFd::new()?);
+        }
         let shared = Arc::new(Shared {
             id,
             clock,
             peers,
             auth,
             listen_port: local_addr.port(),
-            events: tx,
-            timers: Mutex::new(TimerState {
-                heap: BinaryHeap::new(),
-                armed: HashMap::new(),
-                next_gen: 0,
-                stopped: false,
-            }),
-            timers_cv: Condvar::new(),
+            timers: Mutex::new(TimerState::new()),
             counters: NetCounters::default(),
             stop: AtomicBool::new(false),
-            writers: Mutex::new(HashMap::new()),
+            nshards,
+            wakeups,
+            outq: Mutex::new(HashMap::new()),
+            dirty: (0..nshards).map(|_| Mutex::new(HashSet::new())).collect(),
+            handoff: (0..nshards).map(|_| Mutex::new(VecDeque::new())).collect(),
             exec_log: Mutex::new(Vec::new()),
             view_log: Mutex::new(Vec::new()),
             inbound_filter: Mutex::new(None),
@@ -339,24 +354,34 @@ where
         });
         let node = Arc::new(Mutex::new(node));
 
-        let mut threads = Vec::new();
-        threads.push(spawn_named(
-            format!("{id}-events"),
-            event_loop(Arc::clone(&shared), Arc::clone(&node), rx),
-        ));
-        threads.push(spawn_named(
-            format!("{id}-timers"),
-            timer_loop(Arc::clone(&shared)),
-        ));
-        threads.push(spawn_named(
-            format!("{id}-accept"),
-            accept_loop(Arc::clone(&shared), listener),
-        ));
+        let (exit_tx, exited) = mpsc::channel();
+        let mut threads = Vec::with_capacity(nshards);
+        let mut listener = Some(listener);
+        for i in 0..nshards {
+            let shared = Arc::clone(&shared);
+            let node = Arc::clone(&node);
+            let listener = if i == 0 { listener.take() } else { None };
+            let exit_tx = exit_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{id}-reactor{i}"))
+                    .spawn(move || {
+                        // `run_shard` consumes the node handle, so the
+                        // exit marker is only sent once this thread no
+                        // longer holds a reference to the node —
+                        // `shutdown` unwraps it after the marker.
+                        reactor::run_shard(shared, node, i, listener);
+                        let _ = exit_tx.send(i);
+                    })
+                    .expect("spawn reactor thread"),
+            );
+        }
         Ok(NodeRuntime {
             shared,
             node,
             local_addr,
             threads,
+            exited,
         })
     }
 
@@ -368,6 +393,12 @@ where
     /// The bound listener address.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The number of reactor threads this runtime runs (fixed at
+    /// launch, independent of connection count).
+    pub fn reactor_shards(&self) -> usize {
+        self.shared.nshards
     }
 
     /// Runs `f` with exclusive access to the hosted node (pauses event
@@ -409,6 +440,7 @@ where
             timers_fired: c.timers_fired.load(Ordering::Relaxed),
             messages_delivered: c.messages_delivered.load(Ordering::Relaxed),
             messages_filtered: c.messages_filtered.load(Ordering::Relaxed),
+            reconnects: c.reconnects.load(Ordering::Relaxed),
         }
     }
 
@@ -422,431 +454,46 @@ where
         self.shared.view_log.lock().expect("view log").clone()
     }
 
-    /// Stops all threads and tears the node down, returning it.
-    pub fn shutdown(mut self) -> N
+    /// Stops the reactor threads and tears the node down, returning it.
+    ///
+    /// Fast path: the stop flag is set and every shard's eventfd is
+    /// poisoned, so each reactor observes the flag on its very next
+    /// poll return instead of waiting out a timeout. The join is
+    /// bounded ([`SHUTDOWN_JOIN_TIMEOUT`]): a shard that fails to
+    /// acknowledge in time (a wedged node state machine — reactor I/O
+    /// itself never blocks) is abandoned and `None` is returned rather
+    /// than hanging the caller, the failure mode the old runtime had
+    /// when a writer thread wedged mid-`write`.
+    pub fn shutdown(mut self) -> Option<N>
     where
         N: Send,
     {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Wake the event loop.
-        let _ = self.shared.events.send(Event::Stop);
-        // Wake the timer thread.
-        {
-            let mut t = self.shared.timers.lock().expect("timer lock");
-            t.stopped = true;
-            self.shared.timers_cv.notify_all();
+        for w in &self.shared.wakeups {
+            w.wake();
         }
-        // Wake the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        // Close writer queues so writer threads drain and exit.
-        self.shared.writers.lock().expect("writers").clear();
+        let deadline = std::time::Instant::now() + SHUTDOWN_JOIN_TIMEOUT;
+        let mut acked = 0;
+        while acked < self.threads.len() {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.exited.recv_timeout(left) {
+                Ok(_) => acked += 1,
+                Err(_) => break,
+            }
+        }
+        if acked < self.threads.len() {
+            // Unclean: a reactor never acknowledged. Abandon the
+            // threads (they hold clones of the node Arc, so the node
+            // cannot be handed back).
+            self.threads.clear();
+            return None;
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
         match Arc::try_unwrap(self.node) {
-            Ok(m) => m.into_inner().expect("node lock"),
-            Err(_) => unreachable!("all node users joined"),
-        }
-    }
-}
-
-fn spawn_named(name: String, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(name)
-        .spawn(f)
-        .expect("spawn runtime thread")
-}
-
-/// The node's event loop: start the machine, then drain events.
-fn event_loop<M, N>(
-    shared: Arc<Shared<M>>,
-    node: Arc<Mutex<N>>,
-    rx: Receiver<Event<M>>,
-) -> impl FnOnce() + Send + 'static
-where
-    M: NetMsg + ringbft_simnet::SimMessage,
-    N: ProtocolNode<M> + Send + 'static,
-{
-    move || {
-        let actions = {
-            let mut n = node.lock().expect("node lock");
-            n.on_start(shared.clock.now())
-        };
-        apply_actions(&shared, actions);
-        while let Ok(event) = rx.recv() {
-            if shared.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let actions = match event {
-                Event::Stop => break,
-                Event::Deliver { from, msg } => {
-                    shared
-                        .counters
-                        .messages_delivered
-                        .fetch_add(1, Ordering::Relaxed);
-                    let mut n = node.lock().expect("node lock");
-                    n.on_message(shared.clock.now(), from, msg)
-                }
-                Event::Timer { kind, token, gen } => {
-                    // Validate the generation under the timer lock so a
-                    // cancel that raced the firing wins, matching the
-                    // simulator's semantics.
-                    {
-                        let mut t = shared.timers.lock().expect("timer lock");
-                        if t.armed.get(&(kind, token)) != Some(&gen) {
-                            continue;
-                        }
-                        t.armed.remove(&(kind, token));
-                    }
-                    shared.counters.timers_fired.fetch_add(1, Ordering::Relaxed);
-                    let mut n = node.lock().expect("node lock");
-                    n.on_timer(shared.clock.now(), kind, token)
-                }
-            };
-            apply_actions(&shared, actions);
-        }
-    }
-}
-
-fn apply_actions<M>(shared: &Arc<Shared<M>>, actions: Vec<Action<M>>)
-where
-    M: NetMsg + ringbft_simnet::SimMessage,
-{
-    for action in actions {
-        match action {
-            Action::Send { to, msg } => send(shared, to, msg),
-            Action::SetTimer { kind, token, after } => set_timer(shared, kind, token, after),
-            Action::CancelTimer { kind, token } => {
-                let mut t = shared.timers.lock().expect("timer lock");
-                t.armed.remove(&(kind, token));
-                // Stale heap entries are skipped by the generation check.
-            }
-            Action::Executed { seq, txns } => {
-                shared.exec_log.lock().expect("exec log").push(ExecEvent {
-                    at: shared.clock.now(),
-                    seq,
-                    txns,
-                });
-            }
-            Action::ViewChanged { view } => {
-                shared
-                    .view_log
-                    .lock()
-                    .expect("view log")
-                    .push((shared.clock.now(), view));
-            }
-        }
-    }
-}
-
-fn set_timer<M>(shared: &Arc<Shared<M>>, kind: TimerKind, token: u64, after: Duration) {
-    let deadline = shared.clock.now().as_nanos() + after.as_nanos();
-    let mut t = shared.timers.lock().expect("timer lock");
-    t.next_gen += 1;
-    let gen = t.next_gen;
-    t.armed.insert((kind, token), gen);
-    t.heap.push(std::cmp::Reverse((deadline, kind, token, gen)));
-    shared.timers_cv.notify_all();
-}
-
-/// The timer thread: sleep until the earliest deadline, emit `Timer`
-/// events for entries whose generation is still live.
-fn timer_loop<M: NetMsg>(shared: Arc<Shared<M>>) -> impl FnOnce() + Send + 'static {
-    move || {
-        let mut guard = shared.timers.lock().expect("timer lock");
-        loop {
-            if guard.stopped {
-                return;
-            }
-            let now = shared.clock.now().as_nanos();
-            // Fire everything due.
-            while let Some(std::cmp::Reverse((deadline, kind, token, gen))) =
-                guard.heap.peek().copied()
-            {
-                if deadline > now {
-                    break;
-                }
-                guard.heap.pop();
-                if guard.armed.get(&(kind, token)) == Some(&gen) {
-                    // The event loop re-validates under this same lock
-                    // before dispatching, so a cancel can still win.
-                    let _ = shared.events.send(Event::Timer { kind, token, gen });
-                }
-            }
-            let wait = match guard.heap.peek() {
-                Some(std::cmp::Reverse((deadline, ..))) => {
-                    std::time::Duration::from_nanos(deadline.saturating_sub(now))
-                }
-                None => std::time::Duration::from_millis(250),
-            };
-            let (g, _) = shared
-                .timers_cv
-                .wait_timeout(guard, wait)
-                .expect("timer wait");
-            guard = g;
-        }
-    }
-}
-
-/// Queues a message for a peer, standing up the peer's writer on first
-/// use. Self-sends bypass the network, exactly like the simulator.
-fn send<M>(shared: &Arc<Shared<M>>, to: NodeId, msg: M)
-where
-    M: NetMsg + ringbft_simnet::SimMessage,
-{
-    let resolved = shared.peers.resolve(to);
-    if resolved == shared.id {
-        let _ = shared.events.send(Event::Deliver {
-            from: shared.id,
-            msg,
-        });
-        return;
-    }
-    if shared.peers.addr_of(resolved).is_none() {
-        // Unknown peer: drop, as the simulator drops sends to
-        // unregistered nodes. (A Hello may register it later; the
-        // writer re-reads the table on every connect.)
-        shared
-            .counters
-            .messages_dropped
-            .fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    let model = modeled_bytes(&msg);
-    let env = Envelope {
-        from: shared.id,
-        to,
-        msg,
-    };
-    let frame = match encode_frame(&env, &shared.auth) {
-        Ok(f) => f,
-        Err(_) => {
-            shared
-                .counters
-                .messages_dropped
-                .fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-    };
-    let sender = {
-        let mut writers = shared.writers.lock().expect("writers");
-        writers
-            .entry(resolved)
-            .or_insert_with(|| {
-                let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(PEER_QUEUE_FRAMES);
-                let shared_for_writer = Arc::clone(shared);
-                spawn_named(format!("{}-w-{resolved}", shared.id), move || {
-                    writer_loop(shared_for_writer, resolved, rx)
-                });
-                tx
-            })
-            .clone()
-    };
-    let bytes = frame.len() as u64;
-    match sender.try_send(frame) {
-        Ok(()) => {
-            shared
-                .counters
-                .messages_sent
-                .fetch_add(1, Ordering::Relaxed);
-            shared
-                .counters
-                .bytes_sent
-                .fetch_add(bytes, Ordering::Relaxed);
-            shared
-                .counters
-                .modeled_bytes_sent
-                .fetch_add(model, Ordering::Relaxed);
-        }
-        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-            shared
-                .counters
-                .messages_dropped
-                .fetch_add(1, Ordering::Relaxed);
-        }
-    }
-}
-
-/// Per-batch delivery attempts before a writer drops the batch. Keeps
-/// a down peer from stalling the queue for more than a few seconds
-/// while the protocol's retransmission timers cover the loss.
-const WRITE_ATTEMPTS_PER_FRAME: u32 = 5;
-
-/// Upper bound on how many bytes of queued frames a writer coalesces
-/// into one `write` syscall. Keeps the latency of the first frame low
-/// while cutting per-frame syscall overhead under load (a saturated
-/// peer queue drains in ~16 frames per syscall at typical consensus
-/// message sizes).
-const COALESCE_BYTES: usize = 64 * 1024;
-
-/// A peer writer: dial the peer's *current* address (re-read from the
-/// peer table every connect, so Hello-driven refreshes take effect),
-/// then drain the queue. Frames already queued behind the first one are
-/// coalesced into a single `write` (up to [`COALESCE_BYTES`]), so a
-/// bursty sender — a primary multicasting a batch, a donor streaming
-/// state chunks — costs one syscall per burst instead of one per frame.
-/// The thread lives as long as its queue: a batch that cannot be
-/// delivered within a few attempts is dropped and counted, and the
-/// writer moves on — delivery resumes as soon as the peer is reachable
-/// again.
-fn writer_loop<M: NetMsg>(shared: Arc<Shared<M>>, peer: NodeId, rx: Receiver<Vec<u8>>) {
-    let mut stream: Option<TcpStream> = None;
-    loop {
-        let Ok(first) = rx.recv() else {
-            return; // queue closed: shutdown
-        };
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        // Coalesce whatever is already queued behind the first frame.
-        let mut batch = first;
-        let mut frames_in_batch = 1u64;
-        while batch.len() < COALESCE_BYTES {
-            match rx.try_recv() {
-                Ok(frame) => {
-                    batch.extend_from_slice(&frame);
-                    frames_in_batch += 1;
-                }
-                Err(_) => break,
-            }
-        }
-        let mut delivered = false;
-        for attempt in 0..WRITE_ATTEMPTS_PER_FRAME {
-            if shared.stop.load(Ordering::SeqCst) {
-                return;
-            }
-            if stream.is_none() {
-                stream = connect_and_hello(&shared, peer);
-                if stream.is_none() {
-                    std::thread::sleep(std::time::Duration::from_millis(
-                        (20 * (attempt + 1)) as u64,
-                    ));
-                    continue;
-                }
-            }
-            let s = stream.as_mut().expect("connected");
-            match std::io::Write::write_all(s, &batch) {
-                Ok(()) => {
-                    delivered = true;
-                    break;
-                }
-                Err(_) => {
-                    // Broken pipe: re-dial on the next attempt. The
-                    // whole batch is rewritten on the fresh connection;
-                    // frames the peer already consumed arrive again,
-                    // which BFT message handling absorbs (vote sets are
-                    // idempotent), and a half-written trailing frame
-                    // only kills the old connection's reader.
-                    stream = None;
-                }
-            }
-        }
-        if !delivered {
-            shared
-                .counters
-                .messages_undeliverable
-                .fetch_add(frames_in_batch, Ordering::Relaxed);
-        }
-    }
-}
-
-/// Dials `peer` at its current peer-table address and introduces this
-/// node, so the peer learns a dial-back route (essential for client
-/// hosts that are not in the static config).
-fn connect_and_hello<M: NetMsg>(shared: &Arc<Shared<M>>, peer: NodeId) -> Option<TcpStream> {
-    let addr = shared.peers.addr_of(peer)?;
-    let mut s = TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(500)).ok()?;
-    let _ = s.set_nodelay(true);
-    let hello = Hello {
-        node: shared.id,
-        aliases: shared.peers.aliases_of(shared.id),
-        listen_port: shared.listen_port,
-    };
-    let frame = encode_hello_frame(&hello, &shared.auth, peer).ok()?;
-    std::io::Write::write_all(&mut s, &frame).ok()?;
-    Some(s)
-}
-
-/// Accept loop: one reader thread per inbound connection.
-fn accept_loop<M: NetMsg>(
-    shared: Arc<Shared<M>>,
-    listener: TcpListener,
-) -> impl FnOnce() + Send + 'static {
-    move || {
-        for conn in listener.incoming() {
-            if shared.stop.load(Ordering::SeqCst) {
-                return;
-            }
-            let Ok(stream) = conn else { continue };
-            let shared = Arc::clone(&shared);
-            // Readers are detached: they exit on EOF (peers close their
-            // write sides at shutdown) or on a codec error.
-            let _ = std::thread::Builder::new()
-                .name(format!("{}-read", shared.id))
-                .spawn(move || reader_loop(shared, stream));
-        }
-    }
-}
-
-fn reader_loop<M: NetMsg>(shared: Arc<Shared<M>>, stream: TcpStream) {
-    let peer_ip = stream.peer_addr().ok().map(|a| a.ip());
-    let mut reader = BufReader::new(stream);
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match read_any_frame::<M, _>(&mut reader, &shared.auth, shared.id) {
-            Ok(Frame::Hello(hello)) => {
-                // Learn the dial-back route for this peer: its
-                // advertised listener port on the connection's source
-                // IP. Client hosts may restart on a new ephemeral port,
-                // so their route refreshes on every Hello; replica
-                // routes from the cluster file are authoritative and
-                // are only filled in when missing (a source IP can
-                // differ from the configured interface on multi-homed
-                // hosts). The codec already verified the Hello's HMAC
-                // under the announced node's pair key, so the route
-                // cannot be planted by a node not holding that key.
-                if let Some(ip) = peer_ip {
-                    let addr = SocketAddr::new(ip, hello.listen_port);
-                    match hello.node {
-                        NodeId::Client(_) => shared.peers.insert(hello.node, addr),
-                        NodeId::Replica(_) => shared.peers.insert_if_absent(hello.node, addr),
-                    }
-                    for alias in hello.aliases {
-                        shared.peers.add_alias(alias, hello.node);
-                    }
-                }
-            }
-            Ok(Frame::Data(env)) => {
-                // Deliver only traffic addressed to (an alias of) us;
-                // anything else indicates a stale peer table.
-                if shared.peers.resolve(env.to) == shared.id {
-                    // Fast path: the atomic keeps the no-filter case
-                    // (every production run) free of the shared lock.
-                    let filtered = shared.inbound_filter_armed.load(Ordering::Acquire)
-                        && shared
-                            .inbound_filter
-                            .lock()
-                            .expect("filter lock")
-                            .as_ref()
-                            .is_some_and(|f| f(env.from, &env.msg));
-                    if filtered {
-                        shared
-                            .counters
-                            .messages_filtered
-                            .fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    let _ = shared.events.send(Event::Deliver {
-                        from: env.from,
-                        msg: env.msg,
-                    });
-                }
-            }
-            Err(_) => {
-                return; // EOF or corruption: close the connection
-            }
+            Ok(m) => m.into_inner().ok(),
+            Err(_) => None,
         }
     }
 }

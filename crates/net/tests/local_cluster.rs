@@ -272,8 +272,11 @@ fn two_shards_commit_all_transaction_classes_over_tcp() {
     });
     assert!(converged, "shard state diverged across replicas");
 
-    let _ = injector.shutdown();
-    cluster.shutdown();
+    assert!(
+        injector.shutdown().is_some(),
+        "injector shutdown was not clean"
+    );
+    assert!(cluster.shutdown(), "cluster shutdown was not clean");
 }
 
 /// Drives a fixed transaction list to f+1-confirmed completion through
@@ -311,7 +314,10 @@ fn run_phase(cluster: &LocalCluster, cfg: &SystemConfig, txns: Vec<Transaction>)
         );
         std::thread::sleep(std::time::Duration::from_millis(25));
     }
-    let _ = injector.shutdown();
+    assert!(
+        injector.shutdown().is_some(),
+        "injector shutdown was not clean"
+    );
 }
 
 /// Acceptance test (ISSUE 2, extended by ISSUE 4): a 3-shard ×
@@ -427,7 +433,7 @@ fn replica_blank_restart_catches_up_via_state_transfer_over_tcp() {
         _ => panic!("ring replica expected"),
     });
 
-    cluster.shutdown();
+    assert!(cluster.shutdown(), "cluster shutdown was not clean");
 }
 
 /// Acceptance test (ISSUE 3): one replica of a real-socket cluster is
@@ -517,7 +523,7 @@ fn commit_hole_repaired_via_certificate_fetch_over_tcp() {
     });
     assert!(converged, "victim's store diverged after hole repair");
 
-    cluster.shutdown();
+    assert!(cluster.shutdown(), "cluster shutdown was not clean");
 }
 
 /// Closed-loop workload over 3 shards: the simulator's own `SimClient`
@@ -552,5 +558,5 @@ fn closed_loop_workload_sustains_throughput_over_tcp() {
         executed_shards.len() >= 2,
         "expected cross-shard execution, saw {executed_shards:?}"
     );
-    cluster.shutdown();
+    assert!(cluster.shutdown(), "cluster shutdown was not clean");
 }

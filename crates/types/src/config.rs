@@ -182,6 +182,16 @@ pub struct SystemConfig {
     /// (`ringbft_crypto::KeyStore`): every process of one cluster must
     /// share it so frame authenticators (HMACs, §3) verify.
     pub auth_seed: u64,
+    /// Epoll reactor threads per hosted node in the real-network
+    /// runtime (`ringbft-net`): each node's sockets are partitioned
+    /// across this many poll loops by a stable peer hash. The per-node
+    /// thread count is *fixed* at this value regardless of how many
+    /// peers or clients connect (the old runtime spawned two threads
+    /// per connection). 1 (the default) is right for loopback tests
+    /// and small deployments; raise it to spread socket I/O across
+    /// cores on replicas terminating many client connections. Ignored
+    /// by the discrete-event simulator.
+    pub reactor_shards: usize,
     /// Ablation switch: send cross-shard Forward/Execute messages to
     /// *every* replica of the next shard instead of only the same-index
     /// counterpart. Quantifies the linear communication primitive's
@@ -225,6 +235,7 @@ impl SystemConfig {
             state_chunk_records: 4096,
             full_snapshot_every: 4,
             auth_seed: 0,
+            reactor_shards: 1,
             ablation_quadratic_forward: false,
             ring_offset: 0,
         }
@@ -316,6 +327,9 @@ impl SystemConfig {
         if self.num_keys < self.z() as u64 {
             return Err("need at least one key per shard".into());
         }
+        if self.reactor_shards == 0 || self.reactor_shards > 64 {
+            return Err("reactor_shards must be within 1..=64".into());
+        }
         Ok(())
     }
 }
@@ -375,6 +389,18 @@ mod tests {
         assert_eq!(cfg.key_range(ShardId(2)), 400_000..600_000);
         assert_eq!(cfg.shard_of_key(199_999), ShardId(0));
         assert_eq!(cfg.shard_of_key(200_000), ShardId(1));
+    }
+
+    #[test]
+    fn reactor_shards_validated() {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 2, 4);
+        assert_eq!(cfg.reactor_shards, 1);
+        cfg.reactor_shards = 0;
+        assert!(cfg.validate().is_err());
+        cfg.reactor_shards = 65;
+        assert!(cfg.validate().is_err());
+        cfg.reactor_shards = 4;
+        cfg.validate().unwrap();
     }
 
     #[test]

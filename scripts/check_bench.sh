@@ -47,4 +47,26 @@ if ! grep -q '"delta_vs_full_ok": true' "$OUT"; then
 fi
 echo "check_bench: delta recovery moves less data than full recovery"
 
+# Reactor thread gate: a running node must use a fixed thread count —
+# at most reactor_shards + 1 per hosted node (its reactor shards plus
+# amortized process overhead) — independent of how many peers/clients
+# are connected. The thread-per-connection runtime this replaced would
+# blow straight through this bound under the bench's 32-client load.
+read -r THREADS_PER_NODE REACTOR_SHARDS < <(awk '
+    /"net": {/      { in_net = 1 }
+    in_net && /"threads_per_node":/ { gsub(/[",]/, ""); t = $2 }
+    in_net && /"reactor_shards":/   { gsub(/[",]/, ""); s = $2 }
+    in_net && /^  }/ { in_net = 0 }
+    END { print t, s }
+' "$OUT")
+if [[ -z "$THREADS_PER_NODE" || -z "$REACTOR_SHARDS" ]]; then
+    echo "check_bench: FAIL net section missing threads_per_node/reactor_shards in $OUT" >&2
+    exit 1
+fi
+if ! awk -v t="$THREADS_PER_NODE" -v s="$REACTOR_SHARDS" 'BEGIN { exit !(t <= s + 1) }'; then
+    echo "check_bench: FAIL threads_per_node $THREADS_PER_NODE exceeds reactor_shards + 1 (= $((REACTOR_SHARDS + 1)))" >&2
+    exit 1
+fi
+echo "check_bench: reactor thread count fixed ($THREADS_PER_NODE threads/node, $REACTOR_SHARDS shard(s))"
+
 echo "check_bench: OK"

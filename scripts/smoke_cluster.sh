@@ -115,6 +115,11 @@ echo "smoke: driving 100 logical clients for ${SECS}s (require ≥ ${MIN_TXNS} t
 WORKLOAD_PID=$!
 PIDS+=("$WORKLOAD_PID")
 
+# Threads of a process (0 when it is gone).
+threads_of() {
+    awk '/^Threads:/ { print $2 }' "/proc/$1/status" 2>/dev/null || echo 0
+}
+
 if [[ "$KILL_AT" -gt 0 ]]; then
     # Mid-run fault: kill replica S0r3 outright, leave the shard running
     # at quorum 3/4 for a while, then restart the replica *blank* (fresh
@@ -122,6 +127,20 @@ if [[ "$KILL_AT" -gt 0 ]]; then
     # incarnation must catch up via the recovery subsystem while the
     # workload keeps completing transactions.
     sleep "$KILL_AT"
+
+    # Reactor thread model: with the cluster fully connected and the
+    # workload's 100 logical clients live, a process hosting H replicas
+    # runs exactly H reactor threads (reactor_shards = 1 in the example
+    # config) plus the main thread — connection count must not move it.
+    # The shard-1 process hosts 4 replicas: allow 4 + main + 1 slack.
+    SHARD1_THREADS=$(threads_of "${PIDS[1]}")
+    SHARD1_THREADS=${SHARD1_THREADS:-0}
+    if [[ "$SHARD1_THREADS" -gt 6 ]]; then
+        echo "smoke: shard-1 process runs $SHARD1_THREADS threads for 4 hosted replicas" \
+             "(thread-per-connection regression?)" >&2
+        exit 1
+    fi
+    echo "smoke: shard-1 process thread count $SHARD1_THREADS (4 replicas + main) — ok"
     echo "smoke: killing replica S0r3 (pid $VICTIM_PID)"
     kill -9 "$VICTIM_PID" 2>/dev/null || true
     wait "$VICTIM_PID" 2>/dev/null || true
