@@ -2,13 +2,16 @@
 //! regression — used by `scripts/check_bench.sh` in CI.
 //!
 //! ```text
-//! bench_check BASELINE.json CANDIDATE.json [--tolerance 0.2]
+//! bench_check BASELINE.json CANDIDATE.json [--tolerance 0.2] [--p99-tolerance 0.5]
 //! ```
 //!
 //! A regression is:
 //!
 //! * any protocol losing more than `tolerance` (default 20 %) of its
 //!   baseline `throughput_tps`,
+//! * any protocol's `p99_latency_s` growing more than `p99-tolerance`
+//!   (default 50 % — tail latency moves more than throughput) over its
+//!   baseline,
 //! * any scenario flag (`safety_ok` / `liveness_ok` — any boolean key
 //!   ending in `_ok`, wherever it appears) that was true in the
 //!   baseline turning false,
@@ -64,6 +67,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance = 0.20f64;
+    let mut p99_tolerance = 0.50f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -74,8 +78,18 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--p99-tolerance" => {
+                i += 1;
+                p99_tolerance = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--p99-tolerance needs a fraction (e.g. 0.5)");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                println!("bench_check BASELINE.json CANDIDATE.json [--tolerance 0.2]");
+                println!(
+                    "bench_check BASELINE.json CANDIDATE.json [--tolerance 0.2] \
+                     [--p99-tolerance 0.5]"
+                );
                 return;
             }
             other if other.starts_with('-') => {
@@ -130,6 +144,38 @@ fn main() {
             )),
             Some(tps) => {
                 eprintln!("ok  {name}: {tps:.0} txn/s (baseline {base_tps:.0})");
+            }
+        }
+
+        // Tail-latency ceiling: candidate p99 must not blow past the
+        // baseline by more than the (looser) p99 tolerance.
+        let Some(base_p99) = entry.get("p99_latency_s").and_then(|t| t.as_f64()) else {
+            continue;
+        };
+        if base_p99 <= 0.0 {
+            continue; // no completions in the baseline window
+        }
+        let cand_p99 = candidate
+            .get("protocols")
+            .and_then(|p| p.get(name))
+            .and_then(|e| e.get("p99_latency_s"))
+            .and_then(|t| t.as_f64());
+        match cand_p99 {
+            None => failures.push(format!(
+                "protocol {name}: p99_latency_s missing from candidate"
+            )),
+            Some(p99) if p99 > base_p99 * (1.0 + p99_tolerance) => failures.push(format!(
+                "protocol {name}: p99 latency {:.0} ms is {:.1}% above baseline {:.0} ms",
+                p99 * 1e3,
+                (p99 / base_p99 - 1.0) * 100.0,
+                base_p99 * 1e3
+            )),
+            Some(p99) => {
+                eprintln!(
+                    "ok  {name}: p99 {:.0} ms (baseline {:.0} ms)",
+                    p99 * 1e3,
+                    base_p99 * 1e3
+                );
             }
         }
     }

@@ -37,7 +37,14 @@ use std::io::Write as _;
 /// `reactor_shards` + 1, gated by `scripts/check_bench.sh`: the
 /// thread-per-connection runtime this replaced would blow straight
 /// through it), `peak_fds`, and `reconnects`.
-const SCHEMA_VERSION: u64 = 5;
+///
+/// v6: tail latency from mergeable log-bucketed histograms —
+/// `p99_latency_s` / `p999_latency_s` per protocol (gated by
+/// `scripts/check_bench.sh`) plus a `phases` object breaking RingBFT's
+/// client latency into per-phase consensus timers (admission,
+/// preprepare→commit, commit→execute, execute→reply, cst forward /
+/// execute) merged across every replica.
+const SCHEMA_VERSION: u64 = 6;
 
 fn quick_cfg(kind: ProtocolKind) -> SystemConfig {
     let (z, n) = if kind.is_sharded() { (3, 4) } else { (1, 4) };
@@ -100,6 +107,23 @@ fn main() {
             report.avg_latency_s,
             t0.elapsed().as_secs_f64()
         );
+        // Per-phase consensus timers (instrumented protocols only —
+        // RingBFT today; empty object for the baselines).
+        let phases: Vec<(String, serde_json::Value)> = report
+            .phases
+            .iter()
+            .map(|p| {
+                (
+                    p.name.to_string(),
+                    serde_json::json!({
+                        "count": p.count,
+                        "mean_s": p.mean_s,
+                        "p50_s": p.p50_s,
+                        "p99_s": p.p99_s,
+                    }),
+                )
+            })
+            .collect();
         entries.push((
             kind.name().to_string(),
             serde_json::json!({
@@ -107,9 +131,12 @@ fn main() {
                 "avg_latency_s": report.avg_latency_s,
                 "p50_latency_s": report.p50_latency_s,
                 "p95_latency_s": report.p95_latency_s,
+                "p99_latency_s": report.p99_latency_s,
+                "p999_latency_s": report.p999_latency_s,
                 "completed_txns": report.completed_txns,
                 "messages_sent": report.messages_sent,
                 "bytes_sent": report.bytes_sent,
+                "phases": serde_json::Value::Object(phases),
             }),
         ));
     }

@@ -7,12 +7,15 @@
 //! shard-to-shard communication. See [`node::RingReplica`] for the replica
 //! state machine and `crates/sim` for the WAN harness that drives it.
 
+pub mod dedup;
 pub mod messages;
 pub mod node;
+pub mod obs;
 pub mod testing;
 
 pub use messages::{ExecuteMsg, ForwardMsg, RingMsg};
 pub use node::{RingReplica, RingStats};
+pub use obs::{Phase, ReplicaObs};
 
 #[cfg(test)]
 mod tests {
@@ -465,8 +468,8 @@ mod tests {
         }
         net.settle();
         for r in net.replicas.values() {
-            assert_eq!(r.stats.forwards_sent, 0, "{} forwarded", r.id());
-            assert_eq!(r.stats.executes_sent, 0);
+            assert_eq!(r.stats().forwards_sent, 0, "{} forwarded", r.id());
+            assert_eq!(r.stats().executes_sent, 0);
         }
         for id in 1..=6u64 {
             assert_eq!(net.completed_digests(ClientId(id), 2).len(), 1);

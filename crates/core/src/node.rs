@@ -40,7 +40,9 @@
 //! * clients that time out broadcast their request to the whole shard
 //!   (A1); non-primary replicas relay to the primary and watchdog it.
 
+use crate::dedup::WindowedDigestSet;
 use crate::messages::{ExecuteMsg, ForwardMsg, RingMsg};
+use crate::obs::{Phase, ReplicaObs};
 use ringbft_crypto::Digest;
 use ringbft_ledger::{BlockBody, Ledger};
 use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
@@ -191,9 +193,12 @@ pub struct RingReplica {
     work: BTreeMap<u64, Work>,
     /// Cross-shard transaction state by digest.
     csts: BTreeMap<Digest, CstState>,
-    /// Completed digests (late-message dedup), with the local sequence
-    /// they finished at so checkpoints can garbage-collect them.
-    done: HashMap<Digest, u64>,
+    /// Completed digests (late-message dedup): a fixed-memory set whose
+    /// generations rotate once per stable checkpoint, so entries survive
+    /// at least two full checkpoint windows — the same horizon the old
+    /// `HashMap<Digest, SeqNum>` retain-GC enforced, without the
+    /// O(window-txns) footprint.
+    done: WindowedDigestSet,
     /// Watchdog token → digest.
     token_digest: HashMap<u64, Digest>,
     next_token: u64,
@@ -258,8 +263,27 @@ pub struct RingReplica {
     /// When the first watchdog expiry was swallowed while this replica
     /// had not yet committed a single batch (see `allow_solo_vc`).
     pre_commit_vc_defer: Option<Instant>,
-    /// Statistics.
-    pub stats: RingStats,
+    // --- observability (`crate::obs`) ---
+    /// The current event time, cached at the public entry points so the
+    /// internal paths (which predate wall-time plumbing and still drive
+    /// PBFT with `Instant::ZERO`) can stamp phase timers without
+    /// threading `now` through every signature.
+    obs_now: Instant,
+    /// Commit time per locally committed sequence (commit→execute).
+    commit_at: HashMap<u64, Instant>,
+    /// Arrival time of the oldest request pooled per batching pool
+    /// (admission phase; primary only).
+    pool_first: BTreeMap<Vec<ShardId>, Instant>,
+    /// Execution time per cst this replica will answer the client for
+    /// (execute→reply; initiator shard only).
+    executed_at: HashMap<Digest, Instant>,
+    /// Local-commit time per cst at its initiator shard (cst-forward
+    /// phase: commit → ring-rotation-one wrap-around).
+    cst_commit_at: HashMap<Digest, Instant>,
+    /// Forward-evidence time per cst (cst-execute phase).
+    cst_fwd_at: HashMap<Digest, Instant>,
+    /// Registry counters/gauges, phase histograms, and the trace ring.
+    obs: ReplicaObs,
 }
 
 impl RingReplica {
@@ -313,7 +337,7 @@ impl RingReplica {
             next_batch_id: (me.shard.0 as u64) << 40,
             work: BTreeMap::new(),
             csts: BTreeMap::new(),
-            done: HashMap::new(),
+            done: WindowedDigestSet::with_window(cfg.checkpoint_interval),
             token_digest: HashMap::new(),
             next_token: TOKEN_BASE,
             txn_watchdogs: HashMap::new(),
@@ -335,7 +359,13 @@ impl RingReplica {
             recovery,
             hole,
             pre_commit_vc_defer: None,
-            stats: RingStats::default(),
+            obs_now: Instant::ZERO,
+            commit_at: HashMap::new(),
+            pool_first: BTreeMap::new(),
+            executed_at: HashMap::new(),
+            cst_commit_at: HashMap::new(),
+            cst_fwd_at: HashMap::new(),
+            obs: ReplicaObs::new(),
             cfg,
             me,
         }
@@ -409,6 +439,29 @@ impl RingReplica {
     /// filled, forged replies rejected).
     pub fn hole_stats(&self) -> HoleStats {
         self.hole.stats
+    }
+
+    /// Legacy counter snapshot, built from the metrics registry — the
+    /// registry in [`RingReplica::obs`] is the source of truth; this
+    /// shape survives for tests and existing call sites.
+    pub fn stats(&self) -> RingStats {
+        self.obs.stats()
+    }
+
+    /// Observability instruments: the metric registry, per-phase latency
+    /// histograms, and the event-trace ring.
+    pub fn obs(&self) -> &ReplicaObs {
+        &self.obs
+    }
+
+    /// All instruments as one stable JSON object.
+    pub fn metrics_json(&self) -> String {
+        self.obs.reg.snapshot_json()
+    }
+
+    /// The event-trace ring as JSON-lines (oldest first).
+    pub fn trace_jsonl(&self) -> String {
+        self.obs.trace.dump_jsonl()
     }
 
     /// Checkpoint/recovery diagnostics: `(executed ahead of the
@@ -533,6 +586,7 @@ impl RingReplica {
         msg: RingMsg,
         out: &mut Outbox<RingMsg>,
     ) {
+        self.obs_now = now;
         match msg {
             RingMsg::Request { txn, relayed } => self.on_request(txn, relayed, out),
             RingMsg::Pbft(m) => {
@@ -626,6 +680,7 @@ impl RingReplica {
         token: u64,
         out: &mut Outbox<RingMsg>,
     ) {
+        self.obs_now = now;
         match kind {
             TimerKind::Local => {
                 // Grace period: a freshly installed view gets one full
@@ -760,7 +815,7 @@ impl RingReplica {
                             txn_ids,
                         },
                     );
-                    self.stats.replies_sent += 1;
+                    self.obs.replies_sent(1);
                 }
                 return;
             }
@@ -781,6 +836,9 @@ impl RingReplica {
             if !self.pooled.insert(txn.id) {
                 return; // already pooled (duplicate relay)
             }
+            self.pool_first
+                .entry(involved.clone())
+                .or_insert(self.obs_now);
             self.pools.entry(involved).or_default().push((*txn).clone());
             self.flush_pools(false, out);
             if !self.pool_timer_armed && self.pools.values().any(|p| !p.is_empty()) {
@@ -860,6 +918,19 @@ impl RingReplica {
                 }
                 let take = pool.len().min(batch_size);
                 let txns: Vec<Transaction> = pool.drain(..take).collect();
+                let drained_all = pool.is_empty();
+                // Admission: how long the oldest pooled request waited
+                // for its batch. Later batches from the same flush reuse
+                // the restarted clock, so the sample tracks head-of-pool
+                // wait rather than per-transaction wait.
+                if let Some(t0) = self.pool_first.get(&key).copied() {
+                    self.obs.phase(Phase::Admission, self.obs_now.since(t0));
+                    if drained_all {
+                        self.pool_first.remove(&key);
+                    } else {
+                        self.pool_first.insert(key.clone(), self.obs_now);
+                    }
+                }
                 let id = BatchId(self.next_batch_id);
                 self.next_batch_id += 1;
                 let batch = Arc::new(Batch::new(id, txns));
@@ -938,6 +1009,9 @@ impl RingReplica {
             } => self.on_local_commit(seq, digest, batch, committers, out),
             PbftEvent::EnteredView { view } => {
                 self.last_view_entry = now;
+                self.obs
+                    .trace
+                    .push(now.as_nanos(), "view_entered", &[("view", view.0)]);
                 out.view_changed(view.0);
                 self.on_entered_view(out);
             }
@@ -970,6 +1044,11 @@ impl RingReplica {
         if seq <= self.exec_watermark {
             return;
         }
+        self.obs.trace.push(
+            self.obs_now.as_nanos(),
+            "checkpoint_evidence",
+            &[("seq", seq)],
+        );
         if self.announced.get(&seq).is_some_and(|e| e.digest == digest) {
             return; // our own state reaches it; no transfer needed
         }
@@ -1014,9 +1093,11 @@ impl RingReplica {
             }
         }
         // Mirror the transfer-byte accounting into the replica's own
-        // stats (full vs delta — surfaced by the bench harness).
-        self.stats.state_bytes_full = self.recovery.stats.bytes_full;
-        self.stats.state_bytes_delta = self.recovery.stats.bytes_delta;
+        // gauges (full vs delta — surfaced by the bench harness).
+        self.obs.set_state_bytes(
+            self.recovery.stats.bytes_full,
+            self.recovery.stats.bytes_delta,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1094,6 +1175,9 @@ impl RingReplica {
     fn on_hole_request(&mut self, from: ReplicaId, req: HoleRequest, out: &mut Outbox<RingMsg>) {
         if let Some(reply) = self.pbft.commit_certificate(req.seq) {
             self.hole.stats.replies_served += 1;
+            self.obs
+                .trace
+                .push(self.obs_now.as_nanos(), "hole_serve", &[("seq", req.seq.0)]);
             out.send(
                 NodeId::Replica(from),
                 RingMsg::Recovery(RecoveryMsg::HoleReply(reply)),
@@ -1132,6 +1216,7 @@ impl RingReplica {
             self.hole.stats.bad_replies += 1;
             return;
         }
+        let reply_seq = reply.cert.seq.0;
         let mut installed = false;
         self.drive_pbft(
             Instant::ZERO,
@@ -1142,6 +1227,11 @@ impl RingReplica {
         );
         if installed {
             self.hole.stats.holes_filled += 1;
+            self.obs.trace.push(
+                self.obs_now.as_nanos(),
+                "hole_filled",
+                &[("seq", reply_seq)],
+            );
         }
         self.update_hole_probe(out);
         // Burst pacing: a multi-sequence gap (partitioned replica whose
@@ -1159,6 +1249,9 @@ impl RingReplica {
     fn mark_executed(&mut self, seq: u64, writes: Vec<(Key, Value)>, out: &mut Outbox<RingMsg>) {
         if seq <= self.exec_watermark || self.executed_ahead.contains(&seq) {
             return;
+        }
+        if let Some(t0) = self.commit_at.remove(&seq) {
+            self.obs.phase(Phase::CommitExecute, self.obs_now.since(t0));
         }
         self.pending_effects.insert(seq, writes);
         self.executed_ahead.insert(seq);
@@ -1230,6 +1323,9 @@ impl RingReplica {
                     full,
                 },
             );
+            self.obs
+                .trace
+                .push(self.obs_now.as_nanos(), "checkpoint_vote", &[("seq", seq)]);
             self.drive_pbft(
                 Instant::ZERO,
                 |pbft, pout, events| {
@@ -1276,7 +1372,14 @@ impl RingReplica {
                 }
                 self.ledger.prune_through_seq(seq);
                 let horizon = seq.saturating_sub(2 * self.cfg.checkpoint_interval);
-                self.done.retain(|_, s| *s > horizon);
+                self.done.rotate();
+                self.obs
+                    .set_done_set(self.done.occupancy() as u64, self.done.overwrites());
+                self.obs.trace.push(
+                    self.obs_now.as_nanos(),
+                    "checkpoint_stable",
+                    &[("seq", seq)],
+                );
                 // Reply-cache backstop: the cache is O(active clients),
                 // but a client population that churns (hosts leaving,
                 // id ranges rotating) would still accrete entries —
@@ -1284,7 +1387,8 @@ impl RingReplica {
                 // the reclaims.
                 let before = self.client_replies.len();
                 self.client_replies.retain(|_, e| e.seq > horizon);
-                self.stats.reply_cache_evictions += (before - self.client_replies.len()) as u64;
+                self.obs
+                    .reply_cache_evictions((before - self.client_replies.len()) as u64);
                 return;
             }
             // Drop the diverged entry and everything below it (the
@@ -1301,7 +1405,12 @@ impl RingReplica {
             // rollback-and-refetch is a ROADMAP item — the snapshot
             // cannot simply be installed, because the local state it
             // would replace has already fed later executions.
-            self.stats.checkpoint_divergences += 1;
+            self.obs.checkpoint_divergences(1);
+            self.obs.trace.push(
+                self.obs_now.as_nanos(),
+                "checkpoint_divergence",
+                &[("seq", seq)],
+            );
             return;
         }
         if self.exec_watermark >= seq {
@@ -1422,9 +1531,9 @@ impl RingReplica {
             .collect();
         for d in stale {
             if let Some(c) = self.csts.remove(&d) {
-                if let Some(local_seq) = c.local_seq {
+                if c.local_seq.is_some() {
                     // Finished work: keep the replay-dedup entry.
-                    self.done.insert(d, local_seq);
+                    self.done.insert(&d);
                 }
                 self.token_digest.remove(&c.token);
                 out.cancel_timer(TimerKind::Local, c.token);
@@ -1433,6 +1542,11 @@ impl RingReplica {
             }
         }
         self.work.retain(|s, _| *s > seq);
+        // Commit→execute clocks for subsumed sequences never close.
+        self.commit_at.retain(|s, _| *s > seq);
+        self.obs
+            .trace
+            .push(self.obs_now.as_nanos(), "snapshot_install", &[("seq", seq)]);
         // Replay the ledger tail: re-offer every committed-but-unadmitted
         // sequence above the checkpoint in order; execution follows the
         // normal admission path.
@@ -1479,10 +1593,17 @@ impl RingReplica {
                 out.cancel_timer(TimerKind::Local, token);
             }
         }
+        // Consensus latency for this slot: first preprepare/vote seen →
+        // local commit; the commit→execute clock starts here.
+        if let Some(t0) = self.pbft.consensus_started_at(seq) {
+            self.obs
+                .phase(Phase::PreprepareCommit, self.obs_now.since(t0));
+        }
+        self.commit_at.insert(seq.0, self.obs_now);
         let involved = batch.involved_shards();
         if involved.len() <= 1 {
             self.work.insert(seq.0, Work::Single(Arc::clone(&batch)));
-        } else if self.done.contains_key(&digest)
+        } else if self.done.contains(&digest)
             || self.csts.get(&digest).is_some_and(|c| c.committed_local)
         {
             // Already committed at another sequence number (view-change
@@ -1518,6 +1639,11 @@ impl RingReplica {
                                 // Cancel the forwarded-request watchdog (primary proposed it).
             out.cancel_timer(TimerKind::Local, state.token);
             self.work.insert(seq.0, Work::Cst(digest));
+            // Cst-forward clock (initiator only: the first shard is the
+            // one whose commit opens the ring rotation).
+            if self.ring.first(&involved) == self.me.shard {
+                self.cst_commit_at.insert(digest, self.obs_now);
+            }
         }
         let (reads, writes) = self.lock_keys(&batch);
         let admitted = self.locks.commit_rw(seq.0, reads, writes);
@@ -1600,13 +1726,14 @@ impl RingReplica {
         let batch = Arc::clone(&state.batch);
         let involved = state.involved.clone();
         let seq = state.local_seq.expect("locked implies committed locally");
+        let initiator = self.ring.first(&involved) == self.me.shard;
         let mut effects = Vec::new();
         for txn in &batch.txns {
             let result = self.kv.execute_fragment(txn, me_shard, &[]);
             effects.extend(result.writes);
-            self.stats.executed_txns += 1;
+            self.obs.executed_txns(1);
         }
-        self.stats.executed_batches += 1;
+        self.obs.executed_batches(1);
         self.ledger.append(BlockBody {
             seq: SeqNum(seq),
             merkle_root: digest,
@@ -1616,6 +1743,11 @@ impl RingReplica {
         });
         out.executed(seq, batch.len() as u32);
         self.mark_executed(seq, effects, out);
+        if initiator {
+            // Execute→reply clock: closed by `reply_clients` when the
+            // second rotation delivers the Execute back here.
+            self.executed_at.insert(digest, self.obs_now);
+        }
         self.work.remove(&seq);
         let admitted = self.locks.release(seq);
         for s in admitted.acquired {
@@ -1634,9 +1766,9 @@ impl RingReplica {
         for txn in &batch.txns {
             let result = self.kv.execute_fragment(txn, self.me.shard, &[]);
             effects.extend(result.writes);
-            self.stats.executed_txns += 1;
+            self.obs.executed_txns(1);
         }
-        self.stats.executed_batches += 1;
+        self.obs.executed_batches(1);
         self.ledger.append(BlockBody {
             seq: SeqNum(seq),
             merkle_root: digest,
@@ -1655,6 +1787,9 @@ impl RingReplica {
     }
 
     fn reply_clients(&mut self, digest: Digest, batch: &Batch, out: &mut Outbox<RingMsg>) {
+        if let Some(t0) = self.executed_at.remove(&digest) {
+            self.obs.phase(Phase::ExecuteReply, self.obs_now.since(t0));
+        }
         let mut by_client: BTreeMap<ClientId, Vec<TxnId>> = BTreeMap::new();
         for t in &batch.txns {
             by_client.entry(t.client).or_default().push(t.id);
@@ -1686,7 +1821,7 @@ impl RingReplica {
                     txn_ids,
                 },
             );
-            self.stats.replies_sent += 1;
+            self.obs.replies_sent(1);
         }
     }
 
@@ -1737,10 +1872,10 @@ impl RingReplica {
                 .map(NodeId::Replica)
                 .collect();
             out.multicast(dsts, &msg);
-            self.stats.forwards_sent += self.cfg.shard(next).n as u64;
+            self.obs.forwards_sent(self.cfg.shard(next).n as u64);
         } else {
             out.send(self.counterpart(next), RingMsg::Forward(fwd));
-            self.stats.forwards_sent += 1;
+            self.obs.forwards_sent(1);
         }
         out.set_timer(TimerKind::Transmit, token, self.cfg.timers.transmit);
     }
@@ -1753,7 +1888,7 @@ impl RingReplica {
         out: &mut Outbox<RingMsg>,
     ) {
         let digest = fwd.digest;
-        if self.done.contains_key(&digest) {
+        if self.done.contains(&digest) {
             return;
         }
         let involved = fwd.batch.involved_shards();
@@ -1842,6 +1977,12 @@ impl RingReplica {
             Arc::clone(&state.batch),
         );
         out.cancel_timer(TimerKind::Remote, tok);
+        // A processed Forward closes the initiator's cst-forward clock
+        // (wrap-around) and opens the forward→execute clock here.
+        if let Some(t0) = self.cst_commit_at.remove(&digest) {
+            self.obs.phase(Phase::CstForward, self.obs_now.since(t0));
+        }
+        self.cst_fwd_at.insert(digest, self.obs_now);
         if locked {
             // Second rotation begins at the initiator (Fig 5 line 32) —
             // only complex csts still hold locks here.
@@ -1906,6 +2047,9 @@ impl RingReplica {
         if sigma.is_empty() {
             sigma = state.deps.clone();
         }
+        if let Some(t0) = self.cst_fwd_at.remove(&digest) {
+            self.obs.phase(Phase::CstExecute, self.obs_now.since(t0));
+        }
         let mut effects = Vec::new();
         for txn in &batch.txns {
             let remote: Vec<(Key, Value)> = txn
@@ -1917,9 +2061,9 @@ impl RingReplica {
             let result = self.kv.execute_fragment(txn, me_shard, &remote);
             effects.extend(result.writes.iter().copied());
             sigma.extend(result.writes);
-            self.stats.executed_txns += 1;
+            self.obs.executed_txns(1);
         }
-        self.stats.executed_batches += 1;
+        self.obs.executed_batches(1);
         let state = self.csts.get_mut(&digest).expect("state exists");
         state.sigma = sigma.clone();
         let involved = state.involved.clone();
@@ -1933,6 +2077,10 @@ impl RingReplica {
         });
         out.executed(seq, batch.len() as u32);
         self.mark_executed(seq, effects, out);
+        if self.ring.first(&involved) == self.me.shard {
+            // Execute→reply clock; closed when the Execute wraps around.
+            self.executed_at.insert(digest, self.obs_now);
+        }
         // Release locks (Fig 5 line 35) and admit successors.
         self.work.remove(&seq);
         let admitted = self.locks.release(seq);
@@ -1955,10 +2103,10 @@ impl RingReplica {
                 .map(NodeId::Replica)
                 .collect();
             out.multicast(dsts, &msg);
-            self.stats.executes_sent += self.cfg.shard(next).n as u64;
+            self.obs.executes_sent(self.cfg.shard(next).n as u64);
         } else {
             out.send(self.counterpart(next), RingMsg::Execute(ex));
-            self.stats.executes_sent += 1;
+            self.obs.executes_sent(1);
         }
         out.cancel_timer(TimerKind::Transmit, token);
         out.set_timer(TimerKind::Transmit, token, self.cfg.timers.transmit);
@@ -1972,7 +2120,7 @@ impl RingReplica {
         out: &mut Outbox<RingMsg>,
     ) {
         let digest = ex.digest;
-        if self.done.contains_key(&digest) {
+        if self.done.contains(&digest) {
             return;
         }
         let Some(prev) = self
@@ -2027,14 +2175,16 @@ impl RingReplica {
 
     fn finish_cst(&mut self, digest: Digest, token: u64) {
         self.token_digest.remove(&token);
-        let finished_seq = self
-            .csts
-            .remove(&digest)
-            .and_then(|state| state.local_seq)
-            .unwrap_or(self.exec_watermark);
-        // Retain only the finishing sequence; late messages hit the
-        // `done` filter until a checkpoint garbage-collects the entry.
-        self.done.insert(digest, finished_seq);
+        self.csts.remove(&digest);
+        // Late messages hit the `done` filter until its rotating windows
+        // (two-to-three checkpoint windows) age the entry out.
+        self.done.insert(&digest);
+        self.obs
+            .set_done_set(self.done.occupancy() as u64, self.done.overwrites());
+        // Drop any phase clocks the cst never closed (non-initiator
+        // wrap-arounds, retransmission races).
+        self.cst_commit_at.remove(&digest);
+        self.cst_fwd_at.remove(&digest);
     }
 
     // ------------------------------------------------------------------
@@ -2062,7 +2212,7 @@ impl RingReplica {
                 sigma: state.sigma.clone(),
             };
             out.send(self.counterpart(next), RingMsg::Execute(ex));
-            self.stats.executes_sent += 1;
+            self.obs.executes_sent(1);
             out.set_timer(TimerKind::Transmit, token, self.cfg.timers.transmit);
         } else if state.locked || state.executed {
             // §5.1.1: re-transmit the Forward (simple csts keep forwarding
@@ -2091,7 +2241,10 @@ impl RingReplica {
                 from_shard: self.me.shard,
             },
         );
-        self.stats.remote_views_sent += 1;
+        self.obs.remote_views_sent(1);
+        self.obs
+            .trace
+            .push(self.obs_now.as_nanos(), "remote_view_sent", &[]);
     }
 
     fn on_remote_view(
@@ -2113,7 +2266,7 @@ impl RingReplica {
             .get(&digest)
             .map(|c| c.committed_local && (c.locked || c.executed))
             .unwrap_or(false)
-            || self.done.contains_key(&digest);
+            || self.done.contains(&digest);
         if committed {
             // We replicated the cst — the next shard's starvation was a
             // network loss, not a suppressing primary. Re-transmit

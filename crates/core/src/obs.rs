@@ -1,0 +1,196 @@
+//! Per-replica observability: the registry instruments, consensus phase
+//! timers, and the event-trace ring for one [`crate::RingReplica`].
+//!
+//! The registry absorbs the counters that used to live as ad-hoc fields on
+//! `RingStats` (which survives as a compatibility snapshot built by
+//! [`ReplicaObs::stats`]) and adds the per-phase latency histograms the
+//! paper's evaluation needs:
+//!
+//! | phase                    | opens at                          | closes at                 |
+//! |--------------------------|-----------------------------------|---------------------------|
+//! | `phase.admission`        | first request pooled for a batch  | batch proposed to PBFT    |
+//! | `phase.preprepare_commit`| first consensus msg for the slot  | local commit              |
+//! | `phase.commit_execute`   | local commit                      | execution applied         |
+//! | `phase.execute_reply`    | execution applied                 | client replies sent       |
+//! | `phase.cst_forward`      | cst locally committed             | Forward evidence complete |
+//! | `phase.cst_execute`      | Forward evidence complete         | cst executed              |
+//!
+//! All histogram samples are nanoseconds of simulated (or reactor-clock)
+//! time. Trace events use the same clock; see the README "Observability"
+//! section for the event schema.
+
+use ringbft_obs::{CounterId, GaugeId, HistId, Registry, TraceRing};
+use ringbft_types::Duration;
+
+/// Retained trace events per replica; old events are dropped (and counted)
+/// beyond this.
+const TRACE_CAPACITY: usize = 256;
+
+/// The consensus pipeline phases timed by [`ReplicaObs::phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Request arrival → batch proposed.
+    Admission,
+    /// First consensus message for a slot → local commit.
+    PreprepareCommit,
+    /// Local commit → execution applied to the store.
+    CommitExecute,
+    /// Execution applied → client replies sent.
+    ExecuteReply,
+    /// Cst locally committed → Forward evidence complete (ring hop).
+    CstForward,
+    /// Forward evidence complete → cst executed.
+    CstExecute,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Admission,
+        Phase::PreprepareCommit,
+        Phase::CommitExecute,
+        Phase::ExecuteReply,
+        Phase::CstForward,
+        Phase::CstExecute,
+    ];
+
+    /// Registry/bench name of this phase's histogram.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Admission => "phase.admission",
+            Phase::PreprepareCommit => "phase.preprepare_commit",
+            Phase::CommitExecute => "phase.commit_execute",
+            Phase::ExecuteReply => "phase.execute_reply",
+            Phase::CstForward => "phase.cst_forward",
+            Phase::CstExecute => "phase.cst_execute",
+        }
+    }
+}
+
+/// Instruments owned by one replica.
+#[derive(Debug)]
+pub struct ReplicaObs {
+    /// The replica's metric registry (snapshot via
+    /// [`Registry::snapshot_json`]).
+    pub reg: Registry,
+    /// Event-trace ring, dumped on fault-scenario failure and shutdown.
+    pub trace: TraceRing,
+    c_executed_txns: CounterId,
+    c_executed_batches: CounterId,
+    c_forwards_sent: CounterId,
+    c_executes_sent: CounterId,
+    c_remote_views_sent: CounterId,
+    c_replies_sent: CounterId,
+    c_checkpoint_divergences: CounterId,
+    c_reply_cache_evictions: CounterId,
+    c_done_overwrites: CounterId,
+    g_state_bytes_full: GaugeId,
+    g_state_bytes_delta: GaugeId,
+    g_done_occupancy: GaugeId,
+    phases: [HistId; 6],
+}
+
+impl Default for ReplicaObs {
+    fn default() -> Self {
+        ReplicaObs::new()
+    }
+}
+
+impl ReplicaObs {
+    /// Registers every replica instrument.
+    pub fn new() -> ReplicaObs {
+        let mut reg = Registry::new();
+        let c_executed_txns = reg.counter("ring.executed_txns");
+        let c_executed_batches = reg.counter("ring.executed_batches");
+        let c_forwards_sent = reg.counter("ring.forwards_sent");
+        let c_executes_sent = reg.counter("ring.executes_sent");
+        let c_remote_views_sent = reg.counter("ring.remote_views_sent");
+        let c_replies_sent = reg.counter("ring.replies_sent");
+        let c_checkpoint_divergences = reg.counter("ring.checkpoint_divergences");
+        let c_reply_cache_evictions = reg.counter("ring.reply_cache_evictions");
+        let c_done_overwrites = reg.counter("ring.done_set_overwrites");
+        let g_state_bytes_full = reg.gauge("ring.state_bytes_full");
+        let g_state_bytes_delta = reg.gauge("ring.state_bytes_delta");
+        let g_done_occupancy = reg.gauge("ring.done_set_occupancy");
+        let phases = Phase::ALL.map(|p| reg.histogram(p.name()));
+        ReplicaObs {
+            reg,
+            trace: TraceRing::new(TRACE_CAPACITY),
+            c_executed_txns,
+            c_executed_batches,
+            c_forwards_sent,
+            c_executes_sent,
+            c_remote_views_sent,
+            c_replies_sent,
+            c_checkpoint_divergences,
+            c_reply_cache_evictions,
+            c_done_overwrites,
+            g_state_bytes_full,
+            g_state_bytes_delta,
+            g_done_occupancy,
+            phases,
+        }
+    }
+
+    /// Records a phase latency sample.
+    pub fn phase(&mut self, p: Phase, d: Duration) {
+        let idx = Phase::ALL.iter().position(|&q| q == p).expect("known");
+        self.reg.record(self.phases[idx], d.as_nanos());
+    }
+
+    /// Read access to one phase histogram.
+    pub fn phase_hist(&self, p: Phase) -> &ringbft_obs::Histogram {
+        let idx = Phase::ALL.iter().position(|&q| q == p).expect("known");
+        self.reg.hist(self.phases[idx])
+    }
+
+    pub(crate) fn executed_txns(&mut self, n: u64) {
+        self.reg.add(self.c_executed_txns, n);
+    }
+    pub(crate) fn executed_batches(&mut self, n: u64) {
+        self.reg.add(self.c_executed_batches, n);
+    }
+    pub(crate) fn forwards_sent(&mut self, n: u64) {
+        self.reg.add(self.c_forwards_sent, n);
+    }
+    pub(crate) fn executes_sent(&mut self, n: u64) {
+        self.reg.add(self.c_executes_sent, n);
+    }
+    pub(crate) fn remote_views_sent(&mut self, n: u64) {
+        self.reg.add(self.c_remote_views_sent, n);
+    }
+    pub(crate) fn replies_sent(&mut self, n: u64) {
+        self.reg.add(self.c_replies_sent, n);
+    }
+    pub(crate) fn checkpoint_divergences(&mut self, n: u64) {
+        self.reg.add(self.c_checkpoint_divergences, n);
+    }
+    pub(crate) fn reply_cache_evictions(&mut self, n: u64) {
+        self.reg.add(self.c_reply_cache_evictions, n);
+    }
+    pub(crate) fn set_state_bytes(&mut self, full: u64, delta: u64) {
+        self.reg.set_gauge(self.g_state_bytes_full, full);
+        self.reg.set_gauge(self.g_state_bytes_delta, delta);
+    }
+    pub(crate) fn set_done_set(&mut self, occupancy: u64, overwrites: u64) {
+        self.reg.set_gauge(self.g_done_occupancy, occupancy);
+        let seen = self.reg.counter_value(self.c_done_overwrites);
+        self.reg.add(self.c_done_overwrites, overwrites - seen);
+    }
+
+    /// Compatibility snapshot in the legacy `RingStats` shape.
+    pub fn stats(&self) -> crate::RingStats {
+        crate::RingStats {
+            executed_txns: self.reg.counter_value(self.c_executed_txns),
+            executed_batches: self.reg.counter_value(self.c_executed_batches),
+            forwards_sent: self.reg.counter_value(self.c_forwards_sent),
+            executes_sent: self.reg.counter_value(self.c_executes_sent),
+            remote_views_sent: self.reg.counter_value(self.c_remote_views_sent),
+            replies_sent: self.reg.counter_value(self.c_replies_sent),
+            checkpoint_divergences: self.reg.counter_value(self.c_checkpoint_divergences),
+            state_bytes_full: self.reg.gauge_value(self.g_state_bytes_full),
+            state_bytes_delta: self.reg.gauge_value(self.g_state_bytes_delta),
+            reply_cache_evictions: self.reg.counter_value(self.c_reply_cache_evictions),
+        }
+    }
+}

@@ -42,6 +42,9 @@ struct Args {
     /// First listener port of `--example-config` (scripts retry with a
     /// different base on port collisions).
     port_base: u16,
+    /// Write a final metrics + event-trace snapshot (JSON) here on a
+    /// timed exit.
+    metrics_path: Option<String>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -53,7 +56,8 @@ fn usage_and_exit(code: i32) -> ! {
          options:\n  --stats-secs N       stats print interval (default 5, 0 = silent)\n\
          \x20 --duration-secs N    exit after N seconds (default: run until killed)\n\
          \x20 --min-completions K  with --duration-secs: exit 1 unless ≥ K txns completed\n\
-         \x20 --port-base P        first listener port of --example-config (default 4100)"
+         \x20 --port-base P        first listener port of --example-config (default 4100)\n\
+         \x20 --metrics-path FILE  write a final metrics + trace snapshot (JSON) at exit"
     );
     std::process::exit(code);
 }
@@ -68,6 +72,7 @@ fn parse_args() -> Args {
         duration_secs: 0,
         min_completions: 0,
         port_base: 4100,
+        metrics_path: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -140,6 +145,7 @@ fn parse_args() -> Args {
                         usage_and_exit(2);
                     });
             }
+            "--metrics-path" => args.metrics_path = Some(value(&argv, &mut i, "--metrics-path")),
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -293,13 +299,39 @@ fn main() {
             .sum()
     };
     let mut last_completions = 0usize;
+    // End-to-end client latencies (send → reply quorum), fed from the
+    // hosted workload's completion log.
+    let mut latency = ringbft_obs::Histogram::new();
+    let mut latency_seen: Vec<usize> = vec![0; runtimes.len()];
+    let absorb_latencies = |runtimes: &[NodeRuntime<AnyMsg, AnyNode>],
+                            seen: &mut [usize],
+                            hist: &mut ringbft_obs::Histogram| {
+        for (i, rt) in runtimes.iter().enumerate() {
+            seen[i] = rt.with_node(|n| match n {
+                AnyNode::Client(c) => {
+                    for comp in &c.completions[seen[i]..] {
+                        hist.record(comp.done.since(comp.sent).as_nanos());
+                    }
+                    c.completions.len()
+                }
+                _ => 0,
+            });
+        }
+    };
     loop {
         std::thread::sleep(interval);
+        absorb_latencies(&runtimes, &mut latency_seen, &mut latency);
         if args.duration_secs > 0
             && started.elapsed() >= std::time::Duration::from_secs(args.duration_secs)
         {
             let total = total_completions(&runtimes);
             let ok = total >= args.min_completions;
+            if let Some(path) = &args.metrics_path {
+                match std::fs::write(path, metrics_snapshot(&runtimes, &latency)) {
+                    Ok(()) => println!("metrics snapshot written to {path}"),
+                    Err(e) => eprintln!("write metrics snapshot {path}: {e}"),
+                }
+            }
             println!(
                 "duration elapsed: {total} completions (required {}) — {}",
                 args.min_completions,
@@ -332,11 +364,62 @@ fn main() {
             );
             if completions > 0 {
                 let rate = (completions - last_completions) as f64 / interval.as_secs_f64();
-                println!("{line} completions={completions} ({rate:.1} txn/s)");
+                let p99_ms = latency.value_at_quantile(0.99) as f64 / 1e6;
+                println!("{line} completions={completions} ({rate:.1} txn/s, p99 {p99_ms:.1}ms)");
                 last_completions = completions;
             } else {
                 println!("{line}");
             }
         }
     }
+}
+
+/// The final snapshot written to `--metrics-path`: per-hosted-node
+/// protocol metrics, transport metrics, and event traces, plus the
+/// client-latency histogram, as one JSON object.
+fn metrics_snapshot(
+    runtimes: &[NodeRuntime<AnyMsg, AnyNode>],
+    latency: &ringbft_obs::Histogram,
+) -> String {
+    use ringbft_obs::json::ObjectWriter;
+    let mut nodes = String::from("[");
+    for (i, rt) in runtimes.iter().enumerate() {
+        if i > 0 {
+            nodes.push(',');
+        }
+        let mut nw = ObjectWriter::new();
+        nw.field_str("id", &rt.id().to_string());
+        match rt.with_node(|n| n.metrics_json()) {
+            Some(m) => nw.field_raw("metrics", &m),
+            None => nw.field_raw("metrics", "null"),
+        };
+        nw.field_raw("net", &rt.metrics_json());
+        nw.field_raw(
+            "trace",
+            &jsonl_to_array(&rt.with_node(|n| n.trace_jsonl()).unwrap_or_default()),
+        );
+        nw.field_raw("net_trace", &jsonl_to_array(&rt.trace_jsonl()));
+        nodes.push_str(&nw.finish());
+    }
+    nodes.push(']');
+    let mut w = ObjectWriter::new();
+    w.field_u64("schema_version", 1)
+        .field_raw("client_latency_ns", &ringbft_obs::histogram_json(latency))
+        .field_raw("nodes", &nodes);
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+/// Re-wraps JSON-lines text as a JSON array (each line is one object).
+fn jsonl_to_array(jsonl: &str) -> String {
+    let mut out = String::from("[");
+    for (i, line) in jsonl.lines().filter(|l| !l.is_empty()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(line);
+    }
+    out.push(']');
+    out
 }

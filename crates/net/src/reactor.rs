@@ -575,7 +575,16 @@ where
                 return;
             }
             let timeout = self.poll_timeout();
+            let wait_start = self.shared.clock.now();
             let n = self.epoll.wait(&mut events, timeout);
+            // Time actually spent blocked in the kernel: the idle/busy
+            // profile of the shard (near the poll timeout when idle,
+            // near zero when saturated).
+            {
+                let waited = self.shared.clock.now().since(wait_start);
+                let mut h = self.shared.obs.epoll_wait.lock().expect("epoll hist");
+                h.record(waited.as_nanos());
+            }
             for ev in events.iter().take(n) {
                 let (token, bits) = (ev.data, ev.events);
                 match token {
@@ -704,17 +713,24 @@ where
             }
         };
         let bytes = frame.len() as u64;
-        let accepted = {
+        let (accepted, depth) = {
             let mut outq = shared.outq.lock().expect("outq");
-            outq.entry(resolved).or_default().offer(frame)
+            let q = outq.entry(resolved).or_default();
+            let accepted = q.offer(frame);
+            (accepted, q.bytes as u64)
         };
         if !accepted {
             shared
                 .counters
                 .messages_dropped
                 .fetch_add(1, Ordering::Relaxed);
+            shared.obs.backpressure_hits.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        shared
+            .obs
+            .queue_hwm_bytes
+            .fetch_max(depth, Ordering::Relaxed);
         shared
             .counters
             .messages_sent
@@ -848,11 +864,18 @@ where
             self.flush_peer_queue(peer);
             return;
         };
-        if *self.attempts.get(&peer).unwrap_or(&0) > 0 {
+        let attempt = *self.attempts.get(&peer).unwrap_or(&0);
+        if attempt > 0 {
             self.shared
                 .counters
                 .reconnects
                 .fetch_add(1, Ordering::Relaxed);
+            let now = self.shared.clock.now().as_nanos();
+            self.shared.obs.trace.lock().expect("net trace").push(
+                now,
+                "reconnect",
+                &[("peer", peer_trace_id(peer)), ("attempt", attempt as u64)],
+            );
         }
         match connect_nonblocking(addr) {
             Ok(stream) => {
@@ -1275,6 +1298,19 @@ where
                 }
                 (frames, corrupt, conn.peer_ip)
             };
+            let stalled = {
+                let conn = self.conns.get(&tok).expect("conn exists");
+                conn.asm.buffered() > 0
+            };
+            if stalled {
+                // A partial frame stayed buffered after this read: the
+                // frame straddled the read (normal under load) or the
+                // peer is trickling bytes.
+                self.shared
+                    .obs
+                    .reassembly_stalls
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             for frame in frames {
                 self.handle_frame(peer_ip, frame);
             }
@@ -1337,6 +1373,15 @@ where
                 self.deliver(env.from, env.msg);
             }
         }
+    }
+}
+
+/// Compact trace encoding of a node id: replicas as `shard·1000 + index`,
+/// clients as their raw id with the top bit set.
+fn peer_trace_id(node: NodeId) -> u64 {
+    match node {
+        NodeId::Replica(r) => (r.shard.0 as u64) * 1000 + r.index as u64,
+        NodeId::Client(c) => 0x8000_0000_0000_0000 | c.0,
     }
 }
 

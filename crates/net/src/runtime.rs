@@ -213,6 +213,43 @@ pub struct NetStatsSnapshot {
     pub reconnects: u64,
 }
 
+/// Reactor-level instruments shared across a runtime's shards.
+///
+/// Counters that are touched on every frame stay lock-free atomics; the
+/// epoll-wait histogram and the connection trace sit behind mutexes but
+/// are only taken once per poll return / per lifecycle event.
+pub(crate) struct NetObs {
+    /// Nanoseconds spent inside each `epoll_wait` call.
+    pub(crate) epoll_wait: Mutex<ringbft_obs::Histogram>,
+    /// High-water mark of any single peer queue's buffered bytes.
+    pub(crate) queue_hwm_bytes: AtomicU64,
+    /// Frames rejected because a peer queue sat at its watermark.
+    pub(crate) backpressure_hits: AtomicU64,
+    /// Socket reads that ended with a partial frame still buffered in
+    /// the reassembler (a frame split across reads — normal under load,
+    /// but a sustained climb means undersized reads or a trickling
+    /// peer).
+    pub(crate) reassembly_stalls: AtomicU64,
+    /// Connection-lifecycle trace (reconnect attempts), timestamped on
+    /// the runtime clock.
+    pub(crate) trace: Mutex<ringbft_obs::TraceRing>,
+}
+
+/// Retained connection-lifecycle events per runtime.
+const NET_TRACE_CAPACITY: usize = 256;
+
+impl Default for NetObs {
+    fn default() -> NetObs {
+        NetObs {
+            epoll_wait: Mutex::new(ringbft_obs::Histogram::new()),
+            queue_hwm_bytes: AtomicU64::new(0),
+            backpressure_hits: AtomicU64::new(0),
+            reassembly_stalls: AtomicU64::new(0),
+            trace: Mutex::new(ringbft_obs::TraceRing::new(NET_TRACE_CAPACITY)),
+        }
+    }
+}
+
 /// An `Executed` record observed by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecEvent {
@@ -239,6 +276,7 @@ pub(crate) struct Shared<M> {
     /// `epoll_wait` timeout.
     pub(crate) timers: Mutex<TimerState>,
     pub(crate) counters: NetCounters,
+    pub(crate) obs: NetObs,
     pub(crate) stop: AtomicBool,
     /// Reactor shard count (fixed at launch).
     pub(crate) nshards: usize,
@@ -341,6 +379,7 @@ where
             listen_port: local_addr.port(),
             timers: Mutex::new(TimerState::new()),
             counters: NetCounters::default(),
+            obs: NetObs::default(),
             stop: AtomicBool::new(false),
             nshards,
             wakeups,
@@ -442,6 +481,57 @@ where
             messages_filtered: c.messages_filtered.load(Ordering::Relaxed),
             reconnects: c.reconnects.load(Ordering::Relaxed),
         }
+    }
+
+    /// Transport-layer metrics as one stable JSON object: the
+    /// [`NetCounters`] plus reactor instrumentation (epoll-wait
+    /// histogram, peer-queue high-water mark, backpressure hits,
+    /// frame-reassembly stalls).
+    pub fn metrics_json(&self) -> String {
+        let c = self.stats();
+        let mut cw = ringbft_obs::json::ObjectWriter::new();
+        cw.field_u64("net.bytes_sent", c.bytes_sent)
+            .field_u64("net.messages_delivered", c.messages_delivered)
+            .field_u64("net.messages_dropped", c.messages_dropped)
+            .field_u64("net.messages_filtered", c.messages_filtered)
+            .field_u64("net.messages_sent", c.messages_sent)
+            .field_u64("net.messages_undeliverable", c.messages_undeliverable)
+            .field_u64("net.modeled_bytes_sent", c.modeled_bytes_sent)
+            .field_u64(
+                "net.backpressure_hits",
+                self.shared.obs.backpressure_hits.load(Ordering::Relaxed),
+            )
+            .field_u64(
+                "net.reassembly_stalls",
+                self.shared.obs.reassembly_stalls.load(Ordering::Relaxed),
+            )
+            .field_u64("net.reconnects", c.reconnects)
+            .field_u64("net.timers_fired", c.timers_fired);
+        let mut gw = ringbft_obs::json::ObjectWriter::new();
+        gw.field_u64(
+            "net.peer_queue_hwm_bytes",
+            self.shared.obs.queue_hwm_bytes.load(Ordering::Relaxed),
+        );
+        let mut hw = ringbft_obs::json::ObjectWriter::new();
+        {
+            let h = self.shared.obs.epoll_wait.lock().expect("epoll hist");
+            hw.field_raw("net.epoll_wait_ns", &ringbft_obs::histogram_json(&h));
+        }
+        let mut w = ringbft_obs::json::ObjectWriter::new();
+        w.field_raw("counters", &cw.finish())
+            .field_raw("gauges", &gw.finish())
+            .field_raw("histograms", &hw.finish());
+        w.finish()
+    }
+
+    /// The connection-lifecycle event trace as JSON lines.
+    pub fn trace_jsonl(&self) -> String {
+        self.shared
+            .obs
+            .trace
+            .lock()
+            .expect("net trace")
+            .dump_jsonl()
     }
 
     /// Copy of the `Executed` log.

@@ -395,7 +395,7 @@ fn replica_blank_restart_catches_up_via_state_transfer_over_tcp() {
     let participates = cluster.wait_until(DEADLINE, |c| {
         c.with_replica(victim, |n| match n {
             ringbft_sim::AnyNode::Ring(r) => {
-                r.stats.executed_batches > 0 && r.exec_watermark() >= r.last_stable_seq()
+                r.stats().executed_batches > 0 && r.exec_watermark() >= r.last_stable_seq()
             }
             _ => panic!("ring replica expected"),
         })

@@ -1,0 +1,109 @@
+//! Minimal JSON emission helpers.
+//!
+//! The obs crate is dependency-free by design (it sits below the vendored
+//! serde shims in the crate graph), so snapshots are built with a tiny
+//! hand-rolled writer. Output is deterministic: object keys are emitted in
+//! the order callers provide them, and floats use shortest-roundtrip `{}`
+//! formatting.
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental writer for one JSON object: `{"k": v, ...}`.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    pub fn new() -> ObjectWriter {
+        ObjectWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (finite values only; NaN/inf become 0).
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.buf.push_str(&format!("{v}"));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn field_raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&mut self) -> String {
+        let mut out = std::mem::take(&mut self.buf);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_mixed_fields() {
+        let mut w = ObjectWriter::new();
+        w.field_u64("a", 1)
+            .field_str("b", "x\"y")
+            .field_f64("c", 0.5)
+            .field_raw("d", "[1,2]");
+        assert_eq!(w.finish(), r#"{"a":1,"b":"x\"y","c":0.5,"d":[1,2]}"#);
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        assert_eq!(escape("a\nb\u{1}"), "a\\nb\\u0001");
+    }
+}

@@ -1,0 +1,30 @@
+//! Observability primitives for the RingBFT reproduction.
+//!
+//! Three layers, all allocation-light and dependency-free so every crate in
+//! the workspace (including the sans-io protocol cores) can use them:
+//!
+//! * [`Registry`] — named monotonic counters, gauges, and histograms with a
+//!   stable JSON snapshot. Replicas and runtimes register instruments once
+//!   at construction and update them through copyable handles.
+//! * [`Histogram`] — an HDR-style log-linear histogram: exact buckets below
+//!   `2^sub_bits`, then power-of-two ranges each split into `2^(sub_bits-1)`
+//!   equal sub-buckets. Records are O(1), merges are slot-wise adds, and
+//!   quantile queries return a bucket upper bound that over-estimates the
+//!   true order statistic by at most a factor of `1 + 2^(1-sub_bits)`
+//!   (1/64 ≈ 1.6% at the default `sub_bits = 7`).
+//! * [`TraceRing`] — a fixed-capacity ring of compact structured events
+//!   ([`TraceEvent`]), O(1) per push, dumped as JSON-lines on demand (e.g.
+//!   when a fault scenario fails).
+//!
+//! Values are plain `u64`s; latency instruments store nanoseconds, matching
+//! the workspace's simulated-time convention.
+
+mod hist;
+mod registry;
+mod trace;
+
+pub mod json;
+
+pub use hist::Histogram;
+pub use registry::{histogram_json, CounterId, GaugeId, HistId, Registry};
+pub use trace::{TraceEvent, TraceRing};

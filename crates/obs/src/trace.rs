@@ -1,0 +1,130 @@
+//! Fixed-capacity event-trace ring.
+//!
+//! Every node keeps a small ring of recent structured events (view changes,
+//! checkpoint votes, hole fetches, state-transfer installs, reconnects...).
+//! Pushes are O(1) and never allocate beyond the event's own small field
+//! vector; when the ring is full the oldest event is dropped and counted.
+//! The ring dumps as JSON-lines — one object per event, in order — which is
+//! what fault-scenario failures attach as a CI artifact.
+
+use crate::json::ObjectWriter;
+use std::collections::VecDeque;
+
+/// One compact structured event: a kind tag plus numeric fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time, nanoseconds since the driver's epoch.
+    pub t_ns: u64,
+    /// Static event kind, e.g. `"view_entered"`.
+    pub kind: &'static str,
+    /// Named numeric payload fields, in emission order.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// Bounded ring of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    cap: usize,
+    buf: VecDeque<(u64, TraceEvent)>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` events (`cap ≥ 1`).
+    pub fn new(cap: usize) -> TraceRing {
+        TraceRing {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, 1024)),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full. O(1).
+    pub fn push(&mut self, t_ns: u64, kind: &'static str, fields: &[(&'static str, u64)]) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buf.push_back((
+            seq,
+            TraceEvent {
+                t_ns,
+                kind,
+                fields: fields.to_vec(),
+            },
+        ));
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained events oldest-first as `(sequence, event)`.
+    /// Sequence numbers are global (they keep counting across evictions),
+    /// so gaps at the front reveal how much history was lost.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &TraceEvent)> {
+        self.buf.iter().map(|(s, e)| (*s, e))
+    }
+
+    /// Dumps the ring as JSON-lines, oldest event first:
+    /// `{"i":<seq>,"t_ns":<ns>,"ev":"<kind>",<fields...>}` per line.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, ev) in self.iter() {
+            let mut w = ObjectWriter::new();
+            w.field_u64("i", seq)
+                .field_u64("t_ns", ev.t_ns)
+                .field_str("ev", ev.kind);
+            for (k, v) in &ev.fields {
+                w.field_u64(k, *v);
+            }
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_drops() {
+        let mut r = TraceRing::new(4);
+        for i in 0..6u64 {
+            r.push(i * 10, "tick", &[("n", i)]);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let seqs: Vec<u64> = r.iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+        let dump = r.dump_jsonl();
+        assert_eq!(dump.lines().count(), 4);
+        assert!(dump.starts_with(r#"{"i":2,"t_ns":20,"ev":"tick","n":2}"#));
+        assert!(!dump.contains(r#""i":1,"#));
+    }
+
+    #[test]
+    fn empty_ring_dumps_nothing() {
+        let r = TraceRing::new(8);
+        assert!(r.is_empty());
+        assert_eq!(r.dump_jsonl(), "");
+        assert_eq!(r.dropped(), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the log-linear histogram: merged-histogram quantiles
+//! must match exact sorted-sample quantiles within one bucket's relative
+//! error bound, and merging must be exactly equivalent to recording every
+//! sample into a single histogram.
+
+use proptest::prelude::*;
+use ringbft_obs::Histogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merged_quantiles_match_exact_within_bucket_error(
+        values in proptest::collection::vec(0u64..100_000_000_000, 1..400),
+        shards in 1usize..8,
+        qs in proptest::collection::vec(0u64..=1000, 1..8),
+    ) {
+        // Scatter the samples across `shards` histograms, then merge.
+        let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let eps = merged.relative_error_bound();
+        for &qm in &qs {
+            let q = qm as f64 / 1000.0;
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let got = merged.value_at_quantile(q);
+            // The histogram returns the containing bucket's upper bound:
+            // never below the true order statistic, and within the relative
+            // error bound above it (exact in the unit-bucket region).
+            prop_assert!(got >= exact, "q={} got {} < exact {}", q, got, exact);
+            prop_assert!(
+                got as f64 <= exact as f64 * (1.0 + eps) + 1.0,
+                "q={} got {} exceeds bound over exact {}", q, got, exact
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_single_histogram(
+        values in proptest::collection::vec(0u64..10_000_000, 0..300),
+        shards in 1usize..6,
+    ) {
+        let mut single = Histogram::new();
+        let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged, single);
+    }
+}

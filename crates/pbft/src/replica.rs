@@ -127,6 +127,12 @@ struct Instance {
     commits: HashMap<Digest, BTreeSet<u32>>,
     prepared: bool,
     committed: bool,
+    /// When this replica first saw consensus traffic for the slot (the
+    /// pre-prepare, or the first vote to arrive — whichever came first).
+    /// Anchors the preprepare→commit phase timer; on the primary the
+    /// anchor is its first received vote, a one-delay approximation that
+    /// avoids threading wall time through `propose`.
+    first_seen: Option<Instant>,
 }
 
 /// The PBFT replica core for one shard member.
@@ -313,6 +319,14 @@ impl PbftCore {
         self.committed_through
     }
 
+    /// When this replica first saw consensus traffic for `seq` (the
+    /// pre-prepare or the earliest vote). `None` for unknown slots and for
+    /// instances installed from a commit certificate (hole fetch), which
+    /// never ran the local three-phase exchange — phase timers skip those.
+    pub fn consensus_started_at(&self, seq: SeqNum) -> Option<Instant> {
+        self.instances.get(&seq.0).and_then(|i| i.first_seen)
+    }
+
     /// Advances the contiguous-commit prefix over freshly committed
     /// instances. Amortized O(1): each sequence is walked over once.
     fn advance_committed_through(&mut self) {
@@ -444,7 +458,7 @@ impl PbftCore {
     /// Handles an intra-shard message from replica `from`.
     pub fn on_message(
         &mut self,
-        _now: Instant,
+        now: Instant,
         from: ReplicaId,
         msg: PbftMsg,
         out: &mut Outbox<PbftMsg>,
@@ -456,12 +470,12 @@ impl PbftCore {
                 seq,
                 digest,
                 batch,
-            } => self.on_preprepare(from, view, seq, digest, batch, out, events),
+            } => self.on_preprepare(now, from, view, seq, digest, batch, out, events),
             PbftMsg::Prepare { view, seq, digest } => {
-                self.on_vote(from, view, seq, digest, false, out, events)
+                self.on_vote(now, from, view, seq, digest, false, out, events)
             }
             PbftMsg::Commit { view, seq, digest } => {
-                self.on_vote(from, view, seq, digest, true, out, events)
+                self.on_vote(now, from, view, seq, digest, true, out, events)
             }
             PbftMsg::Checkpoint { seq, state_digest } => {
                 self.on_checkpoint(from, seq, state_digest, events)
@@ -539,6 +553,7 @@ impl PbftCore {
     #[allow(clippy::too_many_arguments)]
     fn on_preprepare(
         &mut self,
+        now: Instant,
         from: ReplicaId,
         view: ViewNum,
         seq: SeqNum,
@@ -557,6 +572,7 @@ impl PbftCore {
             return;
         }
         let inst = self.instances.entry(seq.0).or_default();
+        inst.first_seen.get_or_insert(now);
         if inst.preprepared && inst.view == view {
             // "r did not accept a k-th proposal from pS" (Fig 5 line 10):
             // a second, conflicting proposal at the same slot is ignored.
@@ -589,6 +605,7 @@ impl PbftCore {
     #[allow(clippy::too_many_arguments)]
     fn on_vote(
         &mut self,
+        now: Instant,
         from: ReplicaId,
         view: ViewNum,
         seq: SeqNum,
@@ -601,6 +618,7 @@ impl PbftCore {
             return;
         }
         let inst = self.instances.entry(seq.0).or_default();
+        inst.first_seen.get_or_insert(now);
         let votes = if is_commit {
             &mut inst.commits
         } else {

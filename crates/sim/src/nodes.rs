@@ -105,6 +105,33 @@ pub fn deployment(cfg: &ringbft_types::SystemConfig) -> Vec<(ReplicaId, Region, 
     nodes
 }
 
+impl AnyNode {
+    /// Registry snapshot of this node's metrics as stable JSON, when the
+    /// protocol is instrumented (RingBFT replicas for now).
+    pub fn metrics_json(&self) -> Option<String> {
+        match self {
+            AnyNode::Ring(r) => Some(r.metrics_json()),
+            _ => None,
+        }
+    }
+
+    /// This node's event trace as JSON lines, when instrumented.
+    pub fn trace_jsonl(&self) -> Option<String> {
+        match self {
+            AnyNode::Ring(r) => Some(r.trace_jsonl()),
+            _ => None,
+        }
+    }
+
+    /// Read access to a RingBFT replica's phase histograms.
+    pub fn ring_obs(&self) -> Option<&ringbft_core::ReplicaObs> {
+        match self {
+            AnyNode::Ring(r) => Some(r.obs()),
+            _ => None,
+        }
+    }
+}
+
 fn lift<M>(actions: Vec<Action<M>>, wrap: impl Fn(M) -> AnyMsg) -> Vec<Action<AnyMsg>> {
     actions.into_iter().map(|a| a.map_msg(&wrap)).collect()
 }

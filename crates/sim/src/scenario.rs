@@ -6,7 +6,8 @@
 use crate::client::{reply_quorum, SimClient};
 use crate::msg::AnyMsg;
 use crate::nodes::AnyNode;
-use ringbft_core::RingMsg;
+use ringbft_core::{Phase, RingMsg};
+use ringbft_obs::Histogram;
 use ringbft_pbft::PbftMsg;
 use ringbft_simnet::{FaultPlan, Topology, World};
 use ringbft_types::{ClientId, Duration, Instant, NodeId, Region, ReplicaId, SystemConfig};
@@ -108,6 +109,22 @@ pub struct HoleReport {
     pub stable_seq: u64,
 }
 
+/// Latency summary of one consensus phase, merged across every
+/// instrumented replica in the deployment.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Stable phase-timer name (e.g. `phase.preprepare_commit`).
+    pub name: &'static str,
+    /// Samples recorded across all replicas.
+    pub count: u64,
+    /// Mean phase latency in seconds.
+    pub mean_s: f64,
+    /// Median phase latency in seconds.
+    pub p50_s: f64,
+    /// 99th-percentile phase latency in seconds.
+    pub p99_s: f64,
+}
+
 /// Metrics of one scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -121,6 +138,20 @@ pub struct ScenarioReport {
     pub p50_latency_s: f64,
     /// 95th-percentile client latency in seconds.
     pub p95_latency_s: f64,
+    /// 99th-percentile client latency in seconds.
+    pub p99_latency_s: f64,
+    /// 99.9th-percentile client latency in seconds.
+    pub p999_latency_s: f64,
+    /// Mergeable log-bucketed histogram behind the quantiles above
+    /// (nanosecond values), for callers that want other cuts.
+    pub latency_hist: Histogram,
+    /// Per-phase consensus latency breakdown, merged across replicas.
+    /// Empty for protocols without phase instrumentation.
+    pub phases: Vec<PhaseReport>,
+    /// Per-node event traces (node label, JSON lines), one entry per
+    /// instrumented replica with a non-empty ring. The fault matrix
+    /// dumps these when a scenario assertion fails.
+    pub traces: Vec<(String, String)>,
     /// Per-second throughput timeline over the whole run (Fig 9).
     pub timeline: Vec<(f64, f64)>,
     /// Distinct view-change events observed.
@@ -377,27 +408,60 @@ impl Scenario {
             }
         }
         let w_start = Instant::ZERO + self.warmup;
-        let mut latencies: Vec<f64> = completions
+        // Exact sum for the average; a mergeable log-bucketed histogram
+        // for the quantiles (bounded relative error, no full sort).
+        let mut latency_hist = Histogram::new();
+        let mut lat_sum = 0.0f64;
+        for c in completions
             .iter()
             .filter(|c| c.done >= w_start && c.done <= end)
-            .map(|c| c.done.since(c.sent).as_secs_f64())
-            .collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let completed = latencies.len() as u64;
+        {
+            let d = c.done.since(c.sent);
+            latency_hist.record(d.as_nanos());
+            lat_sum += d.as_secs_f64();
+        }
+        let completed = latency_hist.count();
         let measure_s = self.measure.as_secs_f64();
         let throughput = completed as f64 / measure_s;
-        let avg = if latencies.is_empty() {
+        let avg = if completed == 0 {
             0.0
         } else {
-            latencies.iter().sum::<f64>() / latencies.len() as f64
+            lat_sum / completed as f64
         };
-        let pct = |p: f64| -> f64 {
-            if latencies.is_empty() {
-                0.0
-            } else {
-                latencies[((latencies.len() - 1) as f64 * p) as usize]
+        let pct = |p: f64| -> f64 { latency_hist.value_at_quantile(p) as f64 / 1e9 };
+
+        // Per-phase consensus timers, merged across every instrumented
+        // replica so the report reflects the whole deployment.
+        let mut phase_hists: Vec<(&'static str, Histogram)> = Phase::ALL
+            .iter()
+            .map(|p| (p.name(), Histogram::new()))
+            .collect();
+        for (_, node) in world.nodes() {
+            if let Some(obs) = node.ring_obs() {
+                for (i, p) in Phase::ALL.iter().enumerate() {
+                    phase_hists[i].1.merge(obs.phase_hist(*p));
+                }
             }
-        };
+        }
+        let mut traces = Vec::new();
+        for (id, node) in world.nodes() {
+            if let Some(t) = node.trace_jsonl() {
+                if !t.is_empty() {
+                    traces.push((id.to_string(), t));
+                }
+            }
+        }
+        let phases: Vec<PhaseReport> = phase_hists
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| PhaseReport {
+                name,
+                count: h.count(),
+                mean_s: h.mean() / 1e9,
+                p50_s: h.value_at_quantile(0.50) as f64 / 1e9,
+                p99_s: h.value_at_quantile(0.99) as f64 / 1e9,
+            })
+            .collect();
 
         // Timeline: one-second buckets over the full run.
         let total_s = end.as_secs_f64().ceil() as usize;
@@ -537,6 +601,11 @@ impl Scenario {
             avg_latency_s: avg,
             p50_latency_s: pct(0.50),
             p95_latency_s: pct(0.95),
+            p99_latency_s: pct(0.99),
+            p999_latency_s: pct(0.999),
+            latency_hist,
+            phases,
+            traces,
             timeline,
             view_changes: world.view_log.len(),
             messages_sent: world.stats.messages_sent,

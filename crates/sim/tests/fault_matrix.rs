@@ -8,8 +8,58 @@
 //! fault machinery under three distinct message interleavings, not just
 //! the happy path.
 
-use ringbft_sim::Scenario;
+use ringbft_sim::{Scenario, ScenarioReport};
 use ringbft_types::{Duration, ProtocolKind, ReplicaId, ShardId, SystemConfig};
+
+/// Panic-armed event-trace dump: `arm` it with a finished report, and if
+/// the test thread then panics (a failed assertion), the guard writes
+/// every replica's event-trace ring to
+/// `target/trace-dumps/<test>-<seed>.jsonl` — one JSON object per line,
+/// each tagged with the replica it came from — and prints the path. CI
+/// uploads the directory as an artifact when the fault matrix fails, so
+/// a red run ships the view-change / checkpoint / hole-fetch timeline
+/// that led up to the failure.
+struct TraceDump {
+    test: &'static str,
+    traces: Vec<(String, String)>,
+}
+
+impl TraceDump {
+    fn new(test: &'static str) -> TraceDump {
+        TraceDump {
+            test,
+            traces: Vec::new(),
+        }
+    }
+
+    fn arm(&mut self, report: &ScenarioReport) {
+        self.traces = report.traces.clone();
+    }
+}
+
+impl Drop for TraceDump {
+    fn drop(&mut self) {
+        if !std::thread::panicking() || self.traces.is_empty() {
+            return;
+        }
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/trace-dumps");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}-{}.jsonl", self.test, seed()));
+        let mut out = String::new();
+        for (node, jsonl) in &self.traces {
+            for line in jsonl.lines() {
+                // Tag each event with its replica: {"i":…} → {"node":"S0r2","i":…}.
+                out.push_str(&line.replacen('{', &format!("{{\"node\":\"{node}\","), 1));
+                out.push('\n');
+            }
+        }
+        if std::fs::write(&path, out).is_ok() {
+            eprintln!("event trace dumped to {}", path.display());
+        }
+    }
+}
 
 /// The deterministic seed under test (CI matrix dimension). A present
 /// but unparsable value fails loudly — a malformed workflow edit must
@@ -56,11 +106,13 @@ fn commit_hole_repaired_by_certificate_fetch() {
     let interval = cfg.checkpoint_interval;
     let victim = ReplicaId::new(ShardId(0), 2); // a backup, not the primary
     let hole_seq = 5; // well inside the first checkpoint window
+    let mut dump = TraceDump::new("commit_hole_repaired_by_certificate_fetch");
     let report = Scenario::new(cfg, seed())
         .warmup_secs(1.0)
         .measure_secs(7.0)
         .with_commit_hole(victim, hole_seq)
         .run();
+    dump.arm(&report);
     assert!(report.completed_txns > 0, "cluster stalled: {report:?}");
     let h = &report.holes[0];
     assert!(
@@ -102,12 +154,14 @@ fn commit_hole_repaired_by_certificate_fetch() {
 fn checkpoint_cadence_survives_f_laggards_per_shard() {
     let cfg = fault_cfg(2);
     let interval = cfg.checkpoint_interval;
+    let mut dump = TraceDump::new("checkpoint_cadence_survives_f_laggards_per_shard");
     let report = Scenario::new(cfg, seed())
         .warmup_secs(1.0)
         .measure_secs(8.0)
         .with_commit_hole(ReplicaId::new(ShardId(0), 2), 5)
         .with_commit_hole(ReplicaId::new(ShardId(1), 3), 7)
         .run();
+    dump.arm(&report);
     assert!(report.completed_txns > 0, "cluster stalled: {report:?}");
     for h in &report.holes {
         assert!(h.holes_filled >= 1, "laggard never repaired: {h:?}");
@@ -138,11 +192,13 @@ fn blank_restart_catches_up_across_seeds() {
     let mut cfg = fault_cfg(3);
     cfg.cross_shard_rate = 0.3;
     cfg.checkpoint_interval = 4;
+    let mut dump = TraceDump::new("blank_restart_catches_up_across_seeds");
     let report = Scenario::new(cfg, seed())
         .warmup_secs(1.0)
         .measure_secs(11.0)
         .with_blank_restart(2.0, 3.0, ReplicaId::new(ShardId(1), 2))
         .run();
+    dump.arm(&report);
     let rec = report.recovery.expect("recovery metrics requested");
     assert!(
         rec.catchup_s.is_some(),
@@ -199,11 +255,13 @@ fn laggard_recovers_via_verified_delta_chain() {
     let cfg = delta_cfg();
     let interval = cfg.checkpoint_interval;
     let victim = ReplicaId::new(ShardId(0), 2); // a backup, not the primary
+    let mut dump = TraceDump::new("laggard_recovers_via_verified_delta_chain");
     let report = Scenario::new(cfg, seed())
         .warmup_secs(1.0)
         .measure_secs(29.0)
         .with_delta_transfer(victim, 2.0, 3.2)
         .run();
+    dump.arm(&report);
     assert!(report.completed_txns > 0, "cluster stalled: {report:?}");
     let d = &report.delta_transfers[0];
     assert!(
@@ -255,12 +313,14 @@ fn delta_transfer_survives_donor_kill_via_rotation() {
         ringbft_types::NodeId::Replica(first_donor),
         ringbft_types::Instant::ZERO + Duration::from_secs_f64(3.2),
     );
+    let mut dump = TraceDump::new("delta_transfer_survives_donor_kill_via_rotation");
     let report = Scenario::new(cfg, seed())
         .warmup_secs(1.0)
         .measure_secs(19.0)
         .with_faults(faults)
         .with_delta_transfer(victim, 2.0, 3.2)
         .run();
+    dump.arm(&report);
     assert!(report.completed_txns > 0, "cluster stalled: {report:?}");
     let d = &report.delta_transfers[0];
     assert_eq!(d.bad_digests, 0, "a verified chain was rejected: {d:?}");

@@ -14,12 +14,14 @@
 #   BENCH_OUT        where to write the regenerated snapshot
 #                    (default target/bench/BENCH_ringbft.json)
 #   BENCH_TOLERANCE  allowed relative throughput loss (default 0.20)
+#   BENCH_P99_TOLERANCE  allowed relative p99 latency growth (default 0.50)
 
 set -euo pipefail
 
 BASELINE="${BENCH_BASELINE:-BENCH_ringbft.json}"
 OUT="${BENCH_OUT:-target/bench/BENCH_ringbft.json}"
 TOLERANCE="${BENCH_TOLERANCE:-0.20}"
+P99_TOLERANCE="${BENCH_P99_TOLERANCE:-0.50}"
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "check_bench: committed baseline $BASELINE not found" >&2
@@ -31,9 +33,23 @@ mkdir -p "$(dirname "$OUT")"
 echo "check_bench: regenerating bench snapshot -> $OUT"
 cargo run --release -p ringbft-bench --bin bench_json -- "$OUT"
 
-echo "check_bench: comparing against $BASELINE (tolerance ${TOLERANCE})"
+echo "check_bench: comparing against $BASELINE (tolerance ${TOLERANCE}, p99 ${P99_TOLERANCE})"
 cargo run --release -p ringbft-bench --bin bench_check -- \
-    "$BASELINE" "$OUT" --tolerance "$TOLERANCE"
+    "$BASELINE" "$OUT" --tolerance "$TOLERANCE" --p99-tolerance "$P99_TOLERANCE"
+
+# Schema-v6 shape gate: the per-phase consensus-latency section must be
+# present and populated for RingBFT — a refactor that silently drops the
+# phase timers (so the section regenerates empty) should fail here, not
+# slip through as an "empty but valid" snapshot.
+if ! grep -q '"phase.preprepare_commit":' "$OUT"; then
+    echo "check_bench: FAIL RingBFT per-phase latency section missing from $OUT" >&2
+    exit 1
+fi
+if ! grep -q '"p99_latency_s":' "$OUT"; then
+    echo "check_bench: FAIL p99_latency_s missing from $OUT" >&2
+    exit 1
+fi
+echo "check_bench: per-phase latency section present"
 
 # Delta-recovery gate: a laggard's catch-up must move less data than a
 # full-snapshot transfer would (the point of delta checkpointing).
