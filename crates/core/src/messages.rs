@@ -11,7 +11,7 @@ use ringbft_crypto::Digest;
 use ringbft_pbft::PbftMsg;
 use ringbft_recovery::RecoveryMsg;
 use ringbft_types::txn::{Batch, Key, Transaction, Value};
-use ringbft_types::{ClientId, ShardId, TxnId};
+use ringbft_types::{ClientId, ShardId, TraceContext, TxnId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -34,6 +34,11 @@ pub struct ForwardMsg {
     /// Accumulated `(key, value)` reads resolving remote-read
     /// dependencies of complex csts.
     pub deps: Vec<(Key, Value)>,
+    /// Ring-hop counter for causal tracing: 0 at the initiator shard,
+    /// incremented by each shard that re-forwards the batch along the
+    /// ring. `#[serde(default)]` so pre-v5 captures decode as hop 0.
+    #[serde(default)]
+    pub hop: u32,
 }
 
 /// The Execute message of Fig 5 line 37: second-rotation message carrying
@@ -105,7 +110,32 @@ pub enum RingMsg {
     },
 }
 
+/// First trace context carried by a batch's transactions, if any txn was
+/// sampled by its client.
+pub fn batch_trace(batch: &Batch) -> Option<TraceContext> {
+    batch.txns.iter().find_map(|t| t.trace)
+}
+
 impl RingMsg {
+    /// The causal trace context this message transports, if it carries a
+    /// sampled transaction: the txn's own context for requests and
+    /// pre-prepares, and the batch context advanced to the Forward's
+    /// ring-hop counter for cross-shard rotation messages. The TCP
+    /// runtime stamps this into the codec-v5 frame envelope.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        match self {
+            RingMsg::Request { txn, .. } => txn.trace,
+            RingMsg::Pbft(PbftMsg::Preprepare { batch, .. }) => batch_trace(batch),
+            RingMsg::Forward(f) | RingMsg::ForwardShare(f) => {
+                batch_trace(&f.batch).map(|t| TraceContext {
+                    trace_id: t.trace_id,
+                    hop: f.hop,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// Short tag for logging/metrics.
     pub fn tag(&self) -> &'static str {
         match self {
@@ -147,6 +177,7 @@ mod tests {
             from_shard: ShardId(0),
             cert_signers: vec![0, 1, 2],
             deps: vec![],
+            hop: 0,
         };
         assert_eq!(
             RingMsg::Request {

@@ -41,7 +41,7 @@
 //!   (A1); non-primary replicas relay to the primary and watchdog it.
 
 use crate::dedup::WindowedDigestSet;
-use crate::messages::{ExecuteMsg, ForwardMsg, RingMsg};
+use crate::messages::{batch_trace, ExecuteMsg, ForwardMsg, RingMsg};
 use crate::obs::{Phase, ReplicaObs};
 use ringbft_crypto::Digest;
 use ringbft_ledger::{BlockBody, Ledger};
@@ -54,8 +54,8 @@ use ringbft_store::{KvStore, LockManager};
 use ringbft_types::hole::{HoleReply, HoleRequest};
 use ringbft_types::txn::{Batch, Key, Transaction, Value};
 use ringbft_types::{
-    Action, BatchId, ClientId, Instant, NodeId, Outbox, ReplicaId, RingOrder, SeqNum, ShardId,
-    SystemConfig, TimerKind, TxnId,
+    Action, BatchId, ClientId, Duration, Instant, NodeId, Outbox, ReplicaId, RingOrder, SeqNum,
+    ShardId, SystemConfig, TimerKind, TraceContext, TxnId,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
@@ -271,6 +271,10 @@ pub struct RingReplica {
     obs_now: Instant,
     /// Commit time per locally committed sequence (commit→execute).
     commit_at: HashMap<u64, Instant>,
+    /// Trace context per locally committed sequence whose batch carries
+    /// a sampled transaction: consumed with `commit_at` so the
+    /// commit→execute span can be stamped without re-deriving the batch.
+    commit_trace: HashMap<u64, TraceContext>,
     /// Arrival time of the oldest request pooled per batching pool
     /// (admission phase; primary only).
     pool_first: BTreeMap<Vec<ShardId>, Instant>,
@@ -361,6 +365,7 @@ impl RingReplica {
             pre_commit_vc_defer: None,
             obs_now: Instant::ZERO,
             commit_at: HashMap::new(),
+            commit_trace: HashMap::new(),
             pool_first: BTreeMap::new(),
             executed_at: HashMap::new(),
             cst_commit_at: HashMap::new(),
@@ -898,6 +903,38 @@ impl RingReplica {
         entry.seq = entry.seq.max(seq);
     }
 
+    /// Stamps a causal span when `trace` marks the batch as sampled, at
+    /// this replica's ring position `hop` (0 = initiator/single-shard).
+    fn stamp_span(&mut self, trace: Option<TraceContext>, hop: u32, p: Phase, d: Duration) {
+        if let Some(t) = trace {
+            let ctx = TraceContext {
+                trace_id: t.trace_id,
+                hop,
+            };
+            self.obs
+                .span(self.obs_now, ctx, p, self.me.shard.0, self.me.index, d);
+        }
+    }
+
+    /// This replica's ring position for cst `digest`: 0 at the initiator
+    /// shard (even after the wrap-around Forward arrives), received-
+    /// Forward hop + 1 downstream. Every span one shard stamps for one
+    /// transaction therefore carries the same hop — the shard's position
+    /// on the ring — which is what the collector's hop-relative ordering
+    /// groups by.
+    fn cst_hop(&self, digest: &Digest) -> u32 {
+        let Some(s) = self.csts.get(digest) else {
+            return 0;
+        };
+        if self.ring.first(&s.involved) == self.me.shard {
+            return 0;
+        }
+        s.forward_payload
+            .as_ref()
+            .map(|f| f.hop.saturating_add(1))
+            .unwrap_or(0)
+    }
+
     /// Builds batches from pools. `force` flushes partial pools (timer).
     fn flush_pools(&mut self, force: bool, out: &mut Outbox<RingMsg>) {
         if !self.pbft.is_primary() {
@@ -924,7 +961,9 @@ impl RingReplica {
                 // the restarted clock, so the sample tracks head-of-pool
                 // wait rather than per-transaction wait.
                 if let Some(t0) = self.pool_first.get(&key).copied() {
-                    self.obs.phase(Phase::Admission, self.obs_now.since(t0));
+                    let d = self.obs_now.since(t0);
+                    self.obs.phase(Phase::Admission, d);
+                    self.stamp_span(txns.iter().find_map(|t| t.trace), 0, Phase::Admission, d);
                     if drained_all {
                         self.pool_first.remove(&key);
                     } else {
@@ -1175,9 +1214,20 @@ impl RingReplica {
     fn on_hole_request(&mut self, from: ReplicaId, req: HoleRequest, out: &mut Outbox<RingMsg>) {
         if let Some(reply) = self.pbft.commit_certificate(req.seq) {
             self.hole.stats.replies_served += 1;
-            self.obs
-                .trace
-                .push(self.obs_now.as_nanos(), "hole_serve", &[("seq", req.seq.0)]);
+            // Correlate the repair with the victim's cst timeline when
+            // the served batch carries a sampled transaction.
+            match batch_trace(&reply.batch) {
+                Some(t) => self.obs.trace.push(
+                    self.obs_now.as_nanos(),
+                    "hole_serve",
+                    &[("seq", req.seq.0), ("trace", t.trace_id)],
+                ),
+                None => self.obs.trace.push(
+                    self.obs_now.as_nanos(),
+                    "hole_serve",
+                    &[("seq", req.seq.0)],
+                ),
+            }
             out.send(
                 NodeId::Replica(from),
                 RingMsg::Recovery(RecoveryMsg::HoleReply(reply)),
@@ -1217,6 +1267,7 @@ impl RingReplica {
             return;
         }
         let reply_seq = reply.cert.seq.0;
+        let reply_trace = batch_trace(&reply.batch);
         let mut installed = false;
         self.drive_pbft(
             Instant::ZERO,
@@ -1227,11 +1278,18 @@ impl RingReplica {
         );
         if installed {
             self.hole.stats.holes_filled += 1;
-            self.obs.trace.push(
-                self.obs_now.as_nanos(),
-                "hole_filled",
-                &[("seq", reply_seq)],
-            );
+            match reply_trace {
+                Some(t) => self.obs.trace.push(
+                    self.obs_now.as_nanos(),
+                    "hole_filled",
+                    &[("seq", reply_seq), ("trace", t.trace_id)],
+                ),
+                None => self.obs.trace.push(
+                    self.obs_now.as_nanos(),
+                    "hole_filled",
+                    &[("seq", reply_seq)],
+                ),
+            }
         }
         self.update_hole_probe(out);
         // Burst pacing: a multi-sequence gap (partitioned replica whose
@@ -1251,7 +1309,13 @@ impl RingReplica {
             return;
         }
         if let Some(t0) = self.commit_at.remove(&seq) {
-            self.obs.phase(Phase::CommitExecute, self.obs_now.since(t0));
+            let d = self.obs_now.since(t0);
+            self.obs.phase(Phase::CommitExecute, d);
+            if let Some(t) = self.commit_trace.remove(&seq) {
+                self.stamp_span(Some(t), t.hop, Phase::CommitExecute, d);
+            }
+        } else {
+            self.commit_trace.remove(&seq);
         }
         self.pending_effects.insert(seq, writes);
         self.executed_ahead.insert(seq);
@@ -1596,10 +1660,27 @@ impl RingReplica {
         // Consensus latency for this slot: first preprepare/vote seen →
         // local commit; the commit→execute clock starts here.
         if let Some(t0) = self.pbft.consensus_started_at(seq) {
-            self.obs
-                .phase(Phase::PreprepareCommit, self.obs_now.since(t0));
+            let d = self.obs_now.since(t0);
+            self.obs.phase(Phase::PreprepareCommit, d);
+            self.stamp_span(
+                batch_trace(&batch),
+                self.cst_hop(&digest),
+                Phase::PreprepareCommit,
+                d,
+            );
         }
         self.commit_at.insert(seq.0, self.obs_now);
+        if let Some(t) = batch_trace(&batch) {
+            // Remember the sampled context (at this shard's ring
+            // position) so `mark_executed` can stamp commit→execute.
+            self.commit_trace.insert(
+                seq.0,
+                TraceContext {
+                    trace_id: t.trace_id,
+                    hop: self.cst_hop(&digest),
+                },
+            );
+        }
         let involved = batch.involved_shards();
         if involved.len() <= 1 {
             self.work.insert(seq.0, Work::Single(Arc::clone(&batch)));
@@ -1788,7 +1869,9 @@ impl RingReplica {
 
     fn reply_clients(&mut self, digest: Digest, batch: &Batch, out: &mut Outbox<RingMsg>) {
         if let Some(t0) = self.executed_at.remove(&digest) {
-            self.obs.phase(Phase::ExecuteReply, self.obs_now.since(t0));
+            let d = self.obs_now.since(t0);
+            self.obs.phase(Phase::ExecuteReply, d);
+            self.stamp_span(batch_trace(batch), 0, Phase::ExecuteReply, d);
         }
         let mut by_client: BTreeMap<ClientId, Vec<TxnId>> = BTreeMap::new();
         for t in &batch.txns {
@@ -1853,12 +1936,25 @@ impl RingReplica {
             }
         }
         let nf = self.cfg.shard(me_shard).nf();
+        // Ring-hop counter for causal tracing: the initiator opens the
+        // rotation at hop 0; downstream shards advance the hop of the
+        // Forward they received.
+        let hop = if self.ring.first(&state.involved) == me_shard {
+            0
+        } else {
+            state
+                .forward_payload
+                .as_ref()
+                .map(|f| f.hop.saturating_add(1))
+                .unwrap_or(0)
+        };
         let fwd = ForwardMsg {
             batch: Arc::clone(&state.batch),
             digest,
             from_shard: me_shard,
             cert_signers: (0..nf as u32).collect(),
             deps,
+            hop,
         };
         let token = state.token;
         if self.cfg.ablation_quadratic_forward {
@@ -1980,7 +2076,11 @@ impl RingReplica {
         // A processed Forward closes the initiator's cst-forward clock
         // (wrap-around) and opens the forward→execute clock here.
         if let Some(t0) = self.cst_commit_at.remove(&digest) {
-            self.obs.phase(Phase::CstForward, self.obs_now.since(t0));
+            let d = self.obs_now.since(t0);
+            self.obs.phase(Phase::CstForward, d);
+            // Wrap-around at the initiator: the span closes at ring
+            // position 0 even though the Forward travelled the ring.
+            self.stamp_span(batch_trace(&fwd.batch), 0, Phase::CstForward, d);
         }
         self.cst_fwd_at.insert(digest, self.obs_now);
         if locked {
@@ -2048,7 +2148,14 @@ impl RingReplica {
             sigma = state.deps.clone();
         }
         if let Some(t0) = self.cst_fwd_at.remove(&digest) {
-            self.obs.phase(Phase::CstExecute, self.obs_now.since(t0));
+            let d = self.obs_now.since(t0);
+            self.obs.phase(Phase::CstExecute, d);
+            self.stamp_span(
+                batch_trace(&batch),
+                self.cst_hop(&digest),
+                Phase::CstExecute,
+                d,
+            );
         }
         let mut effects = Vec::new();
         for txn in &batch.txns {

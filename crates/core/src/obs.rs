@@ -20,11 +20,15 @@
 //! section for the event schema.
 
 use ringbft_obs::{CounterId, GaugeId, HistId, Registry, TraceRing};
-use ringbft_types::Duration;
+use ringbft_types::{Duration, Instant, TraceContext};
 
 /// Retained trace events per replica; old events are dropped (and counted)
-/// beyond this.
-const TRACE_CAPACITY: usize = 256;
+/// beyond this. Sized for causal-span volume, not just sparse fault
+/// events: at full sampling (`trace_sample_rate = 1`) a replica stamps
+/// up to six spans per transaction, and correlation tests need the
+/// repair events (`hole_serve` / `hole_filled`) to survive a couple of
+/// simulated seconds of span traffic alongside them.
+const TRACE_CAPACITY: usize = 4096;
 
 /// The consensus pipeline phases timed by [`ReplicaObs::phase`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +140,38 @@ impl ReplicaObs {
     pub fn phase(&mut self, p: Phase, d: Duration) {
         let idx = Phase::ALL.iter().position(|&q| q == p).expect("known");
         self.reg.record(self.phases[idx], d.as_nanos());
+    }
+
+    /// Stamps a causal span into the trace ring: one timed pipeline
+    /// phase of a *sampled* transaction, closing at `now` after lasting
+    /// `d`. Start/duration are node-local monotonic nanoseconds —
+    /// cross-shard assembly orders spans by `(hop, phase)`
+    /// ([`ringbft_obs::SpanCollector`]), never by comparing these
+    /// clocks across nodes.
+    pub fn span(
+        &mut self,
+        now: Instant,
+        trace: TraceContext,
+        p: Phase,
+        shard: u32,
+        replica: u32,
+        d: Duration,
+    ) {
+        let idx = Phase::ALL.iter().position(|&q| q == p).expect("known");
+        let dur = d.as_nanos();
+        self.trace.push(
+            now.as_nanos(),
+            "span",
+            &[
+                ("trace", trace.trace_id),
+                ("hop", trace.hop as u64),
+                ("phase", idx as u64),
+                ("shard", shard as u64),
+                ("replica", replica as u64),
+                ("start_ns", now.as_nanos().saturating_sub(dur)),
+                ("dur_ns", dur),
+            ],
+        );
     }
 
     /// Read access to one phase histogram.

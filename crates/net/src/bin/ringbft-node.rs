@@ -45,6 +45,13 @@ struct Args {
     /// Write a final metrics + event-trace snapshot (JSON) here on a
     /// timed exit.
     metrics_path: Option<String>,
+    /// First port of the live telemetry scrape endpoints: hosted node
+    /// `i` serves HTTP/1.0 `GET /metrics` and `GET /trace` on
+    /// `telemetry_port + i` directly off its reactor (0 = disabled).
+    telemetry_port: u16,
+    /// Flush every hosted node's trace ring (JSON lines) to this path
+    /// on each stats interval, for offline span assembly.
+    trace_dump_path: Option<String>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -57,7 +64,9 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 --duration-secs N    exit after N seconds (default: run until killed)\n\
          \x20 --min-completions K  with --duration-secs: exit 1 unless ≥ K txns completed\n\
          \x20 --port-base P        first listener port of --example-config (default 4100)\n\
-         \x20 --metrics-path FILE  write a final metrics + trace snapshot (JSON) at exit"
+         \x20 --metrics-path FILE  write a final metrics + trace snapshot (JSON) at exit\n\
+         \x20 --telemetry-port P   serve GET /metrics and /trace for hosted node i on port P+i\n\
+         \x20 --trace-dump-path F  flush trace rings (JSON lines) to F every stats interval"
     );
     std::process::exit(code);
 }
@@ -73,6 +82,8 @@ fn parse_args() -> Args {
         min_completions: 0,
         port_base: 4100,
         metrics_path: None,
+        telemetry_port: 0,
+        trace_dump_path: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -146,6 +157,17 @@ fn parse_args() -> Args {
                     });
             }
             "--metrics-path" => args.metrics_path = Some(value(&argv, &mut i, "--metrics-path")),
+            "--telemetry-port" => {
+                args.telemetry_port = value(&argv, &mut i, "--telemetry-port")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--telemetry-port needs a port number");
+                        usage_and_exit(2);
+                    });
+            }
+            "--trace-dump-path" => {
+                args.trace_dump_path = Some(value(&argv, &mut i, "--trace-dump-path"));
+            }
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -280,10 +302,42 @@ fn main() {
         }
     }
 
+    // Live telemetry: hosted node i serves GET /metrics and /trace on
+    // telemetry_port + i, directly off its reactor (no extra threads).
+    if args.telemetry_port > 0 {
+        for (i, rt) in runtimes.iter().enumerate() {
+            let port = args.telemetry_port + i as u16;
+            let listener = match TcpListener::bind(("0.0.0.0", port)) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("bind telemetry port {port}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match rt.serve_telemetry(
+                listener,
+                ringbft_net::telemetry::standard_routes(rt.telemetry_handle()),
+            ) {
+                Ok(addr) => println!(
+                    "telemetry for {} on http://127.0.0.1:{}/metrics",
+                    rt.id(),
+                    addr.port()
+                ),
+                Err(e) => {
+                    eprintln!("serve telemetry for {}: {e}", rt.id());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     // Periodic stats until killed (or the scripted duration elapses).
     let started = std::time::Instant::now();
+    // A silent process still ticks once a second when something rides
+    // the interval: the scripted-duration check or the trace-dump flush.
     let interval = if args.stats_secs == 0 {
-        std::time::Duration::from_secs(if args.duration_secs > 0 { 1 } else { 3600 })
+        let ticking = args.duration_secs > 0 || args.trace_dump_path.is_some();
+        std::time::Duration::from_secs(if ticking { 1 } else { 3600 })
     } else {
         std::time::Duration::from_secs(args.stats_secs)
     };
@@ -321,6 +375,14 @@ fn main() {
     loop {
         std::thread::sleep(interval);
         absorb_latencies(&runtimes, &mut latency_seen, &mut latency);
+        if let Some(path) = &args.trace_dump_path {
+            // Latest-window snapshot: the rings are bounded, so each
+            // flush rewrites the file with their current contents (the
+            // file survives a kill, unlike the exit snapshot).
+            if let Err(e) = std::fs::write(path, trace_dump(&runtimes)) {
+                eprintln!("write trace dump {path}: {e}");
+            }
+        }
         if args.duration_secs > 0
             && started.elapsed() >= std::time::Duration::from_secs(args.duration_secs)
         {
@@ -408,6 +470,18 @@ fn metrics_snapshot(
         .field_raw("nodes", &nodes);
     let mut out = w.finish();
     out.push('\n');
+    out
+}
+
+/// The `--trace-dump-path` payload: every hosted node's replica trace
+/// ring followed by its transport ring, as JSON lines. Span events in
+/// the dump feed `ringbft_obs::SpanCollector::ingest_dump` directly.
+fn trace_dump(runtimes: &[NodeRuntime<AnyMsg, AnyNode>]) -> String {
+    let mut out = String::new();
+    for rt in runtimes {
+        out.push_str(&rt.with_node(|n| n.trace_jsonl()).unwrap_or_default());
+        out.push_str(&rt.trace_jsonl());
+    }
     out
 }
 

@@ -233,6 +233,22 @@ impl LocalCluster {
         rt.set_inbound_filter(filter);
     }
 
+    /// Starts the standard telemetry scrape endpoint
+    /// (`crate::telemetry::standard_routes`) for replica `r` on an
+    /// ephemeral loopback port, returning the bound address.
+    pub fn serve_replica_telemetry(&self, r: ReplicaId) -> std::io::Result<std::net::SocketAddr> {
+        let rt = self
+            .replicas
+            .iter()
+            .find(|rt| rt.id() == NodeId::Replica(r))
+            .expect("unknown replica");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        rt.serve_telemetry(
+            listener,
+            crate::telemetry::standard_routes(rt.telemetry_handle()),
+        )
+    }
+
     /// Runs `f` on the runtime hosting replica `r`.
     pub fn with_replica<R>(&self, r: ReplicaId, f: impl FnOnce(&mut AnyNode) -> R) -> R {
         let rt = self

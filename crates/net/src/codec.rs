@@ -33,7 +33,7 @@
 
 use ringbft_crypto::KeyStore;
 use ringbft_types::wire;
-use ringbft_types::NodeId;
+use ringbft_types::{NodeId, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -43,9 +43,11 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"RBFT");
 /// Current frame version (2 = MAC-authenticated frames; 3 = hole-fetch
 /// messages added to the recovery vocabulary; 4 = delta state transfer —
 /// `StateRequest` gained the requester's base, `StatePlan` replaced the
-/// `StateDone` trailer, and `StateChunk` is chain-link framed. Enum
-/// layouts changed, so older peers must not decode v4 bodies).
-pub const VERSION: u16 = 4;
+/// `StateDone` trailer, and `StateChunk` is chain-link framed; 5 =
+/// causal tracing — the envelope gained an optional
+/// [`TraceContext`](ringbft_types::TraceContext) and transactions carry
+/// an optional trace field, so older peers must not decode v5 bodies).
+pub const VERSION: u16 = 5;
 
 /// Bytes of the fixed frame header (excluding the authenticator).
 pub const HEADER_BYTES: usize = 12;
@@ -114,6 +116,11 @@ pub struct Envelope<M> {
     pub to: NodeId,
     /// The protocol message.
     pub msg: M,
+    /// Causal trace context (codec v5): present when `msg` transports a
+    /// sampled transaction, so frames can be correlated by trace id and
+    /// ring hop without decoding the body. Covered by the frame MAC
+    /// like every other body byte.
+    pub trace: Option<TraceContext>,
 }
 
 // `Envelope` is generic, so its codec impls are written out by hand (the
@@ -123,6 +130,7 @@ impl<M: Serialize> Serialize for Envelope<M> {
         self.from.serialize(out);
         self.to.serialize(out);
         self.msg.serialize(out);
+        self.trace.serialize(out);
     }
 }
 
@@ -132,6 +140,7 @@ impl<M: Deserialize> Deserialize for Envelope<M> {
             from: Deserialize::deserialize(r)?,
             to: Deserialize::deserialize(r)?,
             msg: Deserialize::deserialize(r)?,
+            trace: Deserialize::deserialize(r)?,
         })
     }
 }
@@ -453,6 +462,7 @@ mod tests {
                 txn: Arc::new(txn),
                 relayed: false,
             }),
+            trace: Some(TraceContext::new(ringbft_types::trace::trace_id_for(7))),
         }
     }
 

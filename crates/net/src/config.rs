@@ -21,6 +21,7 @@
 //!   "state_chunk_records": 4096,
 //!   "auth_seed": 0,
 //!   "reactor_shards": 1,
+//!   "trace_sample_rate": 64,
 //!   "peers": {
 //!     "S0r0": "10.0.0.10:4100",
 //!     "S0r1": "10.0.0.11:4100"
@@ -107,7 +108,7 @@ pub fn parse_replica_name(name: &str) -> Result<ReplicaId, ConfigError> {
 /// so a typo'd knob fails loudly instead of silently running with the
 /// paper default (every process must share the file, so a silent
 /// fallback would be a cross-process misconfiguration).
-const KNOWN_KEYS: [&str; 16] = [
+const KNOWN_KEYS: [&str; 17] = [
     "protocol",
     "shards",
     "batch_size",
@@ -123,6 +124,7 @@ const KNOWN_KEYS: [&str; 16] = [
     "full_snapshot_every",
     "auth_seed",
     "reactor_shards",
+    "trace_sample_rate",
     "peers",
 ];
 
@@ -214,6 +216,9 @@ pub fn parse_cluster_config(text: &str) -> Result<ClusterConfig, ConfigError> {
     if let Some(v) = u64_knob("reactor_shards") {
         system.reactor_shards = v as usize;
     }
+    if let Some(v) = u64_knob("trace_sample_rate") {
+        system.trace_sample_rate = v;
+    }
     if let Some(v) = doc.get("cross_shard_rate").and_then(|v| v.as_f64()) {
         system.cross_shard_rate = v;
     }
@@ -297,6 +302,7 @@ pub fn render_cluster_config(
         "full_snapshot_every": system.full_snapshot_every,
         "auth_seed": system.auth_seed,
         "reactor_shards": system.reactor_shards as u64,
+        "trace_sample_rate": system.trace_sample_rate,
         "timers_ms": serde_json::json!({
             "local": system.timers.local.as_nanos() / 1_000_000,
             "remote": system.timers.remote.as_nanos() / 1_000_000,
@@ -356,6 +362,7 @@ mod tests {
             "full_snapshot_every": 2,
             "auth_seed": 7,
             "reactor_shards": 2,
+            "trace_sample_rate": 8,
             "peers": {}
         }"#;
         let cc = parse_cluster_config(text).unwrap();
@@ -364,6 +371,7 @@ mod tests {
         assert_eq!(cc.system.full_snapshot_every, 2);
         assert_eq!(cc.system.auth_seed, 7);
         assert_eq!(cc.system.reactor_shards, 2);
+        assert_eq!(cc.system.trace_sample_rate, 8);
         // A zero reactor-shard count fails SystemConfig validation.
         assert!(parse_cluster_config(
             r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],

@@ -53,8 +53,9 @@ pub mod codec;
 pub mod config;
 mod reactor;
 pub mod runtime;
+pub mod telemetry;
 
 pub use cluster::LocalCluster;
 pub use codec::{encode_frame, read_frame, write_frame, CodecError, Envelope, FrameAuth};
 pub use config::{load_cluster_config, parse_cluster_config, ClusterConfig, ConfigError};
-pub use runtime::{Clock, NetStatsSnapshot, NodeRuntime, PeerTable};
+pub use runtime::{Clock, NetStatsSnapshot, NodeRuntime, PeerTable, TelemetryHandle};

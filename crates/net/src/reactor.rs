@@ -437,7 +437,14 @@ pub(crate) fn set_timer<M>(
 
 const TOKEN_WAKE: u64 = 0;
 const TOKEN_LISTEN: u64 = 1;
-const TOKEN_FIRST_CONN: u64 = 2;
+/// The telemetry scrape listener ([`NodeRuntime::serve_telemetry`]),
+/// adopted by shard 0 once installed.
+const TOKEN_TELEMETRY: u64 = 2;
+const TOKEN_FIRST_CONN: u64 = 3;
+
+/// Longest HTTP request a telemetry connection may send before it is
+/// dropped (scrapes are one short GET line plus a few headers).
+const TELEMETRY_MAX_REQUEST: usize = 4096;
 
 /// Marker in a reconnect-heap entry for a scheduled *retry* (no dial in
 /// flight) rather than a connect watchdog on a specific dial.
@@ -467,6 +474,21 @@ struct Conn {
     dial_id: u64,
 }
 
+/// One HTTP/1.0 scrape connection on the telemetry listener: reads the
+/// request head, serves one response, closes. Deliberately minimal —
+/// no keep-alive, no chunking, no headers beyond what `curl` and
+/// Prometheus-style scrapers need.
+struct TelemetryConn {
+    stream: TcpStream,
+    /// Request bytes read so far (until the end of the request line).
+    rbuf: Vec<u8>,
+    /// Staged response bytes.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// True once the response is staged (the request side is done).
+    responding: bool,
+}
+
 /// One reactor shard: an epoll loop owning a disjoint subset of the
 /// runtime's connections (plus, on shard 0, the listener and the timer
 /// wheel).
@@ -476,6 +498,10 @@ struct ReactorShard<M, N> {
     node: Arc<Mutex<N>>,
     epoll: Epoll,
     listener: Option<TcpListener>,
+    /// Telemetry scrape listener (shard 0, once adopted).
+    telemetry: Option<TcpListener>,
+    /// In-flight telemetry scrape connections by token.
+    tconns: HashMap<u64, TelemetryConn>,
     conns: HashMap<u64, Conn>,
     /// Outbound connection (live or connecting) per assigned peer.
     by_peer: HashMap<NodeId, u64>,
@@ -525,6 +551,8 @@ pub(crate) fn run_shard<M, N>(
         node,
         epoll,
         listener,
+        telemetry: None,
+        tconns: HashMap::new(),
         conns: HashMap::new(),
         by_peer: HashMap::new(),
         next_token: TOKEN_FIRST_CONN,
@@ -562,6 +590,7 @@ where
             }
             self.take_handoffs();
             if self.idx == 0 {
+                self.adopt_telemetry_listener();
                 self.fire_due_timers();
             }
             self.process_reconnects();
@@ -590,6 +619,8 @@ where
                 match token {
                     TOKEN_WAKE => self.shared.wakeups[self.idx].drain(),
                     TOKEN_LISTEN => self.accept_ready(),
+                    TOKEN_TELEMETRY => self.telemetry_accept(),
+                    tok if self.tconns.contains_key(&tok) => self.telemetry_ready(tok, bits),
                     tok => self.conn_ready(tok, bits),
                 }
             }
@@ -697,10 +728,12 @@ where
             return;
         }
         let model = msg.wire_bytes();
+        let trace = msg.trace_context();
         let env = Envelope {
             from: shared.id,
             to,
             msg,
+            trace,
         };
         let frame = match encode_frame(&env, &shared.auth) {
             Ok(f) => f,
@@ -1374,6 +1407,217 @@ where
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Telemetry scrape endpoint (shard 0)
+    // ------------------------------------------------------------------
+
+    /// Adopts a freshly installed telemetry listener
+    /// ([`crate::runtime::NodeRuntime::serve_telemetry`]) into this
+    /// shard's epoll set. The armed flag keeps the common no-endpoint
+    /// case free of the mutex.
+    fn adopt_telemetry_listener(&mut self) {
+        if !self.shared.telemetry_armed.load(Ordering::Acquire) {
+            return;
+        }
+        let listener = {
+            let mut t = self.shared.telemetry.lock().expect("telemetry lock");
+            t.pending_listener.take()
+        };
+        self.shared.telemetry_armed.store(false, Ordering::Release);
+        let Some(listener) = listener else { return };
+        if !self
+            .epoll
+            .add(listener.as_raw_fd(), TOKEN_TELEMETRY, sys::EPOLLIN)
+        {
+            return; // unwatchable: scrapers see a closed port
+        }
+        self.telemetry = Some(listener);
+    }
+
+    /// Accepts pending scrape connections. Telemetry connections stay
+    /// on shard 0 — scrapes are rare and short, so they never need the
+    /// round-robin handoff data connections get.
+    fn telemetry_accept(&mut self) {
+        loop {
+            let accepted = match &self.telemetry {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if !self
+                        .epoll
+                        .add(stream.as_raw_fd(), token, sys::EPOLLIN | sys::EPOLLRDHUP)
+                    {
+                        continue; // dropping closes it; the scraper retries
+                    }
+                    self.tconns.insert(
+                        token,
+                        TelemetryConn {
+                            stream,
+                            rbuf: Vec::new(),
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                            responding: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn telemetry_ready(&mut self, tok: u64, bits: u32) {
+        if bits & sys::EPOLLIN != 0 {
+            self.telemetry_readable(tok);
+        }
+        if !self.tconns.contains_key(&tok) {
+            return;
+        }
+        if bits & sys::EPOLLOUT != 0 {
+            self.telemetry_writable(tok);
+        }
+        if !self.tconns.contains_key(&tok) {
+            return;
+        }
+        if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.close_telemetry(tok);
+        }
+    }
+
+    /// Reads until the request line is complete, then stages the
+    /// response. Responding after the first line (rather than the full
+    /// header block) is valid for one-shot HTTP/1.0 exchanges: the
+    /// response carries `Connection: close` and the socket is closed
+    /// once it is written.
+    fn telemetry_readable(&mut self, tok: u64) {
+        let mut buf = [0u8; 4096];
+        loop {
+            let Some(conn) = self.tconns.get_mut(&tok) else {
+                return;
+            };
+            if conn.responding {
+                return; // late header bytes: ignore until close
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.close_telemetry(tok);
+                    return;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&buf[..n]);
+                    if conn.rbuf.len() > TELEMETRY_MAX_REQUEST {
+                        self.close_telemetry(tok);
+                        return;
+                    }
+                    if conn.rbuf.contains(&b'\n') {
+                        self.telemetry_respond(tok);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_telemetry(tok);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses the request line, runs the installed route handler, and
+    /// stages the HTTP/1.0 response.
+    fn telemetry_respond(&mut self, tok: u64) {
+        let (method, path) = {
+            let Some(conn) = self.tconns.get(&tok) else {
+                return;
+            };
+            let line_end = conn
+                .rbuf
+                .iter()
+                .position(|&b| b == b'\n')
+                .unwrap_or(conn.rbuf.len());
+            let line = String::from_utf8_lossy(&conn.rbuf[..line_end]).into_owned();
+            let mut parts = line.split_whitespace();
+            (
+                parts.next().unwrap_or("").to_string(),
+                parts.next().unwrap_or("").to_string(),
+            )
+        };
+        let response = if method != "GET" {
+            http_response(405, "Method Not Allowed", "text/plain", "only GET\n")
+        } else {
+            let served = {
+                let t = self.shared.telemetry.lock().expect("telemetry lock");
+                t.handler.as_ref().and_then(|h| h(&path))
+            };
+            match served {
+                Some((content_type, body)) => http_response(200, "OK", &content_type, &body),
+                None => http_response(404, "Not Found", "text/plain", "unknown route\n"),
+            }
+        };
+        let Some(conn) = self.tconns.get_mut(&tok) else {
+            return;
+        };
+        conn.wbuf = response;
+        conn.wpos = 0;
+        conn.responding = true;
+        conn.rbuf.clear();
+        self.epoll
+            .modify(conn.stream.as_raw_fd(), tok, sys::EPOLLOUT);
+        self.telemetry_writable(tok);
+    }
+
+    fn telemetry_writable(&mut self, tok: u64) {
+        loop {
+            let Some(conn) = self.tconns.get_mut(&tok) else {
+                return;
+            };
+            if !conn.responding {
+                return; // spurious EPOLLOUT before the request arrived
+            }
+            if conn.wpos == conn.wbuf.len() {
+                self.close_telemetry(tok); // response done: one-shot
+                return;
+            }
+            let wpos = conn.wpos;
+            match conn.stream.write(&conn.wbuf[wpos..]) {
+                Ok(0) => {
+                    self.close_telemetry(tok);
+                    return;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_telemetry(tok);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn close_telemetry(&mut self, tok: u64) {
+        if let Some(conn) = self.tconns.remove(&tok) {
+            self.epoll.del(conn.stream.as_raw_fd());
+            // `conn.stream` drops here, closing the fd.
+        }
+    }
+}
+
+/// Renders a one-shot HTTP/1.0 response.
+fn http_response(code: u16, reason: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
 }
 
 /// Compact trace encoding of a node id: replicas as `shard·1000 + index`,

@@ -37,7 +37,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 
 /// Marker for messages the runtime can carry: encodable, decodable, and
@@ -261,6 +261,22 @@ pub struct ExecEvent {
     pub txns: u32,
 }
 
+/// A telemetry route handler: maps a request path (`"/metrics"`,
+/// `"/trace"`) to `(content_type, body)`, or `None` for a 404.
+///
+/// Called from reactor shard 0 while it serves a scrape request, so it
+/// must not block for long; locking the hosted node briefly (via
+/// [`TelemetryHandle::with_node`]) is fine — the reactor never invokes
+/// it while holding the node lock.
+pub type TelemetryHandler = Box<dyn Fn(&str) -> Option<(String, String)> + Send>;
+
+/// Telemetry endpoint state: a listener waiting for reactor shard 0 to
+/// adopt it into its epoll set, and the installed route handler.
+pub(crate) struct TelemetryState {
+    pub(crate) pending_listener: Option<TcpListener>,
+    pub(crate) handler: Option<TelemetryHandler>,
+}
+
 /// State shared between the public [`NodeRuntime`] handle and its
 /// reactor shards.
 pub(crate) struct Shared<M> {
@@ -302,12 +318,127 @@ pub(crate) struct Shared<M> {
     #[allow(clippy::type_complexity)]
     pub(crate) inbound_filter: Mutex<Option<Box<dyn Fn(NodeId, &M) -> bool + Send>>>,
     pub(crate) inbound_filter_armed: AtomicBool,
+    /// Live-scrape endpoint ([`NodeRuntime::serve_telemetry`]): the
+    /// HTTP/1.0 listener reactor shard 0 serves, plus its route
+    /// handler. `telemetry_armed` lets the shard skip the mutex on
+    /// every loop iteration until an endpoint is installed.
+    pub(crate) telemetry: Mutex<TelemetryState>,
+    pub(crate) telemetry_armed: AtomicBool,
 }
 
 impl<M> Shared<M> {
     /// Stable peer→reactor-shard assignment.
     pub(crate) fn peer_shard(&self, node: NodeId) -> usize {
         reactor::peer_shard_of(node, self.nshards)
+    }
+
+    /// Snapshot of the transport counters.
+    pub(crate) fn stats_snapshot(&self) -> NetStatsSnapshot {
+        let c = &self.counters;
+        NetStatsSnapshot {
+            messages_sent: c.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            modeled_bytes_sent: c.modeled_bytes_sent.load(Ordering::Relaxed),
+            messages_dropped: c.messages_dropped.load(Ordering::Relaxed),
+            messages_undeliverable: c.messages_undeliverable.load(Ordering::Relaxed),
+            timers_fired: c.timers_fired.load(Ordering::Relaxed),
+            messages_delivered: c.messages_delivered.load(Ordering::Relaxed),
+            messages_filtered: c.messages_filtered.load(Ordering::Relaxed),
+            reconnects: c.reconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Transport metrics as one stable JSON object (shared between the
+    /// exit snapshot and the live scrape endpoint, so both report the
+    /// exact same instruments).
+    pub(crate) fn metrics_json(&self) -> String {
+        let c = self.stats_snapshot();
+        let mut cw = ringbft_obs::json::ObjectWriter::new();
+        cw.field_u64("net.bytes_sent", c.bytes_sent)
+            .field_u64("net.messages_delivered", c.messages_delivered)
+            .field_u64("net.messages_dropped", c.messages_dropped)
+            .field_u64("net.messages_filtered", c.messages_filtered)
+            .field_u64("net.messages_sent", c.messages_sent)
+            .field_u64("net.messages_undeliverable", c.messages_undeliverable)
+            .field_u64("net.modeled_bytes_sent", c.modeled_bytes_sent)
+            .field_u64(
+                "net.backpressure_hits",
+                self.obs.backpressure_hits.load(Ordering::Relaxed),
+            )
+            .field_u64(
+                "net.reassembly_stalls",
+                self.obs.reassembly_stalls.load(Ordering::Relaxed),
+            )
+            .field_u64("net.reconnects", c.reconnects)
+            .field_u64("net.timers_fired", c.timers_fired);
+        let mut gw = ringbft_obs::json::ObjectWriter::new();
+        gw.field_u64(
+            "net.peer_queue_hwm_bytes",
+            self.obs.queue_hwm_bytes.load(Ordering::Relaxed),
+        );
+        let mut hw = ringbft_obs::json::ObjectWriter::new();
+        {
+            let h = self.obs.epoll_wait.lock().expect("epoll hist");
+            hw.field_raw("net.epoll_wait_ns", &ringbft_obs::histogram_json(&h));
+        }
+        let mut w = ringbft_obs::json::ObjectWriter::new();
+        w.field_raw("counters", &cw.finish())
+            .field_raw("gauges", &gw.finish())
+            .field_raw("histograms", &hw.finish());
+        w.finish()
+    }
+
+    /// The connection-lifecycle event trace as JSON lines.
+    pub(crate) fn trace_jsonl(&self) -> String {
+        self.obs.trace.lock().expect("net trace").dump_jsonl()
+    }
+}
+
+/// A weak handle for telemetry route handlers: grants a scrape request
+/// access to the transport instruments and the hosted node without
+/// keeping either alive — once the runtime shuts down, every accessor
+/// returns `None`, so an installed handler can never block the node
+/// from being handed back by [`NodeRuntime::shutdown`].
+pub struct TelemetryHandle<M, N> {
+    id: NodeId,
+    shared: Weak<Shared<M>>,
+    node: Weak<Mutex<N>>,
+}
+
+impl<M, N> Clone for TelemetryHandle<M, N> {
+    fn clone(&self) -> Self {
+        TelemetryHandle {
+            id: self.id,
+            shared: self.shared.clone(),
+            node: self.node.clone(),
+        }
+    }
+}
+
+impl<M, N> TelemetryHandle<M, N> {
+    /// The node id the runtime hosts.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The transport metrics JSON ([`NodeRuntime::metrics_json`]), or
+    /// `None` after the runtime shut down.
+    pub fn net_metrics_json(&self) -> Option<String> {
+        Some(self.shared.upgrade()?.metrics_json())
+    }
+
+    /// The connection-lifecycle trace as JSON lines, or `None` after
+    /// the runtime shut down.
+    pub fn net_trace_jsonl(&self) -> Option<String> {
+        Some(self.shared.upgrade()?.trace_jsonl())
+    }
+
+    /// Runs `f` with exclusive access to the hosted node (pauses event
+    /// processing — keep it short), or `None` after shutdown.
+    pub fn with_node<R>(&self, f: impl FnOnce(&mut N) -> R) -> Option<R> {
+        let node = self.node.upgrade()?;
+        let mut n = node.lock().expect("node lock");
+        Some(f(&mut n))
     }
 }
 
@@ -390,6 +521,11 @@ where
             view_log: Mutex::new(Vec::new()),
             inbound_filter: Mutex::new(None),
             inbound_filter_armed: AtomicBool::new(false),
+            telemetry: Mutex::new(TelemetryState {
+                pending_listener: None,
+                handler: None,
+            }),
+            telemetry_armed: AtomicBool::new(false),
         });
         let node = Arc::new(Mutex::new(node));
 
@@ -469,18 +605,7 @@ where
 
     /// Snapshot of the transport counters.
     pub fn stats(&self) -> NetStatsSnapshot {
-        let c = &self.shared.counters;
-        NetStatsSnapshot {
-            messages_sent: c.messages_sent.load(Ordering::Relaxed),
-            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
-            modeled_bytes_sent: c.modeled_bytes_sent.load(Ordering::Relaxed),
-            messages_dropped: c.messages_dropped.load(Ordering::Relaxed),
-            messages_undeliverable: c.messages_undeliverable.load(Ordering::Relaxed),
-            timers_fired: c.timers_fired.load(Ordering::Relaxed),
-            messages_delivered: c.messages_delivered.load(Ordering::Relaxed),
-            messages_filtered: c.messages_filtered.load(Ordering::Relaxed),
-            reconnects: c.reconnects.load(Ordering::Relaxed),
-        }
+        self.shared.stats_snapshot()
     }
 
     /// Transport-layer metrics as one stable JSON object: the
@@ -488,50 +613,46 @@ where
     /// histogram, peer-queue high-water mark, backpressure hits,
     /// frame-reassembly stalls).
     pub fn metrics_json(&self) -> String {
-        let c = self.stats();
-        let mut cw = ringbft_obs::json::ObjectWriter::new();
-        cw.field_u64("net.bytes_sent", c.bytes_sent)
-            .field_u64("net.messages_delivered", c.messages_delivered)
-            .field_u64("net.messages_dropped", c.messages_dropped)
-            .field_u64("net.messages_filtered", c.messages_filtered)
-            .field_u64("net.messages_sent", c.messages_sent)
-            .field_u64("net.messages_undeliverable", c.messages_undeliverable)
-            .field_u64("net.modeled_bytes_sent", c.modeled_bytes_sent)
-            .field_u64(
-                "net.backpressure_hits",
-                self.shared.obs.backpressure_hits.load(Ordering::Relaxed),
-            )
-            .field_u64(
-                "net.reassembly_stalls",
-                self.shared.obs.reassembly_stalls.load(Ordering::Relaxed),
-            )
-            .field_u64("net.reconnects", c.reconnects)
-            .field_u64("net.timers_fired", c.timers_fired);
-        let mut gw = ringbft_obs::json::ObjectWriter::new();
-        gw.field_u64(
-            "net.peer_queue_hwm_bytes",
-            self.shared.obs.queue_hwm_bytes.load(Ordering::Relaxed),
-        );
-        let mut hw = ringbft_obs::json::ObjectWriter::new();
-        {
-            let h = self.shared.obs.epoll_wait.lock().expect("epoll hist");
-            hw.field_raw("net.epoll_wait_ns", &ringbft_obs::histogram_json(&h));
-        }
-        let mut w = ringbft_obs::json::ObjectWriter::new();
-        w.field_raw("counters", &cw.finish())
-            .field_raw("gauges", &gw.finish())
-            .field_raw("histograms", &hw.finish());
-        w.finish()
+        self.shared.metrics_json()
     }
 
     /// The connection-lifecycle event trace as JSON lines.
     pub fn trace_jsonl(&self) -> String {
-        self.shared
-            .obs
-            .trace
-            .lock()
-            .expect("net trace")
-            .dump_jsonl()
+        self.shared.trace_jsonl()
+    }
+
+    /// A weak telemetry handle for building scrape-route handlers; see
+    /// [`TelemetryHandle`].
+    pub fn telemetry_handle(&self) -> TelemetryHandle<M, N> {
+        TelemetryHandle {
+            id: self.shared.id,
+            shared: Arc::downgrade(&self.shared),
+            node: Arc::downgrade(&self.node),
+        }
+    }
+
+    /// Starts serving a minimal HTTP/1.0 scrape endpoint on `listener`,
+    /// directly off reactor shard 0's epoll loop (no extra thread).
+    /// `handler` maps a request path to `(content_type, body)`; unknown
+    /// paths get a 404, non-GET requests a 405. Returns the bound
+    /// address. Build the handler from [`NodeRuntime::telemetry_handle`]
+    /// so it does not keep the runtime alive.
+    pub fn serve_telemetry(
+        &self,
+        listener: TcpListener,
+        handler: impl Fn(&str) -> Option<(String, String)> + Send + 'static,
+    ) -> std::io::Result<SocketAddr> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        {
+            let mut t = self.shared.telemetry.lock().expect("telemetry lock");
+            t.pending_listener = Some(listener);
+            t.handler = Some(Box::new(handler));
+        }
+        self.shared.telemetry_armed.store(true, Ordering::Release);
+        // Shard 0 adopts the listener on its next loop iteration.
+        self.shared.wakeups[0].wake();
+        Ok(addr)
     }
 
     /// Copy of the `Executed` log.

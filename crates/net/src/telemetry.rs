@@ -1,0 +1,84 @@
+//! Standard telemetry scrape routes for hosted nodes.
+//!
+//! [`NodeRuntime::serve_telemetry`](crate::runtime::NodeRuntime::serve_telemetry)
+//! accepts any route handler; this module provides the canonical one
+//! for [`AnyNode`] runtimes, so `ringbft-node`, [`LocalCluster`]-based
+//! tests, and scripts all scrape the same shape:
+//!
+//! * `GET /metrics` — one JSON object `{"id", "metrics", "net"}`: the
+//!   hosted node's registry + phase-histogram snapshot and the
+//!   transport instruments. `metrics` and `net` are produced by the
+//!   exact same functions the exit snapshot (`--metrics-path`) uses,
+//!   so a live scrape and the final snapshot can be compared counter
+//!   for counter.
+//! * `GET /trace` — the node's replica trace ring followed by the
+//!   transport's connection-lifecycle ring, as JSON lines. Span events
+//!   in this dump feed `ringbft_obs::SpanCollector::ingest_dump`
+//!   directly.
+//!
+//! [`LocalCluster`]: crate::cluster::LocalCluster
+
+use crate::runtime::TelemetryHandle;
+use ringbft_sim::{AnyMsg, AnyNode};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Builds the `/metrics` body for one runtime: the same composition the
+/// exit snapshot writes per node.
+pub fn metrics_body(handle: &TelemetryHandle<AnyMsg, AnyNode>) -> String {
+    let mut w = ringbft_obs::json::ObjectWriter::new();
+    w.field_str("id", &handle.id().to_string());
+    match handle.with_node(|n| n.metrics_json()).flatten() {
+        Some(m) => w.field_raw("metrics", &m),
+        None => w.field_raw("metrics", "null"),
+    };
+    w.field_raw(
+        "net",
+        &handle.net_metrics_json().unwrap_or_else(|| "null".into()),
+    );
+    w.finish()
+}
+
+/// Builds the `/trace` body for one runtime: the replica trace ring
+/// (span + protocol events) followed by the transport ring, JSONL.
+pub fn trace_body(handle: &TelemetryHandle<AnyMsg, AnyNode>) -> String {
+    let mut out = handle
+        .with_node(|n| n.trace_jsonl())
+        .flatten()
+        .unwrap_or_default();
+    out.push_str(&handle.net_trace_jsonl().unwrap_or_default());
+    out
+}
+
+/// The canonical route handler for an [`AnyNode`] runtime.
+pub fn standard_routes(
+    handle: TelemetryHandle<AnyMsg, AnyNode>,
+) -> impl Fn(&str) -> Option<(String, String)> + Send + 'static {
+    move |path| match path {
+        "/metrics" => Some(("application/json".into(), metrics_body(&handle))),
+        "/trace" => Some(("application/x-ndjson".into(), trace_body(&handle))),
+        _ => None,
+    }
+}
+
+/// Minimal blocking HTTP/1.0 GET against a scrape endpoint, returning
+/// `(status, body)`. For tests and in-process checks; scripts use
+/// `curl`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}

@@ -17,11 +17,29 @@ use ringbft_recovery::{PlanLink, RecordEntry, RecoveryMsg};
 use ringbft_sim::AnyMsg;
 use ringbft_types::hole::{CommitCertificate, HoleReply, HoleRequest};
 use ringbft_types::txn::{Batch, Operation, OperationKind, RemoteRead, Transaction};
-use ringbft_types::{BatchId, ClientId, NodeId, ReplicaId, SeqNum, ShardId, TxnId, ViewNum};
+use ringbft_types::{
+    BatchId, ClientId, NodeId, ReplicaId, SeqNum, ShardId, TraceContext, TxnId, ViewNum,
+};
 use std::sync::Arc;
 
 fn arb_u64(rng: &mut TestRng, bound: u64) -> u64 {
     Strategy::generate(&(0..bound), rng)
+}
+
+/// Codec v5: about half the generated envelopes carry a trace context,
+/// with hop counts stressed up to the saturation point (`u32::MAX`).
+fn arb_trace(rng: &mut TestRng) -> Option<TraceContext> {
+    match arb_u64(rng, 4) {
+        0 => None,
+        1 => Some(TraceContext {
+            trace_id: 1 + arb_u64(rng, u64::MAX - 1),
+            hop: u32::MAX,
+        }),
+        _ => Some(TraceContext {
+            trace_id: ringbft_types::trace::trace_id_for(arb_u64(rng, 1 << 40)),
+            hop: arb_u64(rng, 9) as u32,
+        }),
+    }
 }
 
 fn arb_operation(rng: &mut TestRng) -> Operation {
@@ -52,6 +70,7 @@ fn arb_txn(rng: &mut TestRng) -> Transaction {
             key: arb_u64(rng, 1_000),
         });
     }
+    t.trace = arb_trace(rng);
     t
 }
 
@@ -122,6 +141,7 @@ fn arb_ring(rng: &mut TestRng) -> RingMsg {
         deps: (0..arb_u64(rng, 4))
             .map(|_| (arb_u64(rng, 1_000), arb_u64(rng, 1 << 30)))
             .collect(),
+        hop: arb_u64(rng, 5) as u32,
     };
     match arb_u64(rng, 10) {
         0 => RingMsg::Request {
@@ -337,6 +357,7 @@ proptest! {
             from: arb_node(&mut rng),
             to: arb_node(&mut rng),
             msg: arb_any_msg(&mut rng),
+            trace: arb_trace(&mut rng),
         };
         let frame = encode_frame(&env, &auth).expect("encode");
         let decoded: Envelope<AnyMsg> =
@@ -357,6 +378,7 @@ proptest! {
             from: arb_node(&mut rng),
             to: arb_node(&mut rng),
             msg: AnyMsg::Ring(RingMsg::Recovery(arb_recovery(&mut rng))),
+            trace: arb_trace(&mut rng),
         };
         let frame = encode_frame(&env, &auth).expect("encode");
         let decoded: Envelope<AnyMsg> =
@@ -396,6 +418,7 @@ proptest! {
             from: arb_node(&mut rng),
             to: arb_node(&mut rng),
             msg: AnyMsg::Ring(RingMsg::Recovery(msg)),
+            trace: arb_trace(&mut rng),
         };
         let frame = encode_frame(&env, &auth).expect("encode");
         let decoded: Envelope<AnyMsg> =
@@ -428,11 +451,48 @@ proptest! {
             from: arb_node(&mut rng),
             to: arb_node(&mut rng),
             msg: AnyMsg::Ring(RingMsg::Recovery(msg)),
+            trace: arb_trace(&mut rng),
         };
         let frame = encode_frame(&env, &auth).expect("encode");
         let decoded: Envelope<AnyMsg> =
             read_frame(&mut frame.as_slice(), &auth, env.to).expect("decode");
         prop_assert_eq!(&decoded, &env);
+    }
+
+    /// Codec v5: the envelope's optional trace context — absent,
+    /// present at hop 0, and at the hop saturation point — survives
+    /// the codec verbatim, independent of the body it rides on.
+    #[test]
+    fn trace_context_round_trips(seed in 0u64..u64::MAX, kind in 0u64..3) {
+        let mut rng = proptest::rng_for(&format!("codec-trace-{seed}"));
+        let auth = FrameAuth::from_seed(0);
+        let trace = match kind {
+            0 => None,
+            1 => Some(TraceContext::new(ringbft_types::trace::trace_id_for(
+                arb_u64(&mut rng, 1 << 40),
+            ))),
+            _ => Some(TraceContext {
+                trace_id: 1 + arb_u64(&mut rng, u64::MAX - 1),
+                hop: u32::MAX,
+            }),
+        };
+        let env = Envelope {
+            from: arb_node(&mut rng),
+            to: arb_node(&mut rng),
+            msg: arb_any_msg(&mut rng),
+            trace,
+        };
+        let frame = encode_frame(&env, &auth).expect("encode");
+        let decoded: Envelope<AnyMsg> =
+            read_frame(&mut frame.as_slice(), &auth, env.to).expect("decode");
+        prop_assert_eq!(decoded.trace, trace);
+        // Saturating the hop counter must be a fixed point, so relay
+        // loops cannot overflow it back to a plausible small value.
+        if let Some(t) = decoded.trace {
+            if t.hop == u32::MAX {
+                prop_assert_eq!(t.next_hop().hop, u32::MAX);
+            }
+        }
     }
 
     /// Truncating a frame anywhere is detected, never mis-decoded.
@@ -444,6 +504,7 @@ proptest! {
             from: arb_node(&mut rng),
             to: arb_node(&mut rng),
             msg: arb_any_msg(&mut rng),
+            trace: arb_trace(&mut rng),
         };
         let frame = encode_frame(&env, &auth).expect("encode");
         let cut = (frame.len() as u64 * cut_frac / 1000) as usize;
@@ -467,6 +528,7 @@ proptest! {
             from: arb_node(&mut rng),
             to: arb_node(&mut rng),
             msg: arb_any_msg(&mut rng),
+            trace: arb_trace(&mut rng),
         };
         let mut frame = encode_frame(&env, &auth).expect("encode");
         let pos = (frame.len() as u64 * pos_frac / 1000) as usize;

@@ -1,0 +1,115 @@
+//! Causal-tracing acceptance over real sockets: a loopback TCP cluster
+//! produces an assembled multi-shard cst timeline for a sampled
+//! transaction, and the live telemetry endpoint serves the same
+//! registry counters the exit snapshot reports.
+
+use ringbft_net::telemetry::http_get;
+use ringbft_net::LocalCluster;
+use ringbft_obs::SpanCollector;
+use ringbft_types::{ProtocolKind, ReplicaId, ShardId, SystemConfig};
+use std::time::Duration;
+
+fn tracing_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 2, 4);
+    cfg.num_keys = 2_000;
+    cfg.clients = 8;
+    cfg.batch_size = 1;
+    cfg.cross_shard_rate = 1.0; // every transaction crosses shards
+    cfg.involved_shards = 2;
+    cfg.remote_reads = 1; // complex csts: both ring rotations run
+    cfg.trace_sample_rate = 1; // sample everything
+    cfg
+}
+
+/// Tentpole acceptance (TCP half): sampled cross-shard transactions on
+/// a real-socket cluster leave spans in every involved replica's trace
+/// ring, the rings assemble into a timeline with ≥ 2 shards and ≥ 3
+/// phases per shard, and both scrape routes serve live data off the
+/// reactor.
+#[test]
+fn live_cluster_assembles_timeline_and_serves_scrapes() {
+    let mut cluster = LocalCluster::launch(tracing_cfg()).expect("launch cluster");
+    let host = cluster
+        .spawn_workload_host(42, 1_000_000, 8)
+        .expect("spawn workload");
+    assert!(
+        cluster.wait_until(Duration::from_secs(60), |c| c.total_completions() >= 40),
+        "cluster never completed 40 transactions"
+    );
+
+    // Live scrape endpoint, served directly off replica S0r0's reactor.
+    let r = ReplicaId::new(ShardId(0), 0);
+    let addr = cluster.serve_replica_telemetry(r).expect("serve telemetry");
+
+    let (status, body) = http_get(addr, "/metrics").expect("scrape /metrics");
+    assert_eq!(status, 200, "scrape failed: {body}");
+    assert!(body.contains("\"id\":\"S0r0\""), "wrong node: {body}");
+    // Phase histograms are registered and populated under load.
+    assert!(
+        body.contains("\"phase.preprepare_commit\":{\"count\":"),
+        "no phase histograms in scrape: {body}"
+    );
+    assert!(
+        !body.contains("\"phase.preprepare_commit\":{\"count\":0,"),
+        "phase histograms empty under load"
+    );
+
+    let (status, _) = http_get(addr, "/no-such-route").expect("scrape 404");
+    assert_eq!(status, 404);
+
+    // The trace-dump route feeds the span collector directly.
+    let (status, dump) = http_get(addr, "/trace").expect("scrape /trace");
+    assert_eq!(status, 200);
+    let mut from_dump = SpanCollector::new();
+    from_dump.ingest_dump(&dump);
+    assert!(
+        !from_dump.is_empty(),
+        "trace route dumped no spans:\n{dump}"
+    );
+
+    // Stop the workload so the cluster quiesces, then require a live
+    // scrape whose registry section byte-for-byte equals the snapshot
+    // taken through the exit path (`AnyNode::metrics_json`).
+    assert!(cluster.shutdown_client(host), "unclean client shutdown");
+    let mut converged = false;
+    for _ in 0..50 {
+        let (_, scrape) = http_get(addr, "/metrics").expect("scrape /metrics");
+        let direct = cluster
+            .with_replica(r, |n| n.metrics_json())
+            .expect("ring replica is instrumented");
+        if scrape.contains(&direct) {
+            converged = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        converged,
+        "live scrape never matched the exit-snapshot registry"
+    );
+
+    // Assemble cross-shard timelines from every replica's trace ring —
+    // the same rings the /trace route dumps.
+    let mut collector = SpanCollector::new();
+    for rt in cluster.replica_runtimes() {
+        rt.with_node(|n| {
+            if let Some(obs) = n.ring_obs() {
+                for (_, ev) in obs.trace.iter() {
+                    collector.ingest_event(ev);
+                }
+            }
+        });
+    }
+    let full = collector
+        .timelines()
+        .into_iter()
+        .find(|t| {
+            let shards = t.shards();
+            shards.len() >= 2 && shards.iter().all(|&s| t.phases_of(s).len() >= 3)
+        })
+        .expect("no timeline with >= 2 shards and >= 3 phases per shard");
+    assert!(full.max_hop() >= 1, "timeline never left the initiator");
+    assert!(full.critical_path_ns() > 0);
+
+    assert!(cluster.shutdown(), "unclean cluster shutdown");
+}

@@ -21,10 +21,12 @@
 
 mod hist;
 mod registry;
+mod span;
 mod trace;
 
 pub mod json;
 
 pub use hist::Histogram;
 pub use registry::{histogram_json, CounterId, GaugeId, HistId, Registry};
+pub use span::{SpanCollector, SpanRecord, SpanTimeline};
 pub use trace::{TraceEvent, TraceRing};

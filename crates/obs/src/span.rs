@@ -1,0 +1,376 @@
+//! Cross-shard span assembly: per-transaction causal timelines.
+//!
+//! Replicas stamp `"span"` events into their [`crate::TraceRing`]s — one
+//! per timed pipeline phase of a *sampled* transaction, carrying the
+//! 64-bit trace id, the replica's ring-hop position, a phase index, and
+//! node-local start/duration nanoseconds. The [`SpanCollector`] ingests
+//! those events from any number of rings (live [`crate::TraceEvent`]s or
+//! parsed JSON-line dumps, in any order) and assembles one
+//! [`SpanTimeline`] per trace id.
+//!
+//! Ordering is **hop-relative**: spans sort by `(hop, phase, shard,
+//! replica)`, never by comparing the node-local clocks of different
+//! nodes. Replicas have no synchronized time base (the TCP driver's
+//! reactors each count from their own epoch), so cross-node `t_ns`
+//! comparisons are meaningless; the hop counter carried by the Forward
+//! chain is the causal order the ring topology guarantees. Within one
+//! node the start/duration pair is still meaningful and is what the
+//! per-phase breakdown reports.
+
+use std::collections::BTreeMap;
+
+/// One timed pipeline phase of a sampled transaction at one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The transaction's 64-bit trace id (never 0).
+    pub trace_id: u64,
+    /// Ring-hop position of the stamping shard (0 = initiator).
+    pub hop: u32,
+    /// Phase index (the stamping crate's pipeline order; RingBFT uses
+    /// `ringbft_core::Phase::ALL` positions).
+    pub phase: u64,
+    /// Stamping replica's shard.
+    pub shard: u64,
+    /// Stamping replica's index within the shard.
+    pub replica: u64,
+    /// Node-local monotonic start, nanoseconds. Only comparable to
+    /// other spans from the *same* replica.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// The assembled causal timeline of one traced transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTimeline {
+    /// The transaction's trace id.
+    pub trace_id: u64,
+    /// Spans in hop-relative order: `(hop, phase, shard, replica)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl SpanTimeline {
+    /// Highest ring-hop position observed.
+    pub fn max_hop(&self) -> u32 {
+        self.spans.iter().map(|s| s.hop).max().unwrap_or(0)
+    }
+
+    /// Distinct shards that stamped at least one span.
+    pub fn shards(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.spans.iter().map(|s| s.shard).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct phase indices stamped by `shard`.
+    pub fn phases_of(&self, shard: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .spans
+            .iter()
+            .filter(|s| s.shard == shard)
+            .map(|s| s.phase)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Critical-path estimate: within each `(hop, phase)` step the
+    /// *maximum* duration any replica reported (consensus steps complete
+    /// when their slowest contributor does), summed across steps. Hops
+    /// pipeline in causal order, so the sum bounds end-to-end ring time
+    /// without ever comparing clocks across nodes.
+    pub fn critical_path_ns(&self) -> u64 {
+        let mut worst: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        for s in &self.spans {
+            let w = worst.entry((s.hop, s.phase)).or_insert(0);
+            *w = (*w).max(s.dur_ns);
+        }
+        worst.values().sum()
+    }
+}
+
+/// Span dedup key within one trace: `(hop, phase, shard, replica)`.
+type SpanKey = (u32, u64, u64, u64);
+
+/// Assembles [`SpanTimeline`]s from span events arriving in any order,
+/// possibly duplicated (a ring dumped twice, a replica's dump re-read).
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    /// trace id → dedup key → record.
+    by_trace: BTreeMap<u64, BTreeMap<SpanKey, SpanRecord>>,
+    duplicates: u64,
+    ignored: u64,
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    pub fn new() -> SpanCollector {
+        SpanCollector::default()
+    }
+
+    /// Adds one span record. Duplicates — same `(trace, hop, phase,
+    /// shard, replica)` — are dropped and counted; the first arrival
+    /// wins (replicas never re-stamp a span with different timings, so
+    /// arrival order does not matter).
+    pub fn add(&mut self, rec: SpanRecord) {
+        if rec.trace_id == 0 {
+            self.ignored += 1;
+            return;
+        }
+        let key = (rec.hop, rec.phase, rec.shard, rec.replica);
+        let slot = self.by_trace.entry(rec.trace_id).or_default();
+        match slot.entry(key) {
+            std::collections::btree_map::Entry::Occupied(_) => self.duplicates += 1,
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(rec);
+            }
+        }
+    }
+
+    /// Ingests one live trace event; non-`"span"` kinds are counted as
+    /// ignored. Returns whether the event was a span.
+    pub fn ingest_event(&mut self, ev: &crate::TraceEvent) -> bool {
+        if ev.kind != "span" {
+            self.ignored += 1;
+            return false;
+        }
+        let get = |name: &str| {
+            ev.fields
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        self.add(SpanRecord {
+            trace_id: get("trace"),
+            hop: get("hop") as u32,
+            phase: get("phase"),
+            shard: get("shard"),
+            replica: get("replica"),
+            start_ns: get("start_ns"),
+            dur_ns: get("dur_ns"),
+        });
+        true
+    }
+
+    /// Ingests a [`crate::TraceRing::dump_jsonl`] dump: one event per
+    /// line, `{"i":..,"t_ns":..,"ev":"kind",fields...}`. Lines that are
+    /// not span events (or not parseable as our dump format) are counted
+    /// as ignored, so a mixed ring dumps straight into the collector.
+    pub fn ingest_dump(&mut self, dump: &str) {
+        for line in dump.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_dump_line(line) {
+                Some(rec) => self.add(rec),
+                None => self.ignored += 1,
+            }
+        }
+    }
+
+    /// Span events dropped because an identical one was already held.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Events skipped (non-span kinds, unparseable lines, zero ids).
+    pub fn ignored(&self) -> u64 {
+        self.ignored
+    }
+
+    /// Distinct trace ids with at least one span.
+    pub fn len(&self) -> usize {
+        self.by_trace.len()
+    }
+
+    /// True when no spans were collected.
+    pub fn is_empty(&self) -> bool {
+        self.by_trace.is_empty()
+    }
+
+    /// The assembled timeline for one trace id.
+    pub fn timeline(&self, trace_id: u64) -> Option<SpanTimeline> {
+        self.by_trace.get(&trace_id).map(|m| SpanTimeline {
+            trace_id,
+            spans: m.values().copied().collect(),
+        })
+    }
+
+    /// All timelines, ordered by trace id; spans within each ordered
+    /// hop-relatively (the dedup key *is* the sort key).
+    pub fn timelines(&self) -> Vec<SpanTimeline> {
+        self.by_trace
+            .keys()
+            .map(|&t| self.timeline(t).expect("key present"))
+            .collect()
+    }
+}
+
+/// Parses one dump line of our own JSONL format into a span record.
+/// Returns `None` for anything that is not a span event. This is not a
+/// general JSON parser: it relies on `ObjectWriter`'s output shape
+/// (flat object, `"key":value` pairs, no nesting, no whitespace).
+fn parse_dump_line(line: &str) -> Option<SpanRecord> {
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    if !body.contains("\"ev\":\"span\"") {
+        return None;
+    }
+    let field = |name: &str| -> Option<u64> {
+        let pat = format!("\"{name}\":");
+        let at = body.find(&pat)? + pat.len();
+        let rest = &body[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].parse::<u64>().ok()
+    };
+    Some(SpanRecord {
+        trace_id: field("trace")?,
+        hop: field("hop")? as u32,
+        phase: field("phase")?,
+        shard: field("shard")?,
+        replica: field("replica")?,
+        start_ns: field("start_ns")?,
+        dur_ns: field("dur_ns")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRing;
+
+    fn rec(trace: u64, hop: u32, phase: u64, shard: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            hop,
+            phase,
+            shard,
+            replica: 0,
+            start_ns: 1_000,
+            dur_ns: dur,
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrival_assembles_hop_ordered_timeline() {
+        let mut c = SpanCollector::new();
+        // Arrive scrambled: hop 1 before hop 0, late phase before early.
+        c.add(rec(7, 1, 5, 1, 30));
+        c.add(rec(7, 0, 1, 0, 10));
+        c.add(rec(7, 1, 1, 1, 20));
+        c.add(rec(7, 0, 0, 0, 5));
+        let t = c.timeline(7).expect("assembled");
+        let order: Vec<(u32, u64)> = t.spans.iter().map(|s| (s.hop, s.phase)).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 1), (1, 5)]);
+        assert_eq!(t.max_hop(), 1);
+        assert_eq!(t.shards(), vec![0, 1]);
+    }
+
+    #[test]
+    fn clock_skew_across_shards_does_not_affect_order() {
+        let mut c = SpanCollector::new();
+        // Shard 1's clock is wildly ahead of shard 0's: hop order must
+        // still win over any start_ns comparison.
+        let mut early_hop_late_clock = rec(9, 0, 1, 0, 10);
+        early_hop_late_clock.start_ns = 0;
+        let mut late_hop_early_clock = rec(9, 1, 1, 1, 10);
+        late_hop_early_clock.start_ns = u64::MAX / 2;
+        c.add(late_hop_early_clock);
+        c.add(early_hop_late_clock);
+        let t = c.timeline(9).expect("assembled");
+        assert_eq!(t.spans[0].hop, 0);
+        assert_eq!(t.spans[1].hop, 1);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_and_counted() {
+        let mut c = SpanCollector::new();
+        c.add(rec(3, 0, 1, 0, 10));
+        c.add(rec(3, 0, 1, 0, 10)); // same ring dumped twice
+        c.add(rec(3, 0, 1, 1, 10)); // different shard: kept
+        assert_eq!(c.duplicates(), 1);
+        assert_eq!(c.timeline(3).expect("assembled").spans.len(), 2);
+    }
+
+    #[test]
+    fn distinct_replicas_of_one_shard_are_kept_for_critical_path() {
+        let mut c = SpanCollector::new();
+        for (replica, dur) in [(0u64, 10u64), (1, 40), (2, 20)] {
+            c.add(SpanRecord {
+                replica,
+                ..rec(4, 0, 1, 0, dur)
+            });
+        }
+        let t = c.timeline(4).expect("assembled");
+        assert_eq!(t.spans.len(), 3);
+        // One (hop, phase) step: critical path is its slowest replica.
+        assert_eq!(t.critical_path_ns(), 40);
+    }
+
+    #[test]
+    fn critical_path_sums_worst_replica_per_step() {
+        let mut c = SpanCollector::new();
+        c.add(rec(5, 0, 1, 0, 100));
+        c.add(SpanRecord {
+            replica: 1,
+            ..rec(5, 0, 1, 0, 300)
+        });
+        c.add(rec(5, 1, 1, 1, 50));
+        assert_eq!(
+            c.timeline(5).expect("assembled").critical_path_ns(),
+            300 + 50
+        );
+    }
+
+    #[test]
+    fn zero_trace_ids_are_ignored() {
+        let mut c = SpanCollector::new();
+        c.add(rec(0, 0, 1, 0, 10));
+        assert!(c.is_empty());
+        assert_eq!(c.ignored(), 1);
+    }
+
+    #[test]
+    fn ring_dump_round_trips_through_the_parser() {
+        let mut ring = TraceRing::new(16);
+        ring.push(500, "view_entered", &[("view", 3)]); // ignored
+        ring.push(
+            1_000,
+            "span",
+            &[
+                ("trace", 77),
+                ("hop", 1),
+                ("phase", 4),
+                ("shard", 2),
+                ("replica", 3),
+                ("start_ns", 900),
+                ("dur_ns", 100),
+            ],
+        );
+        let mut c = SpanCollector::new();
+        c.ingest_dump(&ring.dump_jsonl());
+        assert_eq!(c.ignored(), 1);
+        let t = c.timeline(77).expect("assembled");
+        assert_eq!(
+            t.spans[0],
+            SpanRecord {
+                trace_id: 77,
+                hop: 1,
+                phase: 4,
+                shard: 2,
+                replica: 3,
+                start_ns: 900,
+                dur_ns: 100,
+            }
+        );
+        // Live ingestion of the same ring is idempotent with the dump.
+        for (_, ev) in ring.iter() {
+            c.ingest_event(ev);
+        }
+        assert_eq!(c.duplicates(), 1);
+        assert_eq!(c.timeline(77).expect("assembled").spans.len(), 1);
+    }
+}

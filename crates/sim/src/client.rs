@@ -29,6 +29,11 @@ pub struct Completion {
     pub sent: Instant,
     /// When the reply quorum completed.
     pub done: Instant,
+    /// The trace context the client stamped on the transaction, when it
+    /// was sampled (`SystemConfig::trace_sample_rate`).
+    pub trace: Option<ringbft_types::TraceContext>,
+    /// True when the transaction involved more than one shard.
+    pub cross_shard: bool,
 }
 
 struct InFlight {
@@ -151,7 +156,15 @@ impl SimClient {
     }
 
     fn issue(&mut self, now: Instant, client: ClientId, out: &mut Outbox<AnyMsg>) {
-        let txn = self.gen.next_txn(client);
+        let mut txn = self.gen.next_txn(client);
+        // Causal tracing: deterministically sample by transaction id so
+        // every driver (sim, TCP, tests) agrees on which transactions
+        // carry a trace without coordination.
+        if ringbft_types::trace::sampled(txn.id.0, self.cfg.trace_sample_rate) {
+            txn.trace = Some(ringbft_types::TraceContext::new(
+                ringbft_types::trace::trace_id_for(txn.id.0),
+            ));
+        }
         let id = txn.id;
         let target = self.target_for(&txn);
         let txn = Arc::new(txn);
@@ -234,6 +247,8 @@ impl SimClient {
             self.completions.push(Completion {
                 sent: fl.sent,
                 done: now,
+                trace: fl.txn.trace,
+                cross_shard: fl.txn.involved_shards().len() > 1,
             });
             // Closed loop: the logical client immediately issues its next
             // transaction.

@@ -188,6 +188,15 @@ impl SimMessage for AnyMsg {
         };
         protocol_cost + FRAME_MAC_VERIFY
     }
+
+    fn trace_context(&self) -> Option<ringbft_types::TraceContext> {
+        // Only RingBFT traffic is causally traced; the baselines run
+        // without instrumentation (their numbers are comparison-only).
+        match self {
+            AnyMsg::Ring(m) => m.trace_context(),
+            AnyMsg::Sharded(_) | AnyMsg::Ss(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +239,7 @@ mod tests {
             from_shard: ShardId(0),
             cert_signers: (0..19).collect(),
             deps: vec![],
+            hop: 0,
         }));
         assert_eq!(fwd.wire_bytes(), 6147);
         let prep = AnyMsg::Ring(RingMsg::Pbft(PbftMsg::Prepare {

@@ -7,7 +7,7 @@ use crate::client::{reply_quorum, SimClient};
 use crate::msg::AnyMsg;
 use crate::nodes::AnyNode;
 use ringbft_core::{Phase, RingMsg};
-use ringbft_obs::Histogram;
+use ringbft_obs::{Histogram, SpanCollector, SpanTimeline};
 use ringbft_pbft::PbftMsg;
 use ringbft_simnet::{FaultPlan, Topology, World};
 use ringbft_types::{ClientId, Duration, Instant, NodeId, Region, ReplicaId, SystemConfig};
@@ -125,6 +125,72 @@ pub struct PhaseReport {
     pub p99_s: f64,
 }
 
+/// One sampled cross-shard transaction's assembled ring-hop timeline.
+#[derive(Debug, Clone)]
+pub struct CstTimeline {
+    /// The transaction's 64-bit trace id.
+    pub trace_id: u64,
+    /// Client-observed end-to-end latency in seconds (`None` when the
+    /// transaction completed outside the run or its completion record
+    /// was not matched).
+    pub client_s: Option<f64>,
+    /// Highest ring-hop position stamped.
+    pub hops: u32,
+    /// Shards that stamped at least one span.
+    pub shards: Vec<u64>,
+    /// Ring-hop breakdown in causal order: per `(hop, phase)` step the
+    /// worst duration any replica reported, in seconds.
+    pub steps: Vec<(u32, &'static str, f64)>,
+    /// Critical-path estimate (sum of the steps), seconds.
+    pub critical_path_s: f64,
+    /// The raw assembled spans, for callers wanting other cuts.
+    pub timeline: SpanTimeline,
+}
+
+/// Cross-shard causal-tracing summary of one run.
+#[derive(Debug, Clone, Default)]
+pub struct TracingReport {
+    /// Configured sample rate (`SystemConfig::trace_sample_rate`; 0 =
+    /// tracing off, and the rest of this report is empty).
+    pub sample_rate: u64,
+    /// Completed transactions that carried a trace context.
+    pub sampled_txns: u64,
+    /// Sampled *cross-shard* transactions with an assembled timeline.
+    pub sampled_csts: u64,
+    /// Mean highest-hop across sampled cst timelines.
+    pub mean_hops: f64,
+    /// Duplicate span events dropped during assembly.
+    pub duplicate_spans: u64,
+    /// Assembled sampled-cst timelines, ordered by trace id.
+    pub csts: Vec<CstTimeline>,
+    /// Critical-path summary of the p99 client-latency bucket: per
+    /// `(hop, phase)` step, the mean worst-replica duration (seconds)
+    /// across the sampled csts at or above the p99 latency.
+    pub p99_critical_path: Vec<(u32, &'static str, f64)>,
+}
+
+/// Registry name of a span's phase index (RingBFT pipeline order).
+fn phase_name(idx: u64) -> &'static str {
+    Phase::ALL
+        .get(idx as usize)
+        .map(|p| p.name())
+        .unwrap_or("phase.unknown")
+}
+
+/// Ring-hop breakdown of one timeline: per `(hop, phase)` step the
+/// worst duration any replica reported, in causal order.
+fn timeline_steps(t: &SpanTimeline) -> Vec<(u32, &'static str, f64)> {
+    let mut worst: std::collections::BTreeMap<(u32, u64), u64> = std::collections::BTreeMap::new();
+    for s in &t.spans {
+        let w = worst.entry((s.hop, s.phase)).or_insert(0);
+        *w = (*w).max(s.dur_ns);
+    }
+    worst
+        .into_iter()
+        .map(|((hop, phase), ns)| (hop, phase_name(phase), ns as f64 / 1e9))
+        .collect()
+}
+
 /// Metrics of one scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -160,6 +226,9 @@ pub struct ScenarioReport {
     pub messages_sent: u64,
     /// Bytes sent on the simulated network.
     pub bytes_sent: u64,
+    /// Cross-shard causal-tracing summary (sampled-cst timelines and
+    /// the p99 critical path). Empty when `trace_sample_rate` is 0.
+    pub tracing: TracingReport,
     /// Crash/blank-restart recovery metrics, when configured.
     pub recovery: Option<RecoveryReport>,
     /// Commit-hole repair metrics, one per injected hole.
@@ -451,6 +520,88 @@ impl Scenario {
                 }
             }
         }
+
+        // Cross-shard causal tracing: assemble per-transaction timelines
+        // from every replica's trace ring (hop-relative ordering — the
+        // collector never compares node-local clocks across replicas).
+        let mut spans = SpanCollector::new();
+        for (_, node) in world.nodes() {
+            if let Some(obs) = node.ring_obs() {
+                for (_, ev) in obs.trace.iter() {
+                    spans.ingest_event(ev);
+                }
+            }
+        }
+        let mut client_lat: std::collections::HashMap<u64, (f64, bool)> =
+            std::collections::HashMap::new();
+        let mut sampled_txns = 0u64;
+        for c in &completions {
+            if let Some(t) = c.trace {
+                sampled_txns += 1;
+                client_lat.insert(
+                    t.trace_id,
+                    (c.done.since(c.sent).as_secs_f64(), c.cross_shard),
+                );
+            }
+        }
+        let csts: Vec<CstTimeline> = spans
+            .timelines()
+            .into_iter()
+            .filter(|t| {
+                // Cross-shard: either the client said so, or the spans
+                // themselves straddle shards (completion may be missing
+                // for txns still in flight at the end of the run).
+                client_lat
+                    .get(&t.trace_id)
+                    .map(|(_, cs)| *cs)
+                    .unwrap_or_else(|| t.shards().len() > 1)
+            })
+            .map(|t| CstTimeline {
+                trace_id: t.trace_id,
+                client_s: client_lat.get(&t.trace_id).map(|(s, _)| *s),
+                hops: t.max_hop(),
+                shards: t.shards(),
+                steps: timeline_steps(&t),
+                critical_path_s: t.critical_path_ns() as f64 / 1e9,
+                timeline: t,
+            })
+            .collect();
+        let mean_hops = if csts.is_empty() {
+            0.0
+        } else {
+            csts.iter().map(|c| c.hops as f64).sum::<f64>() / csts.len() as f64
+        };
+        // p99 bucket: sampled csts at or above the p99 of their own
+        // client latencies; summarize the mean worst-replica duration
+        // per (hop, phase) step across the bucket.
+        let mut lat_sorted: Vec<f64> = csts.iter().filter_map(|c| c.client_s).collect();
+        lat_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let p99_critical_path = if lat_sorted.is_empty() {
+            Vec::new()
+        } else {
+            let thr = lat_sorted[(lat_sorted.len() - 1).min(lat_sorted.len() * 99 / 100)];
+            let mut acc: std::collections::BTreeMap<(u32, &'static str), (f64, u64)> =
+                std::collections::BTreeMap::new();
+            for c in csts.iter().filter(|c| c.client_s.is_some_and(|s| s >= thr)) {
+                for (hop, name, s) in &c.steps {
+                    let e = acc.entry((*hop, name)).or_insert((0.0, 0));
+                    e.0 += s;
+                    e.1 += 1;
+                }
+            }
+            acc.into_iter()
+                .map(|((hop, name), (sum, n))| (hop, name, sum / n as f64))
+                .collect()
+        };
+        let tracing = TracingReport {
+            sample_rate: cfg.trace_sample_rate,
+            sampled_txns,
+            sampled_csts: csts.len() as u64,
+            mean_hops,
+            duplicate_spans: spans.duplicates(),
+            csts,
+            p99_critical_path,
+        };
         let phases: Vec<PhaseReport> = phase_hists
             .iter()
             .filter(|(_, h)| h.count() > 0)
@@ -610,6 +761,7 @@ impl Scenario {
             view_changes: world.view_log.len(),
             messages_sent: world.stats.messages_sent,
             bytes_sent: world.stats.bytes_sent,
+            tracing,
             recovery,
             holes,
             delta_transfers,

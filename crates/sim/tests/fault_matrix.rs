@@ -144,6 +144,83 @@ fn commit_hole_repaired_by_certificate_fetch() {
     );
 }
 
+/// Extracts a numeric field from one JSON-lines trace event
+/// (`{"i":…,"ev":"hole_filled","seq":5,"trace":…}`).
+fn event_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Repair observability: with tracing at full sampling, the commit-hole
+/// repair is *correlated into the sampled transaction's causal
+/// timeline* — the donor stamps `hole_serve` and the victim stamps
+/// `hole_filled`, both carrying the repaired batch's trace id, and the
+/// span collector assembles a cross-shard timeline for that same id.
+/// A short run keeps the early repair events inside every ring.
+#[test]
+fn commit_hole_repair_is_traced() {
+    let mut cfg = fault_cfg(2);
+    cfg.cross_shard_rate = 1.0; // the hole batch is certainly a cst
+    cfg.involved_shards = 2;
+    cfg.trace_sample_rate = 1; // …and certainly sampled
+    let victim = ReplicaId::new(ShardId(0), 2);
+    let mut dump = TraceDump::new("commit_hole_repair_is_traced");
+    let report = Scenario::new(cfg, seed())
+        .warmup_secs(1.0)
+        .measure_secs(2.0)
+        .with_commit_hole(victim, 5)
+        .run();
+    dump.arm(&report);
+    let h = &report.holes[0];
+    assert!(h.holes_filled >= 1, "hole never repaired: {h:?}");
+
+    // The victim recorded the repair, tagged with the batch's trace id.
+    let victim_name = victim.to_string();
+    let (_, victim_ring) = report
+        .traces
+        .iter()
+        .find(|(n, _)| *n == victim_name)
+        .expect("victim's trace ring in the report");
+    let filled = victim_ring
+        .lines()
+        .find(|l| l.contains("\"ev\":\"hole_filled\""))
+        .expect("hole_filled event evicted from the victim's ring");
+    let trace_id =
+        event_field(filled, "trace").expect("hole_filled not correlated with the batch's trace id");
+
+    // A donor recorded serving the certificate for the same trace.
+    assert!(
+        report.traces.iter().any(|(n, ring)| {
+            *n != victim_name
+                && ring.lines().any(|l| {
+                    l.contains("\"ev\":\"hole_serve\"") && event_field(l, "trace") == Some(trace_id)
+                })
+        }),
+        "no donor hole_serve event correlated with trace {trace_id}"
+    );
+
+    // And the same trace id assembles into a cross-shard timeline: the
+    // repair hop is attributable to a specific sampled cst's journey.
+    let t = report
+        .tracing
+        .csts
+        .iter()
+        .find(|t| t.trace_id == trace_id)
+        .expect("repaired cst's timeline was not assembled");
+    assert!(
+        t.shards.len() >= 2,
+        "repaired txn's timeline never left its shard: {t:?}"
+    );
+    assert!(
+        !t.steps.is_empty() && t.critical_path_s > 0.0,
+        "repaired txn's timeline has no timed steps: {t:?}"
+    );
+}
+
 /// Cadence acceptance: `f` laggards *per shard* (f = 1 at n = 4), each
 /// wedged on its own missed sequence, must not stall the checkpoint
 /// cadence — and each must recover via hole fetch. This is exactly the

@@ -1,0 +1,106 @@
+//! Cross-shard causal-tracing acceptance on the simulated WAN: sampled
+//! transactions produce assembled multi-shard timelines with per-shard
+//! phase spans, hop-relative ordering, and a p99 critical-path summary.
+
+use ringbft_sim::Scenario;
+use ringbft_types::{ProtocolKind, SystemConfig};
+
+fn tracing_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 2, 4);
+    cfg.num_keys = 2_000;
+    cfg.clients = 8;
+    cfg.batch_size = 1;
+    cfg.cross_shard_rate = 1.0; // every transaction crosses shards
+    cfg.involved_shards = 2;
+    cfg.remote_reads = 1; // complex csts: both ring rotations run
+    cfg.trace_sample_rate = 1; // sample everything
+    cfg
+}
+
+/// Tentpole acceptance (sim half): a sampled cross-shard transaction's
+/// timeline assembles from the replica trace rings with ≥ 2 shards and
+/// ≥ 3 phases per shard, hops grouped in causal order.
+#[test]
+fn sim_scenario_assembles_multi_shard_cst_timeline() {
+    let report = Scenario::new(tracing_cfg(), 7)
+        .warmup_secs(1.0)
+        .measure_secs(3.0)
+        .run();
+    let tr = &report.tracing;
+    assert_eq!(tr.sample_rate, 1);
+    assert!(tr.sampled_txns > 0, "no sampled completions");
+    assert!(tr.sampled_csts > 0, "no sampled cst timelines assembled");
+    assert!(tr.mean_hops > 0.0, "csts never left the initiator shard");
+
+    // At least one fully-assembled timeline: both shards stamped at
+    // least three pipeline phases for the same transaction.
+    let full = tr
+        .csts
+        .iter()
+        .find(|c| {
+            c.shards.len() >= 2 && c.shards.iter().all(|&s| c.timeline.phases_of(s).len() >= 3)
+        })
+        .expect("no timeline with >= 2 shards and >= 3 phases per shard");
+    assert!(full.hops >= 1);
+    assert!(full.critical_path_s > 0.0);
+    // The ring-hop breakdown is causally ordered: hops never decrease.
+    let hops: Vec<u32> = full.steps.iter().map(|(h, _, _)| *h).collect();
+    assert!(
+        hops.windows(2).all(|w| w[0] <= w[1]),
+        "steps not hop-ordered: {hops:?}"
+    );
+    // Every step carries a real duration name and a finite duration.
+    for (_, name, secs) in &full.steps {
+        assert!(name.starts_with("phase."), "unexpected step name {name}");
+        assert!(secs.is_finite() && *secs >= 0.0);
+    }
+
+    // The p99 summary exists. (Its bucket may hold old transactions
+    // whose spans were partially evicted from the bounded rings, so the
+    // forward hop is asserted on the assembled timelines instead.)
+    assert!(
+        !tr.p99_critical_path.is_empty(),
+        "no p99 critical-path summary"
+    );
+    assert!(
+        tr.csts.iter().any(|c| c
+            .steps
+            .iter()
+            .any(|(_, name, _)| *name == "phase.cst_forward")),
+        "no timeline recorded the ring-forward step"
+    );
+}
+
+/// Tracing off (`trace_sample_rate = 0`) stamps nothing: no spans, no
+/// timelines, and transactions still complete.
+#[test]
+fn disabled_sampling_produces_no_timelines() {
+    let mut cfg = tracing_cfg();
+    cfg.trace_sample_rate = 0;
+    let report = Scenario::new(cfg, 7)
+        .warmup_secs(1.0)
+        .measure_secs(2.0)
+        .run();
+    assert!(report.completed_txns > 0);
+    assert_eq!(report.tracing.sampled_txns, 0);
+    assert_eq!(report.tracing.sampled_csts, 0);
+    assert!(report.tracing.csts.is_empty());
+}
+
+/// Sampling is a rate, not a toggle: at rate N roughly 1/N of the
+/// completions carry a trace, and each sampled cst still assembles.
+#[test]
+fn sparse_sampling_still_assembles() {
+    let mut cfg = tracing_cfg();
+    cfg.trace_sample_rate = 16;
+    let report = Scenario::new(cfg, 11)
+        .warmup_secs(1.0)
+        .measure_secs(3.0)
+        .run();
+    assert!(report.completed_txns > 0);
+    assert!(
+        report.tracing.sampled_txns < report.completed_txns,
+        "rate-16 sampling should mark a strict subset"
+    );
+    assert!(report.tracing.sampled_csts > 0);
+}

@@ -206,6 +206,15 @@ pub struct SystemConfig {
     /// ring structure and hence every deadlock-freedom argument.
     #[serde(default)]
     pub ring_offset: u32,
+    /// Causal-trace sampling rate: one in `trace_sample_rate`
+    /// transactions carries a trace context and has spans stamped at
+    /// every hop (`0` disables tracing, `1` traces everything). The
+    /// decision is deterministic in the transaction id
+    /// (`trace::sampled`), so both drivers and every replica agree on
+    /// which transactions are traced. Configs predating the knob
+    /// deserialize to `0` (off).
+    #[serde(default)]
+    pub trace_sample_rate: u64,
 }
 
 impl SystemConfig {
@@ -238,6 +247,7 @@ impl SystemConfig {
             reactor_shards: 1,
             ablation_quadratic_forward: false,
             ring_offset: 0,
+            trace_sample_rate: 64,
         }
     }
 

@@ -19,6 +19,7 @@ pub mod region;
 pub mod ring;
 pub mod sansio;
 pub mod time;
+pub mod trace;
 pub mod txn;
 pub mod wire;
 
@@ -29,4 +30,5 @@ pub use region::Region;
 pub use ring::RingOrder;
 pub use sansio::{Action, Outbox, ProtocolNode, TimerKind};
 pub use time::{Duration, Instant};
+pub use trace::TraceContext;
 pub use txn::{Batch, BatchId, Operation, OperationKind, ReadWriteSet, Transaction, TxnId};

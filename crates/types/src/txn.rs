@@ -10,6 +10,7 @@
 //! updated write sets `Σ` carried in Execute messages (§4.3.7, §8.8).
 
 use crate::ids::{ClientId, ShardId};
+use crate::trace::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -99,6 +100,12 @@ pub struct Transaction {
     pub ops: Vec<Operation>,
     /// Cross-shard read dependencies (empty for simple transactions).
     pub remote_reads: Vec<RemoteRead>,
+    /// Causal trace context, present only on sampled transactions. The
+    /// client assigns it at issue time; it rides the transaction through
+    /// batches, consensus, and ring Forwards so every replica can stamp
+    /// spans under one trace id.
+    #[serde(default)]
+    pub trace: Option<TraceContext>,
 }
 
 impl Transaction {
@@ -111,6 +118,7 @@ impl Transaction {
             client,
             ops,
             remote_reads: Vec::new(),
+            trace: None,
         }
     }
 

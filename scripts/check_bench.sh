@@ -63,6 +63,21 @@ if ! grep -q '"delta_vs_full_ok": true' "$OUT"; then
 fi
 echo "check_bench: delta recovery moves less data than full recovery"
 
+# Tracing overhead gate: causal tracing at the default 1/64 sample rate
+# must cost < 3% throughput vs the identical untraced workload (both in
+# deterministic simulated time — bench_json emits the flag). bench_check
+# already fails a formerly-true flag turning false; this check also
+# refuses a regenerated snapshot that silently dropped the scenario.
+if ! grep -q '"tracing_overhead_ok": true' "$OUT"; then
+    echo "check_bench: FAIL tracing at 1/64 sampling costs >= 3% throughput (tracing_overhead_ok not true in $OUT)" >&2
+    exit 1
+fi
+if ! grep -q '"timelines_ok": true' "$OUT"; then
+    echo "check_bench: FAIL no sampled cst timelines assembled (timelines_ok not true in $OUT)" >&2
+    exit 1
+fi
+echo "check_bench: tracing overhead < 3% and cst timelines assemble"
+
 # Reactor thread gate: a running node must use a fixed thread count —
 # at most reactor_shards + 1 per hosted node (its reactor shards plus
 # amortized process overhead) — independent of how many peers/clients

@@ -4,6 +4,12 @@
 # kills one replica mid-run and blank-restarts it, and requires the
 # workload to complete a minimum number of transactions end-to-end.
 #
+# The shard-1 process also runs with causal tracing at full sampling,
+# `--telemetry-port` and `--trace-dump-path`: mid-run the script scrapes
+# the live HTTP endpoint (well-formed JSON, populated phase histograms,
+# span events on the /trace route) and at the end it requires the
+# periodic trace-dump file to hold assemblable span events.
+#
 # Used by CI; runnable locally:
 #   cargo build --release && scripts/smoke_cluster.sh
 #
@@ -22,6 +28,8 @@ MIN_TXNS="${SMOKE_MIN_TXNS:-50}"
 KILL_AT="${SMOKE_KILL_AT:-8}"
 WORKDIR="$(mktemp -d)"
 CONFIG="$WORKDIR/cluster.json"
+TRACE_DUMP="$WORKDIR/trace-dump.jsonl"
+TELEMETRY_PORT=0
 
 if [[ -z "${RINGBFT_NODE:-}" ]]; then
     # The root package's `cargo build --release` does not build
@@ -65,15 +73,24 @@ trap cleanup EXIT INT TERM
 start_replicas() {
     local port_base="$1"
     "$BIN" --example-config 2 4 --port-base "$port_base" >"$CONFIG"
+    # Trace every transaction (default is 1/64): the smoke run is short
+    # and the scrape assertions below want guaranteed span traffic.
+    grep -q '"trace_sample_rate": 64,' "$CONFIG" || {
+        echo "smoke: example config lost the trace_sample_rate knob" >&2
+        exit 1
+    }
+    sed -i 's/"trace_sample_rate": 64,/"trace_sample_rate": 1,/' "$CONFIG"
+    TELEMETRY_PORT=$((port_base + 1000))
     PIDS=()
     echo "smoke: starting shard 0 (quorum process + victim process, ports from $port_base)"
     "$BIN" --config "$CONFIG" --host S0r0 --host S0r1 --host S0r2 --stats-secs 0 &
     PIDS+=($!)
     "$BIN" --config "$CONFIG" --host S0r3 --stats-secs 0 &
     VICTIM_PID=$!
-    echo "smoke: starting shard 1 process"
+    echo "smoke: starting shard 1 process (telemetry on ports from $TELEMETRY_PORT)"
     "$BIN" --config "$CONFIG" --host S1r0 --host S1r1 --host S1r2 --host S1r3 \
-        --stats-secs 0 &
+        --stats-secs 0 --telemetry-port "$TELEMETRY_PORT" \
+        --trace-dump-path "$TRACE_DUMP" &
     PIDS+=($!)
 }
 
@@ -120,6 +137,41 @@ threads_of() {
     awk '/^Threads:/ { print $2 }' "/proc/$1/status" 2>/dev/null || echo 0
 }
 
+# Live telemetry scrape, served directly off S1r0's reactor: /metrics
+# must be well-formed JSON with populated phase histograms (the shard
+# is committing batches by now), /trace must carry span events.
+scrape_telemetry() {
+    local url="http://127.0.0.1:${TELEMETRY_PORT}/metrics"
+    echo "smoke: scraping $url"
+    local body
+    if ! body=$(curl -fsS --max-time 5 "$url"); then
+        echo "smoke: telemetry scrape failed" >&2
+        exit 1
+    fi
+    python3 - "$body" <<'PY'
+import json, sys
+doc = json.loads(sys.argv[1])
+assert doc["id"] == "S1r0", f"scraped the wrong node: {doc['id']}"
+hist = doc["metrics"]["histograms"]["phase.preprepare_commit"]
+assert hist["count"] > 0, "live scrape shows empty phase histograms under load"
+PY
+    local spans
+    if ! spans=$(curl -fsS --max-time 5 "http://127.0.0.1:${TELEMETRY_PORT}/trace"); then
+        echo "smoke: trace-route scrape failed" >&2
+        exit 1
+    fi
+    if ! grep -q '"ev":"span"' <<<"$spans"; then
+        echo "smoke: /trace served no span events" >&2
+        exit 1
+    fi
+    echo "smoke: live telemetry ok (populated phase histograms + span events)"
+}
+
+if [[ "$KILL_AT" -eq 0 ]]; then
+    sleep 5
+    scrape_telemetry
+fi
+
 if [[ "$KILL_AT" -gt 0 ]]; then
     # Mid-run fault: kill replica S0r3 outright, leave the shard running
     # at quorum 3/4 for a while, then restart the replica *blank* (fresh
@@ -141,6 +193,7 @@ if [[ "$KILL_AT" -gt 0 ]]; then
         exit 1
     fi
     echo "smoke: shard-1 process thread count $SHARD1_THREADS (4 replicas + main) — ok"
+    scrape_telemetry
     echo "smoke: killing replica S0r3 (pid $VICTIM_PID)"
     kill -9 "$VICTIM_PID" 2>/dev/null || true
     wait "$VICTIM_PID" 2>/dev/null || true
@@ -162,6 +215,18 @@ if [[ "$KILL_AT" -gt 0 ]] && ! kill -0 "$VICTIM_PID" 2>/dev/null; then
     echo "smoke: restarted replica did not survive the run" >&2
     exit 1
 fi
+
+# The periodic trace dump must have flushed span events the offline
+# collector can assemble (the same JSON lines the /trace route serves).
+if [[ ! -s "$TRACE_DUMP" ]]; then
+    echo "smoke: trace dump $TRACE_DUMP missing or empty" >&2
+    exit 1
+fi
+if ! grep -q '"ev":"span"' "$TRACE_DUMP"; then
+    echo "smoke: trace dump holds no span events" >&2
+    exit 1
+fi
+echo "smoke: trace dump flushed ($(wc -l <"$TRACE_DUMP") events)"
 
 echo "smoke: workload exited with status $RC"
 exit "$RC"
