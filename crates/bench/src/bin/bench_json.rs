@@ -52,7 +52,17 @@ use std::io::Write as _;
 /// disabled. `tracing_overhead_ok` gates that tracing at the default
 /// rate costs < 3 % throughput (deterministic simulated time, so the
 /// gate cannot flake on machine speed).
-const SCHEMA_VERSION: u64 = 7;
+///
+/// v8: a `pipeline` section — the multi-core protocol pipeline
+/// (crypto + execution off the consensus thread). `scaling_factor` is
+/// the modeled saturated throughput at `workers` pipeline workers over
+/// 1 worker (simulated CPU time, so the gate holds on any host — CI
+/// runners may have a single core); `verify_offload_ratio` and the
+/// per-node thread accounting come from a real loopback cluster with
+/// the worker pool enabled. `scaling_ok` gates the ≥ 1.8× knee plus the
+/// loopback run's safety/liveness, and the `net.threads_per_node` gate
+/// widens to `reactor_shards + pipeline_workers + 1`.
+const SCHEMA_VERSION: u64 = 8;
 
 fn quick_cfg(kind: ProtocolKind) -> SystemConfig {
     let (z, n) = if kind.is_sharded() { (3, 4) } else { (1, 4) };
@@ -69,6 +79,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_ringbft.json".to_string();
     let mut seed = 42u64;
+    let mut pipeline_workers = 4usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -79,8 +90,21 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--pipeline-workers" => {
+                i += 1;
+                pipeline_workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--pipeline-workers needs an integer ≥ 1");
+                    std::process::exit(2);
+                });
+                if pipeline_workers == 0 {
+                    eprintln!("--pipeline-workers needs an integer ≥ 1");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
-                println!("bench_json [OUT_PATH] [--seed N] — write BENCH_ringbft.json");
+                println!(
+                    "bench_json [OUT_PATH] [--seed N] [--pipeline-workers N] — write BENCH_ringbft.json"
+                );
                 return;
             }
             other if other.starts_with('-') => {
@@ -344,6 +368,7 @@ fn main() {
         );
         serde_json::json!({
             "reactor_shards": reactor_shards as u64,
+            "pipeline_workers": 0u64,
             "hosted_nodes": hosted_nodes as u64,
             "threads_per_node": threads_per_node,
             "peak_fds": peak_fds as u64,
@@ -353,6 +378,121 @@ fn main() {
             // reactor acknowledged the poisoned-eventfd shutdown within
             // the bounded join timeout.
             "liveness_ok": completed > 0 && clean,
+        })
+    };
+
+    // Pipeline scenario: the multi-core protocol pipeline. The scaling
+    // knee runs in *simulated* CPU time (the worker model schedules
+    // verify/exec offload costs across N modeled cores), so the
+    // measured factor is deterministic and independent of how many
+    // physical cores the bench host has. The offload ratio and thread
+    // accounting come from a real loopback cluster with the worker pool
+    // actually enabled.
+    eprintln!(
+        "bench pipeline (modeled core scaling + loopback offload, {pipeline_workers} workers) ..."
+    );
+    let pipeline = {
+        use ringbft_types::Duration;
+        let model_run = |w: usize| {
+            // A saturating single-shard workload: enough closed-loop
+            // clients that batches queue behind the consensus thread,
+            // so offloading crypto + execution moves the knee.
+            let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 1, 4);
+            cfg.num_keys = 6_000;
+            cfg.clients = 3_000;
+            cfg.batch_size = 50;
+            cfg.cross_shard_rate = 0.0;
+            cfg.involved_shards = 1;
+            Scenario::new(cfg, seed)
+                .warmup_secs(1.0)
+                .measure_secs(4.0)
+                .local_topology(true)
+                .model_workers(w)
+                .run()
+        };
+        let t0 = std::time::Instant::now();
+        let base = model_run(1);
+        let scaled = model_run(pipeline_workers);
+        let scaling_factor = scaled.throughput_tps / base.throughput_tps;
+
+        // Real sockets, real worker threads: a loopback shard with the
+        // verify stage and the re-homed execution stage on one pool.
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 1, 4);
+        cfg.num_keys = 4_000;
+        cfg.clients = 32;
+        cfg.batch_size = 4;
+        cfg.cross_shard_rate = 0.0;
+        cfg.involved_shards = 1;
+        cfg.pipeline_workers = pipeline_workers;
+        cfg.timers.local = Duration::from_millis(800);
+        cfg.timers.remote = Duration::from_millis(1600);
+        cfg.timers.transmit = Duration::from_millis(2400);
+        cfg.timers.client = Duration::from_millis(3200);
+        let reactor_shards = cfg.reactor_shards;
+        let proc_count = |dir: &str| std::fs::read_dir(dir).map(|d| d.count()).unwrap_or(0);
+        let threads_before = proc_count("/proc/self/task");
+        let t1 = std::time::Instant::now();
+        let mut cluster = ringbft_net::LocalCluster::launch(cfg).expect("launch pipeline cluster");
+        cluster
+            .spawn_workload_host(seed, 2_000_000, 32)
+            .expect("spawn workload host");
+        let hosted_nodes = 4 + 1; // replicas + the workload host
+        let threads_during = proc_count("/proc/self/task");
+        while t1.elapsed() < std::time::Duration::from_secs(4) {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        let completed = cluster.total_completions();
+        let (offloaded, inline): (u64, u64) = cluster
+            .replica_runtimes()
+            .map(|rt| rt.verify_stats())
+            .fold((0, 0), |(a, b), (o, i)| (a + o, b + i));
+        let verify_offload_ratio = if offloaded + inline > 0 {
+            offloaded as f64 / (offloaded + inline) as f64
+        } else {
+            0.0
+        };
+        // Replicas agree on the store despite the parallel exec stage.
+        let safety_ok = cluster.wait_until(std::time::Duration::from_secs(30), |c| {
+            let prints: Vec<u64> = (0..4u32)
+                .map(|i| {
+                    c.with_replica(ReplicaId::new(ShardId(0), i), |n| match n {
+                        ringbft_sim::AnyNode::Ring(r) => r.store().state_fingerprint(),
+                        _ => panic!("ring replica expected"),
+                    })
+                })
+                .collect();
+            prints.windows(2).all(|w| w[0] == w[1])
+        });
+        let clean = cluster.shutdown();
+        let threads_per_node =
+            (threads_during.saturating_sub(threads_before)) as f64 / hosted_nodes as f64;
+        let liveness_ok = completed > 0 && clean;
+        eprintln!(
+            "  {scaling_factor:.2}x modeled at {pipeline_workers} workers \
+             ({:.0} → {:.0} tps), {verify_offload_ratio:.2} offload ratio, \
+             {threads_per_node:.2} threads/node, {completed} txns ({:.1}s wall)",
+            base.throughput_tps,
+            scaled.throughput_tps,
+            t0.elapsed().as_secs_f64()
+        );
+        serde_json::json!({
+            "workers": pipeline_workers as u64,
+            "scaling_factor": scaling_factor,
+            "throughput_1w_tps": base.throughput_tps,
+            "throughput_nw_tps": scaled.throughput_tps,
+            "exec_jobs_modeled": scaled.pipeline.exec_jobs,
+            "verify_offload_ratio": verify_offload_ratio,
+            "verify_offloaded": offloaded,
+            "verify_inline": inline,
+            "completed_txns": completed as u64,
+            "reactor_shards": reactor_shards as u64,
+            "threads_per_node": threads_per_node,
+            "safety_ok": safety_ok,
+            "liveness_ok": liveness_ok,
+            // The tentpole gate: N workers buy at least 1.8x modeled
+            // saturated throughput over one worker, without costing
+            // agreement or progress on the real-socket cluster.
+            "scaling_ok": scaling_factor >= 1.8 && safety_ok && liveness_ok,
         })
     };
 
@@ -435,6 +575,7 @@ fn main() {
             "hole_fetch": "RingBFT 3x4, S1r2 misses all quorum traffic for seq 10, checkpoint interval 512",
             "state_transfer": "RingBFT 2x4, S0r2 dark 2.0-3.2s (~1 checkpoint window), delta-chain catch-up, interval 256",
             "net": "RingBFT 2x4 + 32-client host on loopback TCP (epoll reactor), 4s",
+            "pipeline": "RingBFT 1x4 saturated (3000 clients, batch 50, local topology) modeled at 1 vs N workers; loopback 1x4 + 32-client host with the worker pool enabled, 4s",
             "tracing": "RingBFT 3x4 sharded quick workload, trace_sample_rate 64 vs 0 (same seed)",
             "warmup_s": 1.0, "measure_s": 4.0, "recovery_measure_s": 9.0,
             "hole_measure_s": 7.0, "state_transfer_measure_s": 29.0,
@@ -445,6 +586,7 @@ fn main() {
         "hole_fetch": hole_fetch,
         "state_transfer": state_transfer,
         "net": net,
+        "pipeline": pipeline,
         "tracing": tracing,
     });
     let mut f = std::fs::File::create(&out_path).expect("create output file");

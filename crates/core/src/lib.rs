@@ -11,11 +11,15 @@ pub mod dedup;
 pub mod messages;
 pub mod node;
 pub mod obs;
+pub mod pipeline;
 pub mod testing;
 
 pub use messages::{ExecuteMsg, ForwardMsg, RingMsg};
-pub use node::{RingReplica, RingStats};
+pub use node::{ExecJob, ExecOutcome, RingReplica, RingStats};
 pub use obs::{Phase, ReplicaObs};
+pub use pipeline::{
+    default_workers, InlinePipeline, Pipeline, PipelineJob, PoolStats, ThreadedPipeline, WorkerPool,
+};
 
 #[cfg(test)]
 mod tests {
@@ -523,5 +527,246 @@ mod ring_rotation_tests {
         let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
         cfg.ring_offset = 3;
         assert!(cfg.validate().is_err());
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    //! The execution-stage contracts the CI gate relies on: a blocking
+    //! threaded stage is observably identical to the inline one (the
+    //! determinism twin), conflicting sequences retain strict order, and
+    //! lock-disjoint sequences may execute off-thread in any completion
+    //! order without changing final state.
+
+    use crate::pipeline::ThreadedPipeline;
+    use crate::testing::RingNet;
+    use ringbft_crypto::Digest;
+    use ringbft_store::rmw_ops;
+    use ringbft_types::txn::Transaction;
+    use ringbft_types::{ClientId, ProtocolKind, ReplicaId, ShardId, SystemConfig, TxnId};
+
+    fn small_cfg(workers: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+        cfg.num_keys = 300;
+        cfg.batch_size = 2;
+        cfg.pipeline_workers = workers;
+        cfg
+    }
+
+    fn key_in(cfg: &SystemConfig, shard: u32, offset: u64) -> u64 {
+        cfg.key_range(ShardId(shard)).start + offset
+    }
+
+    fn single(cfg: &SystemConfig, id: u64, shard: u32, offset: u64) -> Transaction {
+        Transaction::new(
+            TxnId(id),
+            ClientId(id),
+            rmw_ops(&[(ShardId(shard), key_in(cfg, shard, offset))]),
+        )
+    }
+
+    fn cst(cfg: &SystemConfig, id: u64, shards: &[u32], offset: u64) -> Transaction {
+        let ops: Vec<(ShardId, u64)> = shards
+            .iter()
+            .map(|&s| (ShardId(s), key_in(cfg, s, offset)))
+            .collect();
+        Transaction::new(TxnId(id), ClientId(id), rmw_ops(&ops))
+    }
+
+    fn fingerprints(net: &RingNet) -> Vec<(ReplicaId, u64)> {
+        net.replicas
+            .iter()
+            .map(|(id, r)| (*id, r.store().state_fingerprint()))
+            .collect()
+    }
+
+    fn ledger_heads(net: &RingNet) -> Vec<(ReplicaId, Digest)> {
+        net.replicas
+            .iter()
+            .map(|(id, r)| (*id, r.ledger().head_hash()))
+            .collect()
+    }
+
+    /// Drives the standard mixed workload (5 rounds of three singles and
+    /// one 3-shard cst) and returns every observable artifact of the run.
+    #[allow(clippy::type_complexity)]
+    fn run_mixed(
+        workers: usize,
+    ) -> (
+        Vec<(ReplicaId, u64, u32)>,
+        Vec<(ReplicaId, u64)>,
+        Vec<(ReplicaId, Digest)>,
+        Vec<crate::testing::ObservedReply>,
+    ) {
+        let cfg = small_cfg(workers);
+        let mut net = RingNet::new(cfg.clone());
+        let mut id = 1u64;
+        for round in 0..5u64 {
+            for s in 0..3u32 {
+                net.client_send(ClientId(id), single(&cfg, id, s, 20 + round));
+                id += 1;
+            }
+            net.client_send(ClientId(id), cst(&cfg, id, &[0, 1, 2], 30 + round));
+            id += 1;
+        }
+        net.settle();
+        for c in 1..id {
+            assert_eq!(
+                net.completed_digests(ClientId(c), 2).len(),
+                1,
+                "client {c} unconfirmed at workers={workers}"
+            );
+        }
+        (
+            net.exec_log.clone(),
+            fingerprints(&net),
+            ledger_heads(&net),
+            net.replies.clone(),
+        )
+    }
+
+    /// The determinism twin: a blocking threaded stage finishes every job
+    /// at submit time, so the full observable trace — execution order,
+    /// store fingerprints, ledger heads, and the exact reply stream — is
+    /// identical to the inline stage, at any worker count.
+    #[test]
+    fn blocking_threaded_twin_is_byte_identical_to_inline() {
+        let inline = run_mixed(0);
+        let one = run_mixed(1);
+        let four = run_mixed(4);
+        assert_eq!(inline, one, "workers=1 twin diverged from inline");
+        assert_eq!(inline, four, "workers=4 twin diverged from inline");
+    }
+
+    /// Conflicting sequences are never in flight together (the lock
+    /// manager admits a writer only after its predecessor's outcome is
+    /// applied), so a hot key advances its version once per transaction
+    /// in strict sequence order regardless of the stage behind it.
+    #[test]
+    fn conflicting_sequences_retain_strict_order() {
+        let run = |workers: usize| {
+            let cfg = small_cfg(workers);
+            let mut net = RingNet::new(cfg.clone());
+            for id in 1..=8u64 {
+                net.client_send(ClientId(id), single(&cfg, id, 1, 7));
+            }
+            net.settle();
+            for id in 1..=8u64 {
+                assert_eq!(net.completed_digests(ClientId(id), 2).len(), 1);
+            }
+            let hot = key_in(&cfg, 1, 7);
+            let rec = net.replicas[&ReplicaId::new(ShardId(1), 0)]
+                .store()
+                .get(hot)
+                .expect("hot key written");
+            assert_eq!(rec.version, 8, "one version bump per conflicting txn");
+            for r in net.replicas.values() {
+                assert_eq!(r.lock_manager().held_len(), 0);
+                assert_eq!(r.lock_manager().pending_len(), 0);
+            }
+            (fingerprints(&net), rec)
+        };
+        let (inline_prints, inline_rec) = run(0);
+        let (threaded_prints, threaded_rec) = run(2);
+        assert_eq!(inline_prints, threaded_prints);
+        assert_eq!(inline_rec, threaded_rec);
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        let mut x = *s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *s = x;
+        x
+    }
+
+    /// Property test: under an *async* threaded stage (outcomes applied
+    /// at pump time, not submit time), lock-disjoint workloads converge
+    /// to exactly the inline final state for every seed — parallel
+    /// completion order never leaks into the store.
+    #[test]
+    fn lock_disjoint_async_execution_matches_inline() {
+        for seed in 1..=6u64 {
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            // Disjoint by construction: every txn gets a distinct offset,
+            // and shards own disjoint key ranges.
+            let picks: Vec<(u32, u64)> = (0..12u64)
+                .map(|i| ((xorshift(&mut s) % 3) as u32, i))
+                .collect();
+
+            let cfg = small_cfg(0);
+            let mut inline = RingNet::new(cfg.clone());
+            let mut threaded = RingNet::new(cfg.clone());
+            for r in threaded.replicas.values_mut() {
+                r.install_pipeline(Box::new(ThreadedPipeline::new("texec", 2)));
+                assert_eq!(r.pipeline_workers(), 2);
+            }
+
+            for (id0, (shard, offset)) in picks.iter().enumerate() {
+                let id = id0 as u64 + 1;
+                inline.client_send(ClientId(id), single(&cfg, id, *shard, *offset));
+                threaded.client_send(ClientId(id), single(&cfg, id, *shard, *offset));
+            }
+            inline.settle();
+            threaded.settle_pumped();
+
+            assert_eq!(
+                fingerprints(&inline),
+                fingerprints(&threaded),
+                "seed {seed}: async stage diverged"
+            );
+            for id in 1..=picks.len() as u64 {
+                assert_eq!(
+                    inline.completed_digests(ClientId(id), 2),
+                    threaded.completed_digests(ClientId(id), 2),
+                    "seed {seed}: client {id} confirmations differ"
+                );
+            }
+            let mut a = inline.exec_log.clone();
+            let mut b = threaded.exec_log.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "seed {seed}: executed batches differ");
+            for r in threaded.replicas.values() {
+                assert_eq!(r.lock_manager().held_len(), 0);
+                assert_eq!(r.lock_manager().pending_len(), 0);
+            }
+        }
+    }
+
+    /// The pipeline instruments surface through the replica registry:
+    /// `pipeline.exec_jobs` counts this replica's pipelined batches and
+    /// the pool gauges reflect the configured worker count.
+    #[test]
+    fn pipeline_metrics_exported() {
+        let cfg = small_cfg(1);
+        let mut net = RingNet::new(cfg.clone());
+        for id in 1..=6u64 {
+            net.client_send(ClientId(id), single(&cfg, id, 0, id));
+        }
+        net.settle();
+        let primary = ReplicaId::new(ShardId(0), 0);
+        let executed = net
+            .exec_log
+            .iter()
+            .filter(|(r, _, _)| *r == primary)
+            .count() as u64;
+        assert!(executed > 0);
+        let rep = net.replicas.get_mut(&primary).unwrap();
+        let jobs = rep.obs_mut().reg.counter("pipeline.exec_jobs");
+        let workers = rep.obs_mut().reg.gauge("pipeline.workers");
+        assert_eq!(rep.obs().reg.counter_value(jobs), executed);
+        assert_eq!(rep.obs().reg.gauge_value(workers), 1);
+        let snap = rep.obs().reg.snapshot_json();
+        for name in [
+            "pipeline.exec_jobs",
+            "pipeline.exec_parallel_batches",
+            "pipeline.verify_offloaded_frames",
+            "pipeline.verify_queue_depth",
+            "pipeline.worker_busy_ns",
+        ] {
+            assert!(snap.contains(name), "{name} missing from snapshot");
+        }
     }
 }

@@ -43,6 +43,7 @@
 use crate::dedup::WindowedDigestSet;
 use crate::messages::{batch_trace, ExecuteMsg, ForwardMsg, RingMsg};
 use crate::obs::{Phase, ReplicaObs};
+use crate::pipeline::{InlinePipeline, Pipeline, PipelineJob, ThreadedPipeline};
 use ringbft_crypto::Digest;
 use ringbft_ledger::{BlockBody, Ledger};
 use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
@@ -50,14 +51,14 @@ use ringbft_recovery::{
     ChainTransfer, DeltaSnapshot, HoleFetcher, HoleStats, RecoveryEvent, RecoveryManager,
     RecoveryMsg, RecoveryStats, Snapshot, HOLE_PROBE_TOKEN, RECOVERY_PROBE_TOKEN,
 };
-use ringbft_store::{KvStore, LockManager};
+use ringbft_store::{KvStore, LockManager, Record};
 use ringbft_types::hole::{HoleReply, HoleRequest};
 use ringbft_types::txn::{Batch, Key, Transaction, Value};
 use ringbft_types::{
     Action, BatchId, ClientId, Duration, Instant, NodeId, Outbox, ReplicaId, RingOrder, SeqNum,
     ShardId, SystemConfig, TimerKind, TraceContext, TxnId,
 };
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// First token value used for RingBFT-level watchdogs, disjoint from PBFT
@@ -138,6 +139,64 @@ enum Work {
     /// old primary had already sequenced): its locks are released on
     /// admission so π never wedges behind it.
     Duplicate,
+}
+
+/// An admitted single-shard batch packaged for the execution stage:
+/// the batch, the owning shard, and a snapshot of every record the
+/// batch touches. The snapshot is stable while the job is in flight —
+/// the sequence-ordered [`LockManager`] admits a conflicting sequence
+/// only after this one releases — so the job is a pure function and can
+/// run off-thread.
+pub struct ExecJob {
+    seq: u64,
+    batch: Arc<Batch>,
+    shard: ShardId,
+    /// Touched records that exist in the store (missing keys behave as
+    /// absent in the job's private store, exactly as inline execution
+    /// would see them).
+    base: Vec<(Key, Record)>,
+    /// Primary index captured at submit: the ledger block records the
+    /// proposer of the view the batch committed in.
+    proposer: u32,
+}
+
+/// Result of an [`ExecJob`]: the batch digest (hashed off-thread) and
+/// the ordered write effects to replay onto the authoritative store.
+pub struct ExecOutcome {
+    seq: u64,
+    digest: Digest,
+    batch: Arc<Batch>,
+    proposer: u32,
+    writes: Vec<(Key, Value)>,
+    txn_count: u32,
+}
+
+impl PipelineJob for ExecJob {
+    type Output = ExecOutcome;
+    fn run(self) -> ExecOutcome {
+        let digest = ringbft_pbft::batch_digest(&self.batch);
+        // A private store seeded with the snapshot: reads (including the
+        // read half of RMW ops) observe exactly what inline execution
+        // would, and the write effects replay onto the real store in
+        // order — `put` bumps versions identically in both places.
+        let mut kv = KvStore::new();
+        for (k, r) in &self.base {
+            kv.insert_record(*k, *r);
+        }
+        let mut writes = Vec::new();
+        for txn in &self.batch.txns {
+            let result = kv.execute_fragment(txn, self.shard, &[]);
+            writes.extend(result.writes);
+        }
+        ExecOutcome {
+            seq: self.seq,
+            digest,
+            txn_count: self.batch.len() as u32,
+            batch: self.batch,
+            proposer: self.proposer,
+            writes,
+        }
+    }
 }
 
 /// Counters exposed for tests and diagnostics.
@@ -288,6 +347,19 @@ pub struct RingReplica {
     cst_fwd_at: HashMap<Digest, Instant>,
     /// Registry counters/gauges, phase histograms, and the trace ring.
     obs: ReplicaObs,
+    // --- execution pipeline (`crate::pipeline`) ---
+    /// The execution stage admitted single-shard batches run on. Inline
+    /// (deterministic) by default; `cfg.pipeline_workers > 0` installs a
+    /// blocking [`ThreadedPipeline`] (same observable event order), and
+    /// the real runtime swaps in an async one wired to its reactor
+    /// waker via [`RingReplica::install_pipeline`].
+    exec_pipeline: Box<dyn Pipeline<ExecJob> + Send>,
+    /// Submission order of in-flight exec jobs: outcomes apply strictly
+    /// in this order, so conflicting sequences (never in flight
+    /// together) retain strict order while disjoint ones overlap.
+    exec_inflight: VecDeque<u64>,
+    /// Finished outcomes waiting for their turn at the queue front.
+    exec_ready: BTreeMap<u64, ExecOutcome>,
 }
 
 impl RingReplica {
@@ -329,6 +401,14 @@ impl RingReplica {
         let hole = HoleFetcher::new(me, shard_n, cfg.timers.local / 3);
         let stable_kv = kv.clone();
         let ring = cfg.ring_order();
+        // Blocking mode keeps the observable event order identical to
+        // the inline pipeline (the determinism twin test pins this);
+        // drivers that can wake the core install an async stage later.
+        let exec_pipeline: Box<dyn Pipeline<ExecJob> + Send> = if cfg.pipeline_workers > 0 {
+            Box::new(ThreadedPipeline::new("exec", cfg.pipeline_workers).blocking(true))
+        } else {
+            Box::new(InlinePipeline::new())
+        };
         RingReplica {
             ring,
             pbft,
@@ -371,9 +451,28 @@ impl RingReplica {
             cst_commit_at: HashMap::new(),
             cst_fwd_at: HashMap::new(),
             obs: ReplicaObs::new(),
+            exec_pipeline,
+            exec_inflight: VecDeque::new(),
+            exec_ready: BTreeMap::new(),
             cfg,
             me,
         }
+    }
+
+    /// Replaces the execution stage. The real runtime installs an async
+    /// [`ThreadedPipeline`] wired to its reactor waker right after
+    /// construction — before any traffic, so nothing is in flight.
+    pub fn install_pipeline(&mut self, p: Box<dyn Pipeline<ExecJob> + Send>) {
+        assert!(
+            self.exec_inflight.is_empty(),
+            "pipeline swapped with work in flight"
+        );
+        self.exec_pipeline = p;
+    }
+
+    /// The execution stage's worker count (0 = inline).
+    pub fn pipeline_workers(&self) -> usize {
+        self.exec_pipeline.workers()
     }
 
     /// This replica's id.
@@ -457,6 +556,13 @@ impl RingReplica {
     /// histograms, and the event-trace ring.
     pub fn obs(&self) -> &ReplicaObs {
         &self.obs
+    }
+
+    /// Mutable instrument access for drivers that push stage accounting
+    /// from outside the protocol (the network runtime's verify stage
+    /// reports its queue depth and offload counters here).
+    pub fn obs_mut(&mut self) -> &mut ReplicaObs {
+        &mut self.obs
     }
 
     /// All instruments as one stable JSON object.
@@ -1497,6 +1603,9 @@ impl RingReplica {
     /// ever reaches the store — and the next request falls back to the
     /// full-snapshot path while the probe rotates donors.
     fn install_chain(&mut self, transfer: ChainTransfer, out: &mut Outbox<RingMsg>) {
+        // Settle the execution stage before judging the transfer: an
+        // in-flight job may close the very gap this chain targets.
+        self.flush_exec(out);
         if transfer.target_seq <= self.exec_watermark {
             return; // raced our own catch-up
         }
@@ -1546,6 +1655,9 @@ impl RingReplica {
         digest: Digest,
         out: &mut Outbox<RingMsg>,
     ) -> bool {
+        // In-flight exec jobs hold base snapshots of the store this
+        // install is about to replace: settle them first.
+        self.flush_exec(out);
         if snap.seq <= self.exec_watermark {
             return false; // raced our own catch-up
         }
@@ -1744,8 +1856,7 @@ impl RingReplica {
         };
         match work {
             Work::Single(batch) => {
-                let digest = ringbft_pbft::batch_digest(&batch);
-                self.execute_single_shard(seq, digest, &batch, out);
+                self.execute_single_shard(seq, &batch, out);
             }
             Work::Duplicate => {
                 self.work.remove(&seq);
@@ -1836,35 +1947,120 @@ impl RingReplica {
         }
     }
 
-    fn execute_single_shard(
-        &mut self,
-        seq: u64,
-        digest: Digest,
-        batch: &Arc<Batch>,
-        out: &mut Outbox<RingMsg>,
-    ) {
-        let mut effects = Vec::new();
-        for txn in &batch.txns {
-            let result = self.kv.execute_fragment(txn, self.me.shard, &[]);
-            effects.extend(result.writes);
-            self.obs.executed_txns(1);
+    /// Hands an admitted single-shard batch to the execution stage:
+    /// snapshots the records it touches (stable until this sequence
+    /// releases its locks), submits the job — digest hashing, fragment
+    /// execution and reply assembly run on the stage — and pumps any
+    /// outcomes that are ready to apply.
+    fn execute_single_shard(&mut self, seq: u64, batch: &Arc<Batch>, out: &mut Outbox<RingMsg>) {
+        let mut keys: Vec<Key> = batch
+            .txns
+            .iter()
+            .flat_map(|t| t.ops.iter())
+            .filter(|o| o.shard == self.me.shard)
+            .map(|o| o.key)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let base: Vec<(Key, Record)> = keys
+            .into_iter()
+            .filter_map(|k| self.kv.get(k).map(|r| (k, r)))
+            .collect();
+        self.obs.exec_jobs(1);
+        if !self.exec_inflight.is_empty() {
+            // Another disjoint sequence is already executing: the lock
+            // manager guarantees their write sets cannot conflict.
+            self.obs.exec_parallel_batches(1);
         }
+        self.exec_inflight.push_back(seq);
+        self.exec_pipeline.submit(ExecJob {
+            seq,
+            batch: Arc::clone(batch),
+            shard: self.me.shard,
+            base,
+            proposer: self.pbft.primary_index(),
+        });
+        self.pump_exec(out);
+    }
+
+    /// Collects finished execution outcomes and applies them strictly
+    /// in submission order. Inline and blocking pipelines finish every
+    /// job at submit time, so this empties the queue immediately —
+    /// preserving the pre-pipeline event order exactly; an async stage
+    /// leaves stragglers for the next wake.
+    fn pump_exec(&mut self, out: &mut Outbox<RingMsg>) {
+        let ps = self.exec_pipeline.stats();
+        self.obs
+            .set_pipeline_pool(self.exec_pipeline.workers() as u64, ps.busy_ns, ps.idle_ns);
+        for o in self.exec_pipeline.drain() {
+            self.exec_ready.insert(o.seq, o);
+        }
+        while let Some(&seq) = self.exec_inflight.front() {
+            let Some(outcome) = self.exec_ready.remove(&seq) else {
+                break;
+            };
+            self.exec_inflight.pop_front();
+            self.apply_exec_outcome(outcome, out);
+        }
+    }
+
+    /// Blocks until the execution stage is empty and applies everything
+    /// — state-install paths must not race in-flight jobs whose base
+    /// snapshots came from the store they are about to replace.
+    fn flush_exec(&mut self, out: &mut Outbox<RingMsg>) {
+        while !self.exec_inflight.is_empty() {
+            for o in self.exec_pipeline.flush() {
+                self.exec_ready.insert(o.seq, o);
+            }
+            while let Some(&seq) = self.exec_inflight.front() {
+                let Some(outcome) = self.exec_ready.remove(&seq) else {
+                    break;
+                };
+                self.exec_inflight.pop_front();
+                self.apply_exec_outcome(outcome, out);
+            }
+        }
+    }
+
+    /// Applies one finished outcome: replays the write effects onto the
+    /// authoritative store, appends the ledger block, replies to the
+    /// clients, and releases the sequence's locks (admitting successors).
+    fn apply_exec_outcome(&mut self, o: ExecOutcome, out: &mut Outbox<RingMsg>) {
+        for (k, v) in &o.writes {
+            self.kv.put(*k, *v);
+        }
+        self.obs.executed_txns(o.txn_count as u64);
         self.obs.executed_batches(1);
         self.ledger.append(BlockBody {
-            seq: SeqNum(seq),
-            merkle_root: digest,
-            proposer: ReplicaId::new(self.me.shard, self.pbft.primary_index()),
-            txn_count: batch.len() as u32,
+            seq: SeqNum(o.seq),
+            merkle_root: o.digest,
+            proposer: ReplicaId::new(self.me.shard, o.proposer),
+            txn_count: o.txn_count,
             involved: vec![self.me.shard],
         });
-        out.executed(seq, batch.len() as u32);
-        self.mark_executed(seq, effects, out);
-        self.reply_clients(digest, batch, out);
-        self.work.remove(&seq);
-        let admitted = self.locks.release(seq);
+        out.executed(o.seq, o.txn_count);
+        self.mark_executed(o.seq, o.writes, out);
+        self.reply_clients(o.digest, &o.batch, out);
+        self.work.remove(&o.seq);
+        let admitted = self.locks.release(o.seq);
         for s in admitted.acquired {
             self.on_admitted(s, out);
         }
+    }
+
+    /// Drives the execution stage outside a message delivery: the real
+    /// runtime calls this when the pipeline's waker fires. A no-op for
+    /// inline/blocking stages (drained at submit time).
+    pub fn pump(&mut self, now: Instant, out: &mut Outbox<RingMsg>) {
+        self.obs_now = now;
+        self.pump_exec(out);
+    }
+
+    /// Blocks until every in-flight execution job has been applied.
+    /// Drivers call this at shutdown (and tests at settle points) so no
+    /// outcome is stranded in an async stage.
+    pub fn flush_pipeline(&mut self, out: &mut Outbox<RingMsg>) {
+        self.flush_exec(out);
     }
 
     fn reply_clients(&mut self, digest: Digest, batch: &Batch, out: &mut Outbox<RingMsg>) {

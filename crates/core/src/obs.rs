@@ -88,9 +88,17 @@ pub struct ReplicaObs {
     c_checkpoint_divergences: CounterId,
     c_reply_cache_evictions: CounterId,
     c_done_overwrites: CounterId,
+    c_exec_jobs: CounterId,
+    c_exec_parallel_batches: CounterId,
+    c_verify_offloaded: CounterId,
+    c_verify_inline: CounterId,
     g_state_bytes_full: GaugeId,
     g_state_bytes_delta: GaugeId,
     g_done_occupancy: GaugeId,
+    g_verify_queue_depth: GaugeId,
+    g_pipeline_workers: GaugeId,
+    g_worker_busy_ns: GaugeId,
+    g_worker_idle_ns: GaugeId,
     phases: [HistId; 6],
 }
 
@@ -113,9 +121,17 @@ impl ReplicaObs {
         let c_checkpoint_divergences = reg.counter("ring.checkpoint_divergences");
         let c_reply_cache_evictions = reg.counter("ring.reply_cache_evictions");
         let c_done_overwrites = reg.counter("ring.done_set_overwrites");
+        let c_exec_jobs = reg.counter("pipeline.exec_jobs");
+        let c_exec_parallel_batches = reg.counter("pipeline.exec_parallel_batches");
+        let c_verify_offloaded = reg.counter("pipeline.verify_offloaded_frames");
+        let c_verify_inline = reg.counter("pipeline.verify_inline_frames");
         let g_state_bytes_full = reg.gauge("ring.state_bytes_full");
         let g_state_bytes_delta = reg.gauge("ring.state_bytes_delta");
         let g_done_occupancy = reg.gauge("ring.done_set_occupancy");
+        let g_verify_queue_depth = reg.gauge("pipeline.verify_queue_depth");
+        let g_pipeline_workers = reg.gauge("pipeline.workers");
+        let g_worker_busy_ns = reg.gauge("pipeline.worker_busy_ns");
+        let g_worker_idle_ns = reg.gauge("pipeline.worker_idle_ns");
         let phases = Phase::ALL.map(|p| reg.histogram(p.name()));
         ReplicaObs {
             reg,
@@ -129,9 +145,17 @@ impl ReplicaObs {
             c_checkpoint_divergences,
             c_reply_cache_evictions,
             c_done_overwrites,
+            c_exec_jobs,
+            c_exec_parallel_batches,
+            c_verify_offloaded,
+            c_verify_inline,
             g_state_bytes_full,
             g_state_bytes_delta,
             g_done_occupancy,
+            g_verify_queue_depth,
+            g_pipeline_workers,
+            g_worker_busy_ns,
+            g_worker_idle_ns,
             phases,
         }
     }
@@ -212,6 +236,33 @@ impl ReplicaObs {
         self.reg.set_gauge(self.g_done_occupancy, occupancy);
         let seen = self.reg.counter_value(self.c_done_overwrites);
         self.reg.add(self.c_done_overwrites, overwrites - seen);
+    }
+    pub(crate) fn exec_jobs(&mut self, n: u64) {
+        self.reg.add(self.c_exec_jobs, n);
+    }
+    pub(crate) fn exec_parallel_batches(&mut self, n: u64) {
+        self.reg.add(self.c_exec_parallel_batches, n);
+    }
+
+    /// Verify-stage accounting, pushed by the network runtime: the
+    /// current depth of the verified-frame queue plus *cumulative*
+    /// offloaded/inline frame totals (deltas are folded into counters).
+    pub fn set_verify_stage(&mut self, queue_depth: u64, offloaded: u64, inline: u64) {
+        self.reg.set_gauge(self.g_verify_queue_depth, queue_depth);
+        let seen = self.reg.counter_value(self.c_verify_offloaded);
+        self.reg
+            .add(self.c_verify_offloaded, offloaded.saturating_sub(seen));
+        let seen = self.reg.counter_value(self.c_verify_inline);
+        self.reg
+            .add(self.c_verify_inline, inline.saturating_sub(seen));
+    }
+
+    /// Execution-stage worker-pool accounting (cumulative busy/idle
+    /// nanoseconds across the pool's workers).
+    pub fn set_pipeline_pool(&mut self, workers: u64, busy_ns: u64, idle_ns: u64) {
+        self.reg.set_gauge(self.g_pipeline_workers, workers);
+        self.reg.set_gauge(self.g_worker_busy_ns, busy_ns);
+        self.reg.set_gauge(self.g_worker_idle_ns, idle_ns);
     }
 
     /// Compatibility snapshot in the legacy `RingStats` shape.

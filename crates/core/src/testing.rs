@@ -184,14 +184,18 @@ impl RingNet {
         true
     }
 
-    /// Fires every armed timer of `kind`; returns how many fired.
+    /// Fires every armed timer of `kind` in `(node, token)` order —
+    /// sorted so two runs of the same workload fire identically (the
+    /// determinism-twin test compares full event traces across runs).
+    /// Returns how many fired.
     pub fn fire_all_timers(&mut self, kind: TimerKind) -> usize {
-        let armed: Vec<(NodeId, TimerKind, u64)> = self
+        let mut armed: Vec<(NodeId, TimerKind, u64)> = self
             .timers
             .iter()
             .filter(|(_, k, _)| *k == kind)
             .copied()
             .collect();
+        armed.sort_unstable();
         let mut fired = 0;
         for (node, k, token) in armed {
             if let NodeId::Replica(r) = node {
@@ -212,6 +216,39 @@ impl RingNet {
                 break;
             }
         }
+    }
+
+    /// Flushes every replica's execution pipeline, absorbing the actions
+    /// the deferred outcomes produce (replies, lock-release cascades).
+    /// A no-op when every replica runs an inline or blocking stage.
+    pub fn pump_all(&mut self) {
+        let ids: Vec<ReplicaId> = self.replicas.keys().copied().collect();
+        for r in ids {
+            let mut out = Outbox::new();
+            self.replicas
+                .get_mut(&r)
+                .expect("known replica")
+                .flush_pipeline(&mut out);
+            self.absorb(NodeId::Replica(r), out.take());
+        }
+    }
+
+    /// [`RingNet::settle`] for networks with *async* execution stages:
+    /// alternates settling with pipeline flushes until neither produces
+    /// new work, so outcomes finished off-thread re-enter the protocol.
+    pub fn settle_pumped(&mut self) {
+        for _ in 0..64 {
+            self.settle();
+            let before = (self.replies.len(), self.exec_log.len());
+            self.pump_all();
+            let quiet = self.queue.is_empty()
+                && before == (self.replies.len(), self.exec_log.len())
+                && !self.timers.iter().any(|(_, k, _)| *k == TimerKind::Client);
+            if quiet {
+                return;
+            }
+        }
+        panic!("async pipeline failed to quiesce");
     }
 
     /// Number of f+1-confirmed replies a client holds for a given digest.

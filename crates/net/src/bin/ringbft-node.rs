@@ -180,7 +180,15 @@ fn parse_args() -> Args {
 }
 
 fn print_example(z: usize, n: usize, port_base: u16) {
-    let system = SystemConfig::uniform(ProtocolKind::RingBft, z, n);
+    let mut system = SystemConfig::uniform(ProtocolKind::RingBft, z, n);
+    // Size the example's offload stage to this machine: leave a core
+    // for each reactor shard plus the pool-independent main thread.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    system.pipeline_workers = if cores > system.reactor_shards + 1 {
+        ringbft_core::default_workers(cores, system.reactor_shards)
+    } else {
+        0
+    };
     let mut peers = std::collections::HashMap::new();
     let mut port = port_base;
     for shard in &system.shards {
@@ -249,7 +257,7 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match NodeRuntime::launch_with_shards(
+        match NodeRuntime::launch_with_pipeline(
             NodeId::Replica(id),
             node,
             listener,
@@ -257,12 +265,16 @@ fn main() {
             clock.clone(),
             auth.clone(),
             cluster.system.reactor_shards,
+            cluster.system.pipeline_workers,
         ) {
             Ok(rt) => {
+                ringbft_net::install_exec_stage(&rt);
                 println!(
-                    "hosting {id} on {addr} ({} reactor thread{})",
+                    "hosting {id} on {addr} ({} reactor thread{}, {} pipeline worker{})",
                     rt.reactor_shards(),
-                    if rt.reactor_shards() == 1 { "" } else { "s" }
+                    if rt.reactor_shards() == 1 { "" } else { "s" },
+                    rt.pipeline_workers(),
+                    if rt.pipeline_workers() == 1 { "" } else { "s" }
                 );
                 runtimes.push(rt);
             }

@@ -12,9 +12,27 @@
 
 use crate::codec::FrameAuth;
 use crate::runtime::{Clock, NodeRuntime, PeerTable};
+use ringbft_core::ThreadedPipeline;
 use ringbft_sim::{AnyMsg, AnyNode, SimClient};
 use ringbft_types::{ClientId, NodeId, ReplicaId, SystemConfig};
 use std::net::TcpListener;
+
+/// Re-homes a RingBFT replica's execution stage onto the runtime's
+/// shared worker pool, in asynchronous mode with the reactor's eventfd
+/// waker: finished execution jobs nudge shard 0, which pumps the node.
+/// `RingReplica::new` installs a private *blocking* stage when
+/// `pipeline_workers > 0` (the simulator's deterministic twin); hosted
+/// over real sockets the stage instead shares the verify pool, keeping
+/// the node's thread budget at `reactor_shards + pipeline_workers`.
+pub fn install_exec_stage(rt: &NodeRuntime<AnyMsg, AnyNode>) {
+    let Some(pool) = rt.worker_pool() else { return };
+    let waker = rt.exec_waker();
+    rt.with_node(|n| {
+        if let AnyNode::Ring(r) = n {
+            r.install_pipeline(Box::new(ThreadedPipeline::on_pool(pool).with_waker(waker)));
+        }
+    });
+}
 
 /// A running loopback deployment.
 pub struct LocalCluster {
@@ -48,7 +66,7 @@ impl LocalCluster {
         let clock = Clock::start();
         let mut replicas = Vec::new();
         for ((r, _region, node), listener) in deployment.into_iter().zip(listeners) {
-            replicas.push(NodeRuntime::launch_with_shards(
+            let rt = NodeRuntime::launch_with_pipeline(
                 NodeId::Replica(r),
                 node,
                 listener,
@@ -56,7 +74,10 @@ impl LocalCluster {
                 clock.clone(),
                 auth.clone(),
                 cfg.reactor_shards,
-            )?);
+                cfg.pipeline_workers,
+            )?;
+            install_exec_stage(&rt);
+            replicas.push(rt);
         }
         Ok(LocalCluster {
             cfg,
@@ -122,7 +143,7 @@ impl LocalCluster {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         self.peers
             .insert(NodeId::Replica(r), listener.local_addr()?);
-        self.replicas.push(NodeRuntime::launch_with_shards(
+        let rt = NodeRuntime::launch_with_pipeline(
             NodeId::Replica(r),
             node,
             listener,
@@ -130,7 +151,10 @@ impl LocalCluster {
             self.clock.clone(),
             self.auth.clone(),
             self.cfg.reactor_shards,
-        )?);
+            self.cfg.pipeline_workers,
+        )?;
+        install_exec_stage(&rt);
+        self.replicas.push(rt);
         Ok(())
     }
 
@@ -289,6 +313,17 @@ impl LocalCluster {
     /// stop within the bounded join timeout. Tests assert this so a
     /// wedged reactor cannot hide behind a green run.
     pub fn shutdown(self) -> bool {
+        // Flush any in-flight execution-stage jobs first: replies they
+        // would produce are moot (clients stop next), but a job still on
+        // the pool must not outlive the replica state it references.
+        for r in &self.replicas {
+            r.with_node(|n| {
+                if let AnyNode::Ring(replica) = n {
+                    let mut out = ringbft_types::sansio::Outbox::new();
+                    replica.flush_pipeline(&mut out);
+                }
+            });
+        }
         let mut clean = true;
         for c in self.clients {
             clean &= c.shutdown().is_some();

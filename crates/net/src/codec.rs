@@ -253,6 +253,64 @@ fn decode_body<M: Deserialize>(
     }
 }
 
+/// A frame whose header passed validation but whose MAC check and body
+/// decode are still pending.
+///
+/// This is the unit of work the verify/hash pipeline stage moves off
+/// the reactor thread: extraction (cheap, needs the stream cursor) runs
+/// on the reactor via [`FrameAssembler::next_raw_frame`]; verification
+/// (HMAC + deserialize, the expensive part) runs wherever
+/// [`decode_raw_frame`] is called — a worker pool under
+/// `pipeline_workers > 0`, the reactor itself otherwise.
+#[derive(Debug, Clone)]
+pub struct RawFrame {
+    /// Header flags ([`FLAG_HELLO`]).
+    pub flags: u16,
+    /// The frame authenticator (not yet checked).
+    pub mac: [u8; FRAME_MAC_BYTES],
+    /// The encoded body (not yet decoded).
+    pub body: Vec<u8>,
+}
+
+impl RawFrame {
+    /// True when the body is a [`Hello`] control frame. The reactor
+    /// verifies Hellos inline — they are rare (one per connection) and
+    /// routing must not lag behind the verify queue.
+    pub fn is_hello(&self) -> bool {
+        self.flags & FLAG_HELLO != 0
+    }
+}
+
+/// MAC-verifies and decodes an extracted frame: the deferred second
+/// half of [`FrameAssembler::next_frame`], enforcing the exact same
+/// authentication rules.
+pub fn decode_raw_frame<M: Deserialize>(
+    raw: &RawFrame,
+    auth: &FrameAuth,
+    local: NodeId,
+) -> Result<Frame<M>, CodecError> {
+    decode_body(raw.flags, &raw.mac, &raw.body, auth, local)
+}
+
+/// Validates the fixed 12-byte header at the start of `bytes`,
+/// returning `(flags, body_len)`.
+fn parse_header(bytes: &[u8]) -> Result<(u16, usize), CodecError> {
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(CodecError::Oversized(len as u64));
+    }
+    Ok((flags, len as usize))
+}
+
 /// Incremental frame reassembly for nonblocking sockets: bytes arrive
 /// in arbitrary chunks (`extend`), frames come out whole (`next_frame`).
 ///
@@ -304,20 +362,8 @@ impl FrameAssembler {
         if avail.len() < HEADER_BYTES + FRAME_MAC_BYTES {
             return Ok(None);
         }
-        let magic = u32::from_le_bytes(avail[0..4].try_into().expect("4 bytes"));
-        if magic != MAGIC {
-            return Err(CodecError::BadMagic(magic));
-        }
-        let version = u16::from_le_bytes(avail[4..6].try_into().expect("2 bytes"));
-        if version != VERSION {
-            return Err(CodecError::BadVersion(version));
-        }
-        let flags = u16::from_le_bytes(avail[6..8].try_into().expect("2 bytes"));
-        let len = u32::from_le_bytes(avail[8..12].try_into().expect("4 bytes"));
-        if len > MAX_FRAME_BYTES {
-            return Err(CodecError::Oversized(len as u64));
-        }
-        let total = HEADER_BYTES + FRAME_MAC_BYTES + len as usize;
+        let (flags, len) = parse_header(avail)?;
+        let total = HEADER_BYTES + FRAME_MAC_BYTES + len;
         if avail.len() < total {
             return Ok(None);
         }
@@ -328,6 +374,29 @@ impl FrameAssembler {
         let frame = decode_body(flags, &mac, body, auth, local)?;
         self.pos += total;
         Ok(Some(frame))
+    }
+
+    /// Extracts the next complete frame *without* verifying or decoding
+    /// it — only the header is validated. The MAC check and body decode
+    /// happen later via [`decode_raw_frame`] (on a verify worker).
+    /// Errors carry the same meaning as [`FrameAssembler::next_frame`]:
+    /// the stream is unrecoverable and the connection must be dropped.
+    pub fn next_raw_frame(&mut self) -> Result<Option<RawFrame>, CodecError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_BYTES + FRAME_MAC_BYTES {
+            return Ok(None);
+        }
+        let (flags, len) = parse_header(avail)?;
+        let total = HEADER_BYTES + FRAME_MAC_BYTES + len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let mac: [u8; FRAME_MAC_BYTES] = avail[HEADER_BYTES..HEADER_BYTES + FRAME_MAC_BYTES]
+            .try_into()
+            .expect("mac bytes");
+        let body = avail[HEADER_BYTES + FRAME_MAC_BYTES..total].to_vec();
+        self.pos += total;
+        Ok(Some(RawFrame { flags, mac, body }))
     }
 }
 
@@ -393,22 +462,10 @@ pub fn read_any_frame<M: Deserialize, R: Read>(
 ) -> Result<Frame<M>, CodecError> {
     let mut header = [0u8; HEADER_BYTES];
     r.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    if magic != MAGIC {
-        return Err(CodecError::BadMagic(magic));
-    }
-    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
-    if version != VERSION {
-        return Err(CodecError::BadVersion(version));
-    }
-    let flags = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
-    let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if len > MAX_FRAME_BYTES {
-        return Err(CodecError::Oversized(len as u64));
-    }
+    let (flags, len) = parse_header(&header)?;
     let mut mac = [0u8; FRAME_MAC_BYTES];
     r.read_exact(&mut mac)?;
-    let mut body = vec![0u8; len as usize];
+    let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
     decode_body(flags, &mac, &body, auth, local)
 }
@@ -604,6 +661,53 @@ mod tests {
             assert!(matches!(&frames[1], Frame::Hello(h) if *h == hello));
             assert_eq!(asm.buffered(), 0);
         }
+    }
+
+    #[test]
+    fn raw_extraction_defers_mac_and_decode() {
+        let env = sample_env();
+        let frame = encode_frame(&env, &auth()).unwrap();
+        let mut asm = FrameAssembler::new();
+        asm.extend(&frame);
+        let raw = asm.next_raw_frame().unwrap().expect("complete frame");
+        assert!(!raw.is_hello());
+        assert_eq!(asm.buffered(), 0);
+        // The deferred decode enforces the same authentication.
+        let decoded = decode_raw_frame::<AnyMsg>(&raw, &auth(), receiver()).unwrap();
+        assert!(matches!(decoded, Frame::Data(d) if d == env));
+
+        // A tampered MAC passes extraction (header-only) but fails the
+        // deferred verify — exactly the split the offload stage relies
+        // on: corruption is caught before delivery, just off-thread.
+        let mut tampered = raw.clone();
+        tampered.mac[0] ^= 1;
+        let err = decode_raw_frame::<AnyMsg>(&tampered, &auth(), receiver()).unwrap_err();
+        assert!(matches!(err, CodecError::BadMac));
+    }
+
+    #[test]
+    fn raw_extraction_validates_headers_eagerly() {
+        let env = sample_env();
+        let mut frame = encode_frame(&env, &auth()).unwrap();
+        frame[4] = 99; // version
+        let mut asm = FrameAssembler::new();
+        asm.extend(&frame);
+        let err = asm.next_raw_frame().unwrap_err();
+        assert!(matches!(err, CodecError::BadVersion(99)));
+
+        // A Hello extracts with the flag visible, so the reactor can
+        // keep routing frames on the fast path.
+        let hello = Hello {
+            node: NodeId::Replica(ReplicaId::new(ShardId(1), 2)),
+            aliases: vec![],
+            listen_port: 4242,
+        };
+        let mut asm = FrameAssembler::new();
+        asm.extend(&encode_hello_frame(&hello, &auth(), receiver()).unwrap());
+        let raw = asm.next_raw_frame().unwrap().expect("complete frame");
+        assert!(raw.is_hello());
+        let decoded = decode_raw_frame::<AnyMsg>(&raw, &auth(), receiver()).unwrap();
+        assert!(matches!(decoded, Frame::Hello(h) if h == hello));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   "state_chunk_records": 4096,
 //!   "auth_seed": 0,
 //!   "reactor_shards": 1,
+//!   "pipeline_workers": 2,
 //!   "trace_sample_rate": 64,
 //!   "peers": {
 //!     "S0r0": "10.0.0.10:4100",
@@ -108,7 +109,7 @@ pub fn parse_replica_name(name: &str) -> Result<ReplicaId, ConfigError> {
 /// so a typo'd knob fails loudly instead of silently running with the
 /// paper default (every process must share the file, so a silent
 /// fallback would be a cross-process misconfiguration).
-const KNOWN_KEYS: [&str; 17] = [
+const KNOWN_KEYS: [&str; 18] = [
     "protocol",
     "shards",
     "batch_size",
@@ -124,6 +125,7 @@ const KNOWN_KEYS: [&str; 17] = [
     "full_snapshot_every",
     "auth_seed",
     "reactor_shards",
+    "pipeline_workers",
     "trace_sample_rate",
     "peers",
 ];
@@ -216,6 +218,9 @@ pub fn parse_cluster_config(text: &str) -> Result<ClusterConfig, ConfigError> {
     if let Some(v) = u64_knob("reactor_shards") {
         system.reactor_shards = v as usize;
     }
+    if let Some(v) = u64_knob("pipeline_workers") {
+        system.pipeline_workers = v as usize;
+    }
     if let Some(v) = u64_knob("trace_sample_rate") {
         system.trace_sample_rate = v;
     }
@@ -302,6 +307,7 @@ pub fn render_cluster_config(
         "full_snapshot_every": system.full_snapshot_every,
         "auth_seed": system.auth_seed,
         "reactor_shards": system.reactor_shards as u64,
+        "pipeline_workers": system.pipeline_workers as u64,
         "trace_sample_rate": system.trace_sample_rate,
         "timers_ms": serde_json::json!({
             "local": system.timers.local.as_nanos() / 1_000_000,
@@ -362,6 +368,7 @@ mod tests {
             "full_snapshot_every": 2,
             "auth_seed": 7,
             "reactor_shards": 2,
+            "pipeline_workers": 3,
             "trace_sample_rate": 8,
             "peers": {}
         }"#;
@@ -371,7 +378,14 @@ mod tests {
         assert_eq!(cc.system.full_snapshot_every, 2);
         assert_eq!(cc.system.auth_seed, 7);
         assert_eq!(cc.system.reactor_shards, 2);
+        assert_eq!(cc.system.pipeline_workers, 3);
         assert_eq!(cc.system.trace_sample_rate, 8);
+        // An absurd worker count fails SystemConfig validation.
+        assert!(parse_cluster_config(
+            r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],
+                 "pipeline_workers": 65, "peers": {} }"#
+        )
+        .is_err());
         // A zero reactor-shard count fails SystemConfig validation.
         assert!(parse_cluster_config(
             r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }],

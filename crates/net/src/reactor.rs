@@ -33,8 +33,11 @@
 //! calls remain serialized exactly as the old event loop serialized
 //! them — sharding scales the *I/O*, not the state machine.
 
-use crate::codec::{encode_frame, encode_hello_frame, Envelope, Frame, FrameAssembler, Hello};
-use crate::runtime::Shared;
+use crate::codec::{
+    decode_raw_frame, encode_frame, encode_hello_frame, Envelope, Frame, FrameAssembler, Hello,
+    RawFrame,
+};
+use crate::runtime::{Shared, VerifiedFrame};
 use ringbft_types::sansio::ProtocolNode;
 use ringbft_types::{Action, Duration, NodeId, TimerKind};
 use std::cmp::Reverse;
@@ -589,9 +592,11 @@ where
                 return;
             }
             self.take_handoffs();
+            self.drain_verified();
             if self.idx == 0 {
                 self.adopt_telemetry_listener();
                 self.fire_due_timers();
+                self.pump_node();
             }
             self.process_reconnects();
             // Flush *after* timers so a send produced by a timer
@@ -1314,22 +1319,40 @@ where
                     }
                 }
             };
-            let (frames, corrupt, peer_ip) = {
+            let offloading = self.shared.verify.is_some();
+            let (frames, raws, mut corrupt, peer_ip) = {
                 let conn = self.conns.get_mut(&tok).expect("conn exists");
                 conn.asm.extend(&buf[..n]);
                 let mut frames = Vec::new();
+                let mut raws = Vec::new();
                 let mut corrupt = false;
-                loop {
-                    match conn.asm.next_frame::<M>(&self.shared.auth, self.shared.id) {
-                        Ok(Some(f)) => frames.push(f),
-                        Ok(None) => break,
-                        Err(_) => {
-                            corrupt = true;
-                            break;
+                if offloading {
+                    // Verify stage installed: extract header-validated
+                    // raw frames only (cheap); MAC checks and body
+                    // decodes happen on the worker pool.
+                    loop {
+                        match conn.asm.next_raw_frame() {
+                            Ok(Some(r)) => raws.push(r),
+                            Ok(None) => break,
+                            Err(_) => {
+                                corrupt = true;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    loop {
+                        match conn.asm.next_frame::<M>(&self.shared.auth, self.shared.id) {
+                            Ok(Some(f)) => frames.push(f),
+                            Ok(None) => break,
+                            Err(_) => {
+                                corrupt = true;
+                                break;
+                            }
                         }
                     }
                 }
-                (frames, corrupt, conn.peer_ip)
+                (frames, raws, corrupt, conn.peer_ip)
             };
             let stalled = {
                 let conn = self.conns.get(&tok).expect("conn exists");
@@ -1347,6 +1370,27 @@ where
             for frame in frames {
                 self.handle_frame(peer_ip, frame);
             }
+            for raw in raws {
+                if raw.is_hello() {
+                    // Hello frames are verified inline: routing must
+                    // never lag behind the verify queue, and they are
+                    // rare (one per connection).
+                    match decode_raw_frame::<M>(&raw, &self.shared.auth, self.shared.id) {
+                        Ok(f) => {
+                            if let Some(v) = &self.shared.verify {
+                                v.inline.fetch_add(1, Ordering::Relaxed);
+                            }
+                            self.handle_frame(peer_ip, f);
+                        }
+                        Err(_) => {
+                            corrupt = true;
+                            break;
+                        }
+                    }
+                } else {
+                    self.offload_frame(tok, raw);
+                }
+            }
             if corrupt {
                 // Forged/corrupted traffic: drop the connection, exactly
                 // as the old reader did.
@@ -1354,6 +1398,78 @@ where
                 return;
             }
         }
+    }
+
+    /// Hands a raw data frame to the worker pool for MAC verification
+    /// and decode. Frames are pinned to a worker by connection token, so
+    /// per-connection frame order survives the offload; the worker
+    /// deposits the verdict in this shard's verified-frame mailbox and
+    /// pokes the shard's eventfd, and `drain_verified` picks it up at
+    /// the top of the next loop iteration.
+    fn offload_frame(&self, tok: u64, raw: RawFrame) {
+        let verify = self.shared.verify.as_ref().expect("verify stage");
+        verify.queue_depth.fetch_add(1, Ordering::Relaxed);
+        verify.offloaded.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&self.shared);
+        let shard = self.idx;
+        let pool = Arc::clone(&verify.pool);
+        pool.submit_to(
+            tok as usize,
+            Box::new(move || {
+                let verdict = match decode_raw_frame::<M>(&raw, &shared.auth, shared.id) {
+                    Ok(Frame::Data(env)) => Some(VerifiedFrame::Ok { env }),
+                    // Hellos never reach the pool (decoded inline), but
+                    // a frame claiming the hello flag without it set in
+                    // the extractor's view cannot happen — flags were
+                    // parsed once. Drop defensively.
+                    Ok(Frame::Hello(_)) => None,
+                    Err(_) => Some(VerifiedFrame::Corrupt { token: tok }),
+                };
+                let v = shared.verify.as_ref().expect("verify stage");
+                if let Some(verdict) = verdict {
+                    v.inbox[shard]
+                        .lock()
+                        .expect("verify inbox")
+                        .push_back(verdict);
+                }
+                v.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                shared.wakeups[shard].wake();
+            }),
+        );
+    }
+
+    /// Drains this shard's verified-frame mailbox: envelopes the worker
+    /// pool authenticated are delivered in deposit order; corrupt
+    /// verdicts close the offending connection (tolerating tokens whose
+    /// connection is already gone).
+    fn drain_verified(&mut self) {
+        let batch = match self.shared.verify.as_ref() {
+            Some(v) => std::mem::take(&mut *v.inbox[self.idx].lock().expect("verify inbox")),
+            None => return,
+        };
+        for item in batch {
+            match item {
+                VerifiedFrame::Ok { env } => self.deliver_env(env),
+                VerifiedFrame::Corrupt { token } => self.close_conn(token),
+            }
+        }
+    }
+
+    /// Pumps the hosted node (shard 0): collects results the node's
+    /// asynchronous execution stage finished off-thread and applies the
+    /// actions they produce. A no-op for nodes without a pipeline.
+    fn pump_node(&mut self) {
+        let now = self.shared.clock.now();
+        let actions = {
+            let mut n = self.node.lock().expect("node lock");
+            n.on_pump(now)
+        };
+        if actions.is_empty() {
+            return;
+        }
+        let mut pending = VecDeque::new();
+        self.apply_actions(actions, &mut pending);
+        self.drain_pending(pending);
     }
 
     fn handle_frame(&mut self, peer_ip: Option<IpAddr>, frame: Frame<M>) {
@@ -1380,32 +1496,37 @@ where
                     }
                 }
             }
-            Frame::Data(env) => {
-                // Deliver only traffic addressed to (an alias of) us;
-                // anything else indicates a stale peer table.
-                if self.shared.peers.resolve(env.to) != self.shared.id {
-                    return;
-                }
-                // Fast path: the atomic keeps the no-filter case (every
-                // production run) free of the shared lock.
-                let filtered = self.shared.inbound_filter_armed.load(Ordering::Acquire)
-                    && self
-                        .shared
-                        .inbound_filter
-                        .lock()
-                        .expect("filter lock")
-                        .as_ref()
-                        .is_some_and(|f| f(env.from, &env.msg));
-                if filtered {
-                    self.shared
-                        .counters
-                        .messages_filtered
-                        .fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-                self.deliver(env.from, env.msg);
-            }
+            Frame::Data(env) => self.deliver_env(env),
         }
+    }
+
+    /// Delivers an authenticated envelope to the hosted node, applying
+    /// the address check and any installed inbound drop rule. Shared by
+    /// the inline decode path and the worker-verified mailbox.
+    fn deliver_env(&mut self, env: Envelope<M>) {
+        // Deliver only traffic addressed to (an alias of) us;
+        // anything else indicates a stale peer table.
+        if self.shared.peers.resolve(env.to) != self.shared.id {
+            return;
+        }
+        // Fast path: the atomic keeps the no-filter case (every
+        // production run) free of the shared lock.
+        let filtered = self.shared.inbound_filter_armed.load(Ordering::Acquire)
+            && self
+                .shared
+                .inbound_filter
+                .lock()
+                .expect("filter lock")
+                .as_ref()
+                .is_some_and(|f| f(env.from, &env.msg));
+        if filtered {
+            self.shared
+                .counters
+                .messages_filtered
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.deliver(env.from, env.msg);
     }
 
     // ------------------------------------------------------------------

@@ -28,8 +28,9 @@
 //! epoch (`Clock`), so all nodes of one process observe one timebase,
 //! mirroring `Instant::ZERO` at simulation start.
 
-use crate::codec::FrameAuth;
+use crate::codec::{Envelope, FrameAuth};
 use crate::reactor::{self, EventFd, PeerQueue, TimerState};
+use ringbft_core::WorkerPool;
 use ringbft_types::sansio::ProtocolNode;
 use ringbft_types::{Instant, NodeId};
 use serde::{Deserialize, Serialize};
@@ -277,6 +278,43 @@ pub(crate) struct TelemetryState {
     pub(crate) handler: Option<TelemetryHandler>,
 }
 
+/// A frame that went through the off-thread verify stage.
+pub(crate) enum VerifiedFrame<M> {
+    /// Authenticated and decoded: deliver it to the hosted node.
+    Ok { env: Envelope<M> },
+    /// The MAC or decode failed: the connection is unrecoverable and
+    /// the owning reactor must drop it (stale tokens are tolerated —
+    /// the connection may already be gone by the time this lands).
+    Corrupt { token: u64 },
+}
+
+/// The inbound verify/hash pipeline stage (`pipeline_workers > 0`).
+///
+/// Reactor shards extract header-validated [`RawFrame`]s and pin them
+/// to a worker by connection token (per-connection FIFO order); the
+/// worker runs the HMAC check and body decode, deposits the verdict in
+/// the owning shard's mailbox, and wakes that shard's eventfd — the
+/// same wake path every other cross-thread event uses. The hosted node
+/// itself never sees a frame that has not been authenticated, exactly
+/// as on the inline path.
+///
+/// [`RawFrame`]: crate::codec::RawFrame
+pub(crate) struct VerifyStage<M> {
+    /// The node's shared worker pool (the execution stage runs on the
+    /// same pool, keeping the per-node thread budget at
+    /// `reactor_shards + pipeline_workers`).
+    pub(crate) pool: Arc<WorkerPool>,
+    /// Per-reactor-shard mailboxes of verify verdicts.
+    pub(crate) inbox: Vec<Mutex<VecDeque<VerifiedFrame<M>>>>,
+    /// Frames submitted to the pool but not yet verified.
+    pub(crate) queue_depth: AtomicU64,
+    /// Frames verified off-thread.
+    pub(crate) offloaded: AtomicU64,
+    /// Frames verified on a reactor thread (Hellos, which must not lag
+    /// the routing table behind the verify queue).
+    pub(crate) inline: AtomicU64,
+}
+
 /// State shared between the public [`NodeRuntime`] handle and its
 /// reactor shards.
 pub(crate) struct Shared<M> {
@@ -324,6 +362,8 @@ pub(crate) struct Shared<M> {
     /// every loop iteration until an endpoint is installed.
     pub(crate) telemetry: Mutex<TelemetryState>,
     pub(crate) telemetry_armed: AtomicBool,
+    /// The verify/hash offload stage, when `pipeline_workers > 0`.
+    pub(crate) verify: Option<VerifyStage<M>>,
 }
 
 impl<M> Shared<M> {
@@ -371,10 +411,38 @@ impl<M> Shared<M> {
             )
             .field_u64("net.reconnects", c.reconnects)
             .field_u64("net.timers_fired", c.timers_fired);
+        let (v_off, v_inline, v_depth) = match &self.verify {
+            Some(v) => (
+                v.offloaded.load(Ordering::Relaxed),
+                v.inline.load(Ordering::Relaxed),
+                v.queue_depth.load(Ordering::Relaxed),
+            ),
+            None => (0, 0, 0),
+        };
+        let pool_stats = self.verify.as_ref().map(|v| v.pool.stats());
+        cw.field_u64("pipeline.verify_inline", v_inline)
+            .field_u64("pipeline.verify_offloaded", v_off)
+            .field_u64(
+                "pipeline.worker_busy_ns",
+                pool_stats.as_ref().map_or(0, |s| s.busy_ns),
+            )
+            .field_u64(
+                "pipeline.worker_idle_ns",
+                pool_stats.as_ref().map_or(0, |s| s.idle_ns),
+            )
+            .field_u64(
+                "pipeline.worker_tasks",
+                pool_stats.as_ref().map_or(0, |s| s.tasks),
+            );
         let mut gw = ringbft_obs::json::ObjectWriter::new();
         gw.field_u64(
             "net.peer_queue_hwm_bytes",
             self.obs.queue_hwm_bytes.load(Ordering::Relaxed),
+        )
+        .field_u64("pipeline.verify_queue_depth", v_depth)
+        .field_u64(
+            "pipeline.workers",
+            self.verify.as_ref().map_or(0, |v| v.pool.workers()) as u64,
         );
         let mut hw = ringbft_obs::json::ObjectWriter::new();
         {
@@ -495,7 +563,38 @@ where
         auth: FrameAuth,
         reactor_shards: usize,
     ) -> std::io::Result<NodeRuntime<M, N>> {
+        Self::launch_with_pipeline(id, node, listener, peers, clock, auth, reactor_shards, 0)
+    }
+
+    /// Like [`NodeRuntime::launch_with_shards`], but additionally runs a
+    /// `pipeline_workers`-thread worker pool hosting the verify/hash
+    /// stage: inbound frame MAC checks and body decodes run off the
+    /// reactor threads, pinned per connection so frame order is
+    /// preserved, feeding verified messages back through the reactor's
+    /// eventfd wake path. The same pool is shared with an execution
+    /// stage installed on the hosted node ([`NodeRuntime::exec_waker`]
+    /// plus `RingReplica::install_pipeline`), so the per-node thread
+    /// budget is exactly `reactor_shards + pipeline_workers`.
+    /// `pipeline_workers = 0` keeps everything inline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_with_pipeline(
+        id: NodeId,
+        node: N,
+        listener: TcpListener,
+        peers: PeerTable,
+        clock: Clock,
+        auth: FrameAuth,
+        reactor_shards: usize,
+        pipeline_workers: usize,
+    ) -> std::io::Result<NodeRuntime<M, N>> {
         let nshards = reactor_shards.max(1);
+        let verify = (pipeline_workers > 0).then(|| VerifyStage {
+            pool: Arc::new(WorkerPool::new(&format!("{id}-pipe"), pipeline_workers)),
+            inbox: (0..nshards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queue_depth: AtomicU64::new(0),
+            offloaded: AtomicU64::new(0),
+            inline: AtomicU64::new(0),
+        });
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let mut wakeups = Vec::with_capacity(nshards);
@@ -526,6 +625,7 @@ where
                 handler: None,
             }),
             telemetry_armed: AtomicBool::new(false),
+            verify,
         });
         let node = Arc::new(Mutex::new(node));
 
@@ -574,6 +674,48 @@ where
     /// launch, independent of connection count).
     pub fn reactor_shards(&self) -> usize {
         self.shared.nshards
+    }
+
+    /// The number of pipeline worker threads (0 when the runtime was
+    /// launched without an offload stage).
+    pub fn pipeline_workers(&self) -> usize {
+        self.shared.verify.as_ref().map_or(0, |v| v.pool.workers())
+    }
+
+    /// `(offloaded, inline)` frame-verification counts: how many
+    /// inbound data frames were MAC-checked on the worker pool versus
+    /// decoded inline on a reactor thread (Hello frames and the
+    /// zero-worker path). Both zero without an offload stage.
+    pub fn verify_stats(&self) -> (u64, u64) {
+        match &self.shared.verify {
+            Some(v) => (
+                v.offloaded.load(Ordering::Relaxed),
+                v.inline.load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// The shared worker pool hosting the verify stage, if one was
+    /// launched. The execution stage of the hosted node should be
+    /// installed on this same pool so one node never runs more than
+    /// `reactor_shards + pipeline_workers` threads.
+    pub fn worker_pool(&self) -> Option<Arc<WorkerPool>> {
+        self.shared.verify.as_ref().map(|v| Arc::clone(&v.pool))
+    }
+
+    /// A waker for an asynchronous execution stage: when a worker
+    /// finishes an execution job it calls this to nudge reactor shard 0,
+    /// whose loop pumps the node and collects the finished results. The
+    /// waker holds only a weak reference, so it never keeps a shut-down
+    /// runtime alive.
+    pub fn exec_waker(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let weak: Weak<Shared<M>> = Arc::downgrade(&self.shared);
+        Arc::new(move || {
+            if let Some(s) = weak.upgrade() {
+                s.wakeups[0].wake();
+            }
+        })
     }
 
     /// Runs `f` with exclusive access to the hosted node (pauses event

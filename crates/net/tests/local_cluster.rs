@@ -526,6 +526,74 @@ fn commit_hole_repaired_via_certificate_fetch_over_tcp() {
     assert!(cluster.shutdown(), "cluster shutdown was not clean");
 }
 
+/// Acceptance test (pipeline): a cluster launched with
+/// `pipeline_workers = 2` completes a closed-loop workload with frame
+/// verification running on the worker pool and the execution stage
+/// re-homed onto the same pool — and replicas of the shard still
+/// converge to identical stores (the offload must not reorder
+/// anything).
+#[test]
+fn pipelined_cluster_offloads_verification_and_execution() {
+    let mut cfg = quick_cfg(1, 4);
+    cfg.clients = 16;
+    cfg.cross_shard_rate = 0.0;
+    cfg.involved_shards = 1;
+    cfg.batch_size = 2;
+    cfg.pipeline_workers = 2;
+    let mut cluster = LocalCluster::launch(cfg).expect("launch cluster");
+
+    // Both stages landed on the shared pool: the runtime reports the
+    // verify pool and the hosted replica reports a 2-worker exec stage.
+    for rt in cluster.replica_runtimes() {
+        assert_eq!(rt.pipeline_workers(), 2);
+        rt.with_node(|n| match n {
+            ringbft_sim::AnyNode::Ring(r) => assert_eq!(r.pipeline_workers(), 2),
+            _ => panic!("ring replica expected"),
+        });
+    }
+
+    cluster
+        .spawn_workload_host(7, 2_000_000, 16)
+        .expect("spawn workload");
+    let target = 60usize;
+    let ok = cluster.wait_until(DEADLINE, |c| c.total_completions() >= target);
+    let total = cluster.total_completions();
+    assert!(
+        ok,
+        "pipelined workload stalled: {total}/{target} completions before the deadline"
+    );
+
+    // Data frames actually took the offload path, and the transport
+    // metrics expose the pipeline instruments.
+    for rt in cluster.replica_runtimes() {
+        let (offloaded, _inline) = rt.verify_stats();
+        assert!(offloaded > 0, "{}: no frames were offloaded", rt.id());
+        let metrics = rt.metrics_json();
+        assert!(
+            metrics.contains("\"pipeline.verify_offloaded\"")
+                && metrics.contains("\"pipeline.workers\":2"),
+            "{}: pipeline instruments missing from {metrics}",
+            rt.id()
+        );
+    }
+
+    // The parallel execution stage must not break replica agreement.
+    let converged = cluster.wait_until(DEADLINE, |c| {
+        let prints: Vec<u64> = (0..4u32)
+            .map(|i| {
+                c.with_replica(ReplicaId::new(ShardId(0), i), |n| match n {
+                    ringbft_sim::AnyNode::Ring(r) => r.store().state_fingerprint(),
+                    _ => panic!("ring replica expected"),
+                })
+            })
+            .collect();
+        prints.windows(2).all(|w| w[0] == w[1])
+    });
+    assert!(converged, "stores diverged under the threaded pipeline");
+
+    assert!(cluster.shutdown(), "cluster shutdown was not clean");
+}
+
 /// Closed-loop workload over 3 shards: the simulator's own `SimClient`
 /// drives sustained traffic through real sockets and completes
 /// transactions continuously.

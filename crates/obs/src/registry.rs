@@ -89,6 +89,23 @@ impl Registry {
         self.gauges[id.0].1
     }
 
+    /// Read-only counter lookup by name (harness-side aggregation over
+    /// registries it did not build).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Read-only gauge lookup by name.
+    pub fn gauge_by_name(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
     /// Records a sample into a histogram.
     pub fn record(&mut self, id: HistId, v: u64) {
         self.hists[id.0].1.record(v);

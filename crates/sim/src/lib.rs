@@ -18,8 +18,8 @@ pub use client::{Completion, SimClient};
 pub use msg::AnyMsg;
 pub use nodes::AnyNode;
 pub use scenario::{
-    scenario_quorum, DeltaTransferReport, HoleReport, PhaseReport, RecoveryReport, Scenario,
-    ScenarioReport,
+    scenario_quorum, DeltaTransferReport, HoleReport, PhaseReport, PipelineReport, RecoveryReport,
+    Scenario, ScenarioReport,
 };
 
 #[cfg(test)]
@@ -112,6 +112,64 @@ mod tests {
         assert_eq!(a.completed_txns, b.completed_txns);
         assert_eq!(a.messages_sent, b.messages_sent);
         assert_eq!(a.bytes_sent, b.bytes_sent);
+    }
+
+    /// The simulator-level determinism twin: a replica hosting a
+    /// blocking threaded execution stage (`pipeline_workers = 1`) must
+    /// produce the *identical* run to the inline stage when the CPU
+    /// model is pinned — real worker threads, same event sequence.
+    #[test]
+    fn threaded_stage_twin_matches_inline_run() {
+        let mk = |workers: usize| {
+            let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
+            quick(&mut cfg);
+            cfg.cross_shard_rate = 0.2;
+            cfg.pipeline_workers = workers;
+            // Pin the CPU model so only the replica-side stage varies.
+            Scenario::new(cfg, 7)
+                .warmup_secs(0.5)
+                .measure_secs(1.5)
+                .model_workers(0)
+                .run()
+        };
+        let inline = mk(0);
+        let threaded = mk(1);
+        assert_eq!(inline.completed_txns, threaded.completed_txns);
+        assert_eq!(inline.messages_sent, threaded.messages_sent);
+        assert_eq!(inline.bytes_sent, threaded.bytes_sent);
+        assert_eq!(inline.view_changes, threaded.view_changes);
+        assert_eq!(threaded.pipeline.replica_workers, 1);
+        assert_eq!(inline.pipeline.replica_workers, 0);
+        assert_eq!(inline.pipeline.exec_jobs, threaded.pipeline.exec_jobs);
+    }
+
+    /// Modelling pipeline workers must raise throughput on a saturated
+    /// single-shard workload — the knee the core-scaling CI job gates.
+    #[test]
+    fn modeled_workers_scale_saturated_throughput() {
+        let run = |workers: usize| {
+            let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 1, 4);
+            cfg.num_keys = 6_000;
+            cfg.clients = 3_000;
+            cfg.batch_size = 50;
+            cfg.cross_shard_rate = 0.0;
+            cfg.involved_shards = 1;
+            Scenario::new(cfg, 11)
+                .warmup_secs(0.5)
+                .measure_secs(2.0)
+                .local_topology(true)
+                .model_workers(workers)
+                .run()
+        };
+        let base = run(0);
+        let piped = run(4);
+        assert!(base.completed_txns > 0);
+        assert!(
+            piped.throughput_tps > base.throughput_tps * 1.5,
+            "4 modeled workers: {} tps vs {} tps inline",
+            piped.throughput_tps,
+            base.throughput_tps
+        );
     }
 
     #[test]

@@ -179,6 +179,18 @@ impl SimNode<AnyMsg> for AnyNode {
         }
     }
 
+    fn on_pump(&mut self, now: Instant) -> Vec<Action<AnyMsg>> {
+        match self {
+            AnyNode::Ring(r) => {
+                let mut out = Outbox::new();
+                r.pump(now, &mut out);
+                lift(out.take(), AnyMsg::Ring)
+            }
+            // No other node hosts an off-thread stage.
+            _ => vec![],
+        }
+    }
+
     fn on_timer(&mut self, now: Instant, kind: TimerKind, token: u64) -> Vec<Action<AnyMsg>> {
         match self {
             AnyNode::Ring(r) => {

@@ -191,6 +191,31 @@ fn timeline_steps(t: &SpanTimeline) -> Vec<(u32, &'static str, f64)> {
         .collect()
 }
 
+/// Execution-pipeline accounting of one run: what the CPU model
+/// offloaded and what the replicas' execution stages did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineReport {
+    /// Pipeline workers modelled by the simulator's CPU scheduler
+    /// ([`ringbft_simnet::World::set_workers`]).
+    pub modeled_workers: usize,
+    /// Largest `pipeline.workers` gauge across replicas (the execution
+    /// stage threads each replica actually hosts; 0 = inline).
+    pub replica_workers: u64,
+    /// Batches run through the execution stage, summed over replicas.
+    pub exec_jobs: u64,
+    /// Submissions that found another batch already in flight (only an
+    /// async stage overlaps, so this stays 0 for inline/blocking runs).
+    pub exec_parallel_batches: u64,
+    /// Frames whose verification ran on a worker, summed over replicas.
+    pub verify_offloaded: u64,
+    /// Frames verified inline on the reactor thread.
+    pub verify_inline: u64,
+    /// Cumulative worker busy nanoseconds, summed over replicas.
+    pub worker_busy_ns: u64,
+    /// Cumulative worker idle nanoseconds, summed over replicas.
+    pub worker_idle_ns: u64,
+}
+
 /// Metrics of one scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -235,6 +260,8 @@ pub struct ScenarioReport {
     pub holes: Vec<HoleReport>,
     /// Delta state-transfer metrics, one per darkened replica.
     pub delta_transfers: Vec<DeltaTransferReport>,
+    /// Execution-pipeline accounting (workers, offload, overlap).
+    pub pipeline: PipelineReport,
 }
 
 /// A configurable experiment.
@@ -250,6 +277,7 @@ pub struct Scenario {
     blank_restart: Option<(f64, f64, ReplicaId)>,
     commit_holes: Vec<(ReplicaId, u64)>,
     delta_transfers: Vec<(ReplicaId, f64, f64)>,
+    model_workers: Option<usize>,
 }
 
 impl Scenario {
@@ -267,7 +295,18 @@ impl Scenario {
             blank_restart: None,
             commit_holes: Vec::new(),
             delta_transfers: Vec::new(),
+            model_workers: None,
         }
+    }
+
+    /// Overrides the number of pipeline workers the simulator's CPU
+    /// scheduler models (offloadable message costs overlap with the
+    /// ordering core). Defaults to the config's `pipeline_workers`, so
+    /// a threaded deployment is modelled faithfully; the determinism
+    /// twin pins the model while varying the replica-side stage.
+    pub fn model_workers(mut self, n: usize) -> Self {
+        self.model_workers = Some(n);
+        self
     }
 
     /// Warmup phase length (completions here are discarded).
@@ -374,6 +413,8 @@ impl Scenario {
         topology.wan_bps /= self.bandwidth_divisor;
         let mut world: World<AnyMsg, AnyNode> =
             World::new(topology, self.faults.clone(), self.seed);
+        let modeled_workers = self.model_workers.unwrap_or(cfg.pipeline_workers);
+        world.set_workers(modeled_workers);
 
         // --- targeted faults: commit holes and darkness windows ---
         if !self.commit_holes.is_empty() || !self.delta_transfers.is_empty() {
@@ -746,6 +787,25 @@ impl Scenario {
             })
             .collect();
 
+        // Pipeline accounting, summed over the instrumented replicas.
+        let mut pipeline = PipelineReport {
+            modeled_workers,
+            ..Default::default()
+        };
+        for (_, node) in world.nodes() {
+            if let Some(obs) = node.ring_obs() {
+                let c = |n: &str| obs.reg.counter_by_name(n).unwrap_or(0);
+                let g = |n: &str| obs.reg.gauge_by_name(n).unwrap_or(0);
+                pipeline.exec_jobs += c("pipeline.exec_jobs");
+                pipeline.exec_parallel_batches += c("pipeline.exec_parallel_batches");
+                pipeline.verify_offloaded += c("pipeline.verify_offloaded_frames");
+                pipeline.verify_inline += c("pipeline.verify_inline_frames");
+                pipeline.worker_busy_ns += g("pipeline.worker_busy_ns");
+                pipeline.worker_idle_ns += g("pipeline.worker_idle_ns");
+                pipeline.replica_workers = pipeline.replica_workers.max(g("pipeline.workers"));
+            }
+        }
+
         ScenarioReport {
             completed_txns: completed,
             throughput_tps: throughput,
@@ -765,6 +825,7 @@ impl Scenario {
             recovery,
             holes,
             delta_transfers,
+            pipeline,
         }
     }
 }

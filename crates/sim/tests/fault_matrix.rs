@@ -74,6 +74,23 @@ fn seed() -> u64 {
     }
 }
 
+/// The pipeline-worker dimension of the CI matrix:
+/// `RINGBFT_PIPELINE_WORKERS` > 0 hosts a *real* blocking threaded
+/// execution stage on every replica (observable event order identical
+/// to inline — the determinism twin pins that) and models the worker
+/// offload in the simulator's CPU scheduler, so every recovery path is
+/// also exercised with worker threads underneath. Same fail-loudly
+/// contract as the seed.
+fn pipeline_workers() -> usize {
+    match std::env::var("RINGBFT_PIPELINE_WORKERS") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("RINGBFT_PIPELINE_WORKERS is not an integer: {s:?}")),
+        Err(_) => 0,
+    }
+}
+
 /// Small cluster, tight timers: every recovery mechanism fires within a
 /// few simulated seconds. The checkpoint window (128 sequences at this
 /// traffic rate ≈ a simulated second) is deliberately wider than the
@@ -90,6 +107,7 @@ fn fault_cfg(z: usize) -> SystemConfig {
     cfg.timers.remote = Duration::from_millis(2400);
     cfg.timers.transmit = Duration::from_millis(3600);
     cfg.timers.client = Duration::from_millis(4800);
+    cfg.pipeline_workers = pipeline_workers();
     cfg
 }
 

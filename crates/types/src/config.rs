@@ -192,6 +192,18 @@ pub struct SystemConfig {
     /// cores on replicas terminating many client connections. Ignored
     /// by the discrete-event simulator.
     pub reactor_shards: usize,
+    /// Execution-pipeline workers per replica: `0` (the default) keeps
+    /// the deterministic inline pipeline — MAC verification, batch
+    /// hashing and fragment execution run on the consensus thread,
+    /// byte-identical to the pre-pipeline replica (the simulator's
+    /// fault-scenario seeds rely on this). A positive value moves the
+    /// verify/hash and execution stages onto a fixed pool of that many
+    /// worker threads (`ringbft-core`'s `ThreadedPipeline`); the
+    /// recommended sizing is `min(4, cores − reactor_shards − 1)`
+    /// (`ringbft_core::default_workers`). Configs predating the knob
+    /// deserialize to `0`.
+    #[serde(default)]
+    pub pipeline_workers: usize,
     /// Ablation switch: send cross-shard Forward/Execute messages to
     /// *every* replica of the next shard instead of only the same-index
     /// counterpart. Quantifies the linear communication primitive's
@@ -245,6 +257,7 @@ impl SystemConfig {
             full_snapshot_every: 4,
             auth_seed: 0,
             reactor_shards: 1,
+            pipeline_workers: 0,
             ablation_quadratic_forward: false,
             ring_offset: 0,
             trace_sample_rate: 64,
@@ -340,6 +353,9 @@ impl SystemConfig {
         if self.reactor_shards == 0 || self.reactor_shards > 64 {
             return Err("reactor_shards must be within 1..=64".into());
         }
+        if self.pipeline_workers > 64 {
+            return Err("pipeline_workers must be within 0..=64".into());
+        }
         Ok(())
     }
 }
@@ -410,6 +426,18 @@ mod tests {
         cfg.reactor_shards = 65;
         assert!(cfg.validate().is_err());
         cfg.reactor_shards = 4;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn pipeline_workers_validated() {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 2, 4);
+        assert_eq!(cfg.pipeline_workers, 0, "inline by default");
+        cfg.pipeline_workers = 4;
+        cfg.validate().unwrap();
+        cfg.pipeline_workers = 65;
+        assert!(cfg.validate().is_err());
+        cfg.pipeline_workers = 64;
         cfg.validate().unwrap();
     }
 

@@ -109,6 +109,15 @@ pub trait ProtocolNode<M> {
         kind: TimerKind,
         token: u64,
     ) -> Vec<Action<M>>;
+
+    /// Called when the driver wakes the node outside a message delivery
+    /// or timer expiry — e.g. after an execution-pipeline worker
+    /// deposited a finished job. Nodes without off-thread stages keep
+    /// the default no-op.
+    fn on_pump(&mut self, now: crate::time::Instant) -> Vec<Action<M>> {
+        let _ = now;
+        Vec::new()
+    }
 }
 
 impl<M> Action<M> {

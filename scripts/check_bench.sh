@@ -79,25 +79,56 @@ fi
 echo "check_bench: tracing overhead < 3% and cst timelines assemble"
 
 # Reactor thread gate: a running node must use a fixed thread count —
-# at most reactor_shards + 1 per hosted node (its reactor shards plus
+# at most reactor_shards + pipeline_workers + 1 per hosted node (its
+# reactor shards, its share of the verify/exec worker pool, plus
 # amortized process overhead) — independent of how many peers/clients
 # are connected. The thread-per-connection runtime this replaced would
 # blow straight through this bound under the bench's 32-client load.
-read -r THREADS_PER_NODE REACTOR_SHARDS < <(awk '
+read -r THREADS_PER_NODE REACTOR_SHARDS PIPE_WORKERS < <(awk '
     /"net": {/      { in_net = 1 }
-    in_net && /"threads_per_node":/ { gsub(/[",]/, ""); t = $2 }
-    in_net && /"reactor_shards":/   { gsub(/[",]/, ""); s = $2 }
+    in_net && /"threads_per_node":/   { gsub(/[",]/, ""); t = $2 }
+    in_net && /"reactor_shards":/     { gsub(/[",]/, ""); s = $2 }
+    in_net && /"pipeline_workers":/   { gsub(/[",]/, ""); p = $2 }
     in_net && /^  }/ { in_net = 0 }
-    END { print t, s }
+    END { print t, s, p }
 ' "$OUT")
-if [[ -z "$THREADS_PER_NODE" || -z "$REACTOR_SHARDS" ]]; then
-    echo "check_bench: FAIL net section missing threads_per_node/reactor_shards in $OUT" >&2
+if [[ -z "$THREADS_PER_NODE" || -z "$REACTOR_SHARDS" || -z "$PIPE_WORKERS" ]]; then
+    echo "check_bench: FAIL net section missing threads_per_node/reactor_shards/pipeline_workers in $OUT" >&2
     exit 1
 fi
-if ! awk -v t="$THREADS_PER_NODE" -v s="$REACTOR_SHARDS" 'BEGIN { exit !(t <= s + 1) }'; then
-    echo "check_bench: FAIL threads_per_node $THREADS_PER_NODE exceeds reactor_shards + 1 (= $((REACTOR_SHARDS + 1)))" >&2
+if ! awk -v t="$THREADS_PER_NODE" -v s="$REACTOR_SHARDS" -v p="$PIPE_WORKERS" \
+        'BEGIN { exit !(t <= s + p + 1) }'; then
+    echo "check_bench: FAIL net threads_per_node $THREADS_PER_NODE exceeds reactor_shards + pipeline_workers + 1 (= $((REACTOR_SHARDS + PIPE_WORKERS + 1)))" >&2
     exit 1
 fi
-echo "check_bench: reactor thread count fixed ($THREADS_PER_NODE threads/node, $REACTOR_SHARDS shard(s))"
+echo "check_bench: reactor thread count fixed ($THREADS_PER_NODE threads/node, $REACTOR_SHARDS shard(s), $PIPE_WORKERS worker(s))"
+
+# Pipeline gates (schema v8): the multi-core pipeline must buy its keep.
+# `scaling_ok` folds the ≥ 1.8x modeled scaling knee at N workers over 1
+# plus the loopback run's safety (replica stores converge under the
+# parallel exec stage) and liveness (progress + clean shutdown); the
+# worker-pool cluster must also respect the widened thread budget.
+if ! grep -q '"scaling_ok": true' "$OUT"; then
+    echo "check_bench: FAIL pipeline scaling gate (scaling_ok not true in $OUT)" >&2
+    exit 1
+fi
+read -r P_THREADS P_SHARDS P_WORKERS < <(awk '
+    /"pipeline": {/ { in_p = 1 }
+    in_p && /"threads_per_node":/ { gsub(/[",]/, ""); t = $2 }
+    in_p && /"reactor_shards":/   { gsub(/[",]/, ""); s = $2 }
+    in_p && /"workers":/          { gsub(/[",]/, ""); w = $2 }
+    in_p && /^  }/ { in_p = 0 }
+    END { print t, s, w }
+' "$OUT")
+if [[ -z "$P_THREADS" || -z "$P_SHARDS" || -z "$P_WORKERS" ]]; then
+    echo "check_bench: FAIL pipeline section missing threads_per_node/reactor_shards/workers in $OUT" >&2
+    exit 1
+fi
+if ! awk -v t="$P_THREADS" -v s="$P_SHARDS" -v w="$P_WORKERS" \
+        'BEGIN { exit !(t <= s + w + 1) }'; then
+    echo "check_bench: FAIL pipeline threads_per_node $P_THREADS exceeds reactor_shards + workers + 1 (= $((P_SHARDS + P_WORKERS + 1)))" >&2
+    exit 1
+fi
+echo "check_bench: pipeline scales ($P_WORKERS workers, $P_THREADS threads/node within budget)"
 
 echo "check_bench: OK"
