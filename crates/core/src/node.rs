@@ -48,8 +48,9 @@ use ringbft_crypto::Digest;
 use ringbft_ledger::{BlockBody, Ledger};
 use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
 use ringbft_recovery::{
-    ChainTransfer, DeltaSnapshot, HoleFetcher, HoleStats, RecoveryEvent, RecoveryManager,
-    RecoveryMsg, RecoveryStats, Snapshot, HOLE_PROBE_TOKEN, RECOVERY_PROBE_TOKEN,
+    ChainTransfer, DeltaSnapshot, HoleFetcher, HoleStats, Recovered, RecoveryEvent,
+    RecoveryManager, RecoveryMsg, RecoveryStats, ReplicaWal, Snapshot, WalEntry,
+    HOLE_PROBE_TOKEN, RECOVERY_PROBE_TOKEN,
 };
 use ringbft_store::{KvStore, LockManager, Record};
 use ringbft_types::hole::{HoleReply, HoleRequest};
@@ -66,6 +67,10 @@ use std::sync::Arc;
 const TOKEN_BASE: u64 = 1 << 62;
 /// Token of the batch-pool flush timer.
 const POOL_FLUSH_TOKEN: u64 = TOKEN_BASE - 1;
+/// Token of the write-ahead-ledger group-commit flush timer (batched
+/// durability). `TOKEN_BASE - 2` and `- 3` belong to the recovery and
+/// hole-fetch probes.
+const WAL_FLUSH_TOKEN: u64 = TOKEN_BASE - 4;
 /// Maximum Forward/Execute retransmissions (the paper retransmits until
 /// fate is known; we cap to bound simulated traffic — see DESIGN.md).
 const MAX_RETRANSMITS: u32 = 3;
@@ -316,6 +321,19 @@ pub struct RingReplica {
     windows_since_full: u64,
     /// The state-transfer state machine.
     recovery: RecoveryManager,
+    /// The durable write-ahead ledger, when the host attached one
+    /// ([`RingReplica::attach_wal`]). `None` runs exactly the
+    /// pre-durability replica (tests, ephemeral sims).
+    wal: Option<ReplicaWal>,
+    /// Whether the batched-durability flush tick is currently armed
+    /// (armed lazily on the first unsynced append, re-armed by the
+    /// next one after it fires).
+    wal_timer_armed: bool,
+    /// Set when this replica's announced checkpoint digest *lost* a
+    /// quorum vote: every piece of local state is suspect, and the
+    /// install-admission checks (which protect healthy local progress)
+    /// stand down until verified quorum state is re-installed.
+    diverged: bool,
     /// The hole-fetch state machine: single-sequence commit-certificate
     /// recovery when the watermark stalls behind the commit frontier.
     hole: HoleFetcher,
@@ -441,6 +459,9 @@ impl RingReplica {
             stable_digest: None,
             windows_since_full: 0,
             recovery,
+            wal: None,
+            wal_timer_armed: false,
+            diverged: false,
             hole,
             pre_commit_vc_defer: None,
             obs_now: Instant::ZERO,
@@ -473,6 +494,117 @@ impl RingReplica {
     /// The execution stage's worker count (0 = inline).
     pub fn pipeline_workers(&self) -> usize {
         self.exec_pipeline.workers()
+    }
+
+    /// Attaches a durable write-ahead ledger and — when the replayed log
+    /// holds a checkpoint chain — restores the replica to its tip:
+    /// store, watermark, locks, ledger position and PBFT stable floor,
+    /// exactly the state swap a verified snapshot install performs. The
+    /// live tail beyond the recovered tip re-enters via the ordinary
+    /// delta-chain transfer (O(gap), not O(state)).
+    ///
+    /// Must be called right after construction, before any traffic.
+    pub fn attach_wal(&mut self, wal: ReplicaWal, recovered: &Recovered) {
+        assert!(self.wal.is_none(), "wal attached twice");
+        assert!(
+            self.exec_watermark == 0 && self.work.is_empty(),
+            "wal attached after traffic"
+        );
+        if let Some(tip) = recovered.fold(self.me.shard) {
+            self.kv = tip.store.clone();
+            self.stable_kv = tip.store;
+            self.stable_seq = tip.seq;
+            self.stable_digest = Some(tip.digest);
+            self.windows_since_full = 0;
+            self.exec_watermark = tip.seq;
+            self.locks = LockManager::starting_at(tip.seq);
+            self.ledger =
+                Ledger::from_checkpoint(self.me.shard, tip.ledger_height, tip.ledger_head);
+            self.pbft.install_stable_floor(SeqNum(tip.seq));
+            self.recovery.set_local_base(tip.seq, tip.digest);
+            // Re-seed retention from the recovered chain so this replica
+            // is immediately servable to laggards and its own base is a
+            // valid fold target for inbound delta transfers.
+            if let Some(full) = recovered.full.clone() {
+                let mut folded = full.restore_store();
+                self.recovery.retain(Arc::new(full));
+                for d in &recovered.deltas {
+                    d.fold_into(&mut folded);
+                    let digest = Snapshot::digest_of_store(self.me.shard, d.seq, &folded);
+                    self.recovery.retain_delta(Arc::new(d.clone()), digest);
+                }
+            }
+            self.obs.trace.push(
+                self.obs_now.as_nanos(),
+                "wal_restore",
+                &[("seq", tip.seq), ("durable_seq", recovered.durable_seq)],
+            );
+        }
+        self.wal = Some(wal);
+    }
+
+    /// The attached write-ahead ledger, for diagnostics (bytes, syncs).
+    pub fn wal(&self) -> Option<&ReplicaWal> {
+        self.wal.as_ref()
+    }
+
+    /// True while this replica has rolled back a diverged checkpoint
+    /// window and awaits quorum state.
+    pub fn is_diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// Forces buffered WAL appends durable (driver-initiated group
+    /// commit, e.g. before an orderly process exit).
+    pub fn flush_wal(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            if w.flush().is_err() {
+                self.obs.trace.push(self.obs_now.as_nanos(), "wal_error", &[]);
+            }
+        }
+    }
+
+    /// Clean shutdown: appends the close marker and syncs, so the next
+    /// open replays with `clean_close == true` and no torn tail.
+    pub fn close_wal(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            if w.close().is_err() {
+                self.obs.trace.push(self.obs_now.as_nanos(), "wal_error", &[]);
+            }
+        }
+    }
+
+    /// Test hook: corrupts this replica's executed and checkpoint
+    /// state in place (modeling a bit-flipped or Byzantine executor),
+    /// so the next checkpoint window announces a diverging digest.
+    pub fn corrupt_store_for_test(&mut self, key: Key) {
+        self.kv.put(key, 0xDEAD_BEEF);
+        self.stable_kv.put(key, 0xDEAD_BEEF);
+    }
+
+    /// Appends one entry to the durable log (no-op without one) and
+    /// arms the group-commit flush tick under batched durability.
+    fn wal_append(&mut self, entry: &WalEntry, out: &mut Outbox<RingMsg>) {
+        let Some(w) = self.wal.as_mut() else { return };
+        if w.append(entry).is_err() {
+            self.obs.trace.push(self.obs_now.as_nanos(), "wal_error", &[]);
+            return;
+        }
+        if !self.wal_timer_armed && w.dirty() {
+            if let Some(interval) = w.durability().batch_interval() {
+                self.wal_timer_armed = true;
+                out.set_timer(TimerKind::Client, WAL_FLUSH_TOKEN, interval);
+            }
+        }
+    }
+
+    /// Persists a full checkpoint capture by compacting the log down to
+    /// it (durable by the compaction's own sync).
+    fn wal_append_full(&mut self, snap: &Snapshot) {
+        let Some(w) = self.wal.as_mut() else { return };
+        if w.append_full(snap).is_err() {
+            self.obs.trace.push(self.obs_now.as_nanos(), "wal_error", &[]);
+        }
     }
 
     /// This replica's id.
@@ -532,6 +664,19 @@ impl RingReplica {
     /// The last stable checkpoint sequence of the embedded PBFT engine.
     pub fn last_stable_seq(&self) -> u64 {
         self.pbft.last_stable().0
+    }
+
+    /// The sequence of this replica's own checkpoint store (what its
+    /// last announced checkpoint covered).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.stable_seq
+    }
+
+    /// Order-insensitive fingerprint of the checkpoint store — equal
+    /// across replicas that announced the same checkpoint sequence
+    /// (post-run convergence checks).
+    pub fn checkpoint_fingerprint(&self) -> u64 {
+        self.stable_kv.state_fingerprint()
     }
 
     /// State-transfer counters (installs, transfers served, …).
@@ -871,6 +1016,12 @@ impl RingReplica {
                 if token == POOL_FLUSH_TOKEN {
                     self.pool_timer_armed = false;
                     self.flush_pools(true, out);
+                } else if token == WAL_FLUSH_TOKEN {
+                    // Group commit: one sync covers every append since
+                    // the tick was armed. The next unsynced append
+                    // re-arms it.
+                    self.wal_timer_armed = false;
+                    self.flush_wal();
                 } else if token == RECOVERY_PROBE_TOKEN {
                     self.drive_recovery(|mgr, rout| mgr.on_probe_timer(rout), out);
                 } else if token == HOLE_PROBE_TOKEN {
@@ -1135,8 +1286,31 @@ impl RingReplica {
         let mut pout = Outbox::new();
         let mut events = Vec::new();
         f(&mut self.pbft, &mut pout, &mut events);
+        // Preprepare acceptance is internal to the engine; its outward
+        // witness is the traffic: a primary multicasting Preprepare, a
+        // backup answering with Prepare. Log each ordered slot once.
+        let mut accepted: Vec<(u64, u64, Digest)> = Vec::new();
         for action in pout.take() {
+            if self.wal.is_some() {
+                if let Action::Send { msg, .. } = &action {
+                    let slot = match msg {
+                        PbftMsg::Preprepare {
+                            view, seq, digest, ..
+                        }
+                        | PbftMsg::Prepare { view, seq, digest } => Some((view.0, seq.0, *digest)),
+                        _ => None,
+                    };
+                    if let Some(s) = slot {
+                        if !accepted.contains(&s) {
+                            accepted.push(s);
+                        }
+                    }
+                }
+            }
             out_push(out, action);
+        }
+        for (view, seq, digest) in accepted {
+            self.wal_append(&WalEntry::Preprepare { view, seq, digest }, out);
         }
         for event in events {
             self.on_pbft_event(now, event, out);
@@ -1428,7 +1602,11 @@ impl RingReplica {
         while self.executed_ahead.remove(&(self.exec_watermark + 1)) {
             self.exec_watermark += 1;
         }
-        self.recovery.caught_up_to(self.exec_watermark);
+        // A diverged watermark counts corrupt executions — reporting it
+        // would cancel the very refetch that repairs the replica.
+        if !self.diverged {
+            self.recovery.caught_up_to(self.exec_watermark);
+        }
         self.try_announce_checkpoints(out);
     }
 
@@ -1496,6 +1674,10 @@ impl RingReplica {
             self.obs
                 .trace
                 .push(self.obs_now.as_nanos(), "checkpoint_vote", &[("seq", seq)]);
+            // Persist the vote (diagnostics: a diverged replica's log
+            // shows exactly which window went wrong). The state itself
+            // is persisted only once the window is quorum-stable.
+            self.wal_append(&WalEntry::CheckpointVote { seq, digest }, out);
             self.drive_pbft(
                 Instant::ZERO,
                 |pbft, pout, events| {
@@ -1533,10 +1715,19 @@ impl RingReplica {
                 for (_, e) in std::mem::replace(&mut self.announced, keep) {
                     // Delta before full: a full capture at the same
                     // window must not clear the chain it extends.
+                    // Quorum-verified state also goes durable here —
+                    // never at announce time, so a divergent window can
+                    // never poison the restart path. A full capture
+                    // compacts the log (and subsumes the same window's
+                    // delta); a delta-only window appends O(churn).
                     if let Some(d) = e.delta {
-                        self.recovery.retain_delta(d, e.digest);
+                        self.recovery.retain_delta(Arc::clone(&d), e.digest);
+                        if e.full.is_none() {
+                            self.wal_append(&WalEntry::CheckpointDelta((*d).clone()), out);
+                        }
                     }
                     if let Some(f) = e.full {
+                        self.wal_append_full(&f);
                         self.recovery.retain(f);
                     }
                 }
@@ -1561,26 +1752,40 @@ impl RingReplica {
                     .reply_cache_evictions((before - self.client_replies.len()) as u64);
                 return;
             }
-            // Drop the diverged entry and everything below it (the
-            // snapshots can never be retained now — their digests chain
-            // into the losing one); keeping them would pin full record
-            // lists on exactly the path where the replica is already
-            // unhealthy.
-            self.announced = self.announced.split_off(&(seq + 1));
             // Our digest lost the vote: this replica's executed state
             // disagrees with the checkpoint quorum. Deterministic
-            // execution makes this unreachable for a correct replica;
-            // count it loudly and keep everything else (no truncation, no
-            // serving) so the divergence stays inspectable. Automated
-            // rollback-and-refetch is a ROADMAP item — the snapshot
-            // cannot simply be installed, because the local state it
-            // would replace has already fed later executions.
+            // execution makes this unreachable for a correct replica,
+            // so *everything* local — the live store, the checkpoint
+            // store, every window announced since — is suspect. Roll
+            // back and refetch: settle the execution stage, discard the
+            // divergent window's bookkeeping (its snapshots chain into
+            // the losing digest and can never be retained or served),
+            // stop advertising the corrupt chain base, and force a
+            // full-snapshot transfer of the quorum state. `diverged`
+            // stands the install-admission checks down — they protect
+            // healthy local progress, which no longer exists — until
+            // the verified quorum snapshot lands and replaces the store
+            // wholesale.
+            self.flush_exec(out);
+            self.announced.clear();
+            self.pending_effects.clear();
+            self.pending_checkpoints.clear();
+            self.executed_ahead.clear();
+            self.diverged = true;
+            self.recovery.invalidate_base();
             self.obs.checkpoint_divergences(1);
             self.obs.trace.push(
                 self.obs_now.as_nanos(),
                 "checkpoint_divergence",
                 &[("seq", seq)],
             );
+            // Arm the transfer with a floor just below the quorum
+            // checkpoint: the local watermark is meaningless now (it
+            // counts corrupt executions), and `mark_executed` stops
+            // reporting it while diverged so the catch-up race cannot
+            // cancel the refetch.
+            let floor = seq.saturating_sub(1);
+            self.drive_recovery(|mgr, rout| mgr.set_behind(seq, floor, rout), out);
             return;
         }
         if self.exec_watermark >= seq {
@@ -1606,7 +1811,7 @@ impl RingReplica {
         // Settle the execution stage before judging the transfer: an
         // in-flight job may close the very gap this chain targets.
         self.flush_exec(out);
-        if transfer.target_seq <= self.exec_watermark {
+        if !self.diverged && transfer.target_seq <= self.exec_watermark {
             return; // raced our own catch-up
         }
         // Quorum-stable digests for per-link verification (collected
@@ -1616,9 +1821,15 @@ impl RingReplica {
             .iter()
             .filter_map(|(l, _)| self.recovery.stable_digest(l.seq).map(|d| (l.seq, d)))
             .collect();
-        let local_base = self
-            .stable_digest
-            .map(|d| (self.stable_seq, d, &self.stable_kv));
+        // A diverged replica's own checkpoint store is corrupt — never
+        // fold a delta chain onto it (the forced-full request means the
+        // chain should not need a base anyway).
+        let local_base = if self.diverged {
+            None
+        } else {
+            self.stable_digest
+                .map(|d| (self.stable_seq, d, &self.stable_kv))
+        };
         let folded = transfer.fold_verified(self.me.shard, local_base, |s| {
             known.iter().find(|(ks, _)| *ks == s).map(|(_, d)| *d)
         });
@@ -1658,19 +1869,24 @@ impl RingReplica {
         // In-flight exec jobs hold base snapshots of the store this
         // install is about to replace: settle them first.
         self.flush_exec(out);
-        if snap.seq <= self.exec_watermark {
-            return false; // raced our own catch-up
-        }
-        // Refuse while state *beyond* the snapshot exists locally — the
-        // install would erase effects later sequences already derived
-        // from. State at or below the snapshot (including complex csts
-        // wedged holding locks because their ring partners moved on —
-        // the exact laggards A3 is about) is superseded by the snapshot
-        // and installs over it.
-        if self.executed_ahead.iter().any(|s| *s > snap.seq)
-            || self.locks.max_held_seq().is_some_and(|s| s > snap.seq)
-        {
-            return false;
+        // A diverged replica takes the quorum snapshot unconditionally —
+        // the local progress these checks protect is corrupt, and the
+        // install may legitimately move the watermark *backward*.
+        if !self.diverged {
+            if snap.seq <= self.exec_watermark {
+                return false; // raced our own catch-up
+            }
+            // Refuse while state *beyond* the snapshot exists locally —
+            // the install would erase effects later sequences already
+            // derived from. State at or below the snapshot (including
+            // complex csts wedged holding locks because their ring
+            // partners moved on — the exact laggards A3 is about) is
+            // superseded by the snapshot and installs over it.
+            if self.executed_ahead.iter().any(|s| *s > snap.seq)
+                || self.locks.max_held_seq().is_some_and(|s| s > snap.seq)
+            {
+                return false;
+            }
         }
         let seq = snap.seq;
         self.kv = snap.restore_store();
@@ -1685,9 +1901,17 @@ impl RingReplica {
         self.pbft.install_stable_floor(SeqNum(seq));
         self.exec_watermark = seq;
         self.executed_ahead.clear();
-        self.pending_effects = self.pending_effects.split_off(&(seq + 1));
+        if self.diverged {
+            // Effects and announcements recorded since the rollback
+            // were computed on the corrupt store; only what re-executes
+            // on the fresh quorum state counts.
+            self.pending_effects.clear();
+            self.announced.clear();
+        } else {
+            self.pending_effects = self.pending_effects.split_off(&(seq + 1));
+            self.announced.retain(|s, _| *s > seq);
+        }
         self.pending_checkpoints.retain(|s| *s > seq);
-        self.announced.retain(|s, _| *s > seq);
         self.locks = LockManager::starting_at(seq);
         self.ledger = Ledger::from_checkpoint(self.me.shard, snap.ledger_height, snap.ledger_head);
         // Cst state at or below the checkpoint is superseded. Forward
@@ -1742,6 +1966,22 @@ impl RingReplica {
                 self.on_admitted(a, out);
             }
         }
+        if self.diverged {
+            // Quorum state replaced the corrupt store wholesale: the
+            // rollback is complete and normal admission resumes. The
+            // window between the old (corrupt) frontier and this
+            // checkpoint re-enters via the next stable window's delta
+            // transfer, like any laggard.
+            self.diverged = false;
+            self.obs.trace.push(
+                self.obs_now.as_nanos(),
+                "divergence_repaired",
+                &[("seq", seq)],
+            );
+        }
+        // A verified quorum snapshot is the strongest restart point the
+        // log can hold: compact down to it.
+        self.wal_append_full(&snap);
         // The installed snapshot is servable to the next laggard (as a
         // fresh chain base — future deltas chain onto it).
         self.recovery.retain(Arc::new(snap));
@@ -1758,6 +1998,9 @@ impl RingReplica {
         committers: Vec<u32>,
         out: &mut Outbox<RingMsg>,
     ) {
+        // The durable tail: a restart replays these markers to learn how
+        // far past its last checkpoint this replica had committed.
+        self.wal_append(&WalEntry::Commit { seq: seq.0, digest }, out);
         // Cancel A1 watchdogs for the ordered transactions and advance
         // the per-client replay horizon.
         for t in &batch.txns {

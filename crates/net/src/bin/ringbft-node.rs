@@ -52,6 +52,12 @@ struct Args {
     /// Flush every hosted node's trace ring (JSON lines) to this path
     /// on each stats interval, for offline span assembly.
     trace_dump_path: Option<String>,
+    /// Directory of per-replica write-ahead ledgers: each hosted
+    /// replica appends to `<data_dir>/<name>.wal` under the config's
+    /// `durability` policy, and replays it on the next start — a
+    /// killed process restarts crash-consistently, fetching only the
+    /// tail from its peers.
+    data_dir: Option<String>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
@@ -66,7 +72,8 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 --port-base P        first listener port of --example-config (default 4100)\n\
          \x20 --metrics-path FILE  write a final metrics + trace snapshot (JSON) at exit\n\
          \x20 --telemetry-port P   serve GET /metrics and /trace for hosted node i on port P+i\n\
-         \x20 --trace-dump-path F  flush trace rings (JSON lines) to F every stats interval"
+         \x20 --trace-dump-path F  flush trace rings (JSON lines) to F every stats interval\n\
+         \x20 --data-dir DIR       per-replica write-ahead ledgers in DIR (crash-consistent restart)"
     );
     std::process::exit(code);
 }
@@ -84,6 +91,7 @@ fn parse_args() -> Args {
         metrics_path: None,
         telemetry_port: 0,
         trace_dump_path: None,
+        data_dir: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -168,6 +176,7 @@ fn parse_args() -> Args {
             "--trace-dump-path" => {
                 args.trace_dump_path = Some(value(&argv, &mut i, "--trace-dump-path"));
             }
+            "--data-dir" => args.data_dir = Some(value(&argv, &mut i, "--data-dir")),
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -249,7 +258,32 @@ fn main() {
             eprintln!("replica {id} is not part of the configured deployment");
             std::process::exit(1);
         };
-        let (_, _, node) = deployment.swap_remove(pos);
+        let (_, _, mut node) = deployment.swap_remove(pos);
+        if let Some(dir) = &args.data_dir {
+            let dir = std::path::Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("create data dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+            if let AnyNode::Ring(ring) = &mut node {
+                let path = dir.join(format!("{id}.wal"));
+                match ringbft_recovery::ReplicaWal::open_file(&path, cluster.system.durability) {
+                    Ok((wal, recovered)) => {
+                        let seq = recovered.fold(id.shard).map(|t| t.seq).unwrap_or(0);
+                        println!(
+                            "replayed {} ({} bytes, durable checkpoint seq {seq})",
+                            path.display(),
+                            wal.len_bytes()
+                        );
+                        ring.attach_wal(wal, &recovered);
+                    }
+                    Err(e) => {
+                        eprintln!("open wal {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
         let listener = match TcpListener::bind(addr) {
             Ok(l) => l,
             Err(e) => {
@@ -411,6 +445,16 @@ fn main() {
                 args.min_completions,
                 if ok { "ok" } else { "FAIL" }
             );
+            // Clean exit: stop each runtime, then close its replica's
+            // write-ahead ledger (clean-close record + sync) so the
+            // next start replays without a torn tail. The close must
+            // come after the reactors join — a reactor still serving
+            // peer traffic could append behind the close marker.
+            for rt in runtimes.drain(..) {
+                if let Some(AnyNode::Ring(mut r)) = rt.shutdown() {
+                    r.close_wal();
+                }
+            }
             std::process::exit(if ok { 0 } else { 1 });
         }
         if args.stats_secs == 0 {

@@ -13,9 +13,11 @@
 use crate::codec::FrameAuth;
 use crate::runtime::{Clock, NodeRuntime, PeerTable};
 use ringbft_core::ThreadedPipeline;
+use ringbft_recovery::ReplicaWal;
 use ringbft_sim::{AnyMsg, AnyNode, SimClient};
 use ringbft_types::{ClientId, NodeId, ReplicaId, SystemConfig};
 use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 
 /// Re-homes a RingBFT replica's execution stage onto the runtime's
 /// shared worker pool, in asynchronous mode with the reactor's eventfd
@@ -42,6 +44,28 @@ pub struct LocalCluster {
     auth: FrameAuth,
     replicas: Vec<NodeRuntime<AnyMsg, AnyNode>>,
     clients: Vec<NodeRuntime<AnyMsg, AnyNode>>,
+    /// When set, every replica runs with a file-backed write-ahead
+    /// ledger at `<data_dir>/<replica>.wal` (the `--data-dir` twin).
+    data_dir: Option<PathBuf>,
+}
+
+/// What [`LocalCluster::restart_replica_durable`] replayed from the
+/// surviving on-disk log before rejoining the cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableRestart {
+    /// Bytes of intact log replayed from `<data_dir>/<replica>.wal`.
+    pub bytes_replayed: u64,
+    /// Checkpoint sequence the replay restored (0 = no durable
+    /// checkpoint survived; the restart is effectively blank).
+    pub recovered_seq: u64,
+    /// The surviving log ended with a clean-close record (false after
+    /// a kill — the tail simply stops, possibly torn).
+    pub clean_close: bool,
+}
+
+/// The on-disk log of one replica under `dir`.
+fn wal_path(dir: &Path, r: ReplicaId) -> PathBuf {
+    dir.join(format!("{r}.wal"))
 }
 
 impl LocalCluster {
@@ -49,6 +73,25 @@ impl LocalCluster {
     /// AHL's committee when applicable) on loopback TCP. Frames are
     /// authenticated under the config's `auth_seed`.
     pub fn launch(cfg: SystemConfig) -> std::io::Result<LocalCluster> {
+        Self::launch_inner(cfg, None)
+    }
+
+    /// Like [`LocalCluster::launch`], but every replica additionally
+    /// runs a file-backed write-ahead ledger at
+    /// `<data_dir>/<replica>.wal` under the config's `durability`
+    /// policy — the in-process twin of `ringbft-node --data-dir`. A
+    /// replica killed with [`LocalCluster::kill_replica`] leaves its
+    /// log on disk for [`LocalCluster::restart_replica_durable`].
+    pub fn launch_durable(
+        cfg: SystemConfig,
+        data_dir: impl Into<PathBuf>,
+    ) -> std::io::Result<LocalCluster> {
+        let dir = data_dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Self::launch_inner(cfg, Some(dir))
+    }
+
+    fn launch_inner(cfg: SystemConfig, data_dir: Option<PathBuf>) -> std::io::Result<LocalCluster> {
         cfg.validate().expect("valid cluster config");
         let deployment = ringbft_sim::nodes::deployment(&cfg);
         let auth = FrameAuth::from_seed(cfg.auth_seed);
@@ -65,7 +108,14 @@ impl LocalCluster {
 
         let clock = Clock::start();
         let mut replicas = Vec::new();
-        for ((r, _region, node), listener) in deployment.into_iter().zip(listeners) {
+        for ((r, _region, mut node), listener) in deployment.into_iter().zip(listeners) {
+            if let Some(dir) = &data_dir {
+                if let AnyNode::Ring(ring) = &mut node {
+                    let (wal, recovered) =
+                        ReplicaWal::open_file(wal_path(dir, r), cfg.durability)?;
+                    ring.attach_wal(wal, &recovered);
+                }
+            }
             let rt = NodeRuntime::launch_with_pipeline(
                 NodeId::Replica(r),
                 node,
@@ -86,6 +136,7 @@ impl LocalCluster {
             auth,
             replicas,
             clients: Vec::new(),
+            data_dir,
         })
     }
 
@@ -156,6 +207,55 @@ impl LocalCluster {
         install_exec_stage(&rt);
         self.replicas.push(rt);
         Ok(())
+    }
+
+    /// Restarts a previously killed replica from its on-disk log (the
+    /// cluster must have been launched with
+    /// [`LocalCluster::launch_durable`]): a fresh node replays
+    /// `<data_dir>/<replica>.wal`, restores the last durable stable
+    /// checkpoint locally, and fetches only the tail from its peers —
+    /// the crash-consistent `kill -9; ringbft-node --data-dir` path.
+    pub fn restart_replica_durable(&mut self, r: ReplicaId) -> std::io::Result<DurableRestart> {
+        assert!(
+            !self.replicas.iter().any(|rt| rt.id() == NodeId::Replica(r)),
+            "{r} is still running; kill it first"
+        );
+        let dir = self
+            .data_dir
+            .clone()
+            .expect("cluster was not launched with launch_durable");
+        let (_, _, mut node) = ringbft_sim::nodes::deployment(&self.cfg)
+            .into_iter()
+            .find(|(id, _, _)| *id == r)
+            .expect("replica in deployment");
+        let (wal, recovered) = ReplicaWal::open_file(wal_path(&dir, r), self.cfg.durability)?;
+        let restart = DurableRestart {
+            bytes_replayed: wal.len_bytes(),
+            recovered_seq: recovered
+                .fold(r.shard)
+                .map(|tip| tip.seq)
+                .unwrap_or(0),
+            clean_close: recovered.clean_close,
+        };
+        if let AnyNode::Ring(ring) = &mut node {
+            ring.attach_wal(wal, &recovered);
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        self.peers
+            .insert(NodeId::Replica(r), listener.local_addr()?);
+        let rt = NodeRuntime::launch_with_pipeline(
+            NodeId::Replica(r),
+            node,
+            listener,
+            self.peers.clone(),
+            self.clock.clone(),
+            self.auth.clone(),
+            self.cfg.reactor_shards,
+            self.cfg.pipeline_workers,
+        )?;
+        install_exec_stage(&rt);
+        self.replicas.push(rt);
+        Ok(restart)
     }
 
     /// The deployment's configuration.
@@ -328,8 +428,17 @@ impl LocalCluster {
         for c in self.clients {
             clean &= c.shutdown().is_some();
         }
+        // Close each write-ahead ledger (append a clean-close record
+        // and sync) only *after* the runtime's reactors have joined and
+        // handed the node back: a reactor still serving peer traffic
+        // could otherwise append behind the close marker, leaving a log
+        // that does not replay as cleanly closed.
         for r in self.replicas {
-            clean &= r.shutdown().is_some();
+            match r.shutdown() {
+                Some(AnyNode::Ring(mut replica)) => replica.close_wal(),
+                Some(_) => {}
+                None => clean = false,
+            }
         }
         clean
     }

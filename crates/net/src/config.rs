@@ -23,6 +23,7 @@
 //!   "reactor_shards": 1,
 //!   "pipeline_workers": 2,
 //!   "trace_sample_rate": 64,
+//!   "durability": { "batched": 50 },
 //!   "peers": {
 //!     "S0r0": "10.0.0.10:4100",
 //!     "S0r1": "10.0.0.11:4100"
@@ -109,7 +110,7 @@ pub fn parse_replica_name(name: &str) -> Result<ReplicaId, ConfigError> {
 /// so a typo'd knob fails loudly instead of silently running with the
 /// paper default (every process must share the file, so a silent
 /// fallback would be a cross-process misconfiguration).
-const KNOWN_KEYS: [&str; 18] = [
+const KNOWN_KEYS: [&str; 19] = [
     "protocol",
     "shards",
     "batch_size",
@@ -127,6 +128,7 @@ const KNOWN_KEYS: [&str; 18] = [
     "reactor_shards",
     "pipeline_workers",
     "trace_sample_rate",
+    "durability",
     "peers",
 ];
 
@@ -227,6 +229,23 @@ pub fn parse_cluster_config(text: &str) -> Result<ClusterConfig, ConfigError> {
     if let Some(v) = doc.get("cross_shard_rate").and_then(|v| v.as_f64()) {
         system.cross_shard_rate = v;
     }
+    if let Some(v) = doc.get("durability") {
+        // The serde spelling of `Durability`: "none", "strict", or
+        // { "batched": <ms> }.
+        let parsed = match v.as_str() {
+            Some("none") => Some(ringbft_types::Durability::None),
+            Some("strict") => Some(ringbft_types::Durability::Strict),
+            Some(_) => None,
+            None => v
+                .as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == "batched"))
+                .and_then(|(_, ms)| ms.as_u64())
+                .map(ringbft_types::Durability::Batched),
+        };
+        system.durability = parsed.ok_or_else(|| {
+            ConfigError("bad `durability` (want \"none\", \"strict\" or {\"batched\": ms})".into())
+        })?;
+    }
     if let Some(t) = doc.get("timers_ms") {
         let timer = |key: &str, fallback: Duration| {
             t.get(key)
@@ -309,6 +328,11 @@ pub fn render_cluster_config(
         "reactor_shards": system.reactor_shards as u64,
         "pipeline_workers": system.pipeline_workers as u64,
         "trace_sample_rate": system.trace_sample_rate,
+        "durability": match system.durability {
+            ringbft_types::Durability::None => serde_json::json!("none"),
+            ringbft_types::Durability::Strict => serde_json::json!("strict"),
+            ringbft_types::Durability::Batched(ms) => serde_json::json!({ "batched": ms }),
+        },
         "timers_ms": serde_json::json!({
             "local": system.timers.local.as_nanos() / 1_000_000,
             "remote": system.timers.remote.as_nanos() / 1_000_000,
@@ -404,6 +428,36 @@ mod tests {
                  "full_snapshot_every": 0, "peers": {} }"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn durability_knob_parses() {
+        use ringbft_types::Durability;
+        let mk = |lit: &str| {
+            parse_cluster_config(&format!(
+                r#"{{ "protocol": "RingBft", "shards": [{{ "n": 4 }}],
+                     "durability": {lit}, "peers": {{}} }}"#
+            ))
+        };
+        // Absent ⇒ the batched default.
+        let cc = parse_cluster_config(
+            r#"{ "protocol": "RingBft", "shards": [{ "n": 4 }], "peers": {} }"#,
+        )
+        .unwrap();
+        assert_eq!(cc.system.durability, Durability::Batched(50));
+        assert_eq!(mk(r#""none""#).unwrap().system.durability, Durability::None);
+        assert_eq!(
+            mk(r#""strict""#).unwrap().system.durability,
+            Durability::Strict
+        );
+        assert_eq!(
+            mk(r#"{ "batched": 20 }"#).unwrap().system.durability,
+            Durability::Batched(20)
+        );
+        // A malformed value fails parse; a zero interval fails
+        // SystemConfig validation.
+        assert!(mk(r#""sometimes""#).is_err());
+        assert!(mk(r#"{ "batched": 0 }"#).is_err());
     }
 
     #[test]

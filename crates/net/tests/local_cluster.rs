@@ -628,3 +628,151 @@ fn closed_loop_workload_sustains_throughput_over_tcp() {
     );
     assert!(cluster.shutdown(), "cluster shutdown was not clean");
 }
+
+/// Acceptance test (ISSUE 9): kill -9 with a durable write-ahead
+/// ledger. A 3-shard × 4-replica TCP cluster runs with per-replica
+/// file-backed WALs (`LocalCluster::launch_durable`, the in-process
+/// twin of `ringbft-node --data-dir`); one replica is killed mid-run —
+/// node state dropped, the on-disk log left exactly as the appends
+/// landed, no clean-close record — and restarted from its log. The
+/// replay must restore a durable stable checkpoint locally, the wire
+/// top-up must stay under 25 % of the full-snapshot baseline a blank
+/// restart would have moved, and the revived replica must reconverge
+/// with its shard.
+#[test]
+fn replica_durable_restart_replays_wal_over_tcp() {
+    let mut cfg = quick_cfg(3, 4);
+    cfg.checkpoint_interval = 4;
+    let victim = ReplicaId::new(ShardId(1), 2); // a backup, not a primary
+    let cst = |id: u64, offset: u64| {
+        Transaction::new(
+            TxnId(id),
+            ClientId(id),
+            ringbft_store::rmw_ops(&[
+                (ShardId(0), key_in(&cfg, 0, offset)),
+                (ShardId(1), key_in(&cfg, 1, offset)),
+                (ShardId(2), key_in(&cfg, 2, offset)),
+            ]),
+        )
+    };
+    let dir = std::env::temp_dir().join(format!("ringbft-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cluster = LocalCluster::launch_durable(cfg.clone(), &dir).expect("launch cluster");
+
+    // Phase 1: cross checkpoint boundaries with everyone alive, so the
+    // victim's log holds at least one durable stable checkpoint. Each
+    // seed transaction touches a 40-key stripe per shard: the store the
+    // durable checkpoint covers grows wide — the state a blank restart
+    // would have to move over the wire and the local replay keeps off
+    // it — without flooding consensus with hundreds of concurrent
+    // transactions.
+    let wide = |id: u64, base: u64| {
+        let mut pairs = Vec::new();
+        for s in 0..3u32 {
+            for k in 0..40 {
+                pairs.push((ShardId(s), key_in(&cfg, s, base + k)));
+            }
+        }
+        Transaction::new(TxnId(id), ClientId(id), ringbft_store::rmw_ops(&pairs))
+    };
+    run_phase(
+        &cluster,
+        &cfg,
+        (1..=8).map(|i| wide(i, 400 + (i - 1) * 40)).collect(),
+    );
+    run_phase(&cluster, &cfg, (101..=106).map(|i| cst(i, 100 + i)).collect());
+    let stable_before_kill = cluster.wait_until(DEADLINE, |c| {
+        c.with_replica(victim, |n| match n {
+            ringbft_sim::AnyNode::Ring(r) => r.last_stable_seq() >= cfg.checkpoint_interval,
+            _ => panic!("ring replica expected"),
+        })
+    });
+    assert!(stable_before_kill, "no stable checkpoint before the kill");
+
+    // Phase 2: kill -9 — the node state is dropped, the log is not
+    // closed. The shard keeps committing at quorum 3/4.
+    cluster.kill_replica(victim);
+    run_phase(&cluster, &cfg, (111..=116).map(|i| cst(i, 200 + i)).collect());
+
+    // Phase 3: restart from the on-disk log.
+    let restart = cluster
+        .restart_replica_durable(victim)
+        .expect("durable restart");
+    assert!(
+        restart.recovered_seq >= cfg.checkpoint_interval,
+        "replay restored no durable checkpoint: {restart:?}"
+    );
+    assert!(
+        restart.bytes_replayed > 0,
+        "nothing replayed from the log: {restart:?}"
+    );
+    assert!(
+        !restart.clean_close,
+        "a killed process must not leave a clean-close record: {restart:?}"
+    );
+    run_phase(&cluster, &cfg, (121..=130).map(|i| cst(i, 300 + i)).collect());
+
+    // The revived replica rejoined and executed past its replayed
+    // checkpoint.
+    let caught_up = cluster.wait_until(DEADLINE, |c| {
+        c.with_replica(victim, |n| match n {
+            ringbft_sim::AnyNode::Ring(r) => r.exec_watermark() > restart.recovered_seq,
+            _ => panic!("ring replica expected"),
+        })
+    });
+    assert!(caught_up, "victim never executed past its replayed state");
+
+    // The wire top-up stayed under 25 % of the blank-restart baseline
+    // (a full-snapshot transfer of the victim's store), and nothing
+    // unverified was ever accepted.
+    cluster.with_replica(victim, |n| match n {
+        ringbft_sim::AnyNode::Ring(r) => {
+            let stats = r.recovery_stats();
+            assert_eq!(stats.bad_digests, 0, "a verified chain failed: {stats:?}");
+            let per = cfg.state_chunk_records.max(1);
+            let mut baseline = ringbft_types::wire::state_plan_bytes(1);
+            let mut left = r.store().len();
+            while left > 0 {
+                let take = left.min(per);
+                baseline += ringbft_types::wire::state_chunk_bytes(take);
+                left -= take;
+            }
+            let transferred = stats.bytes_delta + stats.bytes_full;
+            assert!(
+                4 * transferred < baseline,
+                "durable restart transferred {transferred} bytes, \
+                 ≥ 25% of the {baseline}-byte blank baseline: {stats:?}"
+            );
+        }
+        _ => panic!("ring replica expected"),
+    });
+
+    // The shard's stores reconverge once the traffic quiesces — the
+    // replayed state matches what the quorum agreed on.
+    let converged = cluster.wait_until(DEADLINE, |c| {
+        let prints: Vec<u64> = (0..4u32)
+            .map(|i| {
+                c.with_replica(ReplicaId::new(ShardId(1), i), |n| match n {
+                    ringbft_sim::AnyNode::Ring(r) => r.store().state_fingerprint(),
+                    _ => panic!("ring replica expected"),
+                })
+            })
+            .collect();
+        prints.windows(2).all(|w| w[0] == w[1])
+    });
+    assert!(converged, "revived replica's store diverged from its shard");
+
+    // Clean shutdown closes every log: the victim's WAL replays with a
+    // clean-close record and no torn tail.
+    assert!(cluster.shutdown(), "cluster shutdown was not clean");
+    let (_, recovered) = ringbft_recovery::ReplicaWal::open_file(
+        dir.join(format!("{victim}.wal")),
+        cfg.durability,
+    )
+    .expect("reopen victim wal");
+    assert!(
+        recovered.clean_close,
+        "clean shutdown did not close the log"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,10 +20,13 @@
 //!   churned connections);
 //! * the final cluster shutdown is clean (every reactor thread
 //!   acknowledges the poisoned eventfd within the bounded join
-//!   timeout).
+//!   timeout) — and, with the replicas running on durable write-ahead
+//!   logs (ISSUE 9), that shutdown flushes and closes every log inside
+//!   the same bounded join: each WAL reopens with a clean-close record
+//!   and no torn tail.
 
 use ringbft_net::LocalCluster;
-use ringbft_types::{Duration, ProtocolKind, SystemConfig};
+use ringbft_types::{Duration, ProtocolKind, ReplicaId, ShardId, SystemConfig};
 
 /// Live fd count of this process.
 fn fd_count() -> usize {
@@ -63,7 +66,9 @@ fn connection_churn_leaks_no_fds_and_keeps_thread_count_fixed() {
     cfg.timers.remote = Duration::from_millis(1600);
     cfg.timers.transmit = Duration::from_millis(2400);
     cfg.timers.client = Duration::from_millis(3200);
-    let mut cluster = LocalCluster::launch(cfg).expect("launch cluster");
+    let dir = std::env::temp_dir().join(format!("ringbft-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cluster = LocalCluster::launch_durable(cfg.clone(), &dir).expect("launch cluster");
 
     // Baselines after the cluster is up but before any client exists.
     // The 8 replica runtimes have spawned their (single-shard) reactors
@@ -135,4 +140,28 @@ fn connection_churn_leaks_no_fds_and_keeps_thread_count_fixed() {
     }
 
     assert!(cluster.shutdown(), "cluster shutdown was not clean");
+
+    // Clean shutdown closed every durable log before the bounded join:
+    // each WAL reopens with a clean-close record last and no torn tail
+    // dropped on the floor (the replay sees everything that was
+    // appended, then the close marker).
+    for s in 0..2u32 {
+        for i in 0..4u32 {
+            let r = ReplicaId::new(ShardId(s), i);
+            let (_, recovered) = ringbft_recovery::ReplicaWal::open_file(
+                dir.join(format!("{r}.wal")),
+                ringbft_types::Durability::default(),
+            )
+            .expect("reopen wal after shutdown");
+            assert!(
+                recovered.clean_close,
+                "{r}: shutdown did not close the log cleanly"
+            );
+            assert!(
+                recovered.entries > 0,
+                "{r}: the soak committed traffic but the log is empty"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

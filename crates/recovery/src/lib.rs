@@ -44,9 +44,11 @@
 pub mod hole;
 pub mod manager;
 pub mod snapshot;
+pub mod wal;
 
 pub use hole::{DonorRotation, HoleFetcher, HoleStats, HOLE_PROBE_TOKEN};
 pub use manager::{
     RecoveryEvent, RecoveryManager, RecoveryMsg, RecoveryStats, RECOVERY_PROBE_TOKEN,
 };
 pub use snapshot::{ChainError, ChainTransfer, DeltaSnapshot, PlanLink, RecordEntry, Snapshot};
+pub use wal::{Recovered, RecoveredTip, ReplicaWal, WalEntry};

@@ -353,6 +353,16 @@ impl RecoveryManager {
         self.force_full = false;
     }
 
+    /// The host's own checkpoint state turned out to be corrupt (its
+    /// announced digest lost a checkpoint quorum vote): stop
+    /// advertising it as a delta base and force the next request onto
+    /// the full-snapshot path. Unlike [`RecoveryManager::chain_rejected`]
+    /// this counts no integrity failure — the donors did nothing wrong.
+    pub fn invalidate_base(&mut self) {
+        self.local_base = None;
+        self.force_full = true;
+    }
+
     /// The host fell behind the stable checkpoint `seq`: remember the
     /// catch-up target and make sure the probe timer is running. The
     /// probe fires after `probe_interval` — a healthy replica that was

@@ -32,7 +32,7 @@ pub struct RecordEntry {
 /// record list and hence the same [`Snapshot::digest`], regardless of
 /// the (allowed) differences in their execution interleaving of
 /// non-conflicting transactions.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Snapshot {
     /// The shard this state belongs to.
     pub shard: ShardId,
@@ -142,7 +142,7 @@ impl Snapshot {
 /// reproduces the full state at `seq` exactly — including the
 /// full-snapshot digest, because records carry their write-versions and
 /// keys are never deleted. Capture and transfer are O(churn).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeltaSnapshot {
     /// The shard this delta belongs to.
     pub shard: ShardId,

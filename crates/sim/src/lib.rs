@@ -18,8 +18,8 @@ pub use client::{Completion, SimClient};
 pub use msg::AnyMsg;
 pub use nodes::AnyNode;
 pub use scenario::{
-    scenario_quorum, DeltaTransferReport, HoleReport, PhaseReport, PipelineReport, RecoveryReport,
-    Scenario, ScenarioReport,
+    scenario_quorum, DeltaTransferReport, DivergenceReport, DurableRestartReport, HoleReport,
+    PhaseReport, PipelineReport, RecoveryReport, Scenario, ScenarioReport,
 };
 
 #[cfg(test)]

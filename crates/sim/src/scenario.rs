@@ -9,7 +9,10 @@ use crate::nodes::AnyNode;
 use ringbft_core::{Phase, RingMsg};
 use ringbft_obs::{Histogram, SpanCollector, SpanTimeline};
 use ringbft_pbft::PbftMsg;
+use ringbft_core::RingReplica;
+use ringbft_recovery::ReplicaWal;
 use ringbft_simnet::{FaultPlan, Topology, World};
+use ringbft_store::MemWalHandle;
 use ringbft_types::{ClientId, Duration, Instant, NodeId, Region, ReplicaId, SystemConfig};
 
 /// Metrics of a crash + blank-restart recovery pass (set when the
@@ -33,6 +36,87 @@ pub struct RecoveryReport {
     /// Transfers the restarted replica rejected at verification (must
     /// stay 0 with correct donors).
     pub bad_digests: u64,
+}
+
+/// Metrics of a crash + *durable* restart pass (set when the scenario
+/// was built with [`Scenario::with_durable_restart`]): the victim ran
+/// with a write-ahead ledger, was killed mid-batch (its log's unsynced
+/// tail lost — power-loss semantics, strictly harder than a process
+/// kill), and restarted by replaying the local log and topping up only
+/// the tail via the existing delta-chain transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableRestartReport {
+    /// The replica that was killed and durably restarted.
+    pub replica: ReplicaId,
+    /// When it was restarted (seconds into the run).
+    pub restart_s: f64,
+    /// Seconds from the restart to its first post-restart execution;
+    /// `None` if it never caught up within the run.
+    pub catchup_s: Option<f64>,
+    /// Bytes replayed from the local durable log at restart (what a
+    /// blank restart would instead have pulled over the wire).
+    pub restart_bytes_local: u64,
+    /// Checkpoint sequence the local replay restored (0 = no durable
+    /// checkpoint survived; blank-restart semantics applied).
+    pub recovered_seq: u64,
+    /// Modeled wire bytes of state transfer the restarted incarnation
+    /// accepted — the tail top-up only.
+    pub restart_bytes_transferred: u64,
+    /// Modeled wire bytes a *blank* restart would have transferred (a
+    /// full-snapshot chain over the victim's final store) — the
+    /// baseline the tail top-up is gated against.
+    pub blank_baseline_bytes: u64,
+    /// Snapshot installs by the restarted incarnation.
+    pub installs: u64,
+    /// … of which pure delta chains (the expected tail top-up path).
+    pub delta_installs: u64,
+    /// … and full-snapshot fallbacks.
+    pub full_installs: u64,
+    /// Transfers the restarted replica rejected at verification.
+    pub bad_digests: u64,
+    /// Syncs the restarted incarnation's log performed (group-commit
+    /// cadence under batched durability).
+    pub wal_syncs: u64,
+    /// Bytes in the log at the end of the run.
+    pub wal_len_bytes: u64,
+    /// The victim ended on a stable checkpoint whose store fingerprint
+    /// matches a same-shard peer at the same checkpoint sequence.
+    pub fingerprint_ok: bool,
+    /// The victim's execution watermark at the end of the run.
+    pub exec_watermark: u64,
+    /// The highest same-shard peer watermark at the end of the run.
+    pub peer_max_watermark: u64,
+}
+
+/// Post-run state of one checkpoint-divergence pass (set per
+/// [`Scenario::with_divergence`]): one replica's store was corrupted in
+/// place mid-run, its next checkpoint announcement lost the quorum
+/// vote, and the rollback-and-refetch path must reconverge it onto
+/// verified quorum state.
+#[derive(Debug, Clone, Copy)]
+pub struct DivergenceReport {
+    /// The replica whose store was corrupted.
+    pub replica: ReplicaId,
+    /// When the corruption was injected (seconds into the run).
+    pub at_s: f64,
+    /// Divergent checkpoint votes the victim observed (≥ 1 once the
+    /// corrupt window reached a quorum decision).
+    pub divergences: u64,
+    /// Snapshot installs by the victim — the refetch path ran.
+    pub installs: u64,
+    /// Transfers the victim rejected at verification.
+    pub bad_digests: u64,
+    /// Still in rolled-back (diverged) mode at the end of the run.
+    pub diverged_at_end: bool,
+    /// The victim ended on a stable checkpoint whose store fingerprint
+    /// matches a same-shard peer at the same checkpoint sequence.
+    pub fingerprint_ok: bool,
+    /// The victim's last stable checkpoint at the end of the run.
+    pub stable_seq: u64,
+    /// The victim's execution watermark at the end of the run.
+    pub exec_watermark: u64,
+    /// The highest same-shard peer watermark at the end of the run.
+    pub peer_max_watermark: u64,
 }
 
 /// Post-run state of one delta state-transfer pass (set per
@@ -256,6 +340,10 @@ pub struct ScenarioReport {
     pub tracing: TracingReport,
     /// Crash/blank-restart recovery metrics, when configured.
     pub recovery: Option<RecoveryReport>,
+    /// Crash/durable-restart recovery metrics, when configured.
+    pub durable_restart: Option<DurableRestartReport>,
+    /// Checkpoint-divergence repair metrics, one per corrupted replica.
+    pub divergences: Vec<DivergenceReport>,
     /// Commit-hole repair metrics, one per injected hole.
     pub holes: Vec<HoleReport>,
     /// Delta state-transfer metrics, one per darkened replica.
@@ -275,6 +363,8 @@ pub struct Scenario {
     clients_per_host: u64,
     bandwidth_divisor: u64,
     blank_restart: Option<(f64, f64, ReplicaId)>,
+    durable_restart: Option<(f64, f64, ReplicaId)>,
+    divergences: Vec<(ReplicaId, f64)>,
     commit_holes: Vec<(ReplicaId, u64)>,
     delta_transfers: Vec<(ReplicaId, f64, f64)>,
     model_workers: Option<usize>,
@@ -293,6 +383,8 @@ impl Scenario {
             clients_per_host: 200,
             bandwidth_divisor: 1,
             blank_restart: None,
+            durable_restart: None,
+            divergences: Vec::new(),
             commit_holes: Vec::new(),
             delta_transfers: Vec::new(),
             model_workers: None,
@@ -339,6 +431,40 @@ impl Scenario {
             Instant::ZERO + Duration::from_secs_f64(crash_s),
         );
         self.blank_restart = Some((crash_s, restart_s, replica));
+        self
+    }
+
+    /// Crashes `replica` at `crash_s` — kill -9 mid-batch: the replica
+    /// runs with a write-ahead ledger under the config's `durability`
+    /// policy, and the crash drops its log's unsynced tail (power-loss
+    /// semantics) — and restarts it *durably* at `restart_s`: the new
+    /// incarnation replays the surviving log, restores the last durable
+    /// stable checkpoint locally, and fetches only the tail from peers.
+    /// The report's `durable_restart` field gates the transferred bytes
+    /// against the blank-restart baseline.
+    pub fn with_durable_restart(
+        mut self,
+        crash_s: f64,
+        restart_s: f64,
+        replica: ReplicaId,
+    ) -> Self {
+        assert!(crash_s < restart_s, "restart must follow the crash");
+        self.faults = self.faults.crash(
+            NodeId::Replica(replica),
+            Instant::ZERO + Duration::from_secs_f64(crash_s),
+        );
+        self.durable_restart = Some((crash_s, restart_s, replica));
+        self
+    }
+
+    /// Corrupts `replica`'s live and checkpoint stores in place at
+    /// `at_s` (a bit-flipped executor): its next checkpoint
+    /// announcement loses the quorum vote, and the divergence
+    /// rollback-and-refetch path must reconverge it onto verified
+    /// quorum state. The report's `divergences` entries measure the
+    /// repair.
+    pub fn with_divergence(mut self, replica: ReplicaId, at_s: f64) -> Self {
+        self.divergences.push((replica, at_s));
         self
     }
 
@@ -455,7 +581,21 @@ impl Scenario {
         }
 
         // --- replicas (one factory shared with the ringbft-net runtime) ---
-        for (r, region, node) in crate::nodes::deployment(&cfg) {
+        // The durable-restart victim shares one in-memory log handle
+        // across its incarnations (the sim twin of a `--data-dir`).
+        let durable_wal = self
+            .durable_restart
+            .map(|(_, _, replica)| (replica, MemWalHandle::new()));
+        for (r, region, mut node) in crate::nodes::deployment(&cfg) {
+            if let Some((victim, handle)) = &durable_wal {
+                if r == *victim {
+                    if let AnyNode::Ring(ring) = &mut node {
+                        let (wal, recovered) =
+                            ReplicaWal::open_mem(handle.clone(), cfg.durability);
+                        ring.attach_wal(wal, &recovered);
+                    }
+                }
+            }
             world.add_node(NodeId::Replica(r), region, node);
         }
 
@@ -469,6 +609,50 @@ impl Scenario {
                 Instant::ZERO + Duration::from_secs_f64(restart_s),
                 NodeId::Replica(replica),
                 fresh,
+            );
+        }
+
+        // --- durable restart (crash-consistent recovery scenarios) ---
+        // The replacement is built lazily when the restart fires, so it
+        // opens the log exactly as the crash left it. `(bytes, seq)` of
+        // the replay are smuggled out for the report.
+        let durable_restored = std::rc::Rc::new(std::cell::Cell::new((0u64, 0u64)));
+        if let Some((_, restart_s, replica)) = self.durable_restart {
+            let (_, handle) = durable_wal.as_ref().expect("handle built above").clone();
+            let cfg2 = cfg.clone();
+            let restored = std::rc::Rc::clone(&durable_restored);
+            world.schedule_restart_with(
+                Instant::ZERO + Duration::from_secs_f64(restart_s),
+                NodeId::Replica(replica),
+                Box::new(move || {
+                    // The kill dropped everything not yet synced: model
+                    // power loss, strictly harder than a process kill
+                    // (where OS-buffered appends survive).
+                    handle.crash();
+                    let (wal, recovered) = ReplicaWal::open_mem(handle, cfg2.durability);
+                    let seq = recovered
+                        .fold(replica.shard)
+                        .map(|t| t.seq)
+                        .unwrap_or(0);
+                    restored.set((wal.len_bytes(), seq));
+                    let mut r = RingReplica::new(cfg2, replica, false);
+                    r.attach_wal(wal, &recovered);
+                    AnyNode::Ring(Box::new(r))
+                }),
+            );
+        }
+
+        // --- checkpoint divergence (corrupt-executor scenarios) ---
+        for (replica, at_s) in &self.divergences {
+            let key = cfg.key_range(replica.shard).start;
+            world.schedule_mutation(
+                Instant::ZERO + Duration::from_secs_f64(*at_s),
+                NodeId::Replica(*replica),
+                Box::new(move |n: &mut AnyNode| {
+                    if let AnyNode::Ring(ring) = n {
+                        ring.corrupt_store_for_test(key);
+                    }
+                }),
             );
         }
 
@@ -697,6 +881,132 @@ impl Scenario {
             }
         });
 
+        // Checkpoint-store convergence: does `replica` end on the same
+        // checkpoint store as a same-shard peer at the same checkpoint
+        // sequence? (Checkpoints are quorum-agreed, so any two replicas
+        // at one sequence must match.)
+        let fingerprint_converged = |replica: ReplicaId| -> bool {
+            let Some(AnyNode::Ring(v)) = world.node(NodeId::Replica(replica)) else {
+                return false;
+            };
+            let (vseq, vfp) = (v.checkpoint_seq(), v.checkpoint_fingerprint());
+            vseq > 0
+                && cfg
+                    .shard(replica.shard)
+                    .replicas()
+                    .filter(|r| *r != replica)
+                    .any(|r| match world.node(NodeId::Replica(r)) {
+                        Some(AnyNode::Ring(p)) => {
+                            p.checkpoint_seq() == vseq && p.checkpoint_fingerprint() == vfp
+                        }
+                        _ => false,
+                    })
+        };
+        let peer_max_watermark_of = |replica: ReplicaId| -> u64 {
+            cfg.shard(replica.shard)
+                .replicas()
+                .filter(|r| *r != replica)
+                .filter_map(|r| match world.node(NodeId::Replica(r)) {
+                    Some(AnyNode::Ring(n)) => Some(n.exec_watermark()),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        // Modeled wire bytes of one full-snapshot transfer of a store
+        // of `store_len` records (plan + chunked records) — what a
+        // blank restart moves.
+        let full_transfer_bytes = |store_len: usize| -> u64 {
+            let per = cfg.state_chunk_records.max(1);
+            let mut bytes = ringbft_types::wire::state_plan_bytes(1);
+            let mut left = store_len;
+            while left > 0 {
+                let take = left.min(per);
+                bytes += ringbft_types::wire::state_chunk_bytes(take);
+                left -= take;
+            }
+            bytes
+        };
+
+        // Durable-restart metrics: what the local log replay saved over
+        // a blank restart, and whether the tail top-up reconverged.
+        let durable_restart = self.durable_restart.map(|(_, restart_s, replica)| {
+            let restart_at = Instant::ZERO + Duration::from_secs_f64(restart_s);
+            let catchup_s = world
+                .exec_log
+                .iter()
+                .filter(|e| e.node == NodeId::Replica(replica) && e.at >= restart_at)
+                .map(|e| e.at.since(restart_at).as_secs_f64())
+                .next();
+            let (restart_bytes_local, recovered_seq) = durable_restored.get();
+            let (stats, watermark, store_len, wal_syncs, wal_len_bytes) =
+                match world.node(NodeId::Replica(replica)) {
+                    Some(AnyNode::Ring(r)) => (
+                        r.recovery_stats(),
+                        r.exec_watermark(),
+                        r.store().len(),
+                        r.wal().map(|w| w.syncs()).unwrap_or(0),
+                        r.wal().map(|w| w.len_bytes()).unwrap_or(0),
+                    ),
+                    _ => (Default::default(), 0, 0, 0, 0),
+                };
+            DurableRestartReport {
+                replica,
+                restart_s,
+                catchup_s,
+                restart_bytes_local,
+                recovered_seq,
+                // The restarted incarnation's stats start at zero, so
+                // its post-run transfer bytes are exactly the top-up.
+                restart_bytes_transferred: stats.transfer_bytes(),
+                blank_baseline_bytes: full_transfer_bytes(store_len),
+                installs: stats.installs,
+                delta_installs: stats.delta_installs,
+                full_installs: stats.full_installs,
+                bad_digests: stats.bad_digests,
+                wal_syncs,
+                wal_len_bytes,
+                fingerprint_ok: fingerprint_converged(replica),
+                exec_watermark: watermark,
+                peer_max_watermark: peer_max_watermark_of(replica),
+            }
+        });
+
+        // Divergence-repair metrics: did the corrupted replica roll
+        // back, refetch quorum state, and reconverge?
+        let divergences: Vec<DivergenceReport> = self
+            .divergences
+            .iter()
+            .map(|(replica, at_s)| {
+                let (stats, watermark, stable, diverged, obs_div) =
+                    match world.node(NodeId::Replica(*replica)) {
+                        Some(AnyNode::Ring(r)) => (
+                            r.recovery_stats(),
+                            r.exec_watermark(),
+                            r.last_stable_seq(),
+                            r.is_diverged(),
+                            r.obs()
+                                .reg
+                                .counter_by_name("ring.checkpoint_divergences")
+                                .unwrap_or(0),
+                        ),
+                        _ => (Default::default(), 0, 0, false, 0),
+                    };
+                DivergenceReport {
+                    replica: *replica,
+                    at_s: *at_s,
+                    divergences: obs_div,
+                    installs: stats.installs,
+                    bad_digests: stats.bad_digests,
+                    diverged_at_end: diverged,
+                    fingerprint_ok: fingerprint_converged(*replica),
+                    stable_seq: stable,
+                    exec_watermark: watermark,
+                    peer_max_watermark: peer_max_watermark_of(*replica),
+                }
+            })
+            .collect();
+
         // Delta state-transfer metrics: per darkened victim, what the
         // catch-up actually moved (delta vs full bytes) against the
         // modeled cost of a full snapshot of its final store.
@@ -823,6 +1133,8 @@ impl Scenario {
             bytes_sent: world.stats.bytes_sent,
             tracing,
             recovery,
+            durable_restart,
+            divergences,
             holes,
             delta_transfers,
             pipeline,

@@ -432,3 +432,118 @@ fn delta_transfer_survives_donor_kill_via_rotation() {
         "checkpoint cadence never resumed after the donor kill: {d:?}"
     );
 }
+
+/// Durable-restart acceptance (kill -9 mid-batch): the victim runs with
+/// a write-ahead ledger under batched group commit, is crashed between
+/// sync points — the log's unsynced tail is lost, power-loss semantics,
+/// strictly harder than a process kill — and restarted from the
+/// surviving log. The replay must restore a durable stable checkpoint
+/// locally, and the wire top-up must move < 25 % of what a blank
+/// restart would have transferred; the victim ends fingerprint-equal
+/// with its quorum at the same checkpoint sequence.
+#[test]
+fn durable_restart_replays_log_and_tops_up_tail() {
+    let cfg = delta_cfg();
+    let interval = cfg.checkpoint_interval;
+    let victim = ReplicaId::new(ShardId(0), 2); // a backup, not the primary
+    let mut dump = TraceDump::new("durable_restart_replays_log_and_tops_up_tail");
+    // Crash late in the run: by then the accumulated store (the blank
+    // baseline) is well past the roughly constant tail the restart tops
+    // up (probe latency × traffic rate), so the < 25 % gate measures
+    // the mechanism rather than scenario luck.
+    let report = Scenario::new(cfg, seed())
+        .warmup_secs(1.0)
+        .measure_secs(19.0)
+        .with_durable_restart(10.0, 10.5, victim)
+        .run();
+    dump.arm(&report);
+    assert!(report.completed_txns > 0, "cluster stalled: {report:?}");
+    let d = report.durable_restart.expect("durable metrics requested");
+    assert!(
+        d.catchup_s.is_some(),
+        "restarted replica never executed again: {d:?}"
+    );
+    // The local log survived the crash and carried a stable checkpoint.
+    assert!(
+        d.recovered_seq >= interval,
+        "replay restored no durable checkpoint: {d:?}"
+    );
+    assert!(
+        d.restart_bytes_local > 0,
+        "nothing was replayed from the local log: {d:?}"
+    );
+    // Group commit actually batched: syncs ran, and far fewer of them
+    // than appended records.
+    assert!(d.wal_syncs > 0, "batched durability never synced: {d:?}");
+    // The wire moved only the tail: < 25 % of the blank baseline.
+    assert!(
+        4 * d.restart_bytes_transferred < d.blank_baseline_bytes,
+        "durable restart transferred {} bytes, ≥ 25% of the {}-byte blank baseline: {d:?}",
+        d.restart_bytes_transferred,
+        d.blank_baseline_bytes
+    );
+    assert_eq!(d.bad_digests, 0, "a verified chain was rejected: {d:?}");
+    assert!(
+        d.fingerprint_ok,
+        "victim's checkpoint store diverged from its quorum: {d:?}"
+    );
+    // It rejoined the cadence.
+    assert!(
+        d.exec_watermark + 3 * interval >= d.peer_max_watermark,
+        "victim still wedged at watermark {} (peers at {}): {d:?}",
+        d.exec_watermark,
+        d.peer_max_watermark
+    );
+}
+
+/// Divergence-rollback acceptance (the carry-over bugfix): one
+/// replica's live and checkpoint stores are corrupted in place — a
+/// bit-flipped executor — so its next checkpoint announcement loses
+/// the quorum vote. The rollback-and-refetch path must discard the
+/// divergent window, refetch verified quorum state (≥ 1 install), and
+/// reconverge: the victim ends out of diverged mode, fingerprint-equal
+/// with a same-shard peer at the same stable checkpoint, with no
+/// safety flag (bad digest) raised along the way.
+#[test]
+fn divergent_replica_rolls_back_and_reconverges() {
+    let cfg = delta_cfg();
+    let interval = cfg.checkpoint_interval;
+    let victim = ReplicaId::new(ShardId(0), 2); // a backup, not the primary
+    let mut dump = TraceDump::new("divergent_replica_rolls_back_and_reconverges");
+    let report = Scenario::new(cfg, seed())
+        .warmup_secs(1.0)
+        .measure_secs(19.0)
+        .with_divergence(victim, 3.0)
+        .run();
+    dump.arm(&report);
+    assert!(report.completed_txns > 0, "cluster stalled: {report:?}");
+    let d = &report.divergences[0];
+    assert!(
+        d.divergences >= 1,
+        "corruption never surfaced as a checkpoint divergence: {d:?}"
+    );
+    assert!(
+        d.installs >= 1,
+        "rollback never refetched quorum state: {d:?}"
+    );
+    assert!(
+        !d.diverged_at_end,
+        "victim still in rolled-back mode at the end of the run: {d:?}"
+    );
+    // Losing a vote is not an integrity failure: nothing was rejected.
+    assert_eq!(d.bad_digests, 0, "divergence raised a safety flag: {d:?}");
+    assert!(
+        d.fingerprint_ok,
+        "victim never reconverged onto quorum state: {d:?}"
+    );
+    assert!(
+        d.exec_watermark + 3 * interval >= d.peer_max_watermark,
+        "victim still wedged at watermark {} (peers at {}): {d:?}",
+        d.exec_watermark,
+        d.peer_max_watermark
+    );
+    assert!(
+        d.stable_seq >= 2 * interval,
+        "checkpoint cadence never resumed after the rollback: {d:?}"
+    );
+}

@@ -121,6 +121,20 @@ enum Event<M> {
     Restart {
         node: NodeId,
     },
+    /// A scheduled in-place node mutation (fault injection that needs
+    /// access to live node state, e.g. corrupting one replica's store).
+    Mutate {
+        node: NodeId,
+    },
+}
+
+/// A replacement queued for a scheduled restart: built eagerly at
+/// schedule time, or lazily when the restart fires — the factory then
+/// observes state the crash itself produced (e.g. the surviving
+/// contents of a durable log).
+enum Replacement<N> {
+    Ready(N),
+    Lazy(Box<dyn FnOnce() -> N>),
 }
 
 struct Slot<N> {
@@ -147,7 +161,10 @@ pub struct World<M: SimMessage, N: SimNode<M>> {
     aliases: HashMap<NodeId, NodeId>,
     /// Replacement nodes for scheduled restarts, popped front-first when
     /// the matching `Restart` event fires.
-    pending_restarts: HashMap<NodeId, std::collections::VecDeque<N>>,
+    pending_restarts: HashMap<NodeId, std::collections::VecDeque<Replacement<N>>>,
+    /// In-place mutations for scheduled `Mutate` events, popped
+    /// front-first.
+    pending_mutations: HashMap<NodeId, std::collections::VecDeque<Box<dyn FnOnce(&mut N)>>>,
     timers: HashMap<(NodeId, TimerKind, u64), u64>,
     timer_gen: u64,
     now: Instant,
@@ -183,6 +200,7 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
             slots: BTreeMap::new(),
             aliases: HashMap::new(),
             pending_restarts: HashMap::new(),
+            pending_mutations: HashMap::new(),
             timers: HashMap::new(),
             timer_gen: 0,
             now: Instant::ZERO,
@@ -276,8 +294,37 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
         self.pending_restarts
             .entry(node)
             .or_default()
-            .push_back(replacement);
+            .push_back(Replacement::Ready(replacement));
         self.queue.push(at, Event::Restart { node });
+    }
+
+    /// Like [`World::schedule_restart`], but the replacement is built
+    /// by `factory` only when the restart fires — a *durable* restart:
+    /// the factory observes whatever the crashed incarnation left
+    /// behind (e.g. a shared write-ahead log handle) instead of the
+    /// state known at schedule time.
+    pub fn schedule_restart_with(
+        &mut self,
+        at: Instant,
+        node: NodeId,
+        factory: Box<dyn FnOnce() -> N>,
+    ) {
+        assert!(self.slots.contains_key(&node), "restart of unknown {node}");
+        self.pending_restarts
+            .entry(node)
+            .or_default()
+            .push_back(Replacement::Lazy(factory));
+        self.queue.push(at, Event::Restart { node });
+    }
+
+    /// Schedules an in-place mutation of `node`'s live state at `at` —
+    /// targeted fault injection (e.g. flipping a value in one replica's
+    /// store to model a corrupt executor). No-op if the node is crashed
+    /// when the event fires.
+    pub fn schedule_mutation(&mut self, at: Instant, node: NodeId, f: Box<dyn FnOnce(&mut N)>) {
+        assert!(self.slots.contains_key(&node), "mutation of unknown {node}");
+        self.pending_mutations.entry(node).or_default().push_back(f);
+        self.queue.push(at, Event::Mutate { node });
     }
 
     /// Current simulated time.
@@ -399,6 +446,20 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
                     slot.crashed = true;
                 }
             }
+            Event::Mutate { node } => {
+                let Some(f) = self
+                    .pending_mutations
+                    .get_mut(&node)
+                    .and_then(|q| q.pop_front())
+                else {
+                    return;
+                };
+                if let Some(slot) = self.slots.get_mut(&node) {
+                    if !slot.crashed {
+                        f(&mut slot.node);
+                    }
+                }
+            }
             Event::Restart { node } => {
                 let Some(replacement) = self
                     .pending_restarts
@@ -406,6 +467,10 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
                     .and_then(|q| q.pop_front())
                 else {
                     return;
+                };
+                let replacement = match replacement {
+                    Replacement::Ready(n) => n,
+                    Replacement::Lazy(f) => f(),
                 };
                 let Some(slot) = self.slots.get_mut(&node) else {
                     return;

@@ -135,6 +135,46 @@ impl TimerConfig {
 /// recovery manager's retention agree by compiler, not by comment.
 pub const DELTA_CHAIN_KEEP: usize = 8;
 
+/// When the replica's write-ahead log forces its records to durable
+/// storage (`fsync`). Orthogonal to *what* is logged — commits,
+/// checkpoint votes and checkpoint snapshots are always appended; the
+/// knob only governs how much of the append tail a power-loss crash
+/// may lose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Durability {
+    /// Never fsync explicitly. A process kill loses nothing (the OS
+    /// holds the written bytes); a power loss may lose the whole
+    /// un-synced tail. Restart then leans on the delta-chain transfer
+    /// from the last record that did survive.
+    None,
+    /// Group commit: fsync at most once per this many milliseconds,
+    /// driven by the replica's WAL flush timer. The paper-reproduction
+    /// default — bounds the power-loss exposure window without paying
+    /// an fsync per sequence.
+    Batched(u64),
+    /// fsync after every appended record. Crash-loss window of zero,
+    /// at one fsync per append.
+    Strict,
+}
+
+impl Default for Durability {
+    /// Configs predating the knob deserialize to `Batched(50)`.
+    fn default() -> Self {
+        Durability::Batched(50)
+    }
+}
+
+impl Durability {
+    /// The group-commit flush interval, if batching.
+    pub fn batch_interval(self) -> Option<Duration> {
+        match self {
+            Durability::Batched(ms) => Some(Duration::from_millis(ms)),
+            _ => None,
+        }
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -227,6 +267,13 @@ pub struct SystemConfig {
     /// deserialize to `0` (off).
     #[serde(default)]
     pub trace_sample_rate: u64,
+    /// Write-ahead-log fsync policy (`ringbft-store`'s WAL): `none`,
+    /// `batched(ms)` group commit, or `strict` per-record fsync. Only
+    /// consulted when a replica actually runs with a WAL attached
+    /// (`ringbft-node --data-dir`, durable sim scenarios); configs
+    /// predating the knob deserialize to the batched default.
+    #[serde(default)]
+    pub durability: Durability,
 }
 
 impl SystemConfig {
@@ -261,6 +308,7 @@ impl SystemConfig {
             ablation_quadratic_forward: false,
             ring_offset: 0,
             trace_sample_rate: 64,
+            durability: Durability::default(),
         }
     }
 
@@ -355,6 +403,11 @@ impl SystemConfig {
         }
         if self.pipeline_workers > 64 {
             return Err("pipeline_workers must be within 0..=64".into());
+        }
+        if let Durability::Batched(ms) = self.durability {
+            if ms == 0 || ms > 60_000 {
+                return Err("durability batched interval must be within 1..=60000 ms".into());
+            }
         }
         Ok(())
     }
@@ -470,6 +523,25 @@ mod tests {
         let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 3, 4);
         cfg.full_snapshot_every = 8;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn durability_knob_validated_and_defaulted() {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, 2, 4);
+        assert_eq!(cfg.durability, Durability::Batched(50), "batched default");
+        assert_eq!(
+            cfg.durability.batch_interval(),
+            Some(Duration::from_millis(50))
+        );
+        cfg.durability = Durability::Batched(0);
+        assert!(cfg.validate().is_err());
+        cfg.durability = Durability::Batched(60_001);
+        assert!(cfg.validate().is_err());
+        cfg.durability = Durability::Strict;
+        assert!(Durability::Strict.batch_interval().is_none());
+        cfg.validate().unwrap();
+        cfg.durability = Durability::None;
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod trace;
 pub mod txn;
 pub mod wire;
 
-pub use config::{ProtocolKind, ShardConfig, SystemConfig, DELTA_CHAIN_KEEP};
+pub use config::{Durability, ProtocolKind, ShardConfig, SystemConfig, DELTA_CHAIN_KEEP};
 pub use hole::{CommitCertificate, HoleReply, HoleRequest};
 pub use ids::{ClientId, NodeId, ReplicaId, SeqNum, ShardId, ViewNum};
 pub use region::Region;

@@ -131,4 +131,18 @@ if ! awk -v t="$P_THREADS" -v s="$P_SHARDS" -v w="$P_WORKERS" \
 fi
 echo "check_bench: pipeline scales ($P_WORKERS workers, $P_THREADS threads/node within budget)"
 
+# Durability gate (schema v9): a kill -9'd replica restarting from its
+# write-ahead ledger must replay a durable checkpoint locally and top up
+# only the committed tail over the wire — < 25 % of the full-snapshot
+# bytes a blank restart would have moved, with a quorum-matching store
+# fingerprint at the end. bench_json folds all of that into
+# `durable_restart_ok`; bench_check fails a formerly-true flag turning
+# false, and this check also refuses a regenerated snapshot that
+# silently dropped the scenario.
+if ! grep -q '"durable_restart_ok": true' "$OUT"; then
+    echo "check_bench: FAIL durable WAL restart gate (durable_restart_ok not true in $OUT)" >&2
+    exit 1
+fi
+echo "check_bench: durable restart replays locally and beats the blank-restart transfer"
+
 echo "check_bench: OK"

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Multi-process cluster smoke test: launches a real 2-shard x 4-replica
 # RingBFT cluster as separate `ringbft-node` processes on localhost TCP,
-# kills one replica mid-run and blank-restarts it, and requires the
-# workload to complete a minimum number of transactions end-to-end.
+# kills one replica with SIGKILL mid-run and restarts it from its
+# write-ahead ledger (`--data-dir`: the restarted process must replay
+# its local log instead of starting blank), and requires the workload
+# to complete a minimum number of transactions end-to-end.
 #
 # The shard-1 process also runs with causal tracing at full sampling,
 # `--telemetry-port` and `--trace-dump-path`: mid-run the script scrapes
@@ -85,7 +87,10 @@ start_replicas() {
     echo "smoke: starting shard 0 (quorum process + victim process, ports from $port_base)"
     "$BIN" --config "$CONFIG" --host S0r0 --host S0r1 --host S0r2 --stats-secs 0 &
     PIDS+=($!)
-    "$BIN" --config "$CONFIG" --host S0r3 --stats-secs 0 &
+    # The victim runs on a durable write-ahead ledger, so the kill -9
+    # below can restart it crash-consistently from its own log.
+    "$BIN" --config "$CONFIG" --host S0r3 --stats-secs 0 \
+        --data-dir "$WORKDIR/wal" &
     VICTIM_PID=$!
     echo "smoke: starting shard 1 process (telemetry on ports from $TELEMETRY_PORT)"
     "$BIN" --config "$CONFIG" --host S1r0 --host S1r1 --host S1r2 --host S1r3 \
@@ -201,18 +206,35 @@ if [[ "$KILL_AT" -gt 0 ]]; then
     echo "smoke: shard-1 process thread count $SHARD1_THREADS" \
          "(4 replicas x (1 reactor + $PIPE_WORKERS workers) + main, budget $THREAD_BUDGET) — ok"
     scrape_telemetry
-    echo "smoke: killing replica S0r3 (pid $VICTIM_PID)"
+    echo "smoke: killing replica S0r3 (pid $VICTIM_PID) with SIGKILL"
     kill -9 "$VICTIM_PID" 2>/dev/null || true
     wait "$VICTIM_PID" 2>/dev/null || true
+    # kill -9 gave the process no chance to close its log: the appends
+    # it had already written must still be sitting in the OS file.
+    if [[ ! -s "$WORKDIR/wal/S0r3.wal" ]]; then
+        echo "smoke: victim's write-ahead ledger missing or empty after kill -9" >&2
+        exit 1
+    fi
     sleep 3
-    echo "smoke: blank-restarting replica S0r3"
-    "$BIN" --config "$CONFIG" --host S0r3 --stats-secs 0 &
+    echo "smoke: restarting replica S0r3 from its write-ahead ledger"
+    "$BIN" --config "$CONFIG" --host S0r3 --stats-secs 0 \
+        --data-dir "$WORKDIR/wal" >"$WORKDIR/victim-restart.log" &
     VICTIM_PID=$!
     sleep 2
     if ! kill -0 "$VICTIM_PID" 2>/dev/null; then
         echo "smoke: restarted replica died immediately" >&2
+        cat "$WORKDIR/victim-restart.log" >&2 || true
         exit 1
     fi
+    # The restart replayed the log rather than starting blank.
+    REPLAYED=$(sed -n 's/.*(\([0-9]*\) bytes, durable checkpoint seq \([0-9]*\)).*/\1/p' \
+        "$WORKDIR/victim-restart.log" | head -1)
+    if [[ -z "$REPLAYED" || "$REPLAYED" -eq 0 ]]; then
+        echo "smoke: restarted replica did not replay its write-ahead ledger:" >&2
+        cat "$WORKDIR/victim-restart.log" >&2 || true
+        exit 1
+    fi
+    echo "smoke: S0r3 replayed $REPLAYED bytes from its ledger"
 fi
 
 RC=0
