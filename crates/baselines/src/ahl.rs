@@ -154,6 +154,7 @@ impl AhlReplica {
         for a in pout.take() {
             match a.map_msg(ShardedMsg::Pbft) {
                 Action::Send { to, msg } => out.send(to, msg),
+                Action::SendMany { tos, msg } => out.send_many(tos, msg),
                 Action::SetTimer { kind, token, after } => out.set_timer(kind, token, after),
                 Action::CancelTimer { kind, token } => out.cancel_timer(kind, token),
                 Action::Executed { seq, txns } => out.executed(seq, txns),

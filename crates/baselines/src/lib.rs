@@ -121,6 +121,12 @@ mod tests {
                     Action::Send { to, msg } => {
                         self.queue.push_back((NodeId::Replica(from), to, msg))
                     }
+                    Action::SendMany { tos, msg } => {
+                        for to in tos {
+                            self.queue
+                                .push_back((NodeId::Replica(from), to, msg.clone()));
+                        }
+                    }
                     Action::SetTimer { kind, token, .. } => {
                         self.timers.insert((from, kind, token));
                     }

@@ -5,6 +5,9 @@
 //! * `lockmgr/*` — sequence-ordered lock admission (§4.3.5's π list);
 //! * `pbft/*` — a full intra-shard consensus round as a state-machine
 //!   cost (the engine every protocol embeds);
+//! * `codec/*` — the wire codec's egress/ingress hot path: body
+//!   serialization, per-peer prefixes, the serialize-once broadcast
+//!   against per-destination encoding, decode and frame reassembly;
 //! * `wire/*` — batch digests and message-size computation;
 //! * `workload/*` — YCSB transaction generation;
 //! * `simnet/*` — event-queue throughput (the simulator's own engine).
@@ -109,6 +112,105 @@ fn bench_pbft_round(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_codec(c: &mut Criterion) {
+    use ringbft_net::codec::{
+        encode_body, encode_frame, frame_prefix, read_frame, Envelope, FrameAssembler, FrameAuth,
+    };
+    use ringbft_pbft::{batch_digest as digest_of, PbftMsg};
+    use ringbft_sim::AnyMsg;
+    use ringbft_types::{SeqNum, ViewNum};
+
+    let mut g = c.benchmark_group("codec");
+    let auth = FrameAuth::from_seed(7);
+    let from = NodeId::Replica(ReplicaId::new(ShardId(0), 0));
+    let peers: Vec<NodeId> = (1..4)
+        .map(|i| NodeId::Replica(ReplicaId::new(ShardId(0), i)))
+        .collect();
+    // A Preprepare carrying a 100-transaction batch: the dominant
+    // broadcast payload on the consensus hot path.
+    let batch = test_batch(ShardId(0), 1, 100);
+    let msg = AnyMsg::Ring(ringbft_core::RingMsg::Pbft(PbftMsg::Preprepare {
+        view: ViewNum(0),
+        seq: SeqNum(1),
+        digest: digest_of(&batch),
+        batch,
+    }));
+    let trace = None;
+    let env = Envelope {
+        from,
+        to: peers[0],
+        msg: msg.clone(),
+        trace,
+    };
+    let frame = encode_frame(&env, &auth).expect("encode");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("encode_unicast_preprepare100", |b| {
+        b.iter(|| encode_frame(black_box(&env), &auth).expect("encode"))
+    });
+    g.bench_function("encode_body_preprepare100", |b| {
+        b.iter(|| encode_body(from, black_box(&msg), &trace).expect("encode body"))
+    });
+    let body = encode_body(from, &msg, &trace).expect("encode body");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("frame_prefix", |b| {
+        b.iter(|| frame_prefix(from, black_box(peers[0]), &body, &auth))
+    });
+    // The tentpole comparison: fan one Preprepare out to 3 peers by
+    // re-encoding per destination vs. sharing one encoded body.
+    g.throughput(Throughput::Elements(3));
+    g.bench_function("fanout3_per_destination", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &to in &peers {
+                let e = Envelope {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    trace,
+                };
+                total += encode_frame(&e, &auth).expect("encode").len();
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("fanout3_shared_body", |b| {
+        b.iter(|| {
+            let body = encode_body(from, black_box(&msg), &trace).expect("encode body");
+            let mut total = 0usize;
+            for &to in &peers {
+                let prefix = frame_prefix(from, to, &body, &auth);
+                total += prefix.len() + body.len();
+            }
+            black_box(total)
+        })
+    });
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("decode_preprepare100", |b| {
+        b.iter(|| {
+            read_frame::<AnyMsg, _>(&mut black_box(frame.as_slice()), &auth, env.to)
+                .expect("decode")
+        })
+    });
+    // Reassembly from segmented reads: the reactor's ingress path
+    // (frames arrive in TCP-sized chunks, scratch buffers pooled).
+    g.bench_function("assemble_preprepare100_1k_chunks", |b| {
+        b.iter(|| {
+            let mut asm = FrameAssembler::new();
+            let mut scratch = Vec::new();
+            let mut raws = 0usize;
+            for chunk in frame.chunks(1024) {
+                asm.extend(chunk);
+                while let Some(raw) = asm.next_raw_frame_in(&mut scratch).expect("assemble") {
+                    raws += 1;
+                    scratch = raw.body;
+                }
+            }
+            black_box(raws)
+        })
+    });
+    g.finish();
+}
+
 fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     let batch = test_batch(ShardId(0), 1, 100);
@@ -175,6 +277,7 @@ criterion_group!(
     bench_crypto,
     bench_lockmgr,
     bench_pbft_round,
+    bench_codec,
     bench_wire,
     bench_workload,
     bench_simnet

@@ -49,8 +49,8 @@ use ringbft_ledger::{BlockBody, Ledger};
 use ringbft_pbft::{PbftConfig, PbftCore, PbftEvent, PbftMsg};
 use ringbft_recovery::{
     ChainTransfer, DeltaSnapshot, HoleFetcher, HoleStats, Recovered, RecoveryEvent,
-    RecoveryManager, RecoveryMsg, RecoveryStats, ReplicaWal, Snapshot, WalEntry,
-    HOLE_PROBE_TOKEN, RECOVERY_PROBE_TOKEN,
+    RecoveryManager, RecoveryMsg, RecoveryStats, ReplicaWal, Snapshot, WalEntry, HOLE_PROBE_TOKEN,
+    RECOVERY_PROBE_TOKEN,
 };
 use ringbft_store::{KvStore, LockManager, Record};
 use ringbft_types::hole::{HoleReply, HoleRequest};
@@ -355,9 +355,15 @@ pub struct RingReplica {
     /// Arrival time of the oldest request pooled per batching pool
     /// (admission phase; primary only).
     pool_first: BTreeMap<Vec<ShardId>, Instant>,
-    /// Execution time per cst this replica will answer the client for
-    /// (execute→reply; initiator shard only).
+    /// Execution time per batch this replica will answer the client for
+    /// (execute→reply): single-shard batches stamp their execution-stage
+    /// submit time (via `exec_submit_at`), complex csts their initiator-
+    /// shard execution. Simple csts stamp nothing — their reply interval
+    /// is exactly `phase.cst_forward` and must not be double-counted.
     executed_at: HashMap<Digest, Instant>,
+    /// Submission time per in-flight single-shard execution job, keyed
+    /// by sequence (the digest is only known once the stage hashes it).
+    exec_submit_at: HashMap<u64, Instant>,
     /// Local-commit time per cst at its initiator shard (cst-forward
     /// phase: commit → ring-rotation-one wrap-around).
     cst_commit_at: HashMap<Digest, Instant>,
@@ -469,6 +475,7 @@ impl RingReplica {
             commit_trace: HashMap::new(),
             pool_first: BTreeMap::new(),
             executed_at: HashMap::new(),
+            exec_submit_at: HashMap::new(),
             cst_commit_at: HashMap::new(),
             cst_fwd_at: HashMap::new(),
             obs: ReplicaObs::new(),
@@ -559,7 +566,9 @@ impl RingReplica {
     pub fn flush_wal(&mut self) {
         if let Some(w) = self.wal.as_mut() {
             if w.flush().is_err() {
-                self.obs.trace.push(self.obs_now.as_nanos(), "wal_error", &[]);
+                self.obs
+                    .trace
+                    .push(self.obs_now.as_nanos(), "wal_error", &[]);
             }
         }
     }
@@ -569,7 +578,9 @@ impl RingReplica {
     pub fn close_wal(&mut self) {
         if let Some(w) = self.wal.as_mut() {
             if w.close().is_err() {
-                self.obs.trace.push(self.obs_now.as_nanos(), "wal_error", &[]);
+                self.obs
+                    .trace
+                    .push(self.obs_now.as_nanos(), "wal_error", &[]);
             }
         }
     }
@@ -587,7 +598,9 @@ impl RingReplica {
     fn wal_append(&mut self, entry: &WalEntry, out: &mut Outbox<RingMsg>) {
         let Some(w) = self.wal.as_mut() else { return };
         if w.append(entry).is_err() {
-            self.obs.trace.push(self.obs_now.as_nanos(), "wal_error", &[]);
+            self.obs
+                .trace
+                .push(self.obs_now.as_nanos(), "wal_error", &[]);
             return;
         }
         if !self.wal_timer_armed && w.dirty() {
@@ -603,7 +616,9 @@ impl RingReplica {
     fn wal_append_full(&mut self, snap: &Snapshot) {
         let Some(w) = self.wal.as_mut() else { return };
         if w.append_full(snap).is_err() {
-            self.obs.trace.push(self.obs_now.as_nanos(), "wal_error", &[]);
+            self.obs
+                .trace
+                .push(self.obs_now.as_nanos(), "wal_error", &[]);
         }
     }
 
@@ -1193,25 +1208,40 @@ impl RingReplica {
     }
 
     /// Builds batches from pools. `force` flushes partial pools (timer).
+    ///
+    /// With `adaptive_batching` on, a partial pool is also cut when the
+    /// consensus pipe is idle (no PBFT instance in flight and no batch
+    /// queued for execution): batching exists to amortise per-batch
+    /// protocol cost while the pipe is busy, so holding requests back
+    /// when nothing is ahead of them only adds latency. Under backlog
+    /// the `batch_size` threshold reasserts itself unchanged.
     fn flush_pools(&mut self, force: bool, out: &mut Outbox<RingMsg>) {
         if !self.pbft.is_primary() {
             return;
         }
         let batch_size = self.cfg.batch_size;
+        let adaptive_cut = self.cfg.adaptive_batching
+            && !force
+            && self.pbft.in_flight() == 0
+            && self.exec_inflight.is_empty();
+        let effective = if adaptive_cut { 1 } else { batch_size };
         let keys: Vec<Vec<ShardId>> = self
             .pools
             .iter()
-            .filter(|(_, p)| p.len() >= batch_size || (force && !p.is_empty()))
+            .filter(|(_, p)| p.len() >= effective || (force && !p.is_empty()))
             .map(|(k, _)| k.clone())
             .collect();
         for key in keys {
             loop {
                 let pool = self.pools.get_mut(&key).expect("pool exists");
-                if pool.is_empty() || (pool.len() < batch_size && !force) {
+                if pool.is_empty() || (pool.len() < effective && !force) {
                     break;
                 }
                 let take = pool.len().min(batch_size);
                 let txns: Vec<Transaction> = pool.drain(..take).collect();
+                if adaptive_cut && txns.len() < batch_size {
+                    self.obs.batch_adaptive_flushes(1);
+                }
                 let drained_all = pool.is_empty();
                 // Admission: how long the oldest pooled request waited
                 // for its batch. Later batches from the same flush reuse
@@ -1292,7 +1322,12 @@ impl RingReplica {
         let mut accepted: Vec<(u64, u64, Digest)> = Vec::new();
         for action in pout.take() {
             if self.wal.is_some() {
-                if let Action::Send { msg, .. } = &action {
+                let sent = match &action {
+                    Action::Send { msg, .. } => Some(msg),
+                    Action::SendMany { msg, .. } => Some(msg),
+                    _ => None,
+                };
+                if let Some(msg) = sent {
                     let slot = match msg {
                         PbftMsg::Preprepare {
                             view, seq, digest, ..
@@ -1401,6 +1436,7 @@ impl RingReplica {
         for action in rout.take() {
             match action.map_msg(RingMsg::Recovery) {
                 Action::Send { to, msg } => out.send(to, msg),
+                Action::SendMany { tos, msg } => out.send_many(tos, msg),
                 Action::SetTimer { kind, token, after } => out.set_timer(kind, token, after),
                 Action::CancelTimer { kind, token } => out.cancel_timer(kind, token),
                 Action::Executed { .. } | Action::ViewChanged { .. } => {}
@@ -1434,6 +1470,7 @@ impl RingReplica {
         for action in hout.take() {
             match action.map_msg(RingMsg::Recovery) {
                 Action::Send { to, msg } => out.send(to, msg),
+                Action::SendMany { tos, msg } => out.send_many(tos, msg),
                 Action::SetTimer { kind, token, after } => out.set_timer(kind, token, after),
                 Action::CancelTimer { kind, token } => out.cancel_timer(kind, token),
                 Action::Executed { .. } | Action::ViewChanged { .. } => {}
@@ -2161,7 +2198,6 @@ impl RingReplica {
         let batch = Arc::clone(&state.batch);
         let involved = state.involved.clone();
         let seq = state.local_seq.expect("locked implies committed locally");
-        let initiator = self.ring.first(&involved) == self.me.shard;
         let mut effects = Vec::new();
         for txn in &batch.txns {
             let result = self.kv.execute_fragment(txn, me_shard, &[]);
@@ -2178,11 +2214,11 @@ impl RingReplica {
         });
         out.executed(seq, batch.len() as u32);
         self.mark_executed(seq, effects, out);
-        if initiator {
-            // Execute→reply clock: closed by `reply_clients` when the
-            // second rotation delivers the Execute back here.
-            self.executed_at.insert(digest, self.obs_now);
-        }
+        // No execute→reply clock here: a simple cst's initiator replies
+        // on the wrap-around Forward, an interval `phase.cst_forward`
+        // already measures from the same commit instant — opening
+        // `executed_at` too would double-report the identical sample
+        // under a second name.
         self.work.remove(&seq);
         let admitted = self.locks.release(seq);
         for s in admitted.acquired {
@@ -2215,6 +2251,10 @@ impl RingReplica {
             // manager guarantees their write sets cannot conflict.
             self.obs.exec_parallel_batches(1);
         }
+        // Execute→reply clock: opens when the job enters the execution
+        // stage, closes in `reply_clients` once the applied outcome's
+        // replies go out — the stage latency an async pipeline adds.
+        self.exec_submit_at.insert(seq, self.obs_now);
         self.exec_inflight.push_back(seq);
         self.exec_pipeline.submit(ExecJob {
             seq,
@@ -2283,6 +2323,11 @@ impl RingReplica {
         });
         out.executed(o.seq, o.txn_count);
         self.mark_executed(o.seq, o.writes, out);
+        // Hand the submit-time clock to `reply_clients` under the digest
+        // it closes by (the digest only exists once the stage hashed it).
+        if let Some(t0) = self.exec_submit_at.remove(&o.seq) {
+            self.executed_at.insert(o.digest, t0);
+        }
         self.reply_clients(o.digest, &o.batch, out);
         self.work.remove(&o.seq);
         let admitted = self.locks.release(o.seq);
@@ -2907,6 +2952,7 @@ impl RingReplica {
 fn out_push(out: &mut Outbox<RingMsg>, action: Action<PbftMsg>) {
     match action.map_msg(RingMsg::Pbft) {
         Action::Send { to, msg } => out.send(to, msg),
+        Action::SendMany { tos, msg } => out.send_many(tos, msg),
         Action::SetTimer { kind, token, after } => out.set_timer(kind, token, after),
         Action::CancelTimer { kind, token } => out.cancel_timer(kind, token),
         Action::Executed { seq, txns } => out.executed(seq, txns),

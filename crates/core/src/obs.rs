@@ -11,9 +11,17 @@
 //! | `phase.admission`        | first request pooled for a batch  | batch proposed to PBFT    |
 //! | `phase.preprepare_commit`| first consensus msg for the slot  | local commit              |
 //! | `phase.commit_execute`   | local commit                      | execution applied         |
-//! | `phase.execute_reply`    | execution applied                 | client replies sent       |
+//! | `phase.execute_reply`    | execution submitted/applied       | client replies sent       |
 //! | `phase.cst_forward`      | cst locally committed             | Forward evidence complete |
 //! | `phase.cst_execute`      | Forward evidence complete         | cst executed              |
+//!
+//! `phase.execute_reply` opens at execution-stage *submission* for
+//! single-shard batches (so an async pipeline's stage latency is
+//! visible) and at initiator-shard execution for complex csts (closed
+//! by the second rotation's wrap-around). Simple csts record nothing
+//! here: their execute→reply interval is the wrap-around Forward that
+//! `phase.cst_forward` already times, and recording it twice made the
+//! two histograms byte-identical.
 //!
 //! All histogram samples are nanoseconds of simulated (or reactor-clock)
 //! time. Trace events use the same clock; see the README "Observability"
@@ -39,7 +47,9 @@ pub enum Phase {
     PreprepareCommit,
     /// Local commit → execution applied to the store.
     CommitExecute,
-    /// Execution applied → client replies sent.
+    /// Execution submitted (single-shard) or applied (complex cst) →
+    /// client replies sent. Simple csts record under
+    /// [`Phase::CstForward`] only.
     ExecuteReply,
     /// Cst locally committed → Forward evidence complete (ring hop).
     CstForward,
@@ -88,6 +98,7 @@ pub struct ReplicaObs {
     c_checkpoint_divergences: CounterId,
     c_reply_cache_evictions: CounterId,
     c_done_overwrites: CounterId,
+    c_batch_adaptive_flushes: CounterId,
     c_exec_jobs: CounterId,
     c_exec_parallel_batches: CounterId,
     c_verify_offloaded: CounterId,
@@ -121,6 +132,7 @@ impl ReplicaObs {
         let c_checkpoint_divergences = reg.counter("ring.checkpoint_divergences");
         let c_reply_cache_evictions = reg.counter("ring.reply_cache_evictions");
         let c_done_overwrites = reg.counter("ring.done_set_overwrites");
+        let c_batch_adaptive_flushes = reg.counter("ring.batch_adaptive_flushes");
         let c_exec_jobs = reg.counter("pipeline.exec_jobs");
         let c_exec_parallel_batches = reg.counter("pipeline.exec_parallel_batches");
         let c_verify_offloaded = reg.counter("pipeline.verify_offloaded_frames");
@@ -145,6 +157,7 @@ impl ReplicaObs {
             c_checkpoint_divergences,
             c_reply_cache_evictions,
             c_done_overwrites,
+            c_batch_adaptive_flushes,
             c_exec_jobs,
             c_exec_parallel_batches,
             c_verify_offloaded,
@@ -239,6 +252,9 @@ impl ReplicaObs {
     }
     pub(crate) fn exec_jobs(&mut self, n: u64) {
         self.reg.add(self.c_exec_jobs, n);
+    }
+    pub(crate) fn batch_adaptive_flushes(&mut self, n: u64) {
+        self.reg.add(self.c_batch_adaptive_flushes, n);
     }
     pub(crate) fn exec_parallel_batches(&mut self, n: u64) {
         self.reg.add(self.c_exec_parallel_batches, n);

@@ -108,6 +108,11 @@ impl RingNet {
         for a in actions {
             match a {
                 Action::Send { to, msg } => self.queue.push_back((from, to, msg)),
+                Action::SendMany { tos, msg } => {
+                    for to in tos {
+                        self.queue.push_back((from, to, msg.clone()));
+                    }
+                }
                 Action::SetTimer { kind, token, .. } => {
                     self.timers.insert((from, kind, token));
                 }

@@ -111,8 +111,7 @@ impl LocalCluster {
         for ((r, _region, mut node), listener) in deployment.into_iter().zip(listeners) {
             if let Some(dir) = &data_dir {
                 if let AnyNode::Ring(ring) = &mut node {
-                    let (wal, recovered) =
-                        ReplicaWal::open_file(wal_path(dir, r), cfg.durability)?;
+                    let (wal, recovered) = ReplicaWal::open_file(wal_path(dir, r), cfg.durability)?;
                     ring.attach_wal(wal, &recovered);
                 }
             }
@@ -231,10 +230,7 @@ impl LocalCluster {
         let (wal, recovered) = ReplicaWal::open_file(wal_path(&dir, r), self.cfg.durability)?;
         let restart = DurableRestart {
             bytes_replayed: wal.len_bytes(),
-            recovered_seq: recovered
-                .fold(r.shard)
-                .map(|tip| tip.seq)
-                .unwrap_or(0),
+            recovered_seq: recovered.fold(r.shard).map(|tip| tip.seq).unwrap_or(0),
             clean_close: recovered.clean_close,
         };
         if let AnyNode::Ring(ring) = &mut node {

@@ -1,14 +1,15 @@
 //! Length-prefixed, MAC-authenticated binary framing for protocol
 //! messages on real sockets.
 //!
-//! Every frame is a fixed 12-byte header, a 32-byte HMAC-SHA256
-//! authenticator, and a bincode-encoded [`Envelope`]:
+//! Every frame is a fixed 12-byte header, a 9-byte destination address,
+//! a 32-byte HMAC-SHA256 authenticator, and a bincode-encoded
+//! peer-independent body (sender + message + trace):
 //!
 //! ```text
-//! +--------+---------+-------+----------+---------+----------------------+
-//! | magic  | version | flags | body len | mac     | bincode(Envelope<M>) |
-//! | u32 LE | u16 LE  | u16LE | u32 LE   | 32 B    | `body len` bytes     |
-//! +--------+---------+-------+----------+---------+----------------------+
+//! +--------+---------+-------+----------+--------+-------+--------------------------+
+//! | magic  | version | flags | body len | addr   | mac   | bincode(from, msg, trace)|
+//! | u32 LE | u16 LE  | u16LE | u32 LE   | 9 B    | 32 B  | `body len` bytes         |
+//! +--------+---------+-------+----------+--------+-------+--------------------------+
 //! ```
 //!
 //! The header is versioned so future PRs can evolve the body encoding
@@ -16,13 +17,22 @@
 //! upgrade: a decoder rejects frames whose `version` it does not speak
 //! instead of misparsing them. Version 2 introduced the authenticator.
 //!
+//! Since v6 the destination is *not* part of the body: a broadcast
+//! serializes its payload exactly once ([`encode_body`]) and stamps a
+//! fresh fixed-size prefix — header, address, MAC — per destination
+//! ([`frame_prefix`]). The encoded body bytes are shared (`Arc`) across
+//! every peer queue, so an N-way fan-out pays one bincode encode
+//! instead of N.
+//!
 //! The MAC implements the paper's §3 authenticated channels with the
 //! pairwise keys of [`ringbft_crypto::KeyStore`]: a data frame is tagged
 //! under the `{from, to}` pair key, a [`Hello`] under the
-//! `{sender, receiver}` pair key. A frame whose MAC does not verify is
-//! rejected ([`CodecError::BadMac`]) and the connection is dropped —
-//! matching the simulator, which charges the same per-message hash cost
-//! in its CPU model.
+//! `{sender, receiver}` pair key. The address bytes are covered by the
+//! MAC alongside the body, so per-peer addressing is authenticated even
+//! though it sits outside the shared body. A frame whose MAC does not
+//! verify is rejected ([`CodecError::BadMac`]) and the connection is
+//! dropped — matching the simulator, which charges the same per-message
+//! hash cost in its CPU model.
 //!
 //! The body length is bounded by [`MAX_FRAME_BYTES`]; the bound is
 //! derived from the same size model the simulator charges for bandwidth
@@ -33,9 +43,10 @@
 
 use ringbft_crypto::KeyStore;
 use ringbft_types::wire;
-use ringbft_types::{NodeId, TraceContext};
+use ringbft_types::{ClientId, NodeId, ReplicaId, ShardId, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Frame magic: `"RBFT"` little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"RBFT");
@@ -46,14 +57,26 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"RBFT");
 /// `StateDone` trailer, and `StateChunk` is chain-link framed; 5 =
 /// causal tracing — the envelope gained an optional
 /// [`TraceContext`](ringbft_types::TraceContext) and transactions carry
-/// an optional trace field, so older peers must not decode v5 bodies).
-pub const VERSION: u16 = 5;
+/// an optional trace field, so older peers must not decode v5 bodies;
+/// 6 = serialize-once fan-out — the destination moved out of the body
+/// into a fixed 9-byte address field between the header and the MAC, so
+/// a broadcast's body bytes are identical for every destination).
+pub const VERSION: u16 = 6;
 
-/// Bytes of the fixed frame header (excluding the authenticator).
+/// Bytes of the fixed frame header (excluding address + authenticator).
 pub const HEADER_BYTES: usize = 12;
 
-/// Bytes of the frame authenticator following the header.
+/// Bytes of the destination address following the header (v6): a 1-byte
+/// node-kind tag and an 8-byte payload (replica: shard + index as two
+/// `u32` LE; client: one `u64` LE).
+pub const ADDR_BYTES: usize = 9;
+
+/// Bytes of the frame authenticator following the address.
 pub const FRAME_MAC_BYTES: usize = 32;
+
+/// Bytes of the complete per-destination frame prefix: header, address,
+/// MAC. Everything before the (shared, peer-independent) body.
+pub const PREFIX_BYTES: usize = HEADER_BYTES + ADDR_BYTES + FRAME_MAC_BYTES;
 
 /// The channel authenticator: derives and checks per-frame HMACs from
 /// the deployment's shared [`KeyStore`] seed (every process of one
@@ -72,18 +95,62 @@ impl FrameAuth {
         }
     }
 
-    /// MAC of a data body exchanged between `from` and `to`. The domain
+    /// MAC of a data frame exchanged between `from` and `to`, covering
+    /// the destination address bytes and the shared body. The domain
     /// tag separates data from Hello MACs, so flipping the (otherwise
     /// unauthenticated) `FLAG_HELLO` header bit can never turn an
     /// authenticated data frame into an accepted route announcement.
-    fn data_tag(&self, from: NodeId, to: NodeId, body: &[u8]) -> [u8; 32] {
-        self.ks.mac_parts(from, to, &[b"rbft-data", body]).0
+    fn data_tag(&self, from: NodeId, to: NodeId, addr: &[u8; ADDR_BYTES], body: &[u8]) -> [u8; 32] {
+        self.ks.mac_parts(from, to, &[b"rbft-data", addr, body]).0
     }
 
-    /// MAC of a Hello body sent by `node` to `receiver` (domain-tagged,
-    /// see [`FrameAuth::data_tag`]).
-    fn hello_tag(&self, node: NodeId, receiver: NodeId, body: &[u8]) -> [u8; 32] {
-        self.ks.mac_parts(node, receiver, &[b"rbft-hello", body]).0
+    /// MAC of a Hello frame sent by `node` to `receiver` (domain-tagged,
+    /// see [`FrameAuth::data_tag`]; covers address + body like data).
+    fn hello_tag(
+        &self,
+        node: NodeId,
+        receiver: NodeId,
+        addr: &[u8; ADDR_BYTES],
+        body: &[u8],
+    ) -> [u8; 32] {
+        self.ks
+            .mac_parts(node, receiver, &[b"rbft-hello", addr, body])
+            .0
+    }
+}
+
+/// Encodes a destination into the fixed v6 address field.
+fn encode_addr(to: NodeId) -> [u8; ADDR_BYTES] {
+    let mut a = [0u8; ADDR_BYTES];
+    match to {
+        NodeId::Replica(r) => {
+            a[0] = 0;
+            a[1..5].copy_from_slice(&r.shard.0.to_le_bytes());
+            a[5..9].copy_from_slice(&r.index.to_le_bytes());
+        }
+        NodeId::Client(c) => {
+            a[0] = 1;
+            a[1..9].copy_from_slice(&c.0.to_le_bytes());
+        }
+    }
+    a
+}
+
+/// Decodes the fixed v6 address field back into a destination.
+fn decode_addr(addr: &[u8; ADDR_BYTES]) -> Result<NodeId, CodecError> {
+    match addr[0] {
+        0 => {
+            let shard = u32::from_le_bytes(addr[1..5].try_into().expect("4 bytes"));
+            let index = u32::from_le_bytes(addr[5..9].try_into().expect("4 bytes"));
+            Ok(NodeId::Replica(ReplicaId::new(ShardId(shard), index)))
+        }
+        1 => {
+            let id = u64::from_le_bytes(addr[1..9].try_into().expect("8 bytes"));
+            Ok(NodeId::Client(ClientId(id)))
+        }
+        tag => Err(CodecError::Body(bincode::Error::from(
+            serde::Error::invalid(&format!("bad address tag {tag}")),
+        ))),
     }
 }
 
@@ -108,6 +175,9 @@ pub const MAX_FRAME_BYTES: u32 = {
 /// `to` is carried explicitly because one listener can host several
 /// logical nodes (a `ringbft-node` process hosting a whole shard, or a
 /// client host serving thousands of logical clients behind aliases).
+/// Since codec v6 it rides in the frame's fixed address field, not the
+/// body: the body bytes (`from` + `msg` + `trace`) are identical for
+/// every destination of a broadcast.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope<M> {
     /// The sending node.
@@ -123,26 +193,70 @@ pub struct Envelope<M> {
     pub trace: Option<TraceContext>,
 }
 
-// `Envelope` is generic, so its codec impls are written out by hand (the
-// vendored serde derive intentionally rejects generics).
-impl<M: Serialize> Serialize for Envelope<M> {
+/// Borrowing view of a frame body: everything in an [`Envelope`] except
+/// the destination. Hand-written codec impls because the vendored serde
+/// derive intentionally rejects generics.
+struct BodyRef<'a, M> {
+    from: NodeId,
+    msg: &'a M,
+    trace: &'a Option<TraceContext>,
+}
+
+impl<M: Serialize> Serialize for BodyRef<'_, M> {
     fn serialize(&self, out: &mut Vec<u8>) {
         self.from.serialize(out);
-        self.to.serialize(out);
         self.msg.serialize(out);
         self.trace.serialize(out);
     }
 }
 
-impl<M: Deserialize> Deserialize for Envelope<M> {
+/// Owned counterpart of [`BodyRef`], produced by decoding.
+struct BodyOwned<M> {
+    from: NodeId,
+    msg: M,
+    trace: Option<TraceContext>,
+}
+
+impl<M: Deserialize> Deserialize for BodyOwned<M> {
     fn deserialize(r: &mut serde::Reader<'_>) -> Result<Self, serde::Error> {
-        Ok(Envelope {
+        Ok(BodyOwned {
             from: Deserialize::deserialize(r)?,
-            to: Deserialize::deserialize(r)?,
             msg: Deserialize::deserialize(r)?,
             trace: Deserialize::deserialize(r)?,
         })
     }
+}
+
+/// Serializes the peer-independent half of a data frame exactly once.
+/// The returned bytes are shared (`Arc`) by every destination of a
+/// broadcast; [`frame_prefix`] stamps the per-peer header + address +
+/// MAC in front of them.
+pub fn encode_body<M: Serialize>(
+    from: NodeId,
+    msg: &M,
+    trace: &Option<TraceContext>,
+) -> Result<Arc<[u8]>, CodecError> {
+    let body = bincode::serialize(&BodyRef { from, msg, trace }).map_err(CodecError::Body)?;
+    if body.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(CodecError::Oversized(body.len() as u64));
+    }
+    Ok(Arc::from(body))
+}
+
+/// Builds the fixed-size per-destination prefix (header + address +
+/// MAC) for a shared body previously produced by [`encode_body`]. No
+/// allocation: an N-way broadcast is one `encode_body` plus N of these.
+pub fn frame_prefix(from: NodeId, to: NodeId, body: &[u8], auth: &FrameAuth) -> [u8; PREFIX_BYTES] {
+    let addr = encode_addr(to);
+    let mac = auth.data_tag(from, to, &addr, body);
+    let mut prefix = [0u8; PREFIX_BYTES];
+    prefix[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    prefix[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    prefix[6..8].copy_from_slice(&0u16.to_le_bytes());
+    prefix[8..12].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    prefix[HEADER_BYTES..HEADER_BYTES + ADDR_BYTES].copy_from_slice(&addr);
+    prefix[HEADER_BYTES + ADDR_BYTES..].copy_from_slice(&mac);
+    prefix
 }
 
 /// Connection-setup announcement: the first frame a peer sends on a
@@ -233,6 +347,7 @@ impl CodecError {
 /// [`FrameAssembler`] so both paths enforce identical authentication.
 fn decode_body<M: Deserialize>(
     flags: u16,
+    addr: &[u8; ADDR_BYTES],
     mac: &[u8; FRAME_MAC_BYTES],
     body: &[u8],
     auth: &FrameAuth,
@@ -240,16 +355,22 @@ fn decode_body<M: Deserialize>(
 ) -> Result<Frame<M>, CodecError> {
     if flags & FLAG_HELLO != 0 {
         let hello: Hello = bincode::deserialize(body).map_err(CodecError::Body)?;
-        if !ringbft_crypto::hmac::digest_eq(&auth.hello_tag(hello.node, local, body), mac) {
+        if !ringbft_crypto::hmac::digest_eq(&auth.hello_tag(hello.node, local, addr, body), mac) {
             return Err(CodecError::BadMac);
         }
         Ok(Frame::Hello(hello))
     } else {
-        let env: Envelope<M> = bincode::deserialize(body).map_err(CodecError::Body)?;
-        if !ringbft_crypto::hmac::digest_eq(&auth.data_tag(env.from, env.to, body), mac) {
+        let to = decode_addr(addr)?;
+        let b: BodyOwned<M> = bincode::deserialize(body).map_err(CodecError::Body)?;
+        if !ringbft_crypto::hmac::digest_eq(&auth.data_tag(b.from, to, addr, body), mac) {
             return Err(CodecError::BadMac);
         }
-        Ok(Frame::Data(env))
+        Ok(Frame::Data(Envelope {
+            from: b.from,
+            to,
+            msg: b.msg,
+            trace: b.trace,
+        }))
     }
 }
 
@@ -266,6 +387,8 @@ fn decode_body<M: Deserialize>(
 pub struct RawFrame {
     /// Header flags ([`FLAG_HELLO`]).
     pub flags: u16,
+    /// The destination address field (parsed but not yet MAC-checked).
+    pub addr: [u8; ADDR_BYTES],
     /// The frame authenticator (not yet checked).
     pub mac: [u8; FRAME_MAC_BYTES],
     /// The encoded body (not yet decoded).
@@ -289,7 +412,7 @@ pub fn decode_raw_frame<M: Deserialize>(
     auth: &FrameAuth,
     local: NodeId,
 ) -> Result<Frame<M>, CodecError> {
-    decode_body(raw.flags, &raw.mac, &raw.body, auth, local)
+    decode_body(raw.flags, &raw.addr, &raw.mac, &raw.body, auth, local)
 }
 
 /// Validates the fixed 12-byte header at the start of `bytes`,
@@ -359,19 +482,22 @@ impl FrameAssembler {
         local: NodeId,
     ) -> Result<Option<Frame<M>>, CodecError> {
         let avail = &self.buf[self.pos..];
-        if avail.len() < HEADER_BYTES + FRAME_MAC_BYTES {
+        if avail.len() < PREFIX_BYTES {
             return Ok(None);
         }
         let (flags, len) = parse_header(avail)?;
-        let total = HEADER_BYTES + FRAME_MAC_BYTES + len;
+        let total = PREFIX_BYTES + len;
         if avail.len() < total {
             return Ok(None);
         }
-        let mac: [u8; FRAME_MAC_BYTES] = avail[HEADER_BYTES..HEADER_BYTES + FRAME_MAC_BYTES]
+        let addr: [u8; ADDR_BYTES] = avail[HEADER_BYTES..HEADER_BYTES + ADDR_BYTES]
+            .try_into()
+            .expect("addr bytes");
+        let mac: [u8; FRAME_MAC_BYTES] = avail[HEADER_BYTES + ADDR_BYTES..PREFIX_BYTES]
             .try_into()
             .expect("mac bytes");
-        let body = &avail[HEADER_BYTES + FRAME_MAC_BYTES..total];
-        let frame = decode_body(flags, &mac, body, auth, local)?;
+        let body = &avail[PREFIX_BYTES..total];
+        let frame = decode_body(flags, &addr, &mac, body, auth, local)?;
         self.pos += total;
         Ok(Some(frame))
     }
@@ -382,61 +508,101 @@ impl FrameAssembler {
     /// Errors carry the same meaning as [`FrameAssembler::next_frame`]:
     /// the stream is unrecoverable and the connection must be dropped.
     pub fn next_raw_frame(&mut self) -> Result<Option<RawFrame>, CodecError> {
+        let mut scratch = Vec::new();
+        self.next_raw_frame_in(&mut scratch)
+    }
+
+    /// Like [`FrameAssembler::next_raw_frame`], but moves the body into
+    /// `scratch` (cleared first) instead of a fresh allocation — the
+    /// reactor feeds pooled buffers here so the steady-state offload
+    /// path performs no per-frame allocs. On a complete frame, `scratch`
+    /// is taken (left empty); on `Ok(None)` or error it is untouched and
+    /// the caller keeps it for the next call.
+    pub fn next_raw_frame_in(
+        &mut self,
+        scratch: &mut Vec<u8>,
+    ) -> Result<Option<RawFrame>, CodecError> {
         let avail = &self.buf[self.pos..];
-        if avail.len() < HEADER_BYTES + FRAME_MAC_BYTES {
+        if avail.len() < PREFIX_BYTES {
             return Ok(None);
         }
         let (flags, len) = parse_header(avail)?;
-        let total = HEADER_BYTES + FRAME_MAC_BYTES + len;
+        let total = PREFIX_BYTES + len;
         if avail.len() < total {
             return Ok(None);
         }
-        let mac: [u8; FRAME_MAC_BYTES] = avail[HEADER_BYTES..HEADER_BYTES + FRAME_MAC_BYTES]
+        let addr: [u8; ADDR_BYTES] = avail[HEADER_BYTES..HEADER_BYTES + ADDR_BYTES]
+            .try_into()
+            .expect("addr bytes");
+        let mac: [u8; FRAME_MAC_BYTES] = avail[HEADER_BYTES + ADDR_BYTES..PREFIX_BYTES]
             .try_into()
             .expect("mac bytes");
-        let body = avail[HEADER_BYTES + FRAME_MAC_BYTES..total].to_vec();
+        scratch.clear();
+        scratch.extend_from_slice(&avail[PREFIX_BYTES..total]);
         self.pos += total;
-        Ok(Some(RawFrame { flags, mac, body }))
+        Ok(Some(RawFrame {
+            flags,
+            addr,
+            mac,
+            body: std::mem::take(scratch),
+        }))
     }
 }
 
-fn frame_with(flags: u16, mac: [u8; 32], body: Vec<u8>) -> Result<Vec<u8>, CodecError> {
+fn frame_with(
+    flags: u16,
+    addr: [u8; ADDR_BYTES],
+    mac: [u8; 32],
+    body: Vec<u8>,
+) -> Result<Vec<u8>, CodecError> {
     if body.len() as u64 > MAX_FRAME_BYTES as u64 {
         // Refuse rather than panic: the runtime drops-and-counts
         // unencodable messages, and a frozen replica would be worse
         // than a lost frame.
         return Err(CodecError::Oversized(body.len() as u64));
     }
-    let mut frame = Vec::with_capacity(HEADER_BYTES + FRAME_MAC_BYTES + body.len());
+    let mut frame = Vec::with_capacity(PREFIX_BYTES + body.len());
     frame.extend_from_slice(&MAGIC.to_le_bytes());
     frame.extend_from_slice(&VERSION.to_le_bytes());
     frame.extend_from_slice(&flags.to_le_bytes());
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&addr);
     frame.extend_from_slice(&mac);
     frame.extend_from_slice(&body);
     Ok(frame)
 }
 
-/// Encodes one data frame (header + MAC + body) into a fresh buffer.
+/// Encodes one data frame (header + address + MAC + body) into a fresh
+/// contiguous buffer. Convenience for unicast/blocking paths and tests;
+/// the reactor's broadcast path uses [`encode_body`] + [`frame_prefix`]
+/// to share the body bytes across destinations.
 pub fn encode_frame<M: Serialize>(
     env: &Envelope<M>,
     auth: &FrameAuth,
 ) -> Result<Vec<u8>, CodecError> {
-    let body = bincode::serialize(env).map_err(CodecError::Body)?;
-    let mac = auth.data_tag(env.from, env.to, &body);
-    frame_with(0, mac, body)
+    let body = bincode::serialize(&BodyRef {
+        from: env.from,
+        msg: &env.msg,
+        trace: &env.trace,
+    })
+    .map_err(CodecError::Body)?;
+    let addr = encode_addr(env.to);
+    let mac = auth.data_tag(env.from, env.to, &addr, &body);
+    frame_with(0, addr, mac, body)
 }
 
 /// Encodes a [`Hello`] control frame addressed to `receiver` (the peer
-/// being dialled; Hello MACs bind the connection's two endpoints).
+/// being dialled; Hello MACs bind the connection's two endpoints). The
+/// address field names the receiver, mirroring data frames.
 pub fn encode_hello_frame(
     hello: &Hello,
     auth: &FrameAuth,
     receiver: NodeId,
 ) -> Result<Vec<u8>, CodecError> {
     let body = bincode::serialize(hello).map_err(CodecError::Body)?;
-    let mac = auth.hello_tag(hello.node, receiver, &body);
-    frame_with(FLAG_HELLO, mac, body)
+    let addr = encode_addr(receiver);
+    let mac = auth.hello_tag(hello.node, receiver, &addr, &body);
+    frame_with(FLAG_HELLO, addr, mac, body)
 }
 
 /// Writes one frame to `w` (flushes).
@@ -463,11 +629,13 @@ pub fn read_any_frame<M: Deserialize, R: Read>(
     let mut header = [0u8; HEADER_BYTES];
     r.read_exact(&mut header)?;
     let (flags, len) = parse_header(&header)?;
+    let mut addr = [0u8; ADDR_BYTES];
+    r.read_exact(&mut addr)?;
     let mut mac = [0u8; FRAME_MAC_BYTES];
     r.read_exact(&mut mac)?;
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
-    decode_body(flags, &mac, &body, auth, local)
+    decode_body(flags, &addr, &mac, &body, auth, local)
 }
 
 /// Reads one *data* frame from `r`; control frames are an error. Kept
@@ -560,9 +728,14 @@ mod tests {
         let env = sample_env();
         // Flip one bit of the MAC.
         let mut frame = encode_frame(&env, &auth()).unwrap();
-        frame[HEADER_BYTES] ^= 1;
+        frame[HEADER_BYTES + ADDR_BYTES] ^= 1;
         let err = read_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
         assert!(matches!(err, CodecError::BadMac));
+        // Flip one bit of the destination address: the MAC covers it.
+        let mut frame = encode_frame(&env, &auth()).unwrap();
+        frame[HEADER_BYTES + 1] ^= 1;
+        let err = read_frame::<AnyMsg, _>(&mut frame.as_slice(), &auth(), receiver()).unwrap_err();
+        assert!(matches!(err, CodecError::BadMac | CodecError::Body(_)));
         // Flip one bit of the body.
         let mut frame = encode_frame(&env, &auth()).unwrap();
         let last = frame.len() - 1;
@@ -716,17 +889,64 @@ mod tests {
         let mut frame = encode_frame(&env, &auth()).unwrap();
         frame[0] ^= 0xff; // magic
         let mut asm = FrameAssembler::new();
-        // Header + MAC alone are enough to reject — the (possibly huge)
-        // declared body never needs to arrive.
-        asm.extend(&frame[..HEADER_BYTES + FRAME_MAC_BYTES]);
+        // The frame prefix alone is enough to reject — the (possibly
+        // huge) declared body never needs to arrive.
+        asm.extend(&frame[..PREFIX_BYTES]);
         let err = asm.next_frame::<AnyMsg>(&auth(), receiver()).unwrap_err();
         assert!(matches!(err, CodecError::BadMagic(_)));
 
         let mut frame = encode_frame(&env, &auth()).unwrap();
-        frame[HEADER_BYTES] ^= 1; // MAC bit
+        frame[HEADER_BYTES + ADDR_BYTES] ^= 1; // MAC bit
         let mut asm = FrameAssembler::new();
         asm.extend(&frame);
         let err = asm.next_frame::<AnyMsg>(&auth(), receiver()).unwrap_err();
         assert!(matches!(err, CodecError::BadMac));
+    }
+
+    #[test]
+    fn shared_body_plus_prefix_equals_unicast_encoding() {
+        // The serialize-once path (encode_body + frame_prefix per peer)
+        // must emit byte-identical frames to the unicast encoder, so
+        // every decoder accepts either interchangeably.
+        let env = sample_env();
+        let body = encode_body(env.from, &env.msg, &env.trace).unwrap();
+        let prefix = frame_prefix(env.from, env.to, &body, &auth());
+        let mut fanned = prefix.to_vec();
+        fanned.extend_from_slice(&body);
+        assert_eq!(fanned, encode_frame(&env, &auth()).unwrap());
+
+        // A second destination reuses the same body bytes; only the
+        // prefix differs, and both decode to their own destination.
+        let other = NodeId::Replica(ReplicaId::new(ShardId(2), 3));
+        let prefix2 = frame_prefix(env.from, other, &body, &auth());
+        assert_ne!(prefix[HEADER_BYTES..], prefix2[HEADER_BYTES..]);
+        let mut frame2 = prefix2.to_vec();
+        frame2.extend_from_slice(&body);
+        let decoded: Envelope<AnyMsg> =
+            read_frame(&mut frame2.as_slice(), &auth(), receiver()).unwrap();
+        assert_eq!(decoded.to, other);
+        assert_eq!(decoded.msg, env.msg);
+    }
+
+    #[test]
+    fn pooled_raw_extraction_takes_and_returns_scratch() {
+        let env = sample_env();
+        let frame = encode_frame(&env, &auth()).unwrap();
+        let mut asm = FrameAssembler::new();
+        // A partial frame leaves the scratch buffer with the caller.
+        asm.extend(&frame[..PREFIX_BYTES]);
+        let mut scratch = Vec::with_capacity(4096);
+        assert!(asm.next_raw_frame_in(&mut scratch).unwrap().is_none());
+        assert_eq!(scratch.capacity(), 4096);
+        // The complete frame moves the scratch into the RawFrame body.
+        asm.extend(&frame[PREFIX_BYTES..]);
+        let raw = asm
+            .next_raw_frame_in(&mut scratch)
+            .unwrap()
+            .expect("complete frame");
+        assert!(scratch.is_empty());
+        assert!(raw.body.capacity() >= 4096, "pooled capacity reused");
+        let decoded = decode_raw_frame::<AnyMsg>(&raw, &auth(), receiver()).unwrap();
+        assert!(matches!(decoded, Frame::Data(d) if d == env));
     }
 }

@@ -34,8 +34,8 @@
 //! them — sharding scales the *I/O*, not the state machine.
 
 use crate::codec::{
-    decode_raw_frame, encode_frame, encode_hello_frame, Envelope, Frame, FrameAssembler, Hello,
-    RawFrame,
+    decode_raw_frame, encode_body, encode_hello_frame, frame_prefix, Envelope, Frame,
+    FrameAssembler, Hello, RawFrame, PREFIX_BYTES,
 };
 use crate::runtime::{Shared, VerifiedFrame};
 use ringbft_types::sansio::ProtocolNode;
@@ -332,17 +332,40 @@ const CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(50
 /// Poll timeout when nothing is scheduled (periodic stop-flag check).
 const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(250);
 
+/// One queued outbound frame in serialize-once form: a per-peer fixed
+/// prefix (header ‖ address ‖ MAC) plus the body bytes shared (`Arc`)
+/// with every other destination of the same broadcast. The bytes only
+/// come together when staged into a connection's write buffer, so an
+/// N-way fan-out holds one body allocation, not N; a unicast send is
+/// simply the 1-reference case.
+#[derive(Debug)]
+pub(crate) struct EgressFrame {
+    prefix: [u8; PREFIX_BYTES],
+    body: Arc<[u8]>,
+}
+
+impl EgressFrame {
+    fn len(&self) -> usize {
+        PREFIX_BYTES + self.body.len()
+    }
+
+    fn copy_into(&self, wbuf: &mut Vec<u8>) {
+        wbuf.extend_from_slice(&self.prefix);
+        wbuf.extend_from_slice(&self.body);
+    }
+}
+
 /// Per-peer outbound byte queue (the backpressure boundary).
 #[derive(Debug, Default)]
 pub(crate) struct PeerQueue {
-    frames: VecDeque<Vec<u8>>,
+    frames: VecDeque<EgressFrame>,
     bytes: usize,
     choked: bool,
 }
 
 impl PeerQueue {
     /// Offers one encoded frame; false = dropped at the watermark.
-    fn offer(&mut self, frame: Vec<u8>) -> bool {
+    fn offer(&mut self, frame: EgressFrame) -> bool {
         if self.choked {
             if self.bytes > PEER_QUEUE_LOW_BYTES {
                 return false;
@@ -370,7 +393,7 @@ impl PeerQueue {
             }
             let frame = self.frames.pop_front().expect("front checked");
             self.bytes -= frame.len();
-            wbuf.extend_from_slice(&frame);
+            frame.copy_into(wbuf);
             moved += 1;
         }
         if self.choked && self.bytes <= PEER_QUEUE_LOW_BYTES {
@@ -684,6 +707,7 @@ where
         for action in actions {
             match action {
                 Action::Send { to, msg } => self.enqueue_send(to, msg, pending),
+                Action::SendMany { tos, msg } => self.enqueue_send_many(tos, msg, pending),
                 Action::SetTimer { kind, token, after } => {
                     set_timer(&self.shared, Some(self.idx), kind, token, after);
                 }
@@ -734,14 +758,8 @@ where
         }
         let model = msg.wire_bytes();
         let trace = msg.trace_context();
-        let env = Envelope {
-            from: shared.id,
-            to,
-            msg,
-            trace,
-        };
-        let frame = match encode_frame(&env, &shared.auth) {
-            Ok(f) => f,
+        let body = match encode_body(shared.id, &msg, &trace) {
+            Ok(b) => b,
             Err(_) => {
                 shared
                     .counters
@@ -750,6 +768,66 @@ where
                 return;
             }
         };
+        let prefix = frame_prefix(shared.id, to, &body, &shared.auth);
+        self.stage_frame(resolved, EgressFrame { prefix, body }, model);
+    }
+
+    /// Queues one message for many peers, encoding the payload exactly
+    /// once: every remote destination gets a per-peer frame prefix over
+    /// the same shared body bytes. Self-sends loop back; unknown peers
+    /// drop, each independently, exactly as N unicast sends would.
+    fn enqueue_send_many(&mut self, tos: Vec<NodeId>, msg: M, pending: &mut VecDeque<(NodeId, M)>) {
+        let shared = Arc::clone(&self.shared);
+        let mut remotes = Vec::with_capacity(tos.len());
+        for to in tos {
+            let resolved = shared.peers.resolve(to);
+            if resolved == shared.id {
+                pending.push_back((shared.id, msg.clone()));
+                continue;
+            }
+            if shared.peers.addr_of(resolved).is_none() {
+                shared
+                    .counters
+                    .messages_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            remotes.push((to, resolved));
+        }
+        if remotes.is_empty() {
+            return;
+        }
+        let model = msg.wire_bytes();
+        let trace = msg.trace_context();
+        let body = match encode_body(shared.id, &msg, &trace) {
+            Ok(b) => b,
+            Err(_) => {
+                shared
+                    .counters
+                    .messages_dropped
+                    .fetch_add(remotes.len() as u64, Ordering::Relaxed);
+                return;
+            }
+        };
+        shared.counters.broadcasts.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .encodes_saved
+            .fetch_add(remotes.len() as u64 - 1, Ordering::Relaxed);
+        for (to, resolved) in remotes {
+            let prefix = frame_prefix(shared.id, to, &body, &shared.auth);
+            let frame = EgressFrame {
+                prefix,
+                body: Arc::clone(&body),
+            };
+            self.stage_frame(resolved, frame, model);
+        }
+    }
+
+    /// Offers one egress frame to `resolved`'s queue and, when accepted,
+    /// books the send counters and marks the owning shard dirty.
+    fn stage_frame(&self, resolved: NodeId, frame: EgressFrame, model: u64) {
+        let shared = &self.shared;
         let bytes = frame.len() as u64;
         let (accepted, depth) = {
             let mut outq = shared.outq.lock().expect("outq");
@@ -943,7 +1021,7 @@ where
                         },
                         peer_ip,
                         asm: FrameAssembler::new(),
-                        wbuf: Vec::new(),
+                        wbuf: self.shared.bufs.take(),
                         wpos: 0,
                         wframes: 0,
                         interest: sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP,
@@ -1058,7 +1136,10 @@ where
                 peer,
                 connected: true,
             };
-            conn.wbuf = frame;
+            // Stage the Hello into the pooled buffer (keep it; the
+            // connection reuses it for every subsequent drain).
+            conn.wbuf.clear();
+            conn.wbuf.extend_from_slice(&frame);
             conn.wpos = 0;
             conn.wframes = 0; // the Hello is not a counted data frame
         }
@@ -1155,6 +1236,7 @@ where
             return;
         };
         self.epoll.del(conn.stream.as_raw_fd());
+        self.shared.bufs.put(conn.wbuf);
         if let ConnKind::Outbound { peer, .. } = conn.kind {
             self.by_peer.remove(&peer);
             if conn.wframes > 0 {
@@ -1329,10 +1411,16 @@ where
                 if offloading {
                     // Verify stage installed: extract header-validated
                     // raw frames only (cheap); MAC checks and body
-                    // decodes happen on the worker pool.
+                    // decodes happen on the worker pool. Bodies land in
+                    // pooled buffers (returned after decode) so the
+                    // steady-state read path allocates nothing.
+                    let mut scratch = self.shared.bufs.take();
                     loop {
-                        match conn.asm.next_raw_frame() {
-                            Ok(Some(r)) => raws.push(r),
+                        match conn.asm.next_raw_frame_in(&mut scratch) {
+                            Ok(Some(r)) => {
+                                raws.push(r);
+                                scratch = self.shared.bufs.take();
+                            }
                             Ok(None) => break,
                             Err(_) => {
                                 corrupt = true;
@@ -1340,6 +1428,7 @@ where
                             }
                         }
                     }
+                    self.shared.bufs.put(scratch);
                 } else {
                     loop {
                         match conn.asm.next_frame::<M>(&self.shared.auth, self.shared.id) {
@@ -1380,6 +1469,7 @@ where
                             if let Some(v) = &self.shared.verify {
                                 v.inline.fetch_add(1, Ordering::Relaxed);
                             }
+                            self.shared.bufs.put(raw.body);
                             self.handle_frame(peer_ip, f);
                         }
                         Err(_) => {
@@ -1425,6 +1515,9 @@ where
                     Ok(Frame::Hello(_)) => None,
                     Err(_) => Some(VerifiedFrame::Corrupt { token: tok }),
                 };
+                // The body buffer came out of the shard's pool; decode
+                // copied what it needed, so recycle it here.
+                shared.bufs.put(raw.body);
                 let v = shared.verify.as_ref().expect("verify stage");
                 if let Some(verdict) = verdict {
                     v.inbox[shard]
@@ -1757,4 +1850,63 @@ pub(crate) fn peer_shard_of(node: NodeId, nshards: usize) -> usize {
         NodeId::Client(c) => 0x8000_0000_0000_0000 | c.0,
     };
     (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % nshards.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_frame(body_len: usize) -> EgressFrame {
+        EgressFrame {
+            prefix: [0x11; PREFIX_BYTES],
+            body: Arc::from(vec![0x22u8; body_len].into_boxed_slice()),
+        }
+    }
+
+    #[test]
+    fn shared_frame_drains_as_prefix_then_body() {
+        let mut q = PeerQueue::default();
+        assert!(q.offer(shared_frame(8)));
+        let mut wbuf = Vec::new();
+        assert_eq!(q.drain_into(&mut wbuf), 1);
+        assert_eq!(wbuf.len(), PREFIX_BYTES + 8);
+        assert_eq!(&wbuf[..PREFIX_BYTES], &[0x11; PREFIX_BYTES]);
+        assert!(wbuf[PREFIX_BYTES..].iter().all(|b| *b == 0x22));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn broadcast_destinations_share_one_body_allocation() {
+        let body: Arc<[u8]> = Arc::from(vec![7u8; 32].into_boxed_slice());
+        let mut queues: Vec<PeerQueue> = (0..3).map(|_| PeerQueue::default()).collect();
+        for q in &mut queues {
+            assert!(q.offer(EgressFrame {
+                prefix: [0; PREFIX_BYTES],
+                body: Arc::clone(&body),
+            }));
+        }
+        // Three queued frames plus our handle: one allocation, four refs.
+        assert_eq!(Arc::strong_count(&body), 4);
+        let mut wbuf = Vec::new();
+        for q in &mut queues {
+            q.drain_into(&mut wbuf);
+        }
+        // Draining copies bytes out and releases every queue's ref.
+        assert_eq!(Arc::strong_count(&body), 1);
+    }
+
+    #[test]
+    fn watermark_chokes_and_recovers() {
+        let mut q = PeerQueue::default();
+        // An empty queue always accepts, even past the watermark.
+        assert!(q.offer(shared_frame(PEER_QUEUE_HIGH_BYTES)));
+        // A non-empty queue past HIGH rejects and chokes.
+        assert!(!q.offer(shared_frame(1)));
+        let mut wbuf = Vec::new();
+        while q.drain_into(&mut wbuf) > 0 {
+            wbuf.clear();
+        }
+        // Below LOW again: the queue unchoked and accepts.
+        assert!(q.offer(shared_frame(1)));
+    }
 }

@@ -189,6 +189,76 @@ pub struct NetCounters {
     /// Outbound dials beyond a peer's first attempt (reconnects after a
     /// failure or a dead connection).
     pub reconnects: AtomicU64,
+    /// `SendMany` fan-outs staged (each encoded its payload once).
+    pub broadcasts: AtomicU64,
+    /// Payload serializations avoided by sharing one encoded body
+    /// across a broadcast's destinations: a fan-out to `k` remote peers
+    /// adds `k − 1` (the pre-v6 codec paid `k` full encodes).
+    pub encodes_saved: AtomicU64,
+}
+
+/// A bounded free-list of reusable byte buffers shared by a runtime's
+/// reactor shards: frame-reassembly scratch on the verify-offload read
+/// path and per-connection egress staging buffers both cycle through
+/// here instead of allocating per frame / per connection.
+pub(crate) struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufPool {
+    /// Buffers retained at most; excess returns simply drop.
+    const MAX_POOLED: usize = 64;
+    /// Fresh-buffer capacity on a pool miss (one comfortable frame).
+    const MIN_CAPACITY: usize = 4 * 1024;
+    /// Buffers that ballooned past this are dropped rather than
+    /// retained, so one huge body cannot pin memory forever.
+    const MAX_RETAINED_CAPACITY: usize = 1024 * 1024;
+
+    fn new() -> BufPool {
+        BufPool {
+            free: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty buffer, reused when the free list has one.
+    pub(crate) fn take(&self) -> Vec<u8> {
+        let pooled = self.free.lock().expect("buf pool").pop();
+        match pooled {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(Self::MIN_CAPACITY)
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list (cleared; oversized or
+    /// capacity-less buffers are dropped).
+    pub(crate) fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > Self::MAX_RETAINED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock().expect("buf pool");
+        if free.len() < Self::MAX_POOLED {
+            free.push(buf);
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
 }
 
 /// A point-in-time copy of [`NetCounters`].
@@ -212,6 +282,10 @@ pub struct NetStatsSnapshot {
     pub messages_filtered: u64,
     /// Outbound dials beyond a peer's first attempt.
     pub reconnects: u64,
+    /// `SendMany` fan-outs staged.
+    pub broadcasts: u64,
+    /// Payload serializations avoided by serialize-once fan-out.
+    pub encodes_saved: u64,
 }
 
 /// Reactor-level instruments shared across a runtime's shards.
@@ -364,6 +438,8 @@ pub(crate) struct Shared<M> {
     pub(crate) telemetry_armed: AtomicBool,
     /// The verify/hash offload stage, when `pipeline_workers > 0`.
     pub(crate) verify: Option<VerifyStage<M>>,
+    /// Reusable buffers for frame reassembly and egress staging.
+    pub(crate) bufs: BufPool,
 }
 
 impl<M> Shared<M> {
@@ -385,6 +461,8 @@ impl<M> Shared<M> {
             messages_delivered: c.messages_delivered.load(Ordering::Relaxed),
             messages_filtered: c.messages_filtered.load(Ordering::Relaxed),
             reconnects: c.reconnects.load(Ordering::Relaxed),
+            broadcasts: c.broadcasts.load(Ordering::Relaxed),
+            encodes_saved: c.encodes_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -394,7 +472,11 @@ impl<M> Shared<M> {
     pub(crate) fn metrics_json(&self) -> String {
         let c = self.stats_snapshot();
         let mut cw = ringbft_obs::json::ObjectWriter::new();
-        cw.field_u64("net.bytes_sent", c.bytes_sent)
+        cw.field_u64("net.broadcasts", c.broadcasts)
+            .field_u64("net.bytes_sent", c.bytes_sent)
+            .field_u64("net.egress_pool_hits", self.bufs.hits())
+            .field_u64("net.egress_pool_misses", self.bufs.misses())
+            .field_u64("net.encodes_saved", c.encodes_saved)
             .field_u64("net.messages_delivered", c.messages_delivered)
             .field_u64("net.messages_dropped", c.messages_dropped)
             .field_u64("net.messages_filtered", c.messages_filtered)
@@ -626,6 +708,7 @@ where
             }),
             telemetry_armed: AtomicBool::new(false),
             verify,
+            bufs: BufPool::new(),
         });
         let node = Arc::new(Mutex::new(node));
 

@@ -10,7 +10,10 @@ use proptest::prelude::*;
 use proptest::TestRng;
 use ringbft_baselines::ShardedMsg;
 use ringbft_core::{ExecuteMsg, ForwardMsg, RingMsg};
-use ringbft_net::codec::{encode_frame, read_frame, Envelope, FrameAuth};
+use ringbft_net::codec::{
+    encode_body, encode_frame, frame_prefix, read_frame, Envelope, FrameAuth, ADDR_BYTES,
+    HEADER_BYTES,
+};
 use ringbft_pbft::{PbftMsg, PreparedProof};
 use ringbft_protocols::SsMsg;
 use ringbft_recovery::{PlanLink, RecordEntry, RecoveryMsg};
@@ -493,6 +496,60 @@ proptest! {
                 prop_assert_eq!(t.next_hop().hop, u32::MAX);
             }
         }
+    }
+
+    /// Codec v6 serialize-once fan-out: one `encode_body` plus a
+    /// per-destination `frame_prefix` yields byte-identical frames to
+    /// the per-destination `encode_frame` path, for arbitrary traffic
+    /// and arbitrary destination sets — so the zero-copy broadcast can
+    /// never change what lands on the wire.
+    #[test]
+    fn shared_body_fanout_matches_unicast_frames(seed in 0u64..u64::MAX, fanout in 1u64..6) {
+        let mut rng = proptest::rng_for(&format!("codec-fanout-{seed}"));
+        let auth = FrameAuth::from_seed(0);
+        let from = arb_node(&mut rng);
+        let msg = arb_any_msg(&mut rng);
+        let trace = arb_trace(&mut rng);
+        let body = encode_body(from, &msg, &trace).expect("encode body");
+        for _ in 0..fanout {
+            let to = arb_node(&mut rng);
+            let prefix = frame_prefix(from, to, &body, &auth);
+            let mut shared = prefix.to_vec();
+            shared.extend_from_slice(&body);
+            let env = Envelope { from, to, msg: msg.clone(), trace };
+            let unicast = encode_frame(&env, &auth).expect("encode frame");
+            prop_assert_eq!(&shared, &unicast, "fan-out frame diverged for {:?}", to);
+            let decoded: Envelope<AnyMsg> =
+                read_frame(&mut shared.as_slice(), &auth, to).expect("decode");
+            prop_assert_eq!(decoded, env);
+        }
+    }
+
+    /// Codec v6 moved per-peer addressing out of the MAC'd body and
+    /// into the authenticated header — so a frame captured for peer A
+    /// and re-addressed to peer B (addr bytes spliced, everything else
+    /// intact) must fail B's MAC check. Without this, a relay could
+    /// redirect shared-body broadcast frames undetected.
+    #[test]
+    fn readdressed_frame_fails_mac(seed in 0u64..u64::MAX) {
+        let mut rng = proptest::rng_for(&format!("codec-readdr-{seed}"));
+        let auth = FrameAuth::from_seed(0);
+        let from = arb_node(&mut rng);
+        let to_a = arb_node(&mut rng);
+        let to_b = arb_node(&mut rng);
+        prop_assume!(to_a != to_b);
+        let msg = arb_any_msg(&mut rng);
+        let trace = arb_trace(&mut rng);
+        let frame_a = encode_frame(&Envelope { from, to: to_a, msg: msg.clone(), trace }, &auth)
+            .expect("encode A");
+        let frame_b = encode_frame(&Envelope { from, to: to_b, msg, trace }, &auth)
+            .expect("encode B");
+        // Splice B's addressing into A's frame, keeping A's MAC and body.
+        let mut forged = frame_a;
+        forged[HEADER_BYTES..HEADER_BYTES + ADDR_BYTES]
+            .copy_from_slice(&frame_b[HEADER_BYTES..HEADER_BYTES + ADDR_BYTES]);
+        let r = read_frame::<AnyMsg, _>(&mut forged.as_slice(), &auth, to_b);
+        prop_assert!(r.is_err(), "re-addressed frame accepted by {:?}", to_b);
     }
 
     /// Truncating a frame anywhere is detected, never mis-decoded.

@@ -255,6 +255,25 @@ fn two_shards_commit_all_transaction_classes_over_tcp() {
     }
     assert!(total_sent > 0, "replicas exchanged no network traffic");
 
+    // Serialize-once fan-out: every replica broadcast (Preprepare,
+    // Commit, Forward, Execute) encoded its payload exactly once and
+    // shared the bytes across destinations. In a 2×4 topology a
+    // fan-out reaches 3 remote peers (the rest of the shard) or 4 (the
+    // whole next shard), so the per-destination encodes the shared
+    // body saved must land in [2, 3] per broadcast — anything below
+    // means the egress path went back to encoding per peer.
+    let (broadcasts, encodes_saved) =
+        cluster.replica_runtimes().fold((0u64, 0u64), |(b, e), rt| {
+            let s = rt.stats();
+            (b + s.broadcasts, e + s.encodes_saved)
+        });
+    assert!(broadcasts > 0, "no broadcast fan-outs recorded");
+    assert!(
+        encodes_saved >= 2 * broadcasts && encodes_saved <= 3 * broadcasts,
+        "{encodes_saved} encodes saved over {broadcasts} broadcasts: \
+         per-destination re-encoding suspected"
+    );
+
     // Replicas of each shard converge to identical stores once traffic
     // quiesces (laggards may apply the last Execute slightly later).
     let converged = cluster.wait_until(DEADLINE, |c| {
@@ -680,7 +699,11 @@ fn replica_durable_restart_replays_wal_over_tcp() {
         &cfg,
         (1..=8).map(|i| wide(i, 400 + (i - 1) * 40)).collect(),
     );
-    run_phase(&cluster, &cfg, (101..=106).map(|i| cst(i, 100 + i)).collect());
+    run_phase(
+        &cluster,
+        &cfg,
+        (101..=106).map(|i| cst(i, 100 + i)).collect(),
+    );
     let stable_before_kill = cluster.wait_until(DEADLINE, |c| {
         c.with_replica(victim, |n| match n {
             ringbft_sim::AnyNode::Ring(r) => r.last_stable_seq() >= cfg.checkpoint_interval,
@@ -692,7 +715,11 @@ fn replica_durable_restart_replays_wal_over_tcp() {
     // Phase 2: kill -9 — the node state is dropped, the log is not
     // closed. The shard keeps committing at quorum 3/4.
     cluster.kill_replica(victim);
-    run_phase(&cluster, &cfg, (111..=116).map(|i| cst(i, 200 + i)).collect());
+    run_phase(
+        &cluster,
+        &cfg,
+        (111..=116).map(|i| cst(i, 200 + i)).collect(),
+    );
 
     // Phase 3: restart from the on-disk log.
     let restart = cluster
@@ -710,7 +737,11 @@ fn replica_durable_restart_replays_wal_over_tcp() {
         !restart.clean_close,
         "a killed process must not leave a clean-close record: {restart:?}"
     );
-    run_phase(&cluster, &cfg, (121..=130).map(|i| cst(i, 300 + i)).collect());
+    run_phase(
+        &cluster,
+        &cfg,
+        (121..=130).map(|i| cst(i, 300 + i)).collect(),
+    );
 
     // The revived replica rejoined and executed past its replayed
     // checkpoint.
@@ -765,11 +796,9 @@ fn replica_durable_restart_replays_wal_over_tcp() {
     // Clean shutdown closes every log: the victim's WAL replays with a
     // clean-close record and no torn tail.
     assert!(cluster.shutdown(), "cluster shutdown was not clean");
-    let (_, recovered) = ringbft_recovery::ReplicaWal::open_file(
-        dir.join(format!("{victim}.wal")),
-        cfg.durability,
-    )
-    .expect("reopen victim wal");
+    let (_, recovered) =
+        ringbft_recovery::ReplicaWal::open_file(dir.join(format!("{victim}.wal")), cfg.durability)
+            .expect("reopen victim wal");
     assert!(
         recovered.clean_close,
         "clean shutdown did not close the log"

@@ -319,6 +319,15 @@ impl PbftCore {
         self.committed_through
     }
 
+    /// Slots proposed (or observed) above the contiguous committed
+    /// prefix: the consensus pipeline's in-flight depth. Zero means the
+    /// pipe is idle — every slot this replica knows about has committed
+    /// — which is the signal adaptive batching uses to cut a partial
+    /// batch immediately instead of waiting for the pool to fill.
+    pub fn in_flight(&self) -> u64 {
+        (self.next_seq - 1).saturating_sub(self.committed_through)
+    }
+
     /// When this replica first saw consensus traffic for `seq` (the
     /// pre-prepare or the earliest vote). `None` for unknown slots and for
     /// instances installed from a commit certificate (hole fetch), which

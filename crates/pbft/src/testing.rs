@@ -71,6 +71,15 @@ impl TestCluster {
                         self.queue.push_back((from, r, msg));
                     }
                 }
+                Action::SendMany { tos, msg } => {
+                    for to in tos {
+                        if let NodeId::Replica(r) = to {
+                            debug_assert_eq!(r.shard, self.shard);
+                            let from = ReplicaId::new(self.shard, from_idx);
+                            self.queue.push_back((from, r, msg.clone()));
+                        }
+                    }
+                }
                 Action::SetTimer { kind, token, .. } => {
                     self.timers.insert((from_idx, kind, token));
                 }

@@ -174,6 +174,15 @@ mod tests {
                         self.queue
                             .push_back((NodeId::Replica(ReplicaId::new(S, from)), to, msg))
                     }
+                    Action::SendMany { tos, msg } => {
+                        for to in tos {
+                            self.queue.push_back((
+                                NodeId::Replica(ReplicaId::new(S, from)),
+                                to,
+                                msg.clone(),
+                            ));
+                        }
+                    }
                     Action::SetTimer { kind, token, .. } => {
                         self.timers.insert((from, kind, token));
                     }

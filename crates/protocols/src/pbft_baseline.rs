@@ -142,6 +142,7 @@ impl PbftBaseline {
 pub(crate) fn push_pbft_action(out: &mut Outbox<SsMsg>, action: Action<PbftMsg>) {
     match action.map_msg(SsMsg::Pbft) {
         Action::Send { to, msg } => out.send(to, msg),
+        Action::SendMany { tos, msg } => out.send_many(tos, msg),
         Action::SetTimer { kind, token, after } => out.set_timer(kind, token, after),
         Action::CancelTimer { kind, token } => out.cancel_timer(kind, token),
         Action::Executed { seq, txns } => out.executed(seq, txns),

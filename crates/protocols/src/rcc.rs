@@ -71,6 +71,7 @@ impl RccReplica {
         for a in pout.take() {
             match a.map_msg(|m| SsMsg::Rcc { stream: s, msg: m }) {
                 Action::Send { to, msg } => out.send(to, msg),
+                Action::SendMany { tos, msg } => out.send_many(tos, msg),
                 // Namespace timer tokens by stream so streams don't
                 // cancel each other's timers.
                 Action::SetTimer { kind, token, after } => {

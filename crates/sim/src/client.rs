@@ -7,6 +7,15 @@
 //! quorum), the hosting node immediately issues that client's next
 //! transaction. Total in-flight load therefore equals
 //! `SystemConfig::clients`, the knob of Fig 8 XI–XII.
+//!
+//! [`SimClient::set_open_loop`] switches the host to *open-loop*
+//! issue: transactions are injected on an [`ArrivalProcess`] schedule
+//! (Poisson or bursty), independent of completions, so offered load no
+//! longer self-throttles when the system slows down — the mode that
+//! exposes the throughput knee. Open-loop hosts round-robin arrivals
+//! over their logical clients and skip the per-transaction A1 retry
+//! timer: a retry would add load the arrival process didn't offer,
+//! corrupting the latency-vs-offered-load curve at overload.
 
 use crate::msg::AnyMsg;
 use ringbft_baselines::{sharper_initiator, AhlReplica, ShardedMsg};
@@ -18,9 +27,15 @@ use ringbft_types::{
     ClientId, Instant, NodeId, Outbox, ProtocolKind, ReplicaId, RingOrder, ShardId, SystemConfig,
     TimerKind, TxnId,
 };
+use ringbft_workload::arrivals::{ArrivalGen, ArrivalProcess};
 use ringbft_workload::WorkloadGen;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Timer token reserved for the open-loop arrival tick. Transaction
+/// ids are namespaced (`ns << 24 | counter`, `ns ≥ 1`), so token 0 can
+/// never collide with a per-transaction retry timer.
+const ARRIVAL_TOKEN: u64 = 0;
 
 /// A completed transaction's timing.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +81,19 @@ pub struct SimClient {
     /// Enable the A1 timeout broadcast.
     pub retry_enabled: bool,
     req_counter: u64,
+    /// Open-loop issue state (`None` = closed loop).
+    open_loop: Option<OpenLoop>,
+    /// When each transaction was issued (open-loop hosts only; the
+    /// scenario counts these inside the measurement window to report
+    /// the rate actually offered).
+    pub issued: Vec<Instant>,
+}
+
+/// Arrival-driven issue state of an open-loop host.
+struct OpenLoop {
+    arrivals: ArrivalGen,
+    /// Round-robin cursor over `logical`.
+    next_client: usize,
 }
 
 impl SimClient {
@@ -88,8 +116,20 @@ impl SimClient {
             completions: Vec::new(),
             retry_enabled: true,
             req_counter: 0,
+            open_loop: None,
+            issued: Vec::new(),
             cfg,
         }
+    }
+
+    /// Switches this host to open-loop issue: transactions arrive on
+    /// `process`'s schedule (deterministic in `seed`) instead of one
+    /// per completed predecessor. Call before the host is started.
+    pub fn set_open_loop(&mut self, process: ArrivalProcess, seed: u64) {
+        self.open_loop = Some(OpenLoop {
+            arrivals: ArrivalGen::new(process, seed),
+            next_client: 0,
+        });
     }
 
     /// Node ids of every replica of `shard` (for the A1 broadcast).
@@ -178,17 +218,31 @@ impl SimClient {
             },
         );
         out.send(NodeId::Replica(target), self.wrap(Arc::clone(&txn), false));
-        if self.retry_enabled {
+        if self.open_loop.is_some() {
+            self.issued.push(now);
+        } else if self.retry_enabled {
             out.set_timer(TimerKind::Client, id.0, self.cfg.timers.client);
         }
     }
 
-    /// Issues the initial window: one transaction per logical client.
+    /// Starts issue: the initial closed-loop window (one transaction
+    /// per logical client), or the first open-loop arrival tick.
     pub fn on_start(&mut self, now: Instant, out: &mut Outbox<AnyMsg>) {
+        if self.open_loop.is_some() {
+            self.schedule_arrival(out);
+            return;
+        }
         let clients: Vec<ClientId> = self.logical.clone();
         for c in clients {
             self.issue(now, c, out);
         }
+    }
+
+    /// Arms the timer for the next open-loop arrival.
+    fn schedule_arrival(&mut self, out: &mut Outbox<AnyMsg>) {
+        let ol = self.open_loop.as_mut().expect("open-loop host");
+        let gap = ol.arrivals.next_interarrival();
+        out.set_timer(TimerKind::Client, ARRIVAL_TOKEN, gap);
     }
 
     /// Handles a reply.
@@ -239,11 +293,14 @@ impl SimClient {
     }
 
     fn complete(&mut self, now: Instant, ids: Vec<TxnId>, out: &mut Outbox<AnyMsg>) {
+        let open_loop = self.open_loop.is_some();
         for id in ids {
             let Some(fl) = self.in_flight.remove(&id) else {
                 continue; // already completed via an earlier reply
             };
-            out.cancel_timer(TimerKind::Client, id.0);
+            if !open_loop {
+                out.cancel_timer(TimerKind::Client, id.0);
+            }
             self.completions.push(Completion {
                 sent: fl.sent,
                 done: now,
@@ -251,8 +308,11 @@ impl SimClient {
                 cross_shard: fl.txn.involved_shards().len() > 1,
             });
             // Closed loop: the logical client immediately issues its next
-            // transaction.
-            self.issue(now, fl.client, out);
+            // transaction. (Open loop: the arrival process alone decides
+            // when the next transaction goes out.)
+            if !open_loop {
+                self.issue(now, fl.client, out);
+            }
         }
     }
 
@@ -266,6 +326,15 @@ impl SimClient {
         out: &mut Outbox<AnyMsg>,
     ) {
         if kind != TimerKind::Client {
+            return;
+        }
+        if token == ARRIVAL_TOKEN {
+            if let Some(ol) = self.open_loop.as_mut() {
+                let client = self.logical[ol.next_client % self.logical.len()];
+                ol.next_client = ol.next_client.wrapping_add(1);
+                self.issue(now, client, out);
+                self.schedule_arrival(out);
+            }
             return;
         }
         let id = TxnId(token);

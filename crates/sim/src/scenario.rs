@@ -6,10 +6,10 @@
 use crate::client::{reply_quorum, SimClient};
 use crate::msg::AnyMsg;
 use crate::nodes::AnyNode;
+use ringbft_core::RingReplica;
 use ringbft_core::{Phase, RingMsg};
 use ringbft_obs::{Histogram, SpanCollector, SpanTimeline};
 use ringbft_pbft::PbftMsg;
-use ringbft_core::RingReplica;
 use ringbft_recovery::ReplicaWal;
 use ringbft_simnet::{FaultPlan, Topology, World};
 use ringbft_store::MemWalHandle;
@@ -298,6 +298,10 @@ pub struct PipelineReport {
     pub worker_busy_ns: u64,
     /// Cumulative worker idle nanoseconds, summed over replicas.
     pub worker_idle_ns: u64,
+    /// Sub-`batch_size` batches cut early by the adaptive controller
+    /// because the consensus pipe was idle, summed over replicas
+    /// (stays 0 unless `adaptive_batching` is on).
+    pub batch_adaptive_flushes: u64,
 }
 
 /// Metrics of one scenario run.
@@ -350,6 +354,24 @@ pub struct ScenarioReport {
     pub delta_transfers: Vec<DeltaTransferReport>,
     /// Execution-pipeline accounting (workers, offload, overlap).
     pub pipeline: PipelineReport,
+    /// Open-loop arrival accounting, when the scenario was built with
+    /// [`Scenario::open_loop`]. `None` for closed-loop runs.
+    pub open_loop: Option<OpenLoopReport>,
+}
+
+/// Arrival accounting of an open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopReport {
+    /// Configured target arrival rate, transactions per second.
+    pub offered_tps: f64,
+    /// Transactions the hosts actually injected inside the measurement
+    /// window (the realized offered load — converges on
+    /// `offered_tps × measure_secs` as the window grows).
+    pub issued_txns: u64,
+    /// Transactions still awaiting their reply quorum at the end of
+    /// the run. Growth past the issue/completion balance point is the
+    /// overload signature closed-loop clients cannot show.
+    pub in_flight_at_end: u64,
 }
 
 /// A configurable experiment.
@@ -368,6 +390,7 @@ pub struct Scenario {
     commit_holes: Vec<(ReplicaId, u64)>,
     delta_transfers: Vec<(ReplicaId, f64, f64)>,
     model_workers: Option<usize>,
+    open_loop: Option<ringbft_workload::arrivals::ArrivalProcess>,
 }
 
 impl Scenario {
@@ -388,7 +411,18 @@ impl Scenario {
             commit_holes: Vec::new(),
             delta_transfers: Vec::new(),
             model_workers: None,
+            open_loop: None,
         }
+    }
+
+    /// Drives the clients open-loop: transactions arrive on `process`'s
+    /// schedule (its rate split evenly across the client hosts) instead
+    /// of one-per-completion. The report's `open_loop` field records
+    /// the realized offered load; sweeping the rate and reading where
+    /// throughput stops tracking it locates the knee.
+    pub fn open_loop(mut self, process: ringbft_workload::arrivals::ArrivalProcess) -> Self {
+        self.open_loop = Some(process);
+        self
     }
 
     /// Overrides the number of pipeline workers the simulator's CPU
@@ -590,8 +624,7 @@ impl Scenario {
             if let Some((victim, handle)) = &durable_wal {
                 if r == *victim {
                     if let AnyNode::Ring(ring) = &mut node {
-                        let (wal, recovered) =
-                            ReplicaWal::open_mem(handle.clone(), cfg.durability);
+                        let (wal, recovered) = ReplicaWal::open_mem(handle.clone(), cfg.durability);
                         ring.attach_wal(wal, &recovered);
                     }
                 }
@@ -630,10 +663,7 @@ impl Scenario {
                     // (where OS-buffered appends survive).
                     handle.crash();
                     let (wal, recovered) = ReplicaWal::open_mem(handle, cfg2.durability);
-                    let seq = recovered
-                        .fold(replica.shard)
-                        .map(|t| t.seq)
-                        .unwrap_or(0);
+                    let seq = recovered.fold(replica.shard).map(|t| t.seq).unwrap_or(0);
                     restored.set((wal.len_bytes(), seq));
                     let mut r = RingReplica::new(cfg2, replica, false);
                     r.attach_wal(wal, &recovered);
@@ -668,6 +698,12 @@ impl Scenario {
         };
         let total_clients = cfg.clients as u64;
         let host_count = total_clients.div_ceil(self.clients_per_host).max(1);
+        // Open loop: each host runs an independent arrival sampler at
+        // an even share of the target rate (superposed Poisson streams
+        // compose back to the target).
+        let per_host_arrivals = self
+            .open_loop
+            .map(|p| p.with_rate(p.rate_tps() / host_count as f64));
         let mut assigned = 0u64;
         for h in 0..host_count {
             let count = self.clients_per_host.min(total_clients - assigned);
@@ -675,7 +711,10 @@ impl Scenario {
                 break;
             }
             let first_id = 1_000_000 + assigned;
-            let client = SimClient::new(cfg.clone(), self.seed ^ (h + 1), first_id, count);
+            let mut client = SimClient::new(cfg.clone(), self.seed ^ (h + 1), first_id, count);
+            if let Some(p) = per_host_arrivals {
+                client.set_open_loop(p, self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(h));
+            }
             let host = NodeId::Client(ClientId(first_id));
             world.add_node(
                 host,
@@ -696,9 +735,13 @@ impl Scenario {
 
         // --- collect ---
         let mut completions = Vec::new();
+        let mut issued: Vec<Instant> = Vec::new();
+        let mut in_flight_at_end = 0u64;
         for (_, node) in world.nodes() {
             if let AnyNode::Client(c) = node {
                 completions.extend(c.completions.iter().copied());
+                issued.extend(c.issued.iter().copied());
+                in_flight_at_end += c.in_flight_len() as u64;
             }
         }
         let w_start = Instant::ZERO + self.warmup;
@@ -1110,11 +1153,21 @@ impl Scenario {
                 pipeline.exec_parallel_batches += c("pipeline.exec_parallel_batches");
                 pipeline.verify_offloaded += c("pipeline.verify_offloaded_frames");
                 pipeline.verify_inline += c("pipeline.verify_inline_frames");
+                pipeline.batch_adaptive_flushes += c("ring.batch_adaptive_flushes");
                 pipeline.worker_busy_ns += g("pipeline.worker_busy_ns");
                 pipeline.worker_idle_ns += g("pipeline.worker_idle_ns");
                 pipeline.replica_workers = pipeline.replica_workers.max(g("pipeline.workers"));
             }
         }
+
+        let open_loop = self.open_loop.map(|p| OpenLoopReport {
+            offered_tps: p.rate_tps(),
+            issued_txns: issued
+                .iter()
+                .filter(|t| **t >= w_start && **t <= end)
+                .count() as u64,
+            in_flight_at_end,
+        });
 
         ScenarioReport {
             completed_txns: completed,
@@ -1138,6 +1191,7 @@ impl Scenario {
             holes,
             delta_transfers,
             pipeline,
+            open_loop,
         }
     }
 }

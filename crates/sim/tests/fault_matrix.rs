@@ -91,6 +91,22 @@ fn pipeline_workers() -> usize {
     }
 }
 
+/// The batching-policy dimension of the CI matrix:
+/// `RINGBFT_ADAPTIVE_BATCHING=1` runs every fault scenario with the
+/// Nagle-style adaptive flush cut enabled, so recovery is also proven
+/// under sub-size batch cadence. Default off — the committed seeds stay
+/// byte-identical. Same fail-loudly contract as the seed.
+fn adaptive_batching() -> bool {
+    match std::env::var("RINGBFT_ADAPTIVE_BATCHING") {
+        Ok(s) => match s.trim() {
+            "0" | "" => false,
+            "1" => true,
+            other => panic!("RINGBFT_ADAPTIVE_BATCHING must be 0 or 1: {other:?}"),
+        },
+        Err(_) => false,
+    }
+}
+
 /// Small cluster, tight timers: every recovery mechanism fires within a
 /// few simulated seconds. The checkpoint window (128 sequences at this
 /// traffic rate ≈ a simulated second) is deliberately wider than the
@@ -108,6 +124,7 @@ fn fault_cfg(z: usize) -> SystemConfig {
     cfg.timers.transmit = Duration::from_millis(3600);
     cfg.timers.client = Duration::from_millis(4800);
     cfg.pipeline_workers = pipeline_workers();
+    cfg.adaptive_batching = adaptive_batching();
     cfg
 }
 
@@ -159,6 +176,62 @@ fn commit_hole_repaired_by_certificate_fetch() {
     assert!(
         h.stable_seq >= interval,
         "no checkpoint stabilized past the hole: {h:?}"
+    );
+}
+
+/// The commit-hole repair under the perf-path configuration: open-loop
+/// Poisson arrivals (clients issue on a schedule instead of waiting for
+/// replies, so the victim's wedge cannot throttle the offered load) with
+/// the adaptive batching cut enabled (sub-size batches flush whenever
+/// the pipe is idle, so sequences advance on a bursty cadence). The
+/// repair path must hold exactly as it does closed-loop: certificate
+/// fetch, no snapshot fallback, checkpoint cadence resumes.
+#[test]
+fn commit_hole_repaired_under_open_loop_adaptive_batching() {
+    use ringbft_workload::arrivals::ArrivalProcess;
+    let mut cfg = fault_cfg(2);
+    cfg.adaptive_batching = true;
+    // fault_cfg batches one txn at a time (every batch is "full"); give
+    // the adaptive cut real sub-size batches to flush.
+    cfg.batch_size = 8;
+    let interval = cfg.checkpoint_interval;
+    let victim = ReplicaId::new(ShardId(0), 2);
+    let hole_seq = 5;
+    let mut dump = TraceDump::new("commit_hole_repaired_under_open_loop_adaptive_batching");
+    let report = Scenario::new(cfg, seed())
+        .warmup_secs(1.0)
+        .measure_secs(7.0)
+        .open_loop(ArrivalProcess::Poisson { rate_tps: 80.0 })
+        .with_commit_hole(victim, hole_seq)
+        .run();
+    dump.arm(&report);
+    let ol = report.open_loop.expect("open-loop scenario configured");
+    assert!(
+        ol.issued_txns > 0 && report.completed_txns > 0,
+        "open-loop cluster stalled: {report:?}"
+    );
+    // The arrival process kept offering load near the target rate even
+    // while the victim was wedged (that's the point of open loop).
+    assert!(
+        ol.issued_txns >= 7 * 80 * 7 / 10,
+        "offered load collapsed: {} issued for 80 tps over 7 s",
+        ol.issued_txns
+    );
+    let h = &report.holes[0];
+    assert!(h.holes_filled >= 1, "hole never repaired: {h:?}");
+    assert_eq!(h.bad_replies, 0, "a correct donor's reply failed: {h:?}");
+    assert_eq!(h.snapshot_installs, 0, "snapshot fallback: {h:?}");
+    assert!(h.resumed_s.is_some(), "victim never resumed: {h:?}");
+    assert!(
+        h.stable_seq >= interval,
+        "no checkpoint stabilized past the hole: {h:?}"
+    );
+    // The adaptive cut actually fired under this light open-loop load —
+    // the scenario really ran on sub-size batch cadence.
+    assert!(
+        report.pipeline.batch_adaptive_flushes > 0,
+        "adaptive batching never cut a batch: {:?}",
+        report.pipeline
     );
 }
 

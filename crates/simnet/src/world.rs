@@ -150,6 +150,9 @@ struct Slot<N> {
     crashed: bool,
 }
 
+/// Queued in-place node mutations for one node, applied front-first.
+type MutationQueue<N> = std::collections::VecDeque<Box<dyn FnOnce(&mut N)>>;
+
 /// The deterministic discrete-event world.
 pub struct World<M: SimMessage, N: SimNode<M>> {
     topology: Topology,
@@ -164,7 +167,7 @@ pub struct World<M: SimMessage, N: SimNode<M>> {
     pending_restarts: HashMap<NodeId, std::collections::VecDeque<Replacement<N>>>,
     /// In-place mutations for scheduled `Mutate` events, popped
     /// front-first.
-    pending_mutations: HashMap<NodeId, std::collections::VecDeque<Box<dyn FnOnce(&mut N)>>>,
+    pending_mutations: HashMap<NodeId, MutationQueue<N>>,
     timers: HashMap<(NodeId, TimerKind, u64), u64>,
     timer_gen: u64,
     now: Instant,
@@ -493,6 +496,16 @@ impl<M: SimMessage, N: SimNode<M>> World<M, N> {
         for action in actions {
             match action {
                 Action::Send { to, msg } => self.send(from, to, now, msg),
+                // A broadcast expands into per-link sends in destination
+                // order, exactly as the pre-SendMany world generated them —
+                // fault-matrix runs stay byte-identical. The serialize-once
+                // win is the real runtime's; the simulator still charges
+                // every link its full egress bytes.
+                Action::SendMany { tos, msg } => {
+                    for to in tos {
+                        self.send(from, to, now, msg.clone());
+                    }
+                }
                 Action::SetTimer { kind, token, after } => {
                     self.timer_gen += 1;
                     let gen = self.timer_gen;

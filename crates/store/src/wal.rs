@@ -371,7 +371,10 @@ impl Storage for FileWal {
                 }
             }
         }
-        let mut file = fs::OpenOptions::new().read(true).write(true).open(&self.path)?;
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
         file.seek(SeekFrom::End(0))?;
         self.file = file;
         self.len = len;
@@ -407,7 +410,11 @@ mod tests {
         let (_, replayed) = MemWal::open(handle);
         assert_eq!(
             replayed,
-            records_of(&[(1, b"alpha".to_vec()), (2, Vec::new()), (3, vec![0xFF; 100])])
+            records_of(&[
+                (1, b"alpha".to_vec()),
+                (2, Vec::new()),
+                (3, vec![0xFF; 100])
+            ])
         );
     }
 
@@ -472,7 +479,10 @@ mod tests {
         // Clean reopen: both records replay.
         {
             let (wal, replayed) = FileWal::open(&path).unwrap();
-            assert_eq!(replayed, records_of(&[(1, b"one".to_vec()), (2, b"two".to_vec())]));
+            assert_eq!(
+                replayed,
+                records_of(&[(1, b"one".to_vec()), (2, b"two".to_vec())])
+            );
             assert_eq!(wal.len_bytes(), fs::metadata(&path).unwrap().len());
         }
         // Tear the tail on disk: flip a payload byte of the last record.

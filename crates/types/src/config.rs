@@ -184,6 +184,19 @@ pub struct SystemConfig {
     pub shards: Vec<ShardConfig>,
     /// Transactions per consensus batch (paper standard: 100).
     pub batch_size: usize,
+    /// Nagle-style adaptive batch flushing at the primary: while the
+    /// consensus pipe is idle (no proposed-but-uncommitted slot and no
+    /// in-flight execution job), a partial pool is cut and proposed
+    /// immediately — batching only adds latency when there is nothing
+    /// to amortize against. Once slots are in flight the pool grows
+    /// toward `batch_size` exactly as with the fixed policy, so peak
+    /// throughput is unchanged while light-load latency drops from the
+    /// flush-timer bound to one round trip. Off (the default) keeps
+    /// batch cuts byte-identical to the fixed `batch_size` + timer
+    /// policy, which the fault-scenario seeds rely on. Configs
+    /// predating the knob deserialize to off.
+    #[serde(default)]
+    pub adaptive_batching: bool,
     /// Active YCSB key space (paper: 600 k records), partitioned across
     /// shards.
     pub num_keys: u64,
@@ -293,6 +306,7 @@ impl SystemConfig {
             protocol,
             shards,
             batch_size: 100,
+            adaptive_batching: false,
             num_keys: 600_000,
             clients: 1_000,
             cross_shard_rate: 0.30,

@@ -42,12 +42,22 @@ pub enum TimerKind {
 /// and record `Committed`/`Executed` outputs for metrics and ledger upkeep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action<M> {
-    /// Send `msg` to `to`. Unicast; broadcast is expressed as many sends so
-    /// the simulator can charge per-link bandwidth faithfully.
+    /// Send `msg` to `to`. Unicast.
     Send {
         /// Destination node.
         to: NodeId,
         /// The protocol message.
+        msg: M,
+    },
+    /// Send one `msg` to many destinations. A broadcast keeps its fan-out
+    /// explicit so drivers can exploit it: the simulator expands it into
+    /// per-link sends (charging per-link bandwidth faithfully, in `tos`
+    /// order), while the TCP runtime serializes the payload exactly once
+    /// and shares the encoded bytes across every peer queue.
+    SendMany {
+        /// Destination nodes, in send order.
+        tos: Vec<NodeId>,
+        /// The protocol message, shared by every destination.
         msg: M,
     },
     /// Arm a timer. When it expires (and was not cancelled), the driver
@@ -125,6 +135,7 @@ impl<M> Action<M> {
     pub fn map_msg<N>(self, f: impl FnOnce(M) -> N) -> Action<N> {
         match self {
             Action::Send { to, msg } => Action::Send { to, msg: f(msg) },
+            Action::SendMany { tos, msg } => Action::SendMany { tos, msg: f(msg) },
             Action::SetTimer { kind, token, after } => Action::SetTimer { kind, token, after },
             Action::CancelTimer { kind, token } => Action::CancelTimer { kind, token },
             Action::Executed { seq, txns } => Action::Executed { seq, txns },
@@ -167,18 +178,32 @@ impl<M> Outbox<M> {
         self.actions.push(Action::Send { to: to.into(), msg });
     }
 
-    /// Queue sends of clones of `msg` to many destinations.
+    /// Queue one broadcast of `msg` to many destinations. Emits a single
+    /// [`Action::SendMany`] (one clone of the message, fan-out left to the
+    /// driver); an empty destination set queues nothing.
     pub fn multicast<I>(&mut self, to: I, msg: &M)
     where
         M: Clone,
         I: IntoIterator<Item = NodeId>,
     {
-        for dst in to {
-            self.actions.push(Action::Send {
-                to: dst,
-                msg: msg.clone(),
-            });
+        let tos: Vec<NodeId> = to.into_iter().collect();
+        if tos.is_empty() {
+            return;
         }
+        self.actions.push(Action::SendMany {
+            tos,
+            msg: msg.clone(),
+        });
+    }
+
+    /// Queue a pre-built broadcast without cloning the message. Used by
+    /// action-lifting shims that re-home a [`Action::SendMany`] from one
+    /// message space into another; an empty destination set queues nothing.
+    pub fn send_many(&mut self, tos: Vec<NodeId>, msg: M) {
+        if tos.is_empty() {
+            return;
+        }
+        self.actions.push(Action::SendMany { tos, msg });
     }
 
     /// Queue a timer arm.
@@ -245,16 +270,42 @@ mod tests {
     }
 
     #[test]
-    fn multicast_clones_to_each_destination() {
+    fn multicast_emits_one_send_many() {
         let mut out: Outbox<u32> = Outbox::new();
         let dsts: Vec<NodeId> = (0..4)
             .map(|i| NodeId::Replica(ReplicaId::new(ShardId(1), i)))
             .collect();
         out.multicast(dsts.clone(), &42);
         let actions = out.take();
-        assert_eq!(actions.len(), 4);
-        for (a, d) in actions.iter().zip(dsts) {
-            assert_eq!(a.send_to(), Some(d));
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::SendMany { tos, msg } => {
+                assert_eq!(*tos, dsts);
+                assert_eq!(*msg, 42);
+            }
+            other => panic!("SendMany expected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multicast_to_nobody_queues_nothing() {
+        let mut out: Outbox<u32> = Outbox::new();
+        out.multicast(Vec::new(), &42);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_msg_maps_send_many_payload() {
+        let a: Action<u32> = Action::SendMany {
+            tos: vec![NodeId::Client(ClientId(1)), NodeId::Client(ClientId(2))],
+            msg: 7,
+        };
+        match a.map_msg(|m| m.to_string()) {
+            Action::SendMany { tos, msg } => {
+                assert_eq!(tos.len(), 2);
+                assert_eq!(msg, "7");
+            }
+            _ => panic!("send_many expected"),
         }
     }
 

@@ -1,0 +1,227 @@
+//! Open-loop arrival processes (ROADMAP "open-loop workload engine").
+//!
+//! Closed-loop clients (one transaction in flight per logical client)
+//! self-throttle: when the system slows down, the offered load drops
+//! with it, which hides the throughput knee — the regime that matters
+//! at production traffic. An *open-loop* client issues transactions on
+//! a schedule drawn from an arrival process, regardless of completions,
+//! so overload shows up as unbounded latency instead of a flattering
+//! throughput plateau.
+//!
+//! Two processes are modelled:
+//!
+//! * [`ArrivalProcess::Poisson`] — exponential interarrivals at a fixed
+//!   target rate, the standard open-loop reference load.
+//! * [`ArrivalProcess::Bursty`] — an on/off modulated Poisson process:
+//!   arrivals only occur during the burst window of each cycle, at a
+//!   rate scaled up so the *mean* rate still equals the target. Same
+//!   average load as Poisson, much harsher queueing.
+//!
+//! Sampling is deterministic in the seed (ChaCha12, like
+//! [`crate::WorkloadGen`]), so a sweep re-run with the same seed issues
+//! at identical simulated instants.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use ringbft_types::Duration;
+
+/// The arrival schedule an open-loop client draws from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential interarrivals with mean
+    /// `1 / rate_tps`.
+    Poisson {
+        /// Target mean arrival rate, transactions per second.
+        rate_tps: f64,
+    },
+    /// On/off modulated Poisson: each cycle of `cycle_s` seconds opens
+    /// with a burst window `duty * cycle_s` long during which arrivals
+    /// occur at `rate_tps / duty`; the rest of the cycle is silent.
+    /// The long-run mean rate is therefore still `rate_tps`.
+    Bursty {
+        /// Target *mean* arrival rate, transactions per second.
+        rate_tps: f64,
+        /// Fraction of each cycle that carries traffic, in `(0, 1]`.
+        /// `duty = 1.0` degenerates to Poisson.
+        duty: f64,
+        /// Modulation cycle length in seconds.
+        cycle_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The process's long-run mean rate in transactions per second.
+    pub fn rate_tps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_tps } => rate_tps,
+            ArrivalProcess::Bursty { rate_tps, .. } => rate_tps,
+        }
+    }
+
+    /// Returns the same process at a different mean rate (sweeps
+    /// rescale one template process across target loads).
+    pub fn with_rate(self, rate_tps: f64) -> ArrivalProcess {
+        match self {
+            ArrivalProcess::Poisson { .. } => ArrivalProcess::Poisson { rate_tps },
+            ArrivalProcess::Bursty { duty, cycle_s, .. } => ArrivalProcess::Bursty {
+                rate_tps,
+                duty,
+                cycle_s,
+            },
+        }
+    }
+}
+
+/// Deterministic interarrival sampler for one [`ArrivalProcess`].
+pub struct ArrivalGen {
+    rng: ChaCha12Rng,
+    process: ArrivalProcess,
+    /// Burst-local position (seconds since the current burst window
+    /// opened); only advanced by the bursty process.
+    burst_pos: f64,
+}
+
+impl ArrivalGen {
+    /// Creates a sampler. Panics on non-positive rates, a duty cycle
+    /// outside `(0, 1]`, or a non-positive cycle length — all of which
+    /// would make the schedule meaningless.
+    pub fn new(process: ArrivalProcess, seed: u64) -> ArrivalGen {
+        assert!(
+            process.rate_tps() > 0.0,
+            "arrival rate must be positive, got {}",
+            process.rate_tps()
+        );
+        if let ArrivalProcess::Bursty { duty, cycle_s, .. } = process {
+            assert!(
+                duty > 0.0 && duty <= 1.0,
+                "duty cycle must be in (0, 1], got {duty}"
+            );
+            assert!(
+                cycle_s > 0.0,
+                "cycle length must be positive, got {cycle_s}"
+            );
+        }
+        ArrivalGen {
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            process,
+            burst_pos: 0.0,
+        }
+    }
+
+    /// The process being sampled.
+    pub fn process(&self) -> ArrivalProcess {
+        self.process
+    }
+
+    /// One exponential sample with the given rate (inverse-CDF on a
+    /// uniform draw; `1 - u` keeps the log argument in `(0, 1]`).
+    fn exp(&mut self, rate: f64) -> f64 {
+        let u: f64 = self.rng.random();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// Draws the wall-clock gap until the next arrival.
+    pub fn next_interarrival(&mut self) -> Duration {
+        let secs = match self.process {
+            ArrivalProcess::Poisson { rate_tps } => self.exp(rate_tps),
+            ArrivalProcess::Bursty {
+                rate_tps,
+                duty,
+                cycle_s,
+            } => {
+                // Arrivals exist only inside burst windows: sample the
+                // gap in burst-local time, then pay one idle gap for
+                // every window boundary the sample crossed.
+                let burst_len = duty * cycle_s;
+                let idle_len = cycle_s - burst_len;
+                let gap = self.exp(rate_tps / duty);
+                let pos = self.burst_pos + gap;
+                let crossings = (pos / burst_len).floor();
+                self.burst_pos = pos - crossings * burst_len;
+                gap + crossings * idle_len
+            }
+        };
+        Duration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_rate(process: ArrivalProcess, seed: u64, n: usize) -> f64 {
+        let mut g = ArrivalGen::new(process, seed);
+        let total: f64 = (0..n).map(|_| g.next_interarrival().as_secs_f64()).sum();
+        n as f64 / total
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let rate = mean_rate(ArrivalProcess::Poisson { rate_tps: 500.0 }, 7, 20_000);
+        assert!((450.0..550.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_mean_rate_matches_target() {
+        let p = ArrivalProcess::Bursty {
+            rate_tps: 500.0,
+            duty: 0.2,
+            cycle_s: 0.5,
+        };
+        let rate = mean_rate(p, 7, 20_000);
+        assert!((450.0..550.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ArrivalProcess::Poisson { rate_tps: 100.0 };
+        let mut a = ArrivalGen::new(p, 42);
+        let mut b = ArrivalGen::new(p, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_interarrival(), b.next_interarrival());
+        }
+        let mut c = ArrivalGen::new(p, 43);
+        let diff = (0..100)
+            .filter(|_| a.next_interarrival() != c.next_interarrival())
+            .count();
+        assert!(diff > 0);
+    }
+
+    #[test]
+    fn bursty_duty_one_is_poisson() {
+        let mut a = ArrivalGen::new(ArrivalProcess::Poisson { rate_tps: 200.0 }, 5);
+        let mut b = ArrivalGen::new(
+            ArrivalProcess::Bursty {
+                rate_tps: 200.0,
+                duty: 1.0,
+                cycle_s: 1.0,
+            },
+            5,
+        );
+        for _ in 0..100 {
+            assert_eq!(a.next_interarrival(), b.next_interarrival());
+        }
+    }
+
+    #[test]
+    fn with_rate_rescales() {
+        let p = ArrivalProcess::Bursty {
+            rate_tps: 100.0,
+            duty: 0.5,
+            cycle_s: 1.0,
+        };
+        match p.with_rate(700.0) {
+            ArrivalProcess::Bursty {
+                rate_tps,
+                duty,
+                cycle_s,
+            } => {
+                assert_eq!(rate_tps, 700.0);
+                assert_eq!(duty, 0.5);
+                assert_eq!(cycle_s, 1.0);
+            }
+            other => panic!("process kind changed: {other:?}"),
+        }
+    }
+}

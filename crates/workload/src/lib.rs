@@ -12,6 +12,7 @@
 //! * the number of remote-read dependencies per complex cst (Fig 10),
 //! * key skew (uniform or zipfian, the YCSB default).
 
+pub mod arrivals;
 pub mod zipf;
 
 use rand::Rng;

@@ -1,0 +1,120 @@
+//! Property tests for the workload engine: the Zipf sampler stays
+//! in-range and deterministic across the whole parameter space, the
+//! generated cross-shard ratio converges on the configured rate, and
+//! open-loop arrival processes realize their target mean rate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use ringbft_types::{ClientId, ProtocolKind, SystemConfig};
+use ringbft_workload::arrivals::{ArrivalGen, ArrivalProcess};
+use ringbft_workload::zipf::Zipf;
+use ringbft_workload::WorkloadGen;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every Zipf sample lands in `0..n`, for any table size, any
+    /// exponent in the YCSB-relevant range, and any seed — including
+    /// the n > 10 000 regime where the zeta constant switches to the
+    /// integral approximation.
+    #[test]
+    fn zipf_samples_stay_in_range(
+        seed in 0u64..u64::MAX,
+        n_kind in 0u64..4,
+        n_small in 1u64..100,
+        theta_milli in 0u64..995,
+    ) {
+        // Cover tiny tables, both sides of the zeta-approximation
+        // switch at n = 10 000, and the paper's 600 k-record table.
+        let n = match n_kind {
+            0 => n_small,
+            1 => 9_999,
+            2 => 10_001,
+            _ => 600_000,
+        };
+        let mut z = Zipf::new(n, theta_milli as f64 / 1000.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n, "rank {} out of range 0..{}", r, n);
+        }
+    }
+
+    /// The sampler is a pure function of the seed: two instances over
+    /// the same distribution and rng stream produce identical ranks.
+    #[test]
+    fn zipf_deterministic_per_seed(seed in 0u64..u64::MAX, n in 2u64..50_000) {
+        let mut a = Zipf::new(n, 0.99);
+        let mut b = Zipf::new(n, 0.99);
+        let mut rng_a = ChaCha12Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.sample(&mut rng_a), b.sample(&mut rng_b));
+        }
+    }
+
+    /// The generated cross-shard fraction converges on the configured
+    /// `cross_shard_rate` (±5 points over 4 000 transactions), for any
+    /// rate and shard count that can express cross-shard work.
+    #[test]
+    fn cross_shard_ratio_converges(
+        seed in 0u64..u64::MAX,
+        rate_pct in 5u64..96,
+        z in 2usize..6,
+    ) {
+        let mut cfg = SystemConfig::uniform(ProtocolKind::RingBft, z, 4);
+        cfg.cross_shard_rate = rate_pct as f64 / 100.0;
+        cfg.involved_shards = z;
+        cfg.num_keys = 1_000 * z as u64;
+        let mut g = WorkloadGen::new(cfg, seed);
+        let n = 4_000u64;
+        let cst = (0..n)
+            .filter(|i| !g.next_txn(ClientId(*i)).is_single_shard())
+            .count();
+        let observed = cst as f64 / n as f64;
+        let want = rate_pct as f64 / 100.0;
+        prop_assert!(
+            (observed - want).abs() < 0.05,
+            "cross-shard ratio {} for configured {}",
+            observed,
+            want
+        );
+    }
+
+    /// Open-loop arrivals realize their target mean rate (within 15 %
+    /// over 5 000 samples) for both Poisson and bursty processes, and
+    /// every interarrival is positive and finite.
+    #[test]
+    fn arrival_mean_rate_converges(
+        seed in 0u64..u64::MAX,
+        rate in 10u64..5_000,
+        duty_pct in 10u64..101,
+    ) {
+        let process = if duty_pct >= 100 {
+            ArrivalProcess::Poisson { rate_tps: rate as f64 }
+        } else {
+            ArrivalProcess::Bursty {
+                rate_tps: rate as f64,
+                duty: duty_pct as f64 / 100.0,
+                cycle_s: 0.25,
+            }
+        };
+        let mut g = ArrivalGen::new(process, seed);
+        let n = 5_000;
+        let mut total = 0.0f64;
+        for _ in 0..n {
+            let gap = g.next_interarrival().as_secs_f64();
+            prop_assert!(gap.is_finite() && gap >= 0.0, "bad gap {}", gap);
+            total += gap;
+        }
+        let observed = n as f64 / total;
+        let want = rate as f64;
+        prop_assert!(
+            (observed - want).abs() / want < 0.15,
+            "mean rate {} for target {}",
+            observed,
+            want
+        );
+    }
+}

@@ -145,4 +145,43 @@ if ! grep -q '"durable_restart_ok": true' "$OUT"; then
 fi
 echo "check_bench: durable restart replays locally and beats the blank-restart transfer"
 
+# Serialize-once egress gate (schema v10): broadcast fan-out on the
+# loopback cluster must encode each payload exactly once and share the
+# bytes across peers. bench_json folds the counter invariants into
+# `serialize_once_ok`; this check additionally bounds the derived
+# encodes-per-broadcast at 1 so a fallback to per-destination encoding
+# cannot hide behind a missing flag.
+if ! grep -q '"serialize_once_ok": true' "$OUT"; then
+    echo "check_bench: FAIL broadcast egress re-encodes per destination (serialize_once_ok not true in $OUT)" >&2
+    exit 1
+fi
+ENCODES_PER_BCAST=$(awk '
+    /"net": {/ { in_net = 1 }
+    in_net && /"encodes_per_broadcast":/ { gsub(/[",]/, ""); e = $2 }
+    in_net && /^  }/ { in_net = 0 }
+    END { print e }
+' "$OUT")
+if [[ -z "$ENCODES_PER_BCAST" ]] || \
+   ! awk -v e="$ENCODES_PER_BCAST" 'BEGIN { exit !(e <= 1.0) }'; then
+    echo "check_bench: FAIL encodes_per_broadcast '$ENCODES_PER_BCAST' exceeds 1 in $OUT" >&2
+    exit 1
+fi
+echo "check_bench: broadcast egress serializes once ($ENCODES_PER_BCAST encodes/broadcast)"
+
+# Open-loop knee gate (schema v10): the Poisson-arrival sweep must
+# anchor at the lowest offered rate and place the saturation knee at or
+# above 20 k tps on the quick scale — a throughput regression that the
+# closed-loop runs absorb as latency shows up here as a knee shift.
+if ! grep -q '"knee_ok": true' "$OUT"; then
+    echo "check_bench: FAIL open-loop saturation knee regressed (knee_ok not true in $OUT)" >&2
+    exit 1
+fi
+KNEE_TPS=$(awk '
+    /"open_loop": {/ { in_ol = 1 }
+    in_ol && /"knee_tps":/ { gsub(/[",]/, ""); k = $2 }
+    in_ol && /^  }/ { in_ol = 0 }
+    END { print k }
+' "$OUT")
+echo "check_bench: open-loop knee located at ${KNEE_TPS} offered tps"
+
 echo "check_bench: OK"
